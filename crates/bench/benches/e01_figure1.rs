@@ -1,0 +1,31 @@
+//! E1 / Figure 1 — construct and exercise the paper's one figure.
+//!
+//! Measures: building the exact Figure-1 instance; serializing it;
+//! checking bisimilarity of two independent constructions (the extensional
+//! equality §2 needs); conformance against the hand-written schema.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semistructured::graph::bisim::graphs_bisimilar;
+use semistructured::graph::literal::{parse_graph, write_graph};
+use ssd_data::movies::figure1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_figure1");
+    group.bench_function("construct", |b| b.iter(figure1));
+    let g = figure1();
+    group.bench_function("serialize", |b| b.iter(|| write_graph(&g)));
+    let text = write_graph(&g);
+    group.bench_function("parse", |b| b.iter(|| parse_graph(&text).unwrap()));
+    let g2 = figure1();
+    group.bench_function("bisimilarity_check", |b| {
+        b.iter(|| graphs_bisimilar(&g, &g2))
+    });
+    let schema = ssd_schema::figure1_schema();
+    group.bench_function("schema_conformance", |b| {
+        b.iter(|| ssd_schema::conforms(&g, &schema))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — the §1.3 browsing queries: full scan vs index, size sweep.
+//!
+//! Expected shape: index wins by a widening factor as the database grows
+//! (scan is O(edges); the index answers from the value btree / symbol
+//! table). The *locate* phase is measured; path annotation (common to
+//! both) is benchmarked once as `annotate`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::graph::index::GraphIndex;
+use semistructured::query::browse;
+use ssd_bench::{movies, MOVIE_SIZES};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_browse");
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        let idx = GraphIndex::build(&g);
+        group.bench_with_input(BenchmarkId::new("q1_string_scan", size), &g, |b, g| {
+            b.iter(|| browse::locate_string_scan(g, "Actor 3"))
+        });
+        group.bench_with_input(BenchmarkId::new("q1_string_index", size), &g, |b, g| {
+            b.iter(|| browse::locate_string_indexed(g, &idx, "Actor 3"))
+        });
+        group.bench_with_input(BenchmarkId::new("q2_ints_scan", size), &g, |b, g| {
+            b.iter(|| browse::locate_ints_greater_scan(g, 1 << 16))
+        });
+        group.bench_with_input(BenchmarkId::new("q2_ints_index", size), &g, |b, g| {
+            b.iter(|| browse::locate_ints_greater_indexed(g, &idx, 1 << 16))
+        });
+        group.bench_with_input(BenchmarkId::new("q3_prefix_scan", size), &g, |b, g| {
+            b.iter(|| browse::locate_attrs_prefix_scan(g, "Act"))
+        });
+        group.bench_with_input(BenchmarkId::new("q3_prefix_index", size), &g, |b, g| {
+            b.iter(|| browse::locate_attrs_prefix_indexed(g, &idx, "Act"))
+        });
+        group.bench_with_input(BenchmarkId::new("index_build", size), &g, |b, g| {
+            b.iter(|| GraphIndex::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("q1_with_paths", size), &g, |b, g| {
+            b.iter(|| browse::find_string_indexed(g, &idx, "Actor 3"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 — the select-from-where language: parse + evaluate, size sweep.
+//!
+//! Three query shapes: a fixed path, a multi-binding join tying paths
+//! together through a shared variable (§3's motivation for variables),
+//! and a label-variable query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::{evaluate_select, parse_query};
+use semistructured::EvalOptions;
+use ssd_bench::{movies, MOVIE_SIZES};
+
+const FIXED: &str = "select T from db.Entry.Movie.Title T";
+const JOIN: &str = r#"select {p: {t: T, d: D}} from db.Entry.Movie M, M.Title T, M.Director D
+                      where exists M.Cast"#;
+const LABEL_VAR: &str = r#"select L from db.Entry.Movie.^L X where L like "Dir%""#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_select");
+    group.bench_function("parse_only", |b| {
+        b.iter(|| parse_query(JOIN).unwrap())
+    });
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        for (name, text) in [("fixed_path", FIXED), ("join", JOIN), ("label_var", LABEL_VAR)] {
+            let q = parse_query(text).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, size), &g, |b, g| {
+                b.iter(|| evaluate_select(g, &q, &EvalOptions::default()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

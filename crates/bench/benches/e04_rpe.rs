@@ -1,0 +1,68 @@
+//! E4 — regular path expressions: NFA product traversal, the
+//! Allen/Casablanca negated-step query, wildcard-star, and DFA vs NFA.
+//!
+//! Expected shape: evaluation cost tracks the product size — wildcard-star
+//! visits every (node, state) pair, the constrained (!Movie)* query much
+//! less; DFA evaluation beats NFA when the automaton has overlapping
+//! alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::rpe::eval::{eval_nfa, eval_nfa_with_stats};
+use semistructured::query::{Nfa, Rpe, Step};
+use ssd_bench::{movies, MOVIE_SIZES};
+
+fn allen_query() -> Rpe {
+    Rpe::seq(vec![
+        Rpe::symbol("Entry"),
+        Rpe::symbol("Movie"),
+        Rpe::step(Step::not_symbol("Movie")).star(),
+        Rpe::step(Step::value("Actor 1")),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_rpe");
+    let exprs: Vec<(&str, Rpe)> = vec![
+        (
+            "fixed_path",
+            Rpe::seq(vec![
+                Rpe::symbol("Entry"),
+                Rpe::symbol("Movie"),
+                Rpe::symbol("Title"),
+            ]),
+        ),
+        ("negated_star", allen_query()),
+        ("wildcard_star", Rpe::step(Step::wildcard()).star()),
+        (
+            "alternation",
+            Rpe::seq(vec![
+                Rpe::step(Step::wildcard()).star(),
+                Rpe::symbol("Cast"),
+                Rpe::alt(vec![
+                    Rpe::symbol("Actors"),
+                    Rpe::seq(vec![Rpe::symbol("Credit"), Rpe::symbol("Actors")]),
+                ]),
+            ]),
+        ),
+    ];
+    group.bench_function("compile_nfa", |b| {
+        b.iter(|| Nfa::compile(&allen_query()))
+    });
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        for (name, rpe) in &exprs {
+            let nfa = Nfa::compile(rpe);
+            group.bench_with_input(BenchmarkId::new(*name, size), &g, |b, g| {
+                b.iter(|| eval_nfa(g, g.root(), &nfa))
+            });
+        }
+        // Sanity: both queries terminate and visit a bounded product.
+        let (_, narrow) = eval_nfa_with_stats(&g, g.root(), &Nfa::compile(&exprs[1].1));
+        let (_, broad) = eval_nfa_with_stats(&g, g.root(), &Nfa::compile(&exprs[2].1));
+        assert!(narrow > 0 && broad > 0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E5 — the relational strategy (§3): the same queries over the triple
+//! store / relational algebra vs native graph traversal.
+//!
+//! Expected shape: the relational route wins on bulk label selection (one
+//! index probe) but loses on deep path navigation (each step is a join),
+//! which is why \[19\] translates only a fragment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::{eval_rpe, Rpe};
+use semistructured::triples::{Datum, Relation, TripleStore};
+use semistructured::Label;
+use ssd_bench::{movies, MOVIE_SIZES};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_triples");
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        let store = TripleStore::from_graph(&g);
+        let edge_rel = Relation::edge_relation(&store);
+        let movie = Label::symbol(g.symbols(), "Movie");
+
+        group.bench_with_input(BenchmarkId::new("shred", size), &g, |b, g| {
+            b.iter(|| TripleStore::from_graph(g))
+        });
+        // Bulk label selection.
+        group.bench_with_input(
+            BenchmarkId::new("label_select_relational", size),
+            &edge_rel,
+            |b, rel| {
+                b.iter(|| rel.select_eq("label", &Datum::Label(movie.clone())).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("label_select_store_index", size),
+            &store,
+            |b, s| b.iter(|| s.with_label(&movie).len()),
+        );
+        group.bench_with_input(BenchmarkId::new("label_select_traversal", size), &g, |b, g| {
+            b.iter(|| eval_rpe(g, g.root(), &Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")])))
+        });
+        // Deep path: 3 steps as joins vs traversal.
+        group.bench_with_input(BenchmarkId::new("path3_relational_joins", size), &edge_rel, |b, rel| {
+            b.iter(|| {
+                let entry = Label::symbol(g.symbols(), "Entry");
+                let movie = Label::symbol(g.symbols(), "Movie");
+                let title = Label::symbol(g.symbols(), "Title");
+                let e1 = rel.select_eq("label", &Datum::Label(entry)).unwrap()
+                    .project(&["src", "dst"]).unwrap()
+                    .rename("dst", "n1").unwrap();
+                let e2 = rel.select_eq("label", &Datum::Label(movie)).unwrap()
+                    .project(&["src", "dst"]).unwrap()
+                    .rename("src", "n1").unwrap()
+                    .rename("dst", "n2").unwrap();
+                let e3 = rel.select_eq("label", &Datum::Label(title)).unwrap()
+                    .project(&["src", "dst"]).unwrap()
+                    .rename("src", "n2").unwrap()
+                    .rename("dst", "n3").unwrap();
+                e1.natural_join(&e2).natural_join(&e3).project(&["n3"]).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("path3_traversal", size), &g, |b, g| {
+            b.iter(|| {
+                eval_rpe(
+                    g,
+                    g.root(),
+                    &Rpe::seq(vec![
+                        Rpe::symbol("Entry"),
+                        Rpe::symbol("Movie"),
+                        Rpe::symbol("Title"),
+                    ]),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E7 — structural recursion (gext): total, linear-time graph
+//! transformation, including on cyclic inputs.
+//!
+//! Expected shape: cost linear in input edges, independent of unfolding
+//! depth (a cyclic graph whose unfolding is infinite transforms in finite,
+//! small time — the point of the ε-edge technique of \[10\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::recursion::{gext, EdgeTemplate, Transducer};
+use semistructured::Pred;
+use ssd_bench::{movies, MOVIE_SIZES};
+use ssd_data::movies::{movie_database, MovieDbConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_recursion");
+    let identity = Transducer::new();
+    let relabel = Transducer::new().case(
+        Pred::Symbol("Actors".into()),
+        EdgeTemplate::relabel_symbol("Performer"),
+    );
+    let delete = Transducer::new().case(Pred::Symbol("Cast".into()), EdgeTemplate::Delete);
+    let collapse = Transducer::new().case(Pred::Symbol("Credit".into()), EdgeTemplate::Collapse);
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        for (name, t) in [
+            ("identity", &identity),
+            ("relabel", &relabel),
+            ("delete", &delete),
+            ("collapse", &collapse),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, size), &g, |b, g| {
+                b.iter(|| gext(g, g.root(), t))
+            });
+        }
+    }
+    // Cyclic input: dense reference cycles; identity transform must stay
+    // linear though the unfolding is infinite.
+    let cyclic = movie_database(&MovieDbConfig {
+        reference_prob: 0.8,
+        ..MovieDbConfig::sized(100)
+    });
+    group.bench_function("identity_on_cyclic_100", |b| {
+        b.iter(|| gext(&cyclic, cyclic.root(), &identity))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E8 — the relational fragment: SPJRU through the graph engine vs the
+//! native row-set evaluator, plus encode/decode overheads.
+//!
+//! Expected shape: the graph route pays a constant-factor overhead (tuples
+//! become subgraphs, joins become nested RPE loops) but returns identical
+//! results — the expressiveness claim of §3 with its price tag.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::relational_fragment as rf;
+use semistructured::Value;
+use ssd_data::relational::{orders_and_customers, wide_relation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_relational");
+    group.sample_size(20);
+    for rows in [50, 200] {
+        let rel = wide_relation(rows, 3, 10, 2);
+        let g = rf::database_of(&[rel.clone()]);
+        group.bench_with_input(BenchmarkId::new("encode", rows), &rel, |b, rel| {
+            b.iter(|| rf::database_of(&[rel.clone()]))
+        });
+        group.bench_with_input(BenchmarkId::new("select_graph", rows), &g, |b, g| {
+            b.iter(|| rf::select_eq(g, &rel, "c1", &Value::Int(3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("select_native", rows), &rel, |b, rel| {
+            b.iter(|| rf::native_select_eq(rel, "c1", &Value::Int(3)))
+        });
+        group.bench_with_input(BenchmarkId::new("project_graph", rows), &g, |b, g| {
+            b.iter(|| rf::project(g, &rel, &["c1", "c2"]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("project_native", rows), &rel, |b, rel| {
+            b.iter(|| rf::native_project(rel, &["c1", "c2"]))
+        });
+    }
+    for orders in [30, 100] {
+        let (ord, cust) = orders_and_customers(orders, 10, 5);
+        let g = rf::database_of(&[ord.clone(), cust.clone()]);
+        group.bench_with_input(BenchmarkId::new("join_graph", orders), &g, |b, g| {
+            b.iter(|| rf::join(g, &ord, &cust, "customer", "name").unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("join_native", orders),
+            &(ord.clone(), cust.clone()),
+            |b, (o, c)| b.iter(|| rf::native_join(o, c, "customer", "name")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E9 — deep restructuring (§3): the Bacall repair, collapse,
+//! short-circuit, and interchange at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::restructure;
+use semistructured::{Pred, Value};
+use ssd_bench::{movies, MOVIE_SIZES};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_restructure");
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        group.bench_with_input(BenchmarkId::new("relabel_value", size), &g, |b, g| {
+            b.iter(|| {
+                restructure::relabel_edges_to_value(
+                    g,
+                    Pred::ValueEq(Value::Str("Actor 1".into())),
+                    "Renamed 1",
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("collapse_credit", size), &g, |b, g| {
+            b.iter(|| restructure::collapse_edges(g, Pred::Symbol("Credit".into())))
+        });
+        group.bench_with_input(BenchmarkId::new("delete_boxoffice", size), &g, |b, g| {
+            b.iter(|| restructure::delete_edges(g, Pred::Symbol("BoxOffice".into())))
+        });
+        group.bench_with_input(BenchmarkId::new("shortcut_cast", size), &g, |b, g| {
+            b.iter(|| {
+                restructure::shortcut(
+                    g,
+                    &Pred::Symbol("Cast".into()),
+                    &Pred::Symbol("Actors".into()),
+                    "CastMember",
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interchange", size), &g, |b, g| {
+            b.iter(|| {
+                restructure::interchange(
+                    g,
+                    &Pred::Symbol("Cast".into()),
+                    &Pred::Symbol("Actors".into()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E10 — optimizations (§4): selection pushdown, RPE simplification, and
+//! DataGuide pruning vs the unoptimized evaluator, across selectivities.
+//!
+//! Expected shape: pushdown wins big when the early conjunct is selective
+//! (kills assignments before later bindings enumerate); guide pruning
+//! turns provably-empty queries into O(guide) no-ops; on non-selective
+//! queries the optimized path ties the baseline (overhead is noise).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::{evaluate_select, parse_query};
+use semistructured::{DataGuide, EvalOptions};
+use ssd_bench::{movies, MOVIE_SIZES};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_optimize");
+    // Selective early filter (Year < 1935 keeps ~7% of movies).
+    let selective = parse_query(
+        r#"select {t: T} from db.Entry.Movie M, M.Year Y, M.Title T, M.Cast.%* X
+           where Y < 1935"#,
+    )
+    .unwrap();
+    // Non-selective (Year < 2100 keeps all).
+    let unselective = parse_query(
+        r#"select {t: T} from db.Entry.Movie M, M.Year Y, M.Title T, M.Cast.%* X
+           where Y < 2100"#,
+    )
+    .unwrap();
+    // Provably empty path.
+    let empty = parse_query("select T from db.NoSuchThing.%* T").unwrap();
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        let guide = DataGuide::build(&g);
+        for (name, q) in [
+            ("selective", &selective),
+            ("unselective", &unselective),
+            ("empty", &empty),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_baseline"), size),
+                &g,
+                |b, g| b.iter(|| evaluate_select(g, q, &EvalOptions::default()).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_optimized"), size),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        evaluate_select(g, q, &EvalOptions::optimized(Some(&guide))).unwrap()
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("guide_build", size), &g, |b, g| {
+            b.iter(|| DataGuide::build(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

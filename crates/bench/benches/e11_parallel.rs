@@ -1,0 +1,40 @@
+//! E11 — query decomposition over sites (\[35\]): sequential vs k-way
+//! parallel evaluation on a partition-friendly clustered graph.
+//!
+//! Expected shape: near-linear speedup while sites ≫ cores and cross
+//! edges are few (block partition of the cluster chain); hash partitioning
+//! destroys locality and with it most of the win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::decompose::{eval_decomposed_nfa, Partition};
+use semistructured::query::rpe::eval::eval_nfa;
+use semistructured::query::{Nfa, Rpe, Step};
+use ssd_bench::clusters;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_parallel");
+    group.sample_size(10);
+    let g = clusters(16, 400);
+    let rpe = Rpe::seq(vec![
+        Rpe::step(Step::wildcard()).star(),
+        Rpe::symbol("stop"),
+    ]);
+    let nfa = Nfa::compile(&rpe);
+    group.bench_function("sequential", |b| {
+        b.iter(|| eval_nfa(&g, g.root(), &nfa))
+    });
+    for k in [2, 4, 8] {
+        let blocks = Partition::index_blocks(&g, k);
+        group.bench_with_input(BenchmarkId::new("cluster_blocks", k), &blocks, |b, part| {
+            b.iter(|| eval_decomposed_nfa(&g, &nfa, part))
+        });
+        let hash = Partition::hash(&g, k);
+        group.bench_with_input(BenchmarkId::new("hash", k), &hash, |b, part| {
+            b.iter(|| eval_decomposed_nfa(&g, &nfa, part))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

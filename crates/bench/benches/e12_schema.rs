@@ -1,0 +1,75 @@
+//! E12 — schemas (§5): simulation conformance, schema extraction,
+//! DataGuide construction, and schema-pruned vs unpruned path queries
+//! (\[20\]).
+//!
+//! Expected shape: conformance and extraction are near-linear; pruning an
+//! impossible path through the schema automaton is orders cheaper than
+//! discovering emptiness by traversal; DataGuide size stays modest on the
+//! regular movie data but grows on ragged ACeDB trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::optimizer::schema_allows;
+use semistructured::query::{eval_rpe, Rpe};
+use semistructured::schema::OneIndex;
+use semistructured::DataGuide;
+use ssd_bench::{movies, MOVIE_SIZES};
+use ssd_data::acedb::{acedb, AcedbConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_schema");
+    group.sample_size(20);
+    for &size in MOVIE_SIZES {
+        let g = movies(size);
+        let schema = ssd_schema::extract_schema_default(&g);
+        group.bench_with_input(BenchmarkId::new("extract_schema", size), &g, |b, g| {
+            b.iter(|| ssd_schema::extract_schema_default(g))
+        });
+        group.bench_with_input(BenchmarkId::new("conformance", size), &g, |b, g| {
+            b.iter(|| ssd_schema::conforms(g, &schema))
+        });
+        group.bench_with_input(BenchmarkId::new("dataguide_build", size), &g, |b, g| {
+            b.iter(|| DataGuide::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("oneindex_build", size), &g, |b, g| {
+            b.iter(|| OneIndex::build(g))
+        });
+        // Emptiness of an impossible deep path: schema refutation vs
+        // full traversal.
+        let impossible = Rpe::seq(vec![
+            Rpe::symbol("Entry"),
+            Rpe::symbol("Movie"),
+            Rpe::symbol("Nonexistent"),
+            Rpe::symbol("Title"),
+        ]);
+        group.bench_with_input(
+            BenchmarkId::new("emptiness_by_schema", size),
+            &schema,
+            |b, s| b.iter(|| schema_allows(s, &impossible)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("emptiness_by_traversal", size),
+            &g,
+            |b, g| b.iter(|| eval_rpe(g, g.root(), &impossible).is_empty()),
+        );
+    }
+    // Ragged trees stress the guide.
+    let bio = acedb(&AcedbConfig {
+        objects: 60,
+        max_depth: 8,
+        branching: 3,
+        seed: 11,
+    });
+    group.bench_function("dataguide_acedb", |b| {
+        b.iter(|| DataGuide::build(&bio))
+    });
+    group.bench_function("oneindex_acedb", |b| {
+        b.iter(|| OneIndex::build(&bio))
+    });
+    group.bench_function("extract_schema_acedb", |b| {
+        b.iter(|| ssd_schema::extract_schema_default(&bio))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! E13 — ablations of the design choices DESIGN.md §3 calls out.
+//!
+//! * **Bisimulation algorithm**: partition refinement (the workhorse) vs
+//!   the naive greatest-fixpoint oracle — the reason the subtle algorithm
+//!   earns its complexity.
+//! * **DFA vs NFA** word acceptance for RPEs with overlapping
+//!   alternatives — the determinisation trade-off.
+//! * **Serialization**: literal-syntax round trip vs JSON round trip —
+//!   the cost of cycle/sharing support.
+//! * **Summaries**: strong DataGuide vs 1-index construction on regular
+//!   (movie) and ragged (ACeDB) data — the determinism-vs-size trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::graph::bisim::{bisimilarity_classes, naive_bisimilar};
+use semistructured::graph::json;
+use semistructured::graph::literal;
+use semistructured::query::{Nfa, Rpe};
+use semistructured::schema::OneIndex;
+use semistructured::{DataGuide, Label};
+use ssd_bench::movies;
+use ssd_data::acedb::{acedb, AcedbConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_ablation");
+    group.sample_size(20);
+
+    // Bisimulation: partition refinement vs naive, small sizes only (the
+    // naive algorithm is O(n^2 m)).
+    for &size in &[5usize, 15] {
+        let g = movies(size);
+        group.bench_with_input(
+            BenchmarkId::new("bisim_partition", size),
+            &g,
+            |b, g| b.iter(|| bisimilarity_classes(g)),
+        );
+        group.bench_with_input(BenchmarkId::new("bisim_naive", size), &g, |b, g| {
+            b.iter(|| naive_bisimilar(g, g.root(), g, g.root()))
+        });
+    }
+
+    // DFA vs NFA acceptance on a word set.
+    let g = movies(100);
+    let rpe = Rpe::seq(vec![
+        Rpe::alt(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")]).star(),
+        Rpe::alt(vec![
+            Rpe::symbol("Title"),
+            Rpe::seq(vec![Rpe::symbol("Cast"), Rpe::symbol("Actors")]),
+        ]),
+    ]);
+    let nfa = Nfa::compile(&rpe);
+    let dfa = nfa.to_dfa();
+    let words: Vec<Vec<Label>> = {
+        let syms = g.symbols();
+        let alphabet = ["Entry", "Movie", "Title", "Cast", "Actors"];
+        let mut out = Vec::new();
+        for a in &alphabet {
+            for b_ in &alphabet {
+                for c_ in &alphabet {
+                    out.push(vec![
+                        Label::symbol(syms, a),
+                        Label::symbol(syms, b_),
+                        Label::symbol(syms, c_),
+                    ]);
+                }
+            }
+        }
+        out
+    };
+    group.bench_function("accept_nfa_125_words", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .filter(|w| nfa.accepts(w, g.symbols()))
+                .count()
+        })
+    });
+    group.bench_function("accept_dfa_125_words", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .filter(|w| dfa.accepts(w, g.symbols()))
+                .count()
+        })
+    });
+
+    // Serialization round trips (acyclic fragment for JSON fairness).
+    let tree = acedb(&AcedbConfig {
+        objects: 40,
+        max_depth: 6,
+        branching: 3,
+        seed: 4,
+    });
+    group.bench_function("roundtrip_literal", |b| {
+        b.iter(|| {
+            let text = literal::write_graph(&tree);
+            literal::parse_graph(&text).unwrap()
+        })
+    });
+    group.bench_function("roundtrip_json", |b| {
+        b.iter(|| {
+            let text = json::graph_to_json(&tree).unwrap();
+            json::from_json(&text).unwrap()
+        })
+    });
+
+    // Summary structures on regular vs ragged data.
+    let regular = movies(100);
+    group.bench_function("summary_dataguide_regular", |b| {
+        b.iter(|| DataGuide::build(&regular))
+    });
+    group.bench_function("summary_oneindex_regular", |b| {
+        b.iter(|| OneIndex::build(&regular))
+    });
+    group.bench_function("summary_dataguide_ragged", |b| {
+        b.iter(|| DataGuide::build(&tree))
+    });
+    group.bench_function("summary_oneindex_ragged", |b| {
+        b.iter(|| OneIndex::build(&tree))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

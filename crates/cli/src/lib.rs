@@ -1,0 +1,753 @@
+//! Implementation of the `ssd` command line (see `main.rs` for the
+//! synopsis). Commands are plain functions from parsed arguments to a
+//! printable string, so everything is unit-testable without spawning
+//! processes.
+
+use semistructured::Database;
+use std::io::Read;
+
+/// CLI failure modes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation (wrong arguments) — exit code 2.
+    Usage(String),
+    /// The command itself failed — exit code 1.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+const HELP: &str = "\
+ssd — semistructured data toolkit (Buneman, PODS 1997)
+
+  ssd stats     DATA                       database statistics
+  ssd query     DATA QUERY [--optimized]   run a select-from-where query
+  ssd datalog   DATA PROGRAM [PRED]        run a datalog program
+  ssd browse    DATA string TEXT           where is this string?
+  ssd browse    DATA ints THRESHOLD        integers greater than N?
+  ssd browse    DATA attrs PREFIX          attribute names with prefix?
+  ssd rewrite   DATA PROGRAM               structural-recursion rewrite
+  ssd schema    DATA                       extract a schema
+  ssd conforms  DATA SCHEMA_DATA           conformance against extracted schema
+  ssd diff      LEFT RIGHT [DEPTH]         structural diff of path languages
+  ssd dataguide DATA                       strong DataGuide summary
+  ssd dot       DATA                       Graphviz rendering
+  ssd fmt       DATA                       canonical literal form
+  ssd repl      DATA                       run commands from stdin (see 'help')
+  ssd json      DATA                       export as JSON (acyclic only)
+  ssd xml       DATA                       export as XML (acyclic only)
+  ssd import-json JSONFILE                 convert JSON to the literal form
+  ssd import-xml  XMLFILE                  convert XML to the literal form
+
+DATA is a literal-syntax file or '-' for stdin; QUERY/PROGRAM are literal
+strings, or @FILE to read from a file.";
+
+/// Entry point shared by `main` and the tests. `stdin` backs the `-`
+/// data argument.
+pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+    match cmd {
+        "help" | "--help" | "-h" => Ok(HELP.to_owned()),
+        "stats" => {
+            let db = load_db(one(&rest, "stats DATA")?, stdin)?;
+            Ok(cmd_stats(&db))
+        }
+        "query" => {
+            let (data, mut tail) = split_first(&rest, "query DATA QUERY")?;
+            let optimized = tail.last() == Some(&"--optimized");
+            if optimized {
+                tail.pop();
+            }
+            let text = arg_or_file(one(&tail, "query DATA QUERY")?)?;
+            let db = load_db(data, stdin)?;
+            cmd_query(&db, &text, optimized)
+        }
+        "datalog" => {
+            if rest.len() < 2 || rest.len() > 3 {
+                return Err(CliError::Usage("datalog DATA PROGRAM [PRED]".into()));
+            }
+            let db = load_db(rest[0], stdin)?;
+            let program = arg_or_file(rest[1])?;
+            cmd_datalog(&db, &program, rest.get(2).copied())
+        }
+        "browse" => {
+            if rest.len() != 3 {
+                return Err(CliError::Usage("browse DATA (string|ints|attrs) ARG".into()));
+            }
+            let db = load_db(rest[0], stdin)?;
+            cmd_browse(&db, rest[1], rest[2])
+        }
+        "rewrite" => {
+            let (data, tail) = split_first(&rest, "rewrite DATA PROGRAM")?;
+            let program = arg_or_file(one(&tail, "rewrite DATA PROGRAM")?)?;
+            let db = load_db(data, stdin)?;
+            let out = db.rewrite(&program).map_err(CliError::Failed)?;
+            Ok(out.to_literal())
+        }
+        "schema" => {
+            let db = load_db(one(&rest, "schema DATA")?, stdin)?;
+            Ok(db.extract_schema().to_string())
+        }
+        "diff" => {
+            if rest.len() < 2 || rest.len() > 3 {
+                return Err(CliError::Usage("diff LEFT RIGHT [DEPTH]".into()));
+            }
+            let left = load_db(rest[0], stdin)?;
+            let right = load_db(rest[1], stdin)?;
+            let depth: usize = rest
+                .get(2)
+                .map(|d| d.parse().map_err(|_| CliError::Usage(format!("bad depth '{d}'"))))
+                .transpose()?
+                .unwrap_or(6);
+            let d = semistructured::schema::diff_paths(left.graph(), right.graph(), depth);
+            if d.is_empty() {
+                return Ok(format!("identical path languages to depth {depth} ({} shared paths)", d.shared));
+            }
+            let mut out = String::new();
+            let render = |g: &semistructured::Graph, p: &[semistructured::Label]| {
+                p.iter()
+                    .map(|l| l.display(g.symbols()).to_string())
+                    .collect::<Vec<_>>()
+                    .join(".")
+            };
+            for p in &d.only_left {
+                out.push_str(&format!("- {}\n", render(left.graph(), p)));
+            }
+            for p in &d.only_right {
+                out.push_str(&format!("+ {}\n", render(right.graph(), p)));
+            }
+            out.push_str(&format!("({} shared paths to depth {depth})", d.shared));
+            Ok(out)
+        }
+        "conforms" => {
+            if rest.len() != 2 {
+                return Err(CliError::Usage("conforms DATA SCHEMA_DATA".into()));
+            }
+            let db = load_db(rest[0], stdin)?;
+            let schema_src = load_db(rest[1], stdin)?;
+            let schema = schema_src.extract_schema();
+            Ok(format!("{}", db.conforms_to(&schema)))
+        }
+        "dataguide" => {
+            let db = load_db(one(&rest, "dataguide DATA")?, stdin)?;
+            Ok(cmd_dataguide(&db))
+        }
+        "dot" => {
+            let db = load_db(one(&rest, "dot DATA")?, stdin)?;
+            Ok(db.to_dot())
+        }
+        "repl" => {
+            let path = one(&rest, "repl DATA (data from a file; commands from stdin)")?;
+            if path == "-" {
+                return Err(CliError::Usage(
+                    "repl needs a data file; stdin carries the commands".into(),
+                ));
+            }
+            let db = load_db(path, stdin)?;
+            let mut input = String::new();
+            stdin
+                .read_to_string(&mut input)
+                .map_err(|e| CliError::Failed(format!("reading stdin: {e}")))?;
+            Ok(run_repl(&db, &input))
+        }
+        "fmt" => {
+            let db = load_db(one(&rest, "fmt DATA")?, stdin)?;
+            Ok(db.to_literal())
+        }
+        "json" => {
+            let db = load_db(one(&rest, "json DATA")?, stdin)?;
+            db.to_json().map_err(CliError::Failed)
+        }
+        "xml" => {
+            let db = load_db(one(&rest, "xml DATA")?, stdin)?;
+            db.to_xml().map_err(CliError::Failed)
+        }
+        "import-xml" => {
+            let path = one(&rest, "import-xml XMLFILE")?;
+            let text = read_path_or_stdin(path, stdin)?;
+            let db = Database::from_xml(&text).map_err(CliError::Failed)?;
+            Ok(db.to_literal())
+        }
+        "import-json" => {
+            let path = one(&rest, "import-json JSONFILE")?;
+            let text = read_path_or_stdin(path, stdin)?;
+            let db = Database::from_json(&text).map_err(CliError::Failed)?;
+            Ok(db.to_literal())
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+fn one<'a>(rest: &[&'a str], usage: &str) -> Result<&'a str, CliError> {
+    match rest {
+        [only] => Ok(only),
+        _ => Err(CliError::Usage(usage.to_owned())),
+    }
+}
+
+fn split_first<'a>(rest: &[&'a str], usage: &str) -> Result<(&'a str, Vec<&'a str>), CliError> {
+    match rest.split_first() {
+        Some((first, tail)) if !tail.is_empty() => Ok((first, tail.to_vec())),
+        _ => Err(CliError::Usage(usage.to_owned())),
+    }
+}
+
+/// Read a file path or stdin (`-`) into a string.
+fn read_path_or_stdin(path: &str, stdin: &mut impl Read) -> Result<String, CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        stdin
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError::Failed(format!("reading stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("reading {path}: {e}")))
+    }
+}
+
+/// Load a database from a path or stdin (`-`).
+fn load_db(path: &str, stdin: &mut impl Read) -> Result<Database, CliError> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        stdin
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError::Failed(format!("reading stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("reading {path}: {e}")))?
+    };
+    Database::from_literal(&text).map_err(CliError::Failed)
+}
+
+/// An argument that is either literal text or `@file`.
+fn arg_or_file(arg: &str) -> Result<String, CliError> {
+    if let Some(path) = arg.strip_prefix('@') {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("reading {path}: {e}")))
+    } else {
+        Ok(arg.to_owned())
+    }
+}
+
+/// Run REPL commands (one per line) against a loaded database. Used by
+/// `ssd repl` with stdin as the script; errors are reported inline so a
+/// bad line never aborts the session.
+pub fn run_repl(db: &Database, script: &str) -> String {
+    let mut out = String::new();
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, arg) = match line.split_once(' ') {
+            Some((c, a)) => (c, a.trim()),
+            None => (line, ""),
+        };
+        let result: Result<String, CliError> = match cmd {
+            "quit" | "exit" => break,
+            "stats" => Ok(cmd_stats(db)),
+            "query" => cmd_query(db, arg, false),
+            "datalog" => cmd_datalog(db, arg, None),
+            "browse" => match arg.split_once(' ') {
+                Some((mode, rest)) => cmd_browse(db, mode, rest.trim()),
+                None => Err(CliError::Usage("browse (string|ints|attrs) ARG".into())),
+            },
+            "rewrite" => db
+                .rewrite(&format!("rewrite {arg}"))
+                .map(|d| d.to_literal())
+                .map_err(CliError::Failed),
+            "schema" => Ok(db.extract_schema().to_string()),
+            "dataguide" => Ok(cmd_dataguide(db)),
+            "fmt" => Ok(db.to_literal()),
+            "json" => db.to_json().map_err(CliError::Failed),
+            "help" => Ok(
+                "commands: stats | query Q | datalog RULES | browse MODE ARG | \
+                 rewrite CASES | schema | dataguide | fmt | json | quit"
+                    .to_owned(),
+            ),
+            other => Err(CliError::Usage(format!("unknown repl command '{other}'"))),
+        };
+        let _ = match result {
+            Ok(text) => writeln_str(&mut out, &format!("{text}")),
+            Err(e) => writeln_str(&mut out, &format!("! line {}: {e}", lineno + 1)),
+        };
+    }
+    out.trim_end().to_owned()
+}
+
+fn writeln_str(buf: &mut String, s: &str) {
+    buf.push_str(s);
+    buf.push('\n');
+}
+
+fn cmd_stats(db: &Database) -> String {
+    let profile = semistructured::graph::stats::profile(db.graph());
+    let guide = db.dataguide();
+    format!(
+        "{profile}\ndataguide states: {}\nextracted schema nodes: {}",
+        guide.node_count(),
+        db.extract_schema().node_count()
+    )
+}
+
+fn cmd_query(db: &Database, text: &str, optimized: bool) -> Result<String, CliError> {
+    let result = if optimized {
+        db.query_optimized(text)
+    } else {
+        db.query(text)
+    }
+    .map_err(CliError::Failed)?;
+    let stats = result.stats();
+    Ok(format!(
+        "{}\n-- {} result(s), {} assignment(s) tried, {} RPE evaluation(s)",
+        result.to_literal(),
+        result.graph().out_degree(result.graph().root()),
+        stats.assignments_tried,
+        stats.rpe_evals
+    ))
+}
+
+fn cmd_datalog(db: &Database, program: &str, pred: Option<&str>) -> Result<String, CliError> {
+    let eval = db.datalog(program).map_err(CliError::Failed)?;
+    let mut out = String::new();
+    let mut preds: Vec<&String> = eval.facts.keys().collect();
+    preds.sort();
+    for p in preds {
+        if pred.is_some_and(|want| want != p) {
+            continue;
+        }
+        // Skip the EDB unless explicitly requested.
+        if pred.is_none() && matches!(p.as_str(), "edge" | "node" | "root") {
+            continue;
+        }
+        out.push_str(&format!("{p}: {} tuple(s)\n", eval.count(p)));
+        for t in eval.tuples(p).take(20) {
+            let row: Vec<String> = t.iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!("  ({})\n", row.join(", ")));
+        }
+        if eval.count(p) > 20 {
+            out.push_str("  ...\n");
+        }
+    }
+    out.push_str(&format!(
+        "-- {} iteration(s), {} rule evaluation(s)",
+        eval.iterations, eval.rule_evaluations
+    ));
+    Ok(out)
+}
+
+fn cmd_browse(db: &Database, mode: &str, arg: &str) -> Result<String, CliError> {
+    let symbols_fmt = |hit: &semistructured::query::browse::Hit| {
+        let path: Vec<String> = hit
+            .path
+            .iter()
+            .map(|l| l.display(db.graph().symbols()).to_string())
+            .collect();
+        format!(
+            "  {} at root.{}",
+            hit.label.display(db.graph().symbols()),
+            path.join(".")
+        )
+    };
+    match mode {
+        "string" => {
+            let hits = db.find_string(arg);
+            let mut out = format!("{} occurrence(s) of {arg:?}\n", hits.len());
+            for h in &hits {
+                out.push_str(&symbols_fmt(h));
+                out.push('\n');
+            }
+            Ok(out.trim_end().to_owned())
+        }
+        "ints" => {
+            let threshold: i64 = arg
+                .parse()
+                .map_err(|_| CliError::Usage(format!("'{arg}' is not an integer")))?;
+            let hits = db.ints_greater(threshold);
+            let mut out = format!("{} integer(s) greater than {threshold}\n", hits.len());
+            for (v, h) in &hits {
+                out.push_str(&format!("  {v}{}\n", symbols_fmt(h).trim_start_matches(' ')));
+            }
+            Ok(out.trim_end().to_owned())
+        }
+        "attrs" => {
+            let hits = db.attrs_with_prefix(arg);
+            let mut out = format!("{} attribute edge(s) with prefix {arg:?}\n", hits.len());
+            for h in &hits {
+                out.push_str(&symbols_fmt(h));
+                out.push('\n');
+            }
+            Ok(out.trim_end().to_owned())
+        }
+        other => Err(CliError::Usage(format!(
+            "browse mode must be string|ints|attrs, got '{other}'"
+        ))),
+    }
+}
+
+fn cmd_dataguide(db: &Database) -> String {
+    let guide = db.dataguide();
+    let mut out = format!(
+        "DataGuide: {} state(s) summarising {} data node(s)\n",
+        guide.node_count(),
+        db.stats().nodes
+    );
+    out.push_str("paths up to length 3:\n");
+    let mut paths = guide.paths_up_to(3);
+    paths.sort_by_key(|p| {
+        p.iter()
+            .map(|l| l.display(db.graph().symbols()).to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    });
+    for p in paths.iter().take(40) {
+        let shown: Vec<String> = p
+            .iter()
+            .map(|l| l.display(db.graph().symbols()).to_string())
+            .collect();
+        let targets = guide.path_targets(p).len();
+        out.push_str(&format!("  {} -> {} node(s)\n", shown.join("."), targets));
+    }
+    if paths.len() > 40 {
+        out.push_str(&format!("  ... and {} more\n", paths.len() - 40));
+    }
+    out.trim_end().to_owned()
+}
+
+// Re-export the pieces `main.rs` uses.
+pub use CliError as Error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run_str(args: &[&str], stdin: &str) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        run(&owned, &mut Cursor::new(stdin.as_bytes()))
+    }
+
+    const DATA: &str = r#"{Entry: {Movie: {Title: "Casablanca",
+                                      Cast: {Actors: "Bogart"},
+                                      Year: 1942}}}"#;
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_str(&["help"], "").unwrap().contains("ssd stats"));
+        assert!(run_str(&[], "").unwrap().contains("ssd stats"));
+        assert!(matches!(
+            run_str(&["frobnicate"], ""),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn stats_from_stdin() {
+        let out = run_str(&["stats", "-"], DATA).unwrap();
+        assert!(out.contains("nodes"));
+        assert!(out.contains("dataguide states"));
+    }
+
+    #[test]
+    fn query_from_stdin() {
+        let out = run_str(
+            &["query", "-", "select T from db.Entry.Movie.Title T"],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("Casablanca"));
+        assert!(out.contains("1 result(s)"));
+    }
+
+    #[test]
+    fn optimized_query_flag() {
+        let out = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--optimized",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("Casablanca"));
+    }
+
+    #[test]
+    fn query_error_is_failure_not_usage() {
+        let err = run_str(&["query", "-", "select banana"], DATA).unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)));
+    }
+
+    #[test]
+    fn datalog_from_stdin() {
+        let out = run_str(
+            &[
+                "datalog",
+                "-",
+                "reach(X) :- root(X).\nreach(Y) :- reach(X), edge(X, _L, Y).",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("reach:"));
+        assert!(out.contains("iteration"));
+    }
+
+    #[test]
+    fn datalog_pred_filter() {
+        let out = run_str(
+            &["datalog", "-", "a(X) :- root(X).\nb(X) :- root(X).", "a"],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("a: 1"));
+        assert!(!out.contains("b: 1"));
+    }
+
+    #[test]
+    fn browse_modes() {
+        let s = run_str(&["browse", "-", "string", "Casablanca"], DATA).unwrap();
+        assert!(s.contains("1 occurrence"));
+        assert!(s.contains("Entry.Movie.Title"));
+        let i = run_str(&["browse", "-", "ints", "1900"], DATA).unwrap();
+        assert!(i.contains("1 integer"));
+        let a = run_str(&["browse", "-", "attrs", "Act"], DATA).unwrap();
+        assert!(a.contains("1 attribute"));
+        assert!(matches!(
+            run_str(&["browse", "-", "bogus", "x"], DATA),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["browse", "-", "ints", "NaN"], DATA),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn rewrite_from_stdin() {
+        let out = run_str(
+            &["rewrite", "-", "rewrite case Cast => collapse"],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("Actors"));
+        assert!(!out.contains("Cast"));
+    }
+
+    #[test]
+    fn schema_and_dataguide() {
+        let s = run_str(&["schema", "-"], DATA).unwrap();
+        assert!(s.contains("schema (root"));
+        let g = run_str(&["dataguide", "-"], DATA).unwrap();
+        assert!(g.contains("DataGuide:"));
+        assert!(g.contains("Entry.Movie.Title"));
+    }
+
+    #[test]
+    fn dot_and_fmt() {
+        let d = run_str(&["dot", "-"], DATA).unwrap();
+        assert!(d.starts_with("digraph"));
+        let f = run_str(&["fmt", "-"], DATA).unwrap();
+        // Round trips.
+        let again = run_str(&["fmt", "-"], &f).unwrap();
+        assert_eq!(f, again);
+    }
+
+    #[test]
+    fn file_arguments() {
+        let dir = std::env::temp_dir().join("ssd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.ssd");
+        std::fs::write(&data_path, DATA).unwrap();
+        let query_path = dir.join("q.ssdq");
+        std::fs::write(&query_path, "select T from db.Entry.Movie.Title T").unwrap();
+        let out = run_str(
+            &[
+                "query",
+                data_path.to_str().unwrap(),
+                &format!("@{}", query_path.display()),
+            ],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("Casablanca"));
+        let missing = run_str(&["stats", "/nonexistent/nope.ssd"], "");
+        assert!(matches!(missing, Err(CliError::Failed(_))));
+    }
+
+    #[test]
+    fn conforms_between_files() {
+        let dir = std::env::temp_dir().join("ssd-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.ssd");
+        std::fs::write(&a, DATA).unwrap();
+        let b = dir.join("b.ssd");
+        std::fs::write(
+            &b,
+            r#"{Entry: {Movie: {Title: "Other", Cast: {Actors: "X"}, Year: 2000}}}"#,
+        )
+        .unwrap();
+        let out = run_str(
+            &["conforms", a.to_str().unwrap(), b.to_str().unwrap()],
+            "",
+        )
+        .unwrap();
+        assert_eq!(out, "true");
+        let c = dir.join("c.ssd");
+        std::fs::write(&c, r#"{Ship: {Name: "Nostromo"}}"#).unwrap();
+        let out2 = run_str(
+            &["conforms", c.to_str().unwrap(), a.to_str().unwrap()],
+            "",
+        )
+        .unwrap();
+        assert_eq!(out2, "false");
+    }
+
+}
+
+#[cfg(test)]
+mod json_cli_tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run_str(args: &[&str], stdin: &str) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        run(&owned, &mut Cursor::new(stdin.as_bytes()))
+    }
+
+    #[test]
+    fn json_export_and_import() {
+        let out = run_str(&["json", "-"], r#"{Movie: {Title: "C", Year: 1942}}"#).unwrap();
+        assert!(out.contains(r#""Title":"C""#));
+        let lit = run_str(&["import-json", "-"], &out).unwrap();
+        assert!(lit.contains("Title"));
+    }
+
+    #[test]
+    fn json_refuses_cycles() {
+        let err = run_str(&["json", "-"], "@x = {next: @x}").unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)));
+    }
+}
+
+#[cfg(test)]
+mod diff_cli_tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn diff_between_files() {
+        let dir = std::env::temp_dir().join("ssd-cli-diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.ssd");
+        std::fs::write(&a, r#"{Movie: {Title: "C"}}"#).unwrap();
+        let b = dir.join("b.ssd");
+        std::fs::write(&b, r#"{Movie: {Title: "C", Year: 1942}}"#).unwrap();
+        let args: Vec<String> = ["diff", a.to_str().unwrap(), b.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&args, &mut Cursor::new(b"")).unwrap();
+        assert!(out.contains("+ Movie.Year"), "{out}");
+        let args2: Vec<String> = ["diff", a.to_str().unwrap(), a.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let same = run(&args2, &mut Cursor::new(b"")).unwrap();
+        assert!(same.contains("identical"));
+    }
+}
+
+#[cfg(test)]
+mod xml_cli_tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn xml_export_import() {
+        let args: Vec<String> = vec!["xml".into(), "-".into()];
+        let out = run(
+            &args,
+            &mut Cursor::new(br#"{movie: {title: "C", year: 1942}}"#.as_slice()),
+        )
+        .unwrap();
+        assert!(out.contains("<title>C</title>"), "{out}");
+        let args2: Vec<String> = vec!["import-xml".into(), "-".into()];
+        let lit = run(&args2, &mut Cursor::new(out.as_bytes())).unwrap();
+        assert!(lit.contains("title"));
+    }
+}
+
+#[cfg(test)]
+mod repl_tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::from_literal(
+            r#"{Entry: {Movie: {Title: "Casablanca", Year: 1942}}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repl_runs_commands_in_order() {
+        let script = "\
+# a comment\n\
+stats\n\
+query select T from db.Entry.Movie.Title T\n\
+browse string Casablanca\n\
+quit\n\
+query never-reached\n";
+        let out = run_repl(&db(), script);
+        assert!(out.contains("nodes"));
+        assert!(out.contains("Casablanca"));
+        assert!(!out.contains("never-reached"));
+    }
+
+    #[test]
+    fn repl_reports_errors_inline_and_continues() {
+        let script = "query select banana\nstats\n";
+        let out = run_repl(&db(), script);
+        assert!(out.contains("! line 1"));
+        assert!(out.contains("nodes"), "session must continue after error");
+    }
+
+    #[test]
+    fn repl_rewrite_and_json() {
+        let script = "rewrite case Year => delete\njson\n";
+        let out = run_repl(&db(), script);
+        assert!(!out.lines().next().unwrap().contains("Year"));
+        assert!(out.contains("\"Title\":\"Casablanca\""));
+    }
+
+    #[test]
+    fn repl_datalog_and_help() {
+        let script = "datalog reach(X) :- root(X).\nhelp\nunknowncmd\n";
+        let out = run_repl(&db(), script);
+        assert!(out.contains("reach: 1"));
+        assert!(out.contains("commands:"));
+        assert!(out.contains("unknown repl command"));
+    }
+
+    #[test]
+    fn repl_via_run_requires_file() {
+        let args: Vec<String> = vec!["repl".into(), "-".into()];
+        assert!(matches!(
+            run(&args, &mut std::io::Cursor::new(b"")),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

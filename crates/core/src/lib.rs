@@ -1,0 +1,362 @@
+//! # semistructured — a reproduction of Buneman, *Semistructured Data* (PODS '97)
+//!
+//! One-stop facade over the reproduction stack:
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | edge-labeled graph model | [`graph`] (`ssd-graph`) | §2 |
+//! | relational substrate + graph datalog | [`triples`] (`ssd-triples`) | §3 |
+//! | query language, structural recursion, optimizer | [`query`] (`ssd-query`) | §3, §4 |
+//! | schemas, simulation, DataGuides | [`schema`] (`ssd-schema`) | §5 |
+//! | workload generators | [`data`] (`ssd-data`) | §1 |
+//!
+//! The [`Database`] type bundles a data graph with lazily built auxiliary
+//! structures (edge index, DataGuide, triple store) and exposes the whole
+//! feature set behind a compact API:
+//!
+//! ```
+//! use semistructured::Database;
+//!
+//! let db = Database::from_literal(
+//!     r#"{Entry: {Movie: {Title: "Casablanca", Director: "Curtiz"}}}"#,
+//! ).unwrap();
+//! let titles = db.query("select T from db.Entry.Movie.Title T").unwrap();
+//! assert_eq!(titles.graph().values_at(titles.graph().root()).len(), 1);
+//! ```
+
+pub use ssd_data as data;
+pub use ssd_graph as graph;
+pub use ssd_query as query;
+pub use ssd_schema as schema;
+pub use ssd_triples as triples;
+
+pub use ssd_graph::{Graph, Label, LabelKind, NodeId, SymbolId, Value};
+pub use ssd_query::{EvalOptions, Rpe, SelectQuery};
+pub use ssd_schema::{DataGuide, Pred, Schema};
+pub use ssd_triples::TripleStore;
+
+use ssd_graph::index::GraphIndex;
+use std::sync::OnceLock;
+
+/// A semistructured database: a rooted data graph plus lazily constructed
+/// auxiliary structures.
+pub struct Database {
+    graph: Graph,
+    index: OnceLock<GraphIndex>,
+    guide: OnceLock<DataGuide>,
+}
+
+/// The result of a query: a fresh rooted graph.
+pub struct QueryResult {
+    graph: Graph,
+    stats: ssd_query::EvalStats,
+}
+
+impl QueryResult {
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    pub fn stats(&self) -> &ssd_query::EvalStats {
+        &self.stats
+    }
+
+    /// Serialize the result in the literal data syntax.
+    pub fn to_literal(&self) -> String {
+        ssd_graph::literal::write_graph(&self.graph)
+    }
+
+    /// Extensional equality with another result.
+    pub fn bisimilar_to(&self, other: &QueryResult) -> bool {
+        ssd_graph::bisim::graphs_bisimilar(&self.graph, &other.graph)
+    }
+}
+
+impl Database {
+    /// Wrap an existing graph.
+    pub fn new(graph: Graph) -> Database {
+        Database {
+            graph,
+            index: OnceLock::new(),
+            guide: OnceLock::new(),
+        }
+    }
+
+    /// Parse the literal data syntax (`{Movie: {Title: "C"}}`, with
+    /// `@x = ...` sharing/cycle markers).
+    pub fn from_literal(src: &str) -> Result<Database, String> {
+        ssd_graph::literal::parse_graph(src)
+            .map(Database::new)
+            .map_err(|e| e.to_string())
+    }
+
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The edge-level index (built on first use).
+    pub fn index(&self) -> &GraphIndex {
+        self.index.get_or_init(|| GraphIndex::build(&self.graph))
+    }
+
+    /// The strong DataGuide (built on first use).
+    pub fn dataguide(&self) -> &DataGuide {
+        self.guide.get_or_init(|| DataGuide::build(&self.graph))
+    }
+
+    /// A freshly shredded triple store view.
+    pub fn triples(&self) -> TripleStore {
+        TripleStore::from_graph(&self.graph)
+    }
+
+    /// Parse and evaluate a select-from-where query with default options.
+    pub fn query(&self, text: &str) -> Result<QueryResult, String> {
+        let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
+        let (graph, stats) =
+            ssd_query::evaluate_select(&self.graph, &q, &EvalOptions::default())?;
+        Ok(QueryResult { graph, stats })
+    }
+
+    /// Parse and evaluate with the optimizer on (pushdown, RPE
+    /// simplification, DataGuide pruning).
+    pub fn query_optimized(&self, text: &str) -> Result<QueryResult, String> {
+        let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
+        let (graph, stats) = ssd_query::evaluate_select(
+            &self.graph,
+            &q,
+            &EvalOptions::optimized(Some(self.dataguide())),
+        )?;
+        Ok(QueryResult { graph, stats })
+    }
+
+    /// Evaluate a regular path expression from the root.
+    pub fn eval_path(&self, rpe: &Rpe) -> Vec<NodeId> {
+        ssd_query::eval_rpe(&self.graph, self.graph.root(), rpe)
+    }
+
+    /// §1.3 browse: where is this string? (index-backed)
+    pub fn find_string(&self, text: &str) -> Vec<ssd_query::browse::Hit> {
+        ssd_query::browse::find_string_indexed(&self.graph, self.index(), text)
+    }
+
+    /// §1.3 browse: integers greater than a threshold (index-backed).
+    pub fn ints_greater(&self, threshold: i64) -> Vec<(i64, ssd_query::browse::Hit)> {
+        ssd_query::browse::ints_greater_indexed(&self.graph, self.index(), threshold)
+    }
+
+    /// §1.3 browse: attribute names starting with a prefix (index-backed).
+    pub fn attrs_with_prefix(&self, prefix: &str) -> Vec<ssd_query::browse::Hit> {
+        ssd_query::browse::attrs_with_prefix_indexed(&self.graph, self.index(), prefix)
+    }
+
+    /// Run a graph-datalog program over the edge relation.
+    pub fn datalog(&self, program: &str) -> Result<ssd_triples::datalog::Evaluation, String> {
+        let p = ssd_triples::datalog::parse_program(program, self.graph.symbols())?;
+        ssd_triples::datalog::evaluate(&p, &self.triples()).map_err(|e| e.to_string())
+    }
+
+    /// Run a `rewrite` program (the surface syntax for structural
+    /// recursion) over the whole database, returning the transformed
+    /// database:
+    ///
+    /// ```
+    /// # use semistructured::Database;
+    /// let db = Database::from_literal(r#"{Cast: {Credit: {Actors: "Allen"}}}"#).unwrap();
+    /// let flat = db.rewrite("rewrite case Credit => collapse").unwrap();
+    /// assert_eq!(flat.to_literal(), r#"{Cast: {Actors: "Allen"}}"#);
+    /// ```
+    pub fn rewrite(&self, program: &str) -> Result<Database, String> {
+        let t = ssd_query::lang::parse_rewrite(program).map_err(|e| e.to_string())?;
+        Ok(Database::new(ssd_query::recursion::gext(
+            &self.graph,
+            self.graph.root(),
+            &t,
+        )))
+    }
+
+    /// Deep restructuring: relabel edges matching a predicate (returns a
+    /// new database; the original is untouched).
+    pub fn relabel(&self, pred: Pred, new_name: &str) -> Database {
+        Database::new(ssd_query::restructure::relabel_edges(
+            &self.graph,
+            pred,
+            new_name,
+        ))
+    }
+
+    /// Deep restructuring: delete matching edges.
+    pub fn delete_edges(&self, pred: Pred) -> Database {
+        Database::new(ssd_query::restructure::delete_edges(&self.graph, pred))
+    }
+
+    /// Deep restructuring: collapse matching edges.
+    pub fn collapse_edges(&self, pred: Pred) -> Database {
+        Database::new(ssd_query::restructure::collapse_edges(&self.graph, pred))
+    }
+
+    /// Does this database conform to the schema (simulation, §5)?
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        ssd_schema::conforms(&self.graph, schema)
+    }
+
+    /// Extract a schema describing this database (§5).
+    pub fn extract_schema(&self) -> Schema {
+        ssd_schema::extract_schema_default(&self.graph)
+    }
+
+    /// Serialize in the literal data syntax.
+    pub fn to_literal(&self) -> String {
+        ssd_graph::literal::write_graph(&self.graph)
+    }
+
+    /// Import a JSON document (§1.2 data exchange: objects → symbol
+    /// edges, arrays → integer-labeled edges, scalars → atoms).
+    pub fn from_json(src: &str) -> Result<Database, String> {
+        ssd_graph::json::from_json(src)
+            .map(Database::new)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Export as JSON. Fails on cyclic databases (JSON has no references;
+    /// use [`Database::to_literal`] for those).
+    pub fn to_json(&self) -> Result<String, String> {
+        ssd_graph::json::graph_to_json(&self.graph).map_err(|e| e.to_string())
+    }
+
+    /// Import an XML document (elements → symbol edges, attributes →
+    /// `@name` edges, text → string atoms).
+    pub fn from_xml(src: &str) -> Result<Database, String> {
+        ssd_graph::xml::from_xml(src)
+            .map(Database::new)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Export as XML. Fails on cyclic databases and on labels XML cannot
+    /// name.
+    pub fn to_xml(&self) -> Result<String, String> {
+        ssd_graph::xml::to_xml(&self.graph).map_err(|e| e.to_string())
+    }
+
+    /// Graphviz DOT rendering.
+    pub fn to_dot(&self) -> String {
+        ssd_graph::dot::to_dot_default(&self.graph)
+    }
+
+    /// Union with another database: a new database whose root edge set is
+    /// the union of both roots' (the edge-labeled model's "party trick",
+    /// §2 — trivial here, awkward in node-labeled models).
+    pub fn union(&self, other: &Database) -> Database {
+        Database::new(ssd_graph::ops::graph_union(&self.graph, &other.graph))
+    }
+
+    /// Basic statistics.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            nodes: self.graph.reachable().len(),
+            edges: self.graph.edge_count(),
+            symbols: self.graph.symbols().len(),
+            cyclic: self.graph.has_cycle(),
+        }
+    }
+}
+
+/// Summary statistics of a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub symbols: usize,
+    pub cyclic: bool,
+}
+
+impl std::fmt::Display for DbStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, {} symbols{}",
+            self.nodes,
+            self.edges,
+            self.symbols,
+            if self.cyclic { ", cyclic" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::new(ssd_data::movies::figure1())
+    }
+
+    #[test]
+    fn facade_query() {
+        let db = db();
+        let r = db.query("select T from db.Entry.%.Title T").unwrap();
+        assert_eq!(r.graph().out_degree(r.graph().root()), 3);
+    }
+
+    #[test]
+    fn optimized_query_agrees() {
+        let db = db();
+        let a = db.query("select T from db.Entry.Movie.Title T").unwrap();
+        let b = db
+            .query_optimized("select T from db.Entry.Movie.Title T")
+            .unwrap();
+        assert!(a.bisimilar_to(&b));
+    }
+
+    #[test]
+    fn browse_queries() {
+        let db = db();
+        assert_eq!(db.find_string("Casablanca").len(), 1);
+        // figure1's only ints are the guest indices 1 and 2.
+        assert_eq!(db.ints_greater(0).len(), 2);
+        assert_eq!(db.ints_greater(2).len(), 0);
+        assert!(!db.attrs_with_prefix("Act").is_empty());
+    }
+
+    #[test]
+    fn datalog_reachability() {
+        let db = db();
+        let eval = db
+            .datalog(
+                "reach(X) :- root(X).\n\
+                 reach(Y) :- reach(X), edge(X, _L, Y).",
+            )
+            .unwrap();
+        assert_eq!(eval.count("reach"), db.stats().nodes);
+    }
+
+    #[test]
+    fn restructure_and_schema() {
+        let db = db();
+        let fixed = db.relabel(Pred::Symbol("TV_Show".into()), "Show");
+        assert!(fixed.to_literal().contains("Show"));
+        let schema = db.extract_schema();
+        assert!(db.conforms_to(&schema));
+    }
+
+    #[test]
+    fn stats_and_dot() {
+        let db = db();
+        let s = db.stats();
+        assert!(s.cyclic);
+        assert!(s.to_string().contains("cyclic"));
+        assert!(db.to_dot().starts_with("digraph"));
+    }
+
+    #[test]
+    fn literal_round_trip() {
+        let db = db();
+        let text = db.to_literal();
+        let db2 = Database::from_literal(&text).unwrap();
+        assert!(ssd_graph::bisim::graphs_bisimilar(db.graph(), db2.graph()));
+    }
+
+    #[test]
+    fn from_literal_error() {
+        assert!(Database::from_literal("{oops").is_err());
+    }
+}

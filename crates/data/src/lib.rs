@@ -1,0 +1,25 @@
+//! # ssd-data — deterministic workload generators
+//!
+//! The paper's motivating data sources — the 1997 Web, the IMDB-derived
+//! movie database of Figure 1, and ACeDB's *C. elegans* database (§1.1) —
+//! are remote or proprietary. Per the reproduction's substitution rule we
+//! generate synthetic equivalents that preserve the *structural*
+//! properties every algorithm in the paper depends on:
+//!
+//! * [`movies`] — the exact Figure 1 instance (heterogeneous cast
+//!   representations, the `References`/`Is_referenced_in` cycle, value and
+//!   symbol edges side by side) plus a scalable IMDB-like generator.
+//! * [`webgraph`] — page/link graphs with skewed out-degree and cycles.
+//! * [`acedb`] — trees of arbitrary depth with loose, ragged structure.
+//! * [`relational`] — flat relations for the relational-fragment and
+//!   encoding experiments.
+//!
+//! All generators take an explicit seed and are deterministic.
+
+pub mod acedb;
+pub mod movies;
+pub mod relational;
+pub mod webgraph;
+
+pub use movies::{figure1, movie_database, MovieDbConfig};
+pub use webgraph::{web_graph, WebGraphConfig};

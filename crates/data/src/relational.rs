@@ -1,0 +1,85 @@
+//! Flat relational data for the encoding and relational-fragment
+//! experiments (E5, E8).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssd_graph::encode::relational::NamedRelation;
+use ssd_graph::Value;
+
+/// A tiny TPC-flavoured pair of relations: `orders(id, customer, total)`
+/// and `customers(name, city)`, with joinable `customer`/`name` columns.
+pub fn orders_and_customers(orders: usize, customers: usize, seed: u64) -> (NamedRelation, NamedRelation) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cust = NamedRelation::new("customers", &["name", "city"]);
+    for i in 0..customers {
+        cust.push(vec![
+            Value::Str(format!("cust-{i}")),
+            Value::Str(format!("city-{}", i % 10)),
+        ]);
+    }
+    let mut ord = NamedRelation::new("orders", &["id", "customer", "total"]);
+    for i in 0..orders {
+        ord.push(vec![
+            Value::Int(i as i64),
+            Value::Str(format!("cust-{}", rng.gen_range(0..customers.max(1)))),
+            Value::Int(rng.gen_range(1..100_000)),
+        ]);
+    }
+    (ord, cust)
+}
+
+/// A single wide relation with `rows` rows and `cols` integer columns;
+/// column `c0` is a key, values elsewhere are drawn from a small domain so
+/// selections have tunable selectivity.
+pub fn wide_relation(rows: usize, cols: usize, domain: i64, seed: u64) -> NamedRelation {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+    let mut rel = NamedRelation::new(
+        "wide",
+        &names.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for r in 0..rows {
+        let mut row = Vec::with_capacity(cols);
+        row.push(Value::Int(r as i64));
+        for _ in 1..cols {
+            row.push(Value::Int(rng.gen_range(0..domain)));
+        }
+        rel.push(row);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_keys_align() {
+        let (ord, cust) = orders_and_customers(100, 10, 1);
+        assert_eq!(ord.rows.len(), 100);
+        assert_eq!(cust.rows.len(), 10);
+        // Every order's customer exists.
+        let names: std::collections::BTreeSet<&Value> =
+            cust.rows.iter().map(|r| &r[0]).collect();
+        for r in &ord.rows {
+            assert!(names.contains(&r[1]));
+        }
+    }
+
+    #[test]
+    fn wide_relation_shape() {
+        let rel = wide_relation(50, 4, 10, 2);
+        assert_eq!(rel.rows.len(), 50);
+        assert_eq!(rel.columns.len(), 4);
+        // Key column distinct.
+        let keys: std::collections::BTreeSet<&Value> = rel.rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(keys.len(), 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = wide_relation(20, 3, 5, 9);
+        let b = wide_relation(20, 3, 5, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Web-like graphs (§1.1: "the most immediate example of data that cannot
+//! be constrained by a schema is the World-Wide-Web").
+//!
+//! Pages with `title`/`text` attributes and `link` edges; out-degrees are
+//! skewed (a few hubs, many leaves) and back-links create cycles, matching
+//! the structural properties web queries (\[29, 7\], WebSQL) rely on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssd_graph::{Graph, NodeId};
+
+/// Web graph generator configuration.
+#[derive(Debug, Clone)]
+pub struct WebGraphConfig {
+    pub pages: usize,
+    /// Mean out-degree.
+    pub mean_links: usize,
+    /// Preferential-attachment strength in \[0, 1\]: 0 = uniform targets,
+    /// 1 = heavily skewed toward early pages (hubs).
+    pub skew: f64,
+    pub seed: u64,
+}
+
+impl Default for WebGraphConfig {
+    fn default() -> Self {
+        WebGraphConfig {
+            pages: 200,
+            mean_links: 4,
+            skew: 0.7,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a site-like web graph: `root --page--> p_i`, pages carry
+/// `title` and `words` attributes and `link` edges to other pages.
+pub fn web_graph(cfg: &WebGraphConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut g = Graph::new();
+    let root = g.root();
+    let mut pages: Vec<NodeId> = Vec::with_capacity(cfg.pages);
+    for i in 0..cfg.pages {
+        let p = g.add_node();
+        g.add_sym_edge(root, "page", p);
+        g.add_attr(p, "title", format!("Page {i}"));
+        g.add_attr(p, "words", rng.gen_range(50..5000) as i64);
+        pages.push(p);
+    }
+    for (i, &p) in pages.iter().enumerate() {
+        let links = rng.gen_range(0..=cfg.mean_links * 2);
+        for _ in 0..links {
+            // Preferential attachment: with prob `skew`, pick from the
+            // first sqrt(n) pages (hubs); otherwise uniform.
+            let target_idx = if rng.gen_bool(cfg.skew) {
+                let hubs = (cfg.pages as f64).sqrt().ceil() as usize;
+                rng.gen_range(0..hubs.max(1))
+            } else {
+                rng.gen_range(0..cfg.pages)
+            };
+            if target_idx != i {
+                g.add_sym_edge(p, "link", pages[target_idx]);
+            }
+        }
+    }
+    g
+}
+
+/// Partition-friendly fan-of-clusters graph used by the E11 parallel
+/// decomposition benchmark: the root bridges into `clusters` dense
+/// clusters, so (a) block partitioning yields few cross edges and (b) a
+/// decomposed evaluation activates every cluster in its first wave —
+/// maximal site-level parallelism. Each cluster ends in one `stop` edge.
+pub fn clustered_graph(clusters: usize, cluster_size: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let root = g.root();
+    for _ in 0..clusters {
+        let members: Vec<NodeId> = (0..cluster_size).map(|_| g.add_node()).collect();
+        g.add_sym_edge(root, "enter", members[0]);
+        for (i, &m) in members.iter().enumerate() {
+            // Dense intra-cluster edges.
+            for _ in 0..3 {
+                let t = members[rng.gen_range(0..cluster_size)];
+                if t != m {
+                    g.add_sym_edge(m, "intra", t);
+                }
+            }
+            if i + 1 < cluster_size {
+                g.add_sym_edge(m, "intra", members[i + 1]);
+            }
+        }
+        let leaf = g.add_node();
+        g.add_sym_edge(members[cluster_size - 1], "stop", leaf);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = WebGraphConfig::default();
+        let a = web_graph(&cfg);
+        let b = web_graph(&cfg);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn page_count_and_reachability() {
+        let g = web_graph(&WebGraphConfig::default());
+        assert_eq!(g.successors_by_name(g.root(), "page").len(), 200);
+        assert!(g.is_fully_reachable());
+    }
+
+    #[test]
+    fn skew_creates_hubs() {
+        let g = web_graph(&WebGraphConfig {
+            pages: 300,
+            skew: 0.9,
+            ..WebGraphConfig::default()
+        });
+        // In-degree of the first page should dwarf the median.
+        let mut indeg = vec![0usize; g.node_count()];
+        for (_, label, to) in g.all_edges() {
+            if label.as_symbol() == g.symbols().get("link") {
+                indeg[to.index()] += 1;
+            }
+        }
+        let max = indeg.iter().max().copied().unwrap_or(0);
+        let nonzero: Vec<usize> = indeg.iter().copied().filter(|&d| d > 0).collect();
+        let median = nonzero.get(nonzero.len() / 2).copied().unwrap_or(0);
+        assert!(max >= median * 3, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn web_graphs_have_cycles() {
+        let g = web_graph(&WebGraphConfig::default());
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn clustered_graph_structure() {
+        let g = clustered_graph(5, 20, 3);
+        assert!(g.node_count() >= 100);
+        use ssd_graph::Label;
+        let stop = {
+            let sym = g.symbols().get("stop").unwrap();
+            g.all_edges()
+                .filter(|(_, l, _)| **l == Label::Symbol(sym))
+                .count()
+        };
+        assert_eq!(stop, 5, "one stop edge per cluster");
+        assert!(g.is_fully_reachable());
+    }
+}

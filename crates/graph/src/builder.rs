@@ -1,0 +1,334 @@
+//! Ergonomic construction of data trees.
+//!
+//! [`TreeSpec`] is an owned, recursive description of a tree fragment —
+//! essentially the `type tree = set(label × tree)` of §2 as a Rust value —
+//! that can be instantiated into a [`Graph`]. Sharing and cycles are
+//! expressed with named markers ([`TreeSpec::Ref`] / [`TreeBuilder::define`]),
+//! mirroring how OEM uses object identities as "place-holders to define
+//! trees".
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A recursive tree description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeSpec {
+    /// A node with the given labeled children.
+    Node(Vec<(LabelSpec, TreeSpec)>),
+    /// An atomic value: desugars to a node with a single value edge to a
+    /// leaf, i.e. `{v: {}}`.
+    Atom(Value),
+    /// A reference to a node named by [`TreeBuilder::define`] or by a
+    /// `Def`. Enables shared substructure and cycles.
+    Ref(String),
+    /// Define name = tree, then behave as that tree. Forward references to
+    /// `name` (including from inside `tree` itself) resolve to this node.
+    Def(String, Box<TreeSpec>),
+}
+
+/// A label description (strings intern lazily at build time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelSpec {
+    Symbol(String),
+    Value(Value),
+}
+
+impl From<&str> for LabelSpec {
+    fn from(s: &str) -> Self {
+        LabelSpec::Symbol(s.to_owned())
+    }
+}
+
+impl From<String> for LabelSpec {
+    fn from(s: String) -> Self {
+        LabelSpec::Symbol(s)
+    }
+}
+
+impl From<Value> for LabelSpec {
+    fn from(v: Value) -> Self {
+        LabelSpec::Value(v)
+    }
+}
+
+impl From<i64> for LabelSpec {
+    fn from(v: i64) -> Self {
+        LabelSpec::Value(Value::Int(v))
+    }
+}
+
+impl TreeSpec {
+    /// The empty tree `{}`.
+    pub fn empty() -> TreeSpec {
+        TreeSpec::Node(Vec::new())
+    }
+
+    /// A single-edge tree `{label: sub}` — UnQL's singleton constructor.
+    pub fn singleton(label: impl Into<LabelSpec>, sub: TreeSpec) -> TreeSpec {
+        TreeSpec::Node(vec![(label.into(), sub)])
+    }
+
+    /// An atomic value tree.
+    pub fn atom(v: impl Into<Value>) -> TreeSpec {
+        TreeSpec::Atom(v.into())
+    }
+
+    /// An attribute edge to an atomic value: `{name: {v}}`.
+    pub fn attr(name: &str, v: impl Into<Value>) -> (LabelSpec, TreeSpec) {
+        (LabelSpec::from(name), TreeSpec::Atom(v.into()))
+    }
+
+    /// Union of the edge sets of two tree specs (only defined on `Node`s;
+    /// other variants are first wrapped as singleton unions at build time by
+    /// the caller).
+    pub fn union(self, other: TreeSpec) -> TreeSpec {
+        match (self, other) {
+            (TreeSpec::Node(mut a), TreeSpec::Node(b)) => {
+                a.extend(b);
+                TreeSpec::Node(a)
+            }
+            (a, b) => TreeSpec::Node(vec![
+                (LabelSpec::Symbol("_left".into()), a),
+                (LabelSpec::Symbol("_right".into()), b),
+            ]),
+        }
+    }
+}
+
+/// Incremental builder that instantiates [`TreeSpec`]s into a graph.
+pub struct TreeBuilder<'g> {
+    graph: &'g mut Graph,
+    named: HashMap<String, NodeId>,
+}
+
+impl<'g> TreeBuilder<'g> {
+    pub fn new(graph: &'g mut Graph) -> Self {
+        TreeBuilder {
+            graph,
+            named: HashMap::new(),
+        }
+    }
+
+    /// Pre-bind `name` to an existing node so `TreeSpec::Ref(name)` resolves
+    /// to it.
+    pub fn define(&mut self, name: &str, node: NodeId) {
+        self.named.insert(name.to_owned(), node);
+    }
+
+    /// Look up a previously defined name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.named.get(name).copied()
+    }
+
+    /// Instantiate `spec` as a fresh subtree, returning its root node.
+    pub fn build(&mut self, spec: &TreeSpec) -> NodeId {
+        match spec {
+            TreeSpec::Node(entries) => {
+                let n = self.graph.add_node();
+                for (lspec, sub) in entries {
+                    let child = self.build(sub);
+                    let label = self.label(lspec);
+                    self.graph.add_edge(n, label, child);
+                }
+                n
+            }
+            TreeSpec::Atom(v) => {
+                let n = self.graph.add_node();
+                self.graph.add_value_edge(n, v.clone());
+                n
+            }
+            TreeSpec::Ref(name) => *self
+                .named
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined tree reference @{name}")),
+            TreeSpec::Def(name, sub) => {
+                // Allocate the node first so the definition can refer to
+                // itself (cycles).
+                let n = self.graph.add_node();
+                let prev = self.named.insert(name.clone(), n);
+                let body = self.build(sub);
+                // Graft the body's edges onto the pre-allocated node.
+                let edges = self.graph.edges(body).to_vec();
+                self.graph.set_edges(n, edges);
+                if let Some(p) = prev {
+                    self.named.insert(name.clone(), p);
+                }
+                n
+            }
+        }
+    }
+
+    /// Instantiate `spec` and attach it under the graph root with `label`.
+    pub fn attach_to_root(&mut self, label: impl Into<LabelSpec>, spec: &TreeSpec) -> NodeId {
+        let node = self.build(spec);
+        let label = self.label(&label.into());
+        let root = self.graph.root();
+        self.graph.add_edge(root, label, node);
+        node
+    }
+
+    fn label(&mut self, spec: &LabelSpec) -> Label {
+        match spec {
+            LabelSpec::Symbol(s) => Label::symbol(self.graph.symbols(), s),
+            LabelSpec::Value(v) => Label::Value(v.clone()),
+        }
+    }
+}
+
+/// Check that every [`TreeSpec::Ref`] in `spec` is preceded (in build
+/// order) by a definition of its name, mirroring [`TreeBuilder::build`]'s
+/// scoping exactly. Returns the offending name on failure.
+pub fn check_refs(spec: &TreeSpec) -> Result<(), String> {
+    fn walk(spec: &TreeSpec, defined: &mut std::collections::HashSet<String>) -> Result<(), String> {
+        match spec {
+            TreeSpec::Node(entries) => {
+                for (_, sub) in entries {
+                    walk(sub, defined)?;
+                }
+                Ok(())
+            }
+            TreeSpec::Atom(_) => Ok(()),
+            TreeSpec::Ref(name) => {
+                if defined.contains(name) {
+                    Ok(())
+                } else {
+                    Err(format!("undefined tree reference @{name}"))
+                }
+            }
+            TreeSpec::Def(name, sub) => {
+                defined.insert(name.clone());
+                walk(sub, defined)
+            }
+        }
+    }
+    walk(spec, &mut std::collections::HashSet::new())
+}
+
+/// Build a graph whose root is the instantiation of `spec`.
+pub fn graph_from_spec(spec: &TreeSpec) -> Graph {
+    let mut g = Graph::new();
+    let root = {
+        let mut b = TreeBuilder::new(&mut g);
+        b.build(spec)
+    };
+    g.set_root(root);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_flat_node() {
+        let spec = TreeSpec::Node(vec![
+            TreeSpec::attr("Title", "Casablanca"),
+            TreeSpec::attr("Year", 1942i64),
+        ]);
+        let g = graph_from_spec(&spec);
+        assert_eq!(g.out_degree(g.root()), 2);
+        let title = g.successors_by_name(g.root(), "Title")[0];
+        assert_eq!(g.atomic_value(title), Some(&Value::Str("Casablanca".into())));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = graph_from_spec(&TreeSpec::empty());
+        assert!(g.is_leaf(g.root()));
+        let g2 = graph_from_spec(&TreeSpec::singleton("a", TreeSpec::empty()));
+        assert_eq!(g2.out_degree(g2.root()), 1);
+    }
+
+    #[test]
+    fn def_and_ref_create_shared_node() {
+        // {x: @n = {v: {}}, y: @n}
+        let spec = TreeSpec::Node(vec![
+            (
+                "x".into(),
+                TreeSpec::Def(
+                    "n".into(),
+                    Box::new(TreeSpec::singleton("v", TreeSpec::empty())),
+                ),
+            ),
+            ("y".into(), TreeSpec::Ref("n".into())),
+        ]);
+        let g = graph_from_spec(&spec);
+        let x = g.successors_by_name(g.root(), "x")[0];
+        let y = g.successors_by_name(g.root(), "y")[0];
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn self_referential_def_creates_cycle() {
+        // @c = {next: @c}
+        let spec = TreeSpec::Def(
+            "c".into(),
+            Box::new(TreeSpec::singleton("next", TreeSpec::Ref("c".into()))),
+        );
+        let g = graph_from_spec(&spec);
+        assert!(g.has_cycle());
+        let next = g.successors_by_name(g.root(), "next")[0];
+        assert_eq!(next, g.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined tree reference")]
+    fn dangling_ref_panics() {
+        graph_from_spec(&TreeSpec::Ref("nope".into()));
+    }
+
+    #[test]
+    fn union_merges_edge_sets() {
+        let a = TreeSpec::singleton("a", TreeSpec::empty());
+        let b = TreeSpec::singleton("b", TreeSpec::empty());
+        let g = graph_from_spec(&a.union(b));
+        assert_eq!(g.out_degree(g.root()), 2);
+    }
+
+    #[test]
+    fn integer_labels_model_arrays() {
+        // §2: "arrays may be represented by labeling internal edges with integers"
+        let spec = TreeSpec::Node(vec![
+            (1i64.into(), TreeSpec::atom("first")),
+            (2i64.into(), TreeSpec::atom("second")),
+        ]);
+        let g = graph_from_spec(&spec);
+        assert_eq!(g.out_degree(g.root()), 2);
+        let e = &g.edges(g.root())[0];
+        assert!(e.label.is_value());
+    }
+
+    #[test]
+    fn attach_to_root() {
+        let mut g = Graph::new();
+        let mut b = TreeBuilder::new(&mut g);
+        b.attach_to_root("Entry", &TreeSpec::singleton("Movie", TreeSpec::empty()));
+        b.attach_to_root("Entry", &TreeSpec::singleton("TVShow", TreeSpec::empty()));
+        assert_eq!(g.out_degree(g.root()), 2);
+    }
+
+    #[test]
+    fn def_shadowing_restores_previous_binding() {
+        // outer @n, inner @n, then a Ref after the inner def resolves to outer.
+        let spec = TreeSpec::Node(vec![
+            (
+                "a".into(),
+                TreeSpec::Def("n".into(), Box::new(TreeSpec::empty())),
+            ),
+            (
+                "b".into(),
+                TreeSpec::Node(vec![(
+                    "inner".into(),
+                    TreeSpec::Def("n".into(), Box::new(TreeSpec::singleton("i", TreeSpec::empty()))),
+                )]),
+            ),
+            ("c".into(), TreeSpec::Ref("n".into())),
+        ]);
+        let g = graph_from_spec(&spec);
+        let a = g.successors_by_name(g.root(), "a")[0];
+        let c = g.successors_by_name(g.root(), "c")[0];
+        assert_eq!(a, c);
+    }
+}

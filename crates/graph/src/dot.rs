@@ -1,0 +1,134 @@
+//! Graphviz (DOT) export, for visualising instances like Figure 1.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the `digraph <name> { ... }` header.
+    pub name: String,
+    /// Only render nodes reachable from the root.
+    pub reachable_only: bool,
+    /// Mark the root with a doubled circle.
+    pub highlight_root: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "ssd".to_owned(),
+            reachable_only: true,
+            highlight_root: true,
+        }
+    }
+}
+
+/// Render `g` as a DOT digraph. Nodes are anonymous circles (the model puts
+/// all information on edges); edge labels show symbols bare and values in
+/// their literal form.
+pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&opts.name));
+    let _ = writeln!(out, "  node [shape=circle, label=\"\", width=0.15];");
+    let nodes: Vec<NodeId> = if opts.reachable_only {
+        g.reachable()
+    } else {
+        g.node_ids().collect()
+    };
+    for &n in &nodes {
+        if opts.highlight_root && n == g.root() {
+            let _ = writeln!(out, "  n{} [shape=doublecircle];", n.index());
+        } else {
+            let _ = writeln!(out, "  n{};", n.index());
+        }
+    }
+    for &n in &nodes {
+        for e in g.edges(n) {
+            let label = e.label.display(g.symbols()).to_string();
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                n.index(),
+                e.to.index(),
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render with default options.
+pub fn to_dot_default(g: &Graph) -> String {
+    to_dot(g, &DotOptions::default())
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::parse_graph;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = parse_graph(r#"{Movie: {Title: "Casablanca"}}"#).unwrap();
+        let dot = to_dot_default(&g);
+        assert!(dot.starts_with("digraph ssd {"));
+        assert!(dot.contains("label=\"Movie\""));
+        assert!(dot.contains("label=\"\\\"Casablanca\\\"\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn reachable_only_hides_orphans() {
+        let mut g = parse_graph("{a: 1}").unwrap();
+        let orphan = g.add_node();
+        let dot = to_dot_default(&g);
+        assert!(!dot.contains(&format!("n{};", orphan.index())));
+        let all = to_dot(
+            &g,
+            &DotOptions {
+                reachable_only: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(all.contains(&format!("n{};", orphan.index())));
+    }
+
+    #[test]
+    fn sanitize_graph_name() {
+        let g = parse_graph("{}").unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                name: "my graph!".into(),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.starts_with("digraph my_graph_ {"));
+    }
+
+    #[test]
+    fn cycles_render() {
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        let dot = to_dot_default(&g);
+        assert!(dot.contains("-> n"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Encodings of structured databases into the semistructured model.
+//!
+//! §2: "It is straightforward to encode relational and object-oriented
+//! databases in this model, although in the latter case one must take care
+//! to deal with the issue of object-identity. However, the coding is not
+//! unique, and the examples in \[10\] and \[5\] show some differences in how
+//! tuples of sets are treated."
+//!
+//! * [`relational`] — flat relations, in both the \[10\] (UnQL) coding and
+//!   the \[5\] (Lorel) coding, with decoders.
+//! * [`object`] — a small object-oriented database (classes, objects,
+//!   reference attributes) encoded with node identities carrying the OIDs.
+
+pub mod object;
+pub mod relational;
+
+pub use object::{AttrValue, ObjDb, ObjError, ObjId};
+pub use relational::{decode_relation, encode_style10, encode_style5, NamedRelation};

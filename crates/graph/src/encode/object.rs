@@ -1,0 +1,290 @@
+//! Encoding a small object-oriented database into the semistructured model.
+//!
+//! §2: encoding OO databases is straightforward "although ... one must take
+//! care to deal with the issue of object-identity". An [`ObjDb`] holds
+//! classes with typed attributes, where reference attributes may form
+//! cycles. The encoding maps each object to one graph node (so identity is
+//! preserved as node identity and reference sharing survives), with the
+//! class reachable as a `class` attribute edge.
+
+use crate::graph::{Graph, NodeId};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An attribute value of an object: a base value or a reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Base(Value),
+    Ref(ObjId),
+    /// A set of references (one-to-many).
+    RefSet(Vec<ObjId>),
+}
+
+/// Object identifier within an [`ObjDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Object {
+    class: String,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+/// A toy object-oriented database: named classes, objects with attributes.
+#[derive(Debug, Clone, Default)]
+pub struct ObjDb {
+    objects: Vec<Object>,
+    /// Named entry points (extents).
+    extents: Vec<(String, Vec<ObjId>)>,
+}
+
+/// Errors in object database construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    UnknownObject(ObjId),
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::UnknownObject(o) => write!(f, "unknown object {o}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+impl ObjDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an object of `class` with the given attributes.
+    pub fn add_object(&mut self, class: &str, attrs: Vec<(&str, AttrValue)>) -> ObjId {
+        let id = ObjId(u32::try_from(self.objects.len()).expect("too many objects"));
+        self.objects.push(Object {
+            class: class.to_owned(),
+            attrs: attrs
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        });
+        id
+    }
+
+    /// Set (or add) an attribute on an existing object. Needed to create
+    /// cyclic references: create both objects first, then wire them.
+    pub fn set_attr(&mut self, obj: ObjId, name: &str, value: AttrValue) -> Result<(), ObjError> {
+        let o = self
+            .objects
+            .get_mut(obj.0 as usize)
+            .ok_or(ObjError::UnknownObject(obj))?;
+        if let Some(slot) = o.attrs.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            o.attrs.push((name.to_owned(), value));
+        }
+        Ok(())
+    }
+
+    /// Register a named extent (a class's collection of roots).
+    pub fn add_extent(&mut self, name: &str, members: Vec<ObjId>) {
+        self.extents.push((name.to_owned(), members));
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn check(&self, id: ObjId) -> Result<(), ObjError> {
+        if (id.0 as usize) < self.objects.len() {
+            Ok(())
+        } else {
+            Err(ObjError::UnknownObject(id))
+        }
+    }
+
+    /// Validate all references.
+    pub fn validate(&self) -> Result<(), ObjError> {
+        for o in &self.objects {
+            for (_, v) in &o.attrs {
+                match v {
+                    AttrValue::Ref(r) => self.check(*r)?,
+                    AttrValue::RefSet(rs) => {
+                        for r in rs {
+                            self.check(*r)?;
+                        }
+                    }
+                    AttrValue::Base(_) => {}
+                }
+            }
+        }
+        for (_, members) in &self.extents {
+            for m in members {
+                self.check(*m)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode into the edge-labeled model.
+    ///
+    /// Layout: `root --extent-name--> obj-node` for every extent member;
+    /// each object node has a `class` attribute edge plus one edge per
+    /// attribute. Reference attributes point *directly* at the target
+    /// object's node — identity becomes node identity and cycles are
+    /// preserved (the "care" §2 asks for).
+    pub fn to_graph(&self) -> Result<Graph, ObjError> {
+        self.validate()?;
+        let mut g = Graph::new();
+        let mut map: HashMap<ObjId, NodeId> = HashMap::new();
+        for i in 0..self.objects.len() {
+            let n = g.add_node();
+            map.insert(ObjId(i as u32), n);
+        }
+        for (i, o) in self.objects.iter().enumerate() {
+            let n = map[&ObjId(i as u32)];
+            g.add_attr(n, "class", o.class.clone());
+            for (name, v) in &o.attrs {
+                match v {
+                    AttrValue::Base(b) => {
+                        g.add_attr(n, name, b.clone());
+                    }
+                    AttrValue::Ref(r) => {
+                        g.add_sym_edge(n, name, map[r]);
+                    }
+                    AttrValue::RefSet(rs) => {
+                        let set = g.add_node();
+                        g.add_sym_edge(n, name, set);
+                        for (idx, r) in rs.iter().enumerate() {
+                            // Sets of references use integer edge labels so
+                            // duplicates in the set survive as array slots
+                            // (§2: "arrays may be represented by labeling
+                            // internal edges with integers").
+                            g.add_edge(
+                                set,
+                                crate::label::Label::int(idx as i64 + 1),
+                                map[r],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for (name, members) in &self.extents {
+            for m in members {
+                let root = g.root();
+                g.add_sym_edge(root, name, map[m]);
+            }
+        }
+        g.gc();
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small movie OO database with a cyclic actor<->movie reference.
+    fn sample() -> (ObjDb, ObjId, ObjId) {
+        let mut db = ObjDb::new();
+        let movie = db.add_object(
+            "Movie",
+            vec![
+                ("title", AttrValue::Base(Value::from("Casablanca"))),
+                ("year", AttrValue::Base(Value::from(1942i64))),
+            ],
+        );
+        let actor = db.add_object(
+            "Actor",
+            vec![("name", AttrValue::Base(Value::from("Bogart")))],
+        );
+        db.set_attr(movie, "cast", AttrValue::RefSet(vec![actor]))
+            .unwrap();
+        db.set_attr(actor, "appears_in", AttrValue::Ref(movie))
+            .unwrap();
+        db.add_extent("movies", vec![movie]);
+        db.add_extent("actors", vec![actor]);
+        (db, movie, actor)
+    }
+
+    #[test]
+    fn validates() {
+        let (db, _, _) = sample();
+        assert!(db.validate().is_ok());
+        assert_eq!(db.object_count(), 2);
+    }
+
+    #[test]
+    fn dangling_ref_detected() {
+        let mut db = ObjDb::new();
+        db.add_object("C", vec![("r", AttrValue::Ref(ObjId(42)))]);
+        assert_eq!(db.validate(), Err(ObjError::UnknownObject(ObjId(42))));
+    }
+
+    #[test]
+    fn set_attr_on_unknown_object_fails() {
+        let mut db = ObjDb::new();
+        assert!(db
+            .set_attr(ObjId(0), "x", AttrValue::Base(Value::from(1i64)))
+            .is_err());
+    }
+
+    #[test]
+    fn encoding_preserves_identity_and_cycles() {
+        let (db, _, _) = sample();
+        let g = db.to_graph().unwrap();
+        assert!(g.has_cycle());
+        // The actor node reachable via movies/cast is the same node as via
+        // the actors extent.
+        let movie = g.successors_by_name(g.root(), "movies")[0];
+        let cast = g.successors_by_name(movie, "cast")[0];
+        let actor_via_cast = g.edges(cast)[0].to;
+        let actor_direct = g.successors_by_name(g.root(), "actors")[0];
+        assert_eq!(actor_via_cast, actor_direct);
+    }
+
+    #[test]
+    fn class_attribute_reachable() {
+        let (db, _, _) = sample();
+        let g = db.to_graph().unwrap();
+        let movie = g.successors_by_name(g.root(), "movies")[0];
+        let class = g.successors_by_name(movie, "class")[0];
+        assert_eq!(g.atomic_value(class), Some(&Value::Str("Movie".into())));
+    }
+
+    #[test]
+    fn refset_uses_integer_labels() {
+        let mut db = ObjDb::new();
+        let a = db.add_object("A", vec![]);
+        let b = db.add_object("B", vec![]);
+        let holder = db.add_object("H", vec![("items", AttrValue::RefSet(vec![a, b]))]);
+        db.add_extent("hs", vec![holder]);
+        let g = db.to_graph().unwrap();
+        let h = g.successors_by_name(g.root(), "hs")[0];
+        let items = g.successors_by_name(h, "items")[0];
+        assert_eq!(g.out_degree(items), 2);
+        assert!(g.edges(items).iter().all(|e| e.label.is_value()));
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let mut db = ObjDb::new();
+        let o = db.add_object("C", vec![("x", AttrValue::Base(Value::from(1i64)))]);
+        db.set_attr(o, "x", AttrValue::Base(Value::from(2i64)))
+            .unwrap();
+        db.add_extent("os", vec![o]);
+        let g = db.to_graph().unwrap();
+        let on = g.successors_by_name(g.root(), "os")[0];
+        let x = g.successors_by_name(on, "x")[0];
+        assert_eq!(g.atomic_value(x), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Encoding relational databases as semistructured data.
+//!
+//! Two codings from the literature, per §2's remark that "the coding is not
+//! unique":
+//!
+//! * **Style \[10\] (UnQL)** — a relation `R(A, B)` with tuples `(a, b)`
+//!   becomes `{R: {tup: {A: {a}, B: {b}}, tup: ...}}`: one `tup` edge per
+//!   tuple, attribute edges inside.
+//! * **Style \[5\] (Lorel)** — `{R: {A: {a}, B: {b}}, R: ...}`: one `R` edge
+//!   per tuple, attributes directly inside. (The relation name is repeated
+//!   on every tuple edge.)
+//!
+//! Both decoders are provided; decoding recovers the bag of tuples and then
+//! dedupes to set semantics.
+
+use crate::graph::{Graph, NodeId};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A flat named relation with a header of column names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedRelation {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl NamedRelation {
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        NamedRelation {
+            name: name.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row; panics if the arity does not match the header.
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != header arity {} for relation {}",
+            row.len(),
+            self.columns.len(),
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Set-semantics view of the rows (sorted, deduped).
+    pub fn row_set(&self) -> BTreeSet<Vec<Value>> {
+        self.rows.iter().cloned().collect()
+    }
+}
+
+/// Encode relations under `g`'s root in the \[10\] style.
+///
+/// Returns the node under the relation-name edge for each relation.
+pub fn encode_style10(g: &mut Graph, relations: &[NamedRelation]) -> Vec<NodeId> {
+    let mut rel_nodes = Vec::with_capacity(relations.len());
+    for rel in relations {
+        let rel_node = g.add_node();
+        let root = g.root();
+        g.add_sym_edge(root, &rel.name, rel_node);
+        for row in &rel.rows {
+            let tup = g.add_node();
+            g.add_sym_edge(rel_node, "tup", tup);
+            for (col, val) in rel.columns.iter().zip(row) {
+                g.add_attr(tup, col, val.clone());
+            }
+        }
+        rel_nodes.push(rel_node);
+    }
+    rel_nodes
+}
+
+/// Encode relations under `g`'s root in the \[5\] style: one edge named after
+/// the relation per tuple.
+pub fn encode_style5(g: &mut Graph, relations: &[NamedRelation]) {
+    for rel in relations {
+        for row in &rel.rows {
+            let tup = g.add_node();
+            let root = g.root();
+            g.add_sym_edge(root, &rel.name, tup);
+            for (col, val) in rel.columns.iter().zip(row) {
+                g.add_attr(tup, col, val.clone());
+            }
+        }
+    }
+}
+
+/// Errors when decoding a graph region back into a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A tuple node is missing the given attribute.
+    MissingAttribute(String),
+    /// An attribute node does not carry exactly one atomic value.
+    NonAtomicAttribute(String),
+    /// The relation-name edge was not found at the root.
+    RelationNotFound(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::MissingAttribute(a) => write!(f, "tuple missing attribute {a}"),
+            DecodeError::NonAtomicAttribute(a) => {
+                write!(f, "attribute {a} is not a single atomic value")
+            }
+            DecodeError::RelationNotFound(r) => write!(f, "relation {r} not found at root"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode a relation from either encoding style.
+///
+/// * If the root has a single `name` edge whose target fans out through
+///   `tup` edges, the \[10\] style is assumed.
+/// * Otherwise every `name` edge at the root is taken as one tuple
+///   (\[5\] style).
+pub fn decode_relation(
+    g: &Graph,
+    name: &str,
+    columns: &[&str],
+) -> Result<NamedRelation, DecodeError> {
+    let rel_targets = g.successors_by_name(g.root(), name);
+    if rel_targets.is_empty() {
+        return Err(DecodeError::RelationNotFound(name.to_owned()));
+    }
+    // Style [10]: exactly one target whose out-edges are all `tup`.
+    let tuple_nodes: Vec<NodeId> = if rel_targets.len() == 1 {
+        let tups = g.successors_by_name(rel_targets[0], "tup");
+        if !tups.is_empty() || g.is_leaf(rel_targets[0]) {
+            tups
+        } else {
+            rel_targets
+        }
+    } else {
+        rel_targets
+    };
+    let mut rel = NamedRelation::new(name, columns);
+    for tup in tuple_nodes {
+        let mut row = Vec::with_capacity(columns.len());
+        for col in columns {
+            let attrs = g.successors_by_name(tup, col);
+            let attr = attrs
+                .first()
+                .ok_or_else(|| DecodeError::MissingAttribute((*col).to_owned()))?;
+            let v = g
+                .atomic_value(*attr)
+                .ok_or_else(|| DecodeError::NonAtomicAttribute((*col).to_owned()))?;
+            row.push(v.clone());
+        }
+        rel.push(row);
+    }
+    // Set semantics.
+    let set = rel.row_set();
+    rel.rows = set.into_iter().collect();
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movies() -> NamedRelation {
+        let mut r = NamedRelation::new("movie", &["title", "year"]);
+        r.push(vec![Value::from("Casablanca"), Value::from(1942i64)]);
+        r.push(vec![Value::from("Play it again, Sam"), Value::from(1972i64)]);
+        r
+    }
+
+    #[test]
+    fn style10_structure() {
+        let mut g = Graph::new();
+        let rel_nodes = encode_style10(&mut g, &[movies()]);
+        assert_eq!(rel_nodes.len(), 1);
+        let rel = g.successors_by_name(g.root(), "movie")[0];
+        assert_eq!(rel, rel_nodes[0]);
+        let tups = g.successors_by_name(rel, "tup");
+        assert_eq!(tups.len(), 2);
+        for t in tups {
+            assert_eq!(g.successors_by_name(t, "title").len(), 1);
+            assert_eq!(g.successors_by_name(t, "year").len(), 1);
+        }
+    }
+
+    #[test]
+    fn style5_structure() {
+        let mut g = Graph::new();
+        encode_style5(&mut g, &[movies()]);
+        let tups = g.successors_by_name(g.root(), "movie");
+        assert_eq!(tups.len(), 2);
+    }
+
+    #[test]
+    fn decode_style10_round_trip() {
+        let mut g = Graph::new();
+        let rel = movies();
+        encode_style10(&mut g, &[rel.clone()]);
+        let back = decode_relation(&g, "movie", &["title", "year"]).unwrap();
+        assert_eq!(back.row_set(), rel.row_set());
+    }
+
+    #[test]
+    fn decode_style5_round_trip() {
+        let mut g = Graph::new();
+        let rel = movies();
+        encode_style5(&mut g, &[rel.clone()]);
+        let back = decode_relation(&g, "movie", &["title", "year"]).unwrap();
+        assert_eq!(back.row_set(), rel.row_set());
+    }
+
+    #[test]
+    fn decode_missing_relation() {
+        let g = Graph::new();
+        assert_eq!(
+            decode_relation(&g, "nope", &["a"]),
+            Err(DecodeError::RelationNotFound("nope".into()))
+        );
+    }
+
+    #[test]
+    fn decode_missing_attribute() {
+        let mut g = Graph::new();
+        encode_style5(&mut g, &[movies()]);
+        assert_eq!(
+            decode_relation(&g, "movie", &["title", "director"]),
+            Err(DecodeError::MissingAttribute("director".into()))
+        );
+    }
+
+    #[test]
+    fn both_styles_decode_to_the_same_set() {
+        let rel = movies();
+        let mut g10 = Graph::new();
+        encode_style10(&mut g10, &[rel.clone()]);
+        let mut g5 = Graph::new();
+        encode_style5(&mut g5, &[rel.clone()]);
+        let d10 = decode_relation(&g10, "movie", &["title", "year"]).unwrap();
+        let d5 = decode_relation(&g5, "movie", &["title", "year"]).unwrap();
+        assert_eq!(d10.row_set(), d5.row_set());
+    }
+
+    #[test]
+    fn multiple_relations() {
+        let mut people = NamedRelation::new("person", &["name"]);
+        people.push(vec![Value::from("Bogart")]);
+        let mut g = Graph::new();
+        encode_style10(&mut g, &[movies(), people.clone()]);
+        assert!(decode_relation(&g, "movie", &["title", "year"]).is_ok());
+        let p = decode_relation(&g, "person", &["name"]).unwrap();
+        assert_eq!(p.row_set(), people.row_set());
+    }
+
+    #[test]
+    fn duplicate_rows_collapse_to_set() {
+        let mut r = NamedRelation::new("r", &["a"]);
+        r.push(vec![Value::from(1i64)]);
+        r.push(vec![Value::from(1i64)]);
+        let mut g = Graph::new();
+        encode_style10(&mut g, &[r]);
+        let back = decode_relation(&g, "r", &["a"]).unwrap();
+        assert_eq!(back.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = NamedRelation::new("r", &["a", "b"]);
+        r.push(vec![Value::from(1i64)]);
+    }
+
+    #[test]
+    fn empty_relation_encodes_and_decodes() {
+        let r = NamedRelation::new("empty", &["x"]);
+        let mut g = Graph::new();
+        encode_style10(&mut g, &[r]);
+        let back = decode_relation(&g, "empty", &["x"]).unwrap();
+        assert!(back.rows.is_empty());
+    }
+}

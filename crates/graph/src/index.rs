@@ -1,0 +1,242 @@
+//! Label, value, and text indexes.
+//!
+//! §4 proposes "the addition of path or text indices on labels and strings"
+//! as the optimization route for semistructured stores. This module builds
+//! the edge-level indexes; path indexes (DataGuides) live in `ssd-schema`.
+//!
+//! These indexes answer the §1.3 browsing queries without a full scan:
+//!
+//! * *"Where in the database is the string "Casablanca" to be found?"* —
+//!   [`GraphIndex::find_string`] (value edges and symbol edges).
+//! * *"Are there integers in the database greater than 2^16?"* —
+//!   [`GraphIndex::ints_in_range`].
+//! * *"What objects have an attribute name that starts with 'act'?"* —
+//!   [`GraphIndex::attrs_with_prefix`].
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use crate::symbol::SymbolId;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// An edge occurrence `(from, to)`.
+pub type Occurrence = (NodeId, NodeId);
+
+/// Secondary indexes over all edges of a graph.
+///
+/// Built once by a single scan ([`GraphIndex::build`]); the index is a
+/// snapshot — rebuild after mutating the graph.
+#[derive(Debug, Default)]
+pub struct GraphIndex {
+    /// symbol-labeled edges, keyed by symbol.
+    by_symbol: HashMap<SymbolId, Vec<Occurrence>>,
+    /// value-labeled edges, keyed by value (ordered, enabling ranges).
+    by_value: BTreeMap<Value, Vec<Occurrence>>,
+    edges_indexed: usize,
+}
+
+impl GraphIndex {
+    /// Scan `g` and build the index over all edges reachable from the root.
+    pub fn build(g: &Graph) -> GraphIndex {
+        let mut idx = GraphIndex::default();
+        for n in g.reachable() {
+            for e in g.edges(n) {
+                idx.edges_indexed += 1;
+                match &e.label {
+                    Label::Symbol(s) => idx.by_symbol.entry(*s).or_default().push((n, e.to)),
+                    Label::Value(v) => {
+                        idx.by_value.entry(v.clone()).or_default().push((n, e.to))
+                    }
+                }
+            }
+        }
+        idx
+    }
+
+    /// Number of edges covered by the index.
+    pub fn edges_indexed(&self) -> usize {
+        self.edges_indexed
+    }
+
+    /// All occurrences of edges labeled with symbol `sym`.
+    pub fn symbol_edges(&self, sym: SymbolId) -> &[Occurrence] {
+        self.by_symbol.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// All occurrences of edges labeled with exactly `value`.
+    pub fn value_edges(&self, value: &Value) -> &[Occurrence] {
+        self.by_value.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// §1.3 query 1: every edge carrying the string `text`, as a value or
+    /// as a symbol name.
+    pub fn find_string(&self, g: &Graph, text: &str) -> Vec<Occurrence> {
+        let mut out: Vec<Occurrence> =
+            self.value_edges(&Value::Str(text.to_owned())).to_vec();
+        if let Some(sym) = g.symbols().get(text) {
+            out.extend_from_slice(self.symbol_edges(sym));
+        }
+        out
+    }
+
+    /// §1.3 query 2: integer values in `[min, max]` (either bound optional).
+    pub fn ints_in_range(&self, min: Option<i64>, max: Option<i64>) -> Vec<(i64, Occurrence)> {
+        let lo = match min {
+            Some(m) => Bound::Included(Value::Int(m)),
+            None => Bound::Included(Value::Int(i64::MIN)),
+        };
+        let hi = match max {
+            Some(m) => Bound::Included(Value::Int(m)),
+            None => Bound::Included(Value::Int(i64::MAX)),
+        };
+        let mut out = Vec::new();
+        for (v, occs) in self.by_value.range((lo, hi)) {
+            if let Value::Int(i) = v {
+                for occ in occs {
+                    out.push((*i, *occ));
+                }
+            }
+        }
+        out
+    }
+
+    /// §1.3 query 3: occurrences of symbol-labeled edges whose name starts
+    /// with `prefix`. Returns `(symbol, from, to)` triples; the `from`
+    /// nodes are "the objects that have such an attribute".
+    pub fn attrs_with_prefix(&self, g: &Graph, prefix: &str) -> Vec<(SymbolId, Occurrence)> {
+        let mut out = Vec::new();
+        for sym in g.symbols().symbols_with_prefix(prefix) {
+            for occ in self.symbol_edges(sym) {
+                out.push((sym, *occ));
+            }
+        }
+        out
+    }
+
+    /// String values with a given prefix (text index on strings, §4).
+    pub fn strings_with_prefix(&self, prefix: &str) -> Vec<(&str, Occurrence)> {
+        let start = Value::Str(prefix.to_owned());
+        let mut out = Vec::new();
+        for (v, occs) in self.by_value.range(start..) {
+            match v {
+                Value::Str(s) if s.starts_with(prefix) => {
+                    for occ in occs {
+                        out.push((s.as_str(), *occ));
+                    }
+                }
+                Value::Str(_) => break,
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// All distinct values of a given kind present in the database.
+    pub fn distinct_values(&self) -> impl Iterator<Item = &Value> {
+        self.by_value.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::parse_graph;
+
+    fn db() -> Graph {
+        parse_graph(
+            r#"{Entry: {Movie: {Title: "Casablanca",
+                                 Cast: {Actors: "Bogart", Actors: "Bacall"},
+                                 BoxOffice: 1200000}},
+                Entry: {Movie: {Title: "Play it again, Sam",
+                                 Cast: {Credit: {actors: "Allen"}},
+                                 Year: 1972}}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_counts_edges() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        assert_eq!(idx.edges_indexed(), g.edge_count());
+    }
+
+    #[test]
+    fn find_string_value() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        let hits = idx.find_string(&g, "Casablanca");
+        assert_eq!(hits.len(), 1);
+        assert!(idx.find_string(&g, "Nope").is_empty());
+    }
+
+    #[test]
+    fn find_string_matches_symbols_too() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        // "Title" occurs as a symbol on two edges.
+        let hits = idx.find_string(&g, "Title");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn ints_greater_than_2_pow_16() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        let hits = idx.ints_in_range(Some(1 << 16), None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1_200_000);
+        // Both integers are >= 0.
+        assert_eq!(idx.ints_in_range(Some(0), None).len(), 2);
+        // Bounded range excludes the big one.
+        assert_eq!(idx.ints_in_range(Some(0), Some(10_000)).len(), 1);
+    }
+
+    #[test]
+    fn attr_prefix_act_is_case_sensitive() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        // "Actors" x2 edges plus "actors" x1 — prefix "Act" matches only the former.
+        assert_eq!(idx.attrs_with_prefix(&g, "Act").len(), 2);
+        assert_eq!(idx.attrs_with_prefix(&g, "act").len(), 1);
+        assert_eq!(idx.attrs_with_prefix(&g, "zzz").len(), 0);
+    }
+
+    #[test]
+    fn string_prefix_search() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        let hits = idx.strings_with_prefix("Ca");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, "Casablanca");
+        assert_eq!(idx.strings_with_prefix("B").len(), 2);
+        assert!(idx.strings_with_prefix("zz").is_empty());
+    }
+
+    #[test]
+    fn value_edges_exact() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        assert_eq!(idx.value_edges(&Value::Int(1972)).len(), 1);
+        assert_eq!(idx.value_edges(&Value::Int(9999)).len(), 0);
+    }
+
+    #[test]
+    fn unreachable_edges_are_not_indexed() {
+        let mut g = db();
+        let orphan = g.add_node();
+        let leaf = g.add_node();
+        g.add_edge(orphan, Label::str("ghost"), leaf);
+        let idx = GraphIndex::build(&g);
+        assert!(idx.find_string(&g, "ghost").is_empty());
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        let vals: Vec<&Value> = idx.distinct_values().collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,217 @@
+//! Edge labels: the tagged union `int | string | ... | symbol` of §2.
+//!
+//! A [`Label`] is either a *symbol* (an interned attribute/class-like name
+//! such as `Movie`, `Title`, or an array index rendered as a symbol-free
+//! integer) or a *base value* (the data carried on leaf edges such as
+//! `"Casablanca"` or `1.2E6` in Figure 1).
+//!
+//! Note that the paper's model puts arrays in by "labeling internal edges
+//! with integers" — that is a `Label::Value(Value::Int(i))` here.
+
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::value::{Value, ValueKind};
+use std::fmt;
+
+/// The label on an edge of the data graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    /// A schema-like name (`Movie`, `Title`, ...). Interned.
+    Symbol(SymbolId),
+    /// A base data value (`"Casablanca"`, `1`, `true`, ...).
+    Value(Value),
+}
+
+/// Dynamic type of a label, extending [`ValueKind`] with `Symbol`.
+///
+/// This is the "switch on the type" discriminator that makes the data
+/// self-describing (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LabelKind {
+    Symbol,
+    Int,
+    Real,
+    Str,
+    Bool,
+}
+
+impl LabelKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            LabelKind::Symbol => "symbol",
+            LabelKind::Int => "int",
+            LabelKind::Real => "real",
+            LabelKind::Str => "string",
+            LabelKind::Bool => "bool",
+        }
+    }
+
+    pub fn from_value_kind(k: ValueKind) -> Self {
+        match k {
+            ValueKind::Int => LabelKind::Int,
+            ValueKind::Real => LabelKind::Real,
+            ValueKind::Str => LabelKind::Str,
+            ValueKind::Bool => LabelKind::Bool,
+        }
+    }
+}
+
+impl fmt::Display for LabelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Label {
+    /// Construct a symbol label, interning `name` in `symbols`.
+    pub fn symbol(symbols: &SymbolTable, name: &str) -> Label {
+        Label::Symbol(symbols.intern(name))
+    }
+
+    /// Construct a value label.
+    pub fn value(v: impl Into<Value>) -> Label {
+        Label::Value(v.into())
+    }
+
+    /// An integer value label (array index or data).
+    pub fn int(i: i64) -> Label {
+        Label::Value(Value::Int(i))
+    }
+
+    /// A string value label.
+    pub fn str(s: impl Into<String>) -> Label {
+        Label::Value(Value::Str(s.into()))
+    }
+
+    pub fn kind(&self) -> LabelKind {
+        match self {
+            Label::Symbol(_) => LabelKind::Symbol,
+            Label::Value(v) => LabelKind::from_value_kind(v.kind()),
+        }
+    }
+
+    pub fn is_symbol(&self) -> bool {
+        matches!(self, Label::Symbol(_))
+    }
+
+    pub fn is_value(&self) -> bool {
+        matches!(self, Label::Value(_))
+    }
+
+    pub fn as_symbol(&self) -> Option<SymbolId> {
+        match self {
+            Label::Symbol(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            Label::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Render this label as a string using `symbols` to resolve names.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> LabelDisplay<'a> {
+        LabelDisplay {
+            label: self,
+            symbols,
+        }
+    }
+
+    /// The text of this label: the symbol name, or the string contents of a
+    /// `Str` value. Used by text search over labels.
+    pub fn text(&self, symbols: &SymbolTable) -> Option<String> {
+        match self {
+            Label::Symbol(s) => Some(symbols.resolve(*s).to_string()),
+            Label::Value(Value::Str(s)) => Some(s.clone()),
+            Label::Value(_) => None,
+        }
+    }
+}
+
+impl From<Value> for Label {
+    fn from(v: Value) -> Self {
+        Label::Value(v)
+    }
+}
+
+impl From<SymbolId> for Label {
+    fn from(s: SymbolId) -> Self {
+        Label::Symbol(s)
+    }
+}
+
+/// Display adaptor pairing a label with its symbol table.
+pub struct LabelDisplay<'a> {
+    label: &'a Label,
+    symbols: &'a SymbolTable,
+}
+
+impl fmt::Display for LabelDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.label {
+            Label::Symbol(s) => write!(f, "{}", self.symbols.resolve(*s)),
+            Label::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::new_symbols;
+
+    #[test]
+    fn symbol_label_round_trip() {
+        let syms = new_symbols();
+        let l = Label::symbol(&syms, "Movie");
+        assert!(l.is_symbol());
+        assert_eq!(l.kind(), LabelKind::Symbol);
+        assert_eq!(l.display(&syms).to_string(), "Movie");
+        assert_eq!(l.text(&syms).as_deref(), Some("Movie"));
+    }
+
+    #[test]
+    fn value_label_kinds() {
+        assert_eq!(Label::int(3).kind(), LabelKind::Int);
+        assert_eq!(Label::str("x").kind(), LabelKind::Str);
+        assert_eq!(Label::value(1.5).kind(), LabelKind::Real);
+        assert_eq!(Label::value(true).kind(), LabelKind::Bool);
+    }
+
+    #[test]
+    fn value_label_display_quotes_strings() {
+        let syms = new_symbols();
+        let l = Label::str("Casablanca");
+        assert_eq!(l.display(&syms).to_string(), "\"Casablanca\"");
+        assert_eq!(l.text(&syms).as_deref(), Some("Casablanca"));
+        assert_eq!(Label::int(7).display(&syms).to_string(), "7");
+        assert_eq!(Label::int(7).text(&syms), None);
+    }
+
+    #[test]
+    fn labels_order_symbols_before_values() {
+        let syms = new_symbols();
+        let s = Label::symbol(&syms, "a");
+        let v = Label::int(0);
+        assert!(s < v);
+    }
+
+    #[test]
+    fn accessors() {
+        let syms = new_symbols();
+        let s = Label::symbol(&syms, "x");
+        assert!(s.as_symbol().is_some());
+        assert!(s.as_value().is_none());
+        let v = Label::int(1);
+        assert!(v.as_symbol().is_none());
+        assert_eq!(v.as_value(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(LabelKind::Symbol.name(), "symbol");
+        assert_eq!(LabelKind::Str.to_string(), "string");
+    }
+}

@@ -1,0 +1,369 @@
+//! The Object Exchange Model (OEM) view.
+//!
+//! §1.2: "The Object Exchange Model (OEM) offers a highly flexible data
+//! structure that may be used to capture most kinds of data and provides a
+//! substrate in which almost any other data structure may be represented."
+//! OEM (Tsimmis / Lore) represents a database as a set of objects, each with
+//! an *object identity*, a *label*, and a value that is either atomic or a
+//! set of references to other objects.
+//!
+//! §2 notes that "in OEM, object identities are used as node labels and
+//! place-holders to define trees", and that identities "pose problems when
+//! comparing data across databases". This module provides lossless
+//! conversions between an [`OemDb`] and the edge-labeled [`Graph`], making
+//! those trade-offs concrete: the OEM→graph direction pushes each object's
+//! label onto its incoming edges (the transformation §2 sketches for
+//! node-labeled variants), and the graph→OEM direction materialises node
+//! ids as OIDs.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An OEM object identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&o{}", self.0)
+    }
+}
+
+/// An OEM value: atomic, or a set of labeled references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OemValue {
+    Atomic(Value),
+    /// Sub-objects: (label, target oid). A *set* — order is irrelevant.
+    Complex(Vec<(String, Oid)>),
+}
+
+/// One OEM object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OemObject {
+    pub value: OemValue,
+}
+
+/// An OEM database: a set of objects and a distinguished root.
+#[derive(Debug, Clone, Default)]
+pub struct OemDb {
+    objects: BTreeMap<Oid, OemObject>,
+    root: Option<Oid>,
+    next_oid: u64,
+}
+
+/// Errors raised by OEM construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OemError {
+    DanglingReference { from: Oid, to: Oid },
+    NoRoot,
+    UnknownOid(Oid),
+}
+
+impl fmt::Display for OemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OemError::DanglingReference { from, to } => {
+                write!(f, "object {from} references missing object {to}")
+            }
+            OemError::NoRoot => write!(f, "OEM database has no root"),
+            OemError::UnknownOid(o) => write!(f, "unknown oid {o}"),
+        }
+    }
+}
+
+impl std::error::Error for OemError {}
+
+impl OemDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh object with the given value, returning its oid.
+    pub fn add(&mut self, value: OemValue) -> Oid {
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        self.objects.insert(oid, OemObject { value });
+        oid
+    }
+
+    /// Allocate an atomic object.
+    pub fn atomic(&mut self, v: impl Into<Value>) -> Oid {
+        self.add(OemValue::Atomic(v.into()))
+    }
+
+    /// Allocate a complex object from labeled children.
+    pub fn complex(&mut self, children: Vec<(&str, Oid)>) -> Oid {
+        self.add(OemValue::Complex(
+            children
+                .into_iter()
+                .map(|(l, o)| (l.to_owned(), o))
+                .collect(),
+        ))
+    }
+
+    /// Allocate an empty complex object (children can be added later).
+    pub fn empty_complex(&mut self) -> Oid {
+        self.add(OemValue::Complex(Vec::new()))
+    }
+
+    /// Add a labeled child to an existing complex object.
+    pub fn add_child(&mut self, parent: Oid, label: &str, child: Oid) -> Result<(), OemError> {
+        match self.objects.get_mut(&parent) {
+            Some(OemObject {
+                value: OemValue::Complex(children),
+            }) => {
+                let entry = (label.to_owned(), child);
+                if !children.contains(&entry) {
+                    children.push(entry);
+                }
+                Ok(())
+            }
+            Some(_) => Err(OemError::UnknownOid(parent)), // atomic: cannot have children
+            None => Err(OemError::UnknownOid(parent)),
+        }
+    }
+
+    pub fn set_root(&mut self, oid: Oid) {
+        self.root = Some(oid);
+    }
+
+    pub fn root(&self) -> Option<Oid> {
+        self.root
+    }
+
+    pub fn get(&self, oid: Oid) -> Option<&OemObject> {
+        self.objects.get(&oid)
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &OemObject)> {
+        self.objects.iter().map(|(o, obj)| (*o, obj))
+    }
+
+    /// Check referential integrity: every referenced oid exists and a root
+    /// is set.
+    pub fn validate(&self) -> Result<(), OemError> {
+        if self.root.is_none() {
+            return Err(OemError::NoRoot);
+        }
+        for (oid, obj) in &self.objects {
+            if let OemValue::Complex(children) = &obj.value {
+                for (_, to) in children {
+                    if !self.objects.contains_key(to) {
+                        return Err(OemError::DanglingReference {
+                            from: *oid,
+                            to: *to,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to the edge-labeled graph model.
+    ///
+    /// Each OEM object becomes a node; a child entry `(l, o)` becomes an
+    /// edge labeled with the symbol `l`; an atomic object's value becomes a
+    /// value edge to a leaf. OIDs are forgotten (they become node
+    /// identities), which is exactly the move UnQL makes to avoid
+    /// cross-database identity problems.
+    pub fn to_graph(&self) -> Result<Graph, OemError> {
+        self.validate()?;
+        let root = self.root.ok_or(OemError::NoRoot)?;
+        let mut g = Graph::new();
+        let mut map: HashMap<Oid, NodeId> = HashMap::new();
+        for (oid, _) in self.iter() {
+            let n = if oid == root { g.root() } else { g.add_node() };
+            map.insert(oid, n);
+        }
+        for (oid, obj) in self.iter() {
+            let from = map[&oid];
+            match &obj.value {
+                OemValue::Atomic(v) => {
+                    g.add_value_edge(from, v.clone());
+                }
+                OemValue::Complex(children) => {
+                    for (label, to) in children {
+                        let l = Label::symbol(g.symbols(), label);
+                        g.add_edge(from, l, map[to]);
+                    }
+                }
+            }
+        }
+        g.gc();
+        Ok(g)
+    }
+
+    /// Build an OEM database from a graph.
+    ///
+    /// Node identities materialise as OIDs. Edge labels become child
+    /// labels; value edges become references to atomic objects labeled
+    /// `"value"` when they sit beside other edges, or collapse the node to
+    /// an atomic object when the node is a pure atom.
+    pub fn from_graph(g: &Graph) -> OemDb {
+        let mut db = OemDb::new();
+        let reachable = g.reachable();
+        let mut map: HashMap<NodeId, Oid> = HashMap::new();
+        for &n in &reachable {
+            let oid = if g.atomic_value(n).is_some() {
+                db.atomic(g.atomic_value(n).unwrap().clone())
+            } else {
+                db.empty_complex()
+            };
+            map.insert(n, oid);
+        }
+        for &n in &reachable {
+            if g.atomic_value(n).is_some() {
+                continue;
+            }
+            let parent = map[&n];
+            for e in g.edges(n) {
+                match &e.label {
+                    Label::Symbol(s) => {
+                        let name = g.symbols().resolve(*s);
+                        db.add_child(parent, &name, map[&e.to])
+                            .expect("parent is complex by construction");
+                    }
+                    Label::Value(v) => {
+                        if g.is_leaf(e.to) {
+                            // A value edge beside other edges: wrap the
+                            // value as an atomic child labeled "value".
+                            let atom = db.atomic(v.clone());
+                            db.add_child(parent, "value", atom)
+                                .expect("parent is complex by construction");
+                        } else {
+                            // A value-labeled edge into a complex node (an
+                            // array slot, §2). OEM labels are strings, so
+                            // the value's display form becomes the child
+                            // label; the *structure* is preserved even
+                            // though the label type is coarsened.
+                            db.add_child(parent, &v.to_string(), map[&e.to])
+                                .expect("parent is complex by construction");
+                        }
+                    }
+                }
+            }
+        }
+        db.set_root(map[&g.root()]);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisim::graphs_bisimilar;
+    use crate::literal::parse_graph;
+
+    fn movie_oem() -> OemDb {
+        let mut db = OemDb::new();
+        let title = db.atomic("Casablanca");
+        let actor = db.atomic("Bogart");
+        let cast = db.complex(vec![("Actors", actor)]);
+        let movie = db.complex(vec![("Title", title), ("Cast", cast)]);
+        let root = db.complex(vec![("Movie", movie)]);
+        db.set_root(root);
+        db
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let db = movie_oem();
+        assert!(db.validate().is_ok());
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn missing_root_fails_validation() {
+        let mut db = OemDb::new();
+        db.atomic(1);
+        assert_eq!(db.validate(), Err(OemError::NoRoot));
+    }
+
+    #[test]
+    fn dangling_reference_fails_validation() {
+        let mut db = OemDb::new();
+        let root = db.complex(vec![("x", Oid(999))]);
+        db.set_root(root);
+        assert!(matches!(
+            db.validate(),
+            Err(OemError::DanglingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn add_child_to_atomic_fails() {
+        let mut db = OemDb::new();
+        let a = db.atomic(1);
+        let b = db.atomic(2);
+        assert!(db.add_child(a, "x", b).is_err());
+    }
+
+    #[test]
+    fn to_graph_matches_literal() {
+        let db = movie_oem();
+        let g = db.to_graph().unwrap();
+        let expect =
+            parse_graph(r#"{Movie: {Title: "Casablanca", Cast: {Actors: "Bogart"}}}"#).unwrap();
+        assert!(graphs_bisimilar(&g, &expect));
+    }
+
+    #[test]
+    fn graph_round_trip() {
+        let g = parse_graph(r#"{Movie: {Title: "C", Cast: {Actors: "B", Actors: "L"}}}"#).unwrap();
+        let db = OemDb::from_graph(&g);
+        assert!(db.validate().is_ok());
+        let g2 = db.to_graph().unwrap();
+        assert!(graphs_bisimilar(&g, &g2));
+    }
+
+    #[test]
+    fn cyclic_oem_round_trips() {
+        let mut db = OemDb::new();
+        let entry = db.empty_complex();
+        let other = db.complex(vec![("References", entry)]);
+        db.add_child(entry, "References", other).unwrap();
+        let root = db.complex(vec![("Entry", entry), ("Entry", other)]);
+        db.set_root(root);
+        let g = db.to_graph().unwrap();
+        assert!(g.has_cycle());
+        let db2 = OemDb::from_graph(&g);
+        let g2 = db2.to_graph().unwrap();
+        assert!(graphs_bisimilar(&g, &g2));
+    }
+
+    #[test]
+    fn shared_object_stays_shared() {
+        let mut db = OemDb::new();
+        let shared = db.atomic("x");
+        let root = db.complex(vec![("a", shared), ("b", shared)]);
+        db.set_root(root);
+        let g = db.to_graph().unwrap();
+        let a = g.successors_by_name(g.root(), "a")[0];
+        let b = g.successors_by_name(g.root(), "b")[0];
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_value_and_symbol_edges_use_value_label() {
+        let g = parse_graph(r#"{m: {Title: "C", 42}}"#).unwrap();
+        let db = OemDb::from_graph(&g);
+        assert!(db.validate().is_ok());
+        // The value 42 sits beside the Title edge, so it becomes a "value"
+        // child in OEM.
+        let g2 = db.to_graph().unwrap();
+        let m = g2.successors_by_name(g2.root(), "m")[0];
+        assert_eq!(g2.successors_by_name(m, "value").len(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The leaf-value model of \[5\] (Lorel): `type tree = base | set(symbol × tree)`.
+//!
+//! Data sits only at the leaves; internal edges carry only symbols. The
+//! mapping to the primary edge-labeled model replaces each leaf value `v`
+//! with a node carrying a single value edge `{v: {}}`; the inverse mapping
+//! recognises exactly that pattern. Both directions are provided, with the
+//! round-trip property tested below — this is the "easy to define mappings
+//! in both directions" claim of §2 made executable.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A finite tree in the leaf-value model. (This variant is a *tree* type:
+/// Lorel's graphs add OIDs separately — cycles are handled on the graph
+/// side; converting a cyclic graph to `LeafTree` requires a depth bound.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafTree {
+    /// A leaf holding a base value.
+    Base(Value),
+    /// An internal node: a set of symbol-labeled children.
+    Node(Vec<(String, LeafTree)>),
+}
+
+/// Errors converting between models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VariantError {
+    /// The graph contains a cycle and no depth bound was given.
+    Cyclic,
+    /// A value label occurs on an internal edge where the leaf-value model
+    /// cannot express it (mixed atom: a node with a value edge *and* other
+    /// edges, or a value edge to a non-leaf).
+    MixedAtom(NodeId),
+    /// Depth bound exceeded during bounded unfolding.
+    DepthExceeded,
+}
+
+impl std::fmt::Display for VariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VariantError::Cyclic => write!(f, "graph is cyclic; use to_leaf_tree_bounded"),
+            VariantError::MixedAtom(n) => write!(
+                f,
+                "node {n} mixes a value edge with other edges; not expressible in the leaf-value model"
+            ),
+            VariantError::DepthExceeded => write!(f, "depth bound exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VariantError {}
+
+impl LeafTree {
+    /// The empty set `{}`.
+    pub fn empty() -> LeafTree {
+        LeafTree::Node(Vec::new())
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            LeafTree::Base(_) => 1,
+            LeafTree::Node(children) => 1 + children.iter().map(|(_, t)| t.size()).sum::<usize>(),
+        }
+    }
+
+    /// Convert into the primary edge-labeled model, appended to `g`.
+    /// Returns the root of the converted subtree.
+    pub fn to_graph(&self, g: &mut Graph) -> NodeId {
+        match self {
+            LeafTree::Base(v) => {
+                let n = g.add_node();
+                g.add_value_edge(n, v.clone());
+                n
+            }
+            LeafTree::Node(children) => {
+                let n = g.add_node();
+                for (sym, sub) in children {
+                    let child = sub.to_graph(g);
+                    let label = Label::symbol(g.symbols(), sym);
+                    g.add_edge(n, label, child);
+                }
+                n
+            }
+        }
+    }
+
+    /// Convert into a fresh rooted graph.
+    pub fn into_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        let root = self.to_graph(&mut g);
+        g.set_root(root);
+        g.gc();
+        g
+    }
+
+    /// Convert a (subtree of a) graph back into the leaf-value model.
+    ///
+    /// Fails on cycles ([`VariantError::Cyclic`]) and on structures the
+    /// leaf-value model cannot express ([`VariantError::MixedAtom`]).
+    pub fn from_graph(g: &Graph, node: NodeId) -> Result<LeafTree, VariantError> {
+        let mut on_path: HashMap<NodeId, bool> = HashMap::new();
+        Self::from_graph_inner(g, node, &mut on_path, None, 0)
+    }
+
+    /// Like [`LeafTree::from_graph`], but unfold cycles up to `depth` edges
+    /// deep (the finite approximation of the infinite unfolding).
+    pub fn from_graph_bounded(
+        g: &Graph,
+        node: NodeId,
+        depth: usize,
+    ) -> Result<LeafTree, VariantError> {
+        let mut on_path: HashMap<NodeId, bool> = HashMap::new();
+        Self::from_graph_inner(g, node, &mut on_path, Some(depth), 0)
+    }
+
+    fn from_graph_inner(
+        g: &Graph,
+        node: NodeId,
+        on_path: &mut HashMap<NodeId, bool>,
+        bound: Option<usize>,
+        depth: usize,
+    ) -> Result<LeafTree, VariantError> {
+        if let Some(b) = bound {
+            // Bounded mode: unfold freely (cycles included) and truncate the
+            // unfolding at the bound with an empty set.
+            if depth > b {
+                return Ok(LeafTree::empty());
+            }
+        } else if *on_path.get(&node).unwrap_or(&false) {
+            return Err(VariantError::Cyclic);
+        }
+        if let Some(v) = g.atomic_value(node) {
+            return Ok(LeafTree::Base(v.clone()));
+        }
+        let edges = g.edges(node);
+        if edges.iter().any(|e| e.label.is_value()) {
+            return Err(VariantError::MixedAtom(node));
+        }
+        on_path.insert(node, true);
+        let mut children = Vec::with_capacity(edges.len());
+        for e in edges {
+            let sym = match &e.label {
+                Label::Symbol(s) => g.symbols().resolve(*s).to_string(),
+                Label::Value(_) => unreachable!("value edges rejected above"),
+            };
+            let sub = Self::from_graph_inner(g, e.to, on_path, bound, depth + 1)?;
+            children.push((sym, sub));
+        }
+        on_path.insert(node, false);
+        Ok(LeafTree::Node(children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisim::graphs_bisimilar;
+    use crate::literal::parse_graph;
+
+    fn sample() -> LeafTree {
+        LeafTree::Node(vec![
+            (
+                "Movie".into(),
+                LeafTree::Node(vec![
+                    ("Title".into(), LeafTree::Base(Value::Str("C".into()))),
+                    ("Year".into(), LeafTree::Base(Value::Int(1942))),
+                ]),
+            ),
+            ("Count".into(), LeafTree::Base(Value::Int(2))),
+        ])
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(sample().size(), 5);
+        assert_eq!(LeafTree::empty().size(), 1);
+    }
+
+    #[test]
+    fn to_graph_produces_expected_structure() {
+        let g = sample().into_graph();
+        let expect = parse_graph(r#"{Movie: {Title: "C", Year: 1942}, Count: 2}"#).unwrap();
+        assert!(graphs_bisimilar(&g, &expect));
+    }
+
+    #[test]
+    fn round_trip_preserves_tree() {
+        let t = sample();
+        let g = t.into_graph();
+        let t2 = LeafTree::from_graph(&g, g.root()).unwrap();
+        // The round-trip preserves the tree up to child order; normalise by
+        // converting back to graphs and comparing bisimilarity.
+        assert!(graphs_bisimilar(&g, &t2.into_graph()));
+    }
+
+    #[test]
+    fn cyclic_graph_rejected_without_bound() {
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        assert_eq!(
+            LeafTree::from_graph(&g, g.root()),
+            Err(VariantError::Cyclic)
+        );
+    }
+
+    #[test]
+    fn bounded_unfolding_truncates_cycles() {
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        let t = LeafTree::from_graph_bounded(&g, g.root(), 3).unwrap();
+        // next^k nesting up to the bound, then {}.
+        let mut depth = 0;
+        let mut cur = &t;
+        while let LeafTree::Node(children) = cur {
+            if children.is_empty() {
+                break;
+            }
+            assert_eq!(children.len(), 1);
+            assert_eq!(children[0].0, "next");
+            cur = &children[0].1;
+            depth += 1;
+        }
+        assert!(depth >= 3);
+    }
+
+    #[test]
+    fn shared_dag_unfolds_to_duplicate_subtrees() {
+        // DAG sharing is legal (no cycle); the tree duplicates the shared part.
+        let g = parse_graph("{a: @s = {v: 1}, b: @s}").unwrap();
+        let t = LeafTree::from_graph(&g, g.root()).unwrap();
+        match &t {
+            LeafTree::Node(children) => {
+                assert_eq!(children.len(), 2);
+                assert_eq!(children[0].1, children[1].1);
+            }
+            _ => panic!("expected node"),
+        }
+    }
+
+    #[test]
+    fn mixed_atom_rejected() {
+        let g = parse_graph(r#"{m: {Title: "C", 42}}"#).unwrap();
+        let m = g.successors_by_name(g.root(), "m")[0];
+        assert_eq!(
+            LeafTree::from_graph(&g, m),
+            Err(VariantError::MixedAtom(m))
+        );
+    }
+
+    #[test]
+    fn base_at_root() {
+        let t = LeafTree::Base(Value::Int(7));
+        let g = t.into_graph();
+        assert_eq!(g.atomic_value(g.root()), Some(&Value::Int(7)));
+        assert_eq!(LeafTree::from_graph(&g, g.root()).unwrap(), t);
+    }
+}

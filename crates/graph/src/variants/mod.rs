@@ -1,0 +1,20 @@
+//! The model variants surveyed in §2.
+//!
+//! Besides the primary edge-labeled model (`type tree = set(label × tree)`),
+//! the paper reviews two variations and notes that "the differences between
+//! the two models are minor ... It is easy to define mappings in both
+//! directions":
+//!
+//! * [`leaf_value`] — the Lorel-style model where "leaf nodes are labeled
+//!   with data, internal nodes are not labeled with meaningful data, and
+//!   edges are labeled only with symbols":
+//!   `type tree = base | set(symbol × tree)`.
+//! * [`node_labeled`] — the variant that "allows labels on internal nodes":
+//!   `type tree = label × set(label × tree)`; union is awkward here, and the
+//!   conversion to the edge-labeled model "introduc\[es\] extra edges".
+
+pub mod leaf_value;
+pub mod node_labeled;
+
+pub use leaf_value::LeafTree;
+pub use node_labeled::NodeLabeledGraph;

@@ -1,0 +1,286 @@
+//! The node-labeled variant: `type tree = label × set(label × tree)`.
+//!
+//! §2: "Another possibility is to allow labels on internal nodes ... The
+//! problem with using this representation directly is that it makes the
+//! operation of taking the union of two trees difficult to define. However,
+//! by introducing extra edges, this representation can be converted into one
+//! of the edge-labelled representations above."
+//!
+//! We implement the variant as a graph whose *nodes* carry labels, plus the
+//! conversion that pushes each node label down a fresh edge. The
+//! difficulty with union is demonstrated in the tests: two node-labeled
+//! trees with different root labels have no canonical union, whereas their
+//! edge-labeled conversions union trivially.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use crate::symbol::{new_symbols, Symbols};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier for a node in a [`NodeLabeledGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NlNodeId(u32);
+
+impl NlNodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NlNode {
+    label: Label,
+    edges: Vec<(Label, NlNodeId)>,
+}
+
+/// A rooted graph in the node-labeled model.
+#[derive(Debug, Clone)]
+pub struct NodeLabeledGraph {
+    nodes: Vec<NlNode>,
+    root: NlNodeId,
+    symbols: Symbols,
+}
+
+impl NodeLabeledGraph {
+    /// Create a graph with a labeled root.
+    pub fn new(root_label: Label) -> Self {
+        NodeLabeledGraph::with_symbols(root_label, new_symbols())
+    }
+
+    pub fn with_symbols(root_label: Label, symbols: Symbols) -> Self {
+        NodeLabeledGraph {
+            nodes: vec![NlNode {
+                label: root_label,
+                edges: Vec::new(),
+            }],
+            root: NlNodeId(0),
+            symbols,
+        }
+    }
+
+    pub fn symbols(&self) -> &crate::symbol::SymbolTable {
+        &self.symbols
+    }
+
+    pub fn root(&self) -> NlNodeId {
+        self.root
+    }
+
+    pub fn add_node(&mut self, label: Label) -> NlNodeId {
+        let id = NlNodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(NlNode {
+            label,
+            edges: Vec::new(),
+        });
+        id
+    }
+
+    pub fn add_edge(&mut self, from: NlNodeId, label: Label, to: NlNodeId) {
+        let entry = (label, to);
+        let edges = &mut self.nodes[from.index()].edges;
+        if !edges.contains(&entry) {
+            edges.push(entry);
+        }
+    }
+
+    pub fn node_label(&self, n: NlNodeId) -> &Label {
+        &self.nodes[n.index()].label
+    }
+
+    pub fn edges(&self, n: NlNodeId) -> &[(Label, NlNodeId)] {
+        &self.nodes[n.index()].edges
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Convert to the edge-labeled model by *introducing extra edges*: each
+    /// node `n` with label `l` contributes an extra edge `n --l--> leaf` (a
+    /// fresh leaf shared per label), so node labels become observable data.
+    ///
+    /// The symbol table is shared with the output graph.
+    pub fn to_edge_labeled(&self) -> Graph {
+        let mut g = Graph::with_symbols(Arc::clone(&self.symbols));
+        let mut map: HashMap<NlNodeId, NodeId> = HashMap::new();
+        for (i, _) in self.nodes.iter().enumerate() {
+            let id = NlNodeId(i as u32);
+            let img = if id == self.root { g.root() } else { g.add_node() };
+            map.insert(id, img);
+        }
+        // One shared leaf for all node-label edges keeps the output small.
+        let leaf = g.add_node();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let from = map[&NlNodeId(i as u32)];
+            // The "extra edge" carrying the node label.
+            g.add_edge(from, node.label.clone(), leaf);
+            for (l, to) in &node.edges {
+                g.add_edge(from, l.clone(), map[to]);
+            }
+        }
+        g.gc();
+        g
+    }
+
+    /// Inverse of [`to_edge_labeled`](Self::to_edge_labeled) for graphs in
+    /// its image: a node's label is the label of its unique edge to a leaf
+    /// that is designated as the label-carrier. Since the encoding is not
+    /// injective in general, this heuristic decoder takes the first edge to
+    /// a leaf node as the node label and treats the remaining edges as
+    /// children. Returns `None` for nodes with no leaf edge.
+    pub fn from_edge_labeled(g: &Graph) -> Option<NodeLabeledGraph> {
+        let reachable = g.reachable();
+        // Determine each node's label edge: first edge whose target is a leaf
+        // shared by... we accept: first edge to a leaf.
+        let mut labels: HashMap<NodeId, Label> = HashMap::new();
+        for &n in &reachable {
+            if g.is_leaf(n) {
+                continue; // pure label-carrier leaves are dropped below
+            }
+            let label_edge = g.edges(n).iter().find(|e| g.is_leaf(e.to))?;
+            labels.insert(n, label_edge.label.clone());
+        }
+        let mut out =
+            NodeLabeledGraph::with_symbols(labels[&g.root()].clone(), g.symbols_handle());
+        let mut map: HashMap<NodeId, NlNodeId> = HashMap::new();
+        map.insert(g.root(), out.root());
+        for &n in &reachable {
+            if n == g.root() {
+                continue;
+            }
+            // Leaf nodes that only carry labels are dropped.
+            if g.is_leaf(n) {
+                continue;
+            }
+            let id = out.add_node(labels[&n].clone());
+            map.insert(n, id);
+        }
+        for &n in &reachable {
+            if g.is_leaf(n) {
+                continue;
+            }
+            let mut label_taken = false;
+            for e in g.edges(n) {
+                if g.is_leaf(e.to) {
+                    if !label_taken && e.label == labels[&n] {
+                        label_taken = true;
+                        continue; // this is the node-label edge
+                    }
+                    // Other leaf edges become leaf children labeled by their
+                    // edge label with an empty node label — skip: not
+                    // representable faithfully; drop.
+                    continue;
+                }
+                out.add_edge(map[&n], e.label.clone(), map[&e.to]);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::value::Value;
+
+    fn sample() -> NodeLabeledGraph {
+        let syms = new_symbols();
+        let mut g = NodeLabeledGraph::with_symbols(
+            Label::Symbol(syms.intern("db")),
+            Arc::clone(&syms),
+        );
+        let movie = g.add_node(Label::Symbol(syms.intern("movie-obj")));
+        let title = g.add_node(Label::Value(Value::Str("Casablanca".into())));
+        g.add_edge(g.root(), Label::Symbol(syms.intern("Movie")), movie);
+        g.add_edge(movie, Label::Symbol(syms.intern("Title")), title);
+        g
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edges(g.root()).len(), 1);
+        let movie = g.edges(g.root())[0].1;
+        assert_eq!(
+            g.node_label(movie).as_symbol(),
+            Some(g.symbols().get("movie-obj").unwrap())
+        );
+    }
+
+    #[test]
+    fn conversion_introduces_extra_edges() {
+        let nl = sample();
+        let g = nl.to_edge_labeled();
+        // Root gets its label as an extra edge to a leaf.
+        assert!(g
+            .edges(g.root())
+            .iter()
+            .any(|e| e.label == Label::Symbol(g.symbols().get("db").unwrap()) && g.is_leaf(e.to)));
+        // Structural edge survives.
+        assert_eq!(g.successors_by_name(g.root(), "Movie").len(), 1);
+    }
+
+    #[test]
+    fn union_is_trivial_after_conversion() {
+        // Two node-labeled trees with *different root labels* have no
+        // canonical union in the node-labeled model (which label does the
+        // union root carry?). After conversion, union is edge-set union and
+        // both labels survive as extra edges.
+        let syms = new_symbols();
+        let a = NodeLabeledGraph::with_symbols(
+            Label::Symbol(syms.intern("A")),
+            Arc::clone(&syms),
+        );
+        let b = NodeLabeledGraph::with_symbols(
+            Label::Symbol(syms.intern("B")),
+            Arc::clone(&syms),
+        );
+        let ga = a.to_edge_labeled();
+        let gb = b.to_edge_labeled();
+        let mut merged = Graph::with_symbols(Arc::clone(&syms));
+        let ra = ops::copy_subgraph(&ga, ga.root(), &mut merged);
+        let rb = ops::copy_subgraph(&gb, gb.root(), &mut merged);
+        let u = ops::union(&mut merged, ra, rb);
+        merged.set_root(u);
+        // Both original node labels visible on the union root.
+        assert_eq!(merged.successors_by_name(u, "A").len(), 1);
+        assert_eq!(merged.successors_by_name(u, "B").len(), 1);
+    }
+
+    #[test]
+    fn decoder_recovers_structure() {
+        let nl = sample();
+        let g = nl.to_edge_labeled();
+        let back = NodeLabeledGraph::from_edge_labeled(&g).expect("decodable");
+        assert_eq!(back.node_label(back.root()), nl.node_label(nl.root()));
+        // Root has one structural child with the same edge label.
+        assert_eq!(back.edges(back.root()).len(), 1);
+        assert_eq!(
+            back.edges(back.root())[0].0,
+            nl.edges(nl.root())[0].0
+        );
+    }
+
+    #[test]
+    fn decoder_fails_without_label_edges() {
+        // A plain edge-labeled graph whose internal nodes have no leaf edge
+        // cannot be decoded.
+        let g = crate::literal::parse_graph("@x = {a: @x}").unwrap();
+        assert!(NodeLabeledGraph::from_edge_labeled(&g).is_none());
+    }
+
+    #[test]
+    fn cyclic_node_labeled_graph_converts() {
+        let syms = new_symbols();
+        let mut nl = NodeLabeledGraph::with_symbols(
+            Label::Symbol(syms.intern("loop")),
+            Arc::clone(&syms),
+        );
+        nl.add_edge(nl.root(), Label::Symbol(syms.intern("next")), nl.root());
+        let g = nl.to_edge_labeled();
+        assert!(g.has_cycle());
+    }
+}

@@ -1,0 +1,307 @@
+//! The §1.3 browsing queries.
+//!
+//! "Generally speaking, a user cannot write a database query without
+//! knowledge of the schema ... It may help in understanding the schema to
+//! be able to query data without full knowledge of the schema. For example
+//! the queries:
+//!
+//! * Where in the database is the string "Casablanca" to be found?
+//! * Are there integers in the database greater than 2^16?
+//! * What objects in the database have an attribute name that starts with
+//!   "act"?
+//!
+//! Such questions cannot be answered in any generic fashion by standard
+//! relational or object-oriented query languages."
+//!
+//! Here they *are* answered, generically, in two ways each: by a full scan
+//! of the reachable graph (the baseline) and through the
+//! [`ssd_graph::index::GraphIndex`] (the §4 optimization);
+//! experiment E2 benchmarks the gap. A found occurrence is reported with
+//! one shortest label path from the root, so the answer is *localised*
+//! ("where in the database"), not just boolean.
+
+use ssd_graph::index::GraphIndex;
+use ssd_graph::{Graph, Label, NodeId, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// An occurrence of a browsing hit: the edge, plus one shortest label path
+/// from the root to the edge's source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub from: NodeId,
+    pub label: Label,
+    pub to: NodeId,
+    /// Shortest path of labels from the root to `from` (empty if `from` is
+    /// the root).
+    pub path: Vec<Label>,
+}
+
+/// Compute one shortest label path from the root to every reachable node.
+fn shortest_paths(g: &Graph) -> HashMap<NodeId, Vec<Label>> {
+    let mut paths: HashMap<NodeId, Vec<Label>> = HashMap::new();
+    paths.insert(g.root(), Vec::new());
+    let mut queue = VecDeque::new();
+    queue.push_back(g.root());
+    while let Some(n) = queue.pop_front() {
+        let base = paths[&n].clone();
+        for e in g.edges(n) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = paths.entry(e.to) {
+                let mut p = base.clone();
+                p.push(e.label.clone());
+                slot.insert(p);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    paths
+}
+
+fn hits_from_edges(g: &Graph, edges: Vec<(NodeId, Label, NodeId)>) -> Vec<Hit> {
+    let paths = shortest_paths(g);
+    edges
+        .into_iter()
+        .map(|(from, label, to)| Hit {
+            from,
+            label,
+            to,
+            path: paths.get(&from).cloned().unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// Raw located edge, before path annotation.
+pub type Located = (NodeId, Label, NodeId);
+
+/// Q1 locate (scan): edges carrying the string `text` as a value or a
+/// symbol name. The pure search step, without path annotation.
+pub fn locate_string_scan(g: &Graph, text: &str) -> Vec<Located> {
+    let mut out = Vec::new();
+    for n in g.reachable() {
+        for e in g.edges(n) {
+            let matched = match &e.label {
+                Label::Value(Value::Str(s)) => s == text,
+                Label::Symbol(s) => &*g.symbols().resolve(*s) == text,
+                _ => false,
+            };
+            if matched {
+                out.push((n, e.label.clone(), e.to));
+            }
+        }
+    }
+    out
+}
+
+/// Q1 locate (index).
+pub fn locate_string_indexed(g: &Graph, idx: &GraphIndex, text: &str) -> Vec<Located> {
+    idx.find_string(g, text)
+        .into_iter()
+        .flat_map(|(from, to)| {
+            g.edges(from)
+                .iter()
+                .filter(|e| {
+                    e.to == to && e.label.text(g.symbols()).as_deref() == Some(text)
+                })
+                .map(|e| (from, e.label.clone(), e.to))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Q1 (scan): where is the string `text`? With path annotation.
+pub fn find_string_scan(g: &Graph, text: &str) -> Vec<Hit> {
+    hits_from_edges(g, locate_string_scan(g, text))
+}
+
+/// Q1 (index), with path annotation.
+pub fn find_string_indexed(g: &Graph, idx: &GraphIndex, text: &str) -> Vec<Hit> {
+    hits_from_edges(g, locate_string_indexed(g, idx, text))
+}
+
+/// Q2 locate (scan): integer edges with value > `threshold`.
+pub fn locate_ints_greater_scan(g: &Graph, threshold: i64) -> Vec<(i64, Located)> {
+    let mut out = Vec::new();
+    for n in g.reachable() {
+        for e in g.edges(n) {
+            if let Label::Value(Value::Int(i)) = &e.label {
+                if *i > threshold {
+                    out.push((*i, (n, e.label.clone(), e.to)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Q2 locate (index): a range probe on the value btree.
+pub fn locate_ints_greater_indexed(
+    g: &Graph,
+    idx: &GraphIndex,
+    threshold: i64,
+) -> Vec<(i64, Located)> {
+    let _ = g;
+    idx.ints_in_range(threshold.checked_add(1), None)
+        .into_iter()
+        .map(|(i, (from, to))| (i, (from, Label::int(i), to)))
+        .collect()
+}
+
+/// Q2 (scan): integers greater than `threshold`, with paths.
+pub fn ints_greater_scan(g: &Graph, threshold: i64) -> Vec<(i64, Hit)> {
+    let (vals, edges): (Vec<i64>, Vec<_>) =
+        locate_ints_greater_scan(g, threshold).into_iter().unzip();
+    vals.into_iter().zip(hits_from_edges(g, edges)).collect()
+}
+
+/// Q2 (index), with paths.
+pub fn ints_greater_indexed(g: &Graph, idx: &GraphIndex, threshold: i64) -> Vec<(i64, Hit)> {
+    let (vals, raw): (Vec<i64>, Vec<_>) = locate_ints_greater_indexed(g, idx, threshold)
+        .into_iter()
+        .unzip();
+    vals.into_iter().zip(hits_from_edges(g, raw)).collect()
+}
+
+/// Q3 locate (scan): symbol edges whose name starts with `prefix`.
+pub fn locate_attrs_prefix_scan(g: &Graph, prefix: &str) -> Vec<Located> {
+    let mut out = Vec::new();
+    for n in g.reachable() {
+        for e in g.edges(n) {
+            if let Label::Symbol(s) = &e.label {
+                if g.symbols().resolve(*s).starts_with(prefix) {
+                    out.push((n, e.label.clone(), e.to));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Q3 locate (index): symbol-table prefix search + label index — no graph
+/// scan at all.
+pub fn locate_attrs_prefix_indexed(g: &Graph, idx: &GraphIndex, prefix: &str) -> Vec<Located> {
+    idx.attrs_with_prefix(g, prefix)
+        .into_iter()
+        .map(|(sym, (from, to))| (from, Label::Symbol(sym), to))
+        .collect()
+}
+
+/// Q3 (scan): objects with an attribute name starting with `prefix`, with
+/// paths.
+pub fn attrs_with_prefix_scan(g: &Graph, prefix: &str) -> Vec<Hit> {
+    hits_from_edges(g, locate_attrs_prefix_scan(g, prefix))
+}
+
+/// Q3 (index), with paths.
+pub fn attrs_with_prefix_indexed(g: &Graph, idx: &GraphIndex, prefix: &str) -> Vec<Hit> {
+    hits_from_edges(g, locate_attrs_prefix_indexed(g, idx, prefix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::literal::parse_graph;
+    use std::collections::BTreeSet;
+
+    fn db() -> Graph {
+        parse_graph(
+            r#"{Entry: {Movie: {Title: "Casablanca",
+                                Cast: {Actors: "Bogart", Actors: "Bacall"},
+                                BoxOffice: 1200000,
+                                Year: 1942}},
+                Entry: {Movie: {Title: "Play it again, Sam",
+                                Cast: {Credit: {actors: "Allen"}},
+                                Year: 1972}}}"#,
+        )
+        .unwrap()
+    }
+
+    fn norm(hits: &[Hit]) -> BTreeSet<(NodeId, NodeId)> {
+        hits.iter().map(|h| (h.from, h.to)).collect()
+    }
+
+    #[test]
+    fn q1_scan_and_index_agree() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        for text in ["Casablanca", "Bogart", "Title", "actors", "nothing-here"] {
+            let s = find_string_scan(&g, text);
+            let i = find_string_indexed(&g, &idx, text);
+            assert_eq!(norm(&s), norm(&i), "disagree on {text}");
+        }
+    }
+
+    #[test]
+    fn q1_finds_casablanca_with_path() {
+        let g = db();
+        let hits = find_string_scan(&g, "Casablanca");
+        assert_eq!(hits.len(), 1);
+        let path: Vec<String> = hits[0]
+            .path
+            .iter()
+            .map(|l| l.display(g.symbols()).to_string())
+            .collect();
+        assert_eq!(path, vec!["Entry", "Movie", "Title"]);
+    }
+
+    #[test]
+    fn q2_scan_and_index_agree() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        for threshold in [0, 1941, 65536, 10_000_000] {
+            let s: BTreeSet<i64> = ints_greater_scan(&g, threshold)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let i: BTreeSet<i64> = ints_greater_indexed(&g, &idx, threshold)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(s, i, "disagree at threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn q2_finds_ints_above_2_16() {
+        let g = db();
+        let hits = ints_greater_scan(&g, 1 << 16);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1_200_000);
+    }
+
+    #[test]
+    fn q3_scan_and_index_agree() {
+        let g = db();
+        let idx = GraphIndex::build(&g);
+        for prefix in ["Act", "act", "T", "Zzz"] {
+            let s = attrs_with_prefix_scan(&g, prefix);
+            let i = attrs_with_prefix_indexed(&g, &idx, prefix);
+            assert_eq!(norm(&s), norm(&i), "disagree on {prefix}");
+        }
+    }
+
+    #[test]
+    fn q3_finds_act_attributes() {
+        let g = db();
+        // Case-sensitive: "Actors" x2 + "actors" x1.
+        assert_eq!(attrs_with_prefix_scan(&g, "Act").len(), 2);
+        assert_eq!(attrs_with_prefix_scan(&g, "act").len(), 1);
+    }
+
+    #[test]
+    fn browsing_works_on_cyclic_data() {
+        let g = parse_graph(r#"@e = {References: @e, Title: "Loop"}"#).unwrap();
+        let idx = GraphIndex::build(&g);
+        let hits = find_string_indexed(&g, &idx, "Loop");
+        assert_eq!(hits.len(), 1);
+        assert!(ints_greater_scan(&g, 0).is_empty());
+    }
+
+    #[test]
+    fn paths_are_shortest() {
+        // Two routes to the same node; the reported path must be the short
+        // one.
+        let g = parse_graph(r#"{short: @t = {leaf: "X"}, long: {mid: @t}}"#).unwrap();
+        let hits = find_string_scan(&g, "X");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path.len(), 2); // short.leaf
+    }
+}

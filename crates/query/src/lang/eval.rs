@@ -1,0 +1,892 @@
+//! Evaluation of select-from-where queries.
+//!
+//! Semantics (UnQL's select fragment): the bindings enumerate assignments
+//! by nested-loop joins of RPE matches; for each assignment that satisfies
+//! the `where` clause, the constructor is evaluated to a tree; the query
+//! result is the *set union* of those trees (union of their top-level edge
+//! sets), so `select T ...` with T bound to title nodes yields the set of
+//! all title values.
+//!
+//! Options toggle the optimizer behaviours benchmarked in E10:
+//! condition pushdown (evaluate each conjunct as soon as its variables are
+//! bound — §4's "extensions of existing techniques for optimization") and
+//! DataGuide pruning (\[20\]: skip bindings whose path provably matches
+//! nothing).
+
+use super::ast::{CmpOp, Cond, Construct, Expr, LabelExpr, SelectQuery, Source};
+use crate::rpe::{eval_rpe, Nfa, Rpe};
+use ssd_graph::ops::copy_subgraph;
+use ssd_graph::{Graph, Label, LabelKind, NodeId, Value};
+use ssd_schema::DataGuide;
+use std::collections::HashMap;
+
+/// A bound value: a tree node or an edge label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindVal {
+    Tree(NodeId),
+    Label(Label),
+}
+
+/// Evaluation options (the optimizer's knobs).
+#[derive(Default)]
+pub struct EvalOptions<'a> {
+    /// Evaluate conjuncts of the `where` clause as soon as their variables
+    /// are bound instead of after all bindings.
+    pub pushdown: bool,
+    /// Simplify RPEs algebraically before compiling.
+    pub simplify_rpe: bool,
+    /// Answer db-rooted bindings *from* a DataGuide. This is exact, not
+    /// just a pruning heuristic: a data node is reached by some word of
+    /// the path language iff a guide node holding it in its target set is
+    /// reached by the same word, so evaluating the RPE over the (smaller,
+    /// deterministic) guide and unioning target sets returns precisely
+    /// the data matches — the path-index payoff of §4/\[22\].
+    pub guide: Option<&'a DataGuide>,
+}
+
+impl<'a> EvalOptions<'a> {
+    /// Everything on.
+    pub fn optimized(guide: Option<&'a DataGuide>) -> EvalOptions<'a> {
+        EvalOptions {
+            pushdown: true,
+            simplify_rpe: true,
+            guide,
+        }
+    }
+}
+
+/// Statistics from one evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct EvalStats {
+    /// Assignments that reached the construct stage.
+    pub results_constructed: usize,
+    /// Assignments enumerated (tuples tried).
+    pub assignments_tried: usize,
+    /// Bindings skipped by guide pruning.
+    pub guide_pruned: usize,
+    /// RPE evaluations performed.
+    pub rpe_evals: usize,
+}
+
+/// Evaluate `query` against `g`, returning the result graph (rooted at the
+/// union of all constructed trees) and statistics.
+pub fn evaluate_select(
+    g: &Graph,
+    query: &SelectQuery,
+    opts: &EvalOptions<'_>,
+) -> Result<(Graph, EvalStats), String> {
+    query.validate()?;
+    let mut result = Graph::with_symbols(g.symbols_handle());
+    let mut stats = EvalStats::default();
+
+    // Precompile binding paths.
+    let compiled: Vec<(Option<(Rpe, crate::rpe::ast::Step)>, Nfa)> = query
+        .bindings
+        .iter()
+        .map(|b| {
+            let path = if opts.simplify_rpe {
+                b.path.simplify()
+            } else {
+                b.path.clone()
+            };
+            let split = path.split_trailing_label_var();
+            let nfa = match &split {
+                Some((prefix, _)) => Nfa::compile(prefix),
+                None => Nfa::compile(&path),
+            };
+            (split, nfa)
+        })
+        .collect();
+
+    // Guide pruning: a db-rooted binding whose path matches nothing in the
+    // guide matches nothing in the data.
+    if let Some(guide) = opts.guide {
+        for (i, b) in query.bindings.iter().enumerate() {
+            if b.source == Source::Db {
+                let path = if opts.simplify_rpe {
+                    b.path.simplify()
+                } else {
+                    b.path.clone()
+                };
+                let probe = match path.split_trailing_label_var() {
+                    Some((prefix, step)) => {
+                        // The prefix must be non-empty somewhere, and the
+                        // final step must match some guide edge.
+                        let mids = eval_rpe(guide.graph(), guide.graph().root(), &prefix);
+                        mids.iter().any(|&m| {
+                            guide
+                                .graph()
+                                .edges(m)
+                                .iter()
+                                .any(|e| step.matches(&e.label, guide.graph().symbols()))
+                        })
+                    }
+                    None => !eval_rpe(guide.graph(), guide.graph().root(), &path).is_empty(),
+                };
+                if !probe {
+                    stats.guide_pruned += 1;
+                    let _ = i;
+                    // Empty result.
+                    return Ok((result, stats));
+                }
+            }
+        }
+    }
+
+    // Conjuncts for pushdown, each tagged with its variable set.
+    let conjuncts: Vec<&Cond> = query
+        .condition
+        .as_ref()
+        .map(|c| c.conjuncts())
+        .unwrap_or_default();
+    // For pushdown: the earliest binding index after which each conjunct is
+    // fully bound.
+    let bound_after: Vec<usize> = conjuncts
+        .iter()
+        .map(|c| {
+            let vars = c.vars();
+            let mut idx = 0;
+            for (i, b) in query.bindings.iter().enumerate() {
+                let binds_here = vars.contains(b.var.as_str())
+                    || b.path.label_vars().iter().any(|lv| vars.contains(lv));
+                if binds_here {
+                    idx = i + 1;
+                }
+            }
+            idx.max(1)
+        })
+        .collect();
+
+    let mut env: HashMap<String, BindVal> = HashMap::new();
+    // One shared leaf for all constructed atoms: equal atoms then produce
+    // identical (label, node) edges, which the edge-set union dedupes —
+    // matching the model's set semantics.
+    let atom_leaf = result.add_node();
+    let mut copy_memo: HashMap<NodeId, NodeId> = HashMap::new();
+    enumerate(
+        g,
+        query,
+        &compiled,
+        &conjuncts,
+        &bound_after,
+        opts,
+        0,
+        &mut env,
+        &mut result,
+        atom_leaf,
+        &mut copy_memo,
+        &mut stats,
+    )?;
+    result.gc();
+    Ok((result, stats))
+}
+
+/// Evaluate `query` with its *first* binding's variable pre-bound to
+/// `node` (and its label variable, if any, to `label`): the residual
+/// sub-query of \[35\]-style query decomposition
+/// ([`crate::decompose::evaluate_select_parallel`]). The first binding's
+/// path is NOT re-evaluated; `node`/`label` must come from a prior
+/// evaluation of it.
+pub fn evaluate_select_seeded(
+    g: &Graph,
+    query: &SelectQuery,
+    node: NodeId,
+    label: Option<Label>,
+    opts: &EvalOptions<'_>,
+) -> Result<(Graph, EvalStats), String> {
+    query.validate()?;
+    if query.bindings.is_empty() {
+        return Err("seeded evaluation requires at least one binding".into());
+    }
+    let mut result = Graph::with_symbols(g.symbols_handle());
+    let mut stats = EvalStats::default();
+    let compiled: Vec<(Option<(Rpe, crate::rpe::ast::Step)>, Nfa)> = query
+        .bindings
+        .iter()
+        .map(|b| {
+            let path = if opts.simplify_rpe {
+                b.path.simplify()
+            } else {
+                b.path.clone()
+            };
+            let split = path.split_trailing_label_var();
+            let nfa = match &split {
+                Some((prefix, _)) => Nfa::compile(prefix),
+                None => Nfa::compile(&path),
+            };
+            (split, nfa)
+        })
+        .collect();
+    let conjuncts: Vec<&Cond> = query
+        .condition
+        .as_ref()
+        .map(|c| c.conjuncts())
+        .unwrap_or_default();
+    let bound_after: Vec<usize> = conjuncts
+        .iter()
+        .map(|c| {
+            let vars = c.vars();
+            let mut idx = 0;
+            for (i, b) in query.bindings.iter().enumerate() {
+                let binds_here = vars.contains(b.var.as_str())
+                    || b.path.label_vars().iter().any(|lv| vars.contains(lv));
+                if binds_here {
+                    idx = i + 1;
+                }
+            }
+            idx.max(1)
+        })
+        .collect();
+    let mut env: HashMap<String, BindVal> = HashMap::new();
+    env.insert(query.bindings[0].var.clone(), BindVal::Tree(node));
+    if let (Some(lv), Some(l)) = (query.bindings[0].path.label_vars().first(), label) {
+        env.insert((*lv).to_string(), BindVal::Label(l));
+    }
+    // Conjuncts bound by binding 0 are checked up front under pushdown.
+    if opts.pushdown {
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if bound_after[ci] == 1 && !eval_cond(g, c, &env, &mut stats)? {
+                result.gc();
+                return Ok((result, stats));
+            }
+        }
+    }
+    let atom_leaf = result.add_node();
+    let mut copy_memo: HashMap<NodeId, NodeId> = HashMap::new();
+    enumerate(
+        g,
+        query,
+        &compiled,
+        &conjuncts,
+        &bound_after,
+        opts,
+        1, // skip binding 0: it is seeded
+        &mut env,
+        &mut result,
+        atom_leaf,
+        &mut copy_memo,
+        &mut stats,
+    )?;
+    result.gc();
+    Ok((result, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    g: &Graph,
+    query: &SelectQuery,
+    compiled: &[(Option<(Rpe, crate::rpe::ast::Step)>, Nfa)],
+    conjuncts: &[&Cond],
+    bound_after: &[usize],
+    opts: &EvalOptions<'_>,
+    depth: usize,
+    env: &mut HashMap<String, BindVal>,
+    result: &mut Graph,
+    atom_leaf: NodeId,
+    copy_memo: &mut HashMap<NodeId, NodeId>,
+    stats: &mut EvalStats,
+) -> Result<(), String> {
+    if depth == query.bindings.len() {
+        stats.assignments_tried += 1;
+        // Residual conditions (all, if no pushdown; none, if pushdown got
+        // them all).
+        if !opts.pushdown {
+            for c in conjuncts {
+                if !eval_cond(g, c, env, stats)? {
+                    return Ok(());
+                }
+            }
+        }
+        stats.results_constructed += 1;
+        let edges = construct_edges(g, &query.construct, env, result, atom_leaf, copy_memo)?;
+        let root = result.root();
+        for (label, to) in edges {
+            result.add_edge(root, label, to);
+        }
+        return Ok(());
+    }
+    let binding = &query.bindings[depth];
+    let start = match &binding.source {
+        Source::Db => g.root(),
+        Source::Var(v) => match env.get(v) {
+            Some(BindVal::Tree(n)) => *n,
+            Some(BindVal::Label(_)) => {
+                return Err(format!("binding source {v} is a label, not a tree"))
+            }
+            None => return Err(format!("unbound source variable {v}")),
+        },
+    };
+    let (split, nfa) = &compiled[depth];
+    stats.rpe_evals += 1;
+    // Guide-exact evaluation: a db-rooted RPE can be answered entirely
+    // from the DataGuide (see `EvalOptions::guide`).
+    let guide_mids: Option<Vec<NodeId>> = match (&binding.source, opts.guide) {
+        (Source::Db, Some(guide)) => {
+            let guide_nodes =
+                crate::rpe::eval::eval_nfa(guide.graph(), guide.graph().root(), nfa);
+            let mut mids: Vec<NodeId> = guide_nodes
+                .into_iter()
+                .flat_map(|gn| guide.targets(gn).iter().copied())
+                .collect();
+            mids.sort_unstable();
+            mids.dedup();
+            Some(mids)
+        }
+        _ => None,
+    };
+    let matches: Vec<(Option<Label>, NodeId)> = match split {
+        Some((_, step)) => {
+            let mids = match guide_mids {
+                Some(m) => m,
+                None => crate::rpe::eval::eval_nfa(g, start, nfa),
+            };
+            let mut out = Vec::new();
+            for mid in mids {
+                for e in g.edges(mid) {
+                    if step.matches(&e.label, g.symbols()) {
+                        out.push((Some(e.label.clone()), e.to));
+                    }
+                }
+            }
+            out.sort();
+            out.dedup();
+            out
+        }
+        None => match guide_mids {
+            Some(m) => m.into_iter().map(|n| (None, n)).collect(),
+            None => crate::rpe::eval::eval_nfa(g, start, nfa)
+                .into_iter()
+                .map(|n| (None, n))
+                .collect(),
+        },
+    };
+    let label_var = binding.path.label_vars().first().map(|s| s.to_string());
+    for (label, node) in matches {
+        env.insert(binding.var.clone(), BindVal::Tree(node));
+        if let (Some(lv), Some(l)) = (&label_var, &label) {
+            env.insert(lv.clone(), BindVal::Label(l.clone()));
+        }
+        // Pushdown: check all conjuncts that became fully bound here.
+        let mut ok = true;
+        if opts.pushdown {
+            for (ci, c) in conjuncts.iter().enumerate() {
+                if bound_after[ci] == depth + 1 && !eval_cond(g, c, env, stats)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            enumerate(
+                g, query, compiled, conjuncts, bound_after, opts,
+                depth + 1, env, result, atom_leaf, copy_memo, stats,
+            )?;
+        }
+        env.remove(&binding.var);
+        if let Some(lv) = &label_var {
+            env.remove(lv);
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate a constructor to the edge set it contributes at the top level.
+fn construct_edges(
+    g: &Graph,
+    c: &Construct,
+    env: &HashMap<String, BindVal>,
+    result: &mut Graph,
+    atom_leaf: NodeId,
+    copy_memo: &mut HashMap<NodeId, NodeId>,
+) -> Result<Vec<(Label, NodeId)>, String> {
+    match c {
+        Construct::Node(entries) => {
+            let mut out = Vec::with_capacity(entries.len());
+            for (lx, sub) in entries {
+                let label = eval_label_expr(g, lx, env)?;
+                let node = construct_node(g, sub, env, result, atom_leaf, copy_memo)?;
+                out.push((label, node));
+            }
+            Ok(out)
+        }
+        Construct::Var(v) => match env.get(v) {
+            Some(BindVal::Tree(n)) => {
+                // Union semantics: contribute the node's edges (copied).
+                let copied = copy_into(g, *n, result, copy_memo);
+                Ok(result.edges(copied).to_vec().into_iter().map(|e| (e.label, e.to)).collect())
+            }
+            Some(BindVal::Label(l)) => {
+                // A label contributes itself as a value edge.
+                Ok(vec![(label_as_value(l, g), atom_leaf)])
+            }
+            None => Err(format!("unbound variable {v} in construct")),
+        },
+        Construct::Atom(v) => Ok(vec![(Label::Value(v.clone()), atom_leaf)]),
+    }
+}
+
+/// Evaluate a constructor to a node in the result graph.
+fn construct_node(
+    g: &Graph,
+    c: &Construct,
+    env: &HashMap<String, BindVal>,
+    result: &mut Graph,
+    atom_leaf: NodeId,
+    copy_memo: &mut HashMap<NodeId, NodeId>,
+) -> Result<NodeId, String> {
+    match c {
+        Construct::Node(entries) => {
+            let n = result.add_node();
+            for (lx, sub) in entries {
+                let label = eval_label_expr(g, lx, env)?;
+                let node = construct_node(g, sub, env, result, atom_leaf, copy_memo)?;
+                result.add_edge(n, label, node);
+            }
+            Ok(n)
+        }
+        Construct::Var(v) => match env.get(v) {
+            Some(BindVal::Tree(n)) => Ok(copy_into(g, *n, result, copy_memo)),
+            Some(BindVal::Label(l)) => {
+                let n = result.add_node();
+                let label = label_as_value(l, g);
+                result.add_edge(n, label, atom_leaf);
+                Ok(n)
+            }
+            None => Err(format!("unbound variable {v} in construct")),
+        },
+        Construct::Atom(v) => {
+            let n = result.add_node();
+            result.add_edge(n, Label::Value(v.clone()), atom_leaf);
+            Ok(n)
+        }
+    }
+}
+
+fn eval_label_expr(
+    g: &Graph,
+    lx: &LabelExpr,
+    env: &HashMap<String, BindVal>,
+) -> Result<Label, String> {
+    match lx {
+        LabelExpr::Symbol(s) => Ok(Label::symbol(g.symbols(), s)),
+        LabelExpr::Value(v) => Ok(Label::Value(v.clone())),
+        LabelExpr::LabelVar(v) => match env.get(v) {
+            Some(BindVal::Label(l)) => Ok(l.clone()),
+            Some(BindVal::Tree(_)) => Err(format!("{v} is a tree variable, not a label")),
+            None => Err(format!("unbound label variable ^{v}")),
+        },
+    }
+}
+
+/// Copy a subtree from the data graph into the result graph (cycle-safe,
+/// memoized so repeated references share structure).
+fn copy_into(
+    g: &Graph,
+    n: NodeId,
+    result: &mut Graph,
+    memo: &mut HashMap<NodeId, NodeId>,
+) -> NodeId {
+    if let Some(&img) = memo.get(&n) {
+        return img;
+    }
+    let img = copy_subgraph(g, n, result);
+    // copy_subgraph doesn't expose its internal map; record at least the
+    // root image. (Sharing *within* one copy is preserved by
+    // copy_subgraph; sharing across separate construct evaluations is
+    // preserved by this memo.)
+    memo.insert(n, img);
+    img
+}
+
+/// View a bound label as a value label for use in atom positions: value
+/// labels pass through; symbols become their name string.
+fn label_as_value(l: &Label, g: &Graph) -> Label {
+    match l {
+        Label::Value(_) => l.clone(),
+        Label::Symbol(s) => Label::Value(Value::Str(g.symbols().resolve(*s).to_string())),
+    }
+}
+
+/// Evaluate a condition under the current environment.
+fn eval_cond(
+    g: &Graph,
+    c: &Cond,
+    env: &HashMap<String, BindVal>,
+    stats: &mut EvalStats,
+) -> Result<bool, String> {
+    match c {
+        Cond::Cmp(a, op, b) => {
+            let va = expr_values(g, a, env)?;
+            let vb = expr_values(g, b, env)?;
+            // Existential overloading (Lorel-style): true if some pair of
+            // values satisfies the comparison.
+            Ok(va.iter().any(|x| {
+                vb.iter().any(|y| {
+                    let ord = x.query_cmp(y);
+                    match op {
+                        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    }
+                })
+            }))
+        }
+        Cond::Like(e, pat) => {
+            let vals = expr_values(g, e, env)?;
+            Ok(vals.iter().any(|v| match v {
+                Value::Str(s) => like_match(s, pat),
+                _ => false,
+            }))
+        }
+        Cond::TypeIs(e, kind) => match e {
+            Expr::Var(v) => match env.get(v) {
+                Some(BindVal::Label(l)) => Ok(l.kind() == *kind),
+                Some(BindVal::Tree(n)) => Ok(g
+                    .values_at(*n)
+                    .iter()
+                    .any(|val| LabelKind::from_value_kind(val.kind()) == *kind)),
+                None => Err(format!("unbound variable {v}")),
+            },
+            Expr::Const(v) => Ok(LabelKind::from_value_kind(v.kind()) == *kind),
+        },
+        Cond::Exists(v, path) => match env.get(v) {
+            Some(BindVal::Tree(n)) => {
+                stats.rpe_evals += 1;
+                Ok(!eval_rpe(g, *n, path).is_empty())
+            }
+            Some(BindVal::Label(_)) => Err(format!("{v} is a label, not a tree")),
+            None => Err(format!("unbound variable {v}")),
+        },
+        Cond::Not(inner) => Ok(!eval_cond(g, inner, env, stats)?),
+        Cond::And(a, b) => Ok(eval_cond(g, a, env, stats)? && eval_cond(g, b, env, stats)?),
+        Cond::Or(a, b) => Ok(eval_cond(g, a, env, stats)? || eval_cond(g, b, env, stats)?),
+    }
+}
+
+/// The set of values an expression denotes: constants denote themselves;
+/// tree variables denote the values hanging off their node (Lorel's
+/// object-vs-value coercion); label variables denote their label's value
+/// (symbols coerce to their name string so `L like "act%"` works).
+fn expr_values(
+    g: &Graph,
+    e: &Expr,
+    env: &HashMap<String, BindVal>,
+) -> Result<Vec<Value>, String> {
+    match e {
+        Expr::Const(v) => Ok(vec![v.clone()]),
+        Expr::Var(v) => match env.get(v) {
+            Some(BindVal::Tree(n)) => Ok(g.values_at(*n).into_iter().cloned().collect()),
+            Some(BindVal::Label(Label::Value(val))) => Ok(vec![val.clone()]),
+            Some(BindVal::Label(Label::Symbol(s))) => {
+                Ok(vec![Value::Str(g.symbols().resolve(*s).to_string())])
+            }
+            None => Err(format!("unbound variable {v}")),
+        },
+    }
+}
+
+/// SQL-style LIKE restricted to `%` at the ends: `"abc"`, `"abc%"`,
+/// `"%abc"`, `"%abc%"`.
+fn like_match(s: &str, pat: &str) -> bool {
+    let starts = pat.starts_with('%');
+    let ends = pat.ends_with('%');
+    let core = pat.trim_start_matches('%').trim_end_matches('%');
+    match (starts, ends) {
+        (false, false) => s == core,
+        (false, true) => s.starts_with(core),
+        (true, false) => s.ends_with(core),
+        (true, true) => s.contains(core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse_query;
+    use ssd_graph::bisim::graphs_bisimilar;
+    use ssd_graph::literal::{parse_graph, write_graph};
+
+    fn movie_db() -> Graph {
+        parse_graph(
+            r#"{Entry: {Movie: {Title: "Casablanca",
+                                Cast: {Actors: "Bogart", Actors: "Bacall"},
+                                Director: "Curtiz",
+                                Year: 1942}},
+                Entry: {Movie: {Title: "Play it again, Sam",
+                                Cast: {Credit: {Actors: "Allen"}},
+                                Director: "Allen",
+                                Year: 1972}},
+                Entry: {TV_Show: {Title: "Annie Hall Special",
+                                  Episode: 3}}}"#,
+        )
+        .unwrap()
+    }
+
+    fn run(g: &Graph, src: &str) -> Graph {
+        let q = parse_query(src).unwrap();
+        let (result, _) = evaluate_select(g, &q, &EvalOptions::default()).unwrap();
+        result
+    }
+
+    #[test]
+    fn select_titles() {
+        let g = movie_db();
+        let r = run(&g, "select T from db.Entry.Movie.Title T");
+        // Union of the two title nodes' edges: two string value edges.
+        assert_eq!(r.out_degree(r.root()), 2);
+        let vals: Vec<String> = r
+            .values_at(r.root())
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_owned))
+            .collect();
+        assert!(vals.contains(&"Casablanca".to_string()));
+    }
+
+    #[test]
+    fn construct_wraps_results() {
+        let g = movie_db();
+        let r = run(&g, "select {Title: T} from db.Entry.Movie.Title T");
+        assert_eq!(r.successors_by_name(r.root(), "Title").len(), 2);
+        let expected = parse_graph(
+            r#"{Title: "Casablanca", Title: "Play it again, Sam"}"#,
+        )
+        .unwrap();
+        assert!(graphs_bisimilar(&r, &expected));
+    }
+
+    #[test]
+    fn variables_tie_paths_together() {
+        // §3's point: Title and Director must come from the SAME movie.
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select {Pair: {T: T, D: D}} from db.Entry.Movie M, M.Title T, M.Director D"#,
+        );
+        let pairs = r.successors_by_name(r.root(), "Pair");
+        assert_eq!(pairs.len(), 2);
+        // No cross-product pair (Casablanca, Allen) style mixing: check each
+        // pair is internally consistent.
+        for p in pairs {
+            let t = r.successors_by_name(p, "T")[0];
+            let d = r.successors_by_name(p, "D")[0];
+            let tv = r.values_at(t)[0].as_str().unwrap().to_owned();
+            let dv = r.values_at(d)[0].as_str().unwrap().to_owned();
+            match tv.as_str() {
+                "Casablanca" => assert_eq!(dv, "Curtiz"),
+                "Play it again, Sam" => assert_eq!(dv, "Allen"),
+                other => panic!("unexpected title {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn where_comparison_filters() {
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select T from db.Entry.Movie M, M.Title T, M.Year Y where Y < 1950"#,
+        );
+        assert_eq!(r.out_degree(r.root()), 1);
+        assert_eq!(
+            r.values_at(r.root())[0].as_str(),
+            Some("Casablanca")
+        );
+    }
+
+    #[test]
+    fn where_string_equality() {
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select {Found: M} from db.Entry.Movie M, M.Title T where T = "Casablanca""#,
+        );
+        assert_eq!(r.successors_by_name(r.root(), "Found").len(), 1);
+    }
+
+    #[test]
+    fn exists_condition() {
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select T from db.Entry.%.Title T, db.Entry.% M where exists M.Episode and exists M.Title"#,
+        );
+        // Both Entry children M with Episode: only the TV show; but T ranges
+        // over all titles — M and T are not tied here, so all titles appear
+        // (cross product semantics).
+        assert_eq!(r.out_degree(r.root()), 3);
+        let r2 = run(
+            &g,
+            r#"select T from db.Entry.% M, M.Title T where exists M.Episode"#,
+        );
+        assert_eq!(r2.out_degree(r2.root()), 1);
+        assert_eq!(
+            r2.values_at(r2.root())[0].as_str(),
+            Some("Annie Hall Special")
+        );
+    }
+
+    #[test]
+    fn label_variables_and_like() {
+        let g = movie_db();
+        // All attribute names under entries that start with "Dir".
+        let r = run(
+            &g,
+            r#"select L from db.Entry.%.^L X where L like "Dir%""#,
+        );
+        assert_eq!(r.out_degree(r.root()), 1);
+        assert_eq!(r.values_at(r.root())[0].as_str(), Some("Director"));
+    }
+
+    #[test]
+    fn label_variable_in_construct_position() {
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select {^L: X} from db.Entry.TV_Show.^L X"#,
+        );
+        // TV show attributes rebuilt under the result root.
+        assert_eq!(r.successors_by_name(r.root(), "Title").len(), 1);
+        assert_eq!(r.successors_by_name(r.root(), "Episode").len(), 1);
+    }
+
+    #[test]
+    fn negated_step_allen_not_in_casablanca() {
+        let g = movie_db();
+        // Movies where "Allen" occurs below without crossing another Movie
+        // edge.
+        let r = run(
+            &g,
+            r#"select T from db.Entry.Movie M, M.Title T, M.(!Movie)*."Allen" A"#,
+        );
+        assert_eq!(r.out_degree(r.root()), 1);
+        assert_eq!(
+            r.values_at(r.root())[0].as_str(),
+            Some("Play it again, Sam")
+        );
+    }
+
+    #[test]
+    fn type_predicates() {
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select {N: X} from db.Entry.%.^L X where isint(X)"#,
+        );
+        // Year (x2) and Episode carry ints.
+        assert_eq!(r.successors_by_name(r.root(), "N").len(), 3);
+    }
+
+    #[test]
+    fn atom_constructor() {
+        let g = movie_db();
+        let r = run(&g, r#"select {hit: 1} from db.Entry.Movie M"#);
+        // Two movies but identical constructed trees union to one edge...
+        // each construct makes a fresh node, so edges dedup by (label, node)
+        // only; bisimilarity collapses them.
+        let expected = parse_graph("{hit: 1, hit: 1}").unwrap();
+        assert!(graphs_bisimilar(&r, &expected));
+    }
+
+    #[test]
+    fn empty_result_is_empty_graph() {
+        let g = movie_db();
+        let r = run(&g, r#"select T from db.Nope.Title T"#);
+        assert!(r.is_leaf(r.root()));
+    }
+
+    #[test]
+    fn pushdown_agrees_with_baseline() {
+        let g = movie_db();
+        let q = parse_query(
+            r#"select {T: T, D: D} from db.Entry.Movie M, M.Title T, M.Director D, M.Year Y
+               where Y > 1950 and D = "Allen""#,
+        )
+        .unwrap();
+        let (base, base_stats) =
+            evaluate_select(&g, &q, &EvalOptions::default()).unwrap();
+        let (opt, opt_stats) = evaluate_select(
+            &g,
+            &q,
+            &EvalOptions {
+                pushdown: true,
+                simplify_rpe: true,
+                guide: None,
+            },
+        )
+        .unwrap();
+        assert!(graphs_bisimilar(&base, &opt));
+        // Pushdown prunes assignments before full enumeration.
+        assert!(opt_stats.assignments_tried <= base_stats.assignments_tried);
+    }
+
+    #[test]
+    fn guide_pruning_short_circuits_empty_queries() {
+        let g = movie_db();
+        let guide = DataGuide::build(&g);
+        let q = parse_query(r#"select T from db.NoSuchLabel.%* T"#).unwrap();
+        let (r, stats) = evaluate_select(
+            &g,
+            &q,
+            &EvalOptions {
+                pushdown: false,
+                simplify_rpe: false,
+                guide: Some(&guide),
+            },
+        )
+        .unwrap();
+        assert!(r.is_leaf(r.root()));
+        assert_eq!(stats.guide_pruned, 1);
+        assert_eq!(stats.rpe_evals, 0, "no data-graph RPE evaluation at all");
+    }
+
+    #[test]
+    fn guide_pruning_preserves_nonempty_results() {
+        let g = movie_db();
+        let guide = DataGuide::build(&g);
+        let q = parse_query("select T from db.Entry.Movie.Title T").unwrap();
+        let (with_guide, _) = evaluate_select(
+            &g,
+            &q,
+            &EvalOptions::optimized(Some(&guide)),
+        )
+        .unwrap();
+        let (without, _) = evaluate_select(&g, &q, &EvalOptions::default()).unwrap();
+        assert!(graphs_bisimilar(&with_guide, &without));
+    }
+
+    #[test]
+    fn result_graph_is_serializable() {
+        let g = movie_db();
+        let r = run(&g, "select {Movie: M} from db.Entry.Movie M");
+        let text = write_graph(&r);
+        let reparsed = parse_graph(&text).unwrap();
+        assert!(graphs_bisimilar(&r, &reparsed));
+    }
+
+    #[test]
+    fn like_match_variants() {
+        assert!(like_match("Director", "Dir%"));
+        assert!(like_match("Director", "%ector"));
+        assert!(like_match("Director", "%rect%"));
+        assert!(like_match("Director", "Director"));
+        assert!(!like_match("Director", "direct%"));
+        assert!(!like_match("Director", "%xyz%"));
+    }
+
+    #[test]
+    fn cross_binding_value_join() {
+        // Movies sharing a director with another entry's cast member:
+        // "Allen" directs and acts.
+        let g = movie_db();
+        let r = run(
+            &g,
+            r#"select {Both: D} from db.Entry.Movie M, M.Director D,
+                    M.Cast.(Actors | Credit.Actors) A
+               where A = D"#,
+        );
+        assert_eq!(r.successors_by_name(r.root(), "Both").len(), 1);
+    }
+}

@@ -1,0 +1,506 @@
+//! Surface syntax for structural recursion — the "query language for
+//! transformation" side of §3 ("building a sufficiently expressive
+//! language for querying *and transformation*", abstract).
+//!
+//! ```text
+//! rewrite
+//!   case Credit            => collapse
+//!   case "Play it again, Sam" => { "Bacall": recur }
+//!   case secret            => delete
+//!   case [int]             => { _: keep }
+//!   otherwise              => { _: recur }
+//! ```
+//!
+//! Each `case` pairs a label predicate (same step syntax as query paths:
+//! identifiers, literals, `%`, `[int]`-style type tests, `!p`, `(p|q)`)
+//! with a template:
+//!
+//! * `delete` — drop the edge (and anything only reachable through it);
+//! * `collapse` — splice the target's transformed children into the source;
+//! * `{ l1: t1, ... }` — constructed children, where a label position may
+//!   be `_` (the original label), an identifier, or a literal, and a tree
+//!   position may be `recur` (the recursive result), `keep` (the original
+//!   subtree verbatim), a literal atom, or a nested `{...}`.
+//!
+//! The optional `otherwise` clause replaces the default (which is the
+//! identity `{_: recur}`). Parsed rewrites compile to
+//! [`Transducer`]s and run under [`gext`](crate::recursion::gext).
+
+use crate::recursion::{EdgeTemplate, TLabel, TTree, Transducer};
+use ssd_graph::{LabelKind, Value};
+use ssd_schema::Pred;
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteParseError {
+    pub at: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for RewriteParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rewrite parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for RewriteParseError {}
+
+/// Parse the `rewrite` surface syntax into a transducer.
+pub fn parse_rewrite(src: &str) -> Result<Transducer, RewriteParseError> {
+    let mut p = P { src, pos: 0 };
+    p.expect_keyword("rewrite")?;
+    let mut t = Transducer::new();
+    loop {
+        if p.keyword("case") {
+            let pred = p.pred()?;
+            p.expect_tok("=>")?;
+            let template = p.template()?;
+            t = t.case(pred, template);
+        } else if p.keyword("otherwise") {
+            p.expect_tok("=>")?;
+            let template = p.template()?;
+            t = t.otherwise(template);
+            break;
+        } else {
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input after rewrite");
+    }
+    Ok(t)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, RewriteParseError> {
+        Err(RewriteParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let r = self.rest();
+            let t = r.trim_start();
+            self.pos += r.len() - t.len();
+            if self.rest().starts_with("--") {
+                match self.rest().find('\n') {
+                    Some(i) => self.pos += i + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), RewriteParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{c}'"))
+        }
+    }
+
+    fn expect_tok(&mut self, tok: &str) -> Result<(), RewriteParseError> {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            Ok(())
+        } else {
+            self.err(format!("expected '{tok}'"))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let r = self.rest();
+        let mut end = 0;
+        for (i, c) in r.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || c == '_'
+            };
+            if ok {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            None
+        } else {
+            let s = r[..end].to_owned();
+            self.pos += end;
+            Some(s)
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        match self.ident() {
+            Some(id) if id == kw => true,
+            _ => {
+                self.pos = save;
+                false
+            }
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), RewriteParseError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword '{kw}'"))
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<String, RewriteParseError> {
+        self.expect('"')?;
+        let r = self.rest();
+        let mut out = String::new();
+        let mut chars = r.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    _ => return self.err("bad escape"),
+                },
+                _ => out.push(c),
+            }
+        }
+        self.err("unterminated string")
+    }
+
+    fn number(&mut self) -> Result<Value, RewriteParseError> {
+        self.skip_ws();
+        let r = self.rest();
+        let mut end = 0;
+        let mut real = false;
+        for (i, c) in r.char_indices() {
+            match c {
+                '0'..='9' => end = i + 1,
+                '-' if i == 0 => end = i + 1,
+                '.' if r[i + 1..].chars().next().is_some_and(|d| d.is_ascii_digit()) => {
+                    real = true;
+                    end = i + 1;
+                }
+                _ => break,
+            }
+        }
+        if end == 0 {
+            return self.err("expected number");
+        }
+        let text = &r[..end];
+        self.pos += end;
+        if real {
+            text.parse().map(Value::Real).or_else(|_| self.err("bad real"))
+        } else {
+            text.parse().map(Value::Int).or_else(|_| self.err("bad int"))
+        }
+    }
+
+    /// Label predicates, with `|` alternation and `!` negation.
+    fn pred(&mut self) -> Result<Pred, RewriteParseError> {
+        let mut alts = vec![self.pred_atom()?];
+        while self.eat('|') {
+            alts.push(self.pred_atom()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one")
+        } else {
+            Pred::Or(alts)
+        })
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred, RewriteParseError> {
+        match self.peek() {
+            Some('%') => {
+                self.expect('%')?;
+                Ok(Pred::Any)
+            }
+            Some('!') => {
+                self.expect('!')?;
+                let inner = self.pred_atom()?;
+                Ok(Pred::Not(Box::new(inner)))
+            }
+            Some('(') => {
+                self.expect('(')?;
+                let p = self.pred()?;
+                self.expect(')')?;
+                Ok(p)
+            }
+            Some('[') => {
+                self.expect('[')?;
+                let kind = match self.ident().as_deref() {
+                    Some("int") => LabelKind::Int,
+                    Some("real") => LabelKind::Real,
+                    Some("string") | Some("str") => LabelKind::Str,
+                    Some("bool") => LabelKind::Bool,
+                    Some("symbol") => LabelKind::Symbol,
+                    _ => return self.err("expected type name in [...]"),
+                };
+                self.expect(']')?;
+                Ok(Pred::Kind(kind))
+            }
+            Some('"') => Ok(Pred::ValueEq(Value::Str(self.string_lit()?))),
+            Some(c) if c.is_ascii_digit() || c == '-' => Ok(Pred::ValueEq(self.number()?)),
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let id = self.ident().expect("peeked alphabetic");
+                match id.as_str() {
+                    "true" => Ok(Pred::ValueEq(Value::Bool(true))),
+                    "false" => Ok(Pred::ValueEq(Value::Bool(false))),
+                    _ => Ok(Pred::Symbol(id)),
+                }
+            }
+            _ => self.err("expected label predicate"),
+        }
+    }
+
+    fn template(&mut self) -> Result<EdgeTemplate, RewriteParseError> {
+        let save = self.pos;
+        if let Some(id) = self.ident() {
+            match id.as_str() {
+                "delete" => return Ok(EdgeTemplate::Delete),
+                "collapse" => return Ok(EdgeTemplate::Collapse),
+                _ => self.pos = save,
+            }
+        }
+        if self.peek() == Some('{') {
+            let entries = self.tentries()?;
+            return Ok(EdgeTemplate::Edges(entries));
+        }
+        self.err("expected 'delete', 'collapse', or '{...}' template")
+    }
+
+    fn tentries(&mut self) -> Result<Vec<(TLabel, TTree)>, RewriteParseError> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        if self.eat('}') {
+            return Ok(entries);
+        }
+        loop {
+            let label = self.tlabel()?;
+            self.expect(':')?;
+            let tree = self.ttree()?;
+            entries.push((label, tree));
+            if self.eat(',') {
+                continue;
+            }
+            self.expect('}')?;
+            break;
+        }
+        Ok(entries)
+    }
+
+    fn tlabel(&mut self) -> Result<TLabel, RewriteParseError> {
+        match self.peek() {
+            Some('_') => {
+                self.expect('_')?;
+                Ok(TLabel::Orig)
+            }
+            Some('"') => Ok(TLabel::Value(Value::Str(self.string_lit()?))),
+            Some(c) if c.is_ascii_digit() || c == '-' => Ok(TLabel::Value(self.number()?)),
+            Some(c) if c.is_alphabetic() => {
+                let id = self.ident().expect("peeked alphabetic");
+                match id.as_str() {
+                    "true" => Ok(TLabel::Value(Value::Bool(true))),
+                    "false" => Ok(TLabel::Value(Value::Bool(false))),
+                    _ => Ok(TLabel::Symbol(id)),
+                }
+            }
+            _ => self.err("expected template label"),
+        }
+    }
+
+    fn ttree(&mut self) -> Result<TTree, RewriteParseError> {
+        match self.peek() {
+            Some('{') => {
+                let entries = self.tentries()?;
+                if entries.is_empty() {
+                    Ok(TTree::Empty)
+                } else {
+                    Ok(TTree::Node(entries))
+                }
+            }
+            Some('"') => Ok(TTree::Atom(Value::Str(self.string_lit()?))),
+            Some(c) if c.is_ascii_digit() || c == '-' => Ok(TTree::Atom(self.number()?)),
+            Some(c) if c.is_alphabetic() => {
+                let id = self.ident().expect("peeked alphabetic");
+                match id.as_str() {
+                    "recur" => Ok(TTree::Recur),
+                    "keep" => Ok(TTree::Keep),
+                    "true" => Ok(TTree::Atom(Value::Bool(true))),
+                    "false" => Ok(TTree::Atom(Value::Bool(false))),
+                    other => self.err(format!(
+                        "expected recur/keep/literal/{{...}} in tree position, found '{other}'"
+                    )),
+                }
+            }
+            _ => self.err("expected template tree"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recursion::gext;
+    use ssd_graph::bisim::graphs_bisimilar;
+    use ssd_graph::literal::parse_graph;
+
+    fn run(data: &str, rewrite: &str) -> ssd_graph::Graph {
+        let g = parse_graph(data).unwrap();
+        let t = parse_rewrite(rewrite).unwrap();
+        gext(&g, g.root(), &t)
+    }
+
+    #[test]
+    fn bare_rewrite_is_identity() {
+        let g = parse_graph("{a: {b: 1}}").unwrap();
+        let t = parse_rewrite("rewrite").unwrap();
+        assert!(graphs_bisimilar(&g, &gext(&g, g.root(), &t)));
+    }
+
+    #[test]
+    fn relabel_case() {
+        let out = run("{a: {a: 1}}", "rewrite case a => {b: recur}");
+        let expect = parse_graph("{b: {b: 1}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn delete_and_collapse_cases() {
+        let out = run(
+            r#"{Movie: {Cast: {Credit: {Actors: "Allen"}}, junk: 1}}"#,
+            "rewrite case Credit => collapse case junk => delete",
+        );
+        let expect = parse_graph(r#"{Movie: {Cast: {Actors: "Allen"}}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn bacall_fix_in_surface_syntax() {
+        let out = run(
+            r#"{Cast: {Actors: "Bogart", Actors: "Play it again, Sam"}}"#,
+            r#"rewrite case "Play it again, Sam" => {"Bacall": recur}"#,
+        );
+        let expect = parse_graph(r#"{Cast: {Actors: "Bogart", Actors: "Bacall"}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn type_predicate_case() {
+        let out = run(
+            r#"{name: "x", age: 42}"#,
+            r#"rewrite case [int] => {0: recur}"#,
+        );
+        let expect = parse_graph(r#"{name: "x", age: {0: {}}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn alternation_predicate() {
+        let out = run(
+            "{a: 1, b: 2, c: 3}",
+            "rewrite case a | b => delete",
+        );
+        let expect = parse_graph("{c: 3}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn negated_predicate_with_otherwise() {
+        // Keep only x edges; delete everything else.
+        let out = run(
+            "{x: {y: 1}, z: 2}",
+            "rewrite case !x => delete otherwise => {_: recur}",
+        );
+        // !x matches y and z and the value edges below x... so x survives,
+        // but its subtree loses y.
+        let expect = parse_graph("{x: {}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn keep_and_nested_templates() {
+        let out = run(
+            "{wrap: {a: 1}}",
+            r#"rewrite case wrap => {found: {inner: keep, tag: "w"}}"#,
+        );
+        let expect = parse_graph(r#"{found: {inner: {a: 1}, tag: "w"}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn orig_label_underscore() {
+        let out = run(
+            "{a: 1, b: 2}",
+            "rewrite case % => {_: {}}",
+        );
+        // Every edge keeps its label but loses its subtree.
+        let expect = parse_graph("{a: {}, b: {}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn works_on_cycles() {
+        let out = run("@x = {next: @x}", "rewrite case next => {hop: recur}");
+        let expect = parse_graph("@x = {hop: @x}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+        assert!(out.has_cycle());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_rewrite("").is_err());
+        assert!(parse_rewrite("rewrite case").is_err());
+        assert!(parse_rewrite("rewrite case a => bogus").is_err());
+        assert!(parse_rewrite("rewrite case a => {b: nonsense}").is_err());
+        assert!(parse_rewrite("rewrite extra").is_err());
+        assert!(parse_rewrite("rewrite case a => delete trailing").is_err());
+        assert!(parse_rewrite("rewrite otherwise => delete case a => delete").is_err());
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let t = parse_rewrite(
+            "rewrite -- fix casts\n case Credit => collapse -- flatten\n",
+        )
+        .unwrap();
+        assert_eq!(t.cases.len(), 1);
+    }
+}

@@ -1,0 +1,581 @@
+//! Structural recursion — the second computational strategy of §3.
+//!
+//! "Here the starting point is that of structural recursion ... there are
+//! natural forms of computation associated with the type. For
+//! semistructured data one starts with the natural form of recursion
+//! associated with the recursive datatype of labeled trees. However, some
+//! restrictions need to be placed for such recursive programs to be
+//! well-defined: we want them to be well-defined on graphs with cycles.
+//! These restrictions give rise to an algebra that can be viewed as having
+//! two components: a "horizontal" component that expresses computations
+//! across the edges of a given node ...; and a "vertical" component that
+//! expresses computations that go to arbitrary depths in the graph."
+//!
+//! The vertical operator here is UnQL's `gext(f)`: `f` maps each edge
+//! `(l, t)` to a tree template whose leaves may refer to the *recursive
+//! result* on `t`; the results of all edges of a node are unioned. The
+//! restriction making this total on cyclic data is exactly the template
+//! discipline: recursion appears only at leaf positions, so evaluation is
+//! a *graph transformation* — each input node maps to one output node,
+//! cycles map to cycles. Edge-collapsing templates produce ε-edges which a
+//! final elimination pass removes; this is "the basic graph transformation
+//! technique" of \[10\] that §4 credits with enabling optimization.
+
+use ssd_graph::ops::copy_subgraph;
+use ssd_graph::{Graph, Label, NodeId, Value};
+use ssd_schema::Pred;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A label position in a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TLabel {
+    /// The original edge label.
+    Orig,
+    Symbol(String),
+    Value(Value),
+}
+
+/// A tree position in a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TTree {
+    /// The recursive result on the edge's target (the vertical call).
+    Recur,
+    /// A verbatim copy of the edge's original target subtree (recursion
+    /// stops here).
+    Keep,
+    /// The empty tree `{}`.
+    Empty,
+    /// An atom.
+    Atom(Value),
+    /// A constructed node.
+    Node(Vec<(TLabel, TTree)>),
+}
+
+/// What an input edge contributes to the output of its source node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeTemplate {
+    /// Nothing: the edge (and, unless reachable otherwise, its subtree)
+    /// disappears.
+    Delete,
+    /// The recursive result of the target, spliced in place (collapse the
+    /// edge). Realized as an ε-edge, eliminated afterwards.
+    Collapse,
+    /// A set of labeled children.
+    Edges(Vec<(TLabel, TTree)>),
+}
+
+impl EdgeTemplate {
+    /// The identity contribution: `{orig-label: recur}`.
+    pub fn identity() -> EdgeTemplate {
+        EdgeTemplate::Edges(vec![(TLabel::Orig, TTree::Recur)])
+    }
+
+    /// Relabel to a fixed symbol, keep recursing.
+    pub fn relabel_symbol(name: &str) -> EdgeTemplate {
+        EdgeTemplate::Edges(vec![(TLabel::Symbol(name.to_owned()), TTree::Recur)])
+    }
+
+    /// Relabel to a fixed value, keep recursing.
+    pub fn relabel_value(v: impl Into<Value>) -> EdgeTemplate {
+        EdgeTemplate::Edges(vec![(TLabel::Value(v.into()), TTree::Recur)])
+    }
+}
+
+/// One case of a transducer: the first case whose predicate matches the
+/// edge label fires.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub pred: Pred,
+    pub template: EdgeTemplate,
+}
+
+/// A structural-recursion transducer.
+#[derive(Debug, Clone)]
+pub struct Transducer {
+    pub cases: Vec<Case>,
+    /// Fired when no case matches. Defaults to [`EdgeTemplate::identity`].
+    pub default: EdgeTemplate,
+}
+
+impl Default for Transducer {
+    fn default() -> Self {
+        Transducer {
+            cases: Vec::new(),
+            default: EdgeTemplate::identity(),
+        }
+    }
+}
+
+impl Transducer {
+    pub fn new() -> Transducer {
+        Transducer::default()
+    }
+
+    /// Add a case (first match wins).
+    pub fn case(mut self, pred: Pred, template: EdgeTemplate) -> Transducer {
+        self.cases.push(Case { pred, template });
+        self
+    }
+
+    /// Replace the default template.
+    pub fn otherwise(mut self, template: EdgeTemplate) -> Transducer {
+        self.default = template;
+        self
+    }
+
+    fn template_for(&self, label: &Label, g: &Graph) -> &EdgeTemplate {
+        self.cases
+            .iter()
+            .find(|c| c.pred.matches(label, g.symbols()))
+            .map(|c| &c.template)
+            .unwrap_or(&self.default)
+    }
+}
+
+/// Internal build graph with optional-label (ε) edges.
+struct EpsGraph {
+    edges: Vec<Vec<(Option<Label>, usize)>>,
+}
+
+impl EpsGraph {
+    fn new() -> EpsGraph {
+        EpsGraph { edges: Vec::new() }
+    }
+
+    fn add_node(&mut self) -> usize {
+        self.edges.push(Vec::new());
+        self.edges.len() - 1
+    }
+
+    fn add_edge(&mut self, from: usize, label: Option<Label>, to: usize) {
+        let e = (label, to);
+        if !self.edges[from].contains(&e) {
+            self.edges[from].push(e);
+        }
+    }
+}
+
+/// Evaluation state for one gext run.
+struct GextState<'g> {
+    g: &'g Graph,
+    eps: EpsGraph,
+    out_of: HashMap<NodeId, usize>,
+    /// Keep-copies materialised after the main pass: (eps node, source).
+    keeps: Vec<(usize, NodeId)>,
+    queue: VecDeque<NodeId>,
+}
+
+impl<'g> GextState<'g> {
+    fn out_node(&mut self, n: NodeId) -> usize {
+        if let Some(&o) = self.out_of.get(&n) {
+            return o;
+        }
+        let o = self.eps.add_node();
+        self.out_of.insert(n, o);
+        self.queue.push_back(n);
+        o
+    }
+
+    fn resolve_label(&self, tl: &TLabel, orig: &Label) -> Label {
+        match tl {
+            TLabel::Orig => orig.clone(),
+            TLabel::Symbol(name) => Label::symbol(self.g.symbols(), name),
+            TLabel::Value(v) => Label::Value(v.clone()),
+        }
+    }
+
+    fn apply_template(&mut self, template: &EdgeTemplate, label: &Label, target: NodeId, out_n: usize) {
+        match template {
+            EdgeTemplate::Delete => {}
+            EdgeTemplate::Collapse => {
+                let out_t = self.out_node(target);
+                self.eps.add_edge(out_n, None, out_t);
+            }
+            EdgeTemplate::Edges(entries) => {
+                for (tl, tt) in entries {
+                    let l = self.resolve_label(tl, label);
+                    let child = self.instantiate_tree(tt, label, target);
+                    self.eps.add_edge(out_n, Some(l), child);
+                }
+            }
+        }
+    }
+
+    fn instantiate_tree(&mut self, tt: &TTree, label: &Label, target: NodeId) -> usize {
+        match tt {
+            TTree::Recur => self.out_node(target),
+            TTree::Keep => {
+                let n = self.eps.add_node();
+                self.keeps.push((n, target));
+                n
+            }
+            TTree::Empty => self.eps.add_node(),
+            TTree::Atom(v) => {
+                let n = self.eps.add_node();
+                let leaf = self.eps.add_node();
+                self.eps.add_edge(n, Some(Label::Value(v.clone())), leaf);
+                n
+            }
+            TTree::Node(entries) => {
+                let n = self.eps.add_node();
+                for (tl, sub) in entries {
+                    let l = self.resolve_label(tl, label);
+                    let child = self.instantiate_tree(sub, label, target);
+                    self.eps.add_edge(n, Some(l), child);
+                }
+                n
+            }
+        }
+    }
+}
+
+/// Vertical structural recursion: apply `t` to every edge reachable from
+/// `root`, unioning contributions per node. Total on cyclic inputs; the
+/// output of a cyclic input is cyclic (never infinite).
+pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
+    let mut st = GextState {
+        g,
+        eps: EpsGraph::new(),
+        out_of: HashMap::new(),
+        keeps: Vec::new(),
+        queue: VecDeque::new(),
+    };
+    let root_out = st.out_node(root);
+    let mut processed: HashSet<NodeId> = HashSet::new();
+    while let Some(n) = st.queue.pop_front() {
+        if !processed.insert(n) {
+            continue;
+        }
+        let out_n = st.out_of[&n];
+        for e in g.edges(n).to_vec() {
+            let template = t.template_for(&e.label, g).clone();
+            st.apply_template(&template, &e.label, e.to, out_n);
+        }
+    }
+
+    // ε-elimination: real edges of each node = non-ε edges reachable
+    // through ε* from it.
+    let eps = &st.eps;
+    let closure = |start: usize| -> Vec<usize> {
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(s) = stack.pop() {
+            for (l, to) in &eps.edges[s] {
+                if l.is_none() && !seen.contains(to) {
+                    seen.push(*to);
+                    stack.push(*to);
+                }
+            }
+        }
+        seen
+    };
+    let mut result = Graph::with_symbols(g.symbols_handle());
+    let mut node_map: Vec<NodeId> = Vec::with_capacity(eps.edges.len());
+    for i in 0..eps.edges.len() {
+        if i == root_out {
+            node_map.push(result.root());
+        } else {
+            node_map.push(result.add_node());
+        }
+    }
+    for i in 0..eps.edges.len() {
+        let from = node_map[i];
+        for c in closure(i) {
+            for (l, to) in &eps.edges[c] {
+                if let Some(label) = l {
+                    result.add_edge(from, label.clone(), node_map[*to]);
+                }
+            }
+        }
+    }
+    // Materialise Keep copies.
+    for (eps_node, src) in st.keeps {
+        let copied = copy_subgraph(g, src, &mut result);
+        let edges = result.edges(copied).to_vec();
+        let target = node_map[eps_node];
+        for e in edges {
+            result.add_edge(target, e.label, e.to);
+        }
+    }
+    result.gc();
+    result
+}
+
+/// Horizontal structural recursion (`ext`): apply the transducer to the
+/// edges of `root` only; `Recur` positions behave like `Keep` (no descent)
+/// and `Collapse` splices the target's original edge set. This is the
+/// fixed-depth "computation across the edges of a given node".
+pub fn ext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
+    let mut result = Graph::with_symbols(g.symbols_handle());
+    let out_root = result.root();
+    for e in g.edges(root).to_vec() {
+        let template = t.template_for(&e.label, g).clone();
+        match template {
+            EdgeTemplate::Delete => {}
+            EdgeTemplate::Collapse => {
+                let copied = copy_subgraph(g, e.to, &mut result);
+                for ce in result.edges(copied).to_vec() {
+                    result.add_edge(out_root, ce.label, ce.to);
+                }
+            }
+            EdgeTemplate::Edges(entries) => {
+                for (tl, tt) in &entries {
+                    let label = match tl {
+                        TLabel::Orig => e.label.clone(),
+                        TLabel::Symbol(name) => Label::symbol(result.symbols(), name),
+                        TLabel::Value(v) => Label::Value(v.clone()),
+                    };
+                    let child = build_shallow_tree(tt, &e.label, e.to, g, &mut result);
+                    result.add_edge(out_root, label, child);
+                }
+            }
+        }
+    }
+    result.gc();
+    result
+}
+
+fn build_shallow_tree(
+    tt: &TTree,
+    orig_label: &Label,
+    target: NodeId,
+    g: &Graph,
+    result: &mut Graph,
+) -> NodeId {
+    match tt {
+        TTree::Recur | TTree::Keep => copy_subgraph(g, target, result),
+        TTree::Empty => result.add_node(),
+        TTree::Atom(v) => {
+            let n = result.add_node();
+            result.add_value_edge(n, v.clone());
+            n
+        }
+        TTree::Node(entries) => {
+            let n = result.add_node();
+            for (tl, sub) in entries {
+                let label = match tl {
+                    TLabel::Orig => orig_label.clone(),
+                    TLabel::Symbol(name) => Label::symbol(result.symbols(), name),
+                    TLabel::Value(v) => Label::Value(v.clone()),
+                };
+                let child = build_shallow_tree(sub, orig_label, target, g, result);
+                result.add_edge(n, label, child);
+            }
+            n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::bisim::graphs_bisimilar;
+    use ssd_graph::literal::parse_graph;
+
+    fn identity() -> Transducer {
+        Transducer::new()
+    }
+
+    #[test]
+    fn identity_gext_is_bisimilar() {
+        for src in [
+            "{}",
+            r#"{a: 1, b: {c: {d: "x"}}}"#,
+            "@x = {next: @x, stop: 1}",
+            "{a: @s = {v: 1}, b: @s}",
+        ] {
+            let g = parse_graph(src).unwrap();
+            let out = gext(&g, g.root(), &identity());
+            assert!(graphs_bisimilar(&g, &out), "identity broke {src}");
+        }
+    }
+
+    #[test]
+    fn relabel_fixes_bacall() {
+        // §3: "in UnQL one can write a query that corrects the egregious
+        // error in the "Bacall" edge label" (Figure 1 labels her edge
+        // "Play it again, Sam" by mistake; here we relabel a bad label).
+        let g = parse_graph(r#"{Cast: {Actors: "Bogart", Actors: "Bacal"}}"#).unwrap();
+        let t = Transducer::new().case(
+            Pred::ValueEq(Value::Str("Bacal".into())),
+            EdgeTemplate::relabel_value("Bacall"),
+        );
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph(r#"{Cast: {Actors: "Bogart", Actors: "Bacall"}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn relabel_symbols_deeply() {
+        let g = parse_graph("{a: {a: {a: 1}}}").unwrap();
+        let t = Transducer::new().case(
+            Pred::Symbol("a".into()),
+            EdgeTemplate::relabel_symbol("b"),
+        );
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{b: {b: {b: 1}}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn delete_edges_prunes_subtrees() {
+        let g = parse_graph(r#"{keep: {secret: 1, open: 2}, secret: 3}"#).unwrap();
+        let t = Transducer::new().case(Pred::Symbol("secret".into()), EdgeTemplate::Delete);
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{keep: {open: 2}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn collapse_splices_children() {
+        // Collapsing Cast edges lifts actors up to the movie.
+        let g = parse_graph(r#"{Movie: {Cast: {Actors: "B", Actors: "L"}, Title: "C"}}"#).unwrap();
+        let t = Transducer::new().case(Pred::Symbol("Cast".into()), EdgeTemplate::Collapse);
+        let out = gext(&g, g.root(), &t);
+        let expect =
+            parse_graph(r#"{Movie: {Actors: "B", Actors: "L", Title: "C"}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn collapse_chain_of_collapses() {
+        let g = parse_graph("{a: {b: {c: {v: 1}}}}").unwrap();
+        let t = Transducer::new()
+            .case(Pred::Symbol("a".into()), EdgeTemplate::Collapse)
+            .case(Pred::Symbol("b".into()), EdgeTemplate::Collapse)
+            .case(Pred::Symbol("c".into()), EdgeTemplate::Collapse);
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{v: 1}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn collapse_everything_on_cycle_is_empty() {
+        // Collapsing every edge of a pure cycle leaves the empty tree.
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        let t = Transducer::new().otherwise(EdgeTemplate::Collapse);
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn collapse_on_cycle_with_data_keeps_data() {
+        let g = parse_graph("@x = {next: @x, v: 1}").unwrap();
+        let t = Transducer::new().case(Pred::Symbol("next".into()), EdgeTemplate::Collapse);
+        let out = gext(&g, g.root(), &t);
+        // next edges vanish; v edge remains (once, by set semantics).
+        let expect = parse_graph("{v: 1}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn cyclic_input_produces_cyclic_output() {
+        let g = parse_graph("@x = {a: @x}").unwrap();
+        let t = Transducer::new().case(
+            Pred::Symbol("a".into()),
+            EdgeTemplate::relabel_symbol("b"),
+        );
+        let out = gext(&g, g.root(), &t);
+        assert!(out.has_cycle());
+        let expect = parse_graph("@x = {b: @x}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn wrap_edges_in_metadata() {
+        // Each edge becomes {orig-label: {found: recur}}.
+        let g = parse_graph("{a: {b: 1}}").unwrap();
+        let t = Transducer::new().otherwise(EdgeTemplate::Edges(vec![(
+            TLabel::Orig,
+            TTree::Node(vec![(TLabel::Symbol("found".into()), TTree::Recur)]),
+        )]));
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{a: {found: {b: {found: {1: {found: {}}}}}}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn keep_stops_recursion() {
+        // Relabel only top-level a-edges; below them, keep verbatim
+        // (so nested a-edges survive).
+        let g = parse_graph("{a: {a: 1}}").unwrap();
+        let t = Transducer::new().case(
+            Pred::Symbol("a".into()),
+            EdgeTemplate::Edges(vec![(TLabel::Symbol("b".into()), TTree::Keep)]),
+        );
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{b: {a: 1}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn atom_and_empty_templates() {
+        let g = parse_graph("{a: {junk: 1}, b: 2}").unwrap();
+        let t = Transducer::new()
+            .case(
+                Pred::Symbol("a".into()),
+                EdgeTemplate::Edges(vec![(TLabel::Symbol("flag".into()), TTree::Atom(Value::Bool(true)))]),
+            )
+            .case(
+                Pred::Symbol("b".into()),
+                EdgeTemplate::Edges(vec![(TLabel::Orig, TTree::Empty)]),
+            );
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph("{flag: true, b: {}}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn ext_applies_only_at_top_level() {
+        let g = parse_graph("{a: {a: 1}, b: 2}").unwrap();
+        let t = Transducer::new().case(
+            Pred::Symbol("a".into()),
+            EdgeTemplate::relabel_symbol("x"),
+        );
+        let out = ext(&g, g.root(), &t);
+        // Top-level a renamed; nested a untouched.
+        let expect = parse_graph("{x: {a: 1}, b: 2}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn ext_collapse_splices_at_top() {
+        let g = parse_graph("{wrap: {x: 1, y: 2}, z: 3}").unwrap();
+        let t = Transducer::new().case(Pred::Symbol("wrap".into()), EdgeTemplate::Collapse);
+        let out = ext(&g, g.root(), &t);
+        let expect = parse_graph("{x: 1, y: 2, z: 3}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn ext_delete_filters_top_edges() {
+        let g = parse_graph("{a: 1, b: 2}").unwrap();
+        let t = Transducer::new().case(Pred::Symbol("a".into()), EdgeTemplate::Delete);
+        let out = ext(&g, g.root(), &t);
+        let expect = parse_graph("{b: 2}").unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn shared_subtrees_stay_shared() {
+        let g = parse_graph("{p: @s = {v: 1}, q: @s}").unwrap();
+        let out = gext(&g, g.root(), &identity());
+        let p = out.successors_by_name(out.root(), "p")[0];
+        let q = out.successors_by_name(out.root(), "q")[0];
+        assert_eq!(p, q, "gext must preserve sharing (graph transformation)");
+    }
+
+    #[test]
+    fn type_based_cases() {
+        // Redact every string value to "###".
+        let g = parse_graph(r#"{name: "Bogart", age: 42}"#).unwrap();
+        let t = Transducer::new().case(
+            Pred::Kind(ssd_graph::LabelKind::Str),
+            EdgeTemplate::relabel_value("XXX"),
+        );
+        let out = gext(&g, g.root(), &t);
+        let expect = parse_graph(r#"{name: "XXX", age: 42}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+}

@@ -1,0 +1,659 @@
+//! The relational fragment (§3).
+//!
+//! "A property of this algebra is that, when restricted to input and
+//! output data that conform to a relational (nested relational) schema, it
+//! expresses exactly the relational (nested relational) algebra. Hence an
+//! SQL-like language is a natural fragment of UnQL."
+//!
+//! This module makes the claim executable: relations are graph-encoded
+//! (\[10\]-style, `{R: {tup: {A: a, B: b}, ...}}`), the SPJRU operators are
+//! implemented *by compiling to the surface select-from-where language*
+//! and running the graph query engine, and the results are decoded and
+//! cross-checked against a native row-set evaluator (the oracle). The one
+//! deliberate gap: set *difference* needs a correlated negated subquery,
+//! which the positive select fragment cannot express — it is provided
+//! natively and flagged ([`difference_native`]), mirroring the classical
+//! SPJRU vs full-algebra boundary.
+
+use crate::lang::{evaluate_select, parse_query, EvalOptions};
+use ssd_graph::encode::relational::{decode_relation, encode_style10, NamedRelation};
+use ssd_graph::{Graph, Value};
+use std::collections::BTreeSet;
+
+/// Errors from the fragment compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragmentError {
+    UnknownColumn(String),
+    SchemaMismatch,
+    Query(String),
+    Decode(String),
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragmentError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            FragmentError::SchemaMismatch => write!(f, "relation schemas do not match"),
+            FragmentError::Query(m) => write!(f, "query error: {m}"),
+            FragmentError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+/// Encode one or two relations into a fresh database graph.
+pub fn database_of(relations: &[NamedRelation]) -> Graph {
+    let mut g = Graph::new();
+    encode_style10(&mut g, relations);
+    g
+}
+
+fn run_query(
+    g: &Graph,
+    text: &str,
+    out_name: &str,
+    columns: &[&str],
+) -> Result<NamedRelation, FragmentError> {
+    let q = parse_query(text).map_err(|e| FragmentError::Query(e.to_string()))?;
+    let (result, _) =
+        evaluate_select(g, &q, &EvalOptions::default()).map_err(FragmentError::Query)?;
+    // The query emits one `tup` edge per result tuple at the result root.
+    let mut rel = NamedRelation::new(out_name, columns);
+    for tup in result.successors_by_name(result.root(), "tup") {
+        let mut row = Vec::with_capacity(columns.len());
+        for col in columns {
+            let attrs = result.successors_by_name(tup, col);
+            let attr = attrs.first().ok_or_else(|| {
+                FragmentError::Decode(format!("tuple missing attribute {col}"))
+            })?;
+            let v = result.atomic_value(*attr).ok_or_else(|| {
+                FragmentError::Decode(format!("attribute {col} is not atomic"))
+            })?;
+            row.push(v.clone());
+        }
+        rel.push(row);
+    }
+    let set = rel.row_set();
+    rel.rows = set.into_iter().collect();
+    Ok(rel)
+}
+
+fn value_literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{s:?}"),
+        Value::Int(i) => i.to_string(),
+        Value::Real(r) => format!("{r}"),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+/// σ — selection `col = v`, compiled to the surface language.
+pub fn select_eq(
+    g: &Graph,
+    rel: &NamedRelation,
+    col: &str,
+    v: &Value,
+) -> Result<NamedRelation, FragmentError> {
+    if !rel.columns.iter().any(|c| c == col) {
+        return Err(FragmentError::UnknownColumn(col.to_owned()));
+    }
+    let text = format!(
+        "select {{tup: T}} from db.{rel_name}.tup T, T.{col} V where V = {lit}",
+        rel_name = rel.name,
+        col = col,
+        lit = value_literal(v)
+    );
+    let cols: Vec<&str> = rel.columns.iter().map(String::as_str).collect();
+    run_query(g, &text, &rel.name, &cols)
+}
+
+/// π — projection onto `keep`, compiled to the surface language.
+pub fn project(
+    g: &Graph,
+    rel: &NamedRelation,
+    keep: &[&str],
+) -> Result<NamedRelation, FragmentError> {
+    for c in keep {
+        if !rel.columns.iter().any(|rc| rc == c) {
+            return Err(FragmentError::UnknownColumn((*c).to_owned()));
+        }
+    }
+    let mut bindings = format!("db.{}.tup T", rel.name);
+    let mut construct_fields = Vec::new();
+    for (i, c) in keep.iter().enumerate() {
+        bindings.push_str(&format!(", T.{c} V{i}"));
+        construct_fields.push(format!("{c}: V{i}"));
+    }
+    let text = format!(
+        "select {{tup: {{{fields}}}}} from {bindings}",
+        fields = construct_fields.join(", "),
+        bindings = bindings
+    );
+    run_query(g, &text, &rel.name, keep)
+}
+
+/// ⋈ — equijoin of two encoded relations on `left_col = right_col`,
+/// compiled to the surface language. Output columns: all of `left` then
+/// the non-join columns of `right`.
+pub fn join(
+    g: &Graph,
+    left: &NamedRelation,
+    right: &NamedRelation,
+    left_col: &str,
+    right_col: &str,
+) -> Result<NamedRelation, FragmentError> {
+    if !left.columns.iter().any(|c| c == left_col) {
+        return Err(FragmentError::UnknownColumn(left_col.to_owned()));
+    }
+    if !right.columns.iter().any(|c| c == right_col) {
+        return Err(FragmentError::UnknownColumn(right_col.to_owned()));
+    }
+    let mut bindings = format!("db.{}.tup T1, db.{}.tup T2", left.name, right.name);
+    let mut fields = Vec::new();
+    let mut out_cols: Vec<String> = Vec::new();
+    for (i, c) in left.columns.iter().enumerate() {
+        bindings.push_str(&format!(", T1.{c} L{i}"));
+        fields.push(format!("{c}: L{i}"));
+        out_cols.push(c.clone());
+    }
+    for (i, c) in right.columns.iter().enumerate() {
+        if c == right_col {
+            continue;
+        }
+        // Disambiguate duplicated column names.
+        let out_name = if out_cols.contains(c) {
+            format!("{}_{}", right.name, c)
+        } else {
+            c.clone()
+        };
+        bindings.push_str(&format!(", T2.{c} R{i}"));
+        fields.push(format!("{out_name}: R{i}"));
+        out_cols.push(out_name);
+    }
+    bindings.push_str(&format!(", T2.{right_col} RJ"));
+    let left_join_var = left
+        .columns
+        .iter()
+        .position(|c| c == left_col)
+        .expect("checked");
+    let text = format!(
+        "select {{tup: {{{fields}}}}} from {bindings} where L{lj} = RJ",
+        fields = fields.join(", "),
+        bindings = bindings,
+        lj = left_join_var
+    );
+    let cols: Vec<&str> = out_cols.iter().map(String::as_str).collect();
+    let mut out = run_query(g, &text, "joined", &cols)?;
+    out.name = "joined".to_owned();
+    Ok(out)
+}
+
+/// ∪ — union of two same-schema relations, via graph union of their
+/// encodings.
+pub fn union(
+    left: &NamedRelation,
+    right: &NamedRelation,
+) -> Result<NamedRelation, FragmentError> {
+    if left.columns != right.columns {
+        return Err(FragmentError::SchemaMismatch);
+    }
+    let mut merged = NamedRelation::new(&left.name, &left.columns.iter().map(String::as_str).collect::<Vec<_>>());
+    for row in left.rows.iter().chain(right.rows.iter()) {
+        merged.push(row.clone());
+    }
+    // Round-trip through the graph encoding to stay inside the model.
+    let g = database_of(&[merged]);
+    let cols: Vec<&str> = left.columns.iter().map(String::as_str).collect();
+    decode_relation(&g, &left.name, &cols).map_err(|e| FragmentError::Decode(e.to_string()))
+}
+
+/// − — set difference. **Not expressible** in the positive select
+/// fragment (it needs a correlated negated subquery), so this operator is
+/// implemented natively on decoded rows; its presence marks the boundary
+/// the paper draws between the select fragment and full UnQL.
+pub fn difference_native(
+    left: &NamedRelation,
+    right: &NamedRelation,
+) -> Result<NamedRelation, FragmentError> {
+    if left.columns != right.columns {
+        return Err(FragmentError::SchemaMismatch);
+    }
+    let rset = right.row_set();
+    let mut out = NamedRelation::new(
+        &left.name,
+        &left.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in &left.row_set() {
+        if !rset.contains(row) {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+// --- Native row-set oracle ------------------------------------------------
+
+/// Oracle: σ on rows.
+pub fn native_select_eq(rel: &NamedRelation, col: &str, v: &Value) -> NamedRelation {
+    let i = rel.columns.iter().position(|c| c == col).expect("column");
+    let mut out = NamedRelation::new(
+        &rel.name,
+        &rel.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in &rel.row_set() {
+        if &row[i] == v {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+/// Oracle: π on rows.
+pub fn native_project(rel: &NamedRelation, keep: &[&str]) -> NamedRelation {
+    let idx: Vec<usize> = keep
+        .iter()
+        .map(|c| rel.columns.iter().position(|rc| rc == c).expect("column"))
+        .collect();
+    let mut out = NamedRelation::new(&rel.name, keep);
+    let mut seen = BTreeSet::new();
+    for row in &rel.row_set() {
+        let proj: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+        if seen.insert(proj.clone()) {
+            out.push(proj);
+        }
+    }
+    out
+}
+
+/// Oracle: equijoin on rows (same output convention as [`join`]).
+pub fn native_join(
+    left: &NamedRelation,
+    right: &NamedRelation,
+    left_col: &str,
+    right_col: &str,
+) -> NamedRelation {
+    let li = left.columns.iter().position(|c| c == left_col).expect("col");
+    let ri = right
+        .columns
+        .iter()
+        .position(|c| c == right_col)
+        .expect("col");
+    let mut out_cols: Vec<String> = left.columns.clone();
+    for (i, c) in right.columns.iter().enumerate() {
+        if i == ri {
+            continue;
+        }
+        if out_cols.contains(c) {
+            out_cols.push(format!("{}_{}", right.name, c));
+        } else {
+            out_cols.push(c.clone());
+        }
+    }
+    let mut out = NamedRelation::new(
+        "joined",
+        &out_cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for l in &left.row_set() {
+        for r in &right.row_set() {
+            if l[li] == r[ri] {
+                let mut row = l.clone();
+                for (i, v) in r.iter().enumerate() {
+                    if i != ri {
+                        row.push(v.clone());
+                    }
+                }
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movies() -> NamedRelation {
+        let mut r = NamedRelation::new("movie", &["title", "year", "director"]);
+        r.push(vec!["Casablanca".into(), 1942i64.into(), "Curtiz".into()]);
+        r.push(vec![
+            "Play it again, Sam".into(),
+            1972i64.into(),
+            "Ross".into(),
+        ]);
+        r.push(vec!["Annie Hall".into(), 1977i64.into(), "Allen".into()]);
+        r
+    }
+
+    fn directors() -> NamedRelation {
+        let mut r = NamedRelation::new("director", &["name", "born"]);
+        r.push(vec!["Curtiz".into(), 1886i64.into()]);
+        r.push(vec!["Allen".into(), 1935i64.into()]);
+        r
+    }
+
+    #[test]
+    fn select_eq_matches_oracle() {
+        let rel = movies();
+        let g = database_of(&[rel.clone()]);
+        let via_graph = select_eq(&g, &rel, "year", &Value::Int(1942)).unwrap();
+        let oracle = native_select_eq(&rel, "year", &Value::Int(1942));
+        assert_eq!(via_graph.row_set(), oracle.row_set());
+        assert_eq!(via_graph.rows.len(), 1);
+    }
+
+    #[test]
+    fn select_eq_string() {
+        let rel = movies();
+        let g = database_of(&[rel.clone()]);
+        let via_graph =
+            select_eq(&g, &rel, "director", &Value::Str("Allen".into())).unwrap();
+        assert_eq!(
+            via_graph.row_set(),
+            native_select_eq(&rel, "director", &Value::Str("Allen".into())).row_set()
+        );
+    }
+
+    #[test]
+    fn select_eq_empty_result() {
+        let rel = movies();
+        let g = database_of(&[rel.clone()]);
+        let via_graph = select_eq(&g, &rel, "year", &Value::Int(2024)).unwrap();
+        assert!(via_graph.rows.is_empty());
+    }
+
+    #[test]
+    fn project_matches_oracle_and_dedupes() {
+        let mut rel = NamedRelation::new("r", &["a", "b"]);
+        rel.push(vec![1i64.into(), 10i64.into()]);
+        rel.push(vec![1i64.into(), 20i64.into()]);
+        rel.push(vec![2i64.into(), 30i64.into()]);
+        let g = database_of(&[rel.clone()]);
+        let via_graph = project(&g, &rel, &["a"]).unwrap();
+        let oracle = native_project(&rel, &["a"]);
+        assert_eq!(via_graph.row_set(), oracle.row_set());
+        assert_eq!(via_graph.rows.len(), 2, "projection must dedupe");
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let rel = movies();
+        let g = database_of(&[rel.clone()]);
+        let via_graph = project(&g, &rel, &["director", "title"]).unwrap();
+        let oracle = native_project(&rel, &["director", "title"]);
+        assert_eq!(via_graph.row_set(), oracle.row_set());
+    }
+
+    #[test]
+    fn join_matches_oracle() {
+        let m = movies();
+        let d = directors();
+        let g = database_of(&[m.clone(), d.clone()]);
+        let via_graph = join(&g, &m, &d, "director", "name").unwrap();
+        let oracle = native_join(&m, &d, "director", "name");
+        assert_eq!(via_graph.row_set(), oracle.row_set());
+        // Curtiz and Allen match; Ross does not.
+        assert_eq!(via_graph.rows.len(), 2);
+        assert_eq!(via_graph.columns.len(), 4); // title, year, director, born
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a = NamedRelation::new("r", &["x"]);
+        a.push(vec![1i64.into()]);
+        a.push(vec![2i64.into()]);
+        let mut b = NamedRelation::new("r", &["x"]);
+        b.push(vec![2i64.into()]);
+        b.push(vec![3i64.into()]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.rows.len(), 3);
+        let d = difference_native(&a, &b).unwrap();
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn union_schema_mismatch() {
+        let a = NamedRelation::new("r", &["x"]);
+        let b = NamedRelation::new("r", &["y"]);
+        assert_eq!(union(&a, &b), Err(FragmentError::SchemaMismatch));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let rel = movies();
+        let g = database_of(&[rel.clone()]);
+        assert!(matches!(
+            select_eq(&g, &rel, "bogus", &Value::Int(0)),
+            Err(FragmentError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            project(&g, &rel, &["bogus"]),
+            Err(FragmentError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn composed_pipeline_select_then_project() {
+        // π_title(σ_year<1975(movie)) — composition through re-encoding.
+        let rel = movies();
+        let g = database_of(&[rel.clone()]);
+        let selected = select_eq(&g, &rel, "year", &Value::Int(1942)).unwrap();
+        let g2 = database_of(&[selected.clone()]);
+        let projected = project(&g2, &selected, &["title"]).unwrap();
+        assert_eq!(projected.rows.len(), 1);
+        assert_eq!(projected.rows[0][0], Value::Str("Casablanca".into()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The *nested* relational extension (§3: "it expresses exactly the
+// relational (nested relational) algebra"). `nest` groups tuples by the
+// remaining columns, folding the nested column's values into a set
+// subtree; `unnest` inverts it. Both operate on the graph encoding
+// directly — nested values are exactly where the semistructured model
+// outshines flat relations.
+
+/// ν — nest: group by all columns except `nested_col`; each group becomes
+/// one tuple whose `nested_col` child is a *set node* carrying one
+/// value edge per grouped value.
+pub fn nest(
+    g: &Graph,
+    rel: &NamedRelation,
+    nested_col: &str,
+) -> Result<Graph, FragmentError> {
+    if !rel.columns.iter().any(|c| c == nested_col) {
+        return Err(FragmentError::UnknownColumn(nested_col.to_owned()));
+    }
+    // Read the tuples back off the graph (we stay inside the model), then
+    // rebuild the nested encoding.
+    let decoded = decode_relation(
+        g,
+        &rel.name,
+        &rel.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    )
+    .map_err(|e| FragmentError::Decode(e.to_string()))?;
+    let ni = rel
+        .columns
+        .iter()
+        .position(|c| c == nested_col)
+        .expect("checked");
+    let mut groups: std::collections::BTreeMap<Vec<Value>, BTreeSet<Value>> =
+        std::collections::BTreeMap::new();
+    for row in &decoded.rows {
+        let mut key = row.clone();
+        let v = key.remove(ni);
+        groups.entry(key).or_default().insert(v);
+    }
+    let mut out = Graph::with_symbols(g.symbols_handle());
+    let rel_node = out.add_node();
+    let root = out.root();
+    out.add_sym_edge(root, &rel.name, rel_node);
+    for (key, vals) in groups {
+        let tup = out.add_node();
+        out.add_sym_edge(rel_node, "tup", tup);
+        let mut ki = 0usize;
+        for (ci, col) in rel.columns.iter().enumerate() {
+            if ci == ni {
+                let set = out.add_node();
+                out.add_sym_edge(tup, col, set);
+                for v in &vals {
+                    out.add_value_edge(set, v.clone());
+                }
+            } else {
+                out.add_attr(tup, col, key[ki].clone());
+                ki += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// μ — unnest: invert [`nest`], flattening the set under `nested_col`
+/// back into one tuple per element. Returns the flat relation.
+pub fn unnest(
+    g: &Graph,
+    name: &str,
+    columns: &[&str],
+    nested_col: &str,
+) -> Result<NamedRelation, FragmentError> {
+    if !columns.contains(&nested_col) {
+        return Err(FragmentError::UnknownColumn(nested_col.to_owned()));
+    }
+    let rel_nodes = g.successors_by_name(g.root(), name);
+    let rel_node = rel_nodes
+        .first()
+        .ok_or_else(|| FragmentError::Decode(format!("relation {name} not found")))?;
+    let mut out = NamedRelation::new(name, columns);
+    for tup in g.successors_by_name(*rel_node, "tup") {
+        // Flat columns.
+        let mut flat: Vec<Option<Value>> = Vec::with_capacity(columns.len());
+        let mut nested_vals: Vec<Value> = Vec::new();
+        for col in columns {
+            let attrs = g.successors_by_name(tup, col);
+            let attr = *attrs.first().ok_or_else(|| {
+                FragmentError::Decode(format!("tuple missing attribute {col}"))
+            })?;
+            if col == &nested_col {
+                nested_vals = g.values_at(attr).into_iter().cloned().collect();
+                flat.push(None);
+            } else {
+                let v = g.atomic_value(attr).ok_or_else(|| {
+                    FragmentError::Decode(format!("attribute {col} not atomic"))
+                })?;
+                flat.push(Some(v.clone()));
+            }
+        }
+        for nv in &nested_vals {
+            let row: Vec<Value> = flat
+                .iter()
+                .map(|o| o.clone().unwrap_or_else(|| nv.clone()))
+                .collect();
+            out.push(row);
+        }
+    }
+    let set = out.row_set();
+    out.rows = set.into_iter().collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod nested_tests {
+    use super::*;
+
+    fn cast_relation() -> NamedRelation {
+        let mut r = NamedRelation::new("cast", &["title", "actor"]);
+        r.push(vec!["Casablanca".into(), "Bogart".into()]);
+        r.push(vec!["Casablanca".into(), "Bacall".into()]);
+        r.push(vec!["Annie Hall".into(), "Allen".into()]);
+        r
+    }
+
+    #[test]
+    fn nest_groups_values() {
+        let rel = cast_relation();
+        let g = database_of(&[rel.clone()]);
+        let nested = nest(&g, &rel, "actor").unwrap();
+        let rel_node = nested.successors_by_name(nested.root(), "cast")[0];
+        let tuples = nested.successors_by_name(rel_node, "tup");
+        assert_eq!(tuples.len(), 2); // grouped by title
+        let casablanca = tuples
+            .iter()
+            .find(|&&t| {
+                let title = nested.successors_by_name(t, "title")[0];
+                nested.atomic_value(title) == Some(&Value::Str("Casablanca".into()))
+            })
+            .copied()
+            .expect("casablanca group");
+        let actors = nested.successors_by_name(casablanca, "actor")[0];
+        assert_eq!(nested.values_at(actors).len(), 2);
+    }
+
+    #[test]
+    fn unnest_inverts_nest() {
+        let rel = cast_relation();
+        let g = database_of(&[rel.clone()]);
+        let nested = nest(&g, &rel, "actor").unwrap();
+        let flat = unnest(&nested, "cast", &["title", "actor"], "actor").unwrap();
+        assert_eq!(flat.row_set(), rel.row_set());
+    }
+
+    #[test]
+    fn nest_unknown_column_errors() {
+        let rel = cast_relation();
+        let g = database_of(&[rel.clone()]);
+        assert!(matches!(
+            nest(&g, &rel, "bogus"),
+            Err(FragmentError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            unnest(&g, "cast", &["title", "actor"], "bogus"),
+            Err(FragmentError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn nested_result_is_queryable() {
+        // The nested encoding is ordinary semistructured data: query it.
+        let rel = cast_relation();
+        let g = database_of(&[rel.clone()]);
+        let nested = nest(&g, &rel, "actor").unwrap();
+        let q = parse_query(
+            r#"select {t: T} from db.cast.tup U, U.title T, U.actor A, A."Bacall" X"#,
+        )
+        .unwrap();
+        let (result, _) =
+            evaluate_select(&nested, &q, &EvalOptions::default()).unwrap();
+        assert_eq!(
+            result.graph_values_helper(),
+            vec![Value::Str("Casablanca".into())]
+        );
+    }
+
+    trait GraphValuesHelper {
+        fn graph_values_helper(&self) -> Vec<Value>;
+    }
+
+    impl GraphValuesHelper for Graph {
+        fn graph_values_helper(&self) -> Vec<Value> {
+            let ts = self.successors_by_name(self.root(), "t");
+            ts.iter()
+                .filter_map(|&t| self.atomic_value(t).cloned())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn nest_on_single_group() {
+        let mut r = NamedRelation::new("r", &["k", "v"]);
+        r.push(vec![1i64.into(), 10i64.into()]);
+        r.push(vec![1i64.into(), 20i64.into()]);
+        let g = database_of(&[r.clone()]);
+        let nested = nest(&g, &r, "v").unwrap();
+        let rel_node = nested.successors_by_name(nested.root(), "r")[0];
+        assert_eq!(nested.successors_by_name(rel_node, "tup").len(), 1);
+        let flat = unnest(&nested, "r", &["k", "v"], "v").unwrap();
+        assert_eq!(flat.row_set(), r.row_set());
+    }
+}

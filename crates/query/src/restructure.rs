@@ -1,0 +1,291 @@
+//! Deep restructuring operations (§3).
+//!
+//! "The SQL or OQL like languages ... are not capable of performing complex
+//! or 'deep' restructuring of the data. Simple examples of such operations
+//! include deleting/collapsing edges with a certain property, relabeling
+//! edges, or performing local interchanges. ... One can also perform a
+//! number of global restructuring functions such as deleting edges with
+//! certain properties or adding new edges to 'short-circuit' various
+//! paths."
+//!
+//! All of these are thin wrappers over [`crate::recursion::gext`] except
+//! [`shortcut`] and [`interchange`], which need to see two edges at once
+//! and are implemented as direct graph transformations.
+
+use crate::recursion::{gext, EdgeTemplate, Transducer};
+use crate::rpe::{eval_rpe, Rpe};
+use ssd_graph::ops::copy_subgraph;
+use ssd_graph::{Graph, Label, NodeId};
+use ssd_schema::Pred;
+
+/// Relabel every edge matching `pred` to the symbol `new_name`.
+///
+/// This is the "correct the egregious error in the 'Bacall' edge label"
+/// query of §3 in general form.
+pub fn relabel_edges(g: &Graph, pred: Pred, new_name: &str) -> Graph {
+    let t = Transducer::new().case(pred, EdgeTemplate::relabel_symbol(new_name));
+    gext(g, g.root(), &t)
+}
+
+/// Relabel matching edges to a fixed value label.
+pub fn relabel_edges_to_value(g: &Graph, pred: Pred, v: impl Into<ssd_graph::Value>) -> Graph {
+    let t = Transducer::new().case(pred, EdgeTemplate::relabel_value(v));
+    gext(g, g.root(), &t)
+}
+
+/// Delete every edge matching `pred` (and any subtree only reachable
+/// through deleted edges).
+pub fn delete_edges(g: &Graph, pred: Pred) -> Graph {
+    let t = Transducer::new().case(pred, EdgeTemplate::Delete);
+    gext(g, g.root(), &t)
+}
+
+/// Collapse every edge matching `pred`: the edge disappears and its
+/// target's (transformed) children are spliced into its source.
+pub fn collapse_edges(g: &Graph, pred: Pred) -> Graph {
+    let t = Transducer::new().case(pred, EdgeTemplate::Collapse);
+    gext(g, g.root(), &t)
+}
+
+/// Short-circuit: wherever an edge matching `first` is followed by an edge
+/// matching `second`, add a direct edge labeled `shortcut_name` from the
+/// source of the first to the target of the second. Original edges are
+/// kept. (The "adding new edges to short-circuit various paths" of §3.)
+pub fn shortcut(g: &Graph, first: &Pred, second: &Pred, shortcut_name: &str) -> Graph {
+    let mut out = Graph::with_symbols(g.symbols_handle());
+    let root = copy_subgraph(g, g.root(), &mut out);
+    out.set_root(root);
+    out.gc();
+    let label = Label::symbol(out.symbols(), shortcut_name);
+    let syms = out.symbols_handle();
+    let mut additions: Vec<(NodeId, NodeId)> = Vec::new();
+    for n in out.reachable() {
+        for e1 in out.edges(n) {
+            if first.matches(&e1.label, &syms) {
+                for e2 in out.edges(e1.to) {
+                    if second.matches(&e2.label, &syms) {
+                        additions.push((n, e2.to));
+                    }
+                }
+            }
+        }
+    }
+    for (from, to) in additions {
+        out.add_edge(from, label.clone(), to);
+    }
+    out
+}
+
+/// Local interchange: swap the order of two nested edge layers. Wherever
+/// `outer.inner` occurs, the result has `inner.outer` (with the same final
+/// target). E.g. `{Cast: {Actors: x}}` ⇒ `{Actors: {Cast: x}}`.
+/// Non-matching edges are copied unchanged.
+pub fn interchange(g: &Graph, outer: &Pred, inner: &Pred) -> Graph {
+    let mut out = Graph::with_symbols(g.symbols_handle());
+    let syms = g.symbols_handle();
+    // Copy the graph wholesale first (preserves cycles/sharing), then for
+    // each interchange site rewrite edges on the copy.
+    let root = copy_subgraph(g, g.root(), &mut out);
+    out.set_root(root);
+    out.gc();
+    let mut rewrites: Vec<(NodeId, Label, NodeId, Label, NodeId)> = Vec::new();
+    for n in out.reachable() {
+        for e1 in out.edges(n) {
+            if outer.matches(&e1.label, &syms) {
+                for e2 in out.edges(e1.to) {
+                    if inner.matches(&e2.label, &syms) {
+                        rewrites.push((n, e1.label.clone(), e1.to, e2.label.clone(), e2.to));
+                    }
+                }
+            }
+        }
+    }
+    for (src, outer_label, mid, inner_label, tgt) in rewrites {
+        // Remove outer edge; add inner-first chain. The old mid node keeps
+        // its other children (it may become unreachable if this was its
+        // only parent and it has no other content).
+        out.remove_edge(src, &outer_label, mid);
+        out.remove_edge(mid, &inner_label, tgt);
+        let fresh = out.add_node();
+        out.add_edge(src, inner_label, fresh);
+        out.add_edge(fresh, outer_label.clone(), tgt);
+        // Any remaining children of the old middle node stay reachable
+        // under the original outer edge so no data is lost.
+        if !out.is_leaf(mid) {
+            out.add_edge(src, outer_label, mid);
+        }
+    }
+    out.gc();
+    out
+}
+
+/// Select the subgraph reachable along `path` and re-root a fresh graph at
+/// the union of the targets — "bringing information to the surface".
+pub fn focus(g: &Graph, path: &Rpe) -> Graph {
+    let targets = eval_rpe(g, g.root(), path);
+    let mut out = Graph::with_symbols(g.symbols_handle());
+    let mut edges = Vec::new();
+    for t in targets {
+        let img = copy_subgraph(g, t, &mut out);
+        for e in out.edges(img).to_vec() {
+            edges.push(e);
+        }
+    }
+    let root = out.root();
+    for e in edges {
+        out.add_edge(root, e.label, e.to);
+    }
+    out.gc();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::bisim::graphs_bisimilar;
+    use ssd_graph::literal::parse_graph;
+    use ssd_graph::Value;
+
+    #[test]
+    fn relabel_bacall() {
+        // Figure 1 has the "egregious error": Bacall's edge is labeled
+        // "Play it again, Sam". Fix it.
+        let g = parse_graph(
+            r#"{Cast: {Actors: "Bogart", Actors: {"Play it again, Sam": {}}}}"#,
+        )
+        .unwrap();
+        let fixed = relabel_edges_to_value(
+            &g,
+            Pred::ValueEq(Value::Str("Play it again, Sam".into())),
+            "Bacall",
+        );
+        let expect =
+            parse_graph(r#"{Cast: {Actors: "Bogart", Actors: "Bacall"}}"#).unwrap();
+        assert!(graphs_bisimilar(&fixed, &expect));
+    }
+
+    #[test]
+    fn delete_by_type() {
+        // Remove every integer leaf.
+        let g = parse_graph(r#"{a: 1, b: "keep", c: {d: 2, e: "keep2"}}"#).unwrap();
+        let out = delete_edges(&g, Pred::Kind(ssd_graph::LabelKind::Int));
+        let expect = parse_graph(r#"{a: {}, b: "keep", c: {d: {}, e: "keep2"}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn collapse_flattens_wrappers() {
+        let g = parse_graph(r#"{Movie: {Cast: {Credit: {Actors: "Allen"}}}}"#).unwrap();
+        let out = collapse_edges(&g, Pred::Symbol("Credit".into()));
+        let expect = parse_graph(r#"{Movie: {Cast: {Actors: "Allen"}}}"#).unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn collapse_unifies_heterogeneous_casts() {
+        // After collapsing Credit edges, both cast representations of
+        // Figure 1 look alike.
+        let g = parse_graph(
+            r#"{Movie: {Cast: {Actors: "Bogart"}},
+                Movie: {Cast: {Credit: {Actors: "Allen"}}}}"#,
+        )
+        .unwrap();
+        let out = collapse_edges(&g, Pred::Symbol("Credit".into()));
+        let expect = parse_graph(
+            r#"{Movie: {Cast: {Actors: "Bogart"}},
+                Movie: {Cast: {Actors: "Allen"}}}"#,
+        )
+        .unwrap();
+        assert!(graphs_bisimilar(&out, &expect));
+    }
+
+    #[test]
+    fn shortcut_adds_direct_edges() {
+        let g = parse_graph(r#"{Movie: {Cast: {Actors: "B"}}}"#).unwrap();
+        let out = shortcut(
+            &g,
+            &Pred::Symbol("Cast".into()),
+            &Pred::Symbol("Actors".into()),
+            "CastMember",
+        );
+        // Original path intact.
+        let movie = out.successors_by_name(out.root(), "Movie")[0];
+        let cast = out.successors_by_name(movie, "Cast")[0];
+        assert_eq!(out.successors_by_name(cast, "Actors").len(), 1);
+        // New shortcut from the movie object straight to the actor node.
+        let direct = out.successors_by_name(movie, "CastMember");
+        assert_eq!(direct.len(), 1);
+        assert_eq!(direct[0], out.successors_by_name(cast, "Actors")[0]);
+    }
+
+    #[test]
+    fn shortcut_on_cycles_terminates() {
+        let g = parse_graph("@x = {a: {b: @x}}").unwrap();
+        let out = shortcut(
+            &g,
+            &Pred::Symbol("a".into()),
+            &Pred::Symbol("b".into()),
+            "ab",
+        );
+        assert!(out.has_cycle());
+        assert_eq!(out.successors_by_name(out.root(), "ab").len(), 1);
+    }
+
+    #[test]
+    fn interchange_swaps_layers() {
+        let g = parse_graph(r#"{Cast: {Actors: "B"}}"#).unwrap();
+        let out = interchange(
+            &g,
+            &Pred::Symbol("Cast".into()),
+            &Pred::Symbol("Actors".into()),
+        );
+        let actors = out.successors_by_name(out.root(), "Actors");
+        assert_eq!(actors.len(), 1);
+        let cast = out.successors_by_name(actors[0], "Cast");
+        assert_eq!(cast.len(), 1);
+        assert_eq!(
+            out.atomic_value(cast[0]),
+            Some(&Value::Str("B".into()))
+        );
+    }
+
+    #[test]
+    fn interchange_leaves_other_edges() {
+        let g = parse_graph(r#"{Cast: {Actors: "B"}, Title: "C"}"#).unwrap();
+        let out = interchange(
+            &g,
+            &Pred::Symbol("Cast".into()),
+            &Pred::Symbol("Actors".into()),
+        );
+        assert_eq!(out.successors_by_name(out.root(), "Title").len(), 1);
+    }
+
+    #[test]
+    fn focus_brings_information_to_surface() {
+        let g = parse_graph(
+            r#"{Entry: {Movie: {Title: "C"}}, Entry: {Movie: {Title: "S"}}}"#,
+        )
+        .unwrap();
+        let out = focus(
+            &g,
+            &Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")]),
+        );
+        assert_eq!(out.successors_by_name(out.root(), "Title").len(), 2);
+    }
+
+    #[test]
+    fn focus_on_empty_match_is_empty() {
+        let g = parse_graph("{a: 1}").unwrap();
+        let out = focus(&g, &Rpe::symbol("nothing"));
+        assert!(out.is_leaf(out.root()));
+    }
+
+    #[test]
+    fn relabel_preserves_cycles() {
+        let g = parse_graph("@e = {References: @e, Title: 1}").unwrap();
+        let out = relabel_edges(&g, Pred::Symbol("References".into()), "SeeAlso");
+        assert!(out.has_cycle());
+        assert_eq!(out.successors_by_name(out.root(), "SeeAlso").len(), 1);
+        assert_eq!(out.successors_by_name(out.root(), "References").len(), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Regular path expressions (RPEs).
+//!
+//! §3: "one wants to specify paths of arbitrary length ... Even this is not
+//! enough. Consider the problem of finding whether "Allen" acted in
+//! "Casablanca". One might try this by searching for paths from a Movie
+//! edge down to an "Allen" edge, but one would not want this path to
+//! contain another Movie edge. These problems indicate that one would like
+//! to have something like regular expressions to constrain paths."
+//!
+//! * [`ast`] — the RPE syntax tree over label predicates (including the
+//!   negated step `!Movie` that the Allen/Casablanca example needs).
+//! * [`nfa`] — Thompson construction and subset-construction DFA.
+//! * [`eval`] — evaluation as reachability in the product of data graph ×
+//!   automaton (linear in the product size).
+
+pub mod ast;
+pub mod eval;
+pub mod nfa;
+
+pub use ast::{Rpe, Step};
+pub use eval::{eval_rpe, eval_rpe_with_labels, PathMatch};
+pub use nfa::{Dfa, Nfa};

@@ -1,0 +1,511 @@
+//! Automata for regular path expressions.
+//!
+//! Thompson construction ([`Nfa::compile`]) produces an ε-NFA whose
+//! transitions carry label predicates; [`Nfa::to_dfa`] runs the subset
+//! construction over the *predicate alphabet actually used* (sound because
+//! evaluation only ever asks "which transitions does this concrete label
+//! enable", and we partition by the exact predicate set). The DFA is used
+//! by the optimizer's guide-pruning and by the E4 NFA-vs-DFA comparison.
+
+use super::ast::{Rpe, Step};
+use ssd_graph::{Label, SymbolTable};
+use ssd_schema::Pred;
+use std::collections::{BTreeSet, HashMap};
+
+/// NFA state index.
+pub type StateId = usize;
+
+/// A predicate-labeled ε-NFA with one start and one accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `transitions[s]` = list of (predicate, target).
+    transitions: Vec<Vec<(Pred, StateId)>>,
+    /// `epsilon[s]` = ε-successors.
+    epsilon: Vec<Vec<StateId>>,
+    /// Precomputed ε-closure of each single state.
+    closures: Vec<BTreeSet<StateId>>,
+    start: StateId,
+    accept: StateId,
+}
+
+impl Nfa {
+    /// Thompson construction.
+    pub fn compile(rpe: &Rpe) -> Nfa {
+        let mut nfa = Nfa {
+            transitions: Vec::new(),
+            epsilon: Vec::new(),
+            closures: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.build(rpe);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa.closures = (0..nfa.state_count())
+            .map(|i| nfa.epsilon_closure(&std::iter::once(i).collect()))
+            .collect();
+        nfa
+    }
+
+    /// Precomputed ε-closure of a single state.
+    pub fn closure(&self, s: StateId) -> &BTreeSet<StateId> {
+        &self.closures[s]
+    }
+
+    fn new_state(&mut self) -> StateId {
+        self.transitions.push(Vec::new());
+        self.epsilon.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn build(&mut self, rpe: &Rpe) -> (StateId, StateId) {
+        match rpe {
+            Rpe::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.epsilon[s].push(a);
+                (s, a)
+            }
+            Rpe::Step(Step { pred, .. }) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.transitions[s].push((pred.clone(), a));
+                (s, a)
+            }
+            Rpe::Seq(x, y) => {
+                let (sx, ax) = self.build(x);
+                let (sy, ay) = self.build(y);
+                self.epsilon[ax].push(sy);
+                (sx, ay)
+            }
+            Rpe::Alt(x, y) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (sx, ax) = self.build(x);
+                let (sy, ay) = self.build(y);
+                self.epsilon[s].push(sx);
+                self.epsilon[s].push(sy);
+                self.epsilon[ax].push(a);
+                self.epsilon[ay].push(a);
+                (s, a)
+            }
+            Rpe::Star(x) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (sx, ax) = self.build(x);
+                self.epsilon[s].push(sx);
+                self.epsilon[s].push(a);
+                self.epsilon[ax].push(sx);
+                self.epsilon[ax].push(a);
+                (s, a)
+            }
+            Rpe::Plus(x) => {
+                let (sx, ax) = self.build(x);
+                let a = self.new_state();
+                self.epsilon[ax].push(sx);
+                self.epsilon[ax].push(a);
+                (sx, a)
+            }
+            Rpe::Opt(x) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (sx, ax) = self.build(x);
+                self.epsilon[s].push(sx);
+                self.epsilon[s].push(a);
+                self.epsilon[ax].push(a);
+                (s, a)
+            }
+        }
+    }
+
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    pub fn accept(&self) -> StateId {
+        self.accept
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Predicate transitions out of `s`.
+    pub fn transitions_from(&self, s: StateId) -> &[(Pred, StateId)] {
+        &self.transitions[s]
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut out = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.epsilon[s] {
+                if out.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// The state set reached from `states` (assumed ε-closed) on a concrete
+    /// label, ε-closed.
+    pub fn step_on(
+        &self,
+        states: &BTreeSet<StateId>,
+        label: &Label,
+        symbols: &SymbolTable,
+    ) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &s in states {
+            for (pred, t) in &self.transitions[s] {
+                if pred.matches(label, symbols) {
+                    next.insert(*t);
+                }
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// Does the automaton accept this concrete label word?
+    pub fn accepts(&self, word: &[Label], symbols: &SymbolTable) -> bool {
+        let mut states = self.epsilon_closure(&std::iter::once(self.start).collect());
+        for label in word {
+            states = self.step_on(&states, label, symbols);
+            if states.is_empty() {
+                return false;
+            }
+        }
+        states.contains(&self.accept)
+    }
+
+    /// Subset construction over the set of predicates used by the NFA.
+    ///
+    /// DFA "alphabet symbols" are *minterm sets*: each concrete label
+    /// enables some subset of the NFA's predicates, and two labels enabling
+    /// the same subset are indistinguishable. The DFA transitions on those
+    /// subsets.
+    pub fn to_dfa(&self) -> Dfa {
+        // Collect distinct predicates in a stable order.
+        let mut preds: Vec<Pred> = Vec::new();
+        for ts in &self.transitions {
+            for (p, _) in ts {
+                if !preds.contains(p) {
+                    preds.push(p.clone());
+                }
+            }
+        }
+        let start_set = self.epsilon_closure(&std::iter::once(self.start).collect());
+        let mut states: HashMap<BTreeSet<StateId>, usize> = HashMap::new();
+        let mut order: Vec<BTreeSet<StateId>> = Vec::new();
+        states.insert(start_set.clone(), 0);
+        order.push(start_set);
+        // transitions[state] = map from predicate-mask to target state.
+        let mut transitions: Vec<HashMap<u64, usize>> = vec![HashMap::new()];
+        // relevant[state] = bitmask of predicates outgoing from the state's
+        // NFA set; evaluation-time masks are restricted to it before lookup.
+        let mut relevant: Vec<u64> = vec![0];
+        let mut accepting = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let cur = order[i].clone();
+            if cur.contains(&self.accept) {
+                accepting.push(i);
+            }
+            // Enumerate all satisfiable masks reachable from cur: for each
+            // subset of predicates that could be simultaneously true we
+            // would need minterm reasoning; instead enumerate masks lazily
+            // per transition-set: the set of (pred → target) pairs out of
+            // cur, grouped by which mask of preds a label must satisfy, is
+            // approximated by iterating over each single predicate and over
+            // each pair ... For correctness we instead defer: the DFA here
+            // transitions on masks *computed from concrete labels at
+            // evaluation time* (see [`Dfa::step_on`]); during construction
+            // we enumerate every mask that enables at least one transition
+            // out of `cur`, i.e. the union-closure of the per-predicate
+            // masks restricted to cur's outgoing predicates.
+            let out_preds: Vec<usize> = preds
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    cur.iter()
+                        .any(|&s| self.transitions[s].iter().any(|(q, _)| &q == p))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            relevant[i] = out_preds.iter().fold(0u64, |m, &pi| m | (1 << pi));
+            // Enumerate all subsets of out_preds (bounded: RPEs are small).
+            let k = out_preds.len().min(16);
+            for bits in 1u64..(1 << k) {
+                let mut mask = 0u64;
+                for (j, &pi) in out_preds.iter().take(k).enumerate() {
+                    if bits & (1 << j) != 0 {
+                        mask |= 1 << pi;
+                    }
+                }
+                // Targets: all NFA transitions whose predicate is in mask.
+                let mut next = BTreeSet::new();
+                for &s in &cur {
+                    for (p, t) in &self.transitions[s] {
+                        let pi = preds.iter().position(|q| q == p).expect("collected");
+                        if mask & (1 << pi) != 0 {
+                            next.insert(*t);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                let closed = self.epsilon_closure(&next);
+                let id = match states.get(&closed) {
+                    Some(&id) => id,
+                    None => {
+                        let id = order.len();
+                        states.insert(closed.clone(), id);
+                        order.push(closed);
+                        transitions.push(HashMap::new());
+                        relevant.push(0);
+                        id
+                    }
+                };
+                transitions[i].insert(mask, id);
+            }
+            i += 1;
+        }
+        Dfa {
+            preds,
+            transitions,
+            relevant,
+            accepting: accepting.into_iter().collect(),
+        }
+    }
+}
+
+/// A DFA over predicate-mask "symbols".
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    preds: Vec<Pred>,
+    /// `transitions[state][mask]` = target state, where `mask` has bit `i`
+    /// set iff predicate `i` holds of the label (restricted to the state's
+    /// relevant predicates).
+    transitions: Vec<HashMap<u64, usize>>,
+    /// Per-state bitmask of predicates that label transitions out of it.
+    relevant: Vec<u64>,
+    accepting: BTreeSet<usize>,
+}
+
+impl Dfa {
+    pub fn start(&self) -> usize {
+        0
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting.contains(&state)
+    }
+
+    /// The predicate mask a concrete label enables.
+    pub fn mask_of(&self, label: &Label, symbols: &SymbolTable) -> u64 {
+        let mut mask = 0u64;
+        for (i, p) in self.preds.iter().enumerate() {
+            if p.matches(label, symbols) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Deterministic step on a concrete label; `None` = dead.
+    pub fn step_on(&self, state: usize, label: &Label, symbols: &SymbolTable) -> Option<usize> {
+        let mask = self.mask_of(label, symbols) & self.relevant[state];
+        if mask == 0 {
+            return None;
+        }
+        self.transitions[state].get(&mask).copied()
+    }
+
+    /// Acceptance of a concrete label word.
+    pub fn accepts(&self, word: &[Label], symbols: &SymbolTable) -> bool {
+        let mut state = 0usize;
+        for label in word {
+            match self.step_on(state, label, symbols) {
+                Some(s) => state = s,
+                None => return false,
+            }
+        }
+        self.is_accepting(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::new_symbols;
+
+    fn lab(syms: &SymbolTable, s: &str) -> Label {
+        Label::symbol(syms, s)
+    }
+
+    #[test]
+    fn single_step() {
+        let syms = new_symbols();
+        let nfa = Nfa::compile(&Rpe::symbol("a"));
+        assert!(nfa.accepts(&[lab(&syms, "a")], &syms));
+        assert!(!nfa.accepts(&[lab(&syms, "b")], &syms));
+        assert!(!nfa.accepts(&[], &syms));
+        assert!(!nfa.accepts(&[lab(&syms, "a"), lab(&syms, "a")], &syms));
+    }
+
+    #[test]
+    fn sequence_and_alternation() {
+        let syms = new_symbols();
+        let e = Rpe::seq(vec![
+            Rpe::symbol("a"),
+            Rpe::alt(vec![Rpe::symbol("b"), Rpe::symbol("c")]),
+        ]);
+        let nfa = Nfa::compile(&e);
+        assert!(nfa.accepts(&[lab(&syms, "a"), lab(&syms, "b")], &syms));
+        assert!(nfa.accepts(&[lab(&syms, "a"), lab(&syms, "c")], &syms));
+        assert!(!nfa.accepts(&[lab(&syms, "a")], &syms));
+        assert!(!nfa.accepts(&[lab(&syms, "b"), lab(&syms, "a")], &syms));
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        let syms = new_symbols();
+        let a = lab(&syms, "a");
+        let star = Nfa::compile(&Rpe::symbol("a").star());
+        assert!(star.accepts(&[], &syms));
+        assert!(star.accepts(&vec![a.clone(); 5], &syms));
+        let plus = Nfa::compile(&Rpe::symbol("a").plus());
+        assert!(!plus.accepts(&[], &syms));
+        assert!(plus.accepts(&vec![a.clone(); 3], &syms));
+        let opt = Nfa::compile(&Rpe::symbol("a").opt());
+        assert!(opt.accepts(&[], &syms));
+        assert!(opt.accepts(&[a.clone()], &syms));
+        assert!(!opt.accepts(&[a.clone(), a.clone()], &syms));
+    }
+
+    #[test]
+    fn negated_step_allen_casablanca_pattern() {
+        // Movie.(!Movie)*."Allen" — find Allen below a Movie edge without
+        // crossing another Movie edge.
+        let syms = new_symbols();
+        let e = Rpe::seq(vec![
+            Rpe::symbol("Movie"),
+            Rpe::step(Step::not_symbol("Movie")).star(),
+            Rpe::step(Step::value("Allen")),
+        ]);
+        let nfa = Nfa::compile(&e);
+        let movie = lab(&syms, "Movie");
+        let cast = lab(&syms, "Cast");
+        let allen = Label::str("Allen");
+        assert!(nfa.accepts(
+            &[movie.clone(), cast.clone(), allen.clone()],
+            &syms
+        ));
+        // A second Movie edge on the way breaks the match.
+        assert!(!nfa.accepts(
+            &[movie.clone(), movie.clone(), cast.clone(), allen.clone()],
+            &syms
+        ));
+    }
+
+    #[test]
+    fn wildcard_star_matches_everything() {
+        let syms = new_symbols();
+        let nfa = Nfa::compile(&Rpe::step(Step::wildcard()).star());
+        assert!(nfa.accepts(&[], &syms));
+        assert!(nfa.accepts(&[lab(&syms, "x"), Label::int(3), Label::str("y")], &syms));
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_on_samples() {
+        let syms = new_symbols();
+        let exprs = vec![
+            Rpe::symbol("a"),
+            Rpe::symbol("a").star(),
+            Rpe::seq(vec![
+                Rpe::symbol("a"),
+                Rpe::alt(vec![Rpe::symbol("b"), Rpe::symbol("c")]).plus(),
+            ]),
+            Rpe::seq(vec![
+                Rpe::symbol("Movie"),
+                Rpe::step(Step::not_symbol("Movie")).star(),
+            ]),
+            Rpe::alt(vec![
+                Rpe::Epsilon,
+                Rpe::seq(vec![Rpe::symbol("a"), Rpe::symbol("a")]),
+            ]),
+        ];
+        let alphabet = [
+            lab(&syms, "a"),
+            lab(&syms, "b"),
+            lab(&syms, "c"),
+            lab(&syms, "Movie"),
+            Label::int(1),
+        ];
+        for e in &exprs {
+            let nfa = Nfa::compile(e);
+            let dfa = nfa.to_dfa();
+            // All words up to length 3 over the alphabet.
+            let mut words: Vec<Vec<Label>> = vec![vec![]];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for l in &alphabet {
+                        let mut w2 = w.clone();
+                        w2.push(l.clone());
+                        next.push(w2);
+                    }
+                }
+                words.extend(next.clone());
+                words = {
+                    let mut seen = std::collections::BTreeSet::new();
+                    words
+                        .into_iter()
+                        .filter(|w| seen.insert(format!("{w:?}")))
+                        .collect()
+                };
+            }
+            for w in &words {
+                assert_eq!(
+                    nfa.accepts(w, &syms),
+                    dfa.accepts(w, &syms),
+                    "disagree on {e} for word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_is_deterministic_per_mask() {
+        let nfa = Nfa::compile(&Rpe::alt(vec![
+            Rpe::symbol("a").star(),
+            Rpe::symbol("b").plus(),
+        ]));
+        let dfa = nfa.to_dfa();
+        assert!(dfa.state_count() >= 1);
+        // step_on returns at most one state by construction (HashMap).
+        let syms = new_symbols();
+        let a = lab(&syms, "a");
+        let s1 = dfa.step_on(dfa.start(), &a, &syms);
+        let s2 = dfa.step_on(dfa.start(), &a, &syms);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn epsilon_rpe_accepts_only_empty() {
+        let syms = new_symbols();
+        let nfa = Nfa::compile(&Rpe::Epsilon);
+        assert!(nfa.accepts(&[], &syms));
+        assert!(!nfa.accepts(&[lab(&syms, "a")], &syms));
+        let dfa = nfa.to_dfa();
+        assert!(dfa.accepts(&[], &syms));
+        assert!(!dfa.accepts(&[lab(&syms, "a")], &syms));
+    }
+}

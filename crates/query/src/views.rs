@@ -1,0 +1,255 @@
+//! Views over semistructured data (\[4\], §3).
+//!
+//! §3: "Some simple forms of restructuring are also present in a view
+//! definition language proposed in \[4\]" (Abiteboul, Goldman, McHugh,
+//! Vassalos & Zhuge, *Views for semistructured data*). A view here is a
+//! named select-from-where query; a [`ViewCatalog`] materialises its views
+//! *in definition order* into an extended database whose root carries one
+//! edge per view name — so later views (and user queries) can traverse
+//! into earlier views with ordinary paths (`db.recent_movies.Title`),
+//! giving view composition for free.
+
+use crate::lang::{evaluate_select, parse_query, EvalOptions, SelectQuery};
+use ssd_graph::ops::copy_subgraph;
+use ssd_graph::{Graph, Label};
+
+/// A named, parsed view definition.
+#[derive(Debug, Clone)]
+pub struct View {
+    pub name: String,
+    pub query: SelectQuery,
+    /// The original query text, for display/serialization.
+    pub text: String,
+}
+
+/// An ordered catalog of views.
+#[derive(Debug, Clone, Default)]
+pub struct ViewCatalog {
+    views: Vec<View>,
+}
+
+/// Errors from view definition or materialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    DuplicateName(String),
+    Parse(String),
+    Eval(String),
+    ReservedName(String),
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::DuplicateName(n) => write!(f, "view {n} already defined"),
+            ViewError::Parse(m) => write!(f, "view query parse error: {m}"),
+            ViewError::Eval(m) => write!(f, "view evaluation error: {m}"),
+            ViewError::ReservedName(n) => write!(f, "view name {n} is reserved"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl ViewCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a view. Later views may reference earlier ones by name in
+    /// their paths (`db.<earlier-view>...`).
+    pub fn define(&mut self, name: &str, query_text: &str) -> Result<(), ViewError> {
+        if name == "db" {
+            return Err(ViewError::ReservedName(name.to_owned()));
+        }
+        if self.views.iter().any(|v| v.name == name) {
+            return Err(ViewError::DuplicateName(name.to_owned()));
+        }
+        let query = parse_query(query_text).map_err(|e| ViewError::Parse(e.to_string()))?;
+        self.views.push(View {
+            name: name.to_owned(),
+            query,
+            text: query_text.to_owned(),
+        });
+        Ok(())
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.views.iter().map(|v| v.name.as_str())
+    }
+
+    pub fn get(&self, name: &str) -> Option<&View> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Materialise all views over `base`, in definition order.
+    ///
+    /// Returns the *extended database*: a copy of `base` whose root gains
+    /// one `view-name` edge per view, each leading to that view's result.
+    /// Each view is evaluated against the database extended with all
+    /// previously materialised views, so `db.v1.x` inside `v2` works.
+    pub fn materialize(&self, base: &Graph) -> Result<Graph, ViewError> {
+        let mut working = Graph::with_symbols(base.symbols_handle());
+        let root = copy_subgraph(base, base.root(), &mut working);
+        working.set_root(root);
+        for view in &self.views {
+            let (result, _) = evaluate_select(&working, &view.query, &EvalOptions::default())
+                .map_err(ViewError::Eval)?;
+            let img = copy_subgraph(&result, result.root(), &mut working);
+            let label = Label::symbol(working.symbols(), &view.name);
+            let wroot = working.root();
+            working.add_edge(wroot, label, img);
+        }
+        working.gc();
+        Ok(working)
+    }
+
+    /// Materialise and immediately answer one query against the extended
+    /// database (the common "query through views" path).
+    pub fn query(&self, base: &Graph, query_text: &str) -> Result<Graph, ViewError> {
+        let extended = self.materialize(base)?;
+        let q = parse_query(query_text).map_err(|e| ViewError::Parse(e.to_string()))?;
+        let (result, _) = evaluate_select(&extended, &q, &EvalOptions::default())
+            .map_err(ViewError::Eval)?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::bisim::graphs_bisimilar;
+    use ssd_graph::literal::parse_graph;
+
+    fn base() -> Graph {
+        parse_graph(
+            r#"{Entry: {Movie: {Title: "Casablanca", Year: 1942}},
+                Entry: {Movie: {Title: "Play it again, Sam", Year: 1972}},
+                Entry: {Movie: {Title: "Annie Hall", Year: 1977}}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn define_and_materialize() {
+        let mut cat = ViewCatalog::new();
+        cat.define(
+            "seventies",
+            r#"select {Movie: M} from db.Entry.Movie M, M.Year Y where Y >= 1970 and Y < 1980"#,
+        )
+        .unwrap();
+        let ext = cat.materialize(&base()).unwrap();
+        let view_node = ext.successors_by_name(ext.root(), "seventies");
+        assert_eq!(view_node.len(), 1);
+        assert_eq!(ext.successors_by_name(view_node[0], "Movie").len(), 2);
+        // Base data still present.
+        assert_eq!(ext.successors_by_name(ext.root(), "Entry").len(), 3);
+    }
+
+    #[test]
+    fn query_through_a_view() {
+        let mut cat = ViewCatalog::new();
+        cat.define(
+            "seventies",
+            r#"select {Movie: M} from db.Entry.Movie M, M.Year Y where Y >= 1970"#,
+        )
+        .unwrap();
+        let r = cat
+            .query(&base(), "select T from db.seventies.Movie.Title T")
+            .unwrap();
+        assert_eq!(r.out_degree(r.root()), 2);
+    }
+
+    #[test]
+    fn view_of_view_composes() {
+        let mut cat = ViewCatalog::new();
+        cat.define(
+            "seventies",
+            r#"select {Movie: M} from db.Entry.Movie M, M.Year Y where Y >= 1970"#,
+        )
+        .unwrap();
+        cat.define(
+            "allen_era",
+            r#"select {Hit: T} from db.seventies.Movie M, M.Title T, M.Year Y where Y > 1975"#,
+        )
+        .unwrap();
+        let ext = cat.materialize(&base()).unwrap();
+        let v2 = ext.successors_by_name(ext.root(), "allen_era")[0];
+        let hits = ext.successors_by_name(v2, "Hit");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            ext.atomic_value(hits[0]),
+            Some(&ssd_graph::Value::Str("Annie Hall".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reserved_names_rejected() {
+        let mut cat = ViewCatalog::new();
+        cat.define("v", "select M from db.Entry M").unwrap();
+        assert_eq!(
+            cat.define("v", "select M from db.Entry M"),
+            Err(ViewError::DuplicateName("v".into()))
+        );
+        assert_eq!(
+            cat.define("db", "select M from db.Entry M"),
+            Err(ViewError::ReservedName("db".into()))
+        );
+    }
+
+    #[test]
+    fn parse_error_surfaces_at_define_time() {
+        let mut cat = ViewCatalog::new();
+        assert!(matches!(
+            cat.define("bad", "select banana"),
+            Err(ViewError::Parse(_))
+        ));
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn empty_catalog_materializes_to_base() {
+        let cat = ViewCatalog::new();
+        let b = base();
+        let ext = cat.materialize(&b).unwrap();
+        assert!(graphs_bisimilar(&b, &ext));
+    }
+
+    #[test]
+    fn restructuring_view_bacall_repair() {
+        // Views can express simple restructuring ([4]): project the cast
+        // under fresh labels.
+        let g = parse_graph(
+            r#"{Movie: {Cast: {Actors: "Bogart", Actors: "Bacall"}}}"#,
+        )
+        .unwrap();
+        let mut cat = ViewCatalog::new();
+        cat.define(
+            "performers",
+            r#"select {Performer: A} from db.Movie.Cast.Actors A"#,
+        )
+        .unwrap();
+        let ext = cat.materialize(&g).unwrap();
+        let v = ext.successors_by_name(ext.root(), "performers")[0];
+        assert_eq!(ext.successors_by_name(v, "Performer").len(), 2);
+    }
+
+    #[test]
+    fn catalog_introspection() {
+        let mut cat = ViewCatalog::new();
+        cat.define("a", "select M from db.Entry M").unwrap();
+        cat.define("b", "select M from db.a M").unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(cat.get("a").is_some());
+        assert!(cat.get("zzz").is_none());
+        assert!(cat.get("b").unwrap().text.contains("db.a"));
+    }
+}

@@ -1,0 +1,289 @@
+//! DataGuides: deterministic structural summaries (\[22\], §5).
+//!
+//! Goldman & Widom's *strong DataGuide* is the subset-construction
+//! determinisation of the data graph viewed as an automaton over edge
+//! labels: each guide node stands for the exact set of data nodes reachable
+//! by some label path from the root, and every label path of the data
+//! occurs in the guide exactly once (and vice versa). The guide is itself a
+//! semistructured database — we expose it as a [`Graph`] — so it can be
+//! browsed, queried, and used as the path index of §4 ("path ... indices on
+//! labels").
+
+use ssd_graph::{Graph, Label, NodeId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A strong DataGuide over a data graph.
+#[derive(Debug)]
+pub struct DataGuide {
+    /// The summary, itself an edge-labeled graph sharing the data graph's
+    /// symbol table.
+    guide: Graph,
+    /// For each guide node, the *target set*: the data nodes reachable by
+    /// the label paths leading to that guide node.
+    targets: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl DataGuide {
+    /// Build the strong DataGuide of the reachable part of `g`.
+    ///
+    /// Subset construction: states are sets of data nodes; the start state
+    /// is `{root}`; state `S --l--> { d' | d ∈ S, d --l--> d' }` for every
+    /// label `l` on an edge out of `S`. Terminates because there are
+    /// finitely many distinct target sets (guides of cyclic data are
+    /// cyclic, not infinite).
+    pub fn build(g: &Graph) -> DataGuide {
+        let mut guide = Graph::with_symbols(g.symbols_handle());
+        let mut targets: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut state_ids: HashMap<BTreeSet<NodeId>, NodeId> = HashMap::new();
+
+        let start: BTreeSet<NodeId> = std::iter::once(g.root()).collect();
+        let start_id = guide.root();
+        state_ids.insert(start.clone(), start_id);
+        targets.insert(start_id, start.iter().copied().collect());
+
+        let mut queue: VecDeque<BTreeSet<NodeId>> = VecDeque::new();
+        queue.push_back(start);
+        while let Some(state) = queue.pop_front() {
+            let from_id = state_ids[&state];
+            // Group successors of the whole state by label.
+            let mut by_label: HashMap<Label, BTreeSet<NodeId>> = HashMap::new();
+            for &d in &state {
+                for e in g.edges(d) {
+                    by_label.entry(e.label.clone()).or_default().insert(e.to);
+                }
+            }
+            // Deterministic iteration order for reproducible guides.
+            let mut grouped: Vec<(Label, BTreeSet<NodeId>)> = by_label.into_iter().collect();
+            grouped.sort_by(|a, b| a.0.cmp(&b.0));
+            for (label, succ) in grouped {
+                let to_id = match state_ids.get(&succ) {
+                    Some(&id) => id,
+                    None => {
+                        let id = guide.add_node();
+                        state_ids.insert(succ.clone(), id);
+                        targets.insert(id, succ.iter().copied().collect());
+                        queue.push_back(succ);
+                        id
+                    }
+                };
+                guide.add_edge(from_id, label, to_id);
+            }
+        }
+        DataGuide { guide, targets }
+    }
+
+    /// The summary graph.
+    pub fn graph(&self) -> &Graph {
+        &self.guide
+    }
+
+    /// Number of guide nodes (states).
+    pub fn node_count(&self) -> usize {
+        self.guide.node_count()
+    }
+
+    /// The target set of a guide node.
+    pub fn targets(&self, guide_node: NodeId) -> &[NodeId] {
+        self.targets
+            .get(&guide_node)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Follow a label path from the guide root. Returns the guide node, or
+    /// `None` if the path does not occur in the data.
+    pub fn lookup(&self, path: &[Label]) -> Option<NodeId> {
+        let mut cur = self.guide.root();
+        for label in path {
+            let nexts: Vec<NodeId> = self
+                .guide
+                .edges(cur)
+                .iter()
+                .filter(|e| &e.label == label)
+                .map(|e| e.to)
+                .collect();
+            match nexts.as_slice() {
+                [one] => cur = *one,
+                [] => return None,
+                _ => unreachable!("strong DataGuide is deterministic"),
+            }
+        }
+        Some(cur)
+    }
+
+    /// The data nodes reachable by a label path — the path-index query.
+    pub fn path_targets(&self, path: &[Label]) -> &[NodeId] {
+        match self.lookup(path) {
+            Some(n) => self.targets(n),
+            None => &[],
+        }
+    }
+
+    /// Enumerate every label path of length ≤ `max_len` present in the
+    /// guide (hence in the data). Used for browsing (§1.3) and for the
+    /// soundness/completeness property tests.
+    pub fn paths_up_to(&self, max_len: usize) -> Vec<Vec<Label>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(NodeId, Vec<Label>)> = vec![(self.guide.root(), Vec::new())];
+        while let Some((n, path)) = stack.pop() {
+            if path.len() >= max_len {
+                continue;
+            }
+            for e in self.guide.edges(n) {
+                let mut p = path.clone();
+                p.push(e.label.clone());
+                out.push(p.clone());
+                stack.push((e.to, p));
+            }
+        }
+        out
+    }
+}
+
+/// Enumerate label paths of length ≤ `max_len` in a *data* graph by direct
+/// traversal (the expensive operation the guide precomputes). Paths are
+/// deduplicated.
+pub fn data_paths_up_to(g: &Graph, max_len: usize) -> BTreeSet<Vec<Label>> {
+    let mut out = BTreeSet::new();
+    // BFS over (node-set, path) is exponential; instead walk (node, path)
+    // pairs with dedup of (node, depth, path) via the output set — for the
+    // test scale this is fine, and it is the honest naive baseline.
+    let mut frontier: Vec<(NodeId, Vec<Label>)> = vec![(g.root(), Vec::new())];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for (n, path) in frontier {
+            for e in g.edges(n) {
+                let mut p = path.clone();
+                p.push(e.label.clone());
+                if out.insert(p.clone()) || p.len() < max_len {
+                    next.push((e.to, p));
+                }
+            }
+        }
+        // Dedup the frontier to keep the walk polynomial on DAG-ish data.
+        next.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        next.dedup();
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::literal::parse_graph;
+
+    fn movie_db() -> Graph {
+        parse_graph(
+            r#"{Movie: {Title: "C", Cast: {Actors: "Bogart", Actors: "Bacall"}},
+                Movie: {Title: "S", Cast: {Credit: {Actors: "Allen"}}}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn guide_is_deterministic() {
+        let g = movie_db();
+        let dg = DataGuide::build(&g);
+        for n in dg.graph().reachable() {
+            let mut labels: Vec<&Label> =
+                dg.graph().edges(n).iter().map(|e| &e.label).collect();
+            let before = labels.len();
+            labels.sort();
+            labels.dedup();
+            assert_eq!(labels.len(), before, "duplicate label out of guide node");
+        }
+    }
+
+    #[test]
+    fn guide_paths_equal_data_paths() {
+        let g = movie_db();
+        let dg = DataGuide::build(&g);
+        let from_guide: BTreeSet<Vec<Label>> = dg.paths_up_to(5).into_iter().collect();
+        let from_data = data_paths_up_to(&g, 5);
+        assert_eq!(from_guide, from_data);
+    }
+
+    #[test]
+    fn guide_merges_same_label_paths() {
+        let g = movie_db();
+        let dg = DataGuide::build(&g);
+        // Both movies' Title edges collapse to one guide path.
+        let movie = Label::symbol(g.symbols(), "Movie");
+        let title = Label::symbol(g.symbols(), "Title");
+        let t = dg.lookup(&[movie.clone(), title.clone()]).unwrap();
+        // Target set covers the title nodes of *both* movies.
+        assert_eq!(dg.targets(t).len(), 2);
+    }
+
+    #[test]
+    fn lookup_missing_path_is_none() {
+        let g = movie_db();
+        let dg = DataGuide::build(&g);
+        let junk = Label::symbol(g.symbols(), "Junk");
+        assert!(dg.lookup(&[junk]).is_none());
+        assert!(dg.path_targets(&[Label::str("nope")]).is_empty());
+    }
+
+    #[test]
+    fn empty_path_targets_root() {
+        let g = movie_db();
+        let dg = DataGuide::build(&g);
+        assert_eq!(dg.path_targets(&[]), &[g.root()]);
+    }
+
+    #[test]
+    fn guide_of_cycle_is_finite_and_cyclic() {
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        let dg = DataGuide::build(&g);
+        assert_eq!(dg.node_count(), 1);
+        assert!(dg.graph().has_cycle());
+        // Arbitrarily deep lookups still resolve.
+        let next = Label::symbol(g.symbols(), "next");
+        let path: Vec<Label> = std::iter::repeat_n(next, 10).collect();
+        assert!(dg.lookup(&path).is_some());
+    }
+
+    #[test]
+    fn guide_can_be_larger_than_data() {
+        // The classic case: determinisation can blow up. Two paths that
+        // diverge then reconverge under different labels force subset
+        // states that do not correspond to single data nodes.
+        let g = parse_graph("{a: {c: {x: 1}}, b: {c: {y: 2}}}").unwrap();
+        let dg = DataGuide::build(&g);
+        // Data has distinct c-targets; guide keeps them separate since the
+        // paths differ (a.c vs b.c), but shares nothing improperly:
+        let a = Label::symbol(g.symbols(), "a");
+        let c = Label::symbol(g.symbols(), "c");
+        let ac = dg.path_targets(&[a, c]);
+        assert_eq!(ac.len(), 1);
+    }
+
+    #[test]
+    fn shared_prefixes_produce_union_target_sets() {
+        // Two Movie edges from the root: guide state after Movie is the
+        // 2-element set.
+        let g = movie_db();
+        let dg = DataGuide::build(&g);
+        let movie = Label::symbol(g.symbols(), "Movie");
+        assert_eq!(dg.path_targets(&[movie]).len(), 2);
+    }
+
+    #[test]
+    fn guide_of_empty_graph() {
+        let g = parse_graph("{}").unwrap();
+        let dg = DataGuide::build(&g);
+        assert_eq!(dg.node_count(), 1);
+        assert!(dg.paths_up_to(3).is_empty());
+    }
+
+    #[test]
+    fn guide_is_reproducible() {
+        let g = movie_db();
+        let a = DataGuide::build(&g);
+        let b = DataGuide::build(&g);
+        assert_eq!(
+            ssd_graph::literal::write_graph(a.graph()),
+            ssd_graph::literal::write_graph(b.graph())
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural diff of two databases.
+//!
+//! Compares the *path languages* of two graphs (up to a depth bound) via
+//! their DataGuides — the browsing-oriented answer to "what changed
+//! between these two exports?" for schemaless data. Two bisimilar
+//! databases always diff empty; value-level changes surface as paths
+//! (values are edge labels, so a changed title is a changed path).
+
+use crate::dataguide::DataGuide;
+use ssd_graph::{Graph, Label};
+use std::collections::BTreeSet;
+
+/// The result of a structural diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathDiff {
+    /// Label paths (≤ depth) present in the left graph only.
+    pub only_left: Vec<Vec<Label>>,
+    /// Label paths (≤ depth) present in the right graph only.
+    pub only_right: Vec<Vec<Label>>,
+    /// Number of shared paths.
+    pub shared: usize,
+    /// The depth bound used.
+    pub depth: usize,
+}
+
+impl PathDiff {
+    pub fn is_empty(&self) -> bool {
+        self.only_left.is_empty() && self.only_right.is_empty()
+    }
+}
+
+/// Diff the path languages of `left` and `right` up to `depth` edges.
+///
+/// Symbol labels are compared by name, so the graphs need not share a
+/// symbol table.
+pub fn diff_paths(left: &Graph, right: &Graph, depth: usize) -> PathDiff {
+    let lg = DataGuide::build(left);
+    let rg = DataGuide::build(right);
+    // Render paths to comparable keys (resolving symbols through each
+    // graph's own table).
+    let render = |g: &Graph, path: &[Label]| -> Vec<String> {
+        path.iter()
+            .map(|l| l.display(g.symbols()).to_string())
+            .collect()
+    };
+    let lpaths: BTreeSet<Vec<String>> = lg
+        .paths_up_to(depth)
+        .iter()
+        .map(|p| render(left, p))
+        .collect();
+    let rpaths: BTreeSet<Vec<String>> = rg
+        .paths_up_to(depth)
+        .iter()
+        .map(|p| render(right, p))
+        .collect();
+    // Keep only *maximal* missing paths? No: report shortest distinguishing
+    // prefixes — a path is interesting iff its parent is shared (otherwise
+    // the parent already tells the story).
+    let shortest_only = |mine: &BTreeSet<Vec<String>>,
+                         theirs: &BTreeSet<Vec<String>>|
+     -> Vec<Vec<String>> {
+        mine.iter()
+            .filter(|p| !theirs.contains(*p))
+            // Shortest distinguishing prefix: report a missing path only
+            // when its parent is shared (deeper extensions add no news).
+            .filter(|p| p.len() == 1 || theirs.contains(&p[..p.len() - 1].to_vec()))
+            .cloned()
+            .collect()
+    };
+    let only_left_keys = shortest_only(&lpaths, &rpaths);
+    let only_right_keys = shortest_only(&rpaths, &lpaths);
+    let shared = lpaths.intersection(&rpaths).count();
+    // Translate keys back to labels via the originating guide paths.
+    let recover = |g: &Graph, guide: &DataGuide, keys: &[Vec<String>]| -> Vec<Vec<Label>> {
+        let want: BTreeSet<&Vec<String>> = keys.iter().collect();
+        guide
+            .paths_up_to(depth)
+            .into_iter()
+            .filter(|p| want.contains(&render(g, p)))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    };
+    PathDiff {
+        only_left: recover(left, &lg, &only_left_keys),
+        only_right: recover(right, &rg, &only_right_keys),
+        shared,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::literal::parse_graph;
+
+    #[test]
+    fn identical_graphs_diff_empty() {
+        let a = parse_graph(r#"{Movie: {Title: "C"}}"#).unwrap();
+        let b = parse_graph(r#"{Movie: {Title: "C"}}"#).unwrap();
+        let d = diff_paths(&a, &b, 5);
+        assert!(d.is_empty());
+        assert!(d.shared >= 3);
+    }
+
+    #[test]
+    fn bisimilar_graphs_diff_empty() {
+        let a = parse_graph("{x: @s = {v: 1}, y: @s}").unwrap();
+        let b = parse_graph("{x: {v: 1}, y: {v: 1}}").unwrap();
+        assert!(diff_paths(&a, &b, 6).is_empty());
+    }
+
+    #[test]
+    fn value_change_surfaces_as_path() {
+        let a = parse_graph(r#"{Movie: {Title: "Casablanca"}}"#).unwrap();
+        let b = parse_graph(r#"{Movie: {Title: "Casablanka"}}"#).unwrap();
+        let d = diff_paths(&a, &b, 5);
+        assert_eq!(d.only_left.len(), 1);
+        assert_eq!(d.only_right.len(), 1);
+        let shown: Vec<String> = d.only_left[0]
+            .iter()
+            .map(|l| l.display(a.symbols()).to_string())
+            .collect();
+        assert_eq!(shown, vec!["Movie", "Title", "\"Casablanca\""]);
+    }
+
+    #[test]
+    fn added_attribute_reports_shortest_prefix() {
+        let a = parse_graph(r#"{Movie: {Title: "C"}}"#).unwrap();
+        let b = parse_graph(r#"{Movie: {Title: "C", Director: {Name: "Curtiz"}}}"#).unwrap();
+        let d = diff_paths(&a, &b, 6);
+        assert!(d.only_left.is_empty());
+        // Only Movie.Director is reported, not its deeper extensions.
+        assert_eq!(d.only_right.len(), 1);
+        let shown: Vec<String> = d.only_right[0]
+            .iter()
+            .map(|l| l.display(b.symbols()).to_string())
+            .collect();
+        assert_eq!(shown, vec!["Movie", "Director"]);
+    }
+
+    #[test]
+    fn cross_symbol_table_comparison() {
+        let a = parse_graph("{x: 1}").unwrap();
+        let b = parse_graph("{x: 1}").unwrap(); // separate table
+        assert!(!a.shares_symbols(&b));
+        assert!(diff_paths(&a, &b, 4).is_empty());
+    }
+
+    #[test]
+    fn cyclic_graphs_diff_finitely() {
+        let a = parse_graph("@x = {next: @x}").unwrap();
+        let b = parse_graph("@x = {next: @x, stop: 1}").unwrap();
+        let d = diff_paths(&a, &b, 6);
+        assert!(d.only_left.is_empty());
+        assert!(!d.only_right.is_empty());
+        // Every reported right-only path ends in the stop region.
+        for p in &d.only_right {
+            let shown: Vec<String> = p
+                .iter()
+                .map(|l| l.display(b.symbols()).to_string())
+                .collect();
+            assert!(shown.iter().any(|s| s == "stop" || s == "1"), "{shown:?}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Schema extraction — "discovering" structure in the data (§5).
+//!
+//! §5: "it may be appropriate to impose (or to *discover*) some form of
+//! structure in the data". We extract a schema from a data graph in two
+//! steps:
+//!
+//! 1. quotient the data graph by bisimilarity (the minimal equivalent
+//!    database, [`ssd_graph::bisim::quotient`]), then
+//! 2. generalise edge labels to predicates: symbols stay exact, value
+//!    labels widen to their type ([`Pred::Kind`]) so the schema describes
+//!    "a string goes here" rather than each constant.
+//!
+//! By construction, the data conforms to its extracted schema (tested), and
+//! the schema stays *loose*: other databases with the same shape but
+//! different constants also conform — exactly the ACeDB situation of §1.1.
+
+use crate::pred::Pred;
+use crate::schema::{Schema, SchemaNodeId};
+use ssd_graph::bisim;
+use ssd_graph::{Graph, Label, LabelKind};
+use std::collections::HashMap;
+
+/// Options controlling how much the extracted schema generalises.
+#[derive(Debug, Clone)]
+pub struct ExtractOptions {
+    /// Widen value labels to their kind (`true`, the default) or keep exact
+    /// values (`false` — the schema then accepts only these constants).
+    pub widen_values: bool,
+    /// Merge schema nodes that end up with identical predicate signatures
+    /// after widening (a second quotient pass at the schema level).
+    pub merge_equal_signatures: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            widen_values: true,
+            merge_equal_signatures: true,
+        }
+    }
+}
+
+/// Extract a schema from the data graph.
+pub fn extract_schema(g: &Graph, opts: &ExtractOptions) -> Schema {
+    // Step 1: minimal bisimilar graph.
+    let (q, _) = bisim::quotient(g);
+    // Step 2: labels → predicates.
+    let mut schema = Schema::new();
+    let mut map: HashMap<ssd_graph::NodeId, SchemaNodeId> = HashMap::new();
+    for n in q.reachable() {
+        let s = if n == q.root() {
+            schema.root()
+        } else {
+            schema.add_node()
+        };
+        map.insert(n, s);
+    }
+    for n in q.reachable() {
+        let from = map[&n];
+        for e in q.edges(n) {
+            let pred = label_to_pred(&q, &e.label, opts.widen_values);
+            schema.add_edge(from, pred, map[&e.to]);
+        }
+    }
+    if opts.merge_equal_signatures {
+        schema = merge_signatures(&schema);
+    }
+    schema
+}
+
+/// Extract with default options.
+pub fn extract_schema_default(g: &Graph) -> Schema {
+    extract_schema(g, &ExtractOptions::default())
+}
+
+fn label_to_pred(g: &Graph, label: &Label, widen: bool) -> Pred {
+    match label {
+        Label::Symbol(s) => Pred::Symbol(g.symbols().resolve(*s).to_string()),
+        Label::Value(v) => {
+            if widen {
+                Pred::Kind(match v {
+                    ssd_graph::Value::Int(_) => LabelKind::Int,
+                    ssd_graph::Value::Real(_) => LabelKind::Real,
+                    ssd_graph::Value::Str(_) => LabelKind::Str,
+                    ssd_graph::Value::Bool(_) => LabelKind::Bool,
+                })
+            } else {
+                Pred::ValueEq(v.clone())
+            }
+        }
+    }
+}
+
+/// Merge schema nodes whose outgoing predicate signatures are equal, to a
+/// fixpoint (a bisimulation quotient at the schema level, with syntactic
+/// predicate equality standing in for semantic equivalence).
+fn merge_signatures(schema: &Schema) -> Schema {
+    // Signature refinement, mirroring ssd_graph::bisim::bisimilarity_classes
+    // but over Pred-labeled edges compared syntactically via Display.
+    let n = schema.node_count();
+    let mut class: Vec<usize> = vec![0; n];
+    loop {
+        let mut sig_ids: HashMap<Vec<(String, usize)>, usize> = HashMap::new();
+        let mut next = Vec::with_capacity(n);
+        for id in schema.node_ids() {
+            let mut sig: Vec<(String, usize)> = schema
+                .edges(id)
+                .iter()
+                .map(|e| (e.pred.to_string(), class[e.to.index()]))
+                .collect();
+            sig.sort();
+            sig.dedup();
+            let fresh = sig_ids.len();
+            let cid = *sig_ids.entry(sig).or_insert(fresh);
+            next.push(cid);
+        }
+        if next == class {
+            break;
+        }
+        class = next;
+    }
+    let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = Schema::new();
+    let mut nodes: Vec<SchemaNodeId> = Vec::with_capacity(num_classes);
+    for i in 0..num_classes {
+        nodes.push(if i == 0 { out.root() } else { out.add_node() });
+    }
+    for id in schema.node_ids() {
+        let from = nodes[class[id.index()]];
+        for e in schema.edges(id) {
+            out.add_edge(from, e.pred.clone(), nodes[class[e.to.index()]]);
+        }
+    }
+    out.set_root(nodes[class[schema.root().index()]]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::conforms;
+    use ssd_graph::literal::parse_graph;
+
+    fn movie_db() -> Graph {
+        parse_graph(
+            r#"{Movie: {Title: "C", Year: 1942},
+                Movie: {Title: "S", Year: 1972}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn data_conforms_to_extracted_schema() {
+        let g = movie_db();
+        let s = extract_schema_default(&g);
+        assert!(conforms(&g, &s));
+    }
+
+    #[test]
+    fn widened_schema_accepts_fresh_constants() {
+        let g = movie_db();
+        let s = extract_schema_default(&g);
+        let other = parse_graph(
+            r#"{Movie: {Title: "Brand New Film", Year: 2024}}"#,
+        )
+        .unwrap();
+        assert!(conforms(&other, &s));
+    }
+
+    #[test]
+    fn unwidened_schema_rejects_fresh_constants() {
+        let g = movie_db();
+        let s = extract_schema(
+            &g,
+            &ExtractOptions {
+                widen_values: false,
+                merge_equal_signatures: true,
+            },
+        );
+        assert!(conforms(&g, &s));
+        let other = parse_graph(r#"{Movie: {Title: "New", Year: 2024}}"#).unwrap();
+        assert!(!conforms(&other, &s));
+    }
+
+    #[test]
+    fn schema_rejects_different_shape() {
+        let g = movie_db();
+        let s = extract_schema_default(&g);
+        let other = parse_graph(r#"{Movie: {Director: "Curtiz"}}"#).unwrap();
+        assert!(!conforms(&other, &s));
+    }
+
+    #[test]
+    fn extraction_compresses_repetition() {
+        // 50 structurally identical movies collapse to a constant-size schema.
+        let mut src = String::from("{");
+        for i in 0..50 {
+            src.push_str(&format!("Movie: {{Title: \"m{i}\", Year: {}}}", 1900 + i));
+            if i != 49 {
+                src.push(',');
+            }
+        }
+        src.push('}');
+        let g = parse_graph(&src).unwrap();
+        let s = extract_schema_default(&g);
+        assert!(
+            s.node_count() <= 6,
+            "expected tiny schema, got {} nodes",
+            s.node_count()
+        );
+        assert!(conforms(&g, &s));
+    }
+
+    #[test]
+    fn cyclic_data_extracts_cyclic_schema() {
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        let s = extract_schema_default(&g);
+        assert!(conforms(&g, &s));
+        assert_eq!(s.node_count(), 1);
+        assert!(s
+            .edges(s.root())
+            .iter()
+            .any(|e| e.to == s.root()));
+    }
+
+    #[test]
+    fn heterogeneous_records_extract_union_schema() {
+        // Figure 1's situation: two cast representations.
+        let g = parse_graph(
+            r#"{Movie: {Cast: {Actors: "B"}},
+                Movie: {Cast: {Credit: {Actors: "A"}}}}"#,
+        )
+        .unwrap();
+        let s = extract_schema_default(&g);
+        assert!(conforms(&g, &s));
+        // Either representation alone also conforms.
+        let only_direct = parse_graph(r#"{Movie: {Cast: {Actors: "X"}}}"#).unwrap();
+        assert!(conforms(&only_direct, &s));
+    }
+
+    #[test]
+    fn signature_merge_reduces_node_count() {
+        let g = movie_db();
+        let merged = extract_schema(
+            &g,
+            &ExtractOptions {
+                widen_values: true,
+                merge_equal_signatures: true,
+            },
+        );
+        let unmerged = extract_schema(
+            &g,
+            &ExtractOptions {
+                widen_values: true,
+                merge_equal_signatures: false,
+            },
+        );
+        assert!(merged.node_count() <= unmerged.node_count());
+    }
+}

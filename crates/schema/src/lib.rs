@@ -1,0 +1,32 @@
+//! # ssd-schema — adding structure to semistructured data (§5)
+//!
+//! "One of the main attractions of semistructured data is that it is
+//! unconstrained. Nevertheless, it may be appropriate to impose (or to
+//! discover) some form of structure in the data."
+//!
+//! * [`pred`] — unary predicates over edge labels, the alphabet of schemas.
+//! * [`schema`] — rooted graphs with predicate-labeled edges (\[8\]).
+//! * [`mod@simulation`] — conformance via the greatest simulation; extents.
+//! * [`dataguide`] — strong DataGuides (\[22\]): deterministic path
+//!   summaries with target sets, usable as path indexes (§4).
+//! * [`oneindex`] — the backward-bisimulation 1-index (\[31\]'s
+//!   representative objects): a nondeterministic summary that is never
+//!   larger than the data.
+//! * [`extract`] — schema discovery by bisimulation quotient + label
+//!   widening.
+
+pub mod dataguide;
+pub mod diff;
+pub mod extract;
+pub mod oneindex;
+pub mod pred;
+pub mod schema;
+pub mod simulation;
+
+pub use dataguide::{data_paths_up_to, DataGuide};
+pub use extract::{extract_schema, extract_schema_default, ExtractOptions};
+pub use diff::{diff_paths, PathDiff};
+pub use oneindex::OneIndex;
+pub use pred::Pred;
+pub use schema::{figure1_schema, Schema, SchemaEdge, SchemaNodeId};
+pub use simulation::{conforms, extents, simulation, Simulation};

@@ -1,0 +1,331 @@
+//! The 1-index: a bisimulation-based structural summary (\[31\], §5).
+//!
+//! Nestorov, Ullman, Wiener & Chawathe's *representative objects* (and the
+//! later 1-index of Milo & Suciu) summarise a database by **backward
+//! bisimulation**: two nodes are equivalent when the sets of label paths
+//! *into* them (from the root) are forced equal by bisimilarity on the
+//! reversed graph. The summary has one node per equivalence class, so it
+//! is never larger than the data — in contrast to the strong
+//! [`DataGuide`](crate::dataguide::DataGuide), whose subset construction
+//! can blow up on irregular data. The price: the 1-index is
+//! *nondeterministic* (several same-labeled edges may leave a class), so
+//! lookups walk it like a small graph instead of following one pointer.
+//!
+//! Soundness & completeness: a label path from the root reaches data node
+//! `n` iff the same path in the 1-index reaches the class of `n` — tested
+//! here and in the property suite.
+
+use ssd_graph::{Graph, Label, NodeId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A 1-index summary of a data graph.
+#[derive(Debug)]
+pub struct OneIndex {
+    /// The summary graph (classes and their transitions), sharing the data
+    /// graph's symbol table. The root is the class of the data root.
+    summary: Graph,
+    /// Extent of each summary node: the data nodes in that class.
+    extents: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl OneIndex {
+    /// Build the 1-index of the reachable part of `g` by partition
+    /// refinement on *incoming* edges (backward bisimulation), with the
+    /// root separated so class = set of nodes with the same incoming path
+    /// language certificate.
+    pub fn build(g: &Graph) -> OneIndex {
+        let reachable = g.reachable();
+        let in_scope: std::collections::HashSet<NodeId> = reachable.iter().copied().collect();
+        // Reverse adjacency restricted to the reachable fragment.
+        let mut rev: HashMap<NodeId, Vec<(Label, NodeId)>> = HashMap::new();
+        for &n in &reachable {
+            for e in g.edges(n) {
+                if in_scope.contains(&e.to) {
+                    rev.entry(e.to).or_default().push((e.label.clone(), n));
+                }
+            }
+        }
+        // Partition refinement on reversed edges. Initial partition: the
+        // root alone vs everything else (the root has the empty incoming
+        // path, which no other node shares observationally).
+        let mut class: HashMap<NodeId, usize> = reachable
+            .iter()
+            .map(|&n| (n, if n == g.root() { 0 } else { 1 }))
+            .collect();
+        loop {
+            let mut sig_ids: HashMap<(usize, Vec<(Label, usize)>), usize> = HashMap::new();
+            let mut next: HashMap<NodeId, usize> = HashMap::new();
+            for &n in &reachable {
+                let mut sig: Vec<(Label, usize)> = rev
+                    .get(&n)
+                    .map(|edges| {
+                        edges
+                            .iter()
+                            .map(|(l, from)| (l.clone(), class[from]))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                sig.sort();
+                sig.dedup();
+                // Keep the root separated by folding the old class into the
+                // signature.
+                let key = (class[&n], sig);
+                let fresh = sig_ids.len();
+                let id = *sig_ids.entry(key).or_insert(fresh);
+                next.insert(n, id);
+            }
+            if next == class {
+                break;
+            }
+            class = next;
+        }
+        // Build the summary graph: one node per class, then compact and
+        // carry the extents through gc's remap.
+        let num_classes = class.values().copied().max().map_or(0, |m| m + 1);
+        let root_class = class[&g.root()];
+        let mut summary = Graph::with_symbols(g.symbols_handle());
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(num_classes);
+        for i in 0..num_classes {
+            nodes.push(if i == root_class {
+                summary.root()
+            } else {
+                summary.add_node()
+            });
+        }
+        for &n in &reachable {
+            let from = nodes[class[&n]];
+            for e in g.edges(n) {
+                if in_scope.contains(&e.to) {
+                    summary.add_edge(from, e.label.clone(), nodes[class[&e.to]]);
+                }
+            }
+        }
+        let remap = summary.gc();
+        let mut extents: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &n in &reachable {
+            if let Some(&img) = remap.get(&nodes[class[&n]]) {
+                extents.entry(img).or_default().push(n);
+            }
+        }
+        for ext in extents.values_mut() {
+            ext.sort_unstable();
+            ext.dedup();
+        }
+        OneIndex { summary, extents }
+    }
+
+    /// The summary graph.
+    pub fn graph(&self) -> &Graph {
+        &self.summary
+    }
+
+    /// Number of classes (summary nodes).
+    pub fn node_count(&self) -> usize {
+        self.summary.node_count()
+    }
+
+    /// The data nodes belonging to a summary class.
+    pub fn extent(&self, class: NodeId) -> &[NodeId] {
+        self.extents.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// The data nodes reachable from the root by the label path `path`
+    /// (union of the extents of all summary nodes the path reaches — the
+    /// 1-index is nondeterministic, so this walks a frontier).
+    pub fn path_targets(&self, path: &[Label]) -> Vec<NodeId> {
+        let mut frontier: BTreeSet<NodeId> = std::iter::once(self.summary.root()).collect();
+        for label in path {
+            let mut next = BTreeSet::new();
+            for &s in &frontier {
+                for e in self.summary.edges(s) {
+                    if &e.label == label {
+                        next.insert(e.to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            frontier = next;
+        }
+        let mut out: BTreeSet<NodeId> = BTreeSet::new();
+        for s in frontier {
+            out.extend(self.extent(s).iter().copied());
+        }
+        out.into_iter().collect()
+    }
+
+    /// Every label path of length ≤ `max_len` in the summary (equals the
+    /// data's path set — soundness/completeness of the 1-index).
+    pub fn paths_up_to(&self, max_len: usize) -> BTreeSet<Vec<Label>> {
+        let mut out = BTreeSet::new();
+        let mut queue: VecDeque<(NodeId, Vec<Label>)> =
+            std::iter::once((self.summary.root(), Vec::new())).collect();
+        while let Some((n, path)) = queue.pop_front() {
+            if path.len() >= max_len {
+                continue;
+            }
+            for e in self.summary.edges(n) {
+                let mut p = path.clone();
+                p.push(e.label.clone());
+                // Re-walk even seen paths while under the bound: the
+                // summary is nondeterministic, so one path can continue
+                // differently from different summary nodes.
+                let fresh = out.insert(p.clone());
+                if fresh || p.len() < max_len {
+                    queue.push_back((e.to, p));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataguide::{data_paths_up_to, DataGuide};
+    use ssd_graph::literal::parse_graph;
+
+    fn movie_db() -> Graph {
+        parse_graph(
+            r#"{Movie: {Title: "C", Cast: {Actors: "Bogart", Actors: "Bacall"}},
+                Movie: {Title: "S", Cast: {Credit: {Actors: "Allen"}}}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn never_larger_than_data() {
+        for src in [
+            "{}",
+            "{a: {c: {x: 1}}, b: {c: {y: 2}}}",
+            "@x = {next: @x, v: 1}",
+            r#"{Movie: {Title: "C"}, Movie: {Title: "D"}}"#,
+        ] {
+            let g = parse_graph(src).unwrap();
+            let idx = OneIndex::build(&g);
+            assert!(
+                idx.node_count() <= g.reachable().len(),
+                "1-index larger than data for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_equal_data_paths() {
+        let g = movie_db();
+        let idx = OneIndex::build(&g);
+        assert_eq!(idx.paths_up_to(5), data_paths_up_to(&g, 5));
+    }
+
+    #[test]
+    fn path_targets_match_dataguide() {
+        let g = movie_db();
+        let one = OneIndex::build(&g);
+        let guide = DataGuide::build(&g);
+        let syms = g.symbols();
+        let paths: Vec<Vec<Label>> = vec![
+            vec![Label::symbol(syms, "Movie")],
+            vec![Label::symbol(syms, "Movie"), Label::symbol(syms, "Title")],
+            vec![
+                Label::symbol(syms, "Movie"),
+                Label::symbol(syms, "Cast"),
+                Label::symbol(syms, "Actors"),
+            ],
+            vec![Label::symbol(syms, "Nope")],
+        ];
+        for p in paths {
+            let a: BTreeSet<NodeId> = one.path_targets(&p).into_iter().collect();
+            let b: BTreeSet<NodeId> = guide.path_targets(&p).iter().copied().collect();
+            assert_eq!(a, b, "disagree on path {p:?}");
+        }
+    }
+
+    #[test]
+    fn collapses_symmetric_structure() {
+        // 10 identical movies: classes collapse to a handful.
+        let mut src = String::from("{");
+        for i in 0..10 {
+            src.push_str(&format!("Movie: {{Title: \"m\", N: {i}}},"));
+        }
+        src.pop();
+        src.push('}');
+        let g = parse_graph(&src).unwrap();
+        let idx = OneIndex::build(&g);
+        // Root + movie-class + title-class + n-class + leaves classes —
+        // far fewer than the ~41 data nodes.
+        assert!(idx.node_count() < g.reachable().len() / 2);
+    }
+
+    #[test]
+    fn extents_partition_the_data() {
+        let g = movie_db();
+        let idx = OneIndex::build(&g);
+        let mut all: Vec<NodeId> = Vec::new();
+        for class in idx.graph().reachable() {
+            all.extend(idx.extent(class).iter().copied());
+        }
+        all.sort_unstable();
+        let mut expected = g.reachable();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn nondeterminism_on_reconverging_paths() {
+        // a.c and b.c converge by label but reach different nodes; the
+        // 1-index keeps them in separate classes (different incoming
+        // paths), so 'c' leaves two classes: walking must follow both.
+        let g = parse_graph("{a: {c: {x: 1}}, b: {c: {y: 2}}}").unwrap();
+        let idx = OneIndex::build(&g);
+        let syms = g.symbols();
+        let a_c = idx.path_targets(&[Label::symbol(syms, "a"), Label::symbol(syms, "c")]);
+        assert_eq!(a_c.len(), 1);
+        let targets_x = idx.path_targets(&[
+            Label::symbol(syms, "a"),
+            Label::symbol(syms, "c"),
+            Label::symbol(syms, "x"),
+        ]);
+        assert_eq!(targets_x.len(), 1);
+        // b.c.x must NOT match (x is only under a.c).
+        let wrong = idx.path_targets(&[
+            Label::symbol(syms, "b"),
+            Label::symbol(syms, "c"),
+            Label::symbol(syms, "x"),
+        ]);
+        assert!(wrong.is_empty());
+    }
+
+    #[test]
+    fn cyclic_data_summarises_finitely() {
+        let g = parse_graph("@x = {next: {next: @x}, stop: 1}").unwrap();
+        let idx = OneIndex::build(&g);
+        assert!(idx.node_count() <= g.reachable().len());
+        assert!(idx.graph().has_cycle());
+        let syms = g.symbols();
+        let deep: Vec<Label> = std::iter::repeat_n(Label::symbol(syms, "next"), 7)
+            .chain(std::iter::once(Label::symbol(syms, "stop")))
+            .collect();
+        // Odd-length next-chains don't reach stop (stop hangs off the
+        // root, reached after even numbers of next steps).
+        let hits = idx.path_targets(&deep);
+        let direct = {
+            // Oracle: walk the data.
+            let mut frontier: BTreeSet<NodeId> = std::iter::once(g.root()).collect();
+            for l in &deep {
+                let mut next = BTreeSet::new();
+                for &n in &frontier {
+                    for e in g.edges(n) {
+                        if &e.label == l {
+                            next.insert(e.to);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            frontier
+        };
+        assert_eq!(hits.into_iter().collect::<BTreeSet<_>>(), direct);
+    }
+}

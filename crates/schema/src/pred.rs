@@ -1,0 +1,305 @@
+//! Label predicates — the edge alphabet of graph schemas.
+//!
+//! §5 / \[8\]: "a schema is defined as a graph whose edges are labeled with
+//! *predicates*". A schema edge does not name one label; it names a unary
+//! predicate over labels, so one schema edge can cover `Movie`, "any
+//! string", "any int ≥ 0", etc. The paper's self-describing-data discussion
+//! (§2) also calls for type predicates; [`Pred::Kind`] is exactly that.
+
+use ssd_graph::{Label, LabelKind, SymbolTable, Value};
+use std::fmt;
+
+/// A unary predicate over edge labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// True of every label.
+    Any,
+    /// The label is exactly this symbol (by name, resolved per-table).
+    Symbol(String),
+    /// The label is a symbol whose name is in this set.
+    SymbolIn(Vec<String>),
+    /// The label is a symbol whose name starts with the prefix.
+    SymbolPrefix(String),
+    /// The label has this dynamic type (symbol/int/real/string/bool).
+    Kind(LabelKind),
+    /// The label is exactly this value.
+    ValueEq(Value),
+    /// The label is a string value with this prefix.
+    StrPrefix(String),
+    /// The label is an int value in the inclusive range.
+    IntRange(Option<i64>, Option<i64>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Disjunction (empty = false).
+    Or(Vec<Pred>),
+    /// Conjunction (empty = true).
+    And(Vec<Pred>),
+}
+
+impl Pred {
+    /// Does `label` satisfy this predicate? `symbols` resolves symbol names.
+    pub fn matches(&self, label: &Label, symbols: &SymbolTable) -> bool {
+        match self {
+            Pred::Any => true,
+            Pred::Symbol(name) => match label {
+                Label::Symbol(s) => &*symbols.resolve(*s) == name.as_str(),
+                Label::Value(_) => false,
+            },
+            Pred::SymbolIn(names) => match label {
+                Label::Symbol(s) => {
+                    let n = symbols.resolve(*s);
+                    names.iter().any(|m| m.as_str() == &*n)
+                }
+                Label::Value(_) => false,
+            },
+            Pred::SymbolPrefix(prefix) => match label {
+                Label::Symbol(s) => symbols.resolve(*s).starts_with(prefix.as_str()),
+                Label::Value(_) => false,
+            },
+            Pred::Kind(k) => label.kind() == *k,
+            Pred::ValueEq(v) => label.as_value() == Some(v),
+            Pred::StrPrefix(prefix) => matches!(
+                label.as_value(),
+                Some(Value::Str(s)) if s.starts_with(prefix.as_str())
+            ),
+            Pred::IntRange(lo, hi) => match label.as_value() {
+                Some(Value::Int(i)) => {
+                    lo.is_none_or(|l| *i >= l) && hi.is_none_or(|h| *i <= h)
+                }
+                _ => false,
+            },
+            Pred::Not(p) => !p.matches(label, symbols),
+            Pred::Or(ps) => ps.iter().any(|p| p.matches(label, symbols)),
+            Pred::And(ps) => ps.iter().all(|p| p.matches(label, symbols)),
+        }
+    }
+
+    /// Conservative satisfiability of `self ∧ other`: `false` only when the
+    /// two predicates provably share no label. Used for schema-based
+    /// pruning of regular path expressions (\[20\], §5): a conservative
+    /// `true` merely loses an optimization; a wrong `false` would lose
+    /// answers, so this errs on the side of `true`.
+    pub fn may_overlap(&self, other: &Pred) -> bool {
+        use Pred::*;
+        match (self, other) {
+            (Any, _) | (_, Any) => true,
+            (Not(_), _) | (_, Not(_)) => true, // don't reason under negation
+            (Or(ps), q) | (q, Or(ps)) => ps.iter().any(|p| p.may_overlap(q)),
+            (And(ps), q) | (q, And(ps)) => ps.iter().all(|p| p.may_overlap(q)),
+            (Symbol(a), Symbol(b)) => a == b,
+            (Symbol(a), SymbolIn(bs)) | (SymbolIn(bs), Symbol(a)) => bs.contains(a),
+            (SymbolIn(xs), SymbolIn(ys)) => xs.iter().any(|x| ys.contains(x)),
+            (Symbol(a), SymbolPrefix(p)) | (SymbolPrefix(p), Symbol(a)) => a.starts_with(p),
+            (SymbolIn(xs), SymbolPrefix(p)) | (SymbolPrefix(p), SymbolIn(xs)) => {
+                xs.iter().any(|x| x.starts_with(p))
+            }
+            (SymbolPrefix(a), SymbolPrefix(b)) => a.starts_with(b) || b.starts_with(a),
+            (Kind(k), q) | (q, Kind(k)) => q.kind_hint().is_none_or(|qk| qk == *k),
+            (ValueEq(a), ValueEq(b)) => a == b,
+            (ValueEq(Value::Str(s)), StrPrefix(p)) | (StrPrefix(p), ValueEq(Value::Str(s))) => {
+                s.starts_with(p)
+            }
+            (ValueEq(Value::Int(i)), IntRange(lo, hi))
+            | (IntRange(lo, hi), ValueEq(Value::Int(i))) => {
+                lo.is_none_or(|l| *i >= l) && hi.is_none_or(|h| *i <= h)
+            }
+            (StrPrefix(a), StrPrefix(b)) => a.starts_with(b) || b.starts_with(a),
+            (IntRange(lo1, hi1), IntRange(lo2, hi2)) => {
+                let lo = lo1.unwrap_or(i64::MIN).max(lo2.unwrap_or(i64::MIN));
+                let hi = hi1.unwrap_or(i64::MAX).min(hi2.unwrap_or(i64::MAX));
+                lo <= hi
+            }
+            // Symbol-only vs value-only predicates never overlap.
+            (Symbol(_) | SymbolIn(_) | SymbolPrefix(_), ValueEq(_) | StrPrefix(_) | IntRange(_, _)) => false,
+            (ValueEq(_) | StrPrefix(_) | IntRange(_, _), Symbol(_) | SymbolIn(_) | SymbolPrefix(_)) => false,
+            // Value predicates of visibly different kinds.
+            (a, b) => match (a.kind_hint(), b.kind_hint()) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            },
+        }
+    }
+
+    /// The single label kind this predicate can match, if statically known.
+    fn kind_hint(&self) -> Option<LabelKind> {
+        match self {
+            Pred::Symbol(_) | Pred::SymbolIn(_) | Pred::SymbolPrefix(_) => Some(LabelKind::Symbol),
+            Pred::Kind(k) => Some(*k),
+            Pred::ValueEq(v) => Some(match v {
+                Value::Int(_) => LabelKind::Int,
+                Value::Real(_) => LabelKind::Real,
+                Value::Str(_) => LabelKind::Str,
+                Value::Bool(_) => LabelKind::Bool,
+            }),
+            Pred::StrPrefix(_) => Some(LabelKind::Str),
+            Pred::IntRange(_, _) => Some(LabelKind::Int),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Any => write!(f, "%"),
+            Pred::Symbol(s) => write!(f, "{s}"),
+            Pred::SymbolIn(ss) => write!(f, "({})", ss.join("|")),
+            Pred::SymbolPrefix(p) => write!(f, "{p}*"),
+            Pred::Kind(k) => write!(f, "[{k}]"),
+            Pred::ValueEq(v) => write!(f, "{v}"),
+            Pred::StrPrefix(p) => write!(f, "{p:?}*"),
+            Pred::IntRange(lo, hi) => write!(
+                f,
+                "[{}..{}]",
+                lo.map_or(String::new(), |l| l.to_string()),
+                hi.map_or(String::new(), |h| h.to_string())
+            ),
+            Pred::Not(p) => write!(f, "!({p})"),
+            Pred::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssd_graph::new_symbols;
+
+    #[test]
+    fn basic_matching() {
+        let syms = new_symbols();
+        let movie = Label::symbol(&syms, "Movie");
+        let title = Label::symbol(&syms, "Title");
+        let s = Label::str("Casablanca");
+        let i = Label::int(42);
+
+        assert!(Pred::Any.matches(&movie, &syms));
+        assert!(Pred::Symbol("Movie".into()).matches(&movie, &syms));
+        assert!(!Pred::Symbol("Movie".into()).matches(&title, &syms));
+        assert!(!Pred::Symbol("Casablanca".into()).matches(&s, &syms));
+        assert!(Pred::Kind(LabelKind::Str).matches(&s, &syms));
+        assert!(Pred::Kind(LabelKind::Symbol).matches(&movie, &syms));
+        assert!(Pred::ValueEq(Value::Int(42)).matches(&i, &syms));
+        assert!(Pred::StrPrefix("Casa".into()).matches(&s, &syms));
+        assert!(!Pred::StrPrefix("casa".into()).matches(&s, &syms));
+        assert!(Pred::IntRange(Some(0), Some(100)).matches(&i, &syms));
+        assert!(!Pred::IntRange(Some(43), None).matches(&i, &syms));
+    }
+
+    #[test]
+    fn symbol_sets_and_prefixes() {
+        let syms = new_symbols();
+        let actors = Label::symbol(&syms, "Actors");
+        assert!(Pred::SymbolIn(vec!["Cast".into(), "Actors".into()]).matches(&actors, &syms));
+        assert!(!Pred::SymbolIn(vec!["Cast".into()]).matches(&actors, &syms));
+        assert!(Pred::SymbolPrefix("Act".into()).matches(&actors, &syms));
+        assert!(!Pred::SymbolPrefix("act".into()).matches(&actors, &syms));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let syms = new_symbols();
+        let i = Label::int(5);
+        let p = Pred::And(vec![
+            Pred::Kind(LabelKind::Int),
+            Pred::Not(Box::new(Pred::ValueEq(Value::Int(6)))),
+        ]);
+        assert!(p.matches(&i, &syms));
+        let q = Pred::Or(vec![]);
+        assert!(!q.matches(&i, &syms));
+        let r = Pred::And(vec![]);
+        assert!(r.matches(&i, &syms));
+    }
+
+    #[test]
+    fn overlap_symbols() {
+        let a = Pred::Symbol("Movie".into());
+        let b = Pred::Symbol("Movie".into());
+        let c = Pred::Symbol("TVShow".into());
+        assert!(a.may_overlap(&b));
+        assert!(!a.may_overlap(&c));
+        assert!(a.may_overlap(&Pred::SymbolPrefix("Mo".into())));
+        assert!(!a.may_overlap(&Pred::SymbolPrefix("TV".into())));
+        assert!(a.may_overlap(&Pred::Any));
+    }
+
+    #[test]
+    fn overlap_kinds_and_values() {
+        assert!(!Pred::Symbol("x".into()).may_overlap(&Pred::ValueEq(Value::Int(1))));
+        assert!(!Pred::Kind(LabelKind::Int).may_overlap(&Pred::Kind(LabelKind::Str)));
+        assert!(Pred::Kind(LabelKind::Int).may_overlap(&Pred::IntRange(Some(0), None)));
+        assert!(!Pred::IntRange(Some(0), Some(5)).may_overlap(&Pred::IntRange(Some(6), None)));
+        assert!(Pred::IntRange(None, Some(5)).may_overlap(&Pred::IntRange(Some(5), None)));
+        assert!(Pred::StrPrefix("ab".into()).may_overlap(&Pred::StrPrefix("abc".into())));
+        assert!(!Pred::ValueEq(Value::Str("xy".into())).may_overlap(&Pred::StrPrefix("ab".into())));
+    }
+
+    #[test]
+    fn overlap_is_conservative_under_negation() {
+        // We never claim disjointness involving Not.
+        let p = Pred::Not(Box::new(Pred::Any));
+        assert!(p.may_overlap(&Pred::Symbol("x".into())));
+    }
+
+    #[test]
+    fn overlap_soundness_on_samples() {
+        // If both predicates match some concrete label, may_overlap must be
+        // true (soundness spot-check).
+        let syms = new_symbols();
+        let labels = [Label::symbol(&syms, "Movie"),
+            Label::symbol(&syms, "Actors"),
+            Label::str("Casablanca"),
+            Label::int(7),
+            Label::value(true)];
+        let preds = vec![
+            Pred::Any,
+            Pred::Symbol("Movie".into()),
+            Pred::SymbolPrefix("Act".into()),
+            Pred::Kind(LabelKind::Int),
+            Pred::Kind(LabelKind::Symbol),
+            Pred::ValueEq(Value::Int(7)),
+            Pred::StrPrefix("Casa".into()),
+            Pred::IntRange(Some(0), Some(10)),
+        ];
+        for p in &preds {
+            for q in &preds {
+                let both = labels
+                    .iter()
+                    .any(|l| p.matches(l, &syms) && q.matches(l, &syms));
+                if both {
+                    assert!(p.may_overlap(q), "unsound disjointness: {p} vs {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pred::Any.to_string(), "%");
+        assert_eq!(Pred::Symbol("Movie".into()).to_string(), "Movie");
+        assert_eq!(Pred::Kind(LabelKind::Int).to_string(), "[int]");
+        assert_eq!(
+            Pred::Or(vec![Pred::Symbol("a".into()), Pred::Symbol("b".into())]).to_string(),
+            "(a | b)"
+        );
+    }
+}

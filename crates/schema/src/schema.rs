@@ -1,0 +1,221 @@
+//! Graph schemas: rooted graphs with predicate-labeled edges (\[8\], §5).
+//!
+//! A schema "places loose constraints on the data" (§1): data conforms when
+//! the data graph is *simulated* by the schema graph (see
+//! [`crate::simulation()`]). Schemas are deliberately permissive — a node with
+//! no matching schema edge for one of its data edges breaks conformance,
+//! but extra schema edges cost nothing.
+
+use crate::pred::Pred;
+use std::fmt;
+
+/// Index of a schema node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SchemaNodeId(pub(crate) u32);
+
+impl SchemaNodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> SchemaNodeId {
+        SchemaNodeId(u32::try_from(i).expect("schema too large"))
+    }
+
+    /// Reconstruct an id from a raw index (caller guarantees validity;
+    /// used by cross-crate product constructions such as schema pruning).
+    pub fn from_raw(i: usize) -> SchemaNodeId {
+        Self::from_index(i)
+    }
+}
+
+impl fmt::Display for SchemaNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A predicate-labeled schema edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaEdge {
+    pub pred: Pred,
+    pub to: SchemaNodeId,
+}
+
+/// A rooted schema graph.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    nodes: Vec<Vec<SchemaEdge>>,
+    root: SchemaNodeId,
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Schema {
+    /// A schema with a single edgeless root (conforms only to leaf data...
+    /// and to nothing else).
+    pub fn new() -> Schema {
+        Schema {
+            nodes: vec![Vec::new()],
+            root: SchemaNodeId(0),
+        }
+    }
+
+    /// The universal schema: one node with an `Any` self-loop; every data
+    /// graph conforms. The "no schema at all" end of the looseness
+    /// spectrum.
+    pub fn universal() -> Schema {
+        let mut s = Schema::new();
+        let root = s.root();
+        s.add_edge(root, Pred::Any, root);
+        s
+    }
+
+    pub fn root(&self) -> SchemaNodeId {
+        self.root
+    }
+
+    pub fn set_root(&mut self, n: SchemaNodeId) {
+        assert!(n.index() < self.nodes.len(), "schema node out of range");
+        self.root = n;
+    }
+
+    pub fn add_node(&mut self) -> SchemaNodeId {
+        let id = SchemaNodeId::from_index(self.nodes.len());
+        self.nodes.push(Vec::new());
+        id
+    }
+
+    pub fn add_edge(&mut self, from: SchemaNodeId, pred: Pred, to: SchemaNodeId) {
+        let edge = SchemaEdge { pred, to };
+        let edges = &mut self.nodes[from.index()];
+        if !edges.contains(&edge) {
+            edges.push(edge);
+        }
+    }
+
+    pub fn edges(&self, n: SchemaNodeId) -> &[SchemaEdge] {
+        &self.nodes[n.index()]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node_ids(&self) -> impl Iterator<Item = SchemaNodeId> + '_ {
+        (0..self.nodes.len()).map(SchemaNodeId::from_index)
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema (root {}):", self.root)?;
+        for id in self.node_ids() {
+            for e in self.edges(id) {
+                writeln!(f, "  {} --{}--> {}", id, e.pred, e.to)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: the movie-database schema of Figure 1, used by examples and
+/// tests. Entries are movies or TV shows; both have titles and casts; casts
+/// are strings reached directly or through named sub-structures; a
+/// References loop connects entries.
+pub fn figure1_schema() -> Schema {
+    use ssd_graph::LabelKind;
+    let mut s = Schema::new();
+    let root = s.root();
+    let entry = s.add_node();
+    let inner = s.add_node();
+    let leafval = s.add_node();
+    s.add_edge(root, Pred::Symbol("Entry".into()), entry);
+    // An entry is a movie or a TV show, and may be referenced back from
+    // another entry (the Figure 1 cycle).
+    s.add_edge(
+        entry,
+        Pred::SymbolIn(vec!["Movie".into(), "TV_Show".into()]),
+        inner,
+    );
+    s.add_edge(entry, Pred::Symbol("Is_referenced_in".into()), entry);
+    // Inside an entry: any symbol-labeled substructure (Title, Cast,
+    // Credit, Episode, Special_Guests, ...), integer array indices
+    // (which may lead to further values), and value leaves of any base
+    // type. References jump back to the *entry* level.
+    s.add_edge(inner, Pred::Symbol("References".into()), entry);
+    s.add_edge(inner, Pred::Kind(LabelKind::Symbol), inner);
+    s.add_edge(inner, Pred::Kind(LabelKind::Int), inner);
+    s.add_edge(inner, Pred::Kind(LabelKind::Str), leafval);
+    s.add_edge(inner, Pred::Kind(LabelKind::Real), leafval);
+    s.add_edge(inner, Pred::Kind(LabelKind::Bool), leafval);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert_eq!(s.node_count(), 1);
+        assert_eq!(s.edge_count(), 0);
+        assert!(s.edges(s.root()).is_empty());
+    }
+
+    #[test]
+    fn universal_schema_has_self_loop() {
+        let s = Schema::universal();
+        assert_eq!(s.edge_count(), 1);
+        assert_eq!(s.edges(s.root())[0].to, s.root());
+        assert_eq!(s.edges(s.root())[0].pred, Pred::Any);
+    }
+
+    #[test]
+    fn add_edge_dedupes() {
+        let mut s = Schema::new();
+        let n = s.add_node();
+        let root = s.root();
+        s.add_edge(root, Pred::Any, n);
+        s.add_edge(root, Pred::Any, n);
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn set_root_reroots() {
+        let mut s = Schema::new();
+        let n = s.add_node();
+        s.set_root(n);
+        assert_eq!(s.root(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_root_checks_range() {
+        let mut s = Schema::new();
+        s.set_root(SchemaNodeId(99));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let s = Schema::universal();
+        let shown = s.to_string();
+        assert!(shown.contains("--%-->"));
+    }
+
+    #[test]
+    fn figure1_schema_builds() {
+        let s = figure1_schema();
+        assert!(s.node_count() >= 4);
+        assert!(s.edge_count() >= 6);
+    }
+}

@@ -1,0 +1,242 @@
+//! Simulation between data graphs and schemas.
+//!
+//! §5 / \[8\]: "the property of *simulation* is used to describe the
+//! relationship between data and schema". A data graph `D` conforms to a
+//! schema `S` when there is a simulation of `D` by `S`: a relation `R`
+//! containing `(root_D, root_S)` such that whenever `(d, s) ∈ R` and
+//! `d --l--> d'` in the data, there is a schema edge `s --p--> s'` with
+//! `p(l)` true and `(d', s') ∈ R`.
+//!
+//! We compute the *greatest* simulation by fixpoint refinement of
+//! per-data-node candidate sets — `O(|D| · |S| · iterations)`, which is the
+//! classical algorithm (Henzinger–Henzinger–Kopke refine further; the
+//! simple fixpoint is what \[8\] describes and is plenty for our scale; E12
+//! measures it).
+
+use crate::schema::{Schema, SchemaNodeId};
+use ssd_graph::{Graph, NodeId};
+use std::collections::HashSet;
+
+/// The greatest simulation of `g` by `schema`: for each data node, the set
+/// of schema nodes that simulate it.
+#[derive(Debug)]
+pub struct Simulation {
+    /// `candidates[node.index()]` = schema nodes simulating that node.
+    candidates: Vec<HashSet<SchemaNodeId>>,
+    /// Refinement sweeps performed until fixpoint.
+    pub iterations: usize,
+}
+
+impl Simulation {
+    /// Schema nodes simulating `n`.
+    pub fn simulators(&self, n: NodeId) -> &HashSet<SchemaNodeId> {
+        &self.candidates[n.index()]
+    }
+
+    /// True if schema node `s` simulates data node `n`.
+    pub fn simulates(&self, s: SchemaNodeId, n: NodeId) -> bool {
+        self.candidates[n.index()].contains(&s)
+    }
+}
+
+/// Compute the greatest simulation of the reachable part of `g` by
+/// `schema`. Unreachable data nodes get empty candidate sets.
+pub fn simulation(g: &Graph, schema: &Schema) -> Simulation {
+    let reachable = g.reachable();
+    let mut in_scope = vec![false; g.node_count()];
+    for &n in &reachable {
+        in_scope[n.index()] = true;
+    }
+    // Start: every schema node is a candidate for every reachable data node.
+    let all: HashSet<SchemaNodeId> = schema.node_ids().collect();
+    let mut candidates: Vec<HashSet<SchemaNodeId>> = (0..g.node_count())
+        .map(|i| {
+            if in_scope[i] {
+                all.clone()
+            } else {
+                HashSet::new()
+            }
+        })
+        .collect();
+    // Refine: s survives at d iff every data edge (l, d') has a schema edge
+    // (p, s') with p(l) and s' ∈ candidates[d'].
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for &d in &reachable {
+            let survivors: HashSet<SchemaNodeId> = candidates[d.index()]
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    g.edges(d).iter().all(|e| {
+                        schema.edges(s).iter().any(|se| {
+                            se.pred.matches(&e.label, g.symbols())
+                                && candidates[e.to.index()].contains(&se.to)
+                        })
+                    })
+                })
+                .collect();
+            if survivors.len() != candidates[d.index()].len() {
+                candidates[d.index()] = survivors;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Simulation {
+        candidates,
+        iterations,
+    }
+}
+
+/// Does `g` conform to `schema`? (Is the data root simulated by the schema
+/// root?)
+pub fn conforms(g: &Graph, schema: &Schema) -> bool {
+    simulation(g, schema).simulates(schema.root(), g.root())
+}
+
+/// Classify data nodes by schema node: for each schema node, the data
+/// nodes it simulates. This is the "partial answers to queries" use of
+/// schemas (§5): the extent of a schema node over-approximates the nodes a
+/// query confined to that schema region can reach.
+pub fn extents(g: &Graph, schema: &Schema) -> Vec<Vec<NodeId>> {
+    let sim = simulation(g, schema);
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); schema.node_count()];
+    for n in g.reachable() {
+        for s in sim.simulators(n) {
+            out[s.index()].push(n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::Pred;
+    use ssd_graph::literal::parse_graph;
+    use ssd_graph::LabelKind;
+
+    /// Schema: root --Movie--> m, m --Title--> str, str --[string]--> leaf.
+    fn movie_schema() -> Schema {
+        let mut s = Schema::new();
+        let root = s.root();
+        let m = s.add_node();
+        let title = s.add_node();
+        let leaf = s.add_node();
+        s.add_edge(root, Pred::Symbol("Movie".into()), m);
+        s.add_edge(m, Pred::Symbol("Title".into()), title);
+        s.add_edge(title, Pred::Kind(LabelKind::Str), leaf);
+        s
+    }
+
+    #[test]
+    fn conforming_data() {
+        let g = parse_graph(r#"{Movie: {Title: "Casablanca"}, Movie: {Title: "Sam"}}"#).unwrap();
+        assert!(conforms(&g, &movie_schema()));
+    }
+
+    #[test]
+    fn missing_schema_edge_breaks_conformance() {
+        // Director edges are not allowed by the schema.
+        let g = parse_graph(r#"{Movie: {Title: "C", Director: "Curtiz"}}"#).unwrap();
+        assert!(!conforms(&g, &movie_schema()));
+    }
+
+    #[test]
+    fn wrong_value_type_breaks_conformance() {
+        let g = parse_graph(r#"{Movie: {Title: 42}}"#).unwrap();
+        assert!(!conforms(&g, &movie_schema()));
+    }
+
+    #[test]
+    fn empty_data_conforms_to_anything() {
+        // A leaf root has no edges, so the transfer condition is vacuous.
+        let g = parse_graph("{}").unwrap();
+        assert!(conforms(&g, &movie_schema()));
+        assert!(conforms(&g, &Schema::new()));
+    }
+
+    #[test]
+    fn universal_schema_accepts_everything() {
+        let s = Schema::universal();
+        for src in [
+            "{}",
+            r#"{a: 1, b: {c: {d: true}}}"#,
+            "@x = {next: @x}",
+            r#"{Movie: {Title: "C"}}"#,
+        ] {
+            let g = parse_graph(src).unwrap();
+            assert!(conforms(&g, &s), "universal schema rejected {src}");
+        }
+    }
+
+    #[test]
+    fn empty_schema_rejects_nonempty_data() {
+        let g = parse_graph("{a: {}}").unwrap();
+        assert!(!conforms(&g, &Schema::new()));
+    }
+
+    #[test]
+    fn cyclic_data_against_cyclic_schema() {
+        let g = parse_graph("@x = {next: @x}").unwrap();
+        let mut s = Schema::new();
+        let root = s.root();
+        s.add_edge(root, Pred::Symbol("next".into()), root);
+        assert!(conforms(&g, &s));
+        // But a schema expecting a finite chain rejects it.
+        let mut fin = Schema::new();
+        let end = fin.add_node();
+        let froot = fin.root();
+        fin.add_edge(froot, Pred::Symbol("next".into()), end);
+        assert!(!conforms(&g, &fin));
+    }
+
+    #[test]
+    fn simulation_exposes_candidates() {
+        let g = parse_graph(r#"{Movie: {Title: "C"}}"#).unwrap();
+        let schema = movie_schema();
+        let sim = simulation(&g, &schema);
+        assert!(sim.simulates(schema.root(), g.root()));
+        let movie_node = g.successors_by_name(g.root(), "Movie")[0];
+        // The movie node is simulated by schema node m (index 1).
+        assert!(sim.simulators(movie_node).iter().any(|s| s.index() == 1));
+        assert!(sim.iterations >= 1);
+    }
+
+    #[test]
+    fn extents_partition_matches_simulation() {
+        let g = parse_graph(r#"{Movie: {Title: "C"}}"#).unwrap();
+        let schema = movie_schema();
+        let ex = extents(&g, &schema);
+        assert_eq!(ex.len(), schema.node_count());
+        // Root is in the extent of the schema root.
+        assert!(ex[schema.root().index()].contains(&g.root()));
+    }
+
+    #[test]
+    fn looseness_extra_schema_edges_are_free() {
+        let mut s = movie_schema();
+        let junk = s.add_node();
+        let root = s.root();
+        s.add_edge(root, Pred::Symbol("NeverUsed".into()), junk);
+        let g = parse_graph(r#"{Movie: {Title: "C"}}"#).unwrap();
+        assert!(conforms(&g, &s));
+    }
+
+    #[test]
+    fn figure1_schema_accepts_figure1_like_data() {
+        let g = parse_graph(
+            r#"{Entry: {Movie: {Title: "Casablanca",
+                                Cast: {Actors: "Bogart", Actors: "Bacall"},
+                                Director: "Curtiz"}},
+                Entry: {Movie: {Title: "Play it again, Sam",
+                                 BoxOffice: 1200000}}}"#,
+        )
+        .unwrap();
+        assert!(conforms(&g, &crate::schema::figure1_schema()));
+    }
+}

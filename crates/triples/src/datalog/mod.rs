@@ -1,0 +1,20 @@
+//! "Graph datalog" — recursive queries over the edge relation.
+//!
+//! §3: "Some forms of unbounded search will require recursive queries,
+//! i.e., a 'graph datalog', and such languages are proposed in \[26, 16\] for
+//! the web and for hypertext."
+//!
+//! * [`ast`] — rules, atoms, terms, plus a Prolog-ish text syntax.
+//! * [`eval`] — stratified evaluation, both naive and semi-naive (the
+//!   semi-naive/naive gap is experiment E6).
+//!
+//! The EDB is the triple store's edge relation, exposed as
+//! `edge(Src, Label, Dst)` together with `root(R)`.
+
+pub mod ast;
+pub mod eval;
+
+pub use ast::{parse_program, Atom, Literal, Program, Rule, Term};
+pub use eval::{
+    edb_from_store, evaluate, evaluate_naive, evaluate_with_facts, DatalogError, Evaluation, Facts,
+};

@@ -1,0 +1,50 @@
+//! The edge relation: `(node-id, label, node-id)` triples.
+//!
+//! §3, first computational strategy: "We can take the database as a large
+//! relation of type (node-id, label, node-id) and consider the expressive
+//! power of relational languages on this structure."
+
+use ssd_graph::{Label, NodeId};
+use std::fmt;
+
+/// One edge of the data graph, viewed relationally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    pub src: NodeId,
+    pub label: Label,
+    pub dst: NodeId,
+}
+
+impl Triple {
+    pub fn new(src: NodeId, label: Label, dst: NodeId) -> Self {
+        Triple { src, label, dst }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {:?}, {})", self.src, self.label, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_compare() {
+        let a = Triple::new(NodeId::from_index(0), Label::int(1), NodeId::from_index(2));
+        let b = Triple::new(NodeId::from_index(0), Label::int(1), NodeId::from_index(2));
+        assert_eq!(a, b);
+        let c = Triple::new(NodeId::from_index(0), Label::int(2), NodeId::from_index(2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Triple::new(NodeId::from_index(3), Label::int(7), NodeId::from_index(4));
+        let s = t.to_string();
+        assert!(s.contains("&3"));
+        assert!(s.contains("&4"));
+    }
+}
