@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, release build, tests.
+# Run from the repository root. Everything works without network access
+# (registry access is satisfied by the committed Cargo.lock + vendor/).
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check" >&2
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings" >&2
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release" >&2
+cargo build --release --offline
+
+echo "== cargo test" >&2
+cargo test -q --offline
+
+echo "ci: all gates passed" >&2

@@ -16,12 +16,14 @@ const LABEL_VAR: &str = r#"select L from db.Entry.Movie.^L X where L like "Dir%"
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e03_select");
-    group.bench_function("parse_only", |b| {
-        b.iter(|| parse_query(JOIN).unwrap())
-    });
+    group.bench_function("parse_only", |b| b.iter(|| parse_query(JOIN).unwrap()));
     for &size in MOVIE_SIZES {
         let g = movies(size);
-        for (name, text) in [("fixed_path", FIXED), ("join", JOIN), ("label_var", LABEL_VAR)] {
+        for (name, text) in [
+            ("fixed_path", FIXED),
+            ("join", JOIN),
+            ("label_var", LABEL_VAR),
+        ] {
             let q = parse_query(text).unwrap();
             group.bench_with_input(BenchmarkId::new(name, size), &g, |b, g| {
                 b.iter(|| evaluate_select(g, &q, &EvalOptions::default()).unwrap())

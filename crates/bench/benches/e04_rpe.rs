@@ -45,9 +45,7 @@ fn bench(c: &mut Criterion) {
             ]),
         ),
     ];
-    group.bench_function("compile_nfa", |b| {
-        b.iter(|| Nfa::compile(&allen_query()))
-    });
+    group.bench_function("compile_nfa", |b| b.iter(|| Nfa::compile(&allen_query())));
     for &size in MOVIE_SIZES {
         let g = movies(size);
         for (name, rpe) in &exprs {

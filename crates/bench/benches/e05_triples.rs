@@ -27,7 +27,10 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("label_select_relational", size),
             &edge_rel,
             |b, rel| {
-                b.iter(|| rel.select_eq("label", &Datum::Label(movie.clone())).unwrap())
+                b.iter(|| {
+                    rel.select_eq("label", &Datum::Label(movie.clone()))
+                        .unwrap()
+                })
             },
         );
         group.bench_with_input(
@@ -35,29 +38,60 @@ fn bench(c: &mut Criterion) {
             &store,
             |b, s| b.iter(|| s.with_label(&movie).len()),
         );
-        group.bench_with_input(BenchmarkId::new("label_select_traversal", size), &g, |b, g| {
-            b.iter(|| eval_rpe(g, g.root(), &Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")])))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("label_select_traversal", size),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    eval_rpe(
+                        g,
+                        g.root(),
+                        &Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")]),
+                    )
+                })
+            },
+        );
         // Deep path: 3 steps as joins vs traversal.
-        group.bench_with_input(BenchmarkId::new("path3_relational_joins", size), &edge_rel, |b, rel| {
-            b.iter(|| {
-                let entry = Label::symbol(g.symbols(), "Entry");
-                let movie = Label::symbol(g.symbols(), "Movie");
-                let title = Label::symbol(g.symbols(), "Title");
-                let e1 = rel.select_eq("label", &Datum::Label(entry)).unwrap()
-                    .project(&["src", "dst"]).unwrap()
-                    .rename("dst", "n1").unwrap();
-                let e2 = rel.select_eq("label", &Datum::Label(movie)).unwrap()
-                    .project(&["src", "dst"]).unwrap()
-                    .rename("src", "n1").unwrap()
-                    .rename("dst", "n2").unwrap();
-                let e3 = rel.select_eq("label", &Datum::Label(title)).unwrap()
-                    .project(&["src", "dst"]).unwrap()
-                    .rename("src", "n2").unwrap()
-                    .rename("dst", "n3").unwrap();
-                e1.natural_join(&e2).natural_join(&e3).project(&["n3"]).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("path3_relational_joins", size),
+            &edge_rel,
+            |b, rel| {
+                b.iter(|| {
+                    let entry = Label::symbol(g.symbols(), "Entry");
+                    let movie = Label::symbol(g.symbols(), "Movie");
+                    let title = Label::symbol(g.symbols(), "Title");
+                    let e1 = rel
+                        .select_eq("label", &Datum::Label(entry))
+                        .unwrap()
+                        .project(&["src", "dst"])
+                        .unwrap()
+                        .rename("dst", "n1")
+                        .unwrap();
+                    let e2 = rel
+                        .select_eq("label", &Datum::Label(movie))
+                        .unwrap()
+                        .project(&["src", "dst"])
+                        .unwrap()
+                        .rename("src", "n1")
+                        .unwrap()
+                        .rename("dst", "n2")
+                        .unwrap();
+                    let e3 = rel
+                        .select_eq("label", &Datum::Label(title))
+                        .unwrap()
+                        .project(&["src", "dst"])
+                        .unwrap()
+                        .rename("src", "n2")
+                        .unwrap()
+                        .rename("dst", "n3")
+                        .unwrap();
+                    e1.natural_join(&e2)
+                        .natural_join(&e3)
+                        .project(&["n3"])
+                        .unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("path3_traversal", size), &g, |b, g| {
             b.iter(|| {
                 eval_rpe(

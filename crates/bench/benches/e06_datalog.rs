@@ -33,9 +33,11 @@ fn bench(c: &mut Criterion) {
             g.symbols(),
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("reach_semi_naive", pages), &store, |b, s| {
-            b.iter(|| evaluate(&reach, s).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reach_semi_naive", pages),
+            &store,
+            |b, s| b.iter(|| evaluate(&reach, s).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("reach_naive", pages), &store, |b, s| {
             b.iter(|| evaluate_naive(&reach, s).unwrap())
         });

@@ -15,9 +15,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for rows in [50, 200] {
         let rel = wide_relation(rows, 3, 10, 2);
-        let g = rf::database_of(&[rel.clone()]);
+        let g = rf::database_of(std::slice::from_ref(&rel));
         group.bench_with_input(BenchmarkId::new("encode", rows), &rel, |b, rel| {
-            b.iter(|| rf::database_of(&[rel.clone()]))
+            b.iter(|| rf::database_of(std::slice::from_ref(rel)))
         });
         group.bench_with_input(BenchmarkId::new("select_graph", rows), &g, |b, g| {
             b.iter(|| rf::select_eq(g, &rel, "c1", &Value::Int(3)).unwrap())

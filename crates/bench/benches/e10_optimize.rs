@@ -44,9 +44,7 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(format!("{name}_optimized"), size),
                 &g,
                 |b, g| {
-                    b.iter(|| {
-                        evaluate_select(g, q, &EvalOptions::optimized(Some(&guide))).unwrap()
-                    })
+                    b.iter(|| evaluate_select(g, q, &EvalOptions::optimized(Some(&guide))).unwrap())
                 },
             );
         }

@@ -20,9 +20,7 @@ fn bench(c: &mut Criterion) {
         Rpe::symbol("stop"),
     ]);
     let nfa = Nfa::compile(&rpe);
-    group.bench_function("sequential", |b| {
-        b.iter(|| eval_nfa(&g, g.root(), &nfa))
-    });
+    group.bench_function("sequential", |b| b.iter(|| eval_nfa(&g, g.root(), &nfa)));
     for k in [2, 4, 8] {
         let blocks = Partition::index_blocks(&g, k);
         group.bench_with_input(BenchmarkId::new("cluster_blocks", k), &blocks, |b, part| {

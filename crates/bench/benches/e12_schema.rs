@@ -59,12 +59,8 @@ fn bench(c: &mut Criterion) {
         branching: 3,
         seed: 11,
     });
-    group.bench_function("dataguide_acedb", |b| {
-        b.iter(|| DataGuide::build(&bio))
-    });
-    group.bench_function("oneindex_acedb", |b| {
-        b.iter(|| OneIndex::build(&bio))
-    });
+    group.bench_function("dataguide_acedb", |b| b.iter(|| DataGuide::build(&bio)));
+    group.bench_function("oneindex_acedb", |b| b.iter(|| OneIndex::build(&bio)));
     group.bench_function("extract_schema_acedb", |b| {
         b.iter(|| ssd_schema::extract_schema_default(&bio))
     });

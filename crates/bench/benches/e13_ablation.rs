@@ -28,11 +28,9 @@ fn bench(c: &mut Criterion) {
     // naive algorithm is O(n^2 m)).
     for &size in &[5usize, 15] {
         let g = movies(size);
-        group.bench_with_input(
-            BenchmarkId::new("bisim_partition", size),
-            &g,
-            |b, g| b.iter(|| bisimilarity_classes(g)),
-        );
+        group.bench_with_input(BenchmarkId::new("bisim_partition", size), &g, |b, g| {
+            b.iter(|| bisimilarity_classes(g))
+        });
         group.bench_with_input(BenchmarkId::new("bisim_naive", size), &g, |b, g| {
             b.iter(|| naive_bisimilar(g, g.root(), g, g.root()))
         });
@@ -67,20 +65,10 @@ fn bench(c: &mut Criterion) {
         out
     };
     group.bench_function("accept_nfa_125_words", |b| {
-        b.iter(|| {
-            words
-                .iter()
-                .filter(|w| nfa.accepts(w, g.symbols()))
-                .count()
-        })
+        b.iter(|| words.iter().filter(|w| nfa.accepts(w, g.symbols())).count())
     });
     group.bench_function("accept_dfa_125_words", |b| {
-        b.iter(|| {
-            words
-                .iter()
-                .filter(|w| dfa.accepts(w, g.symbols()))
-                .count()
-        })
+        b.iter(|| words.iter().filter(|w| dfa.accepts(w, g.symbols())).count())
     });
 
     // Serialization round trips (acyclic fragment for JSON fairness).

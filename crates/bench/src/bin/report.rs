@@ -71,7 +71,10 @@ fn e01() {
         g.successors_by_name(g.root(), "Entry").len()
     );
     let g2 = figure1();
-    println!("independent constructions bisimilar: {}", graphs_bisimilar(&g, &g2));
+    println!(
+        "independent constructions bisimilar: {}",
+        graphs_bisimilar(&g, &g2)
+    );
     println!(
         "conforms to hand-written Figure-1 schema: {}",
         ssd_schema::conforms(&g, &ssd_schema::figure1_schema())
@@ -80,8 +83,10 @@ fn e01() {
 
 fn e02() {
     header("E2 — §1.3 browsing, locate phase: scan vs index (µs, median of 9)");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "entries", "q1 scan", "q1 index", "q2 scan", "q2 index", "q3 scan", "q3 index");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "entries", "q1 scan", "q1 index", "q2 scan", "q2 index", "q3 scan", "q3 index"
+    );
     for &size in &[30usize, 100, 300, 1000] {
         let g = movies(size);
         let idx = GraphIndex::build(&g);
@@ -91,7 +96,9 @@ fn e02() {
         let q2i = time_us(9, || browse::locate_ints_greater_indexed(&g, &idx, 1 << 16));
         let q3s = time_us(9, || browse::locate_attrs_prefix_scan(&g, "Act"));
         let q3i = time_us(9, || browse::locate_attrs_prefix_indexed(&g, &idx, "Act"));
-        println!("{size:>8} {q1s:>12.1} {q1i:>12.1} {q2s:>12.1} {q2i:>12.1} {q3s:>12.1} {q3i:>12.1}");
+        println!(
+            "{size:>8} {q1s:>12.1} {q1i:>12.1} {q2s:>12.1} {q2i:>12.1} {q3s:>12.1} {q3i:>12.1}"
+        );
     }
 }
 
@@ -105,7 +112,9 @@ fn e03() {
     println!("{:>8} {:>14} {:>10}", "entries", "join query", "results");
     for &size in &[30usize, 100, 300] {
         let g = movies(size);
-        let t = time_us(9, || evaluate_select(&g, &join, &EvalOptions::default()).unwrap());
+        let t = time_us(9, || {
+            evaluate_select(&g, &join, &EvalOptions::default()).unwrap()
+        });
         let (_, stats) = evaluate_select(&g, &join, &EvalOptions::default()).unwrap();
         println!("{size:>8} {t:>14.1} {:>10}", stats.results_constructed);
     }
@@ -116,7 +125,11 @@ fn e04() {
     let queries: Vec<(&str, Rpe)> = vec![
         (
             "Entry.Movie.Title",
-            Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie"), Rpe::symbol("Title")]),
+            Rpe::seq(vec![
+                Rpe::symbol("Entry"),
+                Rpe::symbol("Movie"),
+                Rpe::symbol("Title"),
+            ]),
         ),
         (
             "Entry.Movie.(!Movie)*.\"Actor 1\"",
@@ -129,14 +142,20 @@ fn e04() {
         ),
         ("%*", Rpe::step(Step::wildcard()).star()),
     ];
-    println!("{:>8} {:>38} {:>10} {:>10} {:>12}", "entries", "query", "matches", "pairs", "µs");
+    println!(
+        "{:>8} {:>38} {:>10} {:>10} {:>12}",
+        "entries", "query", "matches", "pairs", "µs"
+    );
     for &size in &[100usize, 300] {
         let g = movies(size);
         for (name, rpe) in &queries {
             let nfa = Nfa::compile(rpe);
             let (matches, pairs) = eval_nfa_with_stats(&g, g.root(), &nfa);
             let t = time_us(9, || eval_nfa(&g, g.root(), &nfa));
-            println!("{size:>8} {name:>38} {:>10} {pairs:>10} {t:>12.1}", matches.len());
+            println!(
+                "{size:>8} {name:>38} {:>10} {pairs:>10} {t:>12.1}",
+                matches.len()
+            );
         }
     }
 }
@@ -145,29 +164,58 @@ fn e05() {
     header("E5 — relational strategy vs traversal (µs, median of 9)");
     use semistructured::triples::{Datum, Relation};
     use semistructured::Label;
-    println!("{:>8} {:>16} {:>16} {:>16} {:>16}",
-        "entries", "σ-label rel", "σ-label index", "path3 joins", "path3 traverse");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16} {:>16}",
+        "entries", "σ-label rel", "σ-label index", "path3 joins", "path3 traverse"
+    );
     for &size in &[100usize, 300] {
         let g = movies(size);
         let store = TripleStore::from_graph(&g);
         let rel = Relation::edge_relation(&store);
         let movie = Label::symbol(g.symbols(), "Movie");
-        let t_rel = time_us(9, || rel.select_eq("label", &Datum::Label(movie.clone())).unwrap());
+        let t_rel = time_us(9, || {
+            rel.select_eq("label", &Datum::Label(movie.clone()))
+                .unwrap()
+        });
         let t_idx = time_us(9, || store.with_label(&movie).len());
         let entry = Label::symbol(g.symbols(), "Entry");
         let title = Label::symbol(g.symbols(), "Title");
         let t_joins = time_us(5, || {
-            let e1 = rel.select_eq("label", &Datum::Label(entry.clone())).unwrap()
-                .project(&["src", "dst"]).unwrap().rename("dst", "n1").unwrap();
-            let e2 = rel.select_eq("label", &Datum::Label(movie.clone())).unwrap()
-                .project(&["src", "dst"]).unwrap()
-                .rename("src", "n1").unwrap().rename("dst", "n2").unwrap();
-            let e3 = rel.select_eq("label", &Datum::Label(title.clone())).unwrap()
-                .project(&["src", "dst"]).unwrap()
-                .rename("src", "n2").unwrap().rename("dst", "n3").unwrap();
-            e1.natural_join(&e2).natural_join(&e3).project(&["n3"]).unwrap()
+            let e1 = rel
+                .select_eq("label", &Datum::Label(entry.clone()))
+                .unwrap()
+                .project(&["src", "dst"])
+                .unwrap()
+                .rename("dst", "n1")
+                .unwrap();
+            let e2 = rel
+                .select_eq("label", &Datum::Label(movie.clone()))
+                .unwrap()
+                .project(&["src", "dst"])
+                .unwrap()
+                .rename("src", "n1")
+                .unwrap()
+                .rename("dst", "n2")
+                .unwrap();
+            let e3 = rel
+                .select_eq("label", &Datum::Label(title.clone()))
+                .unwrap()
+                .project(&["src", "dst"])
+                .unwrap()
+                .rename("src", "n2")
+                .unwrap()
+                .rename("dst", "n3")
+                .unwrap();
+            e1.natural_join(&e2)
+                .natural_join(&e3)
+                .project(&["n3"])
+                .unwrap()
         });
-        let path = Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie"), Rpe::symbol("Title")]);
+        let path = Rpe::seq(vec![
+            Rpe::symbol("Entry"),
+            Rpe::symbol("Movie"),
+            Rpe::symbol("Title"),
+        ]);
         let nfa = Nfa::compile(&path);
         let t_trav = time_us(9, || eval_nfa(&g, g.root(), &nfa));
         println!("{size:>8} {t_rel:>16.1} {t_idx:>16.1} {t_joins:>16.1} {t_trav:>16.1}");
@@ -176,8 +224,10 @@ fn e05() {
 
 fn e06() {
     header("E6 — graph datalog: semi-naive vs naive (transitive closure)");
-    println!("{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "pages", "|path|", "semi µs", "naive µs", "semi evals", "naive evals");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "pages", "|path|", "semi µs", "naive µs", "semi evals", "naive evals"
+    );
     for &pages in &[30usize, 60, 120] {
         let g = web(pages);
         let store = TripleStore::from_graph(&g);
@@ -202,11 +252,19 @@ fn e06() {
 
 fn e07() {
     header("E7 — structural recursion (gext): linear, total on cycles");
-    println!("{:>10} {:>10} {:>14} {:>10}", "edges", "cyclic", "identity µs", "µs/edge");
+    println!(
+        "{:>10} {:>10} {:>14} {:>10}",
+        "edges", "cyclic", "identity µs", "µs/edge"
+    );
     for &size in &[100usize, 300, 1000] {
         let g = movies(size);
         let t = time_us(5, || gext(&g, g.root(), &Transducer::new()));
-        println!("{:>10} {:>10} {t:>14.1} {:>10.3}", g.edge_count(), g.has_cycle(), t / g.edge_count() as f64);
+        println!(
+            "{:>10} {:>10} {t:>14.1} {:>10.3}",
+            g.edge_count(),
+            g.has_cycle(),
+            t / g.edge_count() as f64
+        );
     }
     // Infinite unfolding, finite time.
     let g = ssd_data::movies::movie_database(&ssd_data::movies::MovieDbConfig {
@@ -220,19 +278,26 @@ fn e07() {
 fn e08() {
     header("E8 — relational fragment through the graph engine (µs)");
     use semistructured::query::relational_fragment as rf;
-    println!("{:>8} {:>14} {:>14} {:>12} {:>12}", "rows", "σ graph", "σ native", "⋈ graph", "⋈ native");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "rows", "σ graph", "σ native", "⋈ graph", "⋈ native"
+    );
     for &rows in &[50usize, 200] {
         let rel = ssd_data::relational::wide_relation(rows, 3, 10, 2);
-        let g = rf::database_of(&[rel.clone()]);
+        let g = rf::database_of(std::slice::from_ref(&rel));
         let t_sg = time_us(5, || rf::select_eq(&g, &rel, "c1", &Value::Int(3)).unwrap());
         let t_sn = time_us(9, || rf::native_select_eq(&rel, "c1", &Value::Int(3)));
         let (ord, cust) = ssd_data::relational::orders_and_customers(rows, 10, 5);
         let g2 = rf::database_of(&[ord.clone(), cust.clone()]);
-        let t_jg = time_us(3, || rf::join(&g2, &ord, &cust, "customer", "name").unwrap());
+        let t_jg = time_us(3, || {
+            rf::join(&g2, &ord, &cust, "customer", "name").unwrap()
+        });
         let t_jn = time_us(9, || rf::native_join(&ord, &cust, "customer", "name"));
         // Cross-check once.
         assert_eq!(
-            rf::select_eq(&g, &rel, "c1", &Value::Int(3)).unwrap().row_set(),
+            rf::select_eq(&g, &rel, "c1", &Value::Int(3))
+                .unwrap()
+                .row_set(),
             rf::native_select_eq(&rel, "c1", &Value::Int(3)).row_set()
         );
         println!("{rows:>8} {t_sg:>14.1} {t_sn:>14.1} {t_jg:>12.1} {t_jn:>12.1}");
@@ -242,16 +307,28 @@ fn e08() {
 
 fn e09() {
     header("E9 — deep restructuring (µs, median of 5)");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "entries", "relabel", "collapse", "delete", "shortcut");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "entries", "relabel", "collapse", "delete", "shortcut"
+    );
     for &size in &[100usize, 300] {
         let g = movies(size);
         let t_rel = time_us(5, || {
             restructure::relabel_edges(&g, Pred::Symbol("Actors".into()), "Performer")
         });
-        let t_col = time_us(5, || restructure::collapse_edges(&g, Pred::Symbol("Credit".into())));
-        let t_del = time_us(5, || restructure::delete_edges(&g, Pred::Symbol("BoxOffice".into())));
+        let t_col = time_us(5, || {
+            restructure::collapse_edges(&g, Pred::Symbol("Credit".into()))
+        });
+        let t_del = time_us(5, || {
+            restructure::delete_edges(&g, Pred::Symbol("BoxOffice".into()))
+        });
         let t_sc = time_us(5, || {
-            restructure::shortcut(&g, &Pred::Symbol("Cast".into()), &Pred::Symbol("Actors".into()), "CastMember")
+            restructure::shortcut(
+                &g,
+                &Pred::Symbol("Cast".into()),
+                &Pred::Symbol("Actors".into()),
+                "CastMember",
+            )
         });
         println!("{size:>8} {t_rel:>12.1} {t_col:>12.1} {t_del:>12.1} {t_sc:>12.1}");
     }
@@ -268,13 +345,21 @@ fn e10() {
     )
     .unwrap();
     let empty = parse_query("select T from db.NoSuchThing.%* T").unwrap();
-    println!("{:>8} {:>12} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "entries", "query", "baseline", "optimized", "speedup", "base asgn", "opt asgn");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "entries", "query", "baseline", "optimized", "speedup", "base asgn", "opt asgn"
+    );
     for &size in &[100usize, 300] {
         let g = movies(size);
         let guide = DataGuide::build(&g);
-        for (name, q) in [("selective", &selective), ("unselect.", &unselective), ("empty", &empty)] {
-            let t_base = time_us(5, || evaluate_select(&g, q, &EvalOptions::default()).unwrap());
+        for (name, q) in [
+            ("selective", &selective),
+            ("unselect.", &unselective),
+            ("empty", &empty),
+        ] {
+            let t_base = time_us(5, || {
+                evaluate_select(&g, q, &EvalOptions::default()).unwrap()
+            });
             let t_opt = time_us(5, || {
                 evaluate_select(&g, q, &EvalOptions::optimized(Some(&guide))).unwrap()
             });
@@ -305,9 +390,14 @@ fn e10() {
 
 fn e11() {
     header("E11 — parallel decomposition over sites");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let g = clusters(16, 400);
-    let rpe = Rpe::seq(vec![Rpe::step(Step::wildcard()).star(), Rpe::symbol("stop")]);
+    let rpe = Rpe::seq(vec![
+        Rpe::step(Step::wildcard()).star(),
+        Rpe::symbol("stop"),
+    ]);
     let nfa = Nfa::compile(&rpe);
     let t_seq = time_us(5, || eval_nfa(&g, g.root(), &nfa));
     println!(
@@ -316,14 +406,17 @@ fn e11() {
         g.edge_count()
     );
     println!("(wall-clock speedup is bounded by host cores; the work profile below gives the partition-determined ideal)");
-    println!("{:>6} {:>12} {:>10} {:>8} {:>10} {:>10} {:>12} {:>10}",
-        "sites", "blocks µs", "wall spd", "cross", "waves", "ideal spd", "hash µs", "wall spd");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "sites", "blocks µs", "wall spd", "cross", "waves", "ideal spd", "hash µs", "wall spd"
+    );
     for &k in &[2usize, 4, 8, 16] {
         let blocks = Partition::index_blocks(&g, k);
         let hash = Partition::hash(&g, k);
         let t_b = time_us(5, || eval_decomposed_nfa(&g, &nfa, &blocks));
         let t_h = time_us(5, || eval_decomposed_nfa(&g, &nfa, &hash));
-        let profile = semistructured::query::decompose::decomposition_work_profile(&g, &nfa, &blocks);
+        let profile =
+            semistructured::query::decompose::decomposition_work_profile(&g, &nfa, &blocks);
         println!(
             "{k:>6} {t_b:>12.1} {:>9.2}x {:>8} {:>10} {:>9.2}x {t_h:>12.1} {:>9.2}x",
             t_seq / t_b.max(0.01),
@@ -337,8 +430,17 @@ fn e11() {
 
 fn e12() {
     header("E12 — schemas: conformance, extraction, DataGuide vs 1-index (µs)");
-    println!("{:>8} {:>10} {:>13} {:>13} {:>11} {:>11} {:>11} {:>11}",
-        "entries", "nodes", "conform µs", "extract µs", "guide µs", "guide sz", "1idx µs", "1idx sz");
+    println!(
+        "{:>8} {:>10} {:>13} {:>13} {:>11} {:>11} {:>11} {:>11}",
+        "entries",
+        "nodes",
+        "conform µs",
+        "extract µs",
+        "guide µs",
+        "guide sz",
+        "1idx µs",
+        "1idx sz"
+    );
     for &size in &[30usize, 100, 300] {
         let g = movies(size);
         let schema = ssd_schema::extract_schema_default(&g);

@@ -3,6 +3,7 @@
 //! printable string, so everything is unit-testable without spawning
 //! processes.
 
+use semistructured::diag::DiagnosticSink;
 use semistructured::Database;
 use std::io::Read;
 
@@ -30,6 +31,9 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
   ssd stats     DATA                       database statistics
   ssd query     DATA QUERY [--optimized]   run a select-from-where query
   ssd datalog   DATA PROGRAM [PRED]        run a datalog program
+  ssd check     DATA (query|datalog) TEXT  static analysis; flags:
+                [--deny-warnings]          warnings also fail (exit 1)
+                [--explain]                print inferred binding types
   ssd browse    DATA string TEXT           where is this string?
   ssd browse    DATA ints THRESHOLD        integers greater than N?
   ssd browse    DATA attrs PREFIX          attribute names with prefix?
@@ -79,9 +83,25 @@ pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
             let program = arg_or_file(rest[1])?;
             cmd_datalog(&db, &program, rest.get(2).copied())
         }
+        "check" => {
+            let mut tail: Vec<&str> = rest.to_vec();
+            let deny_warnings = tail.contains(&"--deny-warnings");
+            let explain = tail.contains(&"--explain");
+            tail.retain(|a| *a != "--deny-warnings" && *a != "--explain");
+            if tail.len() != 3 {
+                return Err(CliError::Usage(
+                    "check DATA (query|datalog) TEXT [--deny-warnings] [--explain]".into(),
+                ));
+            }
+            let db = load_db(tail[0], stdin)?;
+            let text = arg_or_file(tail[2])?;
+            cmd_check(&db, tail[1], &text, deny_warnings, explain)
+        }
         "browse" => {
             if rest.len() != 3 {
-                return Err(CliError::Usage("browse DATA (string|ints|attrs) ARG".into()));
+                return Err(CliError::Usage(
+                    "browse DATA (string|ints|attrs) ARG".into(),
+                ));
             }
             let db = load_db(rest[0], stdin)?;
             cmd_browse(&db, rest[1], rest[2])
@@ -105,12 +125,18 @@ pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
             let right = load_db(rest[1], stdin)?;
             let depth: usize = rest
                 .get(2)
-                .map(|d| d.parse().map_err(|_| CliError::Usage(format!("bad depth '{d}'"))))
+                .map(|d| {
+                    d.parse()
+                        .map_err(|_| CliError::Usage(format!("bad depth '{d}'")))
+                })
                 .transpose()?
                 .unwrap_or(6);
             let d = semistructured::schema::diff_paths(left.graph(), right.graph(), depth);
             if d.is_empty() {
-                return Ok(format!("identical path languages to depth {depth} ({} shared paths)", d.shared));
+                return Ok(format!(
+                    "identical path languages to depth {depth} ({} shared paths)",
+                    d.shared
+                ));
             }
             let mut out = String::new();
             let render = |g: &semistructured::Graph, p: &[semistructured::Label]| {
@@ -210,8 +236,7 @@ fn read_path_or_stdin(path: &str, stdin: &mut impl Read) -> Result<String, CliEr
             .map_err(|e| CliError::Failed(format!("reading stdin: {e}")))?;
         Ok(buf)
     } else {
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError::Failed(format!("reading {path}: {e}")))
+        std::fs::read_to_string(path).map_err(|e| CliError::Failed(format!("reading {path}: {e}")))
     }
 }
 
@@ -233,8 +258,7 @@ fn load_db(path: &str, stdin: &mut impl Read) -> Result<Database, CliError> {
 /// An argument that is either literal text or `@file`.
 fn arg_or_file(arg: &str) -> Result<String, CliError> {
     if let Some(path) = arg.strip_prefix('@') {
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError::Failed(format!("reading {path}: {e}")))
+        std::fs::read_to_string(path).map_err(|e| CliError::Failed(format!("reading {path}: {e}")))
     } else {
         Ok(arg.to_owned())
     }
@@ -278,8 +302,8 @@ pub fn run_repl(db: &Database, script: &str) -> String {
             ),
             other => Err(CliError::Usage(format!("unknown repl command '{other}'"))),
         };
-        let _ = match result {
-            Ok(text) => writeln_str(&mut out, &format!("{text}")),
+        match result {
+            Ok(text) => writeln_str(&mut out, &text.to_string()),
             Err(e) => writeln_str(&mut out, &format!("! line {}: {e}", lineno + 1)),
         };
     }
@@ -309,13 +333,66 @@ fn cmd_query(db: &Database, text: &str, optimized: bool) -> Result<String, CliEr
     }
     .map_err(CliError::Failed)?;
     let stats = result.stats();
-    Ok(format!(
+    let mut out = String::new();
+    for w in &stats.warnings {
+        out.push_str(&format!("{w}\n"));
+    }
+    out.push_str(&format!(
         "{}\n-- {} result(s), {} assignment(s) tried, {} RPE evaluation(s)",
         result.to_literal(),
         result.graph().out_degree(result.graph().root()),
         stats.assignments_tried,
         stats.rpe_evals
-    ))
+    ));
+    Ok(out)
+}
+
+/// `ssd check`: run the static analyzer over a query or datalog program
+/// without evaluating it. Errors (and, under `--deny-warnings`, any
+/// diagnostic at all) make the command fail so CI can gate on it.
+fn cmd_check(
+    db: &Database,
+    kind: &str,
+    text: &str,
+    deny_warnings: bool,
+    explain: bool,
+) -> Result<String, CliError> {
+    let (diags, types) = match kind {
+        "query" => {
+            let schema = db.extract_schema();
+            let (query, _spans, analysis) =
+                semistructured::query::analyze_query_src(text, Some(&schema))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+            let types = analysis
+                .types
+                .as_ref()
+                .filter(|_| explain)
+                .map(|t| t.explain(&query));
+            (analysis.diagnostics, types)
+        }
+        "datalog" => (db.check_datalog(text).map_err(CliError::Failed)?, None),
+        other => {
+            return Err(CliError::Usage(format!(
+                "check kind must be query|datalog, got '{other}'"
+            )))
+        }
+    };
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    let mut out = String::new();
+    if diags.is_empty() {
+        out.push_str("no diagnostics");
+    } else {
+        out.push_str(diags.render_all(text, kind).trim_end());
+        out.push_str(&format!("\n-- {errors} error(s), {warnings} warning(s)"));
+    }
+    if let Some(t) = types {
+        out.push_str(&format!("\n{}", t.trim_end()));
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err(CliError::Failed(out));
+    }
+    Ok(out)
 }
 
 fn cmd_datalog(db: &Database, program: &str, pred: Option<&str>) -> Result<String, CliError> {
@@ -377,7 +454,10 @@ fn cmd_browse(db: &Database, mode: &str, arg: &str) -> Result<String, CliError> 
             let hits = db.ints_greater(threshold);
             let mut out = format!("{} integer(s) greater than {threshold}\n", hits.len());
             for (v, h) in &hits {
-                out.push_str(&format!("  {v}{}\n", symbols_fmt(h).trim_start_matches(' ')));
+                out.push_str(&format!(
+                    "  {v}{}\n",
+                    symbols_fmt(h).trim_start_matches(' ')
+                ));
             }
             Ok(out.trim_end().to_owned())
         }
@@ -518,6 +598,126 @@ mod tests {
     }
 
     #[test]
+    fn check_clean_query_has_no_diagnostics() {
+        let out = run_str(
+            &[
+                "check",
+                "-",
+                "query",
+                "select T from db.Entry.Movie.Title T",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert_eq!(out, "no diagnostics");
+    }
+
+    #[test]
+    fn check_warnings_render_but_pass() {
+        let out = run_str(
+            &["check", "-", "query", "select M from db.Entry M, M.Movie N"],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("warning[SSD004]"), "{out}");
+        assert!(out.contains("0 error(s), 1 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn check_deny_warnings_fails() {
+        let err = run_str(
+            &[
+                "check",
+                "-",
+                "query",
+                "select M from db.Entry M, M.Movie N",
+                "--deny-warnings",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD004")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn check_errors_fail_with_spans() {
+        let err = run_str(&["check", "-", "query", "select X from db.Entry _E"], DATA).unwrap_err();
+        match err {
+            CliError::Failed(m) => {
+                assert!(m.contains("error[SSD001]"), "{m}");
+                assert!(m.contains('^'), "{m}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_explain_prints_binding_types() {
+        let out = run_str(
+            &[
+                "check",
+                "-",
+                "query",
+                "select T from db.Entry.Movie.Title T",
+                "--explain",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("binding 0"), "{out}");
+        assert!(out.contains("`T`"), "{out}");
+    }
+
+    #[test]
+    fn check_schema_impossible_path_warns() {
+        let out = run_str(
+            &["check", "-", "query", "select X from db.Bogus.Nowhere X"],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("warning[SSD010]"), "{out}");
+    }
+
+    #[test]
+    fn check_datalog_diagnostics() {
+        let err = run_str(
+            &["check", "-", "datalog", "q(X, Y, Z) :- edge(X, Y)."],
+            DATA,
+        )
+        .unwrap_err();
+        match err {
+            CliError::Failed(m) => {
+                assert!(m.contains("SSD020"), "{m}");
+                assert!(m.contains("SSD021"), "{m}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let clean = run_str(&["check", "-", "datalog", "reach(X) :- root(X)."], DATA).unwrap();
+        assert_eq!(clean, "no diagnostics");
+    }
+
+    #[test]
+    fn check_usage_errors() {
+        assert!(matches!(
+            run_str(&["check", "-", "query"], DATA),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["check", "-", "sparql", "x"], DATA),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn query_surfaces_analyzer_warnings() {
+        let out = run_str(&["query", "-", "select M from db.Entry M, M.Movie N"], DATA).unwrap();
+        assert!(out.contains("warning[SSD004]"), "{out}");
+    }
+
+    #[test]
     fn browse_modes() {
         let s = run_str(&["browse", "-", "string", "Casablanca"], DATA).unwrap();
         assert!(s.contains("1 occurrence"));
@@ -538,11 +738,7 @@ mod tests {
 
     #[test]
     fn rewrite_from_stdin() {
-        let out = run_str(
-            &["rewrite", "-", "rewrite case Cast => collapse"],
-            DATA,
-        )
-        .unwrap();
+        let out = run_str(&["rewrite", "-", "rewrite case Cast => collapse"], DATA).unwrap();
         assert!(out.contains("Actors"));
         assert!(!out.contains("Cast"));
     }
@@ -600,22 +796,13 @@ mod tests {
             r#"{Entry: {Movie: {Title: "Other", Cast: {Actors: "X"}, Year: 2000}}}"#,
         )
         .unwrap();
-        let out = run_str(
-            &["conforms", a.to_str().unwrap(), b.to_str().unwrap()],
-            "",
-        )
-        .unwrap();
+        let out = run_str(&["conforms", a.to_str().unwrap(), b.to_str().unwrap()], "").unwrap();
         assert_eq!(out, "true");
         let c = dir.join("c.ssd");
         std::fs::write(&c, r#"{Ship: {Name: "Nostromo"}}"#).unwrap();
-        let out2 = run_str(
-            &["conforms", c.to_str().unwrap(), a.to_str().unwrap()],
-            "",
-        )
-        .unwrap();
+        let out2 = run_str(&["conforms", c.to_str().unwrap(), a.to_str().unwrap()], "").unwrap();
         assert_eq!(out2, "false");
     }
-
 }
 
 #[cfg(test)]
@@ -696,10 +883,7 @@ mod repl_tests {
     use super::*;
 
     fn db() -> Database {
-        Database::from_literal(
-            r#"{Entry: {Movie: {Title: "Casablanca", Year: 1942}}}"#,
-        )
-        .unwrap()
+        Database::from_literal(r#"{Entry: {Movie: {Title: "Casablanca", Year: 1942}}}"#).unwrap()
     }
 
     #[test]

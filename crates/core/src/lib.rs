@@ -25,6 +25,7 @@
 //! ```
 
 pub use ssd_data as data;
+pub use ssd_diag as diag;
 pub use ssd_graph as graph;
 pub use ssd_query as query;
 pub use ssd_schema as schema;
@@ -112,8 +113,7 @@ impl Database {
     /// Parse and evaluate a select-from-where query with default options.
     pub fn query(&self, text: &str) -> Result<QueryResult, String> {
         let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
-        let (graph, stats) =
-            ssd_query::evaluate_select(&self.graph, &q, &EvalOptions::default())?;
+        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &EvalOptions::default())?;
         Ok(QueryResult { graph, stats })
     }
 
@@ -153,6 +153,22 @@ impl Database {
     pub fn datalog(&self, program: &str) -> Result<ssd_triples::datalog::Evaluation, String> {
         let p = ssd_triples::datalog::parse_program(program, self.graph.symbols())?;
         ssd_triples::datalog::evaluate(&p, &self.triples()).map_err(|e| e.to_string())
+    }
+
+    /// Statically analyze a query against this database's extracted
+    /// schema (`ssd check`): variable diagnostics plus schema-aware path
+    /// typing that certifies provably empty bindings.
+    pub fn check_query(&self, text: &str) -> Result<ssd_query::QueryAnalysis, String> {
+        let schema = self.extract_schema();
+        ssd_query::analyze_query_src(text, Some(&schema))
+            .map(|(_, _, analysis)| analysis)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Statically analyze a graph-datalog program (`ssd check`): safety,
+    /// arity, stratification, and reachability lints with source spans.
+    pub fn check_datalog(&self, program: &str) -> Result<Vec<ssd_diag::Diagnostic>, String> {
+        ssd_query::analyze::analyze_datalog_src(program, self.graph.symbols(), None)
     }
 
     /// Run a `rewrite` program (the surface syntax for structural

@@ -38,7 +38,14 @@ impl Default for AcedbConfig {
 }
 
 const SECTION_NAMES: &[&str] = &[
-    "Sequence", "Homology", "Expression", "Phenotype", "Reference", "Remark", "Clone", "Map",
+    "Sequence",
+    "Homology",
+    "Expression",
+    "Phenotype",
+    "Reference",
+    "Remark",
+    "Clone",
+    "Map",
 ];
 
 /// Generate an ACeDB-like database: `root --Gene--> object`, objects with

@@ -8,7 +8,11 @@ use ssd_graph::Value;
 
 /// A tiny TPC-flavoured pair of relations: `orders(id, customer, total)`
 /// and `customers(name, city)`, with joinable `customer`/`name` columns.
-pub fn orders_and_customers(orders: usize, customers: usize, seed: u64) -> (NamedRelation, NamedRelation) {
+pub fn orders_and_customers(
+    orders: usize,
+    customers: usize,
+    seed: u64,
+) -> (NamedRelation, NamedRelation) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut cust = NamedRelation::new("customers", &["name", "city"]);
     for i in 0..customers {
@@ -59,8 +63,7 @@ mod tests {
         assert_eq!(ord.rows.len(), 100);
         assert_eq!(cust.rows.len(), 10);
         // Every order's customer exists.
-        let names: std::collections::BTreeSet<&Value> =
-            cust.rows.iter().map(|r| &r[0]).collect();
+        let names: std::collections::BTreeSet<&Value> = cust.rows.iter().map(|r| &r[0]).collect();
         for r in &ord.rows {
             assert!(names.contains(&r[1]));
         }

@@ -1,0 +1,371 @@
+//! # ssd-diag — shared diagnostics core
+//!
+//! One `Diagnostic` type used by every front end in the stack (the
+//! select-query language, regular path expressions, and graph datalog), so
+//! static analysis reports look the same everywhere: a stable `SSD0xx`
+//! code, a severity, a message, an optional byte span into the source the
+//! user actually typed, and an optional suggestion.
+//!
+//! Rendering follows the rustc layout:
+//!
+//! ```text
+//! error[SSD001]: unbound variable `X`
+//!   --> query:1:8
+//!    |
+//!  1 | select X from db.Entry E
+//!    |        ^
+//!    = help: bind `X` in a from-clause, e.g. `db.path X`
+//! ```
+
+use std::fmt;
+
+/// Half-open byte range into the analysed source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Span {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Single-position span (caret on one byte).
+    pub fn at(pos: usize) -> Span {
+        Span::new(pos, pos + 1)
+    }
+
+    /// The smallest span covering both.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How bad a finding is. `Error` refuses evaluation; `Warning` lets it run
+/// (unless `--deny-warnings`); `Note` is informational only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Note,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. The numeric bands group by front end:
+/// `SSD00x` variable analysis, `SSD01x` schema-aware path typing,
+/// `SSD02x` datalog. Codes are append-only; never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Variable referenced but bound by no from-clause binding.
+    UnboundVariable,
+    /// Variable used as a binding source before the binding that defines it.
+    UseBeforeBind,
+    /// Same variable bound by two bindings (shadowing is not allowed).
+    DuplicateBinding,
+    /// Binding variable never used in select head, where clause, or a
+    /// later from-clause source.
+    UnusedBinding,
+    /// Label variable in an illegal path position (under `|`, `*`, `+`,
+    /// `?`, or not the final step).
+    LabelVarMisuse,
+    /// Schema certifies the binding's path matches nothing: the query part
+    /// is provably empty before touching data.
+    EmptyPath,
+    /// Datalog rule violates range restriction (unsafe variable).
+    DatalogUnsafe,
+    /// Predicate used with conflicting arities.
+    DatalogArityMismatch,
+    /// Program has recursion through negation (not stratifiable).
+    DatalogNotStratifiable,
+    /// Body predicate that no rule defines and no EDB relation provides.
+    DatalogUndefinedPredicate,
+    /// Rule head unreachable from the program's result predicate.
+    DatalogUnreachableRule,
+    /// Wildcard `_` in a rule head derives nothing meaningful.
+    DatalogHeadWildcard,
+    /// Variable occurring exactly once in a rule (likely a typo).
+    DatalogSingletonVariable,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnboundVariable => "SSD001",
+            Code::UseBeforeBind => "SSD002",
+            Code::DuplicateBinding => "SSD003",
+            Code::UnusedBinding => "SSD004",
+            Code::LabelVarMisuse => "SSD005",
+            Code::EmptyPath => "SSD010",
+            Code::DatalogUnsafe => "SSD020",
+            Code::DatalogArityMismatch => "SSD021",
+            Code::DatalogNotStratifiable => "SSD022",
+            Code::DatalogUndefinedPredicate => "SSD023",
+            Code::DatalogUnreachableRule => "SSD024",
+            Code::DatalogHeadWildcard => "SSD025",
+            Code::DatalogSingletonVariable => "SSD026",
+        }
+    }
+
+    /// Default severity; individual diagnostics may not override this —
+    /// one code, one severity, so `--deny-warnings` is predictable.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnboundVariable
+            | Code::UseBeforeBind
+            | Code::DuplicateBinding
+            | Code::LabelVarMisuse
+            | Code::DatalogUnsafe
+            | Code::DatalogArityMismatch
+            | Code::DatalogNotStratifiable
+            | Code::DatalogHeadWildcard => Severity::Error,
+            Code::UnusedBinding
+            | Code::EmptyPath
+            | Code::DatalogUndefinedPredicate
+            | Code::DatalogUnreachableRule
+            | Code::DatalogSingletonVariable => Severity::Warning,
+        }
+    }
+
+    /// Every code, in rendering order (used by docs and tests).
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::UnboundVariable,
+            Code::UseBeforeBind,
+            Code::DuplicateBinding,
+            Code::UnusedBinding,
+            Code::LabelVarMisuse,
+            Code::EmptyPath,
+            Code::DatalogUnsafe,
+            Code::DatalogArityMismatch,
+            Code::DatalogNotStratifiable,
+            Code::DatalogUndefinedPredicate,
+            Code::DatalogUnreachableRule,
+            Code::DatalogHeadWildcard,
+            Code::DatalogSingletonVariable,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    pub message: String,
+    pub span: Option<Span>,
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            span: None,
+            suggestion: None,
+        }
+    }
+
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    #[must_use]
+    pub fn with_span_opt(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// One-line form: `error[SSD001]: unbound variable `X``.
+    pub fn headline(&self) -> String {
+        format!("{}[{}]: {}", self.severity, self.code, self.message)
+    }
+
+    /// Full rustc-style rendering against the source the span indexes.
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let mut out = self.headline();
+        out.push('\n');
+        if let Some(span) = self.span {
+            let (line_no, col, line_text) = locate(source, span.start);
+            let gutter = format!("{}", line_no).len().max(2);
+            out.push_str(&format!(
+                "{:gutter$}--> {}:{}:{}\n",
+                "",
+                origin,
+                line_no,
+                col,
+                gutter = gutter
+            ));
+            out.push_str(&format!("{:gutter$} |\n", "", gutter = gutter));
+            out.push_str(&format!(
+                "{:>gutter$} | {}\n",
+                line_no,
+                line_text,
+                gutter = gutter
+            ));
+            let in_line = line_text.len().saturating_sub(col - 1);
+            let width = span.len().min(in_line.max(1)).max(1);
+            out.push_str(&format!(
+                "{:gutter$} | {}{}\n",
+                "",
+                " ".repeat(col - 1),
+                "^".repeat(width),
+                gutter = gutter
+            ));
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("   = help: {s}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.headline())
+    }
+}
+
+/// 1-based line, 1-based column (in bytes), and the text of that line.
+fn locate(source: &str, pos: usize) -> (usize, usize, &str) {
+    let pos = pos.min(source.len());
+    let before = &source[..pos];
+    let line_no = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[pos..].find('\n').map_or(source.len(), |i| pos + i);
+    (line_no, pos - line_start + 1, &source[line_start..line_end])
+}
+
+/// Helpers over a batch of findings.
+pub trait DiagnosticSink {
+    fn has_errors(&self) -> bool;
+    fn error_count(&self) -> usize;
+    fn warning_count(&self) -> usize;
+    fn render_all(&self, source: &str, origin: &str) -> String;
+    fn sorted_by_span(self) -> Self;
+}
+
+impl DiagnosticSink for Vec<Diagnostic> {
+    fn has_errors(&self) -> bool {
+        self.iter().any(Diagnostic::is_error)
+    }
+
+    fn error_count(&self) -> usize {
+        self.iter().filter(|d| d.is_error()).count()
+    }
+
+    fn warning_count(&self) -> usize {
+        self.iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    fn render_all(&self, source: &str, origin: &str) -> String {
+        self.iter()
+            .map(|d| d.render(source, origin))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn sorted_by_span(mut self) -> Self {
+        self.sort_by_key(|d| (d.span.map_or(usize::MAX, |s| s.start), d.code));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in Code::all() {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(c.as_str().starts_with("SSD"));
+        }
+        assert!(Code::all().len() >= 8, "need at least 8 distinct codes");
+    }
+
+    #[test]
+    fn render_points_at_span() {
+        let src = "select X from db.Entry E";
+        let d = Diagnostic::new(Code::UnboundVariable, "unbound variable `X`")
+            .with_span(Span::new(7, 8))
+            .with_suggestion("bind `X` in a from-clause");
+        let shown = d.render(src, "query");
+        assert!(shown.contains("error[SSD001]"), "{shown}");
+        assert!(shown.contains("query:1:8"), "{shown}");
+        assert!(shown.contains("select X from db.Entry E"), "{shown}");
+        assert!(shown.contains("= help:"), "{shown}");
+        let caret_line = shown.lines().find(|l| l.contains('^')).expect("caret line");
+        assert_eq!(
+            caret_line.find('^'),
+            caret_line.find("| ").map(|i| i + 2 + 7)
+        );
+    }
+
+    #[test]
+    fn render_multiline_source() {
+        let src = "a(X) :- b(X).\nc(Y) :- d(Y).";
+        let d = Diagnostic::new(Code::DatalogUndefinedPredicate, "undefined predicate `d`")
+            .with_span(Span::new(22, 26));
+        let shown = d.render(src, "program");
+        assert!(shown.contains("program:2:9"), "{shown}");
+        assert!(shown.contains("c(Y) :- d(Y)."), "{shown}");
+    }
+
+    #[test]
+    fn sink_counts() {
+        let v = vec![
+            Diagnostic::new(Code::UnusedBinding, "w"),
+            Diagnostic::new(Code::UnboundVariable, "e"),
+        ];
+        assert!(v.has_errors());
+        assert_eq!(v.error_count(), 1);
+        assert_eq!(v.warning_count(), 1);
+        let sorted = v.sorted_by_span();
+        assert_eq!(sorted.len(), 2);
+    }
+}

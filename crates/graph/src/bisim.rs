@@ -189,10 +189,7 @@ pub fn quotient(g: &Graph) -> (Graph, Vec<NodeId>) {
     // its class; gc may have remapped ids, so rebuild by re-running the
     // quotient classes against the compacted graph. Simpler: return the
     // pre-gc class nodes translated when possible.
-    let mapping: Vec<NodeId> = classes
-        .iter()
-        .map(|&c| class_nodes[c])
-        .collect();
+    let mapping: Vec<NodeId> = classes.iter().map(|&c| class_nodes[c]).collect();
     (q, mapping)
 }
 
@@ -303,8 +300,8 @@ mod tests {
 
     #[test]
     fn naive_agrees_with_partition_on_same_graph() {
-        let g = parse_graph("{a: @s = {v: {w: 1}}, b: @s, c: {v: {w: 1}}, d: {v: {w: 2}}}")
-            .unwrap();
+        let g =
+            parse_graph("{a: @s = {v: {w: 1}}, b: @s, c: {v: {w: 1}}, d: {v: {w: 2}}}").unwrap();
         let classes = bisimilarity_classes(&g);
         for x in g.node_ids() {
             for y in g.node_ids() {

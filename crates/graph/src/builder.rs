@@ -181,7 +181,10 @@ impl<'g> TreeBuilder<'g> {
 /// order) by a definition of its name, mirroring [`TreeBuilder::build`]'s
 /// scoping exactly. Returns the offending name on failure.
 pub fn check_refs(spec: &TreeSpec) -> Result<(), String> {
-    fn walk(spec: &TreeSpec, defined: &mut std::collections::HashSet<String>) -> Result<(), String> {
+    fn walk(
+        spec: &TreeSpec,
+        defined: &mut std::collections::HashSet<String>,
+    ) -> Result<(), String> {
         match spec {
             TreeSpec::Node(entries) => {
                 for (_, sub) in entries {
@@ -230,7 +233,10 @@ mod tests {
         let g = graph_from_spec(&spec);
         assert_eq!(g.out_degree(g.root()), 2);
         let title = g.successors_by_name(g.root(), "Title")[0];
-        assert_eq!(g.atomic_value(title), Some(&Value::Str("Casablanca".into())));
+        assert_eq!(
+            g.atomic_value(title),
+            Some(&Value::Str("Casablanca".into()))
+        );
     }
 
     #[test]
@@ -321,7 +327,10 @@ mod tests {
                 "b".into(),
                 TreeSpec::Node(vec![(
                     "inner".into(),
-                    TreeSpec::Def("n".into(), Box::new(TreeSpec::singleton("i", TreeSpec::empty()))),
+                    TreeSpec::Def(
+                        "n".into(),
+                        Box::new(TreeSpec::singleton("i", TreeSpec::empty())),
+                    ),
                 )]),
             ),
             ("c".into(), TreeSpec::Ref("n".into())),

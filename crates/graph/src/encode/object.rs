@@ -71,10 +71,7 @@ impl ObjDb {
         let id = ObjId(u32::try_from(self.objects.len()).expect("too many objects"));
         self.objects.push(Object {
             class: class.to_owned(),
-            attrs: attrs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
+            attrs: attrs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
         });
         id
     }
@@ -168,11 +165,7 @@ impl ObjDb {
                             // duplicates in the set survive as array slots
                             // (§2: "arrays may be represented by labeling
                             // internal edges with integers").
-                            g.add_edge(
-                                set,
-                                crate::label::Label::int(idx as i64 + 1),
-                                map[r],
-                            );
+                            g.add_edge(set, crate::label::Label::int(idx as i64 + 1), map[r]);
                         }
                     }
                 }

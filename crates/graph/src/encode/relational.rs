@@ -168,7 +168,10 @@ mod tests {
     fn movies() -> NamedRelation {
         let mut r = NamedRelation::new("movie", &["title", "year"]);
         r.push(vec![Value::from("Casablanca"), Value::from(1942i64)]);
-        r.push(vec![Value::from("Play it again, Sam"), Value::from(1972i64)]);
+        r.push(vec![
+            Value::from("Play it again, Sam"),
+            Value::from(1972i64),
+        ]);
         r
     }
 
@@ -199,7 +202,7 @@ mod tests {
     fn decode_style10_round_trip() {
         let mut g = Graph::new();
         let rel = movies();
-        encode_style10(&mut g, &[rel.clone()]);
+        encode_style10(&mut g, std::slice::from_ref(&rel));
         let back = decode_relation(&g, "movie", &["title", "year"]).unwrap();
         assert_eq!(back.row_set(), rel.row_set());
     }
@@ -208,7 +211,7 @@ mod tests {
     fn decode_style5_round_trip() {
         let mut g = Graph::new();
         let rel = movies();
-        encode_style5(&mut g, &[rel.clone()]);
+        encode_style5(&mut g, std::slice::from_ref(&rel));
         let back = decode_relation(&g, "movie", &["title", "year"]).unwrap();
         assert_eq!(back.row_set(), rel.row_set());
     }
@@ -236,9 +239,9 @@ mod tests {
     fn both_styles_decode_to_the_same_set() {
         let rel = movies();
         let mut g10 = Graph::new();
-        encode_style10(&mut g10, &[rel.clone()]);
+        encode_style10(&mut g10, std::slice::from_ref(&rel));
         let mut g5 = Graph::new();
-        encode_style5(&mut g5, &[rel.clone()]);
+        encode_style5(&mut g5, std::slice::from_ref(&rel));
         let d10 = decode_relation(&g10, "movie", &["title", "year"]).unwrap();
         let d5 = decode_relation(&g5, "movie", &["title", "year"]).unwrap();
         assert_eq!(d10.row_set(), d5.row_set());

@@ -45,9 +45,7 @@ impl GraphIndex {
                 idx.edges_indexed += 1;
                 match &e.label {
                     Label::Symbol(s) => idx.by_symbol.entry(*s).or_default().push((n, e.to)),
-                    Label::Value(v) => {
-                        idx.by_value.entry(v.clone()).or_default().push((n, e.to))
-                    }
+                    Label::Value(v) => idx.by_value.entry(v.clone()).or_default().push((n, e.to)),
                 }
             }
         }
@@ -72,8 +70,7 @@ impl GraphIndex {
     /// §1.3 query 1: every edge carrying the string `text`, as a value or
     /// as a symbol name.
     pub fn find_string(&self, g: &Graph, text: &str) -> Vec<Occurrence> {
-        let mut out: Vec<Occurrence> =
-            self.value_edges(&Value::Str(text.to_owned())).to_vec();
+        let mut out: Vec<Occurrence> = self.value_edges(&Value::Str(text.to_owned())).to_vec();
         if let Some(sym) = g.symbols().get(text) {
             out.extend_from_slice(self.symbol_edges(sym));
         }

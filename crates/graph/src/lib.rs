@@ -41,8 +41,8 @@ pub mod ops;
 pub mod stats;
 pub mod symbol;
 pub mod value;
-pub mod xml;
 pub mod variants;
+pub mod xml;
 
 pub use graph::{Edge, Graph, NodeId};
 pub use label::{Label, LabelKind};

@@ -483,10 +483,7 @@ mod tests {
 
     #[test]
     fn parse_comments_and_whitespace() {
-        let g = parse_graph(
-            "# header\n{ a : 1 , # inline\n  b : 2 }\n# trailer",
-        )
-        .unwrap();
+        let g = parse_graph("# header\n{ a : 1 , # inline\n  b : 2 }\n# trailer").unwrap();
         assert_eq!(g.out_degree(g.root()), 2);
     }
 
@@ -523,10 +520,7 @@ mod tests {
     fn string_escapes() {
         let g = parse_graph(r#"{s: "a\"b\n\\t"}"#).unwrap();
         let s = g.successors_by_name(g.root(), "s")[0];
-        assert_eq!(
-            g.atomic_value(s),
-            Some(&Value::Str("a\"b\n\\t".into()))
-        );
+        assert_eq!(g.atomic_value(s), Some(&Value::Str("a\"b\n\\t".into())));
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl std::fmt::Display for GraphProfile {
         writeln!(
             f,
             "max out-degree {} at {}, max in-degree {} at {}",
-            self.max_out_degree.0, self.max_out_degree.1, self.max_in_degree.0, self.max_in_degree.1
+            self.max_out_degree.0,
+            self.max_out_degree.1,
+            self.max_in_degree.0,
+            self.max_in_degree.1
         )?;
         write!(f, "edge kinds:")?;
         for (k, c) in &self.kind_histogram {

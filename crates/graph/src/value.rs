@@ -330,11 +330,13 @@ mod tests {
 
     #[test]
     fn storage_order_on_reals_is_numeric() {
-        let mut vals = [Value::Real(1.5),
+        let mut vals = [
+            Value::Real(1.5),
             Value::Real(-2.0),
             Value::Real(0.0),
             Value::Real(100.0),
-            Value::Real(-0.5)];
+            Value::Real(-0.5),
+        ];
         vals.sort();
         let nums: Vec<f64> = vals.iter().map(|v| v.as_real().unwrap()).collect();
         assert_eq!(nums, vec![-2.0, -0.5, 0.0, 1.5, 100.0]);
@@ -343,10 +345,7 @@ mod tests {
     #[test]
     fn query_comparison_crosses_numeric_kinds() {
         assert!(Value::Int(3).query_eq(&Value::Real(3.0)));
-        assert_eq!(
-            Value::Int(3).query_cmp(&Value::Real(3.5)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Int(3).query_cmp(&Value::Real(3.5)), Ordering::Less);
         assert!(!Value::Int(3).query_eq(&Value::Str("3".into())));
     }
 

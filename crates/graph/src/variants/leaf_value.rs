@@ -241,10 +241,7 @@ mod tests {
     fn mixed_atom_rejected() {
         let g = parse_graph(r#"{m: {Title: "C", 42}}"#).unwrap();
         let m = g.successors_by_name(g.root(), "m")[0];
-        assert_eq!(
-            LeafTree::from_graph(&g, m),
-            Err(VariantError::MixedAtom(m))
-        );
+        assert_eq!(LeafTree::from_graph(&g, m), Err(VariantError::MixedAtom(m)));
     }
 
     #[test]

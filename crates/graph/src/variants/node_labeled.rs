@@ -106,7 +106,11 @@ impl NodeLabeledGraph {
         let mut map: HashMap<NlNodeId, NodeId> = HashMap::new();
         for (i, _) in self.nodes.iter().enumerate() {
             let id = NlNodeId(i as u32);
-            let img = if id == self.root { g.root() } else { g.add_node() };
+            let img = if id == self.root {
+                g.root()
+            } else {
+                g.add_node()
+            };
             map.insert(id, img);
         }
         // One shared leaf for all node-label edges keeps the output small.
@@ -141,8 +145,7 @@ impl NodeLabeledGraph {
             let label_edge = g.edges(n).iter().find(|e| g.is_leaf(e.to))?;
             labels.insert(n, label_edge.label.clone());
         }
-        let mut out =
-            NodeLabeledGraph::with_symbols(labels[&g.root()].clone(), g.symbols_handle());
+        let mut out = NodeLabeledGraph::with_symbols(labels[&g.root()].clone(), g.symbols_handle());
         let mut map: HashMap<NodeId, NlNodeId> = HashMap::new();
         map.insert(g.root(), out.root());
         for &n in &reachable {
@@ -187,10 +190,8 @@ mod tests {
 
     fn sample() -> NodeLabeledGraph {
         let syms = new_symbols();
-        let mut g = NodeLabeledGraph::with_symbols(
-            Label::Symbol(syms.intern("db")),
-            Arc::clone(&syms),
-        );
+        let mut g =
+            NodeLabeledGraph::with_symbols(Label::Symbol(syms.intern("db")), Arc::clone(&syms));
         let movie = g.add_node(Label::Symbol(syms.intern("movie-obj")));
         let title = g.add_node(Label::Value(Value::Str("Casablanca".into())));
         g.add_edge(g.root(), Label::Symbol(syms.intern("Movie")), movie);
@@ -230,14 +231,8 @@ mod tests {
         // union root carry?). After conversion, union is edge-set union and
         // both labels survive as extra edges.
         let syms = new_symbols();
-        let a = NodeLabeledGraph::with_symbols(
-            Label::Symbol(syms.intern("A")),
-            Arc::clone(&syms),
-        );
-        let b = NodeLabeledGraph::with_symbols(
-            Label::Symbol(syms.intern("B")),
-            Arc::clone(&syms),
-        );
+        let a = NodeLabeledGraph::with_symbols(Label::Symbol(syms.intern("A")), Arc::clone(&syms));
+        let b = NodeLabeledGraph::with_symbols(Label::Symbol(syms.intern("B")), Arc::clone(&syms));
         let ga = a.to_edge_labeled();
         let gb = b.to_edge_labeled();
         let mut merged = Graph::with_symbols(Arc::clone(&syms));
@@ -258,10 +253,7 @@ mod tests {
         assert_eq!(back.node_label(back.root()), nl.node_label(nl.root()));
         // Root has one structural child with the same edge label.
         assert_eq!(back.edges(back.root()).len(), 1);
-        assert_eq!(
-            back.edges(back.root())[0].0,
-            nl.edges(nl.root())[0].0
-        );
+        assert_eq!(back.edges(back.root())[0].0, nl.edges(nl.root())[0].0);
     }
 
     #[test]
@@ -275,10 +267,8 @@ mod tests {
     #[test]
     fn cyclic_node_labeled_graph_converts() {
         let syms = new_symbols();
-        let mut nl = NodeLabeledGraph::with_symbols(
-            Label::Symbol(syms.intern("loop")),
-            Arc::clone(&syms),
-        );
+        let mut nl =
+            NodeLabeledGraph::with_symbols(Label::Symbol(syms.intern("loop")), Arc::clone(&syms));
         nl.add_edge(nl.root(), Label::Symbol(syms.intern("next")), nl.root());
         let g = nl.to_edge_labeled();
         assert!(g.has_cycle());

@@ -26,7 +26,10 @@ use std::fmt::Write as _;
 /// Errors from XML conversion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlError {
-    Parse { at: usize, message: String },
+    Parse {
+        at: usize,
+        message: String,
+    },
     /// The graph contains a cycle.
     Cyclic,
     /// A label cannot be rendered as an XML name.
@@ -134,12 +137,10 @@ impl<'a> P<'a> {
                     };
                     self.pos += 1;
                     let r = self.rest();
-                    let end = r
-                        .find(quote)
-                        .ok_or_else(|| XmlError::Parse {
-                            at: self.pos,
-                            message: "unterminated attribute value".into(),
-                        })?;
+                    let end = r.find(quote).ok_or_else(|| XmlError::Parse {
+                        at: self.pos,
+                        message: "unterminated attribute value".into(),
+                    })?;
                     let value = unescape(&r[..end]);
                     self.pos += end + 1;
                     let attr_node = g.add_node();
@@ -337,7 +338,10 @@ mod tests {
         let year = g.successors_by_name(movie, "@year")[0];
         assert_eq!(g.atomic_value(year), Some(&Value::Str("1942".into())));
         let title = g.successors_by_name(movie, "title")[0];
-        assert_eq!(g.atomic_value(title), Some(&Value::Str("Casablanca".into())));
+        assert_eq!(
+            g.atomic_value(title),
+            Some(&Value::Str("Casablanca".into()))
+        );
         let cast = g.successors_by_name(movie, "cast")[0];
         assert_eq!(g.successors_by_name(cast, "actor").len(), 2);
     }

@@ -1,0 +1,243 @@
+//! Schema-aware path typing.
+//!
+//! Generalizes boolean schema pruning to an *inference*: running each
+//! binding's RPE automaton in product with the schema graph
+//! ([`ssd_schema::Pred::may_overlap`] composing NFA predicates with schema
+//! edge predicates) yields, per binding variable, the set of schema nodes
+//! it can denote and the set of edge predicates that can label the final
+//! matched edge. An empty node set *certifies* emptiness on every
+//! conforming database ([`Code::EmptyPath`], SSD010); the optimizer's
+//! [`schema_allows`](crate::optimizer::schema_allows) is now a one-line
+//! wrapper over this, and `ssd check --explain` prints the inference.
+
+use crate::lang::{QuerySpans, SelectQuery, Source};
+use crate::rpe::{Nfa, Rpe};
+use ssd_diag::{Code, Diagnostic};
+use ssd_schema::{Pred, Schema, SchemaNodeId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// What the analyzer knows about one binding variable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BindingType {
+    /// Schema nodes the variable can denote. Empty ⇒ the binding matches
+    /// nothing in any database conforming to the schema.
+    pub nodes: BTreeSet<SchemaNodeId>,
+    /// Schema edge predicates that can label the final edge of a match,
+    /// in discovery order. Empty when only the ε-match (nullable path
+    /// landing on its seed) is possible.
+    pub labels: Vec<Pred>,
+}
+
+/// Per-binding inference results, parallel to `SelectQuery::bindings`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathTypes {
+    pub bindings: Vec<BindingType>,
+}
+
+impl PathTypes {
+    /// Is binding `i` certified empty? (`false` for out-of-range.)
+    pub fn provably_empty(&self, i: usize) -> bool {
+        self.bindings.get(i).is_some_and(|b| b.nodes.is_empty())
+    }
+
+    /// Human-readable rendering of the inference, one line per binding —
+    /// the payload of `ssd check --explain`.
+    pub fn explain(&self, query: &SelectQuery) -> String {
+        let mut out = String::new();
+        for (i, (b, t)) in query.bindings.iter().zip(&self.bindings).enumerate() {
+            let nodes = if t.nodes.is_empty() {
+                "∅ (provably empty)".to_owned()
+            } else {
+                let shown: Vec<String> = t.nodes.iter().map(|n| n.to_string()).collect();
+                format!("{{{}}}", shown.join(", "))
+            };
+            out.push_str(&format!("binding {i}: `{}` : {nodes}", b.var));
+            if !t.labels.is_empty() {
+                let labels: Vec<String> = t.labels.iter().map(|p| p.to_string()).collect();
+                out.push_str(&format!("; final-edge labels {{{}}}", labels.join(", ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Product reachability of `path`'s NFA against the schema, starting the
+/// schema side at `seeds`. Conservative in the same direction as schema
+/// conformance: a node in the result *may* be reachable; an empty result
+/// is a proof of emptiness.
+pub fn reach(schema: &Schema, path: &Rpe, seeds: &BTreeSet<SchemaNodeId>) -> BindingType {
+    let nfa = Nfa::compile(&path.simplify());
+    let mut out = BindingType::default();
+    let mut visited: HashSet<(usize, usize)> = HashSet::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &seed in seeds {
+        for &q in nfa.closure(nfa.start()) {
+            if q == nfa.accept() {
+                out.nodes.insert(seed);
+            }
+            if visited.insert((seed.index(), q)) {
+                stack.push((seed.index(), q));
+            }
+        }
+    }
+    while let Some((s_idx, q)) = stack.pop() {
+        let s = SchemaNodeId::from_raw(s_idx);
+        for edge in schema.edges(s) {
+            for (pred, q2) in nfa.transitions_from(q) {
+                if pred.may_overlap(&edge.pred) {
+                    for &qc in nfa.closure(*q2) {
+                        if qc == nfa.accept() {
+                            out.nodes.insert(edge.to);
+                            if !out.labels.contains(&edge.pred) {
+                                out.labels.push(edge.pred.clone());
+                            }
+                        }
+                        if visited.insert((edge.to.index(), qc)) {
+                            stack.push((edge.to.index(), qc));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Infer schema-node sets for every binding, threading results through the
+/// from-clause environment (`db` seeds at the schema root; a variable
+/// source seeds at whatever its own binding inferred). Emits SSD010
+/// warnings for bindings certified empty — suppressed when the *seed* set
+/// is already empty, so one root cause doesn't cascade down the clause.
+pub fn infer(
+    query: &SelectQuery,
+    schema: &Schema,
+    spans: Option<&QuerySpans>,
+) -> (PathTypes, Vec<Diagnostic>) {
+    let mut types = PathTypes::default();
+    let mut diags = Vec::new();
+    let mut env: HashMap<&str, BTreeSet<SchemaNodeId>> = HashMap::new();
+    for (i, b) in query.bindings.iter().enumerate() {
+        let seeds = match &b.source {
+            Source::Db => std::iter::once(schema.root()).collect(),
+            Source::Var(v) => env.get(v.as_str()).cloned().unwrap_or_default(),
+        };
+        let t = reach(schema, &b.path, &seeds);
+        if t.nodes.is_empty() && !seeds.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::EmptyPath,
+                    format!(
+                        "path `{}` matches nothing in the schema: binding `{}` is \
+                         provably empty",
+                        b.path, b.var
+                    ),
+                )
+                .with_span_opt(spans.and_then(|s| s.path(i)))
+                .with_suggestion(
+                    "on every database conforming to this schema the query returns \
+                     an empty result",
+                ),
+            );
+        }
+        env.insert(b.var.as_str(), t.nodes.clone());
+        types.bindings.push(t);
+    }
+    (types, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_query_spanned;
+    use ssd_schema::figure1_schema;
+
+    fn movie_schema() -> Schema {
+        let mut s = Schema::new();
+        let root = s.root();
+        let entry = s.add_node();
+        let movie = s.add_node();
+        let strval = s.add_node();
+        s.add_edge(root, Pred::Symbol("Entry".into()), entry);
+        s.add_edge(entry, Pred::Symbol("Movie".into()), movie);
+        s.add_edge(movie, Pred::Symbol("Title".into()), strval);
+        s.add_edge(movie, Pred::Symbol("Cast".into()), movie);
+        s
+    }
+
+    #[test]
+    fn reach_follows_schema_edges() {
+        let s = movie_schema();
+        let seeds: BTreeSet<_> = std::iter::once(s.root()).collect();
+        let t = reach(
+            &s,
+            &Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")]),
+            &seeds,
+        );
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.labels, vec![Pred::Symbol("Movie".into())]);
+    }
+
+    #[test]
+    fn reach_empty_for_impossible_path() {
+        let s = movie_schema();
+        let seeds: BTreeSet<_> = std::iter::once(s.root()).collect();
+        let t = reach(&s, &Rpe::symbol("Director"), &seeds);
+        assert!(t.nodes.is_empty());
+        assert!(t.labels.is_empty());
+    }
+
+    #[test]
+    fn nullable_path_keeps_seed() {
+        let s = Schema::new();
+        let seeds: BTreeSet<_> = std::iter::once(s.root()).collect();
+        let t = reach(&s, &Rpe::symbol("x").star(), &seeds);
+        assert_eq!(t.nodes.len(), 1);
+        assert!(t.labels.is_empty(), "ε-match has no final edge");
+    }
+
+    #[test]
+    fn infer_threads_environment() {
+        let src = "select T from db.Entry.Movie M, M.Title T";
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        let (types, diags) = infer(&q, &movie_schema(), Some(&spans));
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(types.bindings.len(), 2);
+        assert!(!types.provably_empty(0));
+        assert!(!types.provably_empty(1));
+        assert_eq!(types.bindings[1].labels, vec![Pred::Symbol("Title".into())]);
+    }
+
+    #[test]
+    fn infer_warns_on_empty_and_suppresses_cascade() {
+        let src = "select T from db.Bogus M, M.Title T";
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        let (types, diags) = infer(&q, &movie_schema(), Some(&spans));
+        // Only the root cause warns; the downstream binding stays silent.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::EmptyPath);
+        let span = diags[0].span.unwrap();
+        assert_eq!(&src[span.start..span.end], "Bogus");
+        assert!(types.provably_empty(0));
+        assert!(types.provably_empty(1));
+    }
+
+    #[test]
+    fn figure1_allows_deep_wildcards() {
+        let src = "select X from db.%*.References X";
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        let (types, diags) = infer(&q, &figure1_schema(), Some(&spans));
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!types.provably_empty(0));
+    }
+
+    #[test]
+    fn explain_mentions_bindings_and_labels() {
+        let src = "select T from db.Entry.Movie M, M.Title T";
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        let (types, _) = infer(&q, &movie_schema(), Some(&spans));
+        let shown = types.explain(&q);
+        assert!(shown.contains("binding 0: `M`"), "{shown}");
+        assert!(shown.contains("final-edge labels"), "{shown}");
+    }
+}

@@ -98,9 +98,7 @@ pub fn locate_string_indexed(g: &Graph, idx: &GraphIndex, text: &str) -> Vec<Loc
         .flat_map(|(from, to)| {
             g.edges(from)
                 .iter()
-                .filter(|e| {
-                    e.to == to && e.label.text(g.symbols()).as_deref() == Some(text)
-                })
+                .filter(|e| e.to == to && e.label.text(g.symbols()).as_deref() == Some(text))
                 .map(|e| (from, e.label.clone(), e.to))
                 .collect::<Vec<_>>()
         })

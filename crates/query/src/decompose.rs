@@ -213,7 +213,10 @@ pub fn decomposition_work_profile(g: &Graph, nfa: &Nfa, partition: &Partition) -
         }
     }
     let total_pairs = waves.iter().flatten().sum();
-    let critical_path_pairs = waves.iter().map(|w| w.iter().max().copied().unwrap_or(0)).sum();
+    let critical_path_pairs = waves
+        .iter()
+        .map(|w| w.iter().max().copied().unwrap_or(0))
+        .sum();
     WorkProfile {
         waves,
         total_pairs,
@@ -399,7 +402,10 @@ mod work_profile_tests {
     #[test]
     fn profile_totals_are_consistent() {
         let g = fan(4, 30);
-        let rpe = Rpe::seq(vec![Rpe::step(Step::wildcard()).star(), Rpe::symbol("stop")]);
+        let rpe = Rpe::seq(vec![
+            Rpe::step(Step::wildcard()).star(),
+            Rpe::symbol("stop"),
+        ]);
         let nfa = Nfa::compile(&rpe);
         let part = Partition::index_blocks(&g, 4);
         let profile = decomposition_work_profile(&g, &nfa, &part);
@@ -416,7 +422,10 @@ mod work_profile_tests {
         // Four equal chains behind the root: with a per-chain partition,
         // ideal speedup approaches 4.
         let g = fan(4, 100);
-        let rpe = Rpe::seq(vec![Rpe::step(Step::wildcard()).star(), Rpe::symbol("stop")]);
+        let rpe = Rpe::seq(vec![
+            Rpe::step(Step::wildcard()).star(),
+            Rpe::symbol("stop"),
+        ]);
         let nfa = Nfa::compile(&rpe);
         let part = Partition::index_blocks(&g, 4);
         // Correctness first.
@@ -604,14 +613,8 @@ mod select_parallel_tests {
                 crate::rpe::Rpe::symbol("Movie"),
             ]),
         );
-        let (r, _) = evaluate_select_seeded(
-            &g,
-            &q,
-            movies[0],
-            None,
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let (r, _) =
+            evaluate_select_seeded(&g, &q, movies[0], None, &EvalOptions::default()).unwrap();
         assert_eq!(r.out_degree(r.root()), 1); // one title only
     }
 }

@@ -340,10 +340,7 @@ mod tests {
     #[test]
     fn exists_with_label_var_rejected() {
         let mut q = simple_query();
-        q.condition = Some(Cond::Exists(
-            "M".into(),
-            Rpe::step(Step::label_var("L")),
-        ));
+        q.condition = Some(Cond::Exists("M".into(), Rpe::step(Step::label_var("L"))));
         assert!(q.validate().is_err());
     }
 }
@@ -448,8 +445,7 @@ mod display_tests {
     fn round_trip(src: &str) {
         let q1 = parse_query(src).unwrap();
         let shown = q1.to_string();
-        let q2 = parse_query(&shown)
-            .unwrap_or_else(|e| panic!("reparse of {shown:?} failed: {e}"));
+        let q2 = parse_query(&shown).unwrap_or_else(|e| panic!("reparse of {shown:?} failed: {e}"));
         assert_eq!(q1, q2, "AST changed through printing: {shown}");
         assert_eq!(shown, q2.to_string());
     }

@@ -66,18 +66,44 @@ pub struct EvalStats {
     pub guide_pruned: usize,
     /// RPE evaluations performed.
     pub rpe_evals: usize,
+    /// Analyzer warnings surfaced by the pre-evaluation gate (headline
+    /// form). Errors refuse evaluation instead of landing here.
+    pub warnings: Vec<String>,
 }
 
 /// Evaluate `query` against `g`, returning the result graph (rooted at the
 /// union of all constructed trees) and statistics.
+///
+/// Evaluation is gated on the static analyzer
+/// ([`crate::analyze::analyze_query`]): error diagnostics refuse to run
+/// (their error set coincides with [`SelectQuery::validate`]'s rejection
+/// set, so nothing that used to evaluate is newly rejected); warnings are
+/// collected into [`EvalStats::warnings`].
 pub fn evaluate_select(
     g: &Graph,
     query: &SelectQuery,
     opts: &EvalOptions<'_>,
 ) -> Result<(Graph, EvalStats), String> {
-    query.validate()?;
+    let analysis = crate::analyze::analyze_query(query, None, None);
+    if analysis.has_errors() {
+        let errors: Vec<String> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.is_error())
+            .map(|d| d.headline())
+            .collect();
+        return Err(errors.join("; "));
+    }
     let mut result = Graph::with_symbols(g.symbols_handle());
-    let mut stats = EvalStats::default();
+    let mut stats = EvalStats {
+        warnings: analysis
+            .diagnostics
+            .iter()
+            .filter(|d| !d.is_error())
+            .map(|d| d.headline())
+            .collect(),
+        ..EvalStats::default()
+    };
 
     // Precompile binding paths.
     let compiled: Vec<(Option<(Rpe, crate::rpe::ast::Step)>, Nfa)> = query
@@ -322,8 +348,7 @@ fn enumerate(
     // from the DataGuide (see `EvalOptions::guide`).
     let guide_mids: Option<Vec<NodeId>> = match (&binding.source, opts.guide) {
         (Source::Db, Some(guide)) => {
-            let guide_nodes =
-                crate::rpe::eval::eval_nfa(guide.graph(), guide.graph().root(), nfa);
+            let guide_nodes = crate::rpe::eval::eval_nfa(guide.graph(), guide.graph().root(), nfa);
             let mut mids: Vec<NodeId> = guide_nodes
                 .into_iter()
                 .flat_map(|gn| guide.targets(gn).iter().copied())
@@ -378,8 +403,18 @@ fn enumerate(
         }
         if ok {
             enumerate(
-                g, query, compiled, conjuncts, bound_after, opts,
-                depth + 1, env, result, atom_leaf, copy_memo, stats,
+                g,
+                query,
+                compiled,
+                conjuncts,
+                bound_after,
+                opts,
+                depth + 1,
+                env,
+                result,
+                atom_leaf,
+                copy_memo,
+                stats,
             )?;
         }
         env.remove(&binding.var);
@@ -413,7 +448,12 @@ fn construct_edges(
             Some(BindVal::Tree(n)) => {
                 // Union semantics: contribute the node's edges (copied).
                 let copied = copy_into(g, *n, result, copy_memo);
-                Ok(result.edges(copied).to_vec().into_iter().map(|e| (e.label, e.to)).collect())
+                Ok(result
+                    .edges(copied)
+                    .to_vec()
+                    .into_iter()
+                    .map(|e| (e.label, e.to))
+                    .collect())
             }
             Some(BindVal::Label(l)) => {
                 // A label contributes itself as a value edge.
@@ -570,11 +610,7 @@ fn eval_cond(
 /// tree variables denote the values hanging off their node (Lorel's
 /// object-vs-value coercion); label variables denote their label's value
 /// (symbols coerce to their name string so `L like "act%"` works).
-fn expr_values(
-    g: &Graph,
-    e: &Expr,
-    env: &HashMap<String, BindVal>,
-) -> Result<Vec<Value>, String> {
+fn expr_values(g: &Graph, e: &Expr, env: &HashMap<String, BindVal>) -> Result<Vec<Value>, String> {
     match e {
         Expr::Const(v) => Ok(vec![v.clone()]),
         Expr::Var(v) => match env.get(v) {
@@ -632,6 +668,24 @@ mod tests {
     }
 
     #[test]
+    fn analyzer_gate_refuses_errors_and_surfaces_warnings() {
+        let g = movie_db();
+        // Error: unbound variable — refused with the diagnostic code.
+        let q = parse_query("select T from db.Entry.Movie.Title T").map(|mut q| {
+            q.construct = Construct::Var("Z".into());
+            q
+        });
+        let err = evaluate_select(&g, &q.unwrap(), &EvalOptions::default()).unwrap_err();
+        assert!(err.contains("SSD001"), "{err}");
+        assert!(err.contains("unbound variable"), "{err}");
+        // Warning: unused binding — runs, but lands in stats.warnings.
+        let q2 = parse_query("select T from db.Entry.Movie.Title T, db.Entry E").unwrap();
+        let (_, stats) = evaluate_select(&g, &q2, &EvalOptions::default()).unwrap();
+        assert_eq!(stats.warnings.len(), 1, "{:?}", stats.warnings);
+        assert!(stats.warnings[0].contains("SSD004"), "{:?}", stats.warnings);
+    }
+
+    #[test]
     fn select_titles() {
         let g = movie_db();
         let r = run(&g, "select T from db.Entry.Movie.Title T");
@@ -650,10 +704,8 @@ mod tests {
         let g = movie_db();
         let r = run(&g, "select {Title: T} from db.Entry.Movie.Title T");
         assert_eq!(r.successors_by_name(r.root(), "Title").len(), 2);
-        let expected = parse_graph(
-            r#"{Title: "Casablanca", Title: "Play it again, Sam"}"#,
-        )
-        .unwrap();
+        let expected =
+            parse_graph(r#"{Title: "Casablanca", Title: "Play it again, Sam"}"#).unwrap();
         assert!(graphs_bisimilar(&r, &expected));
     }
 
@@ -690,10 +742,7 @@ mod tests {
             r#"select T from db.Entry.Movie M, M.Title T, M.Year Y where Y < 1950"#,
         );
         assert_eq!(r.out_degree(r.root()), 1);
-        assert_eq!(
-            r.values_at(r.root())[0].as_str(),
-            Some("Casablanca")
-        );
+        assert_eq!(r.values_at(r.root())[0].as_str(), Some("Casablanca"));
     }
 
     #[test]
@@ -732,10 +781,7 @@ mod tests {
     fn label_variables_and_like() {
         let g = movie_db();
         // All attribute names under entries that start with "Dir".
-        let r = run(
-            &g,
-            r#"select L from db.Entry.%.^L X where L like "Dir%""#,
-        );
+        let r = run(&g, r#"select L from db.Entry.%.^L X where L like "Dir%""#);
         assert_eq!(r.out_degree(r.root()), 1);
         assert_eq!(r.values_at(r.root())[0].as_str(), Some("Director"));
     }
@@ -743,10 +789,7 @@ mod tests {
     #[test]
     fn label_variable_in_construct_position() {
         let g = movie_db();
-        let r = run(
-            &g,
-            r#"select {^L: X} from db.Entry.TV_Show.^L X"#,
-        );
+        let r = run(&g, r#"select {^L: X} from db.Entry.TV_Show.^L X"#);
         // TV show attributes rebuilt under the result root.
         assert_eq!(r.successors_by_name(r.root(), "Title").len(), 1);
         assert_eq!(r.successors_by_name(r.root(), "Episode").len(), 1);
@@ -771,10 +814,7 @@ mod tests {
     #[test]
     fn type_predicates() {
         let g = movie_db();
-        let r = run(
-            &g,
-            r#"select {N: X} from db.Entry.%.^L X where isint(X)"#,
-        );
+        let r = run(&g, r#"select {N: X} from db.Entry.%.^L X where isint(X)"#);
         // Year (x2) and Episode carry ints.
         assert_eq!(r.successors_by_name(r.root(), "N").len(), 3);
     }
@@ -805,8 +845,7 @@ mod tests {
                where Y > 1950 and D = "Allen""#,
         )
         .unwrap();
-        let (base, base_stats) =
-            evaluate_select(&g, &q, &EvalOptions::default()).unwrap();
+        let (base, base_stats) = evaluate_select(&g, &q, &EvalOptions::default()).unwrap();
         let (opt, opt_stats) = evaluate_select(
             &g,
             &q,
@@ -847,12 +886,8 @@ mod tests {
         let g = movie_db();
         let guide = DataGuide::build(&g);
         let q = parse_query("select T from db.Entry.Movie.Title T").unwrap();
-        let (with_guide, _) = evaluate_select(
-            &g,
-            &q,
-            &EvalOptions::optimized(Some(&guide)),
-        )
-        .unwrap();
+        let (with_guide, _) =
+            evaluate_select(&g, &q, &EvalOptions::optimized(Some(&guide))).unwrap();
         let (without, _) = evaluate_select(&g, &q, &EvalOptions::default()).unwrap();
         assert!(graphs_bisimilar(&with_guide, &without));
     }

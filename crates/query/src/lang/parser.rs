@@ -25,7 +25,9 @@
 //! disambiguates, exactly as in Lorel.
 
 use super::ast::{Binding, CmpOp, Cond, Construct, Expr, LabelExpr, SelectQuery, Source};
+use super::spans::{BindingSpans, OccSite, QuerySpans, VarOcc};
 use crate::rpe::{Rpe, Step};
+use ssd_diag::Span;
 use ssd_graph::{LabelKind, Value};
 use ssd_schema::Pred;
 
@@ -51,12 +53,7 @@ const KEYWORDS: &[&str] = &[
 
 /// Parse a select-from-where query; also runs [`SelectQuery::validate`].
 pub fn parse_query(src: &str) -> Result<SelectQuery, QueryParseError> {
-    let mut p = P { src, pos: 0 };
-    let q = p.query()?;
-    p.skip_ws();
-    if p.pos != src.len() {
-        return p.err("trailing input after query");
-    }
+    let (q, _) = parse_query_spanned(src)?;
     q.validate().map_err(|m| QueryParseError {
         at: src.len(),
         message: m,
@@ -64,9 +61,36 @@ pub fn parse_query(src: &str) -> Result<SelectQuery, QueryParseError> {
     Ok(q)
 }
 
+/// Parse without validating, additionally returning the span side table.
+/// This is the static analyzer's entry point: it wants the raw AST even
+/// when name resolution would fail, so it can report *all* problems with
+/// precise source locations instead of the first one.
+pub fn parse_query_spanned(src: &str) -> Result<(SelectQuery, QuerySpans), QueryParseError> {
+    let mut p = P {
+        src,
+        pos: 0,
+        last_end: 0,
+        spans: QuerySpans::default(),
+        pending_label_vars: Vec::new(),
+    };
+    let q = p.query()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input after query");
+    }
+    Ok((q, p.spans))
+}
+
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    /// End position of the last consumed token (excludes trailing
+    /// whitespace/comments skipped by lookahead).
+    last_end: usize,
+    spans: QuerySpans,
+    /// Label variables seen while parsing the current path, drained into
+    /// the enclosing binding's (or exists condition's) span record.
+    pending_label_vars: Vec<(String, Span)>,
 }
 
 impl<'a> P<'a> {
@@ -105,6 +129,7 @@ impl<'a> P<'a> {
     fn eat(&mut self, c: char) -> bool {
         if self.peek() == Some(c) {
             self.pos += c.len_utf8();
+            self.last_end = self.pos;
             true
         } else {
             false
@@ -148,8 +173,14 @@ impl<'a> P<'a> {
         } else {
             let s = r[..end].to_owned();
             self.pos += end;
+            self.last_end = self.pos;
             Some(s)
         }
+    }
+
+    /// Span of the identifier just consumed by [`P::ident`].
+    fn prev_ident_span(&self, name: &str) -> Span {
+        Span::new(self.last_end - name.len(), self.last_end)
     }
 
     fn keyword(&mut self, kw: &str) -> bool {
@@ -180,6 +211,7 @@ impl<'a> P<'a> {
             match c {
                 '"' => {
                     self.pos += i + 1;
+                    self.last_end = self.pos;
                     return Ok(out);
                 }
                 '\\' => match chars.next() {
@@ -206,7 +238,11 @@ impl<'a> P<'a> {
                 '-' if i == 0 => end = i + 1,
                 '.' => {
                     // A dot is a path separator unless followed by a digit.
-                    if r[i + 1..].chars().next().is_some_and(|d| d.is_ascii_digit()) {
+                    if r[i + 1..]
+                        .chars()
+                        .next()
+                        .is_some_and(|d| d.is_ascii_digit())
+                    {
                         real = true;
                         end = i + 1;
                     } else {
@@ -221,6 +257,7 @@ impl<'a> P<'a> {
         }
         let text = &r[..end];
         self.pos += end;
+        self.last_end = self.pos;
         if real {
             text.parse::<f64>()
                 .map(Value::Real)
@@ -234,14 +271,21 @@ impl<'a> P<'a> {
 
     fn query(&mut self) -> Result<SelectQuery, QueryParseError> {
         self.expect_keyword("select")?;
+        self.skip_ws();
+        let cstart = self.pos;
         let construct = self.construct()?;
+        self.spans.construct = Some(Span::new(cstart, self.last_end));
         self.expect_keyword("from")?;
         let mut bindings = vec![self.binding()?];
         while self.eat(',') {
             bindings.push(self.binding()?);
         }
         let condition = if self.keyword("where") {
-            Some(self.cond()?)
+            self.skip_ws();
+            let wstart = self.pos;
+            let c = self.cond()?;
+            self.spans.condition = Some(Span::new(wstart, self.last_end));
+            Some(c)
         } else {
             None
         };
@@ -253,22 +297,37 @@ impl<'a> P<'a> {
     }
 
     fn binding(&mut self) -> Result<Binding, QueryParseError> {
+        self.skip_ws();
+        let bstart = self.pos;
         let src_ident = match self.ident() {
             Some(id) => id,
             None => return self.err("expected binding source (db or a variable)"),
         };
+        let source_span = self.prev_ident_span(&src_ident);
         let source = if src_ident == "db" {
             Source::Db
         } else {
             Source::Var(src_ident)
         };
         self.expect('.')?;
+        self.skip_ws();
+        let pstart = self.pos;
+        self.pending_label_vars.clear();
         let path = self.path_seq()?;
+        let path_span = Span::new(pstart, self.last_end);
+        let label_vars = std::mem::take(&mut self.pending_label_vars);
         let var = match self.ident() {
             Some(id) if !KEYWORDS.contains(&id.as_str()) => id,
             Some(kw) => return self.err(format!("expected variable name, found keyword '{kw}'")),
             None => return self.err("expected variable name after path"),
         };
+        self.spans.bindings.push(BindingSpans {
+            full: Span::new(bstart, self.last_end),
+            source: source_span,
+            path: path_span,
+            var: self.prev_ident_span(&var),
+            label_vars,
+        });
         Ok(Binding { source, path, var })
     }
 
@@ -322,6 +381,8 @@ impl<'a> P<'a> {
                     Some(n) => n,
                     None => return self.err("expected label variable name after '^'"),
                 };
+                let span = self.prev_ident_span(&name);
+                self.pending_label_vars.push((name.clone(), span));
                 Ok(Rpe::step(Step::label_var(&name)))
             }
             Some('!') => {
@@ -410,7 +471,15 @@ impl<'a> P<'a> {
                     kw if KEYWORDS.contains(&kw) => {
                         self.err(format!("keyword '{kw}' cannot be a constructor"))
                     }
-                    _ => Ok(Construct::Var(id)),
+                    _ => {
+                        self.spans.occurrences.push(VarOcc {
+                            span: self.prev_ident_span(&id),
+                            name: id.clone(),
+                            is_label: false,
+                            site: OccSite::Construct,
+                        });
+                        Ok(Construct::Var(id))
+                    }
                 }
             }
             _ => self.err("expected constructor"),
@@ -425,6 +494,12 @@ impl<'a> P<'a> {
                     Some(n) => n,
                     None => return self.err("expected label variable after '^'"),
                 };
+                self.spans.occurrences.push(VarOcc {
+                    span: self.prev_ident_span(&name),
+                    name: name.clone(),
+                    is_label: true,
+                    site: OccSite::Construct,
+                });
                 Ok(LabelExpr::LabelVar(name))
             }
             Some('"') => Ok(LabelExpr::Value(Value::Str(self.string_lit()?))),
@@ -464,8 +539,23 @@ impl<'a> P<'a> {
                 Some(v) => v,
                 None => return self.err("expected variable after exists"),
             };
+            self.spans.occurrences.push(VarOcc {
+                span: self.prev_ident_span(&var),
+                name: var.clone(),
+                is_label: false,
+                site: OccSite::Cond,
+            });
             self.expect('.')?;
+            self.pending_label_vars.clear();
             let path = self.path_seq()?;
+            for (name, span) in std::mem::take(&mut self.pending_label_vars) {
+                self.spans.occurrences.push(VarOcc {
+                    name,
+                    span,
+                    is_label: true,
+                    site: OccSite::Cond,
+                });
+            }
             return Ok(Cond::Exists(var, path));
         }
         // Type predicates.
@@ -520,6 +610,7 @@ impl<'a> P<'a> {
             return self.err("expected comparison operator");
         };
         self.pos += len;
+        self.last_end = self.pos;
         Ok(op)
     }
 
@@ -535,7 +626,15 @@ impl<'a> P<'a> {
                     kw if KEYWORDS.contains(&kw) => {
                         self.err(format!("keyword '{kw}' cannot be an expression"))
                     }
-                    _ => Ok(Expr::Var(id)),
+                    _ => {
+                        self.spans.occurrences.push(VarOcc {
+                            span: self.prev_ident_span(&id),
+                            name: id.clone(),
+                            is_label: false,
+                            site: OccSite::Cond,
+                        });
+                        Ok(Expr::Var(id))
+                    }
                 }
             }
             _ => self.err("expected expression"),
@@ -549,10 +648,7 @@ mod tests {
 
     #[test]
     fn parse_basic_select() {
-        let q = parse_query(
-            r#"select {Title: T} from db.Entry.Movie M, M.Title T"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"select {Title: T} from db.Entry.Movie M, M.Title T"#).unwrap();
         assert_eq!(q.bindings.len(), 2);
         assert_eq!(q.bindings[0].var, "M");
         assert_eq!(q.bindings[1].source, Source::Var("M".into()));
@@ -574,10 +670,8 @@ mod tests {
 
     #[test]
     fn parse_alternation_and_negation() {
-        let q = parse_query(
-            r#"select A from db.Movie.(!Movie)*.Cast.(Actors | Credit.Actors) A"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"select A from db.Movie.(!Movie)*.Cast.(Actors | Credit.Actors) A"#)
+            .unwrap();
         assert_eq!(q.bindings.len(), 1);
         let shown = q.bindings[0].path.to_string();
         assert!(shown.contains("!(Movie)"));
@@ -586,10 +680,7 @@ mod tests {
 
     #[test]
     fn parse_label_variable_and_like() {
-        let q = parse_query(
-            r#"select {^L: X} from db.Movie.^L X where L like "act%""#,
-        )
-        .unwrap();
+        let q = parse_query(r#"select {^L: X} from db.Movie.^L X where L like "act%""#).unwrap();
         match &q.construct {
             Construct::Node(entries) => {
                 assert_eq!(entries[0].0, LabelExpr::LabelVar("L".into()));
@@ -625,10 +716,7 @@ mod tests {
 
     #[test]
     fn parse_comments() {
-        let q = parse_query(
-            "select T -- titles\nfrom db.Movie.Title T -- the binding",
-        )
-        .unwrap();
+        let q = parse_query("select T -- titles\nfrom db.Movie.Title T -- the binding").unwrap();
         assert_eq!(q.bindings.len(), 1);
     }
 
@@ -678,5 +766,58 @@ mod tests {
     fn optional_step() {
         let q = parse_query("select X from db.Cast.Credit?.Actors X").unwrap();
         assert!(q.bindings[0].path.to_string().contains('?'));
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let src = r#"select {^L: T} from db.Entry.Movie M, M.^L T where T != "x""#;
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        assert_eq!(q.bindings.len(), 2);
+        let slice = |s: Span| &src[s.start..s.end];
+
+        assert_eq!(slice(spans.construct.unwrap()), "{^L: T}");
+        assert_eq!(slice(spans.bindings[0].source), "db");
+        assert_eq!(slice(spans.bindings[0].path), "Entry.Movie");
+        assert_eq!(slice(spans.bindings[0].var), "M");
+        assert_eq!(slice(spans.bindings[0].full), "db.Entry.Movie M");
+        assert_eq!(slice(spans.bindings[1].source), "M");
+        assert_eq!(spans.bindings[1].label_vars.len(), 1);
+        assert_eq!(spans.bindings[1].label_vars[0].0, "L");
+        assert_eq!(slice(spans.bindings[1].label_vars[0].1), "L");
+        assert_eq!(slice(spans.condition.unwrap()), r#"T != "x""#);
+
+        // Occurrences: ^L and T in the head, T in the condition.
+        assert_eq!(
+            slice(spans.occurrence("L", Some(OccSite::Construct)).unwrap()),
+            "L"
+        );
+        assert_eq!(
+            slice(spans.occurrence("T", Some(OccSite::Cond)).unwrap()),
+            "T"
+        );
+        let cond_t = spans.occurrence("T", Some(OccSite::Cond)).unwrap();
+        assert!(cond_t.start > spans.bindings[1].full.end);
+    }
+
+    #[test]
+    fn spans_record_exists_occurrences() {
+        let src = "select M from db.Movie M where exists M.Cast.^R";
+        let (_, spans) = parse_query_spanned(src).unwrap();
+        let m = spans.occurrence("M", Some(OccSite::Cond)).unwrap();
+        assert_eq!(&src[m.start..m.end], "M");
+        let r = spans
+            .occurrences
+            .iter()
+            .find(|o| o.is_label && o.site == OccSite::Cond)
+            .unwrap();
+        assert_eq!(r.name, "R");
+        assert_eq!(&src[r.span.start..r.span.end], "R");
+    }
+
+    #[test]
+    fn spanned_parse_skips_validation() {
+        // `X` is unbound: parse_query rejects, parse_query_spanned accepts.
+        assert!(parse_query("select X from db.a Y").is_err());
+        assert!(parse_query_spanned("select X from db.a Y").is_ok());
     }
 }

@@ -39,7 +39,11 @@ pub struct RewriteParseError {
 
 impl std::fmt::Display for RewriteParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rewrite parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "rewrite parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -214,7 +218,11 @@ impl<'a> P<'a> {
             match c {
                 '0'..='9' => end = i + 1,
                 '-' if i == 0 => end = i + 1,
-                '.' if r[i + 1..].chars().next().is_some_and(|d| d.is_ascii_digit()) => {
+                '.' if r[i + 1..]
+                    .chars()
+                    .next()
+                    .is_some_and(|d| d.is_ascii_digit()) =>
+                {
                     real = true;
                     end = i + 1;
                 }
@@ -227,9 +235,13 @@ impl<'a> P<'a> {
         let text = &r[..end];
         self.pos += end;
         if real {
-            text.parse().map(Value::Real).or_else(|_| self.err("bad real"))
+            text.parse()
+                .map(Value::Real)
+                .or_else(|_| self.err("bad real"))
         } else {
-            text.parse().map(Value::Int).or_else(|_| self.err("bad int"))
+            text.parse()
+                .map(Value::Int)
+                .or_else(|_| self.err("bad int"))
         }
     }
 
@@ -434,10 +446,7 @@ mod tests {
 
     #[test]
     fn alternation_predicate() {
-        let out = run(
-            "{a: 1, b: 2, c: 3}",
-            "rewrite case a | b => delete",
-        );
+        let out = run("{a: 1, b: 2, c: 3}", "rewrite case a | b => delete");
         let expect = parse_graph("{c: 3}").unwrap();
         assert!(graphs_bisimilar(&out, &expect));
     }
@@ -467,10 +476,7 @@ mod tests {
 
     #[test]
     fn orig_label_underscore() {
-        let out = run(
-            "{a: 1, b: 2}",
-            "rewrite case % => {_: {}}",
-        );
+        let out = run("{a: 1, b: 2}", "rewrite case % => {_: {}}");
         // Every edge keeps its label but loses its subtree.
         let expect = parse_graph("{a: {}, b: {}}").unwrap();
         assert!(graphs_bisimilar(&out, &expect));
@@ -497,10 +503,8 @@ mod tests {
 
     #[test]
     fn comments_allowed() {
-        let t = parse_rewrite(
-            "rewrite -- fix casts\n case Credit => collapse -- flatten\n",
-        )
-        .unwrap();
+        let t =
+            parse_rewrite("rewrite -- fix casts\n case Credit => collapse -- flatten\n").unwrap();
         assert_eq!(t.cases.len(), 1);
     }
 }

@@ -1,0 +1,92 @@
+//! Source-span side tables for parsed queries.
+//!
+//! The AST ([`super::ast`]) stays span-free so structural equality and the
+//! print/parse round-trip laws are unaffected; the parser instead records
+//! byte spans here, indexed in parallel with the AST. The static analyzer
+//! ([`crate::analyze`]) consumes them to point diagnostics at the exact
+//! identifier the user typed — and degrades gracefully to span-less
+//! diagnostics when a query was built programmatically.
+
+use ssd_diag::Span;
+
+/// Spans of one `from`-clause binding's pieces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingSpans {
+    /// The whole `source.path Var` region.
+    pub full: Span,
+    /// The source (`db` or the referenced variable).
+    pub source: Span,
+    /// The path expression.
+    pub path: Span,
+    /// The bound tree variable.
+    pub var: Span,
+    /// Label variables (`^L`) appearing in the path, in occurrence order.
+    pub label_vars: Vec<(String, Span)>,
+}
+
+/// Where a recorded variable occurrence sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccSite {
+    /// In the select head (constructor).
+    Construct,
+    /// In the where clause (including `exists` subjects).
+    Cond,
+}
+
+/// One variable occurrence outside the `from` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarOcc {
+    pub name: String,
+    pub span: Span,
+    /// True for label-variable occurrences (`^L`).
+    pub is_label: bool,
+    pub site: OccSite,
+}
+
+/// Span side table for a whole query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuerySpans {
+    /// One entry per binding, parallel to `SelectQuery::bindings`.
+    pub bindings: Vec<BindingSpans>,
+    /// The select head.
+    pub construct: Option<Span>,
+    /// The where clause, if present.
+    pub condition: Option<Span>,
+    /// Variable references in the constructor and condition.
+    pub occurrences: Vec<VarOcc>,
+}
+
+impl QuerySpans {
+    /// Span of the binder variable of binding `i`, if recorded.
+    pub fn binder(&self, i: usize) -> Option<Span> {
+        self.bindings.get(i).map(|b| b.var)
+    }
+
+    /// Span of the source of binding `i`, if recorded.
+    pub fn source(&self, i: usize) -> Option<Span> {
+        self.bindings.get(i).map(|b| b.source)
+    }
+
+    /// Span of the path of binding `i`, if recorded.
+    pub fn path(&self, i: usize) -> Option<Span> {
+        self.bindings.get(i).map(|b| b.path)
+    }
+
+    /// Span where label variable `name` is bound, if recorded.
+    pub fn label_binder(&self, name: &str) -> Option<Span> {
+        self.bindings
+            .iter()
+            .flat_map(|b| &b.label_vars)
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// First recorded occurrence of `name` outside the from clause,
+    /// optionally restricted to a site.
+    pub fn occurrence(&self, name: &str, site: Option<OccSite>) -> Option<Span> {
+        self.occurrences
+            .iter()
+            .find(|o| o.name == name && site.is_none_or(|s| o.site == s))
+            .map(|o| o.span)
+    }
+}

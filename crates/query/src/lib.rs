@@ -21,7 +21,11 @@
 //!   "UnQL restricted to relational data = relational algebra" claim).
 //! * [`views`] — named queries materialised in definition order, with
 //!   view-of-view composition (\[4\]).
+//! * [`analyze`] — the `ssd-analyze` static-analysis pass: rustc-style
+//!   diagnostics (SSD0xx codes with source spans) over queries, RPEs, and
+//!   graph-datalog programs; backs `ssd check` and gates evaluation.
 
+pub mod analyze;
 pub mod browse;
 pub mod decompose;
 pub mod lang;
@@ -32,5 +36,8 @@ pub mod restructure;
 pub mod rpe;
 pub mod views;
 
-pub use lang::{evaluate_select, parse_query, EvalOptions, EvalStats, SelectQuery};
+pub use analyze::{analyze_query, analyze_query_src, PathTypes, QueryAnalysis};
+pub use lang::{
+    evaluate_select, parse_query, parse_query_spanned, EvalOptions, EvalStats, SelectQuery,
+};
 pub use rpe::{eval_rpe, Nfa, Rpe, Step};

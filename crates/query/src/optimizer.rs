@@ -17,10 +17,11 @@
 //!    * DataGuide probing is exact and lives in
 //!      [`EvalOptions::guide`](crate::lang::EvalOptions).
 
-use crate::lang::{EvalOptions, SelectQuery, Source};
-use crate::rpe::{Nfa, Rpe};
+use crate::analyze::typing;
+use crate::lang::{EvalOptions, SelectQuery};
+use crate::rpe::Rpe;
 use ssd_schema::{DataGuide, Schema};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Report of what the optimizer did.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -44,8 +45,19 @@ pub fn optimize(query: &SelectQuery, schema: Option<&Schema>) -> (SelectQuery, O
             report.simplified.push(i);
             b.path = simplified;
         }
-        if let (Source::Db, Some(s)) = (&b.source, schema) {
-            if !schema_allows(s, &b.path) {
+    }
+    if let Some(s) = schema {
+        // The analyzer's path-typing inference threads schema-node sets
+        // through the from-clause environment, so (unlike the old
+        // db-rooted-only check) a binding sourced from another variable is
+        // also pruned when its inferred node set is empty.
+        let (types, _) = typing::infer(&out, s, None);
+        for (i, b) in out.bindings.iter().enumerate() {
+            let sourced = match &b.source {
+                crate::lang::Source::Db => true,
+                crate::lang::Source::Var(v) => out.bindings[..i].iter().any(|p| &p.var == v),
+            };
+            if sourced && types.provably_empty(i) {
                 report.schema_pruned.push(i);
             }
         }
@@ -62,43 +74,13 @@ pub fn options_for<'a>(guide: Option<&'a DataGuide>) -> EvalOptions<'a> {
 /// `true` may be wrong (lost optimization), `false` is a proof of
 /// emptiness for every database conforming to `schema`.
 ///
-/// Implemented as reachability in the product of the RPE's NFA and the
-/// schema graph, where an NFA transition with step predicate `p` and a
-/// schema edge with predicate `q` compose iff `p` and `q` may share a
-/// label ([`ssd_schema::Pred::may_overlap`]).
+/// Boolean view of the analyzer's product-reachability inference
+/// ([`crate::analyze::typing::reach`]): the path is allowed iff the set of
+/// schema nodes it can reach from the root is non-empty. Label variables
+/// are wildcards for this purpose.
 pub fn schema_allows(schema: &Schema, path: &Rpe) -> bool {
-    // Label variables are wildcards for this purpose.
-    let nfa = Nfa::compile(&path.simplify());
-    let mut visited: HashSet<(usize, usize)> = HashSet::new();
-    let mut stack: Vec<(usize, usize)> = Vec::new();
-    for &q in nfa.closure(nfa.start()) {
-        let p = (schema.root().index(), q);
-        if q == nfa.accept() {
-            return true; // nullable path matches the root itself
-        }
-        if visited.insert(p) {
-            stack.push(p);
-        }
-    }
-    while let Some((s_idx, q)) = stack.pop() {
-        let s = ssd_schema::SchemaNodeId::from_raw(s_idx);
-        for edge in schema.edges(s) {
-            for (pred, q2) in nfa.transitions_from(q) {
-                if pred.may_overlap(&edge.pred) {
-                    for &qc in nfa.closure(*q2) {
-                        if qc == nfa.accept() {
-                            return true;
-                        }
-                        let p = (edge.to.index(), qc);
-                        if visited.insert(p) {
-                            stack.push(p);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    false
+    let seeds: BTreeSet<_> = std::iter::once(schema.root()).collect();
+    !typing::reach(schema, path, &seeds).nodes.is_empty()
 }
 
 #[cfg(test)]

@@ -184,7 +184,13 @@ impl<'g> GextState<'g> {
         }
     }
 
-    fn apply_template(&mut self, template: &EdgeTemplate, label: &Label, target: NodeId, out_n: usize) {
+    fn apply_template(
+        &mut self,
+        template: &EdgeTemplate,
+        label: &Label,
+        target: NodeId,
+        out_n: usize,
+    ) {
         match template {
             EdgeTemplate::Delete => {}
             EdgeTemplate::Collapse => {
@@ -408,10 +414,7 @@ mod tests {
     #[test]
     fn relabel_symbols_deeply() {
         let g = parse_graph("{a: {a: {a: 1}}}").unwrap();
-        let t = Transducer::new().case(
-            Pred::Symbol("a".into()),
-            EdgeTemplate::relabel_symbol("b"),
-        );
+        let t = Transducer::new().case(Pred::Symbol("a".into()), EdgeTemplate::relabel_symbol("b"));
         let out = gext(&g, g.root(), &t);
         let expect = parse_graph("{b: {b: {b: 1}}}").unwrap();
         assert!(graphs_bisimilar(&out, &expect));
@@ -432,8 +435,7 @@ mod tests {
         let g = parse_graph(r#"{Movie: {Cast: {Actors: "B", Actors: "L"}, Title: "C"}}"#).unwrap();
         let t = Transducer::new().case(Pred::Symbol("Cast".into()), EdgeTemplate::Collapse);
         let out = gext(&g, g.root(), &t);
-        let expect =
-            parse_graph(r#"{Movie: {Actors: "B", Actors: "L", Title: "C"}}"#).unwrap();
+        let expect = parse_graph(r#"{Movie: {Actors: "B", Actors: "L", Title: "C"}}"#).unwrap();
         assert!(graphs_bisimilar(&out, &expect));
     }
 
@@ -472,10 +474,7 @@ mod tests {
     #[test]
     fn cyclic_input_produces_cyclic_output() {
         let g = parse_graph("@x = {a: @x}").unwrap();
-        let t = Transducer::new().case(
-            Pred::Symbol("a".into()),
-            EdgeTemplate::relabel_symbol("b"),
-        );
+        let t = Transducer::new().case(Pred::Symbol("a".into()), EdgeTemplate::relabel_symbol("b"));
         let out = gext(&g, g.root(), &t);
         assert!(out.has_cycle());
         let expect = parse_graph("@x = {b: @x}").unwrap();
@@ -515,7 +514,10 @@ mod tests {
         let t = Transducer::new()
             .case(
                 Pred::Symbol("a".into()),
-                EdgeTemplate::Edges(vec![(TLabel::Symbol("flag".into()), TTree::Atom(Value::Bool(true)))]),
+                EdgeTemplate::Edges(vec![(
+                    TLabel::Symbol("flag".into()),
+                    TTree::Atom(Value::Bool(true)),
+                )]),
             )
             .case(
                 Pred::Symbol("b".into()),
@@ -529,10 +531,7 @@ mod tests {
     #[test]
     fn ext_applies_only_at_top_level() {
         let g = parse_graph("{a: {a: 1}, b: 2}").unwrap();
-        let t = Transducer::new().case(
-            Pred::Symbol("a".into()),
-            EdgeTemplate::relabel_symbol("x"),
-        );
+        let t = Transducer::new().case(Pred::Symbol("a".into()), EdgeTemplate::relabel_symbol("x"));
         let out = ext(&g, g.root(), &t);
         // Top-level a renamed; nested a untouched.
         let expect = parse_graph("{x: {a: 1}, b: 2}").unwrap();

@@ -64,12 +64,12 @@ fn run_query(
         let mut row = Vec::with_capacity(columns.len());
         for col in columns {
             let attrs = result.successors_by_name(tup, col);
-            let attr = attrs.first().ok_or_else(|| {
-                FragmentError::Decode(format!("tuple missing attribute {col}"))
-            })?;
-            let v = result.atomic_value(*attr).ok_or_else(|| {
-                FragmentError::Decode(format!("attribute {col} is not atomic"))
-            })?;
+            let attr = attrs
+                .first()
+                .ok_or_else(|| FragmentError::Decode(format!("tuple missing attribute {col}")))?;
+            let v = result
+                .atomic_value(*attr)
+                .ok_or_else(|| FragmentError::Decode(format!("attribute {col} is not atomic")))?;
             row.push(v.clone());
         }
         rel.push(row);
@@ -191,14 +191,14 @@ pub fn join(
 
 /// ∪ — union of two same-schema relations, via graph union of their
 /// encodings.
-pub fn union(
-    left: &NamedRelation,
-    right: &NamedRelation,
-) -> Result<NamedRelation, FragmentError> {
+pub fn union(left: &NamedRelation, right: &NamedRelation) -> Result<NamedRelation, FragmentError> {
     if left.columns != right.columns {
         return Err(FragmentError::SchemaMismatch);
     }
-    let mut merged = NamedRelation::new(&left.name, &left.columns.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut merged = NamedRelation::new(
+        &left.name,
+        &left.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for row in left.rows.iter().chain(right.rows.iter()) {
         merged.push(row.clone());
     }
@@ -273,7 +273,11 @@ pub fn native_join(
     left_col: &str,
     right_col: &str,
 ) -> NamedRelation {
-    let li = left.columns.iter().position(|c| c == left_col).expect("col");
+    let li = left
+        .columns
+        .iter()
+        .position(|c| c == left_col)
+        .expect("col");
     let ri = right
         .columns
         .iter()
@@ -336,7 +340,7 @@ mod tests {
     #[test]
     fn select_eq_matches_oracle() {
         let rel = movies();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let via_graph = select_eq(&g, &rel, "year", &Value::Int(1942)).unwrap();
         let oracle = native_select_eq(&rel, "year", &Value::Int(1942));
         assert_eq!(via_graph.row_set(), oracle.row_set());
@@ -346,9 +350,8 @@ mod tests {
     #[test]
     fn select_eq_string() {
         let rel = movies();
-        let g = database_of(&[rel.clone()]);
-        let via_graph =
-            select_eq(&g, &rel, "director", &Value::Str("Allen".into())).unwrap();
+        let g = database_of(std::slice::from_ref(&rel));
+        let via_graph = select_eq(&g, &rel, "director", &Value::Str("Allen".into())).unwrap();
         assert_eq!(
             via_graph.row_set(),
             native_select_eq(&rel, "director", &Value::Str("Allen".into())).row_set()
@@ -358,7 +361,7 @@ mod tests {
     #[test]
     fn select_eq_empty_result() {
         let rel = movies();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let via_graph = select_eq(&g, &rel, "year", &Value::Int(2024)).unwrap();
         assert!(via_graph.rows.is_empty());
     }
@@ -369,7 +372,7 @@ mod tests {
         rel.push(vec![1i64.into(), 10i64.into()]);
         rel.push(vec![1i64.into(), 20i64.into()]);
         rel.push(vec![2i64.into(), 30i64.into()]);
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let via_graph = project(&g, &rel, &["a"]).unwrap();
         let oracle = native_project(&rel, &["a"]);
         assert_eq!(via_graph.row_set(), oracle.row_set());
@@ -379,7 +382,7 @@ mod tests {
     #[test]
     fn project_reorders_columns() {
         let rel = movies();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let via_graph = project(&g, &rel, &["director", "title"]).unwrap();
         let oracle = native_project(&rel, &["director", "title"]);
         assert_eq!(via_graph.row_set(), oracle.row_set());
@@ -423,7 +426,7 @@ mod tests {
     #[test]
     fn unknown_column_errors() {
         let rel = movies();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         assert!(matches!(
             select_eq(&g, &rel, "bogus", &Value::Int(0)),
             Err(FragmentError::UnknownColumn(_))
@@ -438,9 +441,9 @@ mod tests {
     fn composed_pipeline_select_then_project() {
         // π_title(σ_year<1975(movie)) — composition through re-encoding.
         let rel = movies();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let selected = select_eq(&g, &rel, "year", &Value::Int(1942)).unwrap();
-        let g2 = database_of(&[selected.clone()]);
+        let g2 = database_of(std::slice::from_ref(&selected));
         let projected = project(&g2, &selected, &["title"]).unwrap();
         assert_eq!(projected.rows.len(), 1);
         assert_eq!(projected.rows[0][0], Value::Str("Casablanca".into()));
@@ -458,11 +461,7 @@ mod tests {
 /// ν — nest: group by all columns except `nested_col`; each group becomes
 /// one tuple whose `nested_col` child is a *set node* carrying one
 /// value edge per grouped value.
-pub fn nest(
-    g: &Graph,
-    rel: &NamedRelation,
-    nested_col: &str,
-) -> Result<Graph, FragmentError> {
+pub fn nest(g: &Graph, rel: &NamedRelation, nested_col: &str) -> Result<Graph, FragmentError> {
     if !rel.columns.iter().any(|c| c == nested_col) {
         return Err(FragmentError::UnknownColumn(nested_col.to_owned()));
     }
@@ -532,16 +531,16 @@ pub fn unnest(
         let mut nested_vals: Vec<Value> = Vec::new();
         for col in columns {
             let attrs = g.successors_by_name(tup, col);
-            let attr = *attrs.first().ok_or_else(|| {
-                FragmentError::Decode(format!("tuple missing attribute {col}"))
-            })?;
+            let attr = *attrs
+                .first()
+                .ok_or_else(|| FragmentError::Decode(format!("tuple missing attribute {col}")))?;
             if col == &nested_col {
                 nested_vals = g.values_at(attr).into_iter().cloned().collect();
                 flat.push(None);
             } else {
-                let v = g.atomic_value(attr).ok_or_else(|| {
-                    FragmentError::Decode(format!("attribute {col} not atomic"))
-                })?;
+                let v = g
+                    .atomic_value(attr)
+                    .ok_or_else(|| FragmentError::Decode(format!("attribute {col} not atomic")))?;
                 flat.push(Some(v.clone()));
             }
         }
@@ -573,7 +572,7 @@ mod nested_tests {
     #[test]
     fn nest_groups_values() {
         let rel = cast_relation();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let nested = nest(&g, &rel, "actor").unwrap();
         let rel_node = nested.successors_by_name(nested.root(), "cast")[0];
         let tuples = nested.successors_by_name(rel_node, "tup");
@@ -593,7 +592,7 @@ mod nested_tests {
     #[test]
     fn unnest_inverts_nest() {
         let rel = cast_relation();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let nested = nest(&g, &rel, "actor").unwrap();
         let flat = unnest(&nested, "cast", &["title", "actor"], "actor").unwrap();
         assert_eq!(flat.row_set(), rel.row_set());
@@ -602,7 +601,7 @@ mod nested_tests {
     #[test]
     fn nest_unknown_column_errors() {
         let rel = cast_relation();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         assert!(matches!(
             nest(&g, &rel, "bogus"),
             Err(FragmentError::UnknownColumn(_))
@@ -617,14 +616,12 @@ mod nested_tests {
     fn nested_result_is_queryable() {
         // The nested encoding is ordinary semistructured data: query it.
         let rel = cast_relation();
-        let g = database_of(&[rel.clone()]);
+        let g = database_of(std::slice::from_ref(&rel));
         let nested = nest(&g, &rel, "actor").unwrap();
-        let q = parse_query(
-            r#"select {t: T} from db.cast.tup U, U.title T, U.actor A, A."Bacall" X"#,
-        )
-        .unwrap();
-        let (result, _) =
-            evaluate_select(&nested, &q, &EvalOptions::default()).unwrap();
+        let q =
+            parse_query(r#"select {t: T} from db.cast.tup U, U.title T, U.actor A, A."Bacall" X"#)
+                .unwrap();
+        let (result, _) = evaluate_select(&nested, &q, &EvalOptions::default()).unwrap();
         assert_eq!(
             result.graph_values_helper(),
             vec![Value::Str("Casablanca".into())]

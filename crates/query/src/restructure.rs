@@ -150,17 +150,14 @@ mod tests {
     fn relabel_bacall() {
         // Figure 1 has the "egregious error": Bacall's edge is labeled
         // "Play it again, Sam". Fix it.
-        let g = parse_graph(
-            r#"{Cast: {Actors: "Bogart", Actors: {"Play it again, Sam": {}}}}"#,
-        )
-        .unwrap();
+        let g = parse_graph(r#"{Cast: {Actors: "Bogart", Actors: {"Play it again, Sam": {}}}}"#)
+            .unwrap();
         let fixed = relabel_edges_to_value(
             &g,
             Pred::ValueEq(Value::Str("Play it again, Sam".into())),
             "Bacall",
         );
-        let expect =
-            parse_graph(r#"{Cast: {Actors: "Bogart", Actors: "Bacall"}}"#).unwrap();
+        let expect = parse_graph(r#"{Cast: {Actors: "Bogart", Actors: "Bacall"}}"#).unwrap();
         assert!(graphs_bisimilar(&fixed, &expect));
     }
 
@@ -243,10 +240,7 @@ mod tests {
         assert_eq!(actors.len(), 1);
         let cast = out.successors_by_name(actors[0], "Cast");
         assert_eq!(cast.len(), 1);
-        assert_eq!(
-            out.atomic_value(cast[0]),
-            Some(&Value::Str("B".into()))
-        );
+        assert_eq!(out.atomic_value(cast[0]), Some(&Value::Str("B".into())));
     }
 
     #[test]
@@ -262,10 +256,8 @@ mod tests {
 
     #[test]
     fn focus_brings_information_to_surface() {
-        let g = parse_graph(
-            r#"{Entry: {Movie: {Title: "C"}}, Entry: {Movie: {Title: "S"}}}"#,
-        )
-        .unwrap();
+        let g =
+            parse_graph(r#"{Entry: {Movie: {Title: "C"}}, Entry: {Movie: {Title: "S"}}}"#).unwrap();
         let out = focus(
             &g,
             &Rpe::seq(vec![Rpe::symbol("Entry"), Rpe::symbol("Movie")]),

@@ -301,10 +301,7 @@ mod tests {
             Rpe::seq(vec![Rpe::Epsilon, a.clone()]).simplify(),
             a.clone()
         );
-        assert_eq!(
-            Rpe::alt(vec![a.clone(), a.clone()]).simplify(),
-            a.clone()
-        );
+        assert_eq!(Rpe::alt(vec![a.clone(), a.clone()]).simplify(), a.clone());
         assert_eq!(Rpe::Epsilon.star().simplify(), Rpe::Epsilon);
     }
 

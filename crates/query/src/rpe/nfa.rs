@@ -386,7 +386,7 @@ mod tests {
         assert!(plus.accepts(&vec![a.clone(); 3], &syms));
         let opt = Nfa::compile(&Rpe::symbol("a").opt());
         assert!(opt.accepts(&[], &syms));
-        assert!(opt.accepts(&[a.clone()], &syms));
+        assert!(opt.accepts(std::slice::from_ref(&a), &syms));
         assert!(!opt.accepts(&[a.clone(), a.clone()], &syms));
     }
 
@@ -404,10 +404,7 @@ mod tests {
         let movie = lab(&syms, "Movie");
         let cast = lab(&syms, "Cast");
         let allen = Label::str("Allen");
-        assert!(nfa.accepts(
-            &[movie.clone(), cast.clone(), allen.clone()],
-            &syms
-        ));
+        assert!(nfa.accepts(&[movie.clone(), cast.clone(), allen.clone()], &syms));
         // A second Movie edge on the way breaks the match.
         assert!(!nfa.accepts(
             &[movie.clone(), movie.clone(), cast.clone(), allen.clone()],

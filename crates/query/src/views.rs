@@ -116,8 +116,8 @@ impl ViewCatalog {
     pub fn query(&self, base: &Graph, query_text: &str) -> Result<Graph, ViewError> {
         let extended = self.materialize(base)?;
         let q = parse_query(query_text).map_err(|e| ViewError::Parse(e.to_string()))?;
-        let (result, _) = evaluate_select(&extended, &q, &EvalOptions::default())
-            .map_err(ViewError::Eval)?;
+        let (result, _) =
+            evaluate_select(&extended, &q, &EvalOptions::default()).map_err(ViewError::Eval)?;
         Ok(result)
     }
 }
@@ -226,10 +226,7 @@ mod tests {
     fn restructuring_view_bacall_repair() {
         // Views can express simple restructuring ([4]): project the cast
         // under fresh labels.
-        let g = parse_graph(
-            r#"{Movie: {Cast: {Actors: "Bogart", Actors: "Bacall"}}}"#,
-        )
-        .unwrap();
+        let g = parse_graph(r#"{Movie: {Cast: {Actors: "Bogart", Actors: "Bacall"}}}"#).unwrap();
         let mut cat = ViewCatalog::new();
         cat.define(
             "performers",

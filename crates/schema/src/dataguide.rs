@@ -84,9 +84,7 @@ impl DataGuide {
 
     /// The target set of a guide node.
     pub fn targets(&self, guide_node: NodeId) -> &[NodeId] {
-        self.targets
-            .get(&guide_node)
-            .map_or(&[], Vec::as_slice)
+        self.targets.get(&guide_node).map_or(&[], Vec::as_slice)
     }
 
     /// Follow a label path from the guide root. Returns the guide node, or
@@ -185,8 +183,7 @@ mod tests {
         let g = movie_db();
         let dg = DataGuide::build(&g);
         for n in dg.graph().reachable() {
-            let mut labels: Vec<&Label> =
-                dg.graph().edges(n).iter().map(|e| &e.label).collect();
+            let mut labels: Vec<&Label> = dg.graph().edges(n).iter().map(|e| &e.label).collect();
             let before = labels.len();
             labels.sort();
             labels.dedup();

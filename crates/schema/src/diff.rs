@@ -56,17 +56,16 @@ pub fn diff_paths(left: &Graph, right: &Graph, depth: usize) -> PathDiff {
     // Keep only *maximal* missing paths? No: report shortest distinguishing
     // prefixes — a path is interesting iff its parent is shared (otherwise
     // the parent already tells the story).
-    let shortest_only = |mine: &BTreeSet<Vec<String>>,
-                         theirs: &BTreeSet<Vec<String>>|
-     -> Vec<Vec<String>> {
-        mine.iter()
-            .filter(|p| !theirs.contains(*p))
-            // Shortest distinguishing prefix: report a missing path only
-            // when its parent is shared (deeper extensions add no news).
-            .filter(|p| p.len() == 1 || theirs.contains(&p[..p.len() - 1].to_vec()))
-            .cloned()
-            .collect()
-    };
+    let shortest_only =
+        |mine: &BTreeSet<Vec<String>>, theirs: &BTreeSet<Vec<String>>| -> Vec<Vec<String>> {
+            mine.iter()
+                .filter(|p| !theirs.contains(*p))
+                // Shortest distinguishing prefix: report a missing path only
+                // when its parent is shared (deeper extensions add no news).
+                .filter(|p| p.len() == 1 || theirs.contains(&p[..p.len() - 1].to_vec()))
+                .cloned()
+                .collect()
+        };
     let only_left_keys = shortest_only(&lpaths, &rpaths);
     let only_right_keys = shortest_only(&rpaths, &lpaths);
     let shared = lpaths.intersection(&rpaths).count();

@@ -160,10 +160,7 @@ mod tests {
     fn widened_schema_accepts_fresh_constants() {
         let g = movie_db();
         let s = extract_schema_default(&g);
-        let other = parse_graph(
-            r#"{Movie: {Title: "Brand New Film", Year: 2024}}"#,
-        )
-        .unwrap();
+        let other = parse_graph(r#"{Movie: {Title: "Brand New Film", Year: 2024}}"#).unwrap();
         assert!(conforms(&other, &s));
     }
 
@@ -217,10 +214,7 @@ mod tests {
         let s = extract_schema_default(&g);
         assert!(conforms(&g, &s));
         assert_eq!(s.node_count(), 1);
-        assert!(s
-            .edges(s.root())
-            .iter()
-            .any(|e| e.to == s.root()));
+        assert!(s.edges(s.root()).iter().any(|e| e.to == s.root()));
     }
 
     #[test]

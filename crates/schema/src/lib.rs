@@ -24,8 +24,8 @@ pub mod schema;
 pub mod simulation;
 
 pub use dataguide::{data_paths_up_to, DataGuide};
-pub use extract::{extract_schema, extract_schema_default, ExtractOptions};
 pub use diff::{diff_paths, PathDiff};
+pub use extract::{extract_schema, extract_schema_default, ExtractOptions};
 pub use oneindex::OneIndex;
 pub use pred::Pred;
 pub use schema::{figure1_schema, Schema, SchemaEdge, SchemaNodeId};

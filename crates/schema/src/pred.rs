@@ -63,9 +63,7 @@ impl Pred {
                 Some(Value::Str(s)) if s.starts_with(prefix.as_str())
             ),
             Pred::IntRange(lo, hi) => match label.as_value() {
-                Some(Value::Int(i)) => {
-                    lo.is_none_or(|l| *i >= l) && hi.is_none_or(|h| *i <= h)
-                }
+                Some(Value::Int(i)) => lo.is_none_or(|l| *i >= l) && hi.is_none_or(|h| *i <= h),
                 _ => false,
             },
             Pred::Not(p) => !p.matches(label, symbols),
@@ -110,8 +108,14 @@ impl Pred {
                 lo <= hi
             }
             // Symbol-only vs value-only predicates never overlap.
-            (Symbol(_) | SymbolIn(_) | SymbolPrefix(_), ValueEq(_) | StrPrefix(_) | IntRange(_, _)) => false,
-            (ValueEq(_) | StrPrefix(_) | IntRange(_, _), Symbol(_) | SymbolIn(_) | SymbolPrefix(_)) => false,
+            (
+                Symbol(_) | SymbolIn(_) | SymbolPrefix(_),
+                ValueEq(_) | StrPrefix(_) | IntRange(_, _),
+            ) => false,
+            (
+                ValueEq(_) | StrPrefix(_) | IntRange(_, _),
+                Symbol(_) | SymbolIn(_) | SymbolPrefix(_),
+            ) => false,
             // Value predicates of visibly different kinds.
             (a, b) => match (a.kind_hint(), b.kind_hint()) {
                 (Some(x), Some(y)) => x == y,
@@ -265,11 +269,13 @@ mod tests {
         // If both predicates match some concrete label, may_overlap must be
         // true (soundness spot-check).
         let syms = new_symbols();
-        let labels = [Label::symbol(&syms, "Movie"),
+        let labels = [
+            Label::symbol(&syms, "Movie"),
             Label::symbol(&syms, "Actors"),
             Label::str("Casablanca"),
             Label::int(7),
-            Label::value(true)];
+            Label::value(true),
+        ];
         let preds = vec![
             Pred::Any,
             Pred::Symbol("Movie".into()),

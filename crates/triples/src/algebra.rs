@@ -64,8 +64,14 @@ pub struct Relation {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AlgebraError {
     UnknownColumn(String),
-    SchemaMismatch { left: Vec<String>, right: Vec<String> },
-    ArityMismatch { expected: usize, got: usize },
+    SchemaMismatch {
+        left: Vec<String>,
+        right: Vec<String>,
+    },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
     DuplicateColumn(String),
 }
 

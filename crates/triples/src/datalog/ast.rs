@@ -13,6 +13,7 @@
 //! node-id constant.
 
 use crate::algebra::Datum;
+use ssd_diag::Span;
 use ssd_graph::{Label, NodeId, SymbolTable, Value};
 use std::fmt;
 
@@ -213,11 +214,57 @@ impl fmt::Display for Rule {
     }
 }
 
+/// Byte spans of one rule's pieces in the program source, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The whole rule, head through the closing `.`.
+    pub full: Span,
+    /// The head atom.
+    pub head: Span,
+    /// One span per body literal's atom (excluding any `not`).
+    pub body: Vec<Span>,
+}
+
+/// Side table of source spans recorded while parsing a program. Indexed
+/// like [`Program::rules`]; the AST itself stays span-free so structural
+/// equality and round-trip tests are unaffected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramSpans {
+    pub rules: Vec<RuleSpans>,
+}
+
+impl ProgramSpans {
+    /// Span of rule `i`'s head, if recorded.
+    pub fn head(&self, i: usize) -> Option<Span> {
+        self.rules.get(i).map(|r| r.head)
+    }
+
+    /// Span of body literal `j` of rule `i`, if recorded.
+    pub fn body(&self, i: usize, j: usize) -> Option<Span> {
+        self.rules.get(i).and_then(|r| r.body.get(j)).copied()
+    }
+
+    /// Span of the whole rule `i`, if recorded.
+    pub fn rule(&self, i: usize) -> Option<Span> {
+        self.rules.get(i).map(|r| r.full)
+    }
+}
+
 /// Parse a datalog program in the Prolog-ish syntax described in the module
 /// docs. `symbols` is used to intern symbol constants so they are
 /// comparable with graph labels.
 pub fn parse_program(src: &str, symbols: &SymbolTable) -> Result<Program, String> {
+    parse_program_spanned(src, symbols).map(|(p, _)| p)
+}
+
+/// Like [`parse_program`], additionally returning the span side table the
+/// static analyzer uses to point diagnostics at the offending source.
+pub fn parse_program_spanned(
+    src: &str,
+    symbols: &SymbolTable,
+) -> Result<(Program, ProgramSpans), String> {
     let mut rules = Vec::new();
+    let mut spans = ProgramSpans::default();
     let mut p = P {
         src,
         pos: 0,
@@ -228,9 +275,11 @@ pub fn parse_program(src: &str, symbols: &SymbolTable) -> Result<Program, String
         if p.pos >= p.src.len() {
             break;
         }
-        rules.push(p.rule()?);
+        let (rule, rule_spans) = p.rule()?;
+        rules.push(rule);
+        spans.rules.push(rule_spans);
     }
-    Ok(Program::new(rules))
+    Ok((Program::new(rules), spans))
 }
 
 struct P<'a> {
@@ -307,21 +356,37 @@ impl<'a> P<'a> {
         }
     }
 
-    fn rule(&mut self) -> Result<Rule, String> {
-        let head = self.atom()?;
+    fn rule(&mut self) -> Result<(Rule, RuleSpans), String> {
+        self.skip_ws();
+        let rule_start = self.pos;
+        let (head, head_span) = self.spanned_atom()?;
         let mut body = Vec::new();
+        let mut body_spans = Vec::new();
         if self.eat(":-") {
             loop {
                 let positive = !self.eat_keyword("not");
-                let atom = self.atom()?;
+                let (atom, span) = self.spanned_atom()?;
                 body.push(Literal { atom, positive });
+                body_spans.push(span);
                 if !self.eat(",") {
                     break;
                 }
             }
         }
         self.expect(".")?;
-        Ok(Rule { head, body })
+        let spans = RuleSpans {
+            full: Span::new(rule_start, self.pos),
+            head: head_span,
+            body: body_spans,
+        };
+        Ok((Rule { head, body }, spans))
+    }
+
+    fn spanned_atom(&mut self) -> Result<(Atom, Span), String> {
+        self.skip_ws();
+        let start = self.pos;
+        let atom = self.atom()?;
+        Ok((atom, Span::new(start, self.pos)))
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -424,7 +489,11 @@ impl<'a> P<'a> {
             match c {
                 '0'..='9' => end = i + 1,
                 '-' if i == 0 => end = i + 1,
-                '.' if r[i + 1..].chars().next().is_some_and(|d| d.is_ascii_digit()) => {
+                '.' if r[i + 1..]
+                    .chars()
+                    .next()
+                    .is_some_and(|d| d.is_ascii_digit()) =>
+                {
                     real = true;
                     end = i + 1;
                 }
@@ -506,11 +575,7 @@ mod tests {
     #[test]
     fn parse_negation() {
         let syms = new_symbols();
-        let p = parse_program(
-            "dead(X) :- node(X), not reach(X).",
-            &syms,
-        )
-        .unwrap();
+        let p = parse_program("dead(X) :- node(X), not reach(X).", &syms).unwrap();
         assert!(!p.rules[0].body[1].positive);
         assert!(p.check_safety().is_ok());
     }
@@ -570,6 +635,24 @@ mod tests {
         let p = parse_program("q(X) :- edge(X, true, _Y).", &syms).unwrap();
         assert_eq!(p.rules[0].body[0].atom.terms[1], Term::value(true));
     }
+
+    #[test]
+    fn spans_point_at_atoms() {
+        let syms = new_symbols();
+        let src = "p(X) :- node(X).\nq(Y) :- p(Y), not bad(Y).";
+        let (prog, spans) = parse_program_spanned(src, &syms).unwrap();
+        assert_eq!(prog.rules.len(), 2);
+        assert_eq!(spans.rules.len(), 2);
+        let head0 = spans.head(0).unwrap();
+        assert_eq!(&src[head0.start..head0.end], "p(X)");
+        let body00 = spans.body(0, 0).unwrap();
+        assert_eq!(&src[body00.start..body00.end], "node(X)");
+        // The negated literal's span excludes the `not` keyword.
+        let body11 = spans.body(1, 1).unwrap();
+        assert_eq!(&src[body11.start..body11.end], "bad(Y)");
+        let full1 = spans.rule(1).unwrap();
+        assert_eq!(&src[full1.start..full1.end], "q(Y) :- p(Y), not bad(Y).");
+    }
 }
 
 #[cfg(test)]
@@ -581,7 +664,10 @@ mod quoted_symbol_tests {
     fn quoted_symbols_are_constants_not_variables() {
         let syms = new_symbols();
         let p = parse_program("title(T) :- edge(_E, 'Title', T).", &syms).unwrap();
-        assert_eq!(p.rules[0].body[0].atom.terms[1], Term::symbol(&syms, "Title"));
+        assert_eq!(
+            p.rules[0].body[0].atom.terms[1],
+            Term::symbol(&syms, "Title")
+        );
     }
 
     #[test]

@@ -33,13 +33,19 @@ impl std::fmt::Display for DatalogError {
         match self {
             DatalogError::Unsafe(m) => write!(f, "unsafe program: {m}"),
             DatalogError::NotStratifiable(p) => {
-                write!(f, "program is not stratifiable (negative cycle through {p})")
+                write!(
+                    f,
+                    "program is not stratifiable (negative cycle through {p})"
+                )
             }
             DatalogError::ArityMismatch {
                 pred,
                 expected,
                 got,
-            } => write!(f, "predicate {pred} used with arity {got}, expected {expected}"),
+            } => write!(
+                f,
+                "predicate {pred} used with arity {got}, expected {expected}"
+            ),
         }
     }
 }
@@ -111,7 +117,11 @@ pub fn evaluate_with_facts(
     run(
         program,
         base,
-        if semi_naive { Mode::SemiNaive } else { Mode::Naive },
+        if semi_naive {
+            Mode::SemiNaive
+        } else {
+            Mode::Naive
+        },
     )
 }
 
@@ -123,7 +133,9 @@ enum Mode {
 
 /// Assign each IDB predicate a stratum such that positive dependencies stay
 /// within or below, and negative dependencies come from strictly below.
-fn stratify(program: &Program) -> Result<Vec<Vec<&Rule>>, DatalogError> {
+/// Public so the static analyzer can certify stratifiability without
+/// running the program.
+pub fn stratify(program: &Program) -> Result<Vec<Vec<&Rule>>, DatalogError> {
     let idb: Vec<&str> = program.idb_predicates();
     let mut stratum: HashMap<&str, usize> = idb.iter().map(|p| (*p, 0)).collect();
     let max_strata = idb.len() + 1;
@@ -170,9 +182,7 @@ fn stratify(program: &Program) -> Result<Vec<Vec<&Rule>>, DatalogError> {
 }
 
 fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, DatalogError> {
-    program
-        .check_safety()
-        .map_err(DatalogError::Unsafe)?;
+    program.check_safety().map_err(DatalogError::Unsafe)?;
     check_arities(program, &facts)?;
     let strata = stratify(program)?;
     let mut iterations = 0usize;
@@ -181,10 +191,8 @@ fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, Da
         if stratum_rules.is_empty() {
             continue;
         }
-        let recursive_preds: BTreeSet<&str> = stratum_rules
-            .iter()
-            .map(|r| r.head.pred.as_str())
-            .collect();
+        let recursive_preds: BTreeSet<&str> =
+            stratum_rules.iter().map(|r| r.head.pred.as_str()).collect();
         // Initialise deltas with any facts already present for these preds
         // (usually empty).
         let mut delta: Facts = HashMap::new();
@@ -290,20 +298,19 @@ fn check_arities(program: &Program, facts: &Facts) -> Result<(), DatalogError> {
             arity.insert(p.clone(), t.len());
         }
     }
-    let check = |arity: &mut HashMap<String, usize>, atom: &Atom| match arity
-        .get(atom.pred.as_str())
-    {
-        Some(&a) if a != atom.terms.len() => Err(DatalogError::ArityMismatch {
-            pred: atom.pred.clone(),
-            expected: a,
-            got: atom.terms.len(),
-        }),
-        Some(_) => Ok(()),
-        None => {
-            arity.insert(atom.pred.clone(), atom.terms.len());
-            Ok(())
-        }
-    };
+    let check =
+        |arity: &mut HashMap<String, usize>, atom: &Atom| match arity.get(atom.pred.as_str()) {
+            Some(&a) if a != atom.terms.len() => Err(DatalogError::ArityMismatch {
+                pred: atom.pred.clone(),
+                expected: a,
+                got: atom.terms.len(),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                arity.insert(atom.pred.clone(), atom.terms.len());
+                Ok(())
+            }
+        };
     for rule in &program.rules {
         check(&mut arity, &rule.head)?;
         for lit in &rule.body {
@@ -342,9 +349,7 @@ fn eval_rule(
             continue;
         }
         let source: &BTreeSet<Vec<Datum>> = match delta_at {
-            Some((pos, delta)) if pos == i => {
-                delta.get(lit.atom.pred.as_str()).unwrap_or(&empty)
-            }
+            Some((pos, delta)) if pos == i => delta.get(lit.atom.pred.as_str()).unwrap_or(&empty),
             _ => facts.get(lit.atom.pred.as_str()).unwrap_or(&empty),
         };
         if lit.positive {
@@ -361,7 +366,9 @@ fn eval_rule(
             // Negation: all variables already bound (safety-checked), so
             // just filter.
             bindings.retain(|b| {
-                !source.iter().any(|tuple| try_match(&lit.atom, tuple, b).is_some())
+                !source
+                    .iter()
+                    .any(|tuple| try_match(&lit.atom, tuple, b).is_some())
             });
         }
         if bindings.is_empty() {
@@ -547,7 +554,10 @@ mod tests {
         let eval = evaluate(&p, &store).unwrap();
         // Reachable via a-edges: root, its a-child, grandchild = 3 nodes.
         assert_eq!(eval.count("reach"), 3);
-        assert_eq!(eval.count("unreached") + eval.count("reach"), eval.count("node"));
+        assert_eq!(
+            eval.count("unreached") + eval.count("reach"),
+            eval.count("node")
+        );
         assert!(eval.count("unreached") > 0);
     }
 
@@ -665,11 +675,7 @@ mod builtin_tests {
     #[test]
     fn ge_with_mixed_numeric_kinds() {
         let g = parse_graph("{x: 2, y: 2.5}").unwrap();
-        let p = parse_program(
-            "big(V) :- edge(_N, V, _L), ge(V, 2.5).",
-            g.symbols(),
-        )
-        .unwrap();
+        let p = parse_program("big(V) :- edge(_N, V, _L), ge(V, 2.5).", g.symbols()).unwrap();
         let store = crate::store::TripleStore::from_graph(&g);
         let eval = evaluate(&p, &store).unwrap();
         assert_eq!(eval.count("big"), 1);

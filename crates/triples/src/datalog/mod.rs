@@ -14,7 +14,11 @@
 pub mod ast;
 pub mod eval;
 
-pub use ast::{parse_program, Atom, Literal, Program, Rule, Term};
+pub use ast::{
+    is_builtin, parse_program, parse_program_spanned, Atom, Literal, Program, ProgramSpans, Rule,
+    RuleSpans, Term,
+};
 pub use eval::{
-    edb_from_store, evaluate, evaluate_naive, evaluate_with_facts, DatalogError, Evaluation, Facts,
+    edb_from_store, evaluate, evaluate_naive, evaluate_with_facts, stratify, DatalogError,
+    Evaluation, Facts,
 };

@@ -99,8 +99,8 @@ pub fn shortest_path<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::datalog::{evaluate, parse_program};
     use crate::algebra::Datum;
+    use crate::datalog::{evaluate, parse_program};
     use ssd_graph::literal::parse_graph;
 
     #[test]

@@ -28,9 +28,7 @@ fn main() -> Result<(), String> {
     );
 
     // Loose structure: which genes have sequences with homologies?
-    let r = db.query(
-        "select {Name: N} from db.Gene G, G.Name N, G.%*.Homology H",
-    )?;
+    let r = db.query("select {Name: N} from db.Gene G, G.Name N, G.%*.Homology H")?;
     println!(
         "genes with a Homology somewhere below: {}",
         r.graph().successors_by_name(r.graph().root(), "Name").len()

@@ -18,14 +18,14 @@ fn main() -> Result<(), String> {
     let mut g10 = Graph::new();
     encode_style10(&mut g10, &[orders.clone(), customers.clone()]);
     let mut g5 = Graph::new();
-    encode_style5(&mut g5, &[orders.clone()]);
+    encode_style5(&mut g5, std::slice::from_ref(&orders));
     println!(
         "style-[10] encoding: {} edges; style-[5]: {} edges",
         g10.edge_count(),
         g5.edge_count()
     );
-    let back = decode_relation(&g10, "orders", &["id", "customer", "total"])
-        .map_err(|e| e.to_string())?;
+    let back =
+        decode_relation(&g10, "orders", &["id", "customer", "total"]).map_err(|e| e.to_string())?;
     assert_eq!(back.row_set(), orders.row_set());
     println!("relational round-trip: OK ({} orders)", back.rows.len());
 
@@ -76,7 +76,8 @@ fn main() -> Result<(), String> {
         "Actor",
         vec![("name", AttrValue::Base(Value::from("Bogart")))],
     );
-    odb2.set_attr(m2, "star", AttrValue::Ref(a2)).map_err(|e| e.to_string())?;
+    odb2.set_attr(m2, "star", AttrValue::Ref(a2))
+        .map_err(|e| e.to_string())?;
     odb2.set_attr(a2, "appears_in", AttrValue::Ref(m2))
         .map_err(|e| e.to_string())?;
     odb2.add_extent("movies", vec![m2]);

@@ -33,12 +33,19 @@ fn main() -> Result<(), String> {
 
     println!("\nQ2: integers greater than 2^16?");
     let big = db.ints_greater(1 << 16);
-    println!("  {} found (the ints in Figure 1 are guest indices)", big.len());
+    println!(
+        "  {} found (the ints in Figure 1 are guest indices)",
+        big.len()
+    );
     println!("  reals, though: BoxOffice = 1.2E6 is present");
 
     println!("\nQ3: attribute names starting with \"Act\"?");
     for h in db.attrs_with_prefix("Act") {
-        println!("  edge {} at node {}", h.label.display(db.graph().symbols()), h.from);
+        println!(
+            "  edge {} at node {}",
+            h.label.display(db.graph().symbols()),
+            h.from
+        );
     }
 
     // --- §3: Allen in Casablanca? ---------------------------------------
@@ -61,7 +68,10 @@ fn main() -> Result<(), String> {
     let surgical = db.query(
         r#"select {Fixed: C} from db.Entry.Movie M, M.Title T, M.Cast C where T = "Casablanca""#,
     )?;
-    println!("\ncast of Casablanca before repair:\n{}", surgical.to_literal());
+    println!(
+        "\ncast of Casablanca before repair:\n{}",
+        surgical.to_literal()
+    );
     println!(
         "\nafter global relabel, \"Bacall\" occurs {} time(s)",
         fixed.find_string("Bacall").len()
@@ -72,9 +82,11 @@ fn main() -> Result<(), String> {
     println!("\nconforms to the hand-written Figure-1 schema: (loose!)");
     println!("  {}", db.conforms_to(&schema));
     let extracted = db.extract_schema();
-    println!("extracted schema has {} nodes; data conforms: {}",
+    println!(
+        "extracted schema has {} nodes; data conforms: {}",
         extracted.node_count(),
-        db.conforms_to(&extracted));
+        db.conforms_to(&extracted)
+    );
 
     // --- DataGuide --------------------------------------------------------
     let guide = db.dataguide();

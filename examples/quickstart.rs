@@ -35,9 +35,7 @@ fn main() -> Result<(), String> {
 
     // 3. Regular path expressions cope with heterogeneous structure: both
     //    cast representations in one query.
-    let actors = db.query(
-        "select A from db.Entry.Movie.Cast.(Actors | Credit.Actors) A",
-    )?;
+    let actors = db.query("select A from db.Entry.Movie.Cast.(Actors | Credit.Actors) A")?;
     println!("\nall actors:\n{}", actors.to_literal());
 
     // 4. Browse without knowing the schema (§1.3).
@@ -61,6 +59,7 @@ fn main() -> Result<(), String> {
     let schema = db.extract_schema();
     println!("\nextracted {}", schema);
     assert!(db.conforms_to(&schema));
-    assert!(flat.conforms_to(&schema) || true); // flattened DB has a different shape
+    // The flattened DB has a different shape, so it may or may not conform.
+    println!("flattened conforms: {}", flat.conforms_to(&schema));
     Ok(())
 }

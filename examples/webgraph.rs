@@ -35,10 +35,7 @@ fn main() -> Result<(), String> {
     );
 
     // The same reachability as a regular path expression.
-    let rpe = Rpe::seq(vec![
-        Rpe::symbol("page"),
-        Rpe::symbol("link").star(),
-    ]);
+    let rpe = Rpe::seq(vec![Rpe::symbol("page"), Rpe::symbol("link").star()]);
     let hits = eval_rpe(db.graph(), db.graph().root(), &rpe);
     println!("pages reachable via page.link*: {}", hits.len());
 

@@ -19,9 +19,7 @@ fn figure1_three_ways_titles_agree() {
     // Titles via (a) the surface language, (b) a raw RPE, (c) datalog.
     let db = fig1();
 
-    let via_lang = db
-        .query("select T from db.Entry.%.Title T")
-        .unwrap();
+    let via_lang = db.query("select T from db.Entry.%.Title T").unwrap();
     let lang_count = via_lang.graph().out_degree(via_lang.graph().root());
 
     let rpe = Rpe::seq(vec![
@@ -31,9 +29,7 @@ fn figure1_three_ways_titles_agree() {
     ]);
     let via_rpe = db.eval_path(&rpe);
 
-    let via_datalog = db
-        .datalog("title(T) :- edge(_E, 'Title', T).")
-        .unwrap();
+    let via_datalog = db.datalog("title(T) :- edge(_E, 'Title', T).").unwrap();
 
     assert_eq!(lang_count, 3);
     assert_eq!(via_rpe.len(), 3);
@@ -68,7 +64,8 @@ fn browsing_matches_language_results() {
         hits.len(),
         q.graph()
             .successors_by_name(q.graph().root(), "hit")
-            .len().max(q.stats().results_constructed.min(2))
+            .len()
+            .max(q.stats().results_constructed.min(2))
     );
     assert_eq!(hits.len(), 2); // actor in movie + guest of the TV show
 }
@@ -102,9 +99,7 @@ fn triple_store_algebra_agrees_with_traversal() {
         .unwrap()
         .len();
 
-    let via_lang = db
-        .query("select {m: M} from db.Entry.Movie M")
-        .unwrap();
+    let via_lang = db.query("select {m: M} from db.Entry.Movie M").unwrap();
     let via_lang_count = via_lang
         .graph()
         .successors_by_name(via_lang.graph().root(), "m")
@@ -127,7 +122,10 @@ fn optimizer_is_semantics_preserving_on_generated_data() {
     for q in queries {
         let base = db.query(q).unwrap();
         let opt = db.query_optimized(q).unwrap();
-        assert!(base.bisimilar_to(&opt), "optimizer changed semantics of {q}");
+        assert!(
+            base.bisimilar_to(&opt),
+            "optimizer changed semantics of {q}"
+        );
     }
 }
 
@@ -147,7 +145,15 @@ fn decomposition_agrees_on_generated_movie_db() {
 
 #[test]
 fn extracted_schema_accepts_same_generator_rejects_other_shape() {
-    let db = Database::new(movie_database(&MovieDbConfig::sized(30)));
+    // Extract from a sample big enough (and reference-rich enough) that
+    // every structural variant the generator can emit — credit vs direct
+    // casts, optional box office, 1-3 guests, reference in/out combos —
+    // actually occurs; conformance of a *fresh* sample is then a property
+    // of the generator's shape, not of seed luck.
+    let db = Database::new(movie_database(&MovieDbConfig {
+        reference_prob: 0.4,
+        ..MovieDbConfig::sized(600)
+    }));
     let schema = db.extract_schema();
     assert!(db.conforms_to(&schema));
     // A fresh sample from the same generator also conforms (the schema
@@ -196,12 +202,11 @@ fn restructuring_pipeline_end_to_end() {
         .unwrap();
     // Bogart, the mislabeled Bacall, and Allen.
     assert_eq!(r.graph().out_degree(r.graph().root()), 3);
-    // Original untouched.
-    assert!(db
+    // Original untouched: it has no Performer edges, so the query is empty.
+    let untouched = db
         .query("select A from db.Entry.Movie.Cast.Performer A")
-        .unwrap()
-        .graph()
-        .is_leaf(db.graph().root().min(semistructured::NodeId::from_index(0))) || true);
+        .unwrap();
+    assert_eq!(untouched.graph().out_degree(untouched.graph().root()), 0);
     let orig = db
         .query("select A from db.Entry.Movie.Cast.Actors A")
         .unwrap();
@@ -242,7 +247,10 @@ fn serialization_round_trips_generated_databases() {
         });
         let text = semistructured::graph::literal::write_graph(&g);
         let back = semistructured::graph::literal::parse_graph(&text).unwrap();
-        assert!(graphs_bisimilar(&g, &back), "round trip failed for seed {seed}");
+        assert!(
+            graphs_bisimilar(&g, &back),
+            "round trip failed for seed {seed}"
+        );
     }
 }
 
@@ -268,10 +276,7 @@ fn select_results_conform_to_relational_style_schema() {
 
 #[test]
 fn value_types_flow_through_the_whole_stack() {
-    let db = Database::from_literal(
-        r#"{m: {i: 42, r: 2.5, s: "x", b: true}}"#,
-    )
-    .unwrap();
+    let db = Database::from_literal(r#"{m: {i: 42, r: 2.5, s: "x", b: true}}"#).unwrap();
     let r = db
         .query("select {hit: X} from db.m.^L X where isreal(X)")
         .unwrap();
@@ -304,16 +309,11 @@ fn facade_union_and_interchange() {
 fn parallel_select_through_decompose_module() {
     use semistructured::query::decompose::evaluate_select_parallel;
     let db = Database::new(movie_database(&MovieDbConfig::sized(40)));
-    let q = parse_query(
-        r#"select {t: T} from db.Entry.Movie M, M.Title T, M.Year Y where Y < 1960"#,
-    )
-    .unwrap();
-    let (seq, _) = semistructured::query::evaluate_select(
-        db.graph(),
-        &q,
-        &EvalOptions::default(),
-    )
-    .unwrap();
+    let q =
+        parse_query(r#"select {t: T} from db.Entry.Movie M, M.Title T, M.Year Y where Y < 1960"#)
+            .unwrap();
+    let (seq, _) =
+        semistructured::query::evaluate_select(db.graph(), &q, &EvalOptions::default()).unwrap();
     let par = evaluate_select_parallel(db.graph(), &q, 4).unwrap();
     assert!(graphs_bisimilar(&seq, &par));
 }

@@ -43,7 +43,10 @@ fn graph_from_edges(n: usize, edges: &[(usize, usize, usize)]) -> Graph {
 }
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1usize..7, proptest::collection::vec((0usize..7, 0usize..7, 0usize..7), 0..16))
+    (
+        1usize..7,
+        proptest::collection::vec((0usize..7, 0usize..7, 0usize..7), 0..16),
+    )
         .prop_map(|(n, edges)| graph_from_edges(n, &edges))
 }
 
@@ -56,10 +59,8 @@ fn arb_rpe() -> impl Strategy<Value = Rpe> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Rpe::Seq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Rpe::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rpe::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rpe::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| a.star()),
             inner.clone().prop_map(|a| a.plus()),
             inner.prop_map(|a| a.opt()),

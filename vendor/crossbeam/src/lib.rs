@@ -1,0 +1,80 @@
+//! Offline polyfill for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with spawn closures that receive the scope
+//! (so workers can spawn nested workers). Delegates to `std::thread::scope`,
+//! which provides the same structured-concurrency guarantee since Rust 1.63.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to `scope`'s closure and to every spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        #[allow(clippy::missing_errors_doc)]
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller.
+    ///
+    /// Unlike crossbeam proper (which collects worker panics into the `Err`
+    /// variant), a panicking un-joined worker propagates the panic on scope
+    /// exit — acceptable for the polyfill because the error is never
+    /// silently ignored either way.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

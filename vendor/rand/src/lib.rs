@@ -1,0 +1,153 @@
+//! Offline polyfill for the subset of `rand` 0.8 this workspace uses:
+//! `SmallRng::seed_from_u64`, `Rng::gen_range` over integer and float
+//! ranges, and `Rng::gen_bool`. The generator is SplitMix64 — deterministic,
+//! seedable, and statistically good enough for workload synthesis, which is
+//! the only use in this repo (the data generators are seeded and expect
+//! reproducible output *per build*, not byte-compatibility with rand 0.8).
+
+use std::ops::{Range, RangeInclusive};
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling from a range; mirrors `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        // 53 random bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is fair game.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )+};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+impl_float_range!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: one 64-bit word of state, passes BigCrush on its own.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+
+    /// The std generator is the same engine here; only determinism matters.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = rng.gen_range(5..10);
+            assert!((5..10).contains(&v));
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((600..1400).contains(&hits), "p=0.25 gave {hits}/4000");
+    }
+}
