@@ -1,0 +1,78 @@
+//! E14 — guard overhead: budget checking must cost ≤5% on the E3 select
+//! and E6 datalog workloads.
+//!
+//! Three variants per workload: no guard at all (the pre-guard API),
+//! an inactive guard (no limits configured — the one-branch fast path),
+//! and an active guard with limits far above what the workload uses
+//! (the full checking path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::{evaluate_select, parse_query};
+use semistructured::triples::datalog::{evaluate, evaluate_with, parse_program};
+use semistructured::triples::TripleStore;
+use semistructured::{Budget, EvalOptions, Guard};
+use ssd_bench::{movies, web};
+
+const JOIN: &str = r#"select {p: {t: T, d: D}} from db.Entry.Movie M, M.Title T, M.Director D
+                      where exists M.Cast"#;
+const TC: &str = "path(X, Y) :- edge(X, _L, Y).\n\
+                  path(X, Y) :- edge(X, _L, Z), path(Z, Y).";
+
+/// A budget that never trips on these workloads but keeps every check arm.
+fn roomy() -> Budget {
+    Budget::unlimited()
+        .max_steps(u64::MAX / 2)
+        .max_memory_mb(1 << 20)
+        .max_depth(1 << 20)
+        .timeout(std::time::Duration::from_secs(3600))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_guard");
+
+    // E3 select workload.
+    let g = movies(1000);
+    let q = parse_query(JOIN).unwrap();
+    group.bench_with_input(BenchmarkId::new("select_unguarded", 1000), &g, |b, g| {
+        b.iter(|| evaluate_select(g, &q, &EvalOptions::default()).unwrap())
+    });
+    let inactive = Guard::unlimited();
+    group.bench_with_input(
+        BenchmarkId::new("select_inactive_guard", 1000),
+        &g,
+        |b, g| {
+            b.iter(|| {
+                evaluate_select(g, &q, &EvalOptions::default().with_guard(&inactive)).unwrap()
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("select_active_guard", 1000), &g, |b, g| {
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_select(g, &q, &EvalOptions::default().with_guard(&guard)).unwrap()
+        })
+    });
+
+    // E6 datalog workload.
+    group.sample_size(10);
+    let g = web(40);
+    let store = TripleStore::from_graph(&g);
+    let program = parse_program(TC, g.symbols()).unwrap();
+    group.bench_with_input(BenchmarkId::new("tc_unguarded", 40), &store, |b, s| {
+        b.iter(|| evaluate(&program, s).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("tc_inactive_guard", 40), &store, |b, s| {
+        b.iter(|| evaluate_with(&program, s, &inactive).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("tc_active_guard", 40), &store, |b, s| {
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_with(&program, s, &guard).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,8 @@
 //! processes.
 
 use semistructured::diag::DiagnosticSink;
-use semistructured::Database;
+use semistructured::{Budget, Database, Guard};
+use std::cell::Cell;
 use std::io::Read;
 
 /// CLI failure modes.
@@ -51,11 +52,73 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
   ssd import-xml  XMLFILE                  convert XML to the literal form
 
 DATA is a literal-syntax file or '-' for stdin; QUERY/PROGRAM are literal
-strings, or @FILE to read from a file.";
+strings, or @FILE to read from a file.
+
+Resource limits (query, datalog, rewrite, schema, dataguide):
+  --timeout SECS      wall-clock deadline
+  --max-steps N       deterministic work-step (fuel) ceiling
+  --max-memory-mb N   accounted result-memory ceiling
+  --max-depth N       recursion / derivation depth ceiling
+  --partial           on exhaustion keep the partial result and warn
+                      (SSD107) instead of failing
+Exhaustion renders an SSD1xx diagnostic and exits nonzero. The
+SSD_FAILPOINTS environment variable (site=N, comma-separated) injects
+deterministic faults at engine seams for testing.";
+
+thread_local! {
+    /// True while `run` is inside its `catch_unwind` boundary, so the
+    /// process-wide panic hook knows to stay quiet: the panic is about
+    /// to be rendered as an SSD111 diagnostic, not a raw backtrace.
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for panics caught by [`run`]'s isolation boundary and
+/// delegates everything else to the previous hook.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_DISPATCH.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// Entry point shared by `main` and the tests. `stdin` backs the `-`
 /// data argument.
+///
+/// Dispatch runs inside a `catch_unwind` boundary: an engine bug that
+/// panics is reported as a rendered SSD111 diagnostic through the normal
+/// [`CliError::Failed`] channel (nonzero exit) instead of aborting with a
+/// raw backtrace.
 pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
+    install_quiet_panic_hook();
+    IN_DISPATCH.with(|f| f.set(true));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(args, stdin)));
+    IN_DISPATCH.with(|f| f.set(false));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_owned());
+            Err(CliError::Failed(
+                semistructured::diag::Diagnostic::new(
+                    semistructured::diag::Code::EnginePanic,
+                    format!("internal engine error: {msg}; please report this as a bug"),
+                )
+                .headline(),
+            ))
+        }
+    }
+}
+
+fn dispatch(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     let cmd = it.next().unwrap_or("help");
     let rest: Vec<&str> = it.collect();
@@ -67,21 +130,24 @@ pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
         }
         "query" => {
             let (data, mut tail) = split_first(&rest, "query DATA QUERY")?;
+            let budget = pop_budget(&mut tail)?;
             let optimized = tail.last() == Some(&"--optimized");
             if optimized {
                 tail.pop();
             }
             let text = arg_or_file(one(&tail, "query DATA QUERY")?)?;
             let db = load_db(data, stdin)?;
-            cmd_query(&db, &text, optimized)
+            cmd_query(&db, &text, optimized, &budget.guard())
         }
         "datalog" => {
-            if rest.len() < 2 || rest.len() > 3 {
+            let mut tail: Vec<&str> = rest.to_vec();
+            let budget = pop_budget(&mut tail)?;
+            if tail.len() < 2 || tail.len() > 3 {
                 return Err(CliError::Usage("datalog DATA PROGRAM [PRED]".into()));
             }
-            let db = load_db(rest[0], stdin)?;
-            let program = arg_or_file(rest[1])?;
-            cmd_datalog(&db, &program, rest.get(2).copied())
+            let db = load_db(tail[0], stdin)?;
+            let program = arg_or_file(tail[1])?;
+            cmd_datalog(&db, &program, tail.get(2).copied(), &budget.guard())
         }
         "check" => {
             let mut tail: Vec<&str> = rest.to_vec();
@@ -107,15 +173,23 @@ pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
             cmd_browse(&db, rest[1], rest[2])
         }
         "rewrite" => {
-            let (data, tail) = split_first(&rest, "rewrite DATA PROGRAM")?;
+            let (data, mut tail) = split_first(&rest, "rewrite DATA PROGRAM")?;
+            let budget = pop_budget(&mut tail)?;
             let program = arg_or_file(one(&tail, "rewrite DATA PROGRAM")?)?;
             let db = load_db(data, stdin)?;
-            let out = db.rewrite(&program).map_err(CliError::Failed)?;
-            Ok(out.to_literal())
+            let guard = budget.guard();
+            let out = db
+                .rewrite_with(&program, &guard)
+                .map_err(CliError::Failed)?;
+            Ok(prepend_truncation(&guard, out.to_literal()))
         }
         "schema" => {
-            let db = load_db(one(&rest, "schema DATA")?, stdin)?;
-            Ok(db.extract_schema().to_string())
+            let mut tail: Vec<&str> = rest.to_vec();
+            let budget = pop_budget(&mut tail)?;
+            let db = load_db(one(&tail, "schema DATA")?, stdin)?;
+            let guard = budget.guard();
+            let schema = db.extract_schema_with(&guard).map_err(CliError::Failed)?;
+            Ok(prepend_truncation(&guard, schema.to_string()))
         }
         "diff" => {
             if rest.len() < 2 || rest.len() > 3 {
@@ -164,8 +238,13 @@ pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
             Ok(format!("{}", db.conforms_to(&schema)))
         }
         "dataguide" => {
-            let db = load_db(one(&rest, "dataguide DATA")?, stdin)?;
-            Ok(cmd_dataguide(&db))
+            let mut tail: Vec<&str> = rest.to_vec();
+            let budget = pop_budget(&mut tail)?;
+            let db = load_db(one(&tail, "dataguide DATA")?, stdin)?;
+            let guard = budget.guard();
+            let guide = semistructured::DataGuide::try_build(db.graph(), &guard)
+                .map_err(|e| CliError::Failed(e.headline()))?;
+            Ok(prepend_truncation(&guard, cmd_dataguide(&db, &guide)))
         }
         "dot" => {
             let db = load_db(one(&rest, "dot DATA")?, stdin)?;
@@ -209,7 +288,78 @@ pub fn run(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> {
             let db = Database::from_json(&text).map_err(CliError::Failed)?;
             Ok(db.to_literal())
         }
+        // Hidden trigger for exercising the panic-isolation boundary.
+        #[cfg(test)]
+        "__panic" => panic!("deliberate test panic"),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Remove the shared resource-limit flags from `tail` and fold them into a
+/// [`Budget`]. Fault-injection points are picked up from the
+/// `SSD_FAILPOINTS` environment variable (`site=N`, comma-separated).
+fn pop_budget(tail: &mut Vec<&str>) -> Result<Budget, CliError> {
+    fn take_value(tail: &mut Vec<&str>, i: usize, flag: &str) -> Result<u64, CliError> {
+        if i + 1 >= tail.len() {
+            return Err(CliError::Usage(format!("{flag} needs a value")));
+        }
+        let v = tail.remove(i + 1);
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("{flag}: '{v}' is not a non-negative integer")))
+    }
+    let mut budget = Budget::unlimited();
+    let mut i = 0;
+    while i < tail.len() {
+        match tail[i] {
+            "--timeout" => {
+                let secs = take_value(tail, i, "--timeout")?;
+                budget = budget.timeout(std::time::Duration::from_secs(secs));
+                tail.remove(i);
+            }
+            "--max-steps" => {
+                let n = take_value(tail, i, "--max-steps")?;
+                budget = budget.max_steps(n);
+                tail.remove(i);
+            }
+            "--max-memory-mb" => {
+                let n = take_value(tail, i, "--max-memory-mb")?;
+                budget = budget.max_memory_mb(n);
+                tail.remove(i);
+            }
+            "--max-depth" => {
+                let n = take_value(tail, i, "--max-depth")?;
+                budget = budget.max_depth(n as usize);
+                tail.remove(i);
+            }
+            "--partial" => {
+                budget = budget.partial(true);
+                tail.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    if let Ok(spec) = std::env::var("SSD_FAILPOINTS") {
+        budget = budget
+            .fail_points_from_spec(&spec)
+            .map_err(|e| CliError::Usage(format!("SSD_FAILPOINTS: {e}")))?;
+    }
+    Ok(budget)
+}
+
+/// For commands whose output type carries no statistics, surface a
+/// partial-mode truncation recorded on `guard` as an SSD107 warning line
+/// above the normal output.
+fn prepend_truncation(guard: &Guard, out: String) -> String {
+    match guard.truncation() {
+        Some(why) => format!(
+            "{}\n{out}",
+            semistructured::diag::Diagnostic::new(
+                semistructured::diag::Code::TruncatedResult,
+                format!("result truncated: {}", why.message()),
+            )
+            .headline()
+        ),
+        None => out,
     }
 }
 
@@ -281,8 +431,8 @@ pub fn run_repl(db: &Database, script: &str) -> String {
         let result: Result<String, CliError> = match cmd {
             "quit" | "exit" => break,
             "stats" => Ok(cmd_stats(db)),
-            "query" => cmd_query(db, arg, false),
-            "datalog" => cmd_datalog(db, arg, None),
+            "query" => cmd_query(db, arg, false, &Guard::unlimited()),
+            "datalog" => cmd_datalog(db, arg, None, &Guard::unlimited()),
             "browse" => match arg.split_once(' ') {
                 Some((mode, rest)) => cmd_browse(db, mode, rest.trim()),
                 None => Err(CliError::Usage("browse (string|ints|attrs) ARG".into())),
@@ -292,7 +442,7 @@ pub fn run_repl(db: &Database, script: &str) -> String {
                 .map(|d| d.to_literal())
                 .map_err(CliError::Failed),
             "schema" => Ok(db.extract_schema().to_string()),
-            "dataguide" => Ok(cmd_dataguide(db)),
+            "dataguide" => Ok(cmd_dataguide(db, db.dataguide())),
             "fmt" => Ok(db.to_literal()),
             "json" => db.to_json().map_err(CliError::Failed),
             "help" => Ok(
@@ -325,11 +475,16 @@ fn cmd_stats(db: &Database) -> String {
     )
 }
 
-fn cmd_query(db: &Database, text: &str, optimized: bool) -> Result<String, CliError> {
+fn cmd_query(
+    db: &Database,
+    text: &str,
+    optimized: bool,
+    guard: &Guard,
+) -> Result<String, CliError> {
     let result = if optimized {
-        db.query_optimized(text)
+        db.query_optimized_with(text, guard)
     } else {
-        db.query(text)
+        db.query_with(text, guard)
     }
     .map_err(CliError::Failed)?;
     let stats = result.stats();
@@ -395,9 +550,17 @@ fn cmd_check(
     Ok(out)
 }
 
-fn cmd_datalog(db: &Database, program: &str, pred: Option<&str>) -> Result<String, CliError> {
-    let eval = db.datalog(program).map_err(CliError::Failed)?;
+fn cmd_datalog(
+    db: &Database,
+    program: &str,
+    pred: Option<&str>,
+    guard: &Guard,
+) -> Result<String, CliError> {
+    let eval = db.datalog_with(program, guard).map_err(CliError::Failed)?;
     let mut out = String::new();
+    if eval.truncated.is_some() {
+        out = prepend_truncation(guard, out);
+    }
     let mut preds: Vec<&String> = eval.facts.keys().collect();
     preds.sort();
     for p in preds {
@@ -476,8 +639,7 @@ fn cmd_browse(db: &Database, mode: &str, arg: &str) -> Result<String, CliError> 
     }
 }
 
-fn cmd_dataguide(db: &Database) -> String {
-    let guide = db.dataguide();
+fn cmd_dataguide(db: &Database, guide: &semistructured::DataGuide) -> String {
     let mut out = format!(
         "DataGuide: {} state(s) summarising {} data node(s)\n",
         guide.node_count(),
@@ -782,6 +944,136 @@ mod tests {
         assert!(out.contains("Casablanca"));
         let missing = run_str(&["stats", "/nonexistent/nope.ssd"], "");
         assert!(matches!(missing, Err(CliError::Failed(_))));
+    }
+
+    #[test]
+    fn query_step_limit_renders_diagnostic() {
+        let err = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD101")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn query_partial_keeps_result_and_warns() {
+        let out = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1",
+                "--partial",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("SSD107"), "{out}");
+        assert!(out.contains("result(s)"), "{out}");
+    }
+
+    #[test]
+    fn datalog_deadline_renders_diagnostic() {
+        let err = run_str(
+            &[
+                "datalog",
+                "-",
+                "reach(X) :- root(X).\nreach(Y) :- reach(X), edge(X, _L, Y).",
+                "--timeout",
+                "0",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD103")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn datalog_partial_is_well_formed() {
+        let out = run_str(
+            &[
+                "datalog",
+                "-",
+                "reach(X) :- root(X).\nreach(Y) :- reach(X), edge(X, _L, Y).",
+                "--max-steps",
+                "2",
+                "--partial",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("SSD107"), "{out}");
+        assert!(out.contains("iteration"), "{out}");
+    }
+
+    #[test]
+    fn schema_and_dataguide_accept_limits() {
+        let s = run_str(&["schema", "-", "--max-steps", "100000"], DATA).unwrap();
+        assert!(s.contains("schema (root"), "{s}");
+        let g = run_str(&["dataguide", "-", "--max-steps", "100000"], DATA).unwrap();
+        assert!(g.contains("DataGuide:"), "{g}");
+        let err = run_str(&["dataguide", "-", "--max-steps", "1"], DATA).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD101")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rewrite_accepts_limits() {
+        let out = run_str(
+            &[
+                "rewrite",
+                "-",
+                "rewrite case Cast => collapse",
+                "--max-steps",
+                "100000",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("Actors"), "{out}");
+    }
+
+    #[test]
+    fn budget_flag_usage_errors() {
+        assert!(matches!(
+            run_str(&["query", "-", "select T from db.T T", "--max-steps"], DATA),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(
+                &["query", "-", "select T from db.T T", "--timeout", "soon"],
+                DATA
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn engine_panic_is_isolated_as_ssd111() {
+        let err = run_str(&["__panic"], "").unwrap_err();
+        match err {
+            CliError::Failed(m) => {
+                assert!(m.contains("SSD111"), "{m}");
+                assert!(m.contains("deliberate test panic"), "{m}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,11 +27,13 @@
 pub use ssd_data as data;
 pub use ssd_diag as diag;
 pub use ssd_graph as graph;
+pub use ssd_guard as guard;
 pub use ssd_query as query;
 pub use ssd_schema as schema;
 pub use ssd_triples as triples;
 
 pub use ssd_graph::{Graph, Label, LabelKind, NodeId, SymbolId, Value};
+pub use ssd_guard::{Budget, CancelToken, Exhausted, Guard};
 pub use ssd_query::{EvalOptions, Rpe, SelectQuery};
 pub use ssd_schema::{DataGuide, Pred, Schema};
 pub use ssd_triples::TripleStore;
@@ -117,6 +119,17 @@ impl Database {
         Ok(QueryResult { graph, stats })
     }
 
+    /// Parse and evaluate under a resource [`Guard`] (budget-governed:
+    /// fuel, memory, deadline, depth, cancellation, fault injection).
+    /// In partial mode exhaustion yields a truncated-but-well-formed
+    /// result with `stats().truncated` set; otherwise an SSD1xx headline.
+    pub fn query_with(&self, text: &str, guard: &Guard) -> Result<QueryResult, String> {
+        let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
+        let opts = EvalOptions::default().with_guard(guard);
+        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &opts)?;
+        Ok(QueryResult { graph, stats })
+    }
+
     /// Parse and evaluate with the optimizer on (pushdown, RPE
     /// simplification, DataGuide pruning).
     pub fn query_optimized(&self, text: &str) -> Result<QueryResult, String> {
@@ -126,6 +139,22 @@ impl Database {
             &q,
             &EvalOptions::optimized(Some(self.dataguide())),
         )?;
+        Ok(QueryResult { graph, stats })
+    }
+
+    /// Optimized evaluation under a resource [`Guard`]. The lazily built
+    /// DataGuide used for pruning is constructed under the same guard.
+    pub fn query_optimized_with(&self, text: &str, guard: &Guard) -> Result<QueryResult, String> {
+        let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
+        let guide = match self.guide.get() {
+            Some(g) => g,
+            None => {
+                let built = DataGuide::try_build(&self.graph, guard).map_err(|e| e.headline())?;
+                self.guide.get_or_init(|| built)
+            }
+        };
+        let opts = EvalOptions::optimized(Some(guide)).with_guard(guard);
+        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &opts)?;
         Ok(QueryResult { graph, stats })
     }
 
@@ -153,6 +182,16 @@ impl Database {
     pub fn datalog(&self, program: &str) -> Result<ssd_triples::datalog::Evaluation, String> {
         let p = ssd_triples::datalog::parse_program(program, self.graph.symbols())?;
         ssd_triples::datalog::evaluate(&p, &self.triples()).map_err(|e| e.to_string())
+    }
+
+    /// Run a graph-datalog program under a resource [`Guard`].
+    pub fn datalog_with(
+        &self,
+        program: &str,
+        guard: &Guard,
+    ) -> Result<ssd_triples::datalog::Evaluation, String> {
+        let p = ssd_triples::datalog::parse_program(program, self.graph.symbols())?;
+        ssd_triples::datalog::evaluate_with(&p, &self.triples(), guard).map_err(|e| e.to_string())
     }
 
     /// Statically analyze a query against this database's extracted
@@ -190,6 +229,14 @@ impl Database {
         )))
     }
 
+    /// As [`Database::rewrite`], under a resource [`Guard`].
+    pub fn rewrite_with(&self, program: &str, guard: &Guard) -> Result<Database, String> {
+        let t = ssd_query::lang::parse_rewrite(program).map_err(|e| e.to_string())?;
+        ssd_query::recursion::gext_guarded(&self.graph, self.graph.root(), &t, guard)
+            .map(Database::new)
+            .map_err(|e| e.headline())
+    }
+
     /// Deep restructuring: relabel edges matching a predicate (returns a
     /// new database; the original is untouched).
     pub fn relabel(&self, pred: Pred, new_name: &str) -> Database {
@@ -218,6 +265,12 @@ impl Database {
     /// Extract a schema describing this database (§5).
     pub fn extract_schema(&self) -> Schema {
         ssd_schema::extract_schema_default(&self.graph)
+    }
+
+    /// As [`Database::extract_schema`], under a resource [`Guard`].
+    pub fn extract_schema_with(&self, guard: &Guard) -> Result<Schema, String> {
+        ssd_schema::try_extract_schema(&self.graph, &ssd_schema::ExtractOptions::default(), guard)
+            .map_err(|e| e.headline())
     }
 
     /// Serialize in the literal data syntax.

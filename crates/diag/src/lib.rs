@@ -75,7 +75,9 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric bands group by front end:
 /// `SSD00x` variable analysis, `SSD01x` schema-aware path typing,
-/// `SSD02x` datalog. Codes are append-only; never renumber.
+/// `SSD02x` datalog; the `SSD1xx` band is *runtime* governance
+/// (budget exhaustion, cancellation, panic isolation — see `ssd-guard`).
+/// Codes are append-only; never renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Variable referenced but bound by no from-clause binding.
@@ -107,6 +109,24 @@ pub enum Code {
     DatalogHeadWildcard,
     /// Variable occurring exactly once in a rule (likely a typo).
     DatalogSingletonVariable,
+    /// Evaluation ran out of its deterministic step (fuel) budget.
+    StepLimitExceeded,
+    /// Evaluation exceeded its byte-accounted memory budget.
+    MemoryLimitExceeded,
+    /// Evaluation exceeded its wall-clock deadline.
+    DeadlineExceeded,
+    /// Evaluation exceeded its recursion / derivation depth limit.
+    DepthLimitExceeded,
+    /// Evaluation was cancelled via a cooperative cancellation token.
+    Cancelled,
+    /// A deterministic fault-injection point fired (testing only).
+    FaultInjected,
+    /// Partial-results mode stopped early; the result is truncated.
+    TruncatedResult,
+    /// Recursive-descent parser hit its nesting depth limit.
+    ParseDepthExceeded,
+    /// An engine bug (panic) was caught at the CLI isolation boundary.
+    EnginePanic,
 }
 
 impl Code {
@@ -125,6 +145,15 @@ impl Code {
             Code::DatalogUnreachableRule => "SSD024",
             Code::DatalogHeadWildcard => "SSD025",
             Code::DatalogSingletonVariable => "SSD026",
+            Code::StepLimitExceeded => "SSD101",
+            Code::MemoryLimitExceeded => "SSD102",
+            Code::DeadlineExceeded => "SSD103",
+            Code::DepthLimitExceeded => "SSD104",
+            Code::Cancelled => "SSD105",
+            Code::FaultInjected => "SSD106",
+            Code::TruncatedResult => "SSD107",
+            Code::ParseDepthExceeded => "SSD110",
+            Code::EnginePanic => "SSD111",
         }
     }
 
@@ -139,13 +168,28 @@ impl Code {
             | Code::DatalogUnsafe
             | Code::DatalogArityMismatch
             | Code::DatalogNotStratifiable
-            | Code::DatalogHeadWildcard => Severity::Error,
+            | Code::DatalogHeadWildcard
+            | Code::StepLimitExceeded
+            | Code::MemoryLimitExceeded
+            | Code::DeadlineExceeded
+            | Code::DepthLimitExceeded
+            | Code::Cancelled
+            | Code::FaultInjected
+            | Code::ParseDepthExceeded
+            | Code::EnginePanic => Severity::Error,
             Code::UnusedBinding
             | Code::EmptyPath
             | Code::DatalogUndefinedPredicate
             | Code::DatalogUnreachableRule
-            | Code::DatalogSingletonVariable => Severity::Warning,
+            | Code::DatalogSingletonVariable
+            | Code::TruncatedResult => Severity::Warning,
         }
+    }
+
+    /// True for the `SSD1xx` band: runtime-governance codes produced
+    /// during evaluation, as opposed to static-analysis codes (`SSD0xx`).
+    pub fn is_runtime(self) -> bool {
+        self.as_str() >= "SSD100"
     }
 
     /// Every code, in rendering order (used by docs and tests).
@@ -164,6 +208,15 @@ impl Code {
             Code::DatalogUnreachableRule,
             Code::DatalogHeadWildcard,
             Code::DatalogSingletonVariable,
+            Code::StepLimitExceeded,
+            Code::MemoryLimitExceeded,
+            Code::DeadlineExceeded,
+            Code::DepthLimitExceeded,
+            Code::Cancelled,
+            Code::FaultInjected,
+            Code::TruncatedResult,
+            Code::ParseDepthExceeded,
+            Code::EnginePanic,
         ]
     }
 }

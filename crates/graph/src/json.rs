@@ -53,6 +53,7 @@ impl std::error::Error for JsonError {}
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
@@ -115,11 +116,9 @@ impl<'a> P<'a> {
                     Some((_, 'u')) => {
                         let mut code = 0u32;
                         for _ in 0..4 {
-                            match chars.next() {
-                                Some((_, h)) if h.is_ascii_hexdigit() => {
-                                    code = code * 16 + h.to_digit(16).expect("hex");
-                                }
-                                _ => return self.err("bad \\u escape"),
+                            match chars.next().and_then(|(_, h)| h.to_digit(16)) {
+                                Some(d) => code = code * 16 + d,
+                                None => return self.err("bad \\u escape"),
                             }
                         }
                         match char::from_u32(code) {
@@ -136,6 +135,19 @@ impl<'a> P<'a> {
     }
 
     fn value(&mut self, g: &mut Graph) -> Result<NodeId, JsonError> {
+        self.depth += 1;
+        if self.depth > crate::literal::MAX_PARSE_DEPTH {
+            return Err(JsonError::Parse {
+                at: self.pos,
+                message: crate::literal::depth_message(),
+            });
+        }
+        let out = self.value_inner(g);
+        self.depth -= 1;
+        out
+    }
+
+    fn value_inner(&mut self, g: &mut Graph) -> Result<NodeId, JsonError> {
         match self.peek() {
             Some('{') => {
                 self.expect('{')?;
@@ -243,7 +255,11 @@ impl<'a> P<'a> {
 /// Parse a JSON document into a fresh rooted graph.
 pub fn from_json(src: &str) -> Result<Graph, JsonError> {
     let mut g = Graph::new();
-    let mut p = P { src, pos: 0 };
+    let mut p = P {
+        src,
+        pos: 0,
+        depth: 0,
+    };
     let root = p.value(&mut g)?;
     p.skip_ws();
     if p.pos != src.len() {

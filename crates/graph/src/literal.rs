@@ -31,6 +31,20 @@ use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Maximum nesting depth accepted by the recursive-descent parsers
+/// (literal, JSON, XML). Deeper inputs get an SSD110 parse error instead
+/// of overflowing the stack.
+pub const MAX_PARSE_DEPTH: usize = 256;
+
+/// The SSD110 message used by all three parsers when input nests too deep.
+pub(crate) fn depth_message() -> String {
+    ssd_diag::Diagnostic::new(
+        ssd_diag::Code::ParseDepthExceeded,
+        format!("input nests deeper than {MAX_PARSE_DEPTH} levels"),
+    )
+    .headline()
+}
+
 /// Error from [`parse_tree`] / [`parse_graph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -50,11 +64,16 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0 }
+        Parser {
+            src,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -204,7 +223,9 @@ impl<'a> Parser<'a> {
                 Ok(LabelSpec::Value(self.number()?))
             }
             Some(c) if c.is_alphabetic() || c == '_' => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected label identifier");
+                };
                 match id.as_str() {
                     "true" => Ok(LabelSpec::Value(Value::Bool(true))),
                     "false" => Ok(LabelSpec::Value(Value::Bool(false))),
@@ -216,6 +237,16 @@ impl<'a> Parser<'a> {
     }
 
     fn tree(&mut self) -> Result<TreeSpec, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return self.err(depth_message());
+        }
+        let out = self.tree_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn tree_inner(&mut self) -> Result<TreeSpec, ParseError> {
         match self.peek() {
             Some('{') => self.node(),
             Some('@') => {
@@ -239,7 +270,9 @@ impl<'a> Parser<'a> {
                 // Bare identifier in tree position: true/false are atoms,
                 // anything else is an error (labels go on edges).
                 let save = self.pos;
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 match id.as_str() {
                     "true" => Ok(TreeSpec::Atom(Value::Bool(true))),
                     "false" => Ok(TreeSpec::Atom(Value::Bool(false))),

@@ -51,6 +51,7 @@ impl std::error::Error for XmlError {}
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
@@ -106,6 +107,19 @@ impl<'a> P<'a> {
 
     /// Parse one element, adding its edge under `parent`.
     fn element(&mut self, g: &mut Graph, parent: NodeId) -> Result<(), XmlError> {
+        self.depth += 1;
+        if self.depth > crate::literal::MAX_PARSE_DEPTH {
+            return Err(XmlError::Parse {
+                at: self.pos,
+                message: crate::literal::depth_message(),
+            });
+        }
+        let out = self.element_inner(g, parent);
+        self.depth -= 1;
+        out
+    }
+
+    fn element_inner(&mut self, g: &mut Graph, parent: NodeId) -> Result<(), XmlError> {
         // At '<'.
         self.pos += 1;
         let name = self.name()?;
@@ -211,7 +225,11 @@ fn escape(s: &str) -> String {
 /// graph root carries one edge named after the document element.
 pub fn from_xml(src: &str) -> Result<Graph, XmlError> {
     let mut g = Graph::new();
-    let mut p = P { src, pos: 0 };
+    let mut p = P {
+        src,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws_and_comments();
     // Optional XML declaration.
     if p.rest().starts_with("<?xml") {

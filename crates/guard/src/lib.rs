@@ -1,0 +1,646 @@
+//! Execution governance for the semistructured-data engine.
+//!
+//! Every query construct in the stack — regular path expressions over
+//! cyclic graphs, structural recursion, datalog fixpoints, DataGuide
+//! subset construction — can blow up without warning (DataGuides are
+//! exponential in the worst case). This crate provides the *runtime*
+//! counterpart to the static guarantees of `ssd-analyze`: a [`Budget`]
+//! describes limits (fuel, memory, deadline, depth, cancellation), a
+//! [`Guard`] enforces them from inside evaluation loops, and exhaustion
+//! surfaces as a structured [`Exhausted`] value carrying an SSD1xx
+//! diagnostic code instead of a hang, an OOM kill, or a panic.
+//!
+//! Design points:
+//!
+//! - **Deterministic fuel.** The primary limit is a step counter ticked at
+//!   every edge visit / binding / derivation, so the same query over the
+//!   same data exhausts at the same point on every run — unlike a pure
+//!   wall-clock timeout.
+//! - **Cheap when inactive.** An unlimited guard costs one branch per
+//!   tick; deadlines and cancellation flags are only polled every
+//!   [`CHECK_INTERVAL`] steps so `Instant::now()` and atomic loads stay
+//!   off the hot path.
+//! - **Graceful degradation.** In [`Budget::partial`] mode, exhaustion is
+//!   recorded on the guard and [`Guard::tick`] returns `Ok(false)`
+//!   ("stop, keep what you have") so evaluators can return a well-formed
+//!   partial result plus a truncation warning.
+//! - **Deterministic fault injection.** A budget can carry named fail
+//!   points ("fail on the Nth hit of site X"); evaluators call
+//!   [`Guard::fail_point`] at their seams. Tests use this to prove every
+//!   evaluator surfaces exhaustion at every seam, without process-global
+//!   state or cargo features.
+//!
+//! The guard uses interior mutability (`Cell`) so evaluators can share
+//! `&Guard` freely; it is intentionally **not** `Sync`. Only the
+//! [`CancelToken`] crosses threads.
+
+use ssd_diag::{Code, Diagnostic};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many ticks pass between deadline / cancellation polls.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// A shareable cooperative cancellation flag.
+///
+/// Clone it, hand one copy to another thread (or a signal handler), and
+/// attach the other to a [`Budget`]; evaluation stops promptly — at the
+/// next poll interval — after [`CancelToken::cancel`] is called.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why evaluation stopped early. Each variant maps to an SSD1xx code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exhausted {
+    /// The deterministic fuel counter ran out (SSD101).
+    Steps { limit: u64 },
+    /// The byte-accounted memory ceiling was reached (SSD102).
+    Memory { limit: u64 },
+    /// The wall-clock deadline passed (SSD103).
+    Deadline { timeout: Duration },
+    /// Recursion / derivation depth exceeded the limit (SSD104).
+    Depth { limit: usize },
+    /// The cancellation token was set (SSD105).
+    Cancelled,
+    /// A configured fault-injection point fired (SSD106).
+    Fault { site: String },
+}
+
+impl Exhausted {
+    /// The diagnostic code for this exhaustion kind.
+    pub fn code(&self) -> Code {
+        match self {
+            Exhausted::Steps { .. } => Code::StepLimitExceeded,
+            Exhausted::Memory { .. } => Code::MemoryLimitExceeded,
+            Exhausted::Deadline { .. } => Code::DeadlineExceeded,
+            Exhausted::Depth { .. } => Code::DepthLimitExceeded,
+            Exhausted::Cancelled => Code::Cancelled,
+            Exhausted::Fault { .. } => Code::FaultInjected,
+        }
+    }
+
+    /// Human-readable cause, without the code prefix.
+    pub fn message(&self) -> String {
+        match self {
+            Exhausted::Steps { limit } => {
+                format!("evaluation exceeded the step budget of {limit} step(s)")
+            }
+            Exhausted::Memory { limit } => {
+                format!("evaluation exceeded the memory budget of {limit} byte(s)")
+            }
+            Exhausted::Deadline { timeout } => {
+                format!("evaluation exceeded the deadline of {timeout:?}")
+            }
+            Exhausted::Depth { limit } => {
+                format!("evaluation exceeded the depth limit of {limit}")
+            }
+            Exhausted::Cancelled => "evaluation was cancelled".to_string(),
+            Exhausted::Fault { site } => {
+                format!("injected fault at '{site}' (testing only)")
+            }
+        }
+    }
+
+    /// As a full [`Diagnostic`] (no span: exhaustion is a runtime event,
+    /// not a source location).
+    pub fn diagnostic(&self) -> Diagnostic {
+        Diagnostic::new(self.code(), self.message())
+    }
+
+    /// The rendered one-line form, e.g.
+    /// `error[SSD101]: evaluation exceeded the step budget of 10 step(s)`.
+    pub fn headline(&self) -> String {
+        self.diagnostic().headline()
+    }
+}
+
+impl std::fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.headline())
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// Declarative resource limits for one evaluation. `Default` is
+/// unlimited; builder methods narrow it. Create a [`Guard`] with
+/// [`Budget::guard`] at the start of each evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Fuel: max edge-visits / bindings / derivations.
+    pub max_steps: Option<u64>,
+    /// Byte-accounted memory ceiling for evaluator-owned structures.
+    pub max_memory_bytes: Option<u64>,
+    /// Wall-clock deadline, measured from [`Budget::guard`].
+    pub timeout: Option<Duration>,
+    /// Max recursion / derivation depth.
+    pub max_depth: Option<usize>,
+    /// Graceful degradation: return partial results instead of an error.
+    pub partial: bool,
+    /// Cooperative cancellation flag.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection: (site, fail on Nth hit).
+    pub fail_points: Vec<(String, u64)>,
+}
+
+impl Budget {
+    /// No limits at all (same as `Budget::default()`).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Cap the deterministic step counter.
+    pub fn max_steps(mut self, steps: u64) -> Budget {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Cap evaluator-accounted memory, in bytes.
+    pub fn max_memory_bytes(mut self, bytes: u64) -> Budget {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Cap evaluator-accounted memory, in mebibytes.
+    pub fn max_memory_mb(self, mb: u64) -> Budget {
+        self.max_memory_bytes(mb.saturating_mul(1024 * 1024))
+    }
+
+    /// Set a wall-clock deadline.
+    pub fn timeout(mut self, d: Duration) -> Budget {
+        self.timeout = Some(d);
+        self
+    }
+
+    /// Cap recursion / derivation depth.
+    pub fn max_depth(mut self, depth: usize) -> Budget {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Ask for partial results instead of hard errors on exhaustion.
+    pub fn partial(mut self, yes: bool) -> Budget {
+        self.partial = yes;
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Inject a fault at the `nth` (1-based) hit of `site`.
+    pub fn fail_at(mut self, site: &str, nth: u64) -> Budget {
+        self.fail_points.push((site.to_string(), nth.max(1)));
+        self
+    }
+
+    /// Parse a `site=N,site=N` fault-point spec (the `SSD_FAILPOINTS`
+    /// environment format used by the CLI). Unparseable entries are
+    /// reported as `Err`.
+    pub fn fail_points_from_spec(mut self, spec: &str) -> Result<Budget, String> {
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            match entry.split_once('=') {
+                Some((site, n)) => {
+                    let nth: u64 = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fail point count in '{entry}'"))?;
+                    self.fail_points.push((site.trim().to_string(), nth.max(1)));
+                }
+                None => return Err(format!("bad fail point '{entry}' (want site=N)")),
+            }
+        }
+        Ok(self)
+    }
+
+    /// Does this budget constrain anything? Inactive budgets get the
+    /// one-branch-per-tick fast path.
+    pub fn is_active(&self) -> bool {
+        self.max_steps.is_some()
+            || self.max_memory_bytes.is_some()
+            || self.timeout.is_some()
+            || self.max_depth.is_some()
+            || self.cancel.is_some()
+            || !self.fail_points.is_empty()
+    }
+
+    /// Start enforcing this budget: the deadline clock starts now.
+    pub fn guard(&self) -> Guard {
+        Guard {
+            active: self.is_active(),
+            partial: self.partial,
+            max_steps: self.max_steps,
+            max_memory: self.max_memory_bytes,
+            max_depth: self.max_depth,
+            timeout: self.timeout,
+            deadline: self.timeout.map(|t| Instant::now() + t),
+            cancel: self.cancel.clone(),
+            steps: Cell::new(0),
+            memory: Cell::new(0),
+            fail_points: RefCell::new(self.fail_points.clone()),
+            truncation: RefCell::new(None),
+        }
+    }
+}
+
+/// Runtime enforcement state for one evaluation. Create with
+/// [`Budget::guard`]; share as `&Guard` (deliberately not `Sync`).
+#[derive(Debug)]
+pub struct Guard {
+    active: bool,
+    partial: bool,
+    max_steps: Option<u64>,
+    max_memory: Option<u64>,
+    max_depth: Option<usize>,
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    steps: Cell<u64>,
+    memory: Cell<u64>,
+    /// Remaining-hit countdowns per fault site; a site is removed once it
+    /// fires so injection is one-shot and deterministic.
+    fail_points: RefCell<Vec<(String, u64)>>,
+    /// Set when partial mode swallowed an exhaustion.
+    truncation: RefCell<Option<Exhausted>>,
+}
+
+impl Default for Guard {
+    fn default() -> Guard {
+        Budget::unlimited().guard()
+    }
+}
+
+impl Guard {
+    /// An unlimited guard — the cheap stand-in used by the infallible
+    /// wrapper APIs. Never reports exhaustion.
+    pub fn unlimited() -> Guard {
+        Guard::default()
+    }
+
+    /// Is any limit being enforced?
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Is graceful degradation on?
+    pub fn is_partial(&self) -> bool {
+        self.partial
+    }
+
+    /// Steps consumed so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Bytes accounted so far.
+    pub fn memory_used(&self) -> u64 {
+        self.memory.get()
+    }
+
+    /// If partial mode stopped an evaluation early, why.
+    pub fn truncation(&self) -> Option<Exhausted> {
+        self.truncation.borrow().clone()
+    }
+
+    /// Record a truncation cause (first one wins).
+    pub fn note_truncation(&self, why: Exhausted) {
+        let mut t = self.truncation.borrow_mut();
+        if t.is_none() {
+            *t = Some(why);
+        }
+    }
+
+    /// Resolve an exhaustion according to the degradation mode: in
+    /// partial mode it is recorded and `Ok(false)` ("stop, keep the
+    /// partial result") is returned; otherwise it is the error.
+    fn resolve(&self, why: Exhausted) -> Result<bool, Exhausted> {
+        if self.partial {
+            self.note_truncation(why);
+            Ok(false)
+        } else {
+            Err(why)
+        }
+    }
+
+    /// Consume `n` steps of fuel.
+    ///
+    /// Returns `Ok(true)` to continue, `Ok(false)` to stop and keep the
+    /// partial result (partial mode), or `Err` on exhaustion. Deadline
+    /// and cancellation are polled every [`CHECK_INTERVAL`] steps.
+    #[inline]
+    pub fn tick(&self, n: u64) -> Result<bool, Exhausted> {
+        if !self.active {
+            return Ok(true);
+        }
+        if self.truncation.borrow().is_some() {
+            // Already truncated: stay stopped.
+            return Ok(false);
+        }
+        let before = self.steps.get();
+        let now = before.saturating_add(n);
+        self.steps.set(now);
+        if let Some(limit) = self.max_steps {
+            if now > limit {
+                return self.resolve(Exhausted::Steps { limit });
+            }
+        }
+        // Poll the expensive checks once per interval (or on big jumps).
+        if before / CHECK_INTERVAL != now / CHECK_INTERVAL || before == 0 {
+            self.poll()?;
+            if self.truncation.borrow().is_some() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Poll deadline and cancellation immediately (fixpoint-round
+    /// boundaries call this for promptness regardless of tick count).
+    pub fn poll(&self) -> Result<(), Exhausted> {
+        if !self.active {
+            return Ok(());
+        }
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return self.resolve(Exhausted::Cancelled).map(|_| ());
+            }
+        }
+        if let (Some(deadline), Some(timeout)) = (self.deadline, self.timeout) {
+            if Instant::now() > deadline {
+                return self.resolve(Exhausted::Deadline { timeout }).map(|_| ());
+            }
+        }
+        Ok(())
+    }
+
+    /// Account `bytes` of evaluator-owned memory.
+    ///
+    /// Same contract as [`Guard::tick`]: `Ok(true)` continue, `Ok(false)`
+    /// stop-partial, `Err` exhausted.
+    #[inline]
+    pub fn alloc(&self, bytes: u64) -> Result<bool, Exhausted> {
+        if !self.active {
+            return Ok(true);
+        }
+        if self.truncation.borrow().is_some() {
+            return Ok(false);
+        }
+        let now = self.memory.get().saturating_add(bytes);
+        self.memory.set(now);
+        if let Some(limit) = self.max_memory {
+            if now > limit {
+                return self.resolve(Exhausted::Memory { limit });
+            }
+        }
+        Ok(true)
+    }
+
+    /// Check a recursion / derivation depth against the limit.
+    #[inline]
+    pub fn enter_depth(&self, depth: usize) -> Result<bool, Exhausted> {
+        if !self.active {
+            return Ok(true);
+        }
+        if self.truncation.borrow().is_some() {
+            return Ok(false);
+        }
+        if let Some(limit) = self.max_depth {
+            if depth > limit {
+                return self.resolve(Exhausted::Depth { limit });
+            }
+        }
+        Ok(true)
+    }
+
+    /// A named fault-injection seam. Counts hits of `site`; when a
+    /// configured countdown reaches zero the injected fault fires (once).
+    /// Free when no fault is configured for any site.
+    pub fn fail_point(&self, site: &str) -> Result<bool, Exhausted> {
+        if !self.active {
+            return Ok(true);
+        }
+        if self.truncation.borrow().is_some() {
+            return Ok(false);
+        }
+        if self.fail_points.borrow().is_empty() {
+            return Ok(true);
+        }
+        let mut fire = false;
+        {
+            let mut points = self.fail_points.borrow_mut();
+            if let Some(i) = points.iter().position(|(s, _)| s == site) {
+                points[i].1 -= 1;
+                if points[i].1 == 0 {
+                    points.remove(i);
+                    fire = true;
+                }
+            }
+        }
+        if fire {
+            return self.resolve(Exhausted::Fault {
+                site: site.to_string(),
+            });
+        }
+        Ok(true)
+    }
+
+    /// Convenience for evaluators that cannot produce partial results
+    /// (e.g. single-answer lookups): like [`Guard::tick`] but partial
+    /// mode also surfaces the error.
+    pub fn tick_hard(&self, n: u64) -> Result<(), Exhausted> {
+        match self.tick(n) {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(self.truncation().unwrap_or(Exhausted::Steps { limit: 0 })),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_stops() {
+        let g = Guard::unlimited();
+        for _ in 0..10_000 {
+            assert_eq!(g.tick(1), Ok(true));
+        }
+        assert_eq!(g.alloc(u64::MAX), Ok(true));
+        assert_eq!(g.enter_depth(usize::MAX), Ok(true));
+        assert_eq!(g.fail_point("anything"), Ok(true));
+        assert!(g.poll().is_ok());
+        // Inactive guards do not even count.
+        assert_eq!(g.steps_used(), 0);
+    }
+
+    #[test]
+    fn step_budget_is_deterministic() {
+        for _ in 0..3 {
+            let g = Budget::unlimited().max_steps(10).guard();
+            let mut survived = 0;
+            for _ in 0..100 {
+                match g.tick(1) {
+                    Ok(true) => survived += 1,
+                    Ok(false) => unreachable!("not partial"),
+                    Err(e) => {
+                        assert_eq!(e, Exhausted::Steps { limit: 10 });
+                        break;
+                    }
+                }
+            }
+            assert_eq!(survived, 10);
+        }
+    }
+
+    #[test]
+    fn memory_budget_trips() {
+        let g = Budget::unlimited().max_memory_bytes(100).guard();
+        assert_eq!(g.alloc(60), Ok(true));
+        assert_eq!(g.alloc(60), Err(Exhausted::Memory { limit: 100 }));
+    }
+
+    #[test]
+    fn mb_helper_scales() {
+        let b = Budget::unlimited().max_memory_mb(2);
+        assert_eq!(b.max_memory_bytes, Some(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn depth_limit_trips() {
+        let g = Budget::unlimited().max_depth(3).guard();
+        assert_eq!(g.enter_depth(3), Ok(true));
+        assert_eq!(g.enter_depth(4), Err(Exhausted::Depth { limit: 3 }));
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let g = Budget::unlimited()
+            .timeout(Duration::from_millis(0))
+            .guard();
+        std::thread::sleep(Duration::from_millis(2));
+        // The first tick polls immediately.
+        assert!(matches!(g.tick(1), Err(Exhausted::Deadline { .. })));
+    }
+
+    #[test]
+    fn cancellation_observed_at_poll() {
+        let token = CancelToken::new();
+        let g = Budget::unlimited().cancel_token(token.clone()).guard();
+        assert_eq!(g.tick(1), Ok(true));
+        token.cancel();
+        assert_eq!(g.poll(), Err(Exhausted::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_observed_within_interval() {
+        let token = CancelToken::new();
+        let g = Budget::unlimited().cancel_token(token.clone()).guard();
+        token.cancel();
+        let mut stopped_at = None;
+        for i in 0..(2 * CHECK_INTERVAL) {
+            if g.tick(1).is_err() {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        let at = stopped_at.expect("cancellation must be seen within one interval");
+        assert!(at <= CHECK_INTERVAL, "seen at {at}");
+    }
+
+    #[test]
+    fn partial_mode_records_truncation_and_stays_stopped() {
+        let g = Budget::unlimited().max_steps(5).partial(true).guard();
+        let mut continues = 0;
+        for _ in 0..20 {
+            match g.tick(1) {
+                Ok(true) => continues += 1,
+                Ok(false) => {}
+                Err(e) => panic!("partial mode must not error, got {e}"),
+            }
+        }
+        assert_eq!(continues, 5);
+        assert_eq!(g.truncation(), Some(Exhausted::Steps { limit: 5 }));
+        // Once truncated, every facility reports "stop".
+        assert_eq!(g.alloc(1), Ok(false));
+        assert_eq!(g.enter_depth(1), Ok(false));
+        assert_eq!(g.fail_point("x"), Ok(false));
+    }
+
+    #[test]
+    fn fail_point_fires_on_nth_hit_once() {
+        let g = Budget::unlimited().fail_at("seam", 3).guard();
+        assert_eq!(g.fail_point("seam"), Ok(true));
+        assert_eq!(g.fail_point("other"), Ok(true));
+        assert_eq!(g.fail_point("seam"), Ok(true));
+        assert_eq!(
+            g.fail_point("seam"),
+            Err(Exhausted::Fault {
+                site: "seam".into()
+            })
+        );
+        // One-shot: the site is disarmed after firing.
+        assert_eq!(g.fail_point("seam"), Ok(true));
+    }
+
+    #[test]
+    fn fail_point_spec_parses() {
+        let b = Budget::unlimited()
+            .fail_points_from_spec("a=1, b=20")
+            .unwrap();
+        assert_eq!(b.fail_points, vec![("a".into(), 1), ("b".into(), 20)]);
+        assert!(Budget::unlimited().fail_points_from_spec("nope").is_err());
+        assert!(Budget::unlimited().fail_points_from_spec("a=x").is_err());
+        assert!(Budget::unlimited().fail_points_from_spec("").is_ok());
+    }
+
+    #[test]
+    fn exhausted_headlines_carry_codes() {
+        assert!(Exhausted::Steps { limit: 1 }
+            .headline()
+            .contains("error[SSD101]"));
+        assert!(Exhausted::Memory { limit: 1 }
+            .headline()
+            .contains("error[SSD102]"));
+        assert!(Exhausted::Deadline {
+            timeout: Duration::from_secs(1)
+        }
+        .headline()
+        .contains("error[SSD103]"));
+        assert!(Exhausted::Depth { limit: 1 }
+            .headline()
+            .contains("error[SSD104]"));
+        assert!(Exhausted::Cancelled.headline().contains("error[SSD105]"));
+        assert!(Exhausted::Fault { site: "s".into() }
+            .headline()
+            .contains("error[SSD106]"));
+    }
+
+    #[test]
+    fn tick_hard_surfaces_partial_exhaustion() {
+        let g = Budget::unlimited().max_steps(1).partial(true).guard();
+        assert!(g.tick_hard(1).is_ok());
+        assert!(matches!(g.tick_hard(1), Err(Exhausted::Steps { .. })));
+    }
+}

@@ -14,11 +14,28 @@
 //! nothing).
 
 use super::ast::{CmpOp, Cond, Construct, Expr, LabelExpr, SelectQuery, Source};
-use crate::rpe::{eval_rpe, Nfa, Rpe};
+use crate::rpe::eval::{eval_nfa_guarded, eval_rpe_guarded};
+use crate::rpe::{Nfa, Rpe};
+use ssd_diag::{Code, Diagnostic};
 use ssd_graph::ops::copy_subgraph;
 use ssd_graph::{Graph, Label, LabelKind, NodeId, Value};
+use ssd_guard::{Exhausted, Guard};
 use ssd_schema::DataGuide;
 use std::collections::HashMap;
+
+/// Fault-injection seam: hit once per binding evaluated by the
+/// nested-loop enumerator.
+pub const FP_SELECT_BINDING: &str = "select.binding";
+
+/// Approximate bytes one constructed result tree costs.
+const CONSTRUCT_COST: u64 = 128;
+
+/// Exhaustion flows through the evaluator's existing `Result<_, String>`
+/// error channel as a rendered headline, exactly like the analyzer gate's
+/// SSD0xx refusals.
+fn exh(e: Exhausted) -> String {
+    e.headline()
+}
 
 /// A bound value: a tree node or an edge label.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +59,8 @@ pub struct EvalOptions<'a> {
     /// deterministic) guide and unioning target sets returns precisely
     /// the data matches — the path-index payoff of §4/\[22\].
     pub guide: Option<&'a DataGuide>,
+    /// Resource guard enforced during evaluation (`None` = unlimited).
+    pub guard: Option<&'a Guard>,
 }
 
 impl<'a> EvalOptions<'a> {
@@ -51,7 +70,15 @@ impl<'a> EvalOptions<'a> {
             pushdown: true,
             simplify_rpe: true,
             guide,
+            guard: None,
         }
+    }
+
+    /// The same options with a resource guard attached.
+    #[must_use]
+    pub fn with_guard(mut self, guard: &'a Guard) -> EvalOptions<'a> {
+        self.guard = Some(guard);
+        self
     }
 }
 
@@ -69,6 +96,10 @@ pub struct EvalStats {
     /// Analyzer warnings surfaced by the pre-evaluation gate (headline
     /// form). Errors refuse evaluation instead of landing here.
     pub warnings: Vec<String>,
+    /// Set when partial-results mode stopped evaluation early: the
+    /// headline of the exhaustion that caused the truncation. The result
+    /// graph is still well-formed, just incomplete.
+    pub truncated: Option<String>,
 }
 
 /// Evaluate `query` against `g`, returning the result graph (rooted at the
@@ -94,6 +125,8 @@ pub fn evaluate_select(
             .collect();
         return Err(errors.join("; "));
     }
+    let unlimited = Guard::unlimited();
+    let guard = opts.guard.unwrap_or(&unlimited);
     let mut result = Graph::with_symbols(g.symbols_handle());
     let mut stats = EvalStats {
         warnings: analysis
@@ -138,7 +171,9 @@ pub fn evaluate_select(
                     Some((prefix, step)) => {
                         // The prefix must be non-empty somewhere, and the
                         // final step must match some guide edge.
-                        let mids = eval_rpe(guide.graph(), guide.graph().root(), &prefix);
+                        let mids =
+                            eval_rpe_guarded(guide.graph(), guide.graph().root(), &prefix, guard)
+                                .map_err(exh)?;
                         mids.iter().any(|&m| {
                             guide
                                 .graph()
@@ -147,7 +182,9 @@ pub fn evaluate_select(
                                 .any(|e| step.matches(&e.label, guide.graph().symbols()))
                         })
                     }
-                    None => !eval_rpe(guide.graph(), guide.graph().root(), &path).is_empty(),
+                    None => !eval_rpe_guarded(guide.graph(), guide.graph().root(), &path, guard)
+                        .map_err(exh)?
+                        .is_empty(),
                 };
                 if !probe {
                     stats.guide_pruned += 1;
@@ -196,6 +233,7 @@ pub fn evaluate_select(
         &conjuncts,
         &bound_after,
         opts,
+        guard,
         0,
         &mut env,
         &mut result,
@@ -204,7 +242,23 @@ pub fn evaluate_select(
         &mut stats,
     )?;
     result.gc();
+    note_truncation(guard, &mut stats);
     Ok((result, stats))
+}
+
+/// In partial mode, surface the guard's recorded truncation as an SSD107
+/// warning plus [`EvalStats::truncated`].
+fn note_truncation(guard: &Guard, stats: &mut EvalStats) {
+    if let Some(why) = guard.truncation() {
+        stats.truncated = Some(why.headline());
+        stats.warnings.push(
+            Diagnostic::new(
+                Code::TruncatedResult,
+                format!("result truncated: {}", why.message()),
+            )
+            .headline(),
+        );
+    }
 }
 
 /// Evaluate `query` with its *first* binding's variable pre-bound to
@@ -224,6 +278,8 @@ pub fn evaluate_select_seeded(
     if query.bindings.is_empty() {
         return Err("seeded evaluation requires at least one binding".into());
     }
+    let unlimited = Guard::unlimited();
+    let guard = opts.guard.unwrap_or(&unlimited);
     let mut result = Graph::with_symbols(g.symbols_handle());
     let mut stats = EvalStats::default();
     let compiled: Vec<(Option<(Rpe, crate::rpe::ast::Step)>, Nfa)> = query
@@ -271,7 +327,7 @@ pub fn evaluate_select_seeded(
     // Conjuncts bound by binding 0 are checked up front under pushdown.
     if opts.pushdown {
         for (ci, c) in conjuncts.iter().enumerate() {
-            if bound_after[ci] == 1 && !eval_cond(g, c, &env, &mut stats)? {
+            if bound_after[ci] == 1 && !eval_cond(g, c, &env, guard, &mut stats)? {
                 result.gc();
                 return Ok((result, stats));
             }
@@ -286,6 +342,7 @@ pub fn evaluate_select_seeded(
         &conjuncts,
         &bound_after,
         opts,
+        guard,
         1, // skip binding 0: it is seeded
         &mut env,
         &mut result,
@@ -294,6 +351,7 @@ pub fn evaluate_select_seeded(
         &mut stats,
     )?;
     result.gc();
+    note_truncation(guard, &mut stats);
     Ok((result, stats))
 }
 
@@ -305,6 +363,7 @@ fn enumerate(
     conjuncts: &[&Cond],
     bound_after: &[usize],
     opts: &EvalOptions<'_>,
+    guard: &Guard,
     depth: usize,
     env: &mut HashMap<String, BindVal>,
     result: &mut Graph,
@@ -312,16 +371,22 @@ fn enumerate(
     copy_memo: &mut HashMap<NodeId, NodeId>,
     stats: &mut EvalStats,
 ) -> Result<(), String> {
+    if !(guard.tick(1).map_err(exh)? && guard.enter_depth(depth).map_err(exh)?) {
+        return Ok(());
+    }
     if depth == query.bindings.len() {
         stats.assignments_tried += 1;
         // Residual conditions (all, if no pushdown; none, if pushdown got
         // them all).
         if !opts.pushdown {
             for c in conjuncts {
-                if !eval_cond(g, c, env, stats)? {
+                if !eval_cond(g, c, env, guard, stats)? {
                     return Ok(());
                 }
             }
+        }
+        if !guard.alloc(CONSTRUCT_COST).map_err(exh)? {
+            return Ok(());
         }
         stats.results_constructed += 1;
         let edges = construct_edges(g, &query.construct, env, result, atom_leaf, copy_memo)?;
@@ -329,6 +394,9 @@ fn enumerate(
         for (label, to) in edges {
             result.add_edge(root, label, to);
         }
+        return Ok(());
+    }
+    if !guard.fail_point(FP_SELECT_BINDING).map_err(exh)? {
         return Ok(());
     }
     let binding = &query.bindings[depth];
@@ -348,7 +416,8 @@ fn enumerate(
     // from the DataGuide (see `EvalOptions::guide`).
     let guide_mids: Option<Vec<NodeId>> = match (&binding.source, opts.guide) {
         (Source::Db, Some(guide)) => {
-            let guide_nodes = crate::rpe::eval::eval_nfa(guide.graph(), guide.graph().root(), nfa);
+            let guide_nodes =
+                eval_nfa_guarded(guide.graph(), guide.graph().root(), nfa, guard).map_err(exh)?;
             let mut mids: Vec<NodeId> = guide_nodes
                 .into_iter()
                 .flat_map(|gn| guide.targets(gn).iter().copied())
@@ -363,11 +432,14 @@ fn enumerate(
         Some((_, step)) => {
             let mids = match guide_mids {
                 Some(m) => m,
-                None => crate::rpe::eval::eval_nfa(g, start, nfa),
+                None => eval_nfa_guarded(g, start, nfa, guard).map_err(exh)?,
             };
             let mut out = Vec::new();
-            for mid in mids {
+            'scan: for mid in mids {
                 for e in g.edges(mid) {
+                    if !guard.tick(1).map_err(exh)? {
+                        break 'scan;
+                    }
                     if step.matches(&e.label, g.symbols()) {
                         out.push((Some(e.label.clone()), e.to));
                     }
@@ -379,7 +451,8 @@ fn enumerate(
         }
         None => match guide_mids {
             Some(m) => m.into_iter().map(|n| (None, n)).collect(),
-            None => crate::rpe::eval::eval_nfa(g, start, nfa)
+            None => eval_nfa_guarded(g, start, nfa, guard)
+                .map_err(exh)?
                 .into_iter()
                 .map(|n| (None, n))
                 .collect(),
@@ -395,7 +468,7 @@ fn enumerate(
         let mut ok = true;
         if opts.pushdown {
             for (ci, c) in conjuncts.iter().enumerate() {
-                if bound_after[ci] == depth + 1 && !eval_cond(g, c, env, stats)? {
+                if bound_after[ci] == depth + 1 && !eval_cond(g, c, env, guard, stats)? {
                     ok = false;
                     break;
                 }
@@ -409,6 +482,7 @@ fn enumerate(
                 conjuncts,
                 bound_after,
                 opts,
+                guard,
                 depth + 1,
                 env,
                 result,
@@ -552,6 +626,7 @@ fn eval_cond(
     g: &Graph,
     c: &Cond,
     env: &HashMap<String, BindVal>,
+    guard: &Guard,
     stats: &mut EvalStats,
 ) -> Result<bool, String> {
     match c {
@@ -595,14 +670,20 @@ fn eval_cond(
         Cond::Exists(v, path) => match env.get(v) {
             Some(BindVal::Tree(n)) => {
                 stats.rpe_evals += 1;
-                Ok(!eval_rpe(g, *n, path).is_empty())
+                Ok(!eval_rpe_guarded(g, *n, path, guard)
+                    .map_err(exh)?
+                    .is_empty())
             }
             Some(BindVal::Label(_)) => Err(format!("{v} is a label, not a tree")),
             None => Err(format!("unbound variable {v}")),
         },
-        Cond::Not(inner) => Ok(!eval_cond(g, inner, env, stats)?),
-        Cond::And(a, b) => Ok(eval_cond(g, a, env, stats)? && eval_cond(g, b, env, stats)?),
-        Cond::Or(a, b) => Ok(eval_cond(g, a, env, stats)? || eval_cond(g, b, env, stats)?),
+        Cond::Not(inner) => Ok(!eval_cond(g, inner, env, guard, stats)?),
+        Cond::And(a, b) => {
+            Ok(eval_cond(g, a, env, guard, stats)? && eval_cond(g, b, env, guard, stats)?)
+        }
+        Cond::Or(a, b) => {
+            Ok(eval_cond(g, a, env, guard, stats)? || eval_cond(g, b, env, guard, stats)?)
+        }
     }
 }
 
@@ -853,6 +934,7 @@ mod tests {
                 pushdown: true,
                 simplify_rpe: true,
                 guide: None,
+                guard: None,
             },
         )
         .unwrap();
@@ -873,6 +955,7 @@ mod tests {
                 pushdown: false,
                 simplify_rpe: false,
                 guide: Some(&guide),
+                guard: None,
             },
         )
         .unwrap();

@@ -72,6 +72,7 @@ pub fn parse_query_spanned(src: &str) -> Result<(SelectQuery, QuerySpans), Query
         last_end: 0,
         spans: QuerySpans::default(),
         pending_label_vars: Vec::new(),
+        depth: 0,
     };
     let q = p.query()?;
     p.skip_ws();
@@ -91,6 +92,33 @@ struct P<'a> {
     /// Label variables seen while parsing the current path, drained into
     /// the enclosing binding's (or exists condition's) span record.
     pending_label_vars: Vec<(String, Span)>,
+    /// Current recursive-descent depth, bounded by
+    /// [`ssd_graph::literal::MAX_PARSE_DEPTH`].
+    depth: usize,
+}
+
+/// RAII-free depth bump shared by the recursive productions: call at the
+/// top of each recursion point, pair with `depth -= 1` on exit.
+macro_rules! bounded {
+    ($self:ident, $body:expr) => {{
+        $self.depth += 1;
+        if $self.depth > ssd_graph::literal::MAX_PARSE_DEPTH {
+            return Err(QueryParseError {
+                at: $self.pos,
+                message: ssd_diag::Diagnostic::new(
+                    ssd_diag::Code::ParseDepthExceeded,
+                    format!(
+                        "query nests deeper than {} levels",
+                        ssd_graph::literal::MAX_PARSE_DEPTH
+                    ),
+                )
+                .headline(),
+            });
+        }
+        let out = $body;
+        $self.depth -= 1;
+        out
+    }};
 }
 
 impl<'a> P<'a> {
@@ -370,6 +398,10 @@ impl<'a> P<'a> {
     }
 
     fn primary(&mut self) -> Result<Rpe, QueryParseError> {
+        bounded!(self, self.primary_inner())
+    }
+
+    fn primary_inner(&mut self) -> Result<Rpe, QueryParseError> {
         match self.peek() {
             Some('%') => {
                 self.expect('%')?;
@@ -430,7 +462,9 @@ impl<'a> P<'a> {
                 }))
             }
             Some(c) if c.is_alphabetic() || c == '_' => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 if KEYWORDS.contains(&id.as_str()) {
                     return self.err(format!("keyword '{id}' cannot be a path step"));
                 }
@@ -441,6 +475,10 @@ impl<'a> P<'a> {
     }
 
     fn construct(&mut self) -> Result<Construct, QueryParseError> {
+        bounded!(self, self.construct_inner())
+    }
+
+    fn construct_inner(&mut self) -> Result<Construct, QueryParseError> {
         match self.peek() {
             Some('{') => {
                 self.expect('{')?;
@@ -464,7 +502,9 @@ impl<'a> P<'a> {
             Some('"') => Ok(Construct::Atom(Value::Str(self.string_lit()?))),
             Some(c) if c.is_ascii_digit() || c == '-' => Ok(Construct::Atom(self.number()?)),
             Some(c) if c.is_alphabetic() || c == '_' => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 match id.as_str() {
                     "true" => Ok(Construct::Atom(Value::Bool(true))),
                     "false" => Ok(Construct::Atom(Value::Bool(false))),
@@ -505,7 +545,9 @@ impl<'a> P<'a> {
             Some('"') => Ok(LabelExpr::Value(Value::Str(self.string_lit()?))),
             Some(c) if c.is_ascii_digit() || c == '-' => Ok(LabelExpr::Value(self.number()?)),
             Some(c) if c.is_alphabetic() || c == '_' => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 Ok(LabelExpr::Symbol(id))
             }
             _ => self.err("expected label"),
@@ -531,6 +573,10 @@ impl<'a> P<'a> {
     }
 
     fn cond_unary(&mut self) -> Result<Cond, QueryParseError> {
+        bounded!(self, self.cond_unary_inner())
+    }
+
+    fn cond_unary_inner(&mut self) -> Result<Cond, QueryParseError> {
         if self.keyword("not") {
             return Ok(Cond::Not(Box::new(self.cond_unary()?)));
         }
@@ -619,7 +665,9 @@ impl<'a> P<'a> {
             Some('"') => Ok(Expr::Const(Value::Str(self.string_lit()?))),
             Some(c) if c.is_ascii_digit() || c == '-' => Ok(Expr::Const(self.number()?)),
             Some(c) if c.is_alphabetic() || c == '_' => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 match id.as_str() {
                     "true" => Ok(Expr::Const(Value::Bool(true))),
                     "false" => Ok(Expr::Const(Value::Bool(false))),

@@ -51,7 +51,11 @@ impl std::error::Error for RewriteParseError {}
 
 /// Parse the `rewrite` surface syntax into a transducer.
 pub fn parse_rewrite(src: &str) -> Result<Transducer, RewriteParseError> {
-    let mut p = P { src, pos: 0 };
+    let mut p = P {
+        src,
+        pos: 0,
+        depth: 0,
+    };
     p.expect_keyword("rewrite")?;
     let mut t = Transducer::new();
     loop {
@@ -79,9 +83,28 @@ pub fn parse_rewrite(src: &str) -> Result<Transducer, RewriteParseError> {
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
+    fn bump_depth(&mut self) -> Result<(), RewriteParseError> {
+        self.depth += 1;
+        if self.depth > ssd_graph::literal::MAX_PARSE_DEPTH {
+            return Err(RewriteParseError {
+                at: self.pos,
+                message: ssd_diag::Diagnostic::new(
+                    ssd_diag::Code::ParseDepthExceeded,
+                    format!(
+                        "transducer nests deeper than {} levels",
+                        ssd_graph::literal::MAX_PARSE_DEPTH
+                    ),
+                )
+                .headline(),
+            });
+        }
+        Ok(())
+    }
+
     fn err<T>(&self, message: impl Into<String>) -> Result<T, RewriteParseError> {
         Err(RewriteParseError {
             at: self.pos,
@@ -251,14 +274,25 @@ impl<'a> P<'a> {
         while self.eat('|') {
             alts.push(self.pred_atom()?);
         }
-        Ok(if alts.len() == 1 {
-            alts.pop().expect("one")
-        } else {
-            Pred::Or(alts)
+        Ok(match (alts.len(), alts.pop()) {
+            (1, Some(only)) => only,
+            (_, Some(last)) => {
+                alts.push(last);
+                Pred::Or(alts)
+            }
+            // Unreachable: alts starts with one element.
+            (_, None) => Pred::Any,
         })
     }
 
     fn pred_atom(&mut self) -> Result<Pred, RewriteParseError> {
+        self.bump_depth()?;
+        let out = self.pred_atom_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn pred_atom_inner(&mut self) -> Result<Pred, RewriteParseError> {
         match self.peek() {
             Some('%') => {
                 self.expect('%')?;
@@ -291,7 +325,9 @@ impl<'a> P<'a> {
             Some('"') => Ok(Pred::ValueEq(Value::Str(self.string_lit()?))),
             Some(c) if c.is_ascii_digit() || c == '-' => Ok(Pred::ValueEq(self.number()?)),
             Some(c) if c.is_alphabetic() || c == '_' => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 match id.as_str() {
                     "true" => Ok(Pred::ValueEq(Value::Bool(true))),
                     "false" => Ok(Pred::ValueEq(Value::Bool(false))),
@@ -347,7 +383,9 @@ impl<'a> P<'a> {
             Some('"') => Ok(TLabel::Value(Value::Str(self.string_lit()?))),
             Some(c) if c.is_ascii_digit() || c == '-' => Ok(TLabel::Value(self.number()?)),
             Some(c) if c.is_alphabetic() => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 match id.as_str() {
                     "true" => Ok(TLabel::Value(Value::Bool(true))),
                     "false" => Ok(TLabel::Value(Value::Bool(false))),
@@ -359,6 +397,13 @@ impl<'a> P<'a> {
     }
 
     fn ttree(&mut self) -> Result<TTree, RewriteParseError> {
+        self.bump_depth()?;
+        let out = self.ttree_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn ttree_inner(&mut self) -> Result<TTree, RewriteParseError> {
         match self.peek() {
             Some('{') => {
                 let entries = self.tentries()?;
@@ -371,7 +416,9 @@ impl<'a> P<'a> {
             Some('"') => Ok(TTree::Atom(Value::Str(self.string_lit()?))),
             Some(c) if c.is_ascii_digit() || c == '-' => Ok(TTree::Atom(self.number()?)),
             Some(c) if c.is_alphabetic() => {
-                let id = self.ident().expect("peeked alphabetic");
+                let Some(id) = self.ident() else {
+                    return self.err("expected identifier");
+                };
                 match id.as_str() {
                     "recur" => Ok(TTree::Recur),
                     "keep" => Ok(TTree::Keep),

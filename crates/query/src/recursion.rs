@@ -23,8 +23,15 @@
 
 use ssd_graph::ops::copy_subgraph;
 use ssd_graph::{Graph, Label, NodeId, Value};
+use ssd_guard::{Exhausted, Guard};
 use ssd_schema::Pred;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Fault-injection seam: hit once per input node processed by `gext`.
+pub const FP_GEXT_NODE: &str = "recursion.node";
+
+/// Approximate bytes one ε-graph node costs.
+const EPS_NODE_COST: u64 = 64;
 
 /// A label position in a template.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,6 +246,23 @@ impl<'g> GextState<'g> {
 /// `root`, unioning contributions per node. Total on cyclic inputs; the
 /// output of a cyclic input is cyclic (never infinite).
 pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
+    // An unlimited guard never reports exhaustion.
+    match gext_guarded(g, root, t, &Guard::unlimited()) {
+        Ok(out) => out,
+        Err(_) => Graph::with_symbols(g.symbols_handle()),
+    }
+}
+
+/// As [`gext`], under a resource [`Guard`]: fuel is ticked per input node
+/// and per edge processed (main pass and ε-elimination), memory accounted
+/// per ε-graph node. In partial mode exhaustion yields the transformation
+/// of the subgraph visited so far — still a well-formed graph.
+pub fn gext_guarded(
+    g: &Graph,
+    root: NodeId,
+    t: &Transducer,
+    guard: &Guard,
+) -> Result<Graph, Exhausted> {
     let mut st = GextState {
         g,
         eps: EpsGraph::new(),
@@ -248,14 +272,25 @@ pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
     };
     let root_out = st.out_node(root);
     let mut processed: HashSet<NodeId> = HashSet::new();
-    while let Some(n) = st.queue.pop_front() {
+    'main: while let Some(n) = st.queue.pop_front() {
         if !processed.insert(n) {
             continue;
         }
+        if !(guard.tick(1)? && guard.fail_point(FP_GEXT_NODE)?) {
+            break 'main;
+        }
         let out_n = st.out_of[&n];
+        let eps_before = st.eps.edges.len();
         for e in g.edges(n).to_vec() {
+            if !guard.tick(1)? {
+                break 'main;
+            }
             let template = t.template_for(&e.label, g).clone();
             st.apply_template(&template, &e.label, e.to, out_n);
+        }
+        let grown = (st.eps.edges.len() - eps_before) as u64;
+        if !guard.alloc(grown * EPS_NODE_COST)? {
+            break 'main;
         }
     }
 
@@ -284,9 +319,12 @@ pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
             node_map.push(result.add_node());
         }
     }
-    for i in 0..eps.edges.len() {
+    'elim: for i in 0..eps.edges.len() {
         let from = node_map[i];
         for c in closure(i) {
+            if !guard.tick(1)? {
+                break 'elim;
+            }
             for (l, to) in &eps.edges[c] {
                 if let Some(label) = l {
                     result.add_edge(from, label.clone(), node_map[*to]);
@@ -296,6 +334,9 @@ pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
     }
     // Materialise Keep copies.
     for (eps_node, src) in st.keeps {
+        if !guard.tick(1)? {
+            break;
+        }
         let copied = copy_subgraph(g, src, &mut result);
         let edges = result.edges(copied).to_vec();
         let target = node_map[eps_node];
@@ -304,7 +345,7 @@ pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
         }
     }
     result.gc();
-    result
+    Ok(result)
 }
 
 /// Horizontal structural recursion (`ext`): apply the transducer to the
@@ -312,9 +353,27 @@ pub fn gext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
 /// and `Collapse` splices the target's original edge set. This is the
 /// fixed-depth "computation across the edges of a given node".
 pub fn ext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
+    // An unlimited guard never reports exhaustion.
+    match ext_guarded(g, root, t, &Guard::unlimited()) {
+        Ok(out) => out,
+        Err(_) => Graph::with_symbols(g.symbols_handle()),
+    }
+}
+
+/// As [`ext`], under a resource [`Guard`]: fuel is ticked per top-level
+/// edge. In partial mode exhaustion yields the edges transformed so far.
+pub fn ext_guarded(
+    g: &Graph,
+    root: NodeId,
+    t: &Transducer,
+    guard: &Guard,
+) -> Result<Graph, Exhausted> {
     let mut result = Graph::with_symbols(g.symbols_handle());
     let out_root = result.root();
     for e in g.edges(root).to_vec() {
+        if !guard.tick(1)? {
+            break;
+        }
         let template = t.template_for(&e.label, g).clone();
         match template {
             EdgeTemplate::Delete => {}
@@ -338,7 +397,7 @@ pub fn ext(g: &Graph, root: NodeId, t: &Transducer) -> Graph {
         }
     }
     result.gc();
-    result
+    Ok(result)
 }
 
 fn build_shallow_tree(

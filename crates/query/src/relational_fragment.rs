@@ -176,7 +176,7 @@ pub fn join(
         .columns
         .iter()
         .position(|c| c == left_col)
-        .expect("checked");
+        .ok_or_else(|| FragmentError::UnknownColumn(left_col.to_owned()))?;
     let text = format!(
         "select {{tup: {{{fields}}}}} from {bindings} where L{lj} = RJ",
         fields = fields.join(", "),
@@ -236,11 +236,14 @@ pub fn difference_native(
 
 /// Oracle: σ on rows.
 pub fn native_select_eq(rel: &NamedRelation, col: &str, v: &Value) -> NamedRelation {
-    let i = rel.columns.iter().position(|c| c == col).expect("column");
     let mut out = NamedRelation::new(
         &rel.name,
         &rel.columns.iter().map(String::as_str).collect::<Vec<_>>(),
     );
+    // An unknown column selects nothing rather than panicking.
+    let Some(i) = rel.columns.iter().position(|c| c == col) else {
+        return out;
+    };
     for row in &rel.row_set() {
         if &row[i] == v {
             out.push(row.clone());
@@ -249,11 +252,11 @@ pub fn native_select_eq(rel: &NamedRelation, col: &str, v: &Value) -> NamedRelat
     out
 }
 
-/// Oracle: π on rows.
+/// Oracle: π on rows. Unknown columns are ignored.
 pub fn native_project(rel: &NamedRelation, keep: &[&str]) -> NamedRelation {
     let idx: Vec<usize> = keep
         .iter()
-        .map(|c| rel.columns.iter().position(|rc| rc == c).expect("column"))
+        .filter_map(|c| rel.columns.iter().position(|rc| rc == c))
         .collect();
     let mut out = NamedRelation::new(&rel.name, keep);
     let mut seen = BTreeSet::new();
@@ -273,16 +276,15 @@ pub fn native_join(
     left_col: &str,
     right_col: &str,
 ) -> NamedRelation {
-    let li = left
-        .columns
-        .iter()
-        .position(|c| c == left_col)
-        .expect("col");
-    let ri = right
-        .columns
-        .iter()
-        .position(|c| c == right_col)
-        .expect("col");
+    // Unknown join columns produce an empty join rather than panicking.
+    let cols = (
+        left.columns.iter().position(|c| c == left_col),
+        right.columns.iter().position(|c| c == right_col),
+    );
+    let (li, ri) = match cols {
+        (Some(li), Some(ri)) => (li, ri),
+        _ => (0, 0),
+    };
     let mut out_cols: Vec<String> = left.columns.clone();
     for (i, c) in right.columns.iter().enumerate() {
         if i == ri {
@@ -298,6 +300,9 @@ pub fn native_join(
         "joined",
         &out_cols.iter().map(String::as_str).collect::<Vec<_>>(),
     );
+    if matches!(cols, (None, _) | (_, None)) {
+        return out;
+    }
     for l in &left.row_set() {
         for r in &right.row_set() {
             if l[li] == r[ri] {

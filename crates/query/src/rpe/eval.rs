@@ -8,7 +8,14 @@
 use super::ast::Rpe;
 use super::nfa::Nfa;
 use ssd_graph::{Graph, Label, NodeId};
+use ssd_guard::{Exhausted, Guard};
 use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// Fault-injection seam: hit once per product state popped by the BFS.
+pub const FP_RPE_STEP: &str = "rpe.step";
+
+/// Approximate bytes a visited-set entry costs (pair + hash overhead).
+const VISIT_COST: u64 = 48;
 
 /// A match of an RPE with a trailing label variable: the binding of the
 /// final edge.
@@ -27,38 +34,36 @@ pub fn eval_rpe(g: &Graph, start: NodeId, rpe: &Rpe) -> Vec<NodeId> {
     eval_nfa(g, start, &nfa)
 }
 
+/// As [`eval_rpe`], under a resource [`Guard`]. In partial mode exhaustion
+/// returns the nodes found so far (with the cause recorded on the guard).
+pub fn eval_rpe_guarded(
+    g: &Graph,
+    start: NodeId,
+    rpe: &Rpe,
+    guard: &Guard,
+) -> Result<Vec<NodeId>, Exhausted> {
+    let nfa = Nfa::compile(rpe);
+    eval_nfa_guarded(g, start, &nfa, guard)
+}
+
 /// As [`eval_rpe`], with a precompiled NFA (reuse across many starts).
 pub fn eval_nfa(g: &Graph, start: NodeId, nfa: &Nfa) -> Vec<NodeId> {
-    let symbols = g.symbols();
-    let start_states = nfa.epsilon_closure(&std::iter::once(nfa.start()).collect());
-    let mut visited: HashSet<(NodeId, usize)> = HashSet::new();
-    let mut result: BTreeSet<NodeId> = BTreeSet::new();
-    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
-    for &s in &start_states {
-        if visited.insert((start, s)) {
-            queue.push_back((start, s));
-        }
+    // An unlimited guard never reports exhaustion.
+    match product_bfs(g, start, nfa, &Guard::unlimited()) {
+        Ok((nodes, _)) => nodes,
+        Err(_) => Vec::new(),
     }
-    if start_states.contains(&nfa.accept()) {
-        result.insert(start);
-    }
-    while let Some((n, s)) = queue.pop_front() {
-        for e in g.edges(n) {
-            for (pred, t) in nfa.transitions_from(s) {
-                if pred.matches(&e.label, symbols) {
-                    for &ct in nfa.closure(*t) {
-                        if ct == nfa.accept() {
-                            result.insert(e.to);
-                        }
-                        if visited.insert((e.to, ct)) {
-                            queue.push_back((e.to, ct));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    result.into_iter().collect()
+}
+
+/// Guarded BFS with a precompiled NFA: one fuel tick per product state
+/// popped and per edge scanned, memory accounted per visited-set entry.
+pub fn eval_nfa_guarded(
+    g: &Graph,
+    start: NodeId,
+    nfa: &Nfa,
+    guard: &Guard,
+) -> Result<Vec<NodeId>, Exhausted> {
+    product_bfs(g, start, nfa, guard).map(|(nodes, _)| nodes)
 }
 
 /// Evaluate an RPE whose final step binds a label variable: returns the
@@ -66,35 +71,70 @@ pub fn eval_nfa(g: &Graph, start: NodeId, nfa: &Nfa) -> Vec<NodeId> {
 /// [`Rpe::check_label_vars`]; if it has no trailing label variable this
 /// degenerates to [`eval_rpe`] with an empty label.
 pub fn eval_rpe_with_labels(g: &Graph, start: NodeId, rpe: &Rpe) -> Vec<PathMatch> {
+    eval_rpe_with_labels_guarded(g, start, rpe, &Guard::unlimited()).unwrap_or_default()
+}
+
+/// As [`eval_rpe_with_labels`], under a resource [`Guard`].
+pub fn eval_rpe_with_labels_guarded(
+    g: &Graph,
+    start: NodeId,
+    rpe: &Rpe,
+    guard: &Guard,
+) -> Result<Vec<PathMatch>, Exhausted> {
     match rpe.split_trailing_label_var() {
         Some((prefix, step)) => {
-            let mids = eval_rpe(g, start, &prefix);
+            let mids = eval_rpe_guarded(g, start, &prefix, guard)?;
             let symbols = g.symbols();
             let mut out: BTreeSet<(Label, NodeId)> = BTreeSet::new();
-            for mid in mids {
+            'scan: for mid in mids {
                 for e in g.edges(mid) {
+                    if !guard.tick(1)? {
+                        break 'scan;
+                    }
                     if step.matches(&e.label, symbols) {
                         out.insert((e.label.clone(), e.to));
                     }
                 }
             }
-            out.into_iter()
+            Ok(out
+                .into_iter()
                 .map(|(label, node)| PathMatch { label, node })
-                .collect()
+                .collect())
         }
-        None => eval_rpe(g, start, rpe)
+        None => Ok(eval_rpe_guarded(g, start, rpe, guard)?
             .into_iter()
             .map(|node| PathMatch {
                 label: Label::str(""),
                 node,
             })
-            .collect(),
+            .collect()),
     }
 }
 
 /// Count of product states visited by an evaluation — the work measure
 /// used by the optimizer experiments (E4/E10).
 pub fn eval_nfa_with_stats(g: &Graph, start: NodeId, nfa: &Nfa) -> (Vec<NodeId>, usize) {
+    product_bfs(g, start, nfa, &Guard::unlimited()).unwrap_or_default()
+}
+
+/// As [`eval_nfa_with_stats`], under a resource [`Guard`].
+pub fn eval_nfa_guarded_stats(
+    g: &Graph,
+    start: NodeId,
+    nfa: &Nfa,
+    guard: &Guard,
+) -> Result<(Vec<NodeId>, usize), Exhausted> {
+    product_bfs(g, start, nfa, guard)
+}
+
+/// The one BFS over the product of data graph × automaton, shared by every
+/// public entry point so the guard semantics cannot drift between them.
+fn product_bfs(
+    g: &Graph,
+    start: NodeId,
+    nfa: &Nfa,
+    guard: &Guard,
+) -> Result<(Vec<NodeId>, usize), Exhausted> {
     let symbols = g.symbols();
     let start_states = nfa.epsilon_closure(&std::iter::once(nfa.start()).collect());
     let mut visited: HashSet<(NodeId, usize)> = HashSet::new();
@@ -108,8 +148,14 @@ pub fn eval_nfa_with_stats(g: &Graph, start: NodeId, nfa: &Nfa) -> (Vec<NodeId>,
     if start_states.contains(&nfa.accept()) {
         result.insert(start);
     }
-    while let Some((n, s)) = queue.pop_front() {
+    'bfs: while let Some((n, s)) = queue.pop_front() {
+        if !(guard.tick(1)? && guard.fail_point(FP_RPE_STEP)?) {
+            break 'bfs;
+        }
         for e in g.edges(n) {
+            if !guard.tick(1)? {
+                break 'bfs;
+            }
             for (pred, t) in nfa.transitions_from(s) {
                 if pred.matches(&e.label, symbols) {
                     for &ct in nfa.closure(*t) {
@@ -117,6 +163,9 @@ pub fn eval_nfa_with_stats(g: &Graph, start: NodeId, nfa: &Nfa) -> (Vec<NodeId>,
                             result.insert(e.to);
                         }
                         if visited.insert((e.to, ct)) {
+                            if !guard.alloc(VISIT_COST)? {
+                                break 'bfs;
+                            }
                             queue.push_back((e.to, ct));
                         }
                     }
@@ -124,7 +173,7 @@ pub fn eval_nfa_with_stats(g: &Graph, start: NodeId, nfa: &Nfa) -> (Vec<NodeId>,
             }
         }
     }
-    (result.into_iter().collect(), visited.len())
+    Ok((result.into_iter().collect(), visited.len()))
 }
 
 #[cfg(test)]

@@ -248,7 +248,12 @@ impl Nfa {
                 let mut next = BTreeSet::new();
                 for &s in &cur {
                     for (p, t) in &self.transitions[s] {
-                        let pi = preds.iter().position(|q| q == p).expect("collected");
+                        // `preds` was collected from these same transitions,
+                        // so the position always exists; skip rather than
+                        // panic if that ever changes.
+                        let Some(pi) = preds.iter().position(|q| q == p) else {
+                            continue;
+                        };
                         if mask & (1 << pi) != 0 {
                             next.insert(*t);
                         }

@@ -10,7 +10,14 @@
 //! labels").
 
 use ssd_graph::{Graph, Label, NodeId};
+use ssd_guard::{Exhausted, Guard};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Fault-injection seam: hit once per subset-construction state expanded.
+pub const FP_DATAGUIDE_STATE: &str = "dataguide.state";
+
+/// Approximate bytes one guide state costs (target-set entry + state map).
+const STATE_COST: u64 = 56;
 
 /// A strong DataGuide over a data graph.
 #[derive(Debug)]
@@ -32,6 +39,23 @@ impl DataGuide {
     /// finitely many distinct target sets (guides of cyclic data are
     /// cyclic, not infinite).
     pub fn build(g: &Graph) -> DataGuide {
+        // An unlimited guard never reports exhaustion.
+        match DataGuide::try_build(g, &Guard::unlimited()) {
+            Ok(dg) => dg,
+            Err(_) => DataGuide {
+                guide: Graph::with_symbols(g.symbols_handle()),
+                targets: HashMap::new(),
+            },
+        }
+    }
+
+    /// As [`DataGuide::build`], under a resource [`Guard`]. The subset
+    /// construction is worst-case exponential in the data, so this is the
+    /// primary defence against guide blow-up: fuel is ticked per state
+    /// expansion and per grouped edge, memory accounted per target-set
+    /// entry. In partial mode exhaustion yields the guide built so far
+    /// (sound for pruning: absent paths are simply not pruned).
+    pub fn try_build(g: &Graph, guard: &Guard) -> Result<DataGuide, Exhausted> {
         let mut guide = Graph::with_symbols(g.symbols_handle());
         let mut targets: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         let mut state_ids: HashMap<BTreeSet<NodeId>, NodeId> = HashMap::new();
@@ -43,7 +67,10 @@ impl DataGuide {
 
         let mut queue: VecDeque<BTreeSet<NodeId>> = VecDeque::new();
         queue.push_back(start);
-        while let Some(state) = queue.pop_front() {
+        'subset: while let Some(state) = queue.pop_front() {
+            if !(guard.tick(1)? && guard.fail_point(FP_DATAGUIDE_STATE)?) {
+                break 'subset;
+            }
             let from_id = state_ids[&state];
             // Group successors of the whole state by label.
             let mut by_label: HashMap<Label, BTreeSet<NodeId>> = HashMap::new();
@@ -56,9 +83,15 @@ impl DataGuide {
             let mut grouped: Vec<(Label, BTreeSet<NodeId>)> = by_label.into_iter().collect();
             grouped.sort_by(|a, b| a.0.cmp(&b.0));
             for (label, succ) in grouped {
+                if !guard.tick(1)? {
+                    break 'subset;
+                }
                 let to_id = match state_ids.get(&succ) {
                     Some(&id) => id,
                     None => {
+                        if !guard.alloc(succ.len() as u64 * STATE_COST)? {
+                            break 'subset;
+                        }
                         let id = guide.add_node();
                         state_ids.insert(succ.clone(), id);
                         targets.insert(id, succ.iter().copied().collect());
@@ -69,7 +102,7 @@ impl DataGuide {
                 guide.add_edge(from_id, label, to_id);
             }
         }
-        DataGuide { guide, targets }
+        Ok(DataGuide { guide, targets })
     }
 
     /// The summary graph.
@@ -100,9 +133,11 @@ impl DataGuide {
                 .map(|e| e.to)
                 .collect();
             match nexts.as_slice() {
-                [one] => cur = *one,
                 [] => return None,
-                _ => unreachable!("strong DataGuide is deterministic"),
+                // A strong DataGuide is deterministic, so there is exactly
+                // one next state; following the first keeps lookup total
+                // even if that invariant were ever violated.
+                [one, ..] => cur = *one,
             }
         }
         Some(cur)

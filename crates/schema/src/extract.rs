@@ -18,7 +18,11 @@ use crate::pred::Pred;
 use crate::schema::{Schema, SchemaNodeId};
 use ssd_graph::bisim;
 use ssd_graph::{Graph, Label, LabelKind};
+use ssd_guard::{Exhausted, Guard};
 use std::collections::HashMap;
+
+/// Fault-injection seam: hit once per quotient node mapped into the schema.
+pub const FP_SCHEMA_EXTRACT: &str = "schema.extract";
 
 /// Options controlling how much the extracted schema generalises.
 #[derive(Debug, Clone)]
@@ -42,12 +46,29 @@ impl Default for ExtractOptions {
 
 /// Extract a schema from the data graph.
 pub fn extract_schema(g: &Graph, opts: &ExtractOptions) -> Schema {
-    // Step 1: minimal bisimilar graph.
+    // An unlimited guard never reports exhaustion.
+    try_extract_schema(g, opts, &Guard::unlimited()).unwrap_or_default()
+}
+
+/// As [`extract_schema`], under a resource [`Guard`]: fuel is ticked per
+/// quotient node/edge and per signature-refinement round. In partial mode
+/// exhaustion yields a well-formed (if coarser or incomplete) schema.
+pub fn try_extract_schema(
+    g: &Graph,
+    opts: &ExtractOptions,
+    guard: &Guard,
+) -> Result<Schema, Exhausted> {
+    // Step 1: minimal bisimilar graph. The quotient is polynomial in the
+    // data; charge its size up front.
+    guard.tick(g.node_count() as u64)?;
     let (q, _) = bisim::quotient(g);
     // Step 2: labels → predicates.
     let mut schema = Schema::new();
     let mut map: HashMap<ssd_graph::NodeId, SchemaNodeId> = HashMap::new();
-    for n in q.reachable() {
+    'nodes: for n in q.reachable() {
+        if !(guard.tick(1)? && guard.fail_point(FP_SCHEMA_EXTRACT)?) {
+            break 'nodes;
+        }
         let s = if n == q.root() {
             schema.root()
         } else {
@@ -55,17 +76,22 @@ pub fn extract_schema(g: &Graph, opts: &ExtractOptions) -> Schema {
         };
         map.insert(n, s);
     }
-    for n in q.reachable() {
-        let from = map[&n];
+    'edges: for n in q.reachable() {
+        // Nodes skipped by a partial-mode stop above have no mapping.
+        let Some(&from) = map.get(&n) else { continue };
         for e in q.edges(n) {
+            if !guard.tick(1)? {
+                break 'edges;
+            }
+            let Some(&to) = map.get(&e.to) else { continue };
             let pred = label_to_pred(&q, &e.label, opts.widen_values);
-            schema.add_edge(from, pred, map[&e.to]);
+            schema.add_edge(from, pred, to);
         }
     }
     if opts.merge_equal_signatures {
-        schema = merge_signatures(&schema);
+        schema = merge_signatures(&schema, guard)?;
     }
-    schema
+    Ok(schema)
 }
 
 /// Extract with default options.
@@ -93,13 +119,18 @@ fn label_to_pred(g: &Graph, label: &Label, widen: bool) -> Pred {
 
 /// Merge schema nodes whose outgoing predicate signatures are equal, to a
 /// fixpoint (a bisimulation quotient at the schema level, with syntactic
-/// predicate equality standing in for semantic equivalence).
-fn merge_signatures(schema: &Schema) -> Schema {
+/// predicate equality standing in for semantic equivalence). Stopping the
+/// refinement early (partial mode) only leaves classes coarser, i.e. the
+/// merged schema looser — still well-formed.
+fn merge_signatures(schema: &Schema, guard: &Guard) -> Result<Schema, Exhausted> {
     // Signature refinement, mirroring ssd_graph::bisim::bisimilarity_classes
     // but over Pred-labeled edges compared syntactically via Display.
     let n = schema.node_count();
     let mut class: Vec<usize> = vec![0; n];
     loop {
+        if !guard.tick(n as u64)? {
+            break;
+        }
         let mut sig_ids: HashMap<Vec<(String, usize)>, usize> = HashMap::new();
         let mut next = Vec::with_capacity(n);
         for id in schema.node_ids() {
@@ -132,7 +163,7 @@ fn merge_signatures(schema: &Schema) -> Schema {
         }
     }
     out.set_root(nodes[class[schema.root().index()]]);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -23,9 +23,11 @@ pub mod pred;
 pub mod schema;
 pub mod simulation;
 
-pub use dataguide::{data_paths_up_to, DataGuide};
+pub use dataguide::{data_paths_up_to, DataGuide, FP_DATAGUIDE_STATE};
 pub use diff::{diff_paths, PathDiff};
-pub use extract::{extract_schema, extract_schema_default, ExtractOptions};
+pub use extract::{
+    extract_schema, extract_schema_default, try_extract_schema, ExtractOptions, FP_SCHEMA_EXTRACT,
+};
 pub use oneindex::OneIndex;
 pub use pred::Pred;
 pub use schema::{figure1_schema, Schema, SchemaEdge, SchemaNodeId};

@@ -268,13 +268,15 @@ impl Relation {
             .filter(|c| other.columns.contains(c))
             .cloned()
             .collect();
+        // `shared` was computed from both column lists, so the lookups
+        // always succeed; filter rather than panic if that ever changes.
         let my_key: Vec<usize> = shared
             .iter()
-            .map(|c| self.col_index(c).expect("shared column"))
+            .filter_map(|c| self.col_index(c).ok())
             .collect();
         let their_key: Vec<usize> = shared
             .iter()
-            .map(|c| other.col_index(c).expect("shared column"))
+            .filter_map(|c| other.col_index(c).ok())
             .collect();
         let their_extra: Vec<usize> = (0..other.columns.len())
             .filter(|i| !shared.contains(&other.columns[*i]))

@@ -323,10 +323,12 @@ impl<'a> P<'a> {
         if self.eat(tok) {
             Ok(())
         } else {
+            // Truncate by characters, not bytes: a byte index can split a
+            // multi-byte character and panic.
+            let near: String = self.rest().chars().take(20).collect();
             Err(format!(
-                "expected '{tok}' at byte {} (near {:?})",
-                self.pos,
-                &self.rest()[..self.rest().len().min(20)]
+                "expected '{tok}' at byte {} (near {near:?})",
+                self.pos
             ))
         }
     }
@@ -465,7 +467,9 @@ impl<'a> P<'a> {
                 let id = self
                     .ident()
                     .ok_or_else(|| format!("expected term at byte {}", self.pos))?;
-                let first = id.chars().next().expect("non-empty ident");
+                // ident() never returns an empty string; default keeps the
+                // symbol branch if that ever changes.
+                let first = id.chars().next().unwrap_or('a');
                 if first.is_uppercase() || first == '_' {
                     Ok(Term::var(&id))
                 } else if id == "true" {

@@ -11,7 +11,14 @@
 use super::ast::{is_builtin, Atom, Program, Rule, Term};
 use crate::algebra::Datum;
 use crate::store::TripleStore;
+use ssd_guard::{Exhausted, Guard};
 use std::collections::{BTreeSet, HashMap};
+
+/// Fault-injection seam: hit once per fixpoint round.
+pub const FP_DATALOG_ROUND: &str = "datalog.round";
+
+/// Approximate bytes one derived tuple costs in the fact database.
+const TUPLE_COST: u64 = 96;
 
 /// The fact database: predicate name → set of tuples.
 pub type Facts = HashMap<String, BTreeSet<Vec<Datum>>>;
@@ -26,6 +33,9 @@ pub enum DatalogError {
         expected: usize,
         got: usize,
     },
+    /// A resource budget (fuel, memory, deadline, cancellation, fault
+    /// injection) tripped mid-fixpoint.
+    Exhausted(Exhausted),
 }
 
 impl std::fmt::Display for DatalogError {
@@ -46,6 +56,7 @@ impl std::fmt::Display for DatalogError {
                 f,
                 "predicate {pred} used with arity {got}, expected {expected}"
             ),
+            DatalogError::Exhausted(e) => write!(f, "{}", e.headline()),
         }
     }
 }
@@ -61,6 +72,10 @@ pub struct Evaluation {
     /// Total number of rule-body join evaluations performed (work measure
     /// for the naive vs semi-naive comparison).
     pub rule_evaluations: usize,
+    /// Set when a guard in partial mode stopped evaluation early: the
+    /// headline of the exhaustion cause. Facts hold everything derived up
+    /// to that point (a sound under-approximation of the fixpoint).
+    pub truncated: Option<String>,
 }
 
 impl Evaluation {
@@ -100,12 +115,35 @@ pub fn edb_from_store(store: &TripleStore) -> Facts {
 
 /// Evaluate `program` over the EDB of `store`, semi-naively.
 pub fn evaluate(program: &Program, store: &TripleStore) -> Result<Evaluation, DatalogError> {
-    run(program, edb_from_store(store), Mode::SemiNaive)
+    run(
+        program,
+        edb_from_store(store),
+        Mode::SemiNaive,
+        &Guard::unlimited(),
+    )
 }
 
 /// Evaluate naively (for the E6 comparison).
 pub fn evaluate_naive(program: &Program, store: &TripleStore) -> Result<Evaluation, DatalogError> {
-    run(program, edb_from_store(store), Mode::Naive)
+    run(
+        program,
+        edb_from_store(store),
+        Mode::Naive,
+        &Guard::unlimited(),
+    )
+}
+
+/// Evaluate semi-naively under a resource [`Guard`]. Fuel is ticked per
+/// fixpoint round and per join candidate; memory is accounted per derived
+/// tuple; deadline and cancellation are polled at every round boundary.
+/// In partial mode exhaustion yields the facts derived so far with
+/// [`Evaluation::truncated`] set; otherwise [`DatalogError::Exhausted`].
+pub fn evaluate_with(
+    program: &Program,
+    store: &TripleStore,
+    guard: &Guard,
+) -> Result<Evaluation, DatalogError> {
+    run(program, edb_from_store(store), Mode::SemiNaive, guard)
 }
 
 /// Evaluate over explicit base facts (no store).
@@ -113,6 +151,16 @@ pub fn evaluate_with_facts(
     program: &Program,
     base: Facts,
     semi_naive: bool,
+) -> Result<Evaluation, DatalogError> {
+    evaluate_with_facts_guarded(program, base, semi_naive, &Guard::unlimited())
+}
+
+/// As [`evaluate_with_facts`], under a resource [`Guard`].
+pub fn evaluate_with_facts_guarded(
+    program: &Program,
+    base: Facts,
+    semi_naive: bool,
+    guard: &Guard,
 ) -> Result<Evaluation, DatalogError> {
     run(
         program,
@@ -122,6 +170,7 @@ pub fn evaluate_with_facts(
         } else {
             Mode::Naive
         },
+        guard,
     )
 }
 
@@ -181,13 +230,19 @@ pub fn stratify(program: &Program) -> Result<Vec<Vec<&Rule>>, DatalogError> {
     Ok(strata)
 }
 
-fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, DatalogError> {
+fn run(
+    program: &Program,
+    mut facts: Facts,
+    mode: Mode,
+    guard: &Guard,
+) -> Result<Evaluation, DatalogError> {
+    let exh = DatalogError::Exhausted;
     program.check_safety().map_err(DatalogError::Unsafe)?;
     check_arities(program, &facts)?;
     let strata = stratify(program)?;
     let mut iterations = 0usize;
     let mut rule_evaluations = 0usize;
-    for stratum_rules in &strata {
+    'strata: for stratum_rules in &strata {
         if stratum_rules.is_empty() {
             continue;
         }
@@ -204,12 +259,18 @@ fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, Da
         let mut round = 0usize;
         loop {
             iterations += 1;
+            // Round boundary: observe deadline/cancellation promptly even
+            // when single rounds burn few ticks.
+            guard.poll().map_err(exh)?;
+            if !(guard.tick(1).map_err(exh)? && guard.fail_point(FP_DATALOG_ROUND).map_err(exh)?) {
+                break 'strata;
+            }
             let mut new_delta: Facts = HashMap::new();
             for rule in stratum_rules {
                 let derived = match mode {
                     Mode::Naive => {
                         rule_evaluations += 1;
-                        eval_rule(rule, &facts, None)
+                        eval_rule(rule, &facts, None, guard).map_err(exh)?
                     }
                     Mode::SemiNaive => {
                         // One evaluation per occurrence of a recursive
@@ -229,7 +290,7 @@ fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, Da
                             // Non-recursive rules fire once, on the seed round.
                             if round == 0 {
                                 rule_evaluations += 1;
-                                eval_rule(rule, &facts, None)
+                                eval_rule(rule, &facts, None, guard).map_err(exh)?
                             } else {
                                 BTreeSet::new()
                             }
@@ -238,22 +299,28 @@ fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, Da
                             // delta; run the rule in full once (it typically
                             // finds nothing until base rules populate facts).
                             rule_evaluations += 1;
-                            eval_rule(rule, &facts, None)
+                            eval_rule(rule, &facts, None, guard).map_err(exh)?
                         } else {
                             let mut out = BTreeSet::new();
                             for &pos in &rec_positions {
                                 rule_evaluations += 1;
-                                out.extend(eval_rule(rule, &facts, Some((pos, &delta))));
+                                out.extend(
+                                    eval_rule(rule, &facts, Some((pos, &delta)), guard)
+                                        .map_err(exh)?,
+                                );
                             }
                             out
                         }
                     }
                 };
-                for tuple in derived {
+                'derive: for tuple in derived {
                     let known = facts
                         .get(rule.head.pred.as_str())
                         .is_some_and(|s| s.contains(&tuple));
                     if !known {
+                        if !guard.alloc(TUPLE_COST).map_err(exh)? {
+                            break 'derive;
+                        }
                         new_delta
                             .entry(rule.head.pred.clone())
                             .or_default()
@@ -279,15 +346,19 @@ fn run(program: &Program, mut facts: Facts, mode: Mode) -> Result<Evaluation, Da
                 break;
             }
         }
-        // Ensure all head predicates exist in the output even if empty.
-        for p in &recursive_preds {
-            facts.entry((*p).to_owned()).or_default();
+    }
+    // Ensure all head predicates exist in the output even if empty — also
+    // after a partial-mode stop, so truncated results stay well-formed.
+    for stratum_rules in &strata {
+        for rule in stratum_rules {
+            facts.entry(rule.head.pred.clone()).or_default();
         }
     }
     Ok(Evaluation {
         facts,
         iterations,
         rule_evaluations,
+        truncated: guard.truncation().map(|e| e.headline()),
     })
 }
 
@@ -322,16 +393,19 @@ fn check_arities(program: &Program, facts: &Facts) -> Result<(), DatalogError> {
 
 /// Evaluate one rule body against `facts`, optionally restricting the
 /// positive literal at `delta_at.0` to the delta relation. Returns derived
-/// head tuples.
+/// head tuples. Fuel is ticked per join candidate considered; in partial
+/// mode exhaustion returns the tuples derivable from the bindings built
+/// so far.
 fn eval_rule(
     rule: &Rule,
     facts: &Facts,
     delta_at: Option<(usize, &Facts)>,
-) -> BTreeSet<Vec<Datum>> {
+    guard: &Guard,
+) -> Result<BTreeSet<Vec<Datum>>, Exhausted> {
     type Binding = HashMap<String, Datum>;
     let empty = BTreeSet::new();
     let mut bindings: Vec<Binding> = vec![HashMap::new()];
-    for (i, lit) in rule.body.iter().enumerate() {
+    'body: for (i, lit) in rule.body.iter().enumerate() {
         if is_builtin(lit.atom.pred.as_str()) {
             // Builtins filter the current bindings; safety guarantees all
             // their variables are bound.
@@ -344,7 +418,7 @@ fn eval_rule(
                 }
             });
             if bindings.is_empty() {
-                return BTreeSet::new();
+                return Ok(BTreeSet::new());
             }
             continue;
         }
@@ -356,6 +430,10 @@ fn eval_rule(
             let mut next = Vec::new();
             for b in &bindings {
                 for tuple in source.iter() {
+                    if !guard.tick(1)? {
+                        bindings = next;
+                        break 'body;
+                    }
                     if let Some(extended) = try_match(&lit.atom, tuple, b) {
                         next.push(extended);
                     }
@@ -365,47 +443,60 @@ fn eval_rule(
         } else {
             // Negation: all variables already bound (safety-checked), so
             // just filter.
-            bindings.retain(|b| {
-                !source
+            let mut kept = Vec::new();
+            for b in bindings {
+                if !guard.tick(1)? {
+                    bindings = kept;
+                    break 'body;
+                }
+                if !source
                     .iter()
-                    .any(|tuple| try_match(&lit.atom, tuple, b).is_some())
-            });
+                    .any(|tuple| try_match(&lit.atom, tuple, &b).is_some())
+                {
+                    kept.push(b);
+                }
+            }
+            bindings = kept;
         }
         if bindings.is_empty() {
-            return BTreeSet::new();
+            return Ok(BTreeSet::new());
         }
     }
-    bindings
-        .into_iter()
-        .map(|b| {
-            rule.head
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Var(v) => b
-                        .get(v)
-                        .cloned()
-                        .expect("safety check guarantees head vars bound"),
-                    Term::Const(d) => d.clone(),
-                })
-                .collect()
-        })
-        .collect()
+    let mut out = BTreeSet::new();
+    'heads: for b in bindings {
+        let mut tuple = Vec::with_capacity(rule.head.terms.len());
+        for t in &rule.head.terms {
+            match t {
+                // The safety check guarantees head vars are bound; if that
+                // invariant ever breaks, drop the binding rather than panic.
+                Term::Var(v) => match b.get(v) {
+                    Some(d) => tuple.push(d.clone()),
+                    None => continue 'heads,
+                },
+                Term::Const(d) => tuple.push(d.clone()),
+            }
+        }
+        out.insert(tuple);
+    }
+    Ok(out)
 }
 
-/// Evaluate a builtin comparison over a complete binding.
+/// Evaluate a builtin comparison over a complete binding. Unbound
+/// variables (impossible after the safety check) make the builtin
+/// unsatisfied rather than panicking.
 fn eval_builtin(atom: &Atom, binding: &HashMap<String, Datum>) -> bool {
-    let resolve = |t: &Term| -> Datum {
+    let resolve = |t: &Term| -> Option<Datum> {
         match t {
-            Term::Const(d) => d.clone(),
-            Term::Var(v) => binding
-                .get(v)
-                .cloned()
-                .expect("safety check guarantees builtin vars bound"),
+            Term::Const(d) => Some(d.clone()),
+            Term::Var(v) => binding.get(v).cloned(),
         }
     };
-    let a = resolve(&atom.terms[0]);
-    let b = resolve(&atom.terms[1]);
+    let (Some(a), Some(b)) = (
+        atom.terms.first().and_then(&resolve),
+        atom.terms.get(1).and_then(&resolve),
+    ) else {
+        return false;
+    };
     use crate::algebra::Datum::*;
     match atom.pred.as_str() {
         "eq" => a == b,
@@ -421,7 +512,9 @@ fn eval_builtin(atom: &Atom, binding: &HashMap<String, Datum>) -> bool {
                         "le" => ord != std::cmp::Ordering::Greater,
                         "gt" => ord == std::cmp::Ordering::Greater,
                         "ge" => ord != std::cmp::Ordering::Less,
-                        _ => unreachable!("is_builtin covers exactly these"),
+                        // is_builtin covers exactly the six above; treat
+                        // anything else as unsatisfied.
+                        _ => false,
                     }
                 }
                 _ => false,

@@ -97,13 +97,15 @@ fn every_datalog_code_fires_with_a_span_on_web_data() {
 }
 
 #[test]
-fn all_thirteen_codes_are_covered_by_the_cases() {
+fn all_static_codes_are_covered_by_the_cases() {
+    // Runtime-governance codes (SSD1xx) are exercised by tests/guard.rs;
+    // this file owns the static-analysis band.
     let covered: Vec<Code> = QUERY_CASES
         .iter()
         .chain(DATALOG_CASES)
         .map(|(c, _)| *c)
         .collect();
-    for &code in Code::all() {
+    for &code in Code::all().iter().filter(|c| !c.is_runtime()) {
         assert!(covered.contains(&code), "no test case triggers {code}");
     }
 }

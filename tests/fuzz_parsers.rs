@@ -1,0 +1,138 @@
+//! Parser robustness: no input — random bytes, structured junk, or
+//! pathologically deep nesting — may panic or overflow the stack. Bad
+//! input is a `Result::Err`, deep input an SSD110 diagnostic.
+
+use proptest::prelude::*;
+use semistructured::graph::literal::{parse_graph, MAX_PARSE_DEPTH};
+use semistructured::query::lang::{parse_query, parse_rewrite};
+use semistructured::triples::datalog::parse_program;
+use semistructured::Database;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The literal parser never panics on arbitrary byte strings.
+    #[test]
+    fn literal_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse_graph(&src);
+    }
+
+    /// ... nor on structured-looking junk.
+    #[test]
+    fn literal_parser_never_panics_on_braces(src in "[{}@=:,a-z0-9\" ]{0,256}") {
+        let _ = parse_graph(&src);
+    }
+
+    /// The JSON importer never panics.
+    #[test]
+    fn json_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = Database::from_json(&src);
+    }
+
+    #[test]
+    fn json_parser_never_panics_on_jsonish(src in "[\\[\\]{}\",:0-9a-z\\\\u ]{0,256}") {
+        let _ = Database::from_json(&src);
+    }
+
+    /// The XML importer never panics.
+    #[test]
+    fn xml_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = Database::from_xml(&src);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_xmlish(src in "[<>/&;a-z0-9\" =]{0,256}") {
+        let _ = Database::from_xml(&src);
+    }
+
+    /// The select-from-where query parser never panics.
+    #[test]
+    fn query_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse_query(&src);
+    }
+
+    #[test]
+    fn query_parser_never_panics_on_queryish(
+        src in "(select|from|where|db|[A-Za-z.*+|()\"=<> ]){0,128}"
+    ) {
+        let _ = parse_query(&src);
+    }
+
+    /// The rewrite (transducer) parser never panics.
+    #[test]
+    fn rewrite_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse_rewrite(&src);
+    }
+
+    /// The datalog program parser never panics.
+    #[test]
+    fn datalog_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let syms = semistructured::graph::new_symbols();
+        let _ = parse_program(&src, &syms);
+    }
+
+    #[test]
+    fn datalog_parser_never_panics_on_rulish(src in "[a-zX-Z(),._:\\- ]{0,256}") {
+        let syms = semistructured::graph::new_symbols();
+        let _ = parse_program(&src, &syms);
+    }
+}
+
+// ---------------------------------------------------------------- depth
+// limits: pathological nesting returns SSD110 instead of blowing the stack.
+
+#[test]
+fn deep_literal_nesting_is_rejected_with_ssd110() {
+    let deep = format!("{}\"x\"{}", "{a: ".repeat(10_000), "}".repeat(10_000));
+    let err = parse_graph(&deep).err().unwrap();
+    assert!(err.message.contains("SSD110"), "{}", err.message);
+}
+
+#[test]
+fn literal_nesting_at_the_limit_parses() {
+    let n = MAX_PARSE_DEPTH - 1;
+    let ok = format!("{}\"x\"{}", "{a: ".repeat(n), "}".repeat(n));
+    assert!(parse_graph(&ok).is_ok());
+}
+
+#[test]
+fn deep_json_nesting_is_rejected_with_ssd110() {
+    let deep = format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000));
+    let err = Database::from_json(&deep).err().unwrap();
+    assert!(err.contains("SSD110"), "{err}");
+}
+
+#[test]
+fn deep_xml_nesting_is_rejected_with_ssd110() {
+    let deep = format!("{}1{}", "<a>".repeat(10_000), "</a>".repeat(10_000));
+    let err = Database::from_xml(&deep).err().unwrap();
+    assert!(err.contains("SSD110"), "{err}");
+}
+
+#[test]
+fn deep_query_nesting_is_rejected_with_ssd110() {
+    let deep = format!(
+        "select {}\"x\"{} from db.a X",
+        "{a: ".repeat(10_000),
+        "}".repeat(10_000)
+    );
+    let err = parse_query(&deep).err().unwrap();
+    assert!(err.message.contains("SSD110"), "{}", err.message);
+}
+
+#[test]
+fn deep_rewrite_nesting_is_rejected_with_ssd110() {
+    let deep = format!(
+        "rewrite case a => {}\"x\"{}",
+        "{a: ".repeat(10_000),
+        "}".repeat(10_000)
+    );
+    let err = parse_rewrite(&deep).err().unwrap();
+    assert!(format!("{err:?}").contains("SSD110"), "{err:?}");
+}
