@@ -51,4 +51,21 @@ smoke=$(timeout 60 ./target/release/ssd query examples/movies.ssd \
     'select T from db.Entry.Movie.Title T' --timeout 5 --max-steps 1000000)
 echo "$smoke" | grep -q Casablanca
 
+echo "== cost-estimator soundness" >&2
+cargo test -q --offline -p semistructured --test cost_soundness
+
+echo "== admission control smoke run" >&2
+# Star-free join query: a finite envelope with no SSD03x warnings, so
+# --deny-warnings is a real gate on the estimate path.
+est=$(timeout 60 ./target/release/ssd check examples/movies.ssd query \
+    'select T from db.Entry.Movie M, M.Title T' --estimate --deny-warnings)
+echo "$est" | grep -q "estimated cost"
+# Strict admission must refuse an over-budget query with SSD030, nonzero.
+if ./target/release/ssd query examples/movies.ssd \
+    'select T from db.Entry.Movie.Title T' \
+    --max-steps 1 --admission strict >/dev/null 2>&1; then
+    echo "ci: strict admission did not reject an over-budget query" >&2
+    exit 1
+fi
+
 echo "ci: all gates passed" >&2

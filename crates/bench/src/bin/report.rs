@@ -1,4 +1,4 @@
-//! Experiment report: regenerates the E1–E12 measured series recorded in
+//! Experiment report: regenerates the E1–E12 and E15 measured series recorded in
 //! EXPERIMENTS.md.
 //!
 //! ```sh
@@ -42,7 +42,7 @@ fn header(title: &str) {
 }
 
 fn main() {
-    println!("semistructured — experiment report (E1–E12)");
+    println!("semistructured — experiment report (E1–E12, E15)");
     println!("paper: Buneman, \"Semistructured Data\", PODS 1997 (tutorial; no tables — series defined in EXPERIMENTS.md)");
 
     e01();
@@ -57,6 +57,7 @@ fn main() {
     e10();
     e11();
     e12();
+    e15();
     println!("\nreport complete.");
 }
 
@@ -462,4 +463,66 @@ fn e12() {
         "schema of 100-entry DB has {} nodes (constant in data size: structure repeats)",
         db.extract_schema().node_count()
     );
+}
+
+fn e15() {
+    header("E15 — cost-based vs heuristic optimizer (µs, median of 5)");
+    use semistructured::DataStats;
+    // The E10 workloads (nothing to reorder: the cost-based pass must
+    // not lose) plus a join-reorder case where the expensive `Cast.%*`
+    // binding sits before the cheap `Title` binding.
+    let selective = parse_query(
+        r#"select {t: T} from db.Entry.Movie M, M.Year Y, M.Title T, M.Cast.%* X where Y < 1935"#,
+    )
+    .unwrap();
+    let unselective = parse_query(
+        r#"select {t: T} from db.Entry.Movie M, M.Year Y, M.Title T, M.Cast.%* X where Y < 2100"#,
+    )
+    .unwrap();
+    let path3 = parse_query("select T from db.Entry.Movie.Title T").unwrap();
+    // Independent bindings in a pessimal order: the cheap, high-
+    // cardinality `Entry` scan sits outermost, so the expensive
+    // `(!Movie)*` traversal is re-evaluated once per entry; cost-based
+    // reordering runs it once and loops the cheap scan instead.
+    let reorder =
+        parse_query(r#"select {e: E, a: A} from db.Entry E, db.Entry.Movie.(!Movie)*."Actor 1" A"#)
+            .unwrap();
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "entries", "query", "heuristic", "cost-based", "speedup", "heur asgn", "cost asgn"
+    );
+    for &size in &[100usize, 300] {
+        let g = movies(size);
+        let schema = ssd_schema::extract_schema_default(&g);
+        let stats = DataStats::collect_with_schema(&g, &schema);
+        for (name, q) in [
+            ("selective", &selective),
+            ("unselect.", &unselective),
+            ("path3", &path3),
+            ("reorder", &reorder),
+        ] {
+            let (heur, _) = optimizer::optimize(q, Some(&schema));
+            let (cost, report) = optimizer::optimize_with_stats(q, Some(&schema), Some(&stats));
+            let (rh, sh) = evaluate_select(&g, &heur, &EvalOptions::default()).unwrap();
+            let (rc, sc) = evaluate_select(&g, &cost, &EvalOptions::default()).unwrap();
+            assert!(
+                graphs_bisimilar(&rh, &rc),
+                "cost-based reorder changed the result of {name}"
+            );
+            let t_h = time_us(5, || {
+                evaluate_select(&g, &heur, &EvalOptions::default()).unwrap()
+            });
+            let t_c = time_us(5, || {
+                evaluate_select(&g, &cost, &EvalOptions::default()).unwrap()
+            });
+            let moved = if report.reordered.is_empty() { "" } else { "*" };
+            println!(
+                "{size:>8} {name:>11}{moved} {t_h:>14.1} {t_c:>14.1} {:>9.2}x {:>10} {:>10}",
+                t_h / t_c.max(0.01),
+                sh.assignments_tried,
+                sc.assignments_tried
+            );
+        }
+    }
+    println!("(* = cost model committed a binding reorder; envelopes in OptReport)");
 }

@@ -35,6 +35,8 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
   ssd check     DATA (query|datalog) TEXT  static analysis; flags:
                 [--deny-warnings]          warnings also fail (exit 1)
                 [--explain]                print inferred binding types
+                [--estimate]               print the static cost envelope
+                                           and SSD03x cost diagnostics
   ssd browse    DATA string TEXT           where is this string?
   ssd browse    DATA ints THRESHOLD        integers greater than N?
   ssd browse    DATA attrs PREFIX          attribute names with prefix?
@@ -61,6 +63,12 @@ Resource limits (query, datalog, rewrite, schema, dataguide):
   --max-depth N       recursion / derivation depth ceiling
   --partial           on exhaustion keep the partial result and warn
                       (SSD107) instead of failing
+Admission control (query, datalog):
+  --admission MODE    strict|warn|off (default off). Statically estimate
+                      the cost envelope first; if even its lower bound
+                      exceeds the budget, strict rejects with SSD030
+                      before the engine does any work, warn prints
+                      SSD030 as a warning and runs anyway.
 Exhaustion renders an SSD1xx diagnostic and exits nonzero. The
 SSD_FAILPOINTS environment variable (site=N, comma-separated) injects
 deterministic faults at engine seams for testing.";
@@ -131,37 +139,46 @@ fn dispatch(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> 
         "query" => {
             let (data, mut tail) = split_first(&rest, "query DATA QUERY")?;
             let budget = pop_budget(&mut tail)?;
+            let admission = pop_admission(&mut tail)?;
             let optimized = tail.last() == Some(&"--optimized");
             if optimized {
                 tail.pop();
             }
             let text = arg_or_file(one(&tail, "query DATA QUERY")?)?;
             let db = load_db(data, stdin)?;
-            cmd_query(&db, &text, optimized, &budget.guard())
+            let pre = admission_gate(&db, "query", &text, admission, &budget)?;
+            with_preamble(pre, cmd_query(&db, &text, optimized, &budget.guard()))
         }
         "datalog" => {
             let mut tail: Vec<&str> = rest.to_vec();
             let budget = pop_budget(&mut tail)?;
+            let admission = pop_admission(&mut tail)?;
             if tail.len() < 2 || tail.len() > 3 {
                 return Err(CliError::Usage("datalog DATA PROGRAM [PRED]".into()));
             }
             let db = load_db(tail[0], stdin)?;
             let program = arg_or_file(tail[1])?;
-            cmd_datalog(&db, &program, tail.get(2).copied(), &budget.guard())
+            let pre = admission_gate(&db, "datalog", &program, admission, &budget)?;
+            with_preamble(
+                pre,
+                cmd_datalog(&db, &program, tail.get(2).copied(), &budget.guard()),
+            )
         }
         "check" => {
             let mut tail: Vec<&str> = rest.to_vec();
             let deny_warnings = tail.contains(&"--deny-warnings");
             let explain = tail.contains(&"--explain");
-            tail.retain(|a| *a != "--deny-warnings" && *a != "--explain");
+            let estimate = tail.contains(&"--estimate");
+            tail.retain(|a| *a != "--deny-warnings" && *a != "--explain" && *a != "--estimate");
             if tail.len() != 3 {
                 return Err(CliError::Usage(
-                    "check DATA (query|datalog) TEXT [--deny-warnings] [--explain]".into(),
+                    "check DATA (query|datalog) TEXT [--deny-warnings] [--explain] [--estimate]"
+                        .into(),
                 ));
             }
             let db = load_db(tail[0], stdin)?;
             let text = arg_or_file(tail[2])?;
-            cmd_check(&db, tail[1], &text, deny_warnings, explain)
+            cmd_check(&db, tail[1], &text, deny_warnings, explain, estimate)
         }
         "browse" => {
             if rest.len() != 3 {
@@ -346,6 +363,98 @@ fn pop_budget(tail: &mut Vec<&str>) -> Result<Budget, CliError> {
     Ok(budget)
 }
 
+/// How `--admission` treats a query whose static cost envelope cannot
+/// fit the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// No admission check (the default; the guard still enforces limits
+    /// at run time).
+    Off,
+    /// Print SSD030 as a warning and run anyway.
+    Warn,
+    /// Reject with SSD030 before the engine consumes any fuel.
+    Strict,
+}
+
+/// Remove `--admission MODE` / `--admission=MODE` from `tail`.
+fn pop_admission(tail: &mut Vec<&str>) -> Result<Admission, CliError> {
+    let mut mode = Admission::Off;
+    let mut i = 0;
+    while i < tail.len() {
+        let arg = tail[i];
+        let value = if let Some(v) = arg.strip_prefix("--admission=") {
+            tail.remove(i);
+            Some(v)
+        } else if arg == "--admission" {
+            if i + 1 >= tail.len() {
+                return Err(CliError::Usage(
+                    "--admission needs a value (strict|warn|off)".into(),
+                ));
+            }
+            let v = tail.remove(i + 1);
+            tail.remove(i);
+            Some(v)
+        } else {
+            None
+        };
+        match value {
+            Some("strict") => mode = Admission::Strict,
+            Some("warn") => mode = Admission::Warn,
+            Some("off") => mode = Admission::Off,
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "--admission must be strict|warn|off, got '{other}'"
+                )))
+            }
+            None => i += 1,
+        }
+    }
+    Ok(mode)
+}
+
+/// Run the admission check: estimate the cost envelope and ask the budget
+/// whether the evaluation can possibly fit. Returns preamble text to
+/// print above the result (the SSD030 warning in warn mode), or fails
+/// outright in strict mode — before any evaluation guard exists, so a
+/// rejected query costs zero engine fuel.
+fn admission_gate(
+    db: &Database,
+    kind: &str,
+    text: &str,
+    mode: Admission,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    if mode == Admission::Off {
+        return Ok(String::new());
+    }
+    let analysis = match kind {
+        "query" => db.estimate_query(text),
+        _ => db.estimate_datalog(text),
+    }
+    .map_err(CliError::Failed)?;
+    match budget.admit(&analysis.envelope) {
+        Ok(()) => Ok(String::new()),
+        Err(d) if mode == Admission::Strict => Err(CliError::Failed(d.headline())),
+        Err(mut d) => {
+            d.severity = semistructured::diag::Severity::Warning;
+            Ok(format!("{}\n", d.headline()))
+        }
+    }
+}
+
+/// Prefix a command's output — or its failure message — with the
+/// admission preamble, so a warn-mode SSD030 is visible either way.
+fn with_preamble(pre: String, result: Result<String, CliError>) -> Result<String, CliError> {
+    if pre.is_empty() {
+        return result;
+    }
+    match result {
+        Ok(out) => Ok(format!("{pre}{out}")),
+        Err(CliError::Failed(m)) => Err(CliError::Failed(format!("{pre}{m}"))),
+        other => other,
+    }
+}
+
 /// For commands whose output type carries no statistics, surface a
 /// partial-mode truncation recorded on `guard` as an SSD107 warning line
 /// above the normal output.
@@ -511,8 +620,9 @@ fn cmd_check(
     text: &str,
     deny_warnings: bool,
     explain: bool,
+    estimate: bool,
 ) -> Result<String, CliError> {
-    let (diags, types) = match kind {
+    let (mut diags, types) = match kind {
         "query" => {
             let schema = db.extract_schema();
             let (query, _spans, analysis) =
@@ -532,14 +642,30 @@ fn cmd_check(
             )))
         }
     };
-    let errors = diags.iter().filter(|d| d.is_error()).count();
-    let warnings = diags.len() - errors;
+    let mut envelope = None;
+    if estimate {
+        let cost = match kind {
+            "query" => db.estimate_query(text),
+            _ => db.estimate_datalog(text),
+        }
+        .map_err(CliError::Failed)?;
+        diags.extend(cost.diagnostics);
+        diags = diags.sorted_by_span();
+        envelope = Some(cost.envelope);
+    }
+    let errors = diags.error_count();
+    // Severity-exact: SSD033 notes are informational and must not trip
+    // `--deny-warnings`.
+    let warnings = diags.warning_count();
     let mut out = String::new();
     if diags.is_empty() {
         out.push_str("no diagnostics");
     } else {
         out.push_str(diags.render_all(text, kind).trim_end());
         out.push_str(&format!("\n-- {errors} error(s), {warnings} warning(s)"));
+    }
+    if let Some(env) = envelope {
+        out.push_str(&format!("\n-- estimated cost: {env}"));
     }
     if let Some(t) = types {
         out.push_str(&format!("\n{}", t.trim_end()));
@@ -963,6 +1089,160 @@ mod tests {
             matches!(&err, CliError::Failed(m) if m.contains("SSD101")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn admission_strict_rejects_before_evaluation() {
+        let err = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1",
+                "--admission=strict",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        match err {
+            CliError::Failed(m) => {
+                assert!(m.contains("error[SSD030]"), "{m}");
+                // Rejected statically — no runtime-exhaustion diagnostic.
+                assert!(!m.contains("SSD101"), "{m}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // A budget the envelope fits sails through.
+        let ok = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1000000",
+                "--admission=strict",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(ok.contains("Casablanca"), "{ok}");
+    }
+
+    #[test]
+    fn admission_warn_runs_anyway() {
+        let out = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1",
+                "--partial",
+                "--admission",
+                "warn",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("warning[SSD030]"), "{out}");
+        assert!(out.contains("result(s)"), "{out}");
+    }
+
+    #[test]
+    fn admission_strict_gates_datalog_too() {
+        let err = run_str(
+            &[
+                "datalog",
+                "-",
+                "reach(X) :- root(X).\nreach(Y) :- reach(X), edge(X, _L, Y).",
+                "--max-steps",
+                "1",
+                "--admission=strict",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD030")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn admission_usage_errors() {
+        assert!(matches!(
+            run_str(
+                &["query", "-", "select T from db.T T", "--admission=later"],
+                DATA
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["query", "-", "select T from db.T T", "--admission"], DATA),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn check_estimate_prints_envelope_and_passes_deny_warnings() {
+        let out = run_str(
+            &[
+                "check",
+                "-",
+                "query",
+                "select T from db.Entry.Movie.Title T",
+                "--estimate",
+                "--deny-warnings",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(out.contains("estimated cost:"), "{out}");
+        assert!(out.contains("fuel ["), "{out}");
+    }
+
+    #[test]
+    fn check_estimate_surfaces_cost_diagnostics() {
+        // A cross product: SSD032 appears only with --estimate.
+        let plain = run_str(
+            &[
+                "check",
+                "-",
+                "query",
+                "select {a: M, b: N} from db.Entry M, db.Entry N",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(!plain.contains("SSD032"), "{plain}");
+        let est = run_str(
+            &[
+                "check",
+                "-",
+                "query",
+                "select {a: M, b: N} from db.Entry M, db.Entry N",
+                "--estimate",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(est.contains("warning[SSD032]"), "{est}");
+        assert!(est.contains("`M`") && est.contains("`N`"), "{est}");
+        // Datalog recursion: SSD031 under --estimate.
+        let dl = run_str(
+            &[
+                "check",
+                "-",
+                "datalog",
+                "reach(X) :- root(X).\nreach(Y) :- reach(X), edge(X, _L, Y).",
+                "--estimate",
+            ],
+            DATA,
+        )
+        .unwrap();
+        assert!(dl.contains("warning[SSD031]"), "{dl}");
+        assert!(dl.contains("estimated cost:"), "{dl}");
     }
 
     #[test]

@@ -33,9 +33,10 @@ pub use ssd_schema as schema;
 pub use ssd_triples as triples;
 
 pub use ssd_graph::{Graph, Label, LabelKind, NodeId, SymbolId, Value};
-pub use ssd_guard::{Budget, CancelToken, Exhausted, Guard};
+pub use ssd_guard::{Bound, Budget, CancelToken, CostEnvelope, Exhausted, Guard, Interval};
+pub use ssd_query::analyze::{CostAnalysis, CostContext};
 pub use ssd_query::{EvalOptions, Rpe, SelectQuery};
-pub use ssd_schema::{DataGuide, Pred, Schema};
+pub use ssd_schema::{DataGuide, DataStats, Pred, Schema};
 pub use ssd_triples::TripleStore;
 
 use ssd_graph::index::GraphIndex;
@@ -208,6 +209,50 @@ impl Database {
     /// arity, stratification, and reachability lints with source spans.
     pub fn check_datalog(&self, program: &str) -> Result<Vec<ssd_diag::Diagnostic>, String> {
         ssd_query::analyze::analyze_datalog_src(program, self.graph.symbols(), None)
+    }
+
+    /// Data statistics refined by the extracted schema — the estimator's
+    /// input. The extracted schema conforms by construction, so the
+    /// per-schema-node extents are usable as cardinality bounds.
+    pub fn data_stats(&self) -> (DataStats, Schema) {
+        let schema = self.extract_schema();
+        let stats = DataStats::collect_with_schema(&self.graph, &schema);
+        (stats, schema)
+    }
+
+    /// Statically estimate a query's cost envelope (ssd-cost): interval
+    /// bounds on cardinality, guard fuel, and guard-accounted memory,
+    /// plus the SSD03x diagnostics. Pass the envelope to
+    /// [`Budget::admit`] for admission control.
+    pub fn estimate_query(&self, text: &str) -> Result<CostAnalysis, String> {
+        let (q, spans) = ssd_query::lang::parse_query_spanned(text).map_err(|e| e.to_string())?;
+        let (stats, schema) = self.data_stats();
+        let ctx = CostContext {
+            stats: Some(&stats),
+            schema: Some(&schema),
+        };
+        Ok(ssd_query::analyze::analyze_query_cost(
+            &q,
+            Some(&spans),
+            &ctx,
+        ))
+    }
+
+    /// Statically estimate a graph-datalog program's cost envelope.
+    pub fn estimate_datalog(&self, program: &str) -> Result<CostAnalysis, String> {
+        let (p, spans) =
+            ssd_triples::datalog::parse_program_spanned(program, self.graph.symbols())?;
+        let stats = DataStats::collect(&self.graph);
+        let ctx = CostContext {
+            stats: Some(&stats),
+            schema: None,
+        };
+        Ok(ssd_query::analyze::analyze_datalog_cost(
+            &p,
+            Some(&spans),
+            None,
+            &ctx,
+        ))
     }
 
     /// Run a `rewrite` program (the surface syntax for structural
@@ -396,6 +441,34 @@ mod tests {
             )
             .unwrap();
         assert_eq!(eval.count("reach"), db.stats().nodes);
+    }
+
+    #[test]
+    fn estimate_and_admit() {
+        let db = db();
+        let a = db
+            .estimate_query("select T from db.Entry.Movie.Title T")
+            .unwrap();
+        assert!(a.envelope.fuel.is_bounded(), "{:?}", a.envelope);
+        // A generous budget admits it; a one-step budget cannot.
+        assert!(Budget::unlimited()
+            .max_steps(1_000_000_000)
+            .admit(&a.envelope)
+            .is_ok());
+        let rejected = Budget::unlimited().max_steps(1).admit(&a.envelope);
+        assert_eq!(rejected.unwrap_err().code, diag::Code::CostExceedsBudget);
+
+        let d = db
+            .estimate_datalog(
+                "reach(X) :- root(X).\n\
+                 reach(Y) :- reach(X), edge(X, _L, Y).",
+            )
+            .unwrap();
+        assert!(d.envelope.fuel.is_bounded(), "{:?}", d.envelope);
+        assert!(d
+            .diagnostics
+            .iter()
+            .any(|x| x.code == diag::Code::UnboundedCost));
     }
 
     #[test]

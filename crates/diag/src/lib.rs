@@ -75,9 +75,9 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric bands group by front end:
 /// `SSD00x` variable analysis, `SSD01x` schema-aware path typing,
-/// `SSD02x` datalog; the `SSD1xx` band is *runtime* governance
-/// (budget exhaustion, cancellation, panic isolation — see `ssd-guard`).
-/// Codes are append-only; never renumber.
+/// `SSD02x` datalog, `SSD03x` static cost analysis; the `SSD1xx` band is
+/// *runtime* governance (budget exhaustion, cancellation, panic isolation
+/// — see `ssd-guard`). Codes are append-only; never renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Variable referenced but bound by no from-clause binding.
@@ -109,6 +109,17 @@ pub enum Code {
     DatalogHeadWildcard,
     /// Variable occurring exactly once in a rule (likely a typo).
     DatalogSingletonVariable,
+    /// Static cost analysis proves the query exceeds its budget: even the
+    /// *lower* bound of the fuel or memory envelope is above the limit.
+    CostExceedsBudget,
+    /// Static cost analysis cannot bound the query: Kleene star over a
+    /// cyclic schema region, or a recursive datalog stratum.
+    UnboundedCost,
+    /// Two from-clause bindings share no variable: the enumeration is a
+    /// cross product.
+    CrossProductJoin,
+    /// The cost estimate was widened (imprecise); carries the reason.
+    ImpreciseEstimate,
     /// Evaluation ran out of its deterministic step (fuel) budget.
     StepLimitExceeded,
     /// Evaluation exceeded its byte-accounted memory budget.
@@ -145,6 +156,10 @@ impl Code {
             Code::DatalogUnreachableRule => "SSD024",
             Code::DatalogHeadWildcard => "SSD025",
             Code::DatalogSingletonVariable => "SSD026",
+            Code::CostExceedsBudget => "SSD030",
+            Code::UnboundedCost => "SSD031",
+            Code::CrossProductJoin => "SSD032",
+            Code::ImpreciseEstimate => "SSD033",
             Code::StepLimitExceeded => "SSD101",
             Code::MemoryLimitExceeded => "SSD102",
             Code::DeadlineExceeded => "SSD103",
@@ -176,13 +191,17 @@ impl Code {
             | Code::Cancelled
             | Code::FaultInjected
             | Code::ParseDepthExceeded
-            | Code::EnginePanic => Severity::Error,
+            | Code::EnginePanic
+            | Code::CostExceedsBudget => Severity::Error,
             Code::UnusedBinding
             | Code::EmptyPath
             | Code::DatalogUndefinedPredicate
             | Code::DatalogUnreachableRule
             | Code::DatalogSingletonVariable
+            | Code::UnboundedCost
+            | Code::CrossProductJoin
             | Code::TruncatedResult => Severity::Warning,
+            Code::ImpreciseEstimate => Severity::Note,
         }
     }
 
@@ -208,6 +227,10 @@ impl Code {
             Code::DatalogUnreachableRule,
             Code::DatalogHeadWildcard,
             Code::DatalogSingletonVariable,
+            Code::CostExceedsBudget,
+            Code::UnboundedCost,
+            Code::CrossProductJoin,
+            Code::ImpreciseEstimate,
             Code::StepLimitExceeded,
             Code::MemoryLimitExceeded,
             Code::DeadlineExceeded,
@@ -379,6 +402,20 @@ mod tests {
             assert!(c.as_str().starts_with("SSD"));
         }
         assert!(Code::all().len() >= 8, "need at least 8 distinct codes");
+    }
+
+    #[test]
+    fn cost_band_codes_and_severities() {
+        assert_eq!(Code::CostExceedsBudget.as_str(), "SSD030");
+        assert_eq!(Code::CostExceedsBudget.severity(), Severity::Error);
+        assert_eq!(Code::UnboundedCost.as_str(), "SSD031");
+        assert_eq!(Code::UnboundedCost.severity(), Severity::Warning);
+        assert_eq!(Code::CrossProductJoin.as_str(), "SSD032");
+        assert_eq!(Code::CrossProductJoin.severity(), Severity::Warning);
+        assert_eq!(Code::ImpreciseEstimate.as_str(), "SSD033");
+        assert_eq!(Code::ImpreciseEstimate.severity(), Severity::Note);
+        assert!(!Code::CostExceedsBudget.is_runtime());
+        assert!(!Code::ImpreciseEstimate.is_runtime());
     }
 
     #[test]

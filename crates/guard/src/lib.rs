@@ -141,6 +141,182 @@ impl std::fmt::Display for Exhausted {
 
 impl std::error::Error for Exhausted {}
 
+/// An upper bound that may be infinite: Kleene star over a cyclic schema
+/// region (or a recursive datalog stratum) has no finite match bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bound {
+    /// A finite upper bound (in the unit of the enclosing interval).
+    Finite(u64),
+    /// No finite bound exists.
+    Unbounded,
+}
+
+impl Bound {
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Bound::Finite(n) => Some(n),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// Saturating addition; `Unbounded` absorbs.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Saturating multiplication; `Unbounded` absorbs (even `0 × ∞` stays
+    /// `Unbounded`, keeping the bound sound without case analysis).
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn mul(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_mul(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// The smaller of the two bounds (`Unbounded` is the identity).
+    #[must_use]
+    pub fn min(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.min(b)),
+            (Bound::Finite(a), Bound::Unbounded) => Bound::Finite(a),
+            (Bound::Unbounded, b) => b,
+        }
+    }
+
+    /// The larger of the two bounds (`Unbounded` absorbs).
+    #[must_use]
+    pub fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Unbounded => f.write_str("unbounded"),
+        }
+    }
+}
+
+impl Default for Bound {
+    fn default() -> Bound {
+        Bound::Finite(0)
+    }
+}
+
+/// A lower/upper interval in some cost unit. The lower bound is always
+/// finite; the upper may be [`Bound::Unbounded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Interval {
+    /// Guaranteed minimum (a sound *under*-approximation).
+    pub lo: u64,
+    /// Guaranteed maximum (a sound *over*-approximation).
+    pub hi: Bound,
+}
+
+impl Interval {
+    /// The exact interval `[n, n]`.
+    pub fn exact(n: u64) -> Interval {
+        Interval {
+            lo: n,
+            hi: Bound::Finite(n),
+        }
+    }
+
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: u64, hi: Bound) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// `[0, ∞)` — the "know nothing" interval.
+    pub fn unknown() -> Interval {
+        Interval {
+            lo: 0,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// Component-wise saturating addition.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.add(other.hi),
+        }
+    }
+
+    /// Component-wise saturating multiplication.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn mul(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_mul(other.lo),
+            hi: self.hi.mul(other.hi),
+        }
+    }
+
+    /// Is the upper bound finite?
+    pub fn is_bounded(self) -> bool {
+        matches!(self.hi, Bound::Finite(_))
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// The result of static cost analysis for one query / RPE / datalog
+/// program: interval bounds in exactly the units the [`Guard`] accounts —
+/// `fuel` in steps ([`Guard::tick`]), `memory` in bytes
+/// ([`Guard::alloc`]) — plus the estimated result cardinality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostEnvelope {
+    /// How many results (matches / assignments / derived tuples).
+    pub cardinality: Interval,
+    /// Guard steps the evaluation will consume.
+    pub fuel: Interval,
+    /// Guard-accounted bytes the evaluation will consume.
+    pub memory: Interval,
+}
+
+impl CostEnvelope {
+    /// Component-wise sum (sequential composition of two evaluations).
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: CostEnvelope) -> CostEnvelope {
+        CostEnvelope {
+            cardinality: self.cardinality.add(other.cardinality),
+            fuel: self.fuel.add(other.fuel),
+            memory: self.memory.add(other.memory),
+        }
+    }
+}
+
+impl std::fmt::Display for CostEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cardinality {}, fuel {}, memory {} bytes",
+            self.cardinality, self.fuel, self.memory
+        )
+    }
+}
+
 /// Declarative resource limits for one evaluation. `Default` is
 /// unlimited; builder methods narrow it. Create a [`Guard`] with
 /// [`Budget::guard`] at the start of each evaluation.
@@ -243,6 +419,50 @@ impl Budget {
             || self.max_depth.is_some()
             || self.cancel.is_some()
             || !self.fail_points.is_empty()
+    }
+
+    /// Admission control: can an evaluation with this statically-derived
+    /// [`CostEnvelope`] possibly fit the budget?
+    ///
+    /// Rejects (with an SSD030 diagnostic) only when the envelope's
+    /// *lower* bound already exceeds a configured limit — i.e. when the
+    /// evaluation is **guaranteed** to exhaust. Upper bounds (even
+    /// `Unbounded` ones) never reject: the run may still finish early, and
+    /// the [`Guard`] enforces the limit exactly at runtime anyway.
+    pub fn admit(&self, envelope: &CostEnvelope) -> Result<(), Diagnostic> {
+        if let Some(limit) = self.max_steps {
+            if envelope.fuel.lo > limit {
+                return Err(Diagnostic::new(
+                    Code::CostExceedsBudget,
+                    format!(
+                        "query statically exceeds the step budget: \
+                         needs at least {} step(s), limit is {limit}",
+                        envelope.fuel.lo
+                    ),
+                )
+                .with_suggestion(format!(
+                    "raise --max-steps to at least {} or narrow the query",
+                    envelope.fuel.lo
+                )));
+            }
+        }
+        if let Some(limit) = self.max_memory_bytes {
+            if envelope.memory.lo > limit {
+                return Err(Diagnostic::new(
+                    Code::CostExceedsBudget,
+                    format!(
+                        "query statically exceeds the memory budget: \
+                         needs at least {} byte(s), limit is {limit}",
+                        envelope.memory.lo
+                    ),
+                )
+                .with_suggestion(format!(
+                    "raise --max-memory-mb to at least {} MiB or narrow the query",
+                    envelope.memory.lo / (1024 * 1024) + 1
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Start enforcing this budget: the deadline clock starts now.
@@ -635,6 +855,60 @@ mod tests {
         assert!(Exhausted::Fault { site: "s".into() }
             .headline()
             .contains("error[SSD106]"));
+    }
+
+    #[test]
+    fn bound_arithmetic_saturates_and_absorbs() {
+        assert_eq!(Bound::Finite(2).add(Bound::Finite(3)), Bound::Finite(5));
+        assert_eq!(Bound::Finite(2).mul(Bound::Finite(3)), Bound::Finite(6));
+        assert_eq!(
+            Bound::Finite(u64::MAX).add(Bound::Finite(1)),
+            Bound::Finite(u64::MAX)
+        );
+        assert_eq!(Bound::Finite(0).mul(Bound::Unbounded), Bound::Unbounded);
+        assert_eq!(Bound::Unbounded.add(Bound::Finite(1)), Bound::Unbounded);
+        assert_eq!(Bound::Finite(7).min(Bound::Unbounded), Bound::Finite(7));
+        assert_eq!(Bound::Finite(7).max(Bound::Unbounded), Bound::Unbounded);
+        assert_eq!(Bound::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn interval_arithmetic_is_componentwise() {
+        let a = Interval::new(1, Bound::Finite(4));
+        let b = Interval::new(2, Bound::Unbounded);
+        assert_eq!(a.add(b), Interval::new(3, Bound::Unbounded));
+        assert_eq!(
+            a.mul(Interval::exact(3)),
+            Interval::new(3, Bound::Finite(12))
+        );
+        assert!(a.is_bounded());
+        assert!(!Interval::unknown().is_bounded());
+        assert_eq!(a.to_string(), "[1, 4]");
+    }
+
+    #[test]
+    fn admit_rejects_only_on_lower_bound() {
+        let budget = Budget::unlimited().max_steps(100).max_memory_bytes(1000);
+        let fits = CostEnvelope {
+            fuel: Interval::new(10, Bound::Unbounded),
+            memory: Interval::new(0, Bound::Unbounded),
+            ..CostEnvelope::default()
+        };
+        assert!(budget.admit(&fits).is_ok(), "upper bounds never reject");
+        let over_fuel = CostEnvelope {
+            fuel: Interval::new(101, Bound::Finite(200)),
+            ..CostEnvelope::default()
+        };
+        let d = budget.admit(&over_fuel).unwrap_err();
+        assert_eq!(d.code, Code::CostExceedsBudget);
+        assert!(d.headline().contains("SSD030"), "{}", d.headline());
+        let over_mem = CostEnvelope {
+            memory: Interval::new(2000, Bound::Finite(2000)),
+            ..CostEnvelope::default()
+        };
+        let d = budget.admit(&over_mem).unwrap_err();
+        assert!(d.message.contains("memory"), "{}", d.message);
+        assert!(Budget::unlimited().admit(&over_fuel).is_ok());
     }
 
     #[test]

@@ -12,16 +12,22 @@
 //! * [`datalog`] — lints over graph-datalog programs (SSD020–SSD026),
 //!   reusing the evaluator's own safety/stratification machinery so
 //!   analyzer and engine never disagree.
+//! * [`cost`] — `ssd-cost`, the static cost-and-cardinality estimator
+//!   (SSD030–SSD033): interval bounds on result cardinality, guard fuel,
+//!   and guard-accounted memory, driving admission control and the
+//!   cost-based optimizer. Opt-in — not part of [`analyze_query`].
 //!
 //! Entry points: [`analyze_query`] / [`analyze_query_src`] for the query
 //! language, [`analyze_datalog_src`] for datalog; the CLI's `ssd check`
 //! and the evaluator's gate in [`crate::lang::evaluate_select`] sit on
 //! top of these.
 
+pub mod cost;
 pub mod datalog;
 pub mod typing;
 pub mod vars;
 
+pub use cost::{analyze_datalog_cost, analyze_query_cost, CostAnalysis, CostContext};
 pub use datalog::{check_datalog, EDB_PREDICATES};
 pub use typing::{infer, reach, BindingType, PathTypes};
 pub use vars::check_query_vars;

@@ -27,8 +27,9 @@ use std::collections::HashMap;
 /// nested-loop enumerator.
 pub const FP_SELECT_BINDING: &str = "select.binding";
 
-/// Approximate bytes one constructed result tree costs.
-const CONSTRUCT_COST: u64 = 128;
+/// Approximate bytes one constructed result tree costs. Public so the
+/// static cost analysis charges the same unit it measures.
+pub const CONSTRUCT_COST: u64 = 128;
 
 /// Exhaustion flows through the evaluator's existing `Result<_, String>`
 /// error channel as a rendered headline, exactly like the analyzer gate's

@@ -15,7 +15,8 @@ use std::collections::{BTreeSet, HashSet, VecDeque};
 pub const FP_RPE_STEP: &str = "rpe.step";
 
 /// Approximate bytes a visited-set entry costs (pair + hash overhead).
-const VISIT_COST: u64 = 48;
+/// Public so the static cost analysis charges the same unit it measures.
+pub const VISIT_COST: u64 = 48;
 
 /// A match of an RPE with a trailing label variable: the binding of the
 /// final edge.

@@ -22,6 +22,7 @@ pub mod oneindex;
 pub mod pred;
 pub mod schema;
 pub mod simulation;
+pub mod stats;
 
 pub use dataguide::{data_paths_up_to, DataGuide, FP_DATAGUIDE_STATE};
 pub use diff::{diff_paths, PathDiff};
@@ -32,3 +33,4 @@ pub use oneindex::OneIndex;
 pub use pred::Pred;
 pub use schema::{figure1_schema, Schema, SchemaEdge, SchemaNodeId};
 pub use simulation::{conforms, extents, simulation, Simulation};
+pub use stats::DataStats;

@@ -18,7 +18,8 @@ use std::collections::{BTreeSet, HashMap};
 pub const FP_DATALOG_ROUND: &str = "datalog.round";
 
 /// Approximate bytes one derived tuple costs in the fact database.
-const TUPLE_COST: u64 = 96;
+/// Public so the static cost analysis charges the same unit it measures.
+pub const TUPLE_COST: u64 = 96;
 
 /// The fact database: predicate name → set of tuples.
 pub type Facts = HashMap<String, BTreeSet<Vec<Datum>>>;

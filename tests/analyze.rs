@@ -96,14 +96,72 @@ fn every_datalog_code_fires_with_a_span_on_web_data() {
     }
 }
 
+/// The cost band (SSD03x) is opt-in: it comes from the estimator
+/// (`estimate_query`/`estimate_datalog`, CLI `--estimate`/`--admission`)
+/// rather than from `check_query`, so it gets its own driver.
+#[test]
+fn every_cost_code_fires_through_the_estimator() {
+    let db = movie_db();
+    // SSD030: even the cheapest run cannot fit a 1-step budget.
+    let est = db
+        .estimate_query("select T from db.Entry.Movie.Title T")
+        .unwrap();
+    let rejection = semistructured::Budget::unlimited()
+        .max_steps(1)
+        .admit(&est.envelope)
+        .unwrap_err();
+    assert_eq!(rejection.code, Code::CostExceedsBudget);
+    // SSD031: star over the cyclic movie graph has no finite word bound.
+    let est = db.estimate_query("select X from db.%* X").unwrap();
+    assert!(
+        est.diagnostics
+            .iter()
+            .any(|d| d.code == Code::UnboundedCost),
+        "{:?}",
+        est.diagnostics
+    );
+    // SSD032: two bindings sharing no variable multiply out.
+    let est = db
+        .estimate_query("select {m: M, n: N} from db.Entry M, db.Entry N")
+        .unwrap();
+    let cross = est
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::CrossProductJoin)
+        .unwrap();
+    assert!(cross.span.is_some(), "SSD032 lacks a span");
+    // SSD033: with no statistics the estimate is widened, with a reason.
+    let q = semistructured::query::parse_query("select T from db.Entry.Movie.Title T").unwrap();
+    let a = semistructured::query::analyze::analyze_query_cost(
+        &q,
+        None,
+        &semistructured::query::analyze::CostContext::default(),
+    );
+    assert!(
+        a.diagnostics
+            .iter()
+            .any(|d| d.code == Code::ImpreciseEstimate),
+        "{:?}",
+        a.diagnostics
+    );
+}
+
 #[test]
 fn all_static_codes_are_covered_by_the_cases() {
     // Runtime-governance codes (SSD1xx) are exercised by tests/guard.rs;
-    // this file owns the static-analysis band.
+    // the cost band (SSD03x) by every_cost_code_fires_through_the_estimator
+    // and tests/cost_soundness.rs; this file's tables own the rest.
+    let cost_band = [
+        Code::CostExceedsBudget,
+        Code::UnboundedCost,
+        Code::CrossProductJoin,
+        Code::ImpreciseEstimate,
+    ];
     let covered: Vec<Code> = QUERY_CASES
         .iter()
         .chain(DATALOG_CASES)
         .map(|(c, _)| *c)
+        .chain(cost_band)
         .collect();
     for &code in Code::all().iter().filter(|c| !c.is_runtime()) {
         assert!(covered.contains(&code), "no test case triggers {code}");

@@ -1,0 +1,204 @@
+//! Soundness of the static cost estimator (ssd-cost).
+//!
+//! The envelope's contract: on any dataset, a governed evaluation's
+//! measured guard fuel and guard-accounted memory never exceed the
+//! static upper bounds, and (for complete, untruncated runs) fuel never
+//! falls below the lower bound. Random graphs and random path
+//! expressions probe the contract; the guard must be *active* (huge but
+//! finite limits) because an unlimited guard counts nothing.
+
+use proptest::prelude::*;
+use semistructured::query::analyze::{analyze_datalog_cost, analyze_query_cost, CostContext};
+use semistructured::query::lang::ast::{Binding, Construct, SelectQuery, Source};
+use semistructured::query::lang::{evaluate_select, EvalOptions};
+use semistructured::query::{Rpe, Step};
+use semistructured::triples::datalog::{evaluate_with, parse_program};
+use semistructured::{Bound, Budget, DataStats, Graph, Label, TripleStore};
+
+const LABELS: &[&str] = &["a", "b", "c", "Movie", "Title"];
+
+fn graph_from_edges(n: usize, edges: &[(usize, usize, usize)]) -> Graph {
+    let mut g = Graph::new();
+    let mut ids = vec![g.root()];
+    for _ in 1..n {
+        ids.push(g.add_node());
+    }
+    for &(from, to, label) in edges {
+        let from = ids[from % n];
+        let to = ids[to % n];
+        let label = if label < LABELS.len() {
+            Label::symbol(g.symbols(), LABELS[label])
+        } else {
+            Label::int((label - LABELS.len()) as i64)
+        };
+        g.add_edge(from, label, to);
+    }
+    g
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..7,
+        proptest::collection::vec((0usize..7, 0usize..7, 0usize..7), 0..16),
+    )
+        .prop_map(|(n, edges)| graph_from_edges(n, &edges))
+}
+
+fn arb_rpe() -> impl Strategy<Value = Rpe> {
+    let leaf = prop_oneof![
+        (0usize..LABELS.len()).prop_map(|i| Rpe::symbol(LABELS[i])),
+        Just(Rpe::step(Step::wildcard())),
+        (0usize..LABELS.len()).prop_map(|i| Rpe::step(Step::not_symbol(LABELS[i]))),
+        Just(Rpe::Epsilon),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rpe::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rpe::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| a.star()),
+            inner.clone().prop_map(|a| a.plus()),
+            inner.prop_map(|a| a.opt()),
+        ]
+    })
+}
+
+/// `select {x: X[, y: Y]} from db.p1 X[, X.p2 Y]` — programmatically
+/// built so no Display/parse round trip can skew the experiment.
+fn query_of(p1: Rpe, p2: Option<Rpe>) -> SelectQuery {
+    let mut bindings = vec![Binding {
+        source: Source::Db,
+        path: p1,
+        var: "X".into(),
+    }];
+    let mut fields = vec![(
+        semistructured::query::lang::LabelExpr::Symbol("x".into()),
+        Construct::Var("X".into()),
+    )];
+    if let Some(p) = p2 {
+        bindings.push(Binding {
+            source: Source::Var("X".into()),
+            path: p,
+            var: "Y".into(),
+        });
+        fields.push((
+            semistructured::query::lang::LabelExpr::Symbol("y".into()),
+            Construct::Var("Y".into()),
+        ));
+    }
+    SelectQuery {
+        construct: Construct::Node(fields),
+        bindings,
+        condition: None,
+    }
+}
+
+/// An active guard with limits far beyond anything a 7-node graph can
+/// consume: everything is counted, nothing is tripped.
+fn huge_active_guard() -> semistructured::Guard {
+    Budget::unlimited()
+        .max_steps(u64::MAX / 4)
+        .max_memory_bytes(u64::MAX / 4)
+        .guard()
+}
+
+fn assert_brackets(
+    what: &str,
+    envelope: &semistructured::CostEnvelope,
+    used: u64,
+    mem: u64,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        used >= envelope.fuel.lo,
+        "{what}: fuel {used} below lower bound {}",
+        envelope.fuel.lo
+    );
+    if let Bound::Finite(hi) = envelope.fuel.hi {
+        prop_assert!(used <= hi, "{what}: fuel {used} above upper bound {hi}");
+    }
+    if let Bound::Finite(hi) = envelope.memory.hi {
+        prop_assert!(mem <= hi, "{what}: memory {mem} above upper bound {hi}");
+    }
+    Ok(())
+}
+
+/// The fixed datalog workloads: recursion, stratified negation, joins.
+const PROGRAMS: &[&str] = &[
+    "tc(X, Y) :- edge(X, _L, Y).\n\
+     tc(X, Y) :- edge(X, _L, Z), tc(Z, Y).",
+    "out(X) :- edge(X, _L, _Y).\n\
+     sink(X) :- node(X), not out(X).",
+    "r(X) :- root(X).\n\
+     reach(Y) :- r(Y).\n\
+     reach(Y) :- reach(X), edge(X, _L, Y).",
+    "pair(X, Y) :- edge(X, _L, Y), edge(Y, _K, X).",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_envelope_brackets_measured_guard_cost(
+        g in arb_graph(),
+        p1 in arb_rpe(),
+        p2 in prop_oneof![Just(None), arb_rpe().prop_map(Some)],
+    ) {
+        let q = query_of(p1, p2);
+        let stats = DataStats::collect(&g);
+        let a = analyze_query_cost(&q, None, &CostContext::with_stats(&stats));
+        let guard = huge_active_guard();
+        let opts = EvalOptions::default().with_guard(&guard);
+        let (_, run) = evaluate_select(&g, &q, &opts).map_err(|e| {
+            TestCaseError::Fail(format!("evaluation failed: {e}"))
+        })?;
+        prop_assert!(run.truncated.is_none(), "huge budget must not truncate");
+        assert_brackets("query", &a.envelope, guard.steps_used(), guard.memory_used())?;
+        // Cardinality: with no `where` clause every assignment reaches
+        // the construct stage, so the count is the match cardinality.
+        if let Bound::Finite(hi) = a.envelope.cardinality.hi {
+            let results = run.results_constructed as u64;
+            prop_assert!(results <= hi, "{results} results above bound {hi}");
+        }
+    }
+
+    #[test]
+    fn datalog_envelope_brackets_measured_guard_cost(
+        g in arb_graph(),
+        which in 0usize..PROGRAMS.len(),
+    ) {
+        let p = parse_program(PROGRAMS[which], g.symbols()).unwrap();
+        let stats = DataStats::collect(&g);
+        let a = analyze_datalog_cost(&p, None, None, &CostContext::with_stats(&stats));
+        let store = TripleStore::from_graph(&g);
+        let guard = huge_active_guard();
+        let eval = evaluate_with(&p, &store, &guard).map_err(|e| {
+            TestCaseError::Fail(format!("evaluation failed: {e}"))
+        })?;
+        prop_assert!(eval.truncated.is_none(), "huge budget must not truncate");
+        assert_brackets("datalog", &a.envelope, guard.steps_used(), guard.memory_used())?;
+    }
+
+    #[test]
+    fn admission_never_rejects_a_run_that_fits(
+        g in arb_graph(),
+        p1 in arb_rpe(),
+    ) {
+        // Contrapositive of soundness: if a real run finishes within a
+        // budget, admission with that budget must accept the envelope.
+        let q = query_of(p1, None);
+        let stats = DataStats::collect(&g);
+        let a = analyze_query_cost(&q, None, &CostContext::with_stats(&stats));
+        let guard = huge_active_guard();
+        let opts = EvalOptions::default().with_guard(&guard);
+        evaluate_select(&g, &q, &opts).map_err(|e| {
+            TestCaseError::Fail(format!("evaluation failed: {e}"))
+        })?;
+        let budget = Budget::unlimited()
+            .max_steps(guard.steps_used())
+            .max_memory_bytes(guard.memory_used().max(1));
+        prop_assert!(
+            budget.admit(&a.envelope).is_ok(),
+            "admission rejected a budget the run fit: used {} steps",
+            guard.steps_used()
+        );
+    }
+}
