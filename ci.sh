@@ -68,4 +68,48 @@ if ./target/release/ssd query examples/movies.ssd \
     exit 1
 fi
 
+echo "== serve smoke run (3 concurrent sessions)" >&2
+serve_log=$(mktemp)
+timeout 120 ./target/release/ssd serve examples/movies.ssd --port 0 \
+    --workers 1 --queue 8 --metrics-dump > "$serve_log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$serve_log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "ci: ssd serve did not print its listening port" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+# Three sessions at once: one admitted, one forced to queue, one rejected.
+a_out=$(mktemp); b_out=$(mktemp); c_out=$(mktemp)
+printf 'HELLO fuel=1000000\nQUERY select T from db.Entry.%%.Title T\nSTATS\n' \
+    | timeout 60 ./target/release/ssd client "$port" > "$a_out" &
+a_pid=$!
+printf 'HELLO job-fuel=1\nQUERY select T from db.Entry.%%.Title T\n' \
+    | timeout 60 ./target/release/ssd client "$port" > "$b_out" &
+b_pid=$!
+# C's first job is a deliberately slow cross-product so the two cheap
+# queries pipelined right behind it are guaranteed to hit the jobs=1 cap
+# while it is still running (and thus be queued, not dispatched).
+printf 'HELLO jobs=1\nQUERY select {a: X, b: Y, c: Z} from db.%%* X, db.%%* Y, db.%%* Z\nQUERY select T from db.Entry.%%.Title T\nQUERY select T from db.Entry.%%.Title T\n' \
+    | timeout 60 ./target/release/ssd client "$port" > "$c_out" &
+c_pid=$!
+wait "$a_pid" "$b_pid" "$c_pid"
+grep -q "OK session" "$a_out"          # session opened
+grep -q "Casablanca" "$a_out"          # results streamed back
+grep -q " DONE " "$a_out"              # job settled
+grep -q "admitted" "$a_out"            # STATS block present
+grep -q "SSD030" "$b_out"              # over-ceiling job rejected statically
+grep -q "queued" "$c_out"              # concurrency cap 1 forces queueing
+grep -q " DONE " "$c_out"              # ...and the queue drains
+printf 'SHUTDOWN\n' | timeout 60 ./target/release/ssd client "$port" >/dev/null
+wait "$serve_pid"                      # clean exit after graceful drain
+grep -q "^admitted " "$serve_log"      # non-empty metrics dump
+grep -q "^rejected 1$" "$serve_log"    # session B's rejection is in the books
+rm -f "$serve_log" "$a_out" "$b_out" "$c_out"
+
 echo "ci: all gates passed" >&2

@@ -1,5 +1,5 @@
-//! Experiment report: regenerates the E1–E12 and E15 measured series recorded in
-//! EXPERIMENTS.md.
+//! Experiment report: regenerates the E1–E12, E15, and E16 measured
+//! series recorded in EXPERIMENTS.md.
 //!
 //! ```sh
 //! cargo run --release -p ssd-bench --bin report
@@ -42,7 +42,7 @@ fn header(title: &str) {
 }
 
 fn main() {
-    println!("semistructured — experiment report (E1–E12, E15)");
+    println!("semistructured — experiment report (E1–E12, E15, E16)");
     println!("paper: Buneman, \"Semistructured Data\", PODS 1997 (tutorial; no tables — series defined in EXPERIMENTS.md)");
 
     e01();
@@ -58,6 +58,7 @@ fn main() {
     e11();
     e12();
     e15();
+    e16();
     println!("\nreport complete.");
 }
 
@@ -525,4 +526,139 @@ fn e15() {
         }
     }
     println!("(* = cost model committed a binding reorder; envelopes in OptReport)");
+}
+
+/// `fuel=N` token out of a job's DONE summary.
+fn job_fuel(summary: &str) -> u64 {
+    summary
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("fuel="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Replay the scheduler's FIFO dispatch over measured per-job fuel:
+/// each job goes to the least-loaded of `workers`; the makespan is the
+/// heaviest worker's total. This is the partition-determined ideal the
+/// E11 work profile uses, grounded in fuel the jobs actually spent.
+fn simulated_makespan(fuels: &[u64], workers: usize) -> u64 {
+    let mut load = vec![0u64; workers.max(1)];
+    for &f in fuels {
+        let i = (0..load.len()).min_by_key(|&i| load[i]).expect("nonempty");
+        load[i] += f;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+fn e16() {
+    use ssd_serve::{JobKind, ServeConfig, Server, SessionQuota};
+    use std::sync::Arc;
+    header("E16 — ssd-serve: worker scaling, admission cost, tail latency");
+
+    const JOBS: usize = 32;
+    const JOIN: &str = r#"select {p: {t: T, d: D}} from db.Entry.Movie M, M.Title T, M.Director D
+                          where exists M.Cast"#;
+    let db = Arc::new(Database::new(movies(100)));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let roomy = SessionQuota {
+        fuel: None,
+        memory: None,
+        max_concurrent: JOBS,
+        job_fuel: 1 << 40,
+        job_memory: 1 << 32,
+    };
+    let cfg = |workers| ServeConfig {
+        workers,
+        queue_cap: JOBS * 2,
+        ..ServeConfig::default()
+    };
+
+    // (a) Throughput scaling, 32 identical join jobs per run.
+    println!("host cores: {cores}; wall clock is core-bound — the simulated makespan");
+    println!("replays FIFO dispatch over the measured per-job fuel (E11 precedent)");
+    println!(
+        "{:>8} {:>12} {:>10} {:>16} {:>10}",
+        "workers", "wall µs", "wall spd", "sim makespan", "sim spd"
+    );
+    let mut fuels: Vec<u64> = Vec::new();
+    let (mut wall1, mut mk1) = (0.0f64, 0u64);
+    for &w in &[1usize, 2, 4, 8] {
+        let server = Server::start(Arc::clone(&db), cfg(w));
+        let sess = server.open_session(roomy.clone());
+        let t = Instant::now();
+        let handles: Vec<_> = (0..JOBS)
+            .map(|_| sess.submit(JobKind::Query, JOIN).expect("admitted"))
+            .collect();
+        let mut run_fuels = Vec::with_capacity(JOBS);
+        for h in handles {
+            let o = h.wait();
+            assert!(o.error.is_none(), "{:?}", o.error);
+            run_fuels.push(job_fuel(o.summary.as_deref().unwrap_or("")));
+        }
+        let wall = t.elapsed().as_secs_f64() * 1e6;
+        sess.close();
+        server.shutdown();
+        if w == 1 {
+            fuels = run_fuels;
+        }
+        let mk = simulated_makespan(&fuels, w);
+        if w == 1 {
+            (wall1, mk1) = (wall, mk);
+        }
+        println!(
+            "{w:>8} {wall:>12.1} {:>9.2}x {mk:>16} {:>9.2}x",
+            wall1 / wall.max(0.01),
+            mk1 as f64 / mk.max(1) as f64
+        );
+    }
+
+    // (b) Admission rejection never reaches the engine.
+    let server = Server::start(Arc::clone(&db), cfg(2));
+    let sess = server.open_session(SessionQuota {
+        job_fuel: 1,
+        ..roomy.clone()
+    });
+    let t = Instant::now();
+    let rejected = (0..64)
+        .filter(|_| sess.submit(JobKind::Query, JOIN).is_err())
+        .count();
+    let per = t.elapsed().as_secs_f64() * 1e6 / 64.0;
+    sess.close();
+    let m = server.shutdown();
+    assert_eq!(m.counters.fuel_spent, 0, "rejection must cost no fuel");
+    println!(
+        "admission: {rejected}/64 over-ceiling jobs rejected, {per:.1} µs each; \
+         engine fuel spent = {} (rejection is free)",
+        m.counters.fuel_spent
+    );
+
+    // (c) Tail latency under a mixed load, 2 workers.
+    let server = Server::start(Arc::clone(&db), cfg(2));
+    let sess = server.open_session(roomy.clone());
+    let path3 = "select T from db.Entry.Movie.Title T";
+    let handles: Vec<_> = (0..JOBS)
+        .map(|i| match i % 3 {
+            0 => sess.submit(JobKind::Query, JOIN),
+            1 => sess.submit(JobKind::Query, path3),
+            _ => sess.submit(JobKind::Rpe, "Entry.Movie.Title"),
+        })
+        .map(|r| r.expect("admitted"))
+        .collect();
+    for h in handles {
+        let o = h.wait();
+        assert!(o.error.is_none(), "{:?}", o.error);
+    }
+    sess.close();
+    let m = server.shutdown();
+    println!(
+        "mixed load ({JOBS} jobs, 2 workers): p50={} µs p99={} µs queue peak={} \
+         fuel est/spent={}/{}",
+        ssd_serve::metrics::percentile(&m.latencies_us, 50),
+        ssd_serve::metrics::percentile(&m.latencies_us, 99),
+        m.queue_peak,
+        m.counters.fuel_estimated,
+        m.counters.fuel_spent
+    );
 }

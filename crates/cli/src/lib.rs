@@ -48,6 +48,8 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
   ssd dot       DATA                       Graphviz rendering
   ssd fmt       DATA                       canonical literal form
   ssd repl      DATA                       run commands from stdin (see 'help')
+  ssd serve     DATA [--port N]            serve DATA over TCP (see below)
+  ssd client    PORT                       speak the wire protocol from stdin
   ssd json      DATA                       export as JSON (acyclic only)
   ssd xml       DATA                       export as XML (acyclic only)
   ssd import-json JSONFILE                 convert JSON to the literal form
@@ -69,6 +71,26 @@ Admission control (query, datalog):
                       exceeds the budget, strict rejects with SSD030
                       before the engine does any work, warn prints
                       SSD030 as a warning and runs anyway.
+Note: under --admission=strict, rejection takes precedence over
+--partial (SSD034) — a rejected query never starts, so there is no
+partial result to keep.
+
+Serving (see docs/SERVING.md for the protocol):
+  ssd serve DATA [--port N]        loopback TCP server (0 = ephemeral;
+                                   prints `listening on 127.0.0.1:PORT`)
+            [--workers N]          worker threads (default 2)
+            [--queue N]            run-queue capacity (default 16)
+            [--session-fuel N]     default per-session fuel quota
+            [--session-memory-mb N]  default per-session memory quota
+            [--job-fuel N]         default per-job fuel ceiling
+            [--job-memory-mb N]    default per-job memory ceiling
+            [--max-jobs N]         default per-session concurrency cap
+            [--metrics-dump]       print the metrics block on shutdown
+  ssd client PORT                  each stdin line is one command frame
+                                   (HELLO, QUERY, DATALOG, RPE, CANCEL,
+                                   STATS, BYE, SHUTDOWN); waits for
+                                   submitted jobs to finish, then BYE.
+
 Exhaustion renders an SSD1xx diagnostic and exits nonzero. The
 SSD_FAILPOINTS environment variable (site=N, comma-separated) injects
 deterministic faults at engine seams for testing.";
@@ -305,6 +327,8 @@ fn dispatch(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> 
             let db = Database::from_json(&text).map_err(CliError::Failed)?;
             Ok(db.to_literal())
         }
+        "serve" => cmd_serve(&rest, stdin),
+        "client" => cmd_client(&rest, stdin),
         // Hidden trigger for exercising the panic-isolation boundary.
         #[cfg(test)]
         "__panic" => panic!("deliberate test panic"),
@@ -434,7 +458,26 @@ fn admission_gate(
     .map_err(CliError::Failed)?;
     match budget.admit(&analysis.envelope) {
         Ok(()) => Ok(String::new()),
-        Err(d) if mode == Admission::Strict => Err(CliError::Failed(d.headline())),
+        Err(d) if mode == Admission::Strict => {
+            let mut msg = d.headline();
+            // Precedence is explicit: strict admission rejects before the
+            // engine starts, so there is never a partial result for
+            // `--partial` to keep. Say so instead of silently ignoring
+            // the flag.
+            if budget.partial {
+                msg.push('\n');
+                msg.push_str(
+                    &semistructured::diag::Diagnostic::new(
+                        semistructured::diag::Code::AdmissionOverridesPartial,
+                        "--partial has no effect under --admission=strict: \
+                         rejection happens before evaluation, so no partial \
+                         result exists to keep",
+                    )
+                    .headline(),
+                );
+            }
+            Err(CliError::Failed(msg))
+        }
         Err(mut d) => {
             d.severity = semistructured::diag::Severity::Warning;
             Ok(format!("{}\n", d.headline()))
@@ -469,6 +512,204 @@ fn prepend_truncation(guard: &Guard, out: String) -> String {
             .headline()
         ),
         None => out,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving: `ssd serve` / `ssd client` over the ssd-serve wire protocol
+// ---------------------------------------------------------------------------
+
+const SERVE_USAGE: &str = "serve DATA [--port N] [--workers N] [--queue N] \
+[--session-fuel N] [--session-memory-mb N] [--job-fuel N] [--job-memory-mb N] \
+[--max-jobs N] [--metrics-dump]";
+
+fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
+    fn take_value(tail: &mut Vec<&str>, i: usize, flag: &str) -> Result<u64, CliError> {
+        if i + 1 >= tail.len() {
+            return Err(CliError::Usage(format!("{flag} needs a value")));
+        }
+        let v = tail.remove(i + 1);
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("{flag}: '{v}' is not a non-negative integer")))
+    }
+    let mut tail: Vec<&str> = rest.to_vec();
+    let mut port: u16 = 0;
+    let mut cfg = ssd_serve::ServeConfig::default();
+    let mut quota = ssd_serve::SessionQuota::default();
+    let mut metrics_dump = false;
+    let mut i = 0;
+    while i < tail.len() {
+        match tail[i] {
+            "--port" => {
+                let n = take_value(&mut tail, i, "--port")?;
+                port = u16::try_from(n)
+                    .map_err(|_| CliError::Usage(format!("--port: {n} is not a TCP port")))?;
+                tail.remove(i);
+            }
+            "--workers" => {
+                cfg.workers = (take_value(&mut tail, i, "--workers")? as usize).max(1);
+                tail.remove(i);
+            }
+            "--queue" => {
+                cfg.queue_cap = take_value(&mut tail, i, "--queue")? as usize;
+                tail.remove(i);
+            }
+            "--session-fuel" => {
+                quota.fuel = Some(take_value(&mut tail, i, "--session-fuel")?);
+                tail.remove(i);
+            }
+            "--session-memory-mb" => {
+                quota.memory = Some(take_value(&mut tail, i, "--session-memory-mb")? << 20);
+                tail.remove(i);
+            }
+            "--job-fuel" => {
+                quota.job_fuel = take_value(&mut tail, i, "--job-fuel")?;
+                tail.remove(i);
+            }
+            "--job-memory-mb" => {
+                quota.job_memory = take_value(&mut tail, i, "--job-memory-mb")? << 20;
+                tail.remove(i);
+            }
+            "--max-jobs" => {
+                quota.max_concurrent = (take_value(&mut tail, i, "--max-jobs")? as usize).max(1);
+                tail.remove(i);
+            }
+            "--metrics-dump" => {
+                metrics_dump = true;
+                tail.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    let db = load_db(one(&tail, SERVE_USAGE)?, stdin)?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| CliError::Failed(format!("bind 127.0.0.1:{port}: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Failed(format!("local_addr: {e}")))?;
+    // Printed eagerly (not via the returned string) so a script that
+    // backgrounded us can read the ephemeral port while we serve.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    serve_on(db, cfg, quota, listener, metrics_dump)
+}
+
+/// Run the accept loop on an already-bound listener until a client sends
+/// `SHUTDOWN`, then drain and return the final report. Public so
+/// integration tests can bind their own ephemeral port first.
+pub fn serve_on(
+    db: Database,
+    cfg: ssd_serve::ServeConfig,
+    default_quota: ssd_serve::SessionQuota,
+    listener: std::net::TcpListener,
+    metrics_dump: bool,
+) -> Result<String, CliError> {
+    let server = std::sync::Arc::new(ssd_serve::Server::start(std::sync::Arc::new(db), cfg));
+    ssd_serve::net::serve_tcp(std::sync::Arc::clone(&server), listener, default_quota)
+        .map_err(|e| CliError::Failed(format!("serve: {e}")))?;
+    let metrics = server.shutdown();
+    if metrics_dump {
+        Ok(metrics.render())
+    } else {
+        Ok("server stopped".to_owned())
+    }
+}
+
+fn cmd_client(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
+    let port: u16 = one(rest, "client PORT (commands on stdin)")?
+        .parse()
+        .map_err(|_| CliError::Usage("client PORT (commands on stdin)".into()))?;
+    let mut script = String::new();
+    stdin
+        .read_to_string(&mut script)
+        .map_err(|e| CliError::Failed(format!("reading stdin: {e}")))?;
+    client_script(port, &script)
+}
+
+/// Drive one connection: each non-blank, non-`#` line of `script` is one
+/// command frame. After the script, wait for every submitted job to
+/// finish (`JOB n DONE`/`JOB n ERR`), close with `BYE` if the script did
+/// not, and return everything the server said, one frame per block.
+pub fn client_script(port: u16, script: &str) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port))
+        .map_err(|e| CliError::Failed(format!("connect 127.0.0.1:{port}: {e}")))?;
+    let fail = |what: &str, e: std::io::Error| CliError::Failed(format!("{what}: {e}"));
+
+    // Commands pipeline freely: the server's reader drains frames in
+    // order, and job output is tagged with its job id.
+    let mut owed = 0usize; // command responses not yet seen
+    let mut closing = false; // sent BYE or SHUTDOWN
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        stream
+            .write_all(&ssd_serve::encode_frame(line))
+            .map_err(|e| fail("send", e))?;
+        owed += 1;
+        closing |= line == "BYE" || line == "SHUTDOWN";
+    }
+
+    let mut out = String::new();
+    let mut pending: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        loop {
+            match ssd_serve::decode_frame(&buf) {
+                Ok(None) => break,
+                Ok(Some((payload, used))) => {
+                    buf.drain(..used);
+                    note_frame(&payload, &mut owed, &mut pending);
+                    out.push_str(&payload);
+                    out.push('\n');
+                }
+                Err(e) => return Err(CliError::Failed(format!("server sent a bad frame: {e}"))),
+            }
+        }
+        if owed == 0 && pending.is_empty() {
+            if closing {
+                break;
+            }
+            stream
+                .write_all(&ssd_serve::encode_frame("BYE"))
+                .map_err(|e| fail("send BYE", e))?;
+            owed += 1;
+            closing = true;
+        }
+        match std::io::Read::read(&mut stream, &mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Bookkeeping for [`client_script`]: which frames answer a command
+/// (`OK`/`ERR`/`STATS`), and which open or settle a job stream.
+fn note_frame(payload: &str, owed: &mut usize, pending: &mut std::collections::HashSet<u64>) {
+    let head = payload.lines().next().unwrap_or("");
+    if head.starts_with("OK") || head.starts_with("ERR") || head.starts_with("STATS") {
+        *owed = owed.saturating_sub(1);
+        if let Some(rest) = head.strip_prefix("OK job=") {
+            if let Ok(id) = rest.split_whitespace().next().unwrap_or("").parse::<u64>() {
+                pending.insert(id);
+            }
+        }
+    } else if let Some(rest) = head.strip_prefix("JOB ") {
+        let mut it = rest.split_whitespace();
+        if let (Some(id), Some(kind)) = (it.next(), it.next()) {
+            if kind != "CHUNK" {
+                if let Ok(id) = id.parse::<u64>() {
+                    pending.remove(&id);
+                }
+            }
+        }
     }
 }
 
@@ -1127,6 +1368,95 @@ mod tests {
         )
         .unwrap();
         assert!(ok.contains("Casablanca"), "{ok}");
+    }
+
+    #[test]
+    fn strict_admission_takes_precedence_over_partial() {
+        // --partial cannot soften a strict rejection: the job never
+        // starts, and the SSD034 note says so explicitly.
+        let err = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1",
+                "--partial",
+                "--admission=strict",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        match err {
+            CliError::Failed(m) => {
+                assert!(m.contains("error[SSD030]"), "{m}");
+                assert!(m.contains("note[SSD034]"), "{m}");
+                assert!(!m.contains("SSD107"), "no truncation ran: {m}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // Without --partial the note would be noise; it is absent.
+        let err = run_str(
+            &[
+                "query",
+                "-",
+                "select T from db.Entry.Movie.Title T",
+                "--max-steps",
+                "1",
+                "--admission=strict",
+            ],
+            DATA,
+        )
+        .unwrap_err();
+        match err {
+            CliError::Failed(m) => assert!(!m.contains("SSD034"), "{m}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let db = Database::from_literal(DATA).unwrap();
+        let server = std::thread::spawn(move || {
+            serve_on(
+                db,
+                ssd_serve::ServeConfig::default(),
+                ssd_serve::SessionQuota::default(),
+                listener,
+                true,
+            )
+        });
+
+        // Session 1: query + stats; client waits for the job, then BYE.
+        let out = client_script(
+            port,
+            "HELLO fuel=1000000\nQUERY select T from db.Entry.Movie.Title T\nSTATS\n",
+        )
+        .unwrap();
+        assert!(out.contains("OK session s1"), "{out}");
+        assert!(out.contains("OK job=1"), "{out}");
+        assert!(out.contains("Casablanca"), "{out}");
+        assert!(out.contains("JOB 1 DONE"), "{out}");
+        assert!(out.contains("admitted"), "{out}");
+        assert!(out.contains("OK bye"), "{out}");
+
+        // Session 2: a per-job ceiling the envelope cannot fit → SSD030,
+        // rejected before any engine work.
+        let out = client_script(
+            port,
+            "HELLO job-fuel=1\nQUERY select T from db.Entry.Movie.Title T\n",
+        )
+        .unwrap();
+        assert!(out.contains("ERR error[SSD030]"), "{out}");
+
+        let out = client_script(port, "SHUTDOWN\n").unwrap();
+        assert!(out.contains("OK shutting down"), "{out}");
+        let dump = server.join().unwrap().unwrap();
+        assert!(dump.contains("admitted 1"), "{dump}");
+        assert!(dump.contains("rejected 1"), "{dump}");
+        assert!(dump.contains("completed 1"), "{dump}");
     }
 
     #[test]

@@ -74,6 +74,51 @@ impl QueryResult {
     pub fn bisimilar_to(&self, other: &QueryResult) -> bool {
         ssd_graph::bisim::graphs_bisimilar(&self.graph, &other.graph)
     }
+
+    /// Lazily serialize the result in chunks of at most `n` root
+    /// subtrees, each a standalone literal document.
+    ///
+    /// This is the streaming seam `ssd-serve` uses to ship large result
+    /// sets frame by frame instead of buffering one giant literal:
+    /// chunk *k* covers root edges `[k·n, (k+1)·n)`, and the union of
+    /// all chunks' root edge sets is exactly the full result's.
+    /// Substructure shared between chunks is duplicated into each (a
+    /// chunk must stand alone); sharing *within* a chunk is preserved by
+    /// the literal writer's `@` markers.
+    pub fn chunks(&self, n: usize) -> ResultChunks<'_> {
+        ResultChunks {
+            graph: &self.graph,
+            pos: 0,
+            n: n.max(1),
+        }
+    }
+}
+
+/// Iterator over standalone literal chunks of a [`QueryResult`]; see
+/// [`QueryResult::chunks`].
+pub struct ResultChunks<'a> {
+    graph: &'a Graph,
+    pos: usize,
+    n: usize,
+}
+
+impl Iterator for ResultChunks<'_> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let edges = self.graph.edges(self.graph.root());
+        if self.pos >= edges.len() {
+            return None;
+        }
+        let end = (self.pos + self.n).min(edges.len());
+        let mut out = Graph::with_symbols(self.graph.symbols_handle());
+        for e in &edges[self.pos..end] {
+            let sub = ssd_graph::ops::copy_subgraph(self.graph, e.to, &mut out);
+            out.add_edge(out.root(), e.label.clone(), sub);
+        }
+        self.pos = end;
+        Some(ssd_graph::literal::write_graph(&out))
+    }
 }
 
 impl Database {
@@ -469,6 +514,31 @@ mod tests {
             .diagnostics
             .iter()
             .any(|x| x.code == diag::Code::UnboundedCost));
+    }
+
+    #[test]
+    fn chunked_results_cover_the_full_literal() {
+        let db = db();
+        let r = db.query("select T from db.Entry.%.Title T").unwrap();
+        let chunks: Vec<String> = r.chunks(2).collect();
+        // 3 titles in chunks of 2 -> sizes [2, 1].
+        assert_eq!(chunks.len(), 2);
+        // Each chunk is a standalone literal, and re-assembling every
+        // chunk's roots reproduces the full result extensionally.
+        let mut merged = ssd_graph::Graph::new();
+        for c in &chunks {
+            let part = Database::from_literal(c).unwrap();
+            let root = merged.root();
+            for e in part.graph().edges(part.graph().root()).to_vec() {
+                let sub = ssd_graph::ops::copy_subgraph(part.graph(), e.to, &mut merged);
+                let lbl = ssd_graph::ops::translate_label(part.graph(), &e.label, &merged);
+                merged.add_edge(root, lbl, sub);
+            }
+        }
+        assert!(ssd_graph::bisim::graphs_bisimilar(r.graph(), &merged));
+        // Empty results produce zero chunks.
+        let empty = db.query("select T from db.Nope T").unwrap();
+        assert_eq!(empty.chunks(4).count(), 0);
     }
 
     #[test]

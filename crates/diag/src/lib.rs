@@ -77,7 +77,9 @@ impl fmt::Display for Severity {
 /// `SSD00x` variable analysis, `SSD01x` schema-aware path typing,
 /// `SSD02x` datalog, `SSD03x` static cost analysis; the `SSD1xx` band is
 /// *runtime* governance (budget exhaustion, cancellation, panic isolation
-/// — see `ssd-guard`). Codes are append-only; never renumber.
+/// — see `ssd-guard`); the `SSD2xx` band is the query-serving scheduler
+/// (session quotas, admission, queueing, wire protocol — see
+/// `ssd-serve`). Codes are append-only; never renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Variable referenced but bound by no from-clause binding.
@@ -120,6 +122,9 @@ pub enum Code {
     CrossProductJoin,
     /// The cost estimate was widened (imprecise); carries the reason.
     ImpreciseEstimate,
+    /// Strict admission rejected the query before evaluation started, so
+    /// `--partial` (a run-time degradation mode) was never consulted.
+    AdmissionOverridesPartial,
     /// Evaluation ran out of its deterministic step (fuel) budget.
     StepLimitExceeded,
     /// Evaluation exceeded its byte-accounted memory budget.
@@ -138,6 +143,18 @@ pub enum Code {
     ParseDepthExceeded,
     /// An engine bug (panic) was caught at the CLI isolation boundary.
     EnginePanic,
+    /// The session's remaining quota cannot cover the job (ssd-serve).
+    SessionQuotaExhausted,
+    /// The server's run queue is full — backpressure rejection.
+    QueueFull,
+    /// The job was admitted but is waiting in the run queue.
+    JobQueued,
+    /// The job was submitted while the server is shutting down.
+    ServerShuttingDown,
+    /// A job id named by `CANCEL` (or awaited) is not known.
+    UnknownJob,
+    /// A malformed wire-protocol frame or command.
+    ProtocolError,
 }
 
 impl Code {
@@ -160,6 +177,7 @@ impl Code {
             Code::UnboundedCost => "SSD031",
             Code::CrossProductJoin => "SSD032",
             Code::ImpreciseEstimate => "SSD033",
+            Code::AdmissionOverridesPartial => "SSD034",
             Code::StepLimitExceeded => "SSD101",
             Code::MemoryLimitExceeded => "SSD102",
             Code::DeadlineExceeded => "SSD103",
@@ -169,6 +187,12 @@ impl Code {
             Code::TruncatedResult => "SSD107",
             Code::ParseDepthExceeded => "SSD110",
             Code::EnginePanic => "SSD111",
+            Code::SessionQuotaExhausted => "SSD200",
+            Code::QueueFull => "SSD201",
+            Code::JobQueued => "SSD202",
+            Code::ServerShuttingDown => "SSD203",
+            Code::UnknownJob => "SSD204",
+            Code::ProtocolError => "SSD210",
         }
     }
 
@@ -192,6 +216,11 @@ impl Code {
             | Code::FaultInjected
             | Code::ParseDepthExceeded
             | Code::EnginePanic
+            | Code::SessionQuotaExhausted
+            | Code::QueueFull
+            | Code::ServerShuttingDown
+            | Code::UnknownJob
+            | Code::ProtocolError
             | Code::CostExceedsBudget => Severity::Error,
             Code::UnusedBinding
             | Code::EmptyPath
@@ -201,7 +230,9 @@ impl Code {
             | Code::UnboundedCost
             | Code::CrossProductJoin
             | Code::TruncatedResult => Severity::Warning,
-            Code::ImpreciseEstimate => Severity::Note,
+            Code::ImpreciseEstimate | Code::AdmissionOverridesPartial | Code::JobQueued => {
+                Severity::Note
+            }
         }
     }
 
@@ -231,6 +262,7 @@ impl Code {
             Code::UnboundedCost,
             Code::CrossProductJoin,
             Code::ImpreciseEstimate,
+            Code::AdmissionOverridesPartial,
             Code::StepLimitExceeded,
             Code::MemoryLimitExceeded,
             Code::DeadlineExceeded,
@@ -240,6 +272,12 @@ impl Code {
             Code::TruncatedResult,
             Code::ParseDepthExceeded,
             Code::EnginePanic,
+            Code::SessionQuotaExhausted,
+            Code::QueueFull,
+            Code::JobQueued,
+            Code::ServerShuttingDown,
+            Code::UnknownJob,
+            Code::ProtocolError,
         ]
     }
 }
@@ -416,6 +454,22 @@ mod tests {
         assert_eq!(Code::ImpreciseEstimate.severity(), Severity::Note);
         assert!(!Code::CostExceedsBudget.is_runtime());
         assert!(!Code::ImpreciseEstimate.is_runtime());
+    }
+
+    #[test]
+    fn serve_band_codes_and_severities() {
+        assert_eq!(Code::SessionQuotaExhausted.as_str(), "SSD200");
+        assert_eq!(Code::QueueFull.as_str(), "SSD201");
+        assert_eq!(Code::JobQueued.as_str(), "SSD202");
+        assert_eq!(Code::ServerShuttingDown.as_str(), "SSD203");
+        assert_eq!(Code::UnknownJob.as_str(), "SSD204");
+        assert_eq!(Code::ProtocolError.as_str(), "SSD210");
+        assert_eq!(Code::JobQueued.severity(), Severity::Note);
+        assert_eq!(Code::SessionQuotaExhausted.severity(), Severity::Error);
+        assert!(Code::SessionQuotaExhausted.is_runtime());
+        assert_eq!(Code::AdmissionOverridesPartial.as_str(), "SSD034");
+        assert_eq!(Code::AdmissionOverridesPartial.severity(), Severity::Note);
+        assert!(!Code::AdmissionOverridesPartial.is_runtime());
     }
 
     #[test]

@@ -465,6 +465,56 @@ impl Budget {
         Ok(())
     }
 
+    /// Carve a sub-budget of `fuel` steps and `memory` bytes out of this
+    /// budget, deducting both from the parent's limits.
+    ///
+    /// This is the session-quota seam used by `ssd-serve`: a session
+    /// holds one `Budget` as its remaining quota and hands each admitted
+    /// job a split-off slice; [`Budget::refund`] reclaims the unspent
+    /// remainder when the job finishes. The arithmetic is checked — a
+    /// request the parent cannot cover returns a [`SplitShortfall`] and
+    /// leaves the parent untouched, so a failed split never leaks.
+    ///
+    /// An unlimited dimension (`None`) grants the request without
+    /// deduction; the child is always finitely limited in both
+    /// dimensions. The child inherits nothing else (no deadline, depth,
+    /// partial mode, cancellation, or fault points) — callers compose
+    /// those per job.
+    pub fn split(&mut self, fuel: u64, memory: u64) -> Result<Budget, SplitShortfall> {
+        if let Some(have) = self.max_steps {
+            if fuel > have {
+                return Err(SplitShortfall::Fuel { want: fuel, have });
+            }
+        }
+        if let Some(have) = self.max_memory_bytes {
+            if memory > have {
+                return Err(SplitShortfall::Memory { want: memory, have });
+            }
+        }
+        if let Some(have) = &mut self.max_steps {
+            *have -= fuel;
+        }
+        if let Some(have) = &mut self.max_memory_bytes {
+            *have -= memory;
+        }
+        Ok(Budget::unlimited().max_steps(fuel).max_memory_bytes(memory))
+    }
+
+    /// Return unspent capacity from a [`Budget::split`] grant.
+    ///
+    /// Callers refund `granted − spent` (never more than was split off,
+    /// never less than zero); addition saturates so a buggy over-refund
+    /// cannot wrap. Unlimited dimensions ignore the refund, mirroring
+    /// `split`'s no-deduction rule.
+    pub fn refund(&mut self, fuel: u64, memory: u64) {
+        if let Some(have) = &mut self.max_steps {
+            *have = have.saturating_add(fuel);
+        }
+        if let Some(have) = &mut self.max_memory_bytes {
+            *have = have.saturating_add(memory);
+        }
+    }
+
     /// Start enforcing this budget: the deadline clock starts now.
     pub fn guard(&self) -> Guard {
         Guard {
@@ -483,6 +533,31 @@ impl Budget {
         }
     }
 }
+
+/// Why a [`Budget::split`] could not be honoured. The parent budget is
+/// left unchanged when this is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitShortfall {
+    /// The parent's remaining fuel cannot cover the request.
+    Fuel { want: u64, have: u64 },
+    /// The parent's remaining memory cannot cover the request.
+    Memory { want: u64, have: u64 },
+}
+
+impl std::fmt::Display for SplitShortfall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitShortfall::Fuel { want, have } => {
+                write!(f, "cannot split off {want} step(s): only {have} remain")
+            }
+            SplitShortfall::Memory { want, have } => {
+                write!(f, "cannot split off {want} byte(s): only {have} remain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SplitShortfall {}
 
 /// Runtime enforcement state for one evaluation. Create with
 /// [`Budget::guard`]; share as `&Guard` (deliberately not `Sync`).
@@ -909,6 +984,77 @@ mod tests {
         let d = budget.admit(&over_mem).unwrap_err();
         assert!(d.message.contains("memory"), "{}", d.message);
         assert!(Budget::unlimited().admit(&over_fuel).is_ok());
+    }
+
+    #[test]
+    fn split_deducts_and_refund_reclaims() {
+        let mut session = Budget::unlimited().max_steps(100).max_memory_bytes(1000);
+        let job = session.split(30, 400).unwrap();
+        assert_eq!(job.max_steps, Some(30));
+        assert_eq!(job.max_memory_bytes, Some(400));
+        assert_eq!(session.max_steps, Some(70));
+        assert_eq!(session.max_memory_bytes, Some(600));
+        // The job spent 10 steps and 100 bytes; reclaim the rest.
+        session.refund(20, 300);
+        assert_eq!(session.max_steps, Some(90));
+        assert_eq!(session.max_memory_bytes, Some(900));
+    }
+
+    #[test]
+    fn split_shortfall_leaves_parent_untouched() {
+        let mut session = Budget::unlimited().max_steps(10).max_memory_bytes(5);
+        assert_eq!(
+            session.split(11, 0).err(),
+            Some(SplitShortfall::Fuel { want: 11, have: 10 })
+        );
+        // Fuel would fit but memory cannot: nothing may be deducted.
+        assert_eq!(
+            session.split(10, 6).err(),
+            Some(SplitShortfall::Memory { want: 6, have: 5 })
+        );
+        assert_eq!(session.max_steps, Some(10));
+        assert_eq!(session.max_memory_bytes, Some(5));
+        assert!(session.split(10, 5).is_ok());
+        assert_eq!(session.max_steps, Some(0));
+    }
+
+    #[test]
+    fn split_from_unlimited_grants_without_deduction() {
+        let mut session = Budget::unlimited();
+        let job = session.split(1_000, 1 << 20).unwrap();
+        assert_eq!(job.max_steps, Some(1_000));
+        assert!(session.max_steps.is_none());
+        session.refund(1_000, 1 << 20);
+        assert!(
+            session.max_steps.is_none(),
+            "refund to unlimited is a no-op"
+        );
+    }
+
+    #[test]
+    fn refund_saturates() {
+        let mut b = Budget::unlimited().max_steps(u64::MAX - 1);
+        b.refund(10, 0);
+        assert_eq!(b.max_steps, Some(u64::MAX));
+    }
+
+    #[test]
+    fn split_child_inherits_nothing_else() {
+        let token = CancelToken::new();
+        let mut session = Budget::unlimited()
+            .max_steps(100)
+            .max_memory_bytes(100)
+            .timeout(Duration::from_secs(5))
+            .max_depth(3)
+            .partial(true)
+            .cancel_token(token)
+            .fail_at("seam", 1);
+        let job = session.split(1, 1).unwrap();
+        assert!(job.timeout.is_none());
+        assert!(job.max_depth.is_none());
+        assert!(!job.partial);
+        assert!(job.cancel.is_none());
+        assert!(job.fail_points.is_empty());
     }
 
     #[test]

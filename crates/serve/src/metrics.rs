@@ -1,0 +1,116 @@
+//! Serving observability: per-session and global counters, fuel
+//! spent-vs-estimated, queue depth, and latency percentiles.
+//!
+//! Counters are updated by the scheduler under its lock, so a snapshot
+//! is always internally consistent. Latency percentiles are computed at
+//! render time from the recorded samples (microseconds, submit→finish).
+
+/// Monotonic counters kept both globally and per session.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counters {
+    /// Jobs that passed admission (dispatched immediately or queued).
+    pub admitted: u64,
+    /// Jobs rejected at submit (per-job ceiling, session quota, queue
+    /// full, or shutdown) — these cost zero engine fuel.
+    pub rejected: u64,
+    /// Jobs that waited in the run queue before dispatch.
+    pub queued: u64,
+    /// Jobs cancelled (while queued or mid-run).
+    pub cancelled: u64,
+    /// Jobs that ran to completion (including guard-truncated partials).
+    pub completed: u64,
+    /// Jobs whose worker panicked (SSD111, confined to the job).
+    pub panicked: u64,
+    /// Guard fuel actually spent by finished jobs.
+    pub fuel_spent: u64,
+    /// Static lower-bound fuel estimates of admitted jobs, summed —
+    /// compare with `fuel_spent` to judge the estimator.
+    pub fuel_estimated: u64,
+}
+
+/// Global metrics: counters plus latency samples and gauges.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    pub counters: Counters,
+    /// submit→finish latency samples in microseconds, in finish order.
+    pub latencies_us: Vec<u64>,
+    /// Current run-queue depth (gauge).
+    pub queue_depth: usize,
+    /// High-water mark of the run queue.
+    pub queue_peak: usize,
+}
+
+/// `p` in [0,100]; nearest-rank percentile of `samples` (0 if empty).
+pub fn percentile(samples: &[u64], p: u64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p as usize * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+impl Metrics {
+    /// Render the `STATS` / `--metrics-dump` block. One `key value` pair
+    /// per line, stable order, so scripts can grep it.
+    pub fn render(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        for (k, v) in [
+            ("admitted", c.admitted),
+            ("rejected", c.rejected),
+            ("queued", c.queued),
+            ("cancelled", c.cancelled),
+            ("completed", c.completed),
+            ("panicked", c.panicked),
+            ("fuel_spent", c.fuel_spent),
+            ("fuel_estimated", c.fuel_estimated),
+            ("queue_depth", self.queue_depth as u64),
+            ("queue_peak", self.queue_peak as u64),
+            ("jobs_finished", self.latencies_us.len() as u64),
+            ("latency_p50_us", percentile(&self.latencies_us, 50)),
+            ("latency_p99_us", percentile(&self.latencies_us, 99)),
+        ] {
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50), 50);
+        assert_eq!(percentile(&s, 99), 99);
+        assert_eq!(percentile(&s, 100), 100);
+        // Unsorted input is fine.
+        assert_eq!(percentile(&[30, 10, 20], 50), 20);
+    }
+
+    #[test]
+    fn render_is_greppable() {
+        let m = Metrics {
+            counters: Counters {
+                admitted: 3,
+                ..Counters::default()
+            },
+            latencies_us: vec![10, 20],
+            queue_depth: 1,
+            queue_peak: 2,
+        };
+        let text = m.render();
+        assert!(text.contains("admitted 3\n"));
+        assert!(text.contains("latency_p50_us 10\n"));
+        assert!(text.contains("latency_p99_us 20\n"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The TCP veneer: frames over loopback, one reader thread per
+//! connection, one forwarder thread per streaming job.
+//!
+//! All scheduling behavior lives in [`Server`]; this module only
+//! translates frames to the in-process API:
+//!
+//! ```text
+//! client: HELLO fuel=10000         server: OK session s1
+//! client: QUERY select ...         server: OK job=1 dispatched
+//!                                  server: JOB 1 CHUNK\n{...}
+//!                                  server: JOB 1 DONE results=3 fuel=42
+//! client: STATS                    server: STATS\nadmitted 1\n...
+//! client: BYE                      server: OK bye        (connection closes)
+//! ```
+//!
+//! A dropped connection closes its session, which cancels its queued
+//! and running jobs — the disconnect-teardown path shares all its code
+//! with `SessionHandle::close`.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{decode_frame, encode_frame, parse_command_with, Command, MAX_FRAME};
+use crate::quota::SessionQuota;
+use crate::sched::{JobId, JobKind};
+use crate::server::{JobEvent, Server, SessionHandle, SubmitError};
+
+fn send_frame(stream: &Mutex<TcpStream>, payload: &str) -> std::io::Result<()> {
+    let bytes = encode_frame(payload);
+    stream.lock().expect("writer lock").write_all(&bytes)
+}
+
+/// Accept connections until [`Server::request_shutdown`] fires (usually
+/// via a client `SHUTDOWN` command), then return so the caller can run
+/// the graceful drain. `default_quota` seeds every `HELLO`; its fields
+/// are what the client's `fuel=`/`jobs=`/... overrides apply to.
+/// Connection threads are detached; they die with their sockets.
+pub fn serve_tcp(
+    server: Arc<Server>,
+    listener: TcpListener,
+    default_quota: SessionQuota,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if server.shutdown_requested() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = Arc::clone(&server);
+                let quota = default_quota.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(server, stream, quota);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(
+    server: Arc<Server>,
+    stream: TcpStream,
+    default_quota: SessionQuota,
+) -> std::io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+    let mut session: Option<Arc<SessionHandle>> = None;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut read_chunk = [0u8; 4096];
+    loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match decode_frame(&buf) {
+                Ok(None) => break,
+                Ok(Some((payload, consumed))) => {
+                    buf.drain(..consumed);
+                    match dispatch_command(
+                        &server,
+                        &writer,
+                        &mut session,
+                        &default_quota,
+                        &payload,
+                    )? {
+                        Flow::Continue => {}
+                        Flow::Close => return Ok(()),
+                    }
+                }
+                Err(e) => {
+                    // Framing is unrecoverable: report and drop the
+                    // connection (closing the session via Drop).
+                    let _ = send_frame(&writer, &format!("ERR {}", e.diagnostic().headline()));
+                    return Ok(());
+                }
+            }
+        }
+        if buf.len() > MAX_FRAME + 64 {
+            let _ = send_frame(&writer, "ERR error[SSD210]: frame buffer overflow");
+            return Ok(());
+        }
+        match reader.read(&mut read_chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => buf.extend_from_slice(&read_chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn dispatch_command(
+    server: &Arc<Server>,
+    writer: &Arc<Mutex<TcpStream>>,
+    session: &mut Option<Arc<SessionHandle>>,
+    default_quota: &SessionQuota,
+    payload: &str,
+) -> std::io::Result<Flow> {
+    let cmd = match parse_command_with(payload, default_quota) {
+        Ok(c) => c,
+        Err(d) => {
+            send_frame(writer, &format!("ERR {}", d.headline()))?;
+            return Ok(Flow::Continue);
+        }
+    };
+    match cmd {
+        Command::Hello(quota) => {
+            if session.is_some() {
+                send_frame(writer, "ERR error[SSD210]: session already open")?;
+            } else {
+                let handle = server.open_session(quota);
+                send_frame(writer, &format!("OK session {}", handle.id))?;
+                *session = Some(Arc::new(handle));
+            }
+        }
+        Command::Query { text, optimized } => {
+            let kind = if optimized {
+                JobKind::QueryOptimized
+            } else {
+                JobKind::Query
+            };
+            submit(writer, session, kind, &text)?;
+        }
+        Command::Datalog(text) => submit(writer, session, JobKind::Datalog, &text)?,
+        Command::Rpe(text) => submit(writer, session, JobKind::Rpe, &text)?,
+        Command::Cancel(id) => {
+            let Some(sess) = session else {
+                send_frame(writer, "ERR error[SSD210]: HELLO first")?;
+                return Ok(Flow::Continue);
+            };
+            match sess.cancel(JobId(id)) {
+                Ok(running) => send_frame(
+                    writer,
+                    &format!(
+                        "OK cancelled job={id} ({})",
+                        if running { "was running" } else { "was queued" }
+                    ),
+                )?,
+                Err(d) => send_frame(writer, &format!("ERR {}", d.headline()))?,
+            }
+        }
+        Command::Stats => {
+            let text = server.stats_text(session.as_ref().map(|s| s.id));
+            send_frame(writer, &format!("STATS\n{text}"))?;
+        }
+        Command::Bye => {
+            if let Some(sess) = session.take() {
+                sess.close();
+            }
+            send_frame(writer, "OK bye")?;
+            return Ok(Flow::Close);
+        }
+        Command::Shutdown => {
+            server.request_shutdown();
+            send_frame(writer, "OK shutting down")?;
+            return Ok(Flow::Close);
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+fn submit(
+    writer: &Arc<Mutex<TcpStream>>,
+    session: &mut Option<Arc<SessionHandle>>,
+    kind: JobKind,
+    text: &str,
+) -> std::io::Result<()> {
+    let Some(sess) = session else {
+        return send_frame(writer, "ERR error[SSD210]: HELLO first");
+    };
+    match sess.submit(kind, text) {
+        Ok(handle) => {
+            let job = handle.job;
+            send_frame(
+                writer,
+                &format!(
+                    "OK job={job} {}",
+                    if handle.queued {
+                        "queued"
+                    } else {
+                        "dispatched"
+                    }
+                ),
+            )?;
+            // Forward the job's event stream without blocking the reader.
+            let writer = Arc::clone(writer);
+            std::thread::spawn(move || {
+                for ev in handle.events().iter() {
+                    let done = !matches!(ev, JobEvent::Chunk(_));
+                    let frame = match ev {
+                        JobEvent::Chunk(c) => format!("JOB {job} CHUNK\n{c}"),
+                        JobEvent::Done { summary } => format!("JOB {job} DONE {summary}"),
+                        JobEvent::Failed(e) => format!("JOB {job} ERR {e}"),
+                    };
+                    if send_frame(&writer, &frame).is_err() || done {
+                        break;
+                    }
+                }
+            });
+            Ok(())
+        }
+        Err(SubmitError::Rejected(d)) => send_frame(writer, &format!("ERR {}", d.headline())),
+        Err(SubmitError::Invalid(m)) => send_frame(writer, &format!("ERR {m}")),
+    }
+}

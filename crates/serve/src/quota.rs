@@ -1,0 +1,112 @@
+//! Session quotas: the resource envelope a session may spend in total,
+//! and the ceiling any single job may be granted out of it.
+//!
+//! A quota is instantiated into a session-level [`Budget`]
+//! (fuel + memory); each dispatched job receives a checked
+//! [`Budget::split`] of at most the per-job ceiling, and the unspent
+//! remainder is refunded when the job finishes. Admission compares a
+//! job's static [`CostEnvelope`] lower bound against both the per-job
+//! ceiling and the session's remaining balance *before* any engine fuel
+//! is spent.
+
+use ssd_guard::Budget;
+
+/// Default per-job fuel ceiling (guard steps).
+pub const DEFAULT_JOB_FUEL: u64 = 1_000_000;
+/// Default per-job memory ceiling (guard-accounted bytes).
+pub const DEFAULT_JOB_MEMORY: u64 = 64 * 1024 * 1024;
+/// Default cap on a session's concurrently running jobs.
+pub const DEFAULT_MAX_CONCURRENT: usize = 2;
+
+/// Resource quota attached to a session at `HELLO` time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionQuota {
+    /// Total guard fuel the session may spend across all its jobs
+    /// (`None` = unmetered).
+    pub fuel: Option<u64>,
+    /// Total guard-accounted bytes across all its jobs (`None` = unmetered).
+    pub memory: Option<u64>,
+    /// How many of the session's jobs may run at once; further admitted
+    /// jobs wait in the run queue.
+    pub max_concurrent: usize,
+    /// Fuel ceiling granted to any single job.
+    pub job_fuel: u64,
+    /// Memory ceiling granted to any single job.
+    pub job_memory: u64,
+}
+
+impl Default for SessionQuota {
+    fn default() -> SessionQuota {
+        SessionQuota {
+            fuel: None,
+            memory: None,
+            max_concurrent: DEFAULT_MAX_CONCURRENT,
+            job_fuel: DEFAULT_JOB_FUEL,
+            job_memory: DEFAULT_JOB_MEMORY,
+        }
+    }
+}
+
+impl SessionQuota {
+    /// The session-level balance this quota opens with.
+    pub fn session_budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(fuel) = self.fuel {
+            b = b.max_steps(fuel);
+        }
+        if let Some(mem) = self.memory {
+            b = b.max_memory_bytes(mem);
+        }
+        b
+    }
+
+    /// The largest grant a single job can receive under this quota given
+    /// the session's current balance: the per-job ceiling, clamped to
+    /// what is left.
+    pub fn job_grant(&self, remaining: &Budget) -> (u64, u64) {
+        let fuel = remaining
+            .max_steps
+            .map_or(self.job_fuel, |r| self.job_fuel.min(r));
+        let mem = remaining
+            .max_memory_bytes
+            .map_or(self.job_memory, |r| self.job_memory.min(r));
+        (fuel, mem)
+    }
+
+    /// The admission ceiling for a single job: used to reject jobs whose
+    /// cost envelope can never fit, regardless of session balance.
+    pub fn job_ceiling(&self) -> Budget {
+        Budget::unlimited()
+            .max_steps(self.job_fuel)
+            .max_memory_bytes(self.job_memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_quota_is_unmetered_with_job_ceiling() {
+        let q = SessionQuota::default();
+        let b = q.session_budget();
+        assert_eq!(b.max_steps, None);
+        assert_eq!(b.max_memory_bytes, None);
+        assert_eq!(q.job_grant(&b), (DEFAULT_JOB_FUEL, DEFAULT_JOB_MEMORY));
+    }
+
+    #[test]
+    fn job_grant_clamps_to_remaining_balance() {
+        let q = SessionQuota {
+            fuel: Some(500),
+            memory: Some(10),
+            job_fuel: 400,
+            job_memory: 64,
+            ..SessionQuota::default()
+        };
+        let mut b = q.session_budget();
+        assert_eq!(q.job_grant(&b), (400, 10));
+        let _child = b.split(400, 10).unwrap();
+        assert_eq!(q.job_grant(&b), (100, 0));
+    }
+}

@@ -1,0 +1,627 @@
+//! The serving engine: a fixed worker pool around the pure
+//! [`Scheduler`], plus the in-process session API the deterministic
+//! tests and the TCP layer both use.
+//!
+//! One mutex holds the scheduler and the ready queue, so every
+//! transition the trace records really happened atomically in that
+//! order. Workers block on a condvar, pop dispatch tickets, run the
+//! engine under the admitted [`Guard`], stream result chunks through a
+//! bounded per-job channel (blocking when the client is slow — that is
+//! the backpressure), and report completion back to the scheduler,
+//! which refunds the unspent grant and may hand back newly dispatchable
+//! queued jobs.
+//!
+//! Isolation: each job runs under `catch_unwind`, so an engine panic is
+//! confined to that job (SSD111 to its session) and the worker survives;
+//! cancellation fires the job's token, which the guard polls at tick
+//! boundaries — between chunks, mid-evaluation, and mid-fixpoint alike.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Once, OnceLock};
+use std::thread::JoinHandle;
+
+use semistructured::{CostContext, DataStats, Database, Schema};
+use ssd_diag::{Code, Diagnostic};
+use ssd_guard::{CostEnvelope, Exhausted, Guard, Interval};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::{Counters, Metrics};
+use crate::quota::SessionQuota;
+use crate::sched::{
+    Decision, Dequeued, FinishKind, JobId, JobKind, Scheduler, SessionId, Ticket, TraceEvent,
+};
+
+/// Submitting a query containing this marker makes the worker panic
+/// mid-job. Test-only: it is how the suite proves panic isolation
+/// without a fault-injection build flag.
+#[doc(hidden)]
+pub const PANIC_PROBE: &str = "__ssd_panic_probe__";
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded run-queue length; submissions beyond it are SSD201.
+    pub queue_cap: usize,
+    /// Result roots per streamed chunk.
+    pub chunk_size: usize,
+    /// Per-job event-channel buffer; 0 means fully synchronous
+    /// (each chunk waits for the client — maximal backpressure).
+    pub stream_buffer: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            chunk_size: 8,
+            stream_buffer: 64,
+        }
+    }
+}
+
+/// What a job streams back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobEvent {
+    /// One standalone literal chunk of the result.
+    Chunk(String),
+    /// The job finished; `summary` is a one-line account.
+    Done { summary: String },
+    /// The job ended without a (complete) result; the string is a
+    /// rendered diagnostic headline (SSD1xx/SSD2xx).
+    Failed(String),
+}
+
+/// Why a submit returned no job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control said no (SSD030/SSD2xx); zero engine fuel spent.
+    Rejected(Diagnostic),
+    /// The text does not parse / estimate; nothing was scheduled.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected(d) => f.write_str(&d.headline()),
+            SubmitError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+/// A submitted job: consume [`JobHandle::events`] for streaming, or
+/// [`JobHandle::wait`] to block for the collected outcome.
+pub struct JobHandle {
+    pub job: JobId,
+    /// True when the job went to the run queue rather than a worker.
+    pub queued: bool,
+    rx: Receiver<JobEvent>,
+}
+
+/// Everything a finished job produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    pub chunks: Vec<String>,
+    pub summary: Option<String>,
+    /// Rendered diagnostic headline when the job did not complete.
+    pub error: Option<String>,
+}
+
+impl JobHandle {
+    /// Block until the job finishes, collecting all chunks.
+    pub fn wait(self) -> JobOutcome {
+        let mut out = JobOutcome {
+            chunks: Vec::new(),
+            summary: None,
+            error: None,
+        };
+        for ev in self.rx.iter() {
+            match ev {
+                JobEvent::Chunk(c) => out.chunks.push(c),
+                JobEvent::Done { summary } => {
+                    out.summary = Some(summary);
+                    break;
+                }
+                JobEvent::Failed(e) => {
+                    out.error = Some(e);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The raw event stream (ends with `Done` or `Failed`).
+    pub fn events(self) -> Receiver<JobEvent> {
+        self.rx
+    }
+}
+
+struct State {
+    sched: Scheduler,
+    ready: VecDeque<(Ticket, SyncSender<JobEvent>)>,
+    /// Event senders of *queued* jobs, claimed at dispatch or rejection.
+    senders: HashMap<JobId, SyncSender<JobEvent>>,
+    /// Set once shutdown has fully drained: workers exit.
+    stop: bool,
+}
+
+struct Inner {
+    db: Arc<Database>,
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+    /// Estimator inputs, computed once per server, not per submit.
+    query_stats: OnceLock<(DataStats, Schema)>,
+    datalog_stats: OnceLock<DataStats>,
+}
+
+/// The serving subsystem. See the module docs.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shutdown_requested: AtomicBool,
+}
+
+impl Server {
+    /// Start `cfg.workers` workers over `db` with a wall clock.
+    pub fn start(db: Arc<Database>, cfg: ServeConfig) -> Server {
+        Server::start_with_clock(db, cfg, Arc::new(MonotonicClock::new()))
+    }
+
+    /// As [`Server::start`] with an injected clock (deterministic tests).
+    pub fn start_with_clock(db: Arc<Database>, cfg: ServeConfig, clock: Arc<dyn Clock>) -> Server {
+        let inner = Arc::new(Inner {
+            db,
+            cfg: cfg.clone(),
+            state: Mutex::new(State {
+                sched: Scheduler::new(cfg.workers, cfg.queue_cap, clock),
+                ready: VecDeque::new(),
+                senders: HashMap::new(),
+                stop: false,
+            }),
+            work: Condvar::new(),
+            query_stats: OnceLock::new(),
+            datalog_stats: OnceLock::new(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        Server {
+            inner,
+            workers: Mutex::new(workers),
+            shutdown_requested: AtomicBool::new(false),
+        }
+    }
+
+    /// Open a session under `quota`.
+    pub fn open_session(&self, quota: SessionQuota) -> SessionHandle {
+        let mut st = self.inner.state.lock().expect("state lock");
+        let id = st.sched.open_session(quota);
+        SessionHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Ask for shutdown without blocking: new submissions are rejected
+    /// (SSD203) at once; queued and running jobs keep draining. The TCP
+    /// accept loop polls [`Server::shutdown_requested`].
+    pub fn request_shutdown(&self) {
+        self.shutdown_requested.store(true, Ordering::SeqCst);
+        let mut st = self.inner.state.lock().expect("state lock");
+        st.sched.begin_shutdown();
+        maybe_stop(&mut st);
+        drop(st);
+        self.inner.work.notify_all();
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admitting, drain the queue, join every
+    /// worker, and return the final metrics snapshot.
+    pub fn shutdown(&self) -> Metrics {
+        self.request_shutdown();
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for w in workers {
+            let _ = w.join();
+        }
+        self.metrics()
+    }
+
+    /// Global metrics snapshot.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.state.lock().expect("state lock").sched.metrics()
+    }
+
+    /// The scheduler's decision trace so far.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.inner
+            .state
+            .lock()
+            .expect("state lock")
+            .sched
+            .trace()
+            .to_vec()
+    }
+
+    /// The `STATS` block: global metrics, plus one session's counters
+    /// when `session` is given.
+    pub fn stats_text(&self, session: Option<SessionId>) -> String {
+        let st = self.inner.state.lock().expect("state lock");
+        let mut out = st.sched.metrics().render();
+        if let Some(id) = session {
+            if let Some(c) = st.sched.session_counters(id) {
+                for (k, v) in [
+                    ("session.admitted", c.admitted),
+                    ("session.rejected", c.rejected),
+                    ("session.queued", c.queued),
+                    ("session.cancelled", c.cancelled),
+                    ("session.completed", c.completed),
+                    ("session.panicked", c.panicked),
+                    ("session.fuel_spent", c.fuel_spent),
+                    ("session.fuel_estimated", c.fuel_estimated),
+                ] {
+                    out.push_str(&format!("{k} {v}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One session against a [`Server`]. Dropping the handle closes the
+/// session — queued jobs are cancelled and running jobs' tokens fire
+/// (the TCP layer relies on this for disconnect teardown).
+pub struct SessionHandle {
+    inner: Arc<Inner>,
+    pub id: SessionId,
+    closed: AtomicBool,
+}
+
+impl SessionHandle {
+    /// Submit a job. `Rpe` texts are desugared to a select over the
+    /// path. Admission happens here: `Err(Rejected)` costs zero fuel.
+    pub fn submit(&self, kind: JobKind, text: &str) -> Result<JobHandle, SubmitError> {
+        let text = match kind {
+            JobKind::Rpe => format!("select X from db.{} X", text.trim()),
+            _ => text.to_string(),
+        };
+        let envelope = if text.contains(PANIC_PROBE) {
+            // The probe is not parseable; give it a token envelope.
+            CostEnvelope {
+                cardinality: Interval::exact(1),
+                fuel: Interval::exact(1),
+                memory: Interval::exact(0),
+            }
+        } else {
+            estimate(&self.inner, kind, &text).map_err(SubmitError::Invalid)?
+        };
+        let mut st = self.inner.state.lock().expect("state lock");
+        match st.sched.submit(self.id, kind, text, envelope) {
+            Decision::Dispatch(ticket) => {
+                let (tx, rx) = mpsc::sync_channel(self.inner.cfg.stream_buffer);
+                let job = ticket.job;
+                st.ready.push_back((ticket, tx));
+                drop(st);
+                self.inner.work.notify_all();
+                Ok(JobHandle {
+                    job,
+                    queued: false,
+                    rx,
+                })
+            }
+            Decision::Queued { job, .. } => {
+                let (tx, rx) = mpsc::sync_channel(self.inner.cfg.stream_buffer);
+                st.senders.insert(job, tx);
+                Ok(JobHandle {
+                    job,
+                    queued: true,
+                    rx,
+                })
+            }
+            Decision::Rejected(d) => Err(SubmitError::Rejected(d)),
+        }
+    }
+
+    /// Cancel a job: `Ok(false)` if it was still queued (already gone),
+    /// `Ok(true)` if running (its token fired; the stream will end with
+    /// an SSD105 failure).
+    pub fn cancel(&self, job: JobId) -> Result<bool, Diagnostic> {
+        let mut st = self.inner.state.lock().expect("state lock");
+        let was_running = st.sched.cancel(job)?;
+        if !was_running {
+            if let Some(tx) = st.senders.remove(&job) {
+                notify_failed(tx, Exhausted::Cancelled.headline());
+            }
+        }
+        Ok(was_running)
+    }
+
+    /// This session's counters.
+    pub fn counters(&self) -> Option<Counters> {
+        self.inner
+            .state
+            .lock()
+            .expect("state lock")
+            .sched
+            .session_counters(self.id)
+    }
+
+    /// Close the session: cancel everything it still has in flight.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut st = self.inner.state.lock().expect("state lock");
+        let dropped = st.sched.close_session(self.id);
+        for job in dropped {
+            if let Some(tx) = st.senders.remove(&job) {
+                notify_failed(tx, Exhausted::Cancelled.headline());
+            }
+        }
+        maybe_stop(&mut st);
+        drop(st);
+        self.inner.work.notify_all();
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Static cost estimation with per-server cached data statistics —
+/// mirrors `Database::estimate_*` but does not re-extract the schema on
+/// every submit.
+fn estimate(inner: &Inner, kind: JobKind, text: &str) -> Result<CostEnvelope, String> {
+    use semistructured::query::analyze;
+    let analysis = match kind {
+        JobKind::Datalog => {
+            let (p, spans) = semistructured::triples::datalog::parse_program_spanned(
+                text,
+                inner.db.graph().symbols(),
+            )?;
+            let stats = inner
+                .datalog_stats
+                .get_or_init(|| DataStats::collect(inner.db.graph()));
+            let ctx = CostContext {
+                stats: Some(stats),
+                schema: None,
+            };
+            analyze::analyze_datalog_cost(&p, Some(&spans), None, &ctx)
+        }
+        _ => {
+            let (q, spans) = semistructured::query::lang::parse_query_spanned(text)
+                .map_err(|e| e.to_string())?;
+            let (stats, schema) = inner.query_stats.get_or_init(|| inner.db.data_stats());
+            let ctx = CostContext {
+                stats: Some(stats),
+                schema: Some(schema),
+            };
+            analyze::analyze_query_cost(&q, Some(&spans), &ctx)
+        }
+    };
+    Ok(analysis.envelope)
+}
+
+/// Deliver a failure notice without blocking the caller: these fire
+/// from under the state lock (cancel, close, late-reject), where a
+/// rendezvous `send` to a client that is not currently reading — or
+/// that *is* the calling thread — would deadlock.
+fn notify_failed(tx: SyncSender<JobEvent>, headline: String) {
+    std::thread::spawn(move || {
+        let _ = tx.send(JobEvent::Failed(headline));
+    });
+}
+
+/// When shutdown has been requested and nothing is queued, running, or
+/// ready, tell the workers to exit.
+fn maybe_stop(st: &mut State) {
+    if st.sched.is_shutting_down() && st.sched.drained() && st.ready.is_empty() {
+        st.stop = true;
+    }
+}
+
+thread_local! {
+    static IN_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Suppress the default "thread panicked" stderr noise for panics we
+/// catch inside jobs, without hiding panics anywhere else.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_JOB.with(|f| f.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    install_quiet_hook();
+    loop {
+        let (ticket, tx) = {
+            let mut st = inner.state.lock().expect("state lock");
+            loop {
+                if let Some(item) = st.ready.pop_front() {
+                    break item;
+                }
+                if st.stop {
+                    return;
+                }
+                st = inner.work.wait(st).expect("state lock");
+            }
+        };
+        let job = ticket.job;
+        // The guard outlives the catch_unwind below, so fuel spent up to
+        // a panic is still read back and charged to the session.
+        let guard = ticket.budget.guard();
+        IN_JOB.with(|f| f.set(true));
+        let ran = catch_unwind(AssertUnwindSafe(|| run_job(&inner, &ticket, &guard, &tx)));
+        IN_JOB.with(|f| f.set(false));
+        let finish = match ran {
+            Ok(finish) => finish,
+            Err(_) => {
+                let d = Diagnostic::new(
+                    Code::EnginePanic,
+                    format!(
+                        "job {job} panicked; the worker survived and the session keeps running"
+                    ),
+                );
+                let _ = tx.send(JobEvent::Failed(d.headline()));
+                FinishKind::Panicked
+            }
+        };
+        let mut st = inner.state.lock().expect("state lock");
+        let unblocked = st
+            .sched
+            .complete(job, guard.steps_used(), guard.memory_used(), finish);
+        for d in unblocked {
+            match d {
+                Dequeued::Dispatch(t) => {
+                    if let Some(tx) = st.senders.remove(&t.job) {
+                        st.ready.push_back((t, tx));
+                    }
+                }
+                Dequeued::LateReject { job, diag } => {
+                    if let Some(tx) = st.senders.remove(&job) {
+                        notify_failed(tx, diag.headline());
+                    }
+                }
+            }
+        }
+        maybe_stop(&mut st);
+        drop(st);
+        inner.work.notify_all();
+    }
+}
+
+/// Evaluate one ticket and stream its result. The returned kind is what
+/// the scheduler records; evaluation *errors* still count as completed
+/// (the slot was used), only token-cancellation counts as cancelled.
+fn run_job(inner: &Inner, ticket: &Ticket, guard: &Guard, tx: &SyncSender<JobEvent>) -> FinishKind {
+    if ticket.text.contains(PANIC_PROBE) {
+        panic!("panic probe");
+    }
+    let cancelled = || {
+        ticket
+            .budget
+            .cancel
+            .as_ref()
+            .is_some_and(|t| t.is_cancelled())
+    };
+    let summary: String;
+    match ticket.kind {
+        JobKind::Query | JobKind::QueryOptimized | JobKind::Rpe => {
+            let res = if ticket.kind == JobKind::QueryOptimized {
+                inner.db.query_optimized_with(&ticket.text, guard)
+            } else {
+                inner.db.query_with(&ticket.text, guard)
+            };
+            match res {
+                Err(e) => {
+                    let _ = tx.send(JobEvent::Failed(e));
+                    return if cancelled() {
+                        FinishKind::Cancelled
+                    } else {
+                        FinishKind::Completed
+                    };
+                }
+                Ok(result) => {
+                    // Stream at guard tick boundaries: poll between
+                    // chunks so CANCEL lands mid-stream, not after it.
+                    for chunk in result.chunks(inner.cfg.chunk_size) {
+                        if let Err(e) = guard.poll() {
+                            let _ = tx.send(JobEvent::Failed(e.headline()));
+                            return if matches!(e, Exhausted::Cancelled) {
+                                FinishKind::Cancelled
+                            } else {
+                                FinishKind::Completed
+                            };
+                        }
+                        if tx.send(JobEvent::Chunk(chunk)).is_err() {
+                            // Receiver hung up: the client is gone.
+                            return FinishKind::Cancelled;
+                        }
+                    }
+                    let s = result.stats();
+                    summary = format!(
+                        "results={} fuel={}{}",
+                        s.results_constructed,
+                        guard.steps_used(),
+                        if s.truncated.is_some() {
+                            " truncated"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+        }
+        JobKind::Datalog => match inner.db.datalog_with(&ticket.text, guard) {
+            Err(e) => {
+                let _ = tx.send(JobEvent::Failed(e));
+                return if cancelled() {
+                    FinishKind::Cancelled
+                } else {
+                    FinishKind::Completed
+                };
+            }
+            Ok(eval) => {
+                let mut lines = Vec::new();
+                let mut preds: Vec<&String> = eval.facts.keys().collect();
+                preds.sort();
+                for p in preds {
+                    if matches!(p.as_str(), "edge" | "node" | "root") {
+                        continue;
+                    }
+                    lines.push(format!("{p}: {} tuple(s)", eval.count(p)));
+                }
+                for batch in lines.chunks(inner.cfg.chunk_size.max(1)) {
+                    if let Err(e) = guard.poll() {
+                        let _ = tx.send(JobEvent::Failed(e.headline()));
+                        return if matches!(e, Exhausted::Cancelled) {
+                            FinishKind::Cancelled
+                        } else {
+                            FinishKind::Completed
+                        };
+                    }
+                    if tx.send(JobEvent::Chunk(batch.join("\n"))).is_err() {
+                        return FinishKind::Cancelled;
+                    }
+                }
+                summary = format!(
+                    "iterations={} rules={} fuel={}{}",
+                    eval.iterations,
+                    eval.rule_evaluations,
+                    guard.steps_used(),
+                    if eval.truncated.is_some() {
+                        " truncated"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        },
+    }
+    let _ = tx.send(JobEvent::Done { summary });
+    FinishKind::Completed
+}

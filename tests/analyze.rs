@@ -148,14 +148,18 @@ fn every_cost_code_fires_through_the_estimator() {
 
 #[test]
 fn all_static_codes_are_covered_by_the_cases() {
-    // Runtime-governance codes (SSD1xx) are exercised by tests/guard.rs;
-    // the cost band (SSD03x) by every_cost_code_fires_through_the_estimator
-    // and tests/cost_soundness.rs; this file's tables own the rest.
+    // Runtime-governance codes (SSD1xx/SSD2xx) are exercised by
+    // tests/guard.rs and tests/serve.rs; the cost band (SSD03x) by
+    // every_cost_code_fires_through_the_estimator and
+    // tests/cost_soundness.rs; SSD034 by the CLI's
+    // strict-admission-overrides-partial test; this file's tables own
+    // the rest.
     let cost_band = [
         Code::CostExceedsBudget,
         Code::UnboundedCost,
         Code::CrossProductJoin,
         Code::ImpreciseEstimate,
+        Code::AdmissionOverridesPartial,
     ];
     let covered: Vec<Code> = QUERY_CASES
         .iter()

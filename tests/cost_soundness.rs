@@ -202,3 +202,100 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Budget split/refund: the session-quota arithmetic ssd-serve relies on
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Conservation: after any sequence of splits (some refused) and
+    /// full refunds of the unspent remainders, the parent balance is
+    /// exactly `initial − Σ spent` — no double-counting, no leaks.
+    #[test]
+    fn split_refund_conserves_fuel_and_memory(
+        initial_fuel in 0u64..10_000,
+        initial_mem in 0u64..10_000,
+        jobs in proptest::collection::vec(
+            (0u64..3_000, 0u64..3_000, 0u64..4_000),
+            0..12,
+        ),
+    ) {
+        let mut session = Budget::unlimited()
+            .max_steps(initial_fuel)
+            .max_memory_bytes(initial_mem);
+        let mut spent_fuel_total = 0u64;
+        let mut spent_mem_total = 0u64;
+        for (grant_fuel, grant_mem, spend) in jobs {
+            let before = (session.max_steps, session.max_memory_bytes);
+            match session.split(grant_fuel, grant_mem) {
+                Err(_) => {
+                    // A refused split must leave the parent untouched.
+                    prop_assert_eq!(
+                        (session.max_steps, session.max_memory_bytes),
+                        before
+                    );
+                }
+                Ok(child) => {
+                    prop_assert_eq!(child.max_steps, Some(grant_fuel));
+                    prop_assert_eq!(child.max_memory_bytes, Some(grant_mem));
+                    // The job spends up to (or past — guards can
+                    // overshoot a check interval) its grant; the refund
+                    // is clamped to the unspent part, like the server's.
+                    let spent_fuel = spend.min(grant_fuel);
+                    let spent_mem = (spend / 2).min(grant_mem);
+                    session.refund(
+                        grant_fuel - spent_fuel,
+                        grant_mem - spent_mem,
+                    );
+                    spent_fuel_total += spent_fuel;
+                    spent_mem_total += spent_mem;
+                }
+            }
+            prop_assert_eq!(
+                session.max_steps,
+                Some(initial_fuel - spent_fuel_total),
+                "fuel books diverged"
+            );
+            prop_assert_eq!(
+                session.max_memory_bytes,
+                Some(initial_mem - spent_mem_total),
+                "memory books diverged"
+            );
+        }
+    }
+
+    /// Splitting can never manufacture budget: the child's grant plus
+    /// the parent's remainder equals the parent's balance before.
+    #[test]
+    fn split_is_a_partition(
+        initial in 0u64..10_000,
+        want in 0u64..12_000,
+    ) {
+        let mut session = Budget::unlimited().max_steps(initial);
+        match session.split(want, 0) {
+            Ok(child) => {
+                prop_assert_eq!(
+                    child.max_steps.unwrap() + session.max_steps.unwrap(),
+                    initial
+                );
+            }
+            Err(_) => {
+                prop_assert!(want > initial);
+                prop_assert_eq!(session.max_steps, Some(initial));
+            }
+        }
+    }
+
+    /// An unmetered session grants without deduction and ignores
+    /// refunds: `None` means infinity on both sides of the ledger.
+    #[test]
+    fn unmetered_sessions_never_deduct(grant in 0u64..10_000) {
+        let mut session = Budget::unlimited();
+        let child = session.split(grant, grant).unwrap();
+        prop_assert_eq!(child.max_steps, Some(grant));
+        prop_assert_eq!(session.max_steps, None);
+        session.refund(grant, grant);
+        prop_assert_eq!(session.max_steps, None);
+        prop_assert_eq!(session.max_memory_bytes, None);
+    }
+}

@@ -136,3 +136,65 @@ fn deep_rewrite_nesting_is_rejected_with_ssd110() {
     let err = parse_rewrite(&deep).err().unwrap();
     assert!(format!("{err:?}").contains("SSD110"), "{err:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Parser 6: the ssd-serve wire protocol (frames + commands)
+// ---------------------------------------------------------------------------
+
+use ssd_serve::protocol::{decode_frame, encode_frame, parse_command, FrameError, MAX_FRAME};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The frame decoder never panics on arbitrary bytes.
+    #[test]
+    fn frame_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Well-formed frames round-trip exactly, and every strict prefix
+    /// is "incomplete" (`Ok(None)`), never an error or a wrong parse.
+    #[test]
+    fn frame_round_trip_and_truncation(payload in "[ -~\n]{0,300}") {
+        let enc = encode_frame(&payload);
+        let (dec, used) = decode_frame(&enc).unwrap().unwrap();
+        prop_assert_eq!(&dec, &payload);
+        prop_assert_eq!(used, enc.len());
+        for cut in [1, enc.len() / 2, enc.len() - 1] {
+            if cut < enc.len() {
+                prop_assert_eq!(decode_frame(&enc[..cut]), Ok(None));
+            }
+        }
+        // Trailing garbage is not consumed.
+        let mut padded = enc.clone();
+        padded.extend_from_slice(b"SSD garbage");
+        let (_, used2) = decode_frame(&padded).unwrap().unwrap();
+        prop_assert_eq!(used2, enc.len());
+    }
+
+    /// A declared length over the cap is rejected before any payload
+    /// buffering, no matter how large the number is.
+    #[test]
+    fn oversized_frames_are_rejected(extra in 1u64..u64::from(u32::MAX)) {
+        let len = MAX_FRAME as u64 + extra;
+        let head = format!("SSD {len}\n");
+        prop_assert_eq!(
+            decode_frame(head.as_bytes()),
+            Err(FrameError::Oversized(len as usize))
+        );
+    }
+
+    /// The command parser never panics; bad verbs are SSD210.
+    #[test]
+    fn command_parser_never_panics(s in "\\PC{0,256}") {
+        let _ = parse_command(&s);
+    }
+
+    /// Structured junk around real verbs parses or fails cleanly too.
+    #[test]
+    fn command_parser_handles_verb_like_junk(
+        s in "(HELLO|QUERY|DATALOG|CANCEL|STATS|BYE)[ a-z0-9=.%]{0,64}"
+    ) {
+        let _ = parse_command(&s);
+    }
+}

@@ -1,0 +1,489 @@
+//! ssd-serve: deterministic scheduler tests and in-process server tests.
+//!
+//! The scheduler is a pure state machine driven by a [`ManualClock`], so
+//! the first half of this suite replays fixed scenarios and asserts on
+//! the *exact* decision trace — byte-for-byte identical across runs.
+//! The second half exercises the threaded server end to end: streaming,
+//! mid-stream cancellation, panic isolation, and graceful shutdown.
+//! Those tests assert on outcomes and counters (thread interleavings
+//! may vary), never on wall-clock timing.
+
+use std::sync::Arc;
+
+use semistructured::Database;
+use ssd_guard::{Bound, CostEnvelope, Interval};
+use ssd_serve::sched::JobId;
+use ssd_serve::{
+    Decision, Dequeued, FinishKind, JobEvent, JobKind, ManualClock, Scheduler, ServeConfig, Server,
+    SessionQuota, TraceEvent, PANIC_PROBE,
+};
+
+fn env(fuel_lo: u64) -> CostEnvelope {
+    CostEnvelope {
+        cardinality: Interval::exact(1),
+        fuel: Interval::new(fuel_lo, Bound::Unbounded),
+        memory: Interval::exact(0),
+    }
+}
+
+fn quota(fuel: Option<u64>, job_fuel: u64, max_concurrent: usize) -> SessionQuota {
+    SessionQuota {
+        fuel,
+        memory: None,
+        max_concurrent,
+        job_fuel,
+        job_memory: 1 << 20,
+    }
+}
+
+fn movies() -> Arc<Database> {
+    Arc::new(Database::new(ssd_data::movies::figure1()))
+}
+
+// ---------------------------------------------------------------------------
+// Pure scheduler: deterministic traces
+// ---------------------------------------------------------------------------
+
+/// One fixed scenario covering admit → queue → reject → drain.
+fn admit_queue_reject_scenario() -> Vec<TraceEvent> {
+    let clock = Arc::new(ManualClock::new());
+    let mut s = Scheduler::new(1, 2, clock.clone());
+    let sid = s.open_session(quota(Some(1000), 50, 4));
+
+    // Worker free: dispatch.
+    let d1 = s.submit(sid, JobKind::Query, "q1".into(), env(10));
+    let t1 = match d1 {
+        Decision::Dispatch(t) => t,
+        other => panic!("q1 should dispatch, got {other:?}"),
+    };
+    assert_eq!(t1.grant_fuel, 50);
+    clock.advance(100);
+
+    // Worker busy: queue, in order.
+    assert!(matches!(
+        s.submit(sid, JobKind::Query, "q2".into(), env(10)),
+        Decision::Queued { depth: 1, .. }
+    ));
+    assert!(matches!(
+        s.submit(sid, JobKind::Datalog, "q3".into(), env(10)),
+        Decision::Queued { depth: 2, .. }
+    ));
+
+    // Queue full: SSD201, and the books show zero fuel charged for it.
+    let Decision::Rejected(d) = s.submit(sid, JobKind::Query, "q4".into(), env(10)) else {
+        panic!("q4 should be rejected");
+    };
+    assert_eq!(d.code.as_str(), "SSD201");
+
+    // Per-job ceiling: lower bound 60 can never fit a 50-fuel grant.
+    let Decision::Rejected(d) = s.submit(sid, JobKind::Query, "q5".into(), env(60)) else {
+        panic!("q5 should be rejected");
+    };
+    assert_eq!(d.code.as_str(), "SSD030");
+
+    // Completion frees the worker; the queue drains in FIFO order.
+    clock.advance(400);
+    let unblocked = s.complete(t1.job, 42, 0, FinishKind::Completed);
+    assert_eq!(unblocked.len(), 1);
+    let Dequeued::Dispatch(t2) = &unblocked[0] else {
+        panic!("q2 should dispatch on drain");
+    };
+    let t2_job = t2.job;
+    let unblocked = s.complete(t2_job, 7, 0, FinishKind::Completed);
+    assert_eq!(unblocked.len(), 1);
+    let Dequeued::Dispatch(t3) = &unblocked[0] else {
+        panic!("q3 should dispatch on drain");
+    };
+    let t3_job = t3.job;
+    s.complete(t3_job, 5, 0, FinishKind::Completed);
+
+    let m = s.metrics();
+    assert_eq!(m.counters.admitted, 3);
+    assert_eq!(m.counters.rejected, 2);
+    assert_eq!(m.counters.queued, 2);
+    assert_eq!(m.counters.completed, 3);
+    // Rejected submissions cost zero engine fuel: only the three
+    // admitted jobs' spends appear, nothing for q4/q5.
+    assert_eq!(m.counters.fuel_spent, 42 + 7 + 5);
+    assert_eq!(m.counters.fuel_estimated, 30);
+    assert_eq!(m.queue_peak, 2);
+    assert_eq!(m.queue_depth, 0);
+    s.trace().to_vec()
+}
+
+#[test]
+fn admit_queue_reject_ordering_is_deterministic() {
+    let a = admit_queue_reject_scenario();
+    let b = admit_queue_reject_scenario();
+    assert_eq!(a, b, "identical inputs must give identical traces");
+    // And the trace is the exact decision sequence, not just equal noise.
+    let codes: Vec<&'static str> = a
+        .iter()
+        .map(|e| match e {
+            TraceEvent::SessionOpened { .. } => "open",
+            TraceEvent::Submitted { .. } => "sub",
+            TraceEvent::Dispatched { .. } => "disp",
+            TraceEvent::Queued { .. } => "queue",
+            TraceEvent::Rejected { .. } => "rej",
+            TraceEvent::Completed { .. } => "done",
+            _ => "other",
+        })
+        .collect();
+    assert_eq!(
+        codes,
+        [
+            "open", "sub", "disp", "sub", "queue", "sub", "queue", "sub", "rej", "sub", "rej",
+            "done", "disp", "done", "disp", "done"
+        ]
+    );
+}
+
+#[test]
+fn session_quota_exhaustion_is_ssd200() {
+    let mut s = Scheduler::new(1, 8, Arc::new(ManualClock::new()));
+    let sid = s.open_session(quota(Some(100), 60, 2));
+
+    // j1 takes a 60-fuel grant, leaving 40.
+    let Decision::Dispatch(t1) = s.submit(sid, JobKind::Query, "j1".into(), env(10)) else {
+        panic!("j1 dispatches");
+    };
+    assert_eq!(t1.grant_fuel, 60);
+    assert_eq!(s.session_fuel_left(sid), Some(40));
+
+    // Needs at least 50 but only 40 remain: immediate SSD200.
+    let Decision::Rejected(d) = s.submit(sid, JobKind::Query, "j2".into(), env(50)) else {
+        panic!("j2 is over the session balance");
+    };
+    assert_eq!(d.code.as_str(), "SSD200");
+
+    // j3 and j4 fit the *current* balance and queue up behind j1.
+    assert!(matches!(
+        s.submit(sid, JobKind::Query, "j3".into(), env(35)),
+        Decision::Queued { .. }
+    ));
+    assert!(matches!(
+        s.submit(sid, JobKind::Query, "j4".into(), env(35)),
+        Decision::Queued { .. }
+    ));
+
+    // j1 spends everything it was granted; j3 dispatches with the whole
+    // remaining balance (40); j4's 35-fuel floor no longer fits the
+    // empty balance when its turn comes: late SSD200 without dispatch.
+    let unblocked = s.complete(t1.job, 60, 0, FinishKind::Completed);
+    assert_eq!(unblocked.len(), 1);
+    let Dequeued::Dispatch(t3) = &unblocked[0] else {
+        panic!("j3 dispatches on drain");
+    };
+    assert_eq!(t3.grant_fuel, 40);
+    let t3_job = t3.job;
+    assert_eq!(s.session_fuel_left(sid), Some(0));
+
+    let unblocked = s.complete(t3_job, 40, 0, FinishKind::Completed);
+    assert_eq!(unblocked.len(), 1);
+    match &unblocked[0] {
+        Dequeued::LateReject { diag, .. } => assert_eq!(diag.code.as_str(), "SSD200"),
+        other => panic!("j4 should be late-rejected, got {other:?}"),
+    }
+    assert!(s.drained());
+    let c = s.session_counters(sid).unwrap();
+    assert_eq!(c.rejected, 2);
+    assert_eq!(c.completed, 2);
+}
+
+#[test]
+fn cancel_queued_and_unknown_jobs() {
+    let mut s = Scheduler::new(1, 8, Arc::new(ManualClock::new()));
+    let sid = s.open_session(SessionQuota::default());
+    let Decision::Dispatch(t1) = s.submit(sid, JobKind::Query, "a".into(), env(1)) else {
+        panic!("a dispatches");
+    };
+    let Decision::Queued { job: j2, .. } = s.submit(sid, JobKind::Query, "b".into(), env(1)) else {
+        panic!("b queues");
+    };
+    // Queued: removed synchronously.
+    assert_eq!(s.cancel(j2), Ok(false));
+    assert_eq!(s.queue_len(), 0);
+    // Unknown / already-finished: SSD204.
+    assert_eq!(s.cancel(JobId(999)).unwrap_err().code.as_str(), "SSD204");
+    assert_eq!(s.cancel(j2).unwrap_err().code.as_str(), "SSD204");
+    // Running: token fires, completion arrives later as Cancelled.
+    assert_eq!(s.cancel(t1.job), Ok(true));
+    assert!(t1.budget.cancel.as_ref().unwrap().is_cancelled());
+    s.complete(t1.job, 3, 0, FinishKind::Cancelled);
+    assert_eq!(s.metrics().counters.cancelled, 2);
+}
+
+#[test]
+fn shutdown_rejects_new_work_but_drains_the_queue() {
+    let mut s = Scheduler::new(1, 8, Arc::new(ManualClock::new()));
+    let sid = s.open_session(SessionQuota::default());
+    let Decision::Dispatch(t1) = s.submit(sid, JobKind::Query, "a".into(), env(1)) else {
+        panic!("a dispatches");
+    };
+    let Decision::Queued { .. } = s.submit(sid, JobKind::Query, "b".into(), env(1)) else {
+        panic!("b queues");
+    };
+    s.begin_shutdown();
+    let Decision::Rejected(d) = s.submit(sid, JobKind::Query, "c".into(), env(1)) else {
+        panic!("c is rejected during shutdown");
+    };
+    assert_eq!(d.code.as_str(), "SSD203");
+    assert!(!s.drained(), "queued work survives shutdown begin");
+    let unblocked = s.complete(t1.job, 1, 0, FinishKind::Completed);
+    let Dequeued::Dispatch(t2) = &unblocked[0] else {
+        panic!("b still dispatches while draining");
+    };
+    let t2_job = t2.job;
+    s.complete(t2_job, 1, 0, FinishKind::Completed);
+    assert!(s.drained());
+    assert_eq!(s.metrics().counters.completed, 2);
+}
+
+#[test]
+fn budget_split_refund_round_trips_through_scheduling() {
+    // The session balance after any run equals initial − Σ spent: the
+    // scheduler never double-counts grants and refunds.
+    let mut s = Scheduler::new(2, 8, Arc::new(ManualClock::new()));
+    let sid = s.open_session(quota(Some(500), 100, 2));
+    let mut spent_total = 0u64;
+    for spent in [30u64, 100, 0, 77] {
+        let Decision::Dispatch(t) = s.submit(sid, JobKind::Query, "q".into(), env(1)) else {
+            panic!("dispatch");
+        };
+        s.complete(t.job, spent, 0, FinishKind::Completed);
+        spent_total += spent;
+        assert_eq!(s.session_fuel_left(sid), Some(500 - spent_total));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded server: isolation, cancellation, shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn server_streams_chunked_results() {
+    let server = Server::start(
+        movies(),
+        ServeConfig {
+            workers: 2,
+            chunk_size: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let session = server.open_session(SessionQuota::default());
+    let out = session
+        .submit(JobKind::Query, "select T from db.Entry.%.Title T")
+        .unwrap()
+        .wait();
+    assert_eq!(out.error, None);
+    // 3 titles, one root per chunk.
+    assert_eq!(out.chunks.len(), 3);
+    for c in &out.chunks {
+        assert!(
+            Database::from_literal(c).is_ok(),
+            "each chunk is a standalone literal: {c}"
+        );
+    }
+    assert!(out.summary.unwrap().contains("results=3"));
+    server.shutdown();
+}
+
+#[test]
+fn rpe_jobs_desugar_to_selects() {
+    let server = Server::start(movies(), ServeConfig::default());
+    let session = server.open_session(SessionQuota::default());
+    let out = session
+        .submit(JobKind::Rpe, "Entry.%.Title")
+        .unwrap()
+        .wait();
+    assert_eq!(out.error, None);
+    assert!(out.summary.unwrap().contains("results=3"));
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_cancellation_stops_the_stream() {
+    // Rendezvous channels: the worker blocks on every chunk until the
+    // client takes it, so cancelling after the first chunk always lands
+    // before the stream finishes.
+    let server = Server::start(
+        movies(),
+        ServeConfig {
+            workers: 1,
+            chunk_size: 1,
+            stream_buffer: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let session = server.open_session(SessionQuota::default());
+    let handle = session
+        .submit(JobKind::Query, "select T from db.Entry.%.Title T")
+        .unwrap();
+    let job = handle.job;
+    let rx = handle.events();
+    let first = rx.recv().expect("first chunk");
+    assert!(matches!(first, JobEvent::Chunk(_)));
+    session.cancel(job).unwrap();
+    let mut chunks = 1;
+    let mut error = None;
+    for ev in rx.iter() {
+        match ev {
+            JobEvent::Chunk(_) => chunks += 1,
+            JobEvent::Failed(e) => {
+                error = Some(e);
+                break;
+            }
+            JobEvent::Done { .. } => break,
+        }
+    }
+    let error = error.expect("cancelled jobs end in a failure event");
+    assert!(error.contains("SSD105"), "cancellation is SSD105: {error}");
+    assert!(chunks < 3, "the stream stopped early (got {chunks} chunks)");
+    let m = server.shutdown();
+    assert_eq!(m.counters.cancelled, 1);
+}
+
+#[test]
+fn panic_is_confined_to_one_job_and_session() {
+    let server = Server::start(
+        movies(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let victim = server.open_session(SessionQuota::default());
+    let bystander = server.open_session(SessionQuota::default());
+
+    let boom = victim.submit(JobKind::Query, PANIC_PROBE).unwrap().wait();
+    let error = boom.error.expect("panic surfaces as a failure");
+    assert!(error.contains("SSD111"), "panic is SSD111: {error}");
+
+    // The bystander session is untouched...
+    let ok = bystander
+        .submit(JobKind::Query, "select T from db.Entry.%.Title T")
+        .unwrap()
+        .wait();
+    assert_eq!(ok.error, None);
+    assert!(!ok.chunks.is_empty());
+
+    // ...and so is the victim session itself: the worker survived.
+    let again = victim
+        .submit(
+            JobKind::Datalog,
+            "reach(X) :- root(X).\nreach(Y) :- reach(X), edge(X, _L, Y).",
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(again.error, None);
+
+    let m = server.shutdown();
+    assert_eq!(m.counters.panicked, 1);
+    assert_eq!(m.counters.completed, 2);
+    assert_eq!(victim.counters().unwrap().panicked, 1);
+    assert_eq!(bystander.counters().unwrap().panicked, 0);
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_jobs() {
+    // One worker, rendezvous streaming: j1 blocks on its first chunk,
+    // so j2 and j3 are deterministically queued when shutdown begins.
+    let server = Server::start(
+        movies(),
+        ServeConfig {
+            workers: 1,
+            chunk_size: 1,
+            stream_buffer: 0,
+            queue_cap: 8,
+        },
+    );
+    let session = server.open_session(SessionQuota::default());
+    let q = "select T from db.Entry.%.Title T";
+    let j1 = session.submit(JobKind::Query, q).unwrap();
+    let j2 = session.submit(JobKind::Query, q).unwrap();
+    let j3 = session.submit(JobKind::Query, q).unwrap();
+    assert!(!j1.queued);
+    assert!(j2.queued && j3.queued);
+
+    server.request_shutdown();
+    let refused = session.submit(JobKind::Query, q);
+    match refused {
+        Err(ssd_serve::SubmitError::Rejected(d)) => assert_eq!(d.code.as_str(), "SSD203"),
+        Err(other) => panic!("submissions during shutdown are SSD203, got {other}"),
+        Ok(_) => panic!("submissions during shutdown must be rejected"),
+    }
+
+    // Draining: all three pre-shutdown jobs still complete.
+    for j in [j1, j2, j3] {
+        let out = j.wait();
+        assert_eq!(out.error, None);
+        assert_eq!(out.chunks.len(), 3);
+    }
+    let m = server.shutdown();
+    assert_eq!(m.counters.completed, 3);
+    assert_eq!(m.counters.rejected, 1);
+    assert_eq!(m.queue_depth, 0);
+}
+
+#[test]
+fn closing_a_session_tears_down_its_jobs_only() {
+    let server = Server::start(
+        movies(),
+        ServeConfig {
+            workers: 1,
+            chunk_size: 1,
+            stream_buffer: 0,
+            queue_cap: 8,
+        },
+    );
+    let doomed = server.open_session(SessionQuota::default());
+    let survivor = server.open_session(SessionQuota::default());
+    let q = "select T from db.Entry.%.Title T";
+    // doomed's first job holds the only worker; its second job queues;
+    // survivor's job queues behind them.
+    let d1 = doomed.submit(JobKind::Query, q).unwrap();
+    let d2 = doomed.submit(JobKind::Query, q).unwrap();
+    let s1 = survivor.submit(JobKind::Query, q).unwrap();
+    assert!(d2.queued && s1.queued);
+
+    doomed.close();
+    let out1 = d1.wait();
+    let e = out1
+        .error
+        .expect("running job of a closed session is cancelled");
+    assert!(e.contains("SSD105"), "{e}");
+    let out2 = d2.wait();
+    assert!(out2
+        .error
+        .expect("queued job is cancelled")
+        .contains("SSD105"));
+
+    // The survivor's job dispatches and completes untouched.
+    let outs = s1.wait();
+    assert_eq!(outs.error, None);
+    assert_eq!(outs.chunks.len(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn stats_text_has_global_and_session_sections() {
+    let server = Server::start(movies(), ServeConfig::default());
+    let session = server.open_session(SessionQuota::default());
+    session
+        .submit(JobKind::Query, "select T from db.Entry.%.Title T")
+        .unwrap()
+        .wait();
+    let text = server.stats_text(Some(session.id));
+    for key in [
+        "admitted 1",
+        "completed 1",
+        "session.admitted 1",
+        "latency_p50_us",
+        "latency_p99_us",
+        "queue_depth 0",
+    ] {
+        assert!(text.contains(key), "missing `{key}` in:\n{text}");
+    }
+    assert!(server.metrics().counters.fuel_spent > 0);
+    server.shutdown();
+}
