@@ -71,7 +71,8 @@ fi
 echo "== serve smoke run (3 concurrent sessions)" >&2
 serve_log=$(mktemp)
 timeout 120 ./target/release/ssd serve examples/movies.ssd --port 0 \
-    --workers 1 --queue 8 --metrics-dump > "$serve_log" 2>&1 &
+    --workers 1 --queue 8 --metrics-dump --allow-remote-shutdown \
+    > "$serve_log" 2>&1 &
 serve_pid=$!
 port=""
 for _ in $(seq 1 100); do

@@ -86,6 +86,7 @@ Serving (see docs/SERVING.md for the protocol):
             [--job-memory-mb N]    default per-job memory ceiling
             [--max-jobs N]         default per-session concurrency cap
             [--metrics-dump]       print the metrics block on shutdown
+            [--allow-remote-shutdown]  honor the client SHUTDOWN verb
   ssd client PORT                  each stdin line is one command frame
                                    (HELLO, QUERY, DATALOG, RPE, CANCEL,
                                    STATS, BYE, SHUTDOWN); waits for
@@ -521,7 +522,7 @@ fn prepend_truncation(guard: &Guard, out: String) -> String {
 
 const SERVE_USAGE: &str = "serve DATA [--port N] [--workers N] [--queue N] \
 [--session-fuel N] [--session-memory-mb N] [--job-fuel N] [--job-memory-mb N] \
-[--max-jobs N] [--metrics-dump]";
+[--max-jobs N] [--metrics-dump] [--allow-remote-shutdown]";
 
 fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
     fn take_value(tail: &mut Vec<&str>, i: usize, flag: &str) -> Result<u64, CliError> {
@@ -537,6 +538,7 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
     let mut cfg = ssd_serve::ServeConfig::default();
     let mut quota = ssd_serve::SessionQuota::default();
     let mut metrics_dump = false;
+    let mut allow_shutdown = false;
     let mut i = 0;
     while i < tail.len() {
         match tail[i] {
@@ -578,6 +580,10 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
                 metrics_dump = true;
                 tail.remove(i);
             }
+            "--allow-remote-shutdown" => {
+                allow_shutdown = true;
+                tail.remove(i);
+            }
             _ => i += 1,
         }
     }
@@ -592,22 +598,29 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
     println!("listening on {addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    serve_on(db, cfg, quota, listener, metrics_dump)
+    serve_on(db, cfg, quota, listener, metrics_dump, allow_shutdown)
 }
 
 /// Run the accept loop on an already-bound listener until a client sends
-/// `SHUTDOWN`, then drain and return the final report. Public so
-/// integration tests can bind their own ephemeral port first.
+/// `SHUTDOWN` (honored only with `allow_shutdown` — the CLI's
+/// `--allow-remote-shutdown`), then drain and return the final report.
+/// Public so integration tests can bind their own ephemeral port first.
 pub fn serve_on(
     db: Database,
     cfg: ssd_serve::ServeConfig,
     default_quota: ssd_serve::SessionQuota,
     listener: std::net::TcpListener,
     metrics_dump: bool,
+    allow_shutdown: bool,
 ) -> Result<String, CliError> {
     let server = std::sync::Arc::new(ssd_serve::Server::start(std::sync::Arc::new(db), cfg));
-    ssd_serve::net::serve_tcp(std::sync::Arc::clone(&server), listener, default_quota)
-        .map_err(|e| CliError::Failed(format!("serve: {e}")))?;
+    ssd_serve::net::serve_tcp(
+        std::sync::Arc::clone(&server),
+        listener,
+        default_quota,
+        allow_shutdown,
+    )
+    .map_err(|e| CliError::Failed(format!("serve: {e}")))?;
     let metrics = server.shutdown();
     if metrics_dump {
         Ok(metrics.render())
@@ -1425,6 +1438,7 @@ mod tests {
                 ssd_serve::ServeConfig::default(),
                 ssd_serve::SessionQuota::default(),
                 listener,
+                true,
                 true,
             )
         });

@@ -32,7 +32,10 @@ pub struct Counters {
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     pub counters: Counters,
-    /// submit→finish latency samples in microseconds, in finish order.
+    /// submit→finish latency samples in microseconds: the most recent
+    /// [`LATENCY_SAMPLE_CAP`](crate::sched::LATENCY_SAMPLE_CAP) finishes
+    /// (a ring, so a long-running server stays bounded; the slot order
+    /// is not the finish order once the ring wraps).
     pub latencies_us: Vec<u64>,
     /// Current run-queue depth (gauge).
     pub queue_depth: usize,
@@ -68,7 +71,7 @@ impl Metrics {
             ("fuel_estimated", c.fuel_estimated),
             ("queue_depth", self.queue_depth as u64),
             ("queue_peak", self.queue_peak as u64),
-            ("jobs_finished", self.latencies_us.len() as u64),
+            ("jobs_finished", c.completed + c.cancelled + c.panicked),
             ("latency_p50_us", percentile(&self.latencies_us, 50)),
             ("latency_p99_us", percentile(&self.latencies_us, 99)),
         ] {

@@ -32,15 +32,20 @@ fn send_frame(stream: &Mutex<TcpStream>, payload: &str) -> std::io::Result<()> {
     stream.lock().expect("writer lock").write_all(&bytes)
 }
 
-/// Accept connections until [`Server::request_shutdown`] fires (usually
-/// via a client `SHUTDOWN` command), then return so the caller can run
-/// the graceful drain. `default_quota` seeds every `HELLO`; its fields
-/// are what the client's `fuel=`/`jobs=`/... overrides apply to.
-/// Connection threads are detached; they die with their sockets.
+/// Accept connections until [`Server::request_shutdown`] fires, then
+/// return so the caller can run the graceful drain. `default_quota`
+/// seeds every `HELLO`; its fields are what the client's
+/// `fuel=`/`jobs=`/... overrides apply to. The `SHUTDOWN` verb only
+/// works when `allow_shutdown` is set (the CLI flag
+/// `--allow-remote-shutdown`): the loopback bind is shared by every
+/// local process, and an unauthenticated client should not be able to
+/// stop the server for everyone else. Connection threads are detached;
+/// they die with their sockets.
 pub fn serve_tcp(
     server: Arc<Server>,
     listener: TcpListener,
     default_quota: SessionQuota,
+    allow_shutdown: bool,
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     loop {
@@ -52,7 +57,7 @@ pub fn serve_tcp(
                 let server = Arc::clone(&server);
                 let quota = default_quota.clone();
                 std::thread::spawn(move || {
-                    let _ = handle_connection(server, stream, quota);
+                    let _ = handle_connection(server, stream, quota, allow_shutdown);
                 });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -67,6 +72,7 @@ fn handle_connection(
     server: Arc<Server>,
     stream: TcpStream,
     default_quota: SessionQuota,
+    allow_shutdown: bool,
 ) -> std::io::Result<()> {
     let mut reader = stream.try_clone()?;
     let writer = Arc::new(Mutex::new(stream));
@@ -85,6 +91,7 @@ fn handle_connection(
                         &writer,
                         &mut session,
                         &default_quota,
+                        allow_shutdown,
                         &payload,
                     )? {
                         Flow::Continue => {}
@@ -122,6 +129,7 @@ fn dispatch_command(
     writer: &Arc<Mutex<TcpStream>>,
     session: &mut Option<Arc<SessionHandle>>,
     default_quota: &SessionQuota,
+    allow_shutdown: bool,
     payload: &str,
 ) -> std::io::Result<Flow> {
     let cmd = match parse_command_with(payload, default_quota) {
@@ -179,6 +187,14 @@ fn dispatch_command(
             return Ok(Flow::Close);
         }
         Command::Shutdown => {
+            if !allow_shutdown {
+                send_frame(
+                    writer,
+                    "ERR error[SSD210]: SHUTDOWN is disabled \
+                     (start the server with --allow-remote-shutdown)",
+                )?;
+                return Ok(Flow::Continue);
+            }
             server.request_shutdown();
             send_frame(writer, "OK shutting down")?;
             return Ok(Flow::Close);

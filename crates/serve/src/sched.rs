@@ -28,6 +28,15 @@ use crate::clock::Clock;
 use crate::metrics::{Counters, Metrics};
 use crate::quota::SessionQuota;
 
+/// Most recent trace events retained. Truncation is deterministic
+/// (purely a function of the decision sequence), so trace equality
+/// across identical runs still holds after it kicks in.
+pub const TRACE_CAP: usize = 4096;
+
+/// Most recent submit→finish latency samples retained (a ring:
+/// percentiles are computed over the last this-many finished jobs).
+pub const LATENCY_SAMPLE_CAP: usize = 4096;
+
 /// Identifies a session for the lifetime of a scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
@@ -134,7 +143,6 @@ struct Session {
 enum JobState {
     Queued,
     Running { grant_fuel: u64, grant_memory: u64 },
-    Finished,
 }
 
 struct Job {
@@ -149,17 +157,24 @@ struct Job {
 
 /// See the module docs. All methods take `&mut self`; the server holds
 /// the scheduler behind one mutex so every transition is atomic.
+///
+/// Memory stays bounded over a long-running server: finished jobs are
+/// evicted from the job map (only queued and running jobs are live),
+/// the trace keeps the last [`TRACE_CAP`] events, and latency samples
+/// live in a [`LATENCY_SAMPLE_CAP`]-slot ring.
 pub struct Scheduler {
     clock: Arc<dyn Clock>,
     workers: usize,
     busy: usize,
     queue_cap: usize,
     queue: VecDeque<JobId>,
+    /// Queued and running jobs only; finished jobs are evicted.
     jobs: HashMap<JobId, Job>,
     sessions: HashMap<SessionId, Session>,
     next_session: u64,
     next_job: u64,
     trace: Vec<TraceEvent>,
+    latency_pos: usize,
     metrics: Metrics,
     shutting_down: bool,
 }
@@ -178,8 +193,20 @@ impl Scheduler {
             next_session: 0,
             next_job: 0,
             trace: Vec::new(),
+            latency_pos: 0,
             metrics: Metrics::default(),
             shutting_down: false,
+        }
+    }
+
+    /// Append a trace event, keeping the log bounded: let it grow to
+    /// twice [`TRACE_CAP`], then drop the oldest half in one batch
+    /// (amortized O(1), and deterministic given the decision sequence).
+    fn record(&mut self, ev: TraceEvent) {
+        self.trace.push(ev);
+        if self.trace.len() >= TRACE_CAP * 2 {
+            let excess = self.trace.len() - TRACE_CAP;
+            self.trace.drain(..excess);
         }
     }
 
@@ -197,7 +224,7 @@ impl Scheduler {
                 counters: Counters::default(),
             },
         );
-        self.trace.push(TraceEvent::SessionOpened { session: id });
+        self.record(TraceEvent::SessionOpened { session: id });
         id
     }
 
@@ -212,14 +239,14 @@ impl Scheduler {
     ) -> Decision {
         self.next_job += 1;
         let job = JobId(self.next_job);
-        self.trace.push(TraceEvent::Submitted { job, session });
+        self.record(TraceEvent::Submitted { job, session });
 
         let reject = |sched: &mut Scheduler, job, diag: Diagnostic| {
             if let Some(s) = sched.sessions.get_mut(&session) {
                 s.counters.rejected += 1;
             }
             sched.metrics.counters.rejected += 1;
-            sched.trace.push(TraceEvent::Rejected {
+            sched.record(TraceEvent::Rejected {
                 job,
                 code: diag.code,
             });
@@ -303,7 +330,7 @@ impl Scheduler {
 
         if can_dispatch {
             let ticket = self.dispatch(job);
-            self.trace.push(TraceEvent::Dispatched {
+            self.record(TraceEvent::Dispatched {
                 job,
                 grant_fuel: ticket.grant_fuel,
             });
@@ -317,7 +344,7 @@ impl Scheduler {
         let sess = self.sessions.get_mut(&session).expect("checked above");
         sess.counters.queued += 1;
         self.metrics.counters.queued += 1;
-        self.trace.push(TraceEvent::Queued { job, depth });
+        self.record(TraceEvent::Queued { job, depth });
         Decision::Queued { job, depth }
     }
 
@@ -351,8 +378,9 @@ impl Scheduler {
     }
 
     /// A worker finished `job`: release its slot, refund the unspent
-    /// grant, record metrics, and re-scan the queue. Returns the queue
-    /// transitions (dispatches and late rejections) this unblocked.
+    /// grant, record metrics, evict the job, and re-scan the queue.
+    /// Returns the queue transitions (dispatches and late rejections)
+    /// this unblocked.
     pub fn complete(
         &mut self,
         job: JobId,
@@ -360,7 +388,7 @@ impl Scheduler {
         memory_spent: u64,
         finish: FinishKind,
     ) -> Vec<Dequeued> {
-        let j = self.jobs.get_mut(&job).expect("complete of unknown job");
+        let j = self.jobs.remove(&job).expect("complete of unknown job");
         let JobState::Running {
             grant_fuel,
             grant_memory,
@@ -368,7 +396,6 @@ impl Scheduler {
         else {
             panic!("complete of a job that is not running");
         };
-        j.state = JobState::Finished;
         let session = j.session;
         let latency = self.clock.now_micros().saturating_sub(j.submitted_at);
         self.busy -= 1;
@@ -383,22 +410,27 @@ impl Scheduler {
         );
         sess.counters.fuel_spent += fuel_spent;
         self.metrics.counters.fuel_spent += fuel_spent;
-        self.metrics.latencies_us.push(latency);
+        if self.metrics.latencies_us.len() < LATENCY_SAMPLE_CAP {
+            self.metrics.latencies_us.push(latency);
+        } else {
+            self.metrics.latencies_us[self.latency_pos] = latency;
+        }
+        self.latency_pos = (self.latency_pos + 1) % LATENCY_SAMPLE_CAP;
         match finish {
             FinishKind::Completed => {
                 sess.counters.completed += 1;
                 self.metrics.counters.completed += 1;
-                self.trace.push(TraceEvent::Completed { job, fuel_spent });
+                self.record(TraceEvent::Completed { job, fuel_spent });
             }
             FinishKind::Cancelled => {
                 sess.counters.cancelled += 1;
                 self.metrics.counters.cancelled += 1;
-                self.trace.push(TraceEvent::Cancelled { job });
+                self.record(TraceEvent::Cancelled { job });
             }
             FinishKind::Panicked => {
                 sess.counters.panicked += 1;
                 self.metrics.counters.panicked += 1;
-                self.trace.push(TraceEvent::Panicked { job });
+                self.record(TraceEvent::Panicked { job });
             }
         }
         self.drain_queue()
@@ -424,15 +456,15 @@ impl Scheduler {
             if sess.balance.admit(&j.envelope).is_err() {
                 let session = j.session;
                 self.queue.remove(i);
+                self.jobs.remove(&job);
                 let d = Diagnostic::new(
                     Code::SessionQuotaExhausted,
                     format!("session {session} quota exhausted while job {job} was queued"),
                 );
-                self.jobs.get_mut(&job).expect("queued job").state = JobState::Finished;
                 let sess = self.sessions.get_mut(&session).expect("job has session");
                 sess.counters.rejected += 1;
                 self.metrics.counters.rejected += 1;
-                self.trace.push(TraceEvent::Rejected { job, code: d.code });
+                self.record(TraceEvent::Rejected { job, code: d.code });
                 out.push(Dequeued::LateReject { job, diag: d });
                 continue;
             }
@@ -442,7 +474,7 @@ impl Scheduler {
             }
             self.queue.remove(i);
             let ticket = self.dispatch(job);
-            self.trace.push(TraceEvent::Dispatched {
+            self.record(TraceEvent::Dispatched {
                 job,
                 grant_fuel: ticket.grant_fuel,
             });
@@ -452,45 +484,46 @@ impl Scheduler {
         out
     }
 
-    /// Cancel a job. A queued job is removed immediately (`Ok(false)`);
-    /// a running job has its token fired (`Ok(true)`) and will report
-    /// back through [`Scheduler::complete`] when the guard notices.
-    pub fn cancel(&mut self, job: JobId) -> Result<bool, Diagnostic> {
-        let state = self.jobs.get(&job).map(|j| {
-            (
-                match j.state {
-                    JobState::Queued => 0u8,
-                    JobState::Running { .. } => 1,
-                    JobState::Finished => 2,
-                },
-                j.session,
-            )
-        });
-        match state {
-            Some((0, session)) => {
-                let pos = self
-                    .queue
-                    .iter()
-                    .position(|&q| q == job)
-                    .expect("queued job is in the queue");
-                self.queue.remove(pos);
-                self.metrics.queue_depth = self.queue.len();
-                self.jobs.get_mut(&job).expect("just found").state = JobState::Finished;
-                let sess = self.sessions.get_mut(&session).expect("job has session");
-                sess.counters.cancelled += 1;
-                self.metrics.counters.cancelled += 1;
-                self.trace.push(TraceEvent::Cancelled { job });
-                Ok(false)
-            }
-            Some((1, _)) => {
-                self.jobs[&job].cancel.cancel();
-                Ok(true)
-            }
-            _ => Err(Diagnostic::new(
+    /// Cancel one of `session`'s jobs. A queued job is removed
+    /// immediately (`Ok(false)`); a running job has its token fired
+    /// (`Ok(true)`) and will report back through [`Scheduler::complete`]
+    /// when the guard notices.
+    ///
+    /// Job ids are global sequential integers, so ownership is checked:
+    /// a job belonging to *another* session gets the same SSD204 as an
+    /// unknown job (no cross-session cancellation, and no oracle for
+    /// which ids are live elsewhere).
+    pub fn cancel(&mut self, session: SessionId, job: JobId) -> Result<bool, Diagnostic> {
+        let unknown = || {
+            Err(Diagnostic::new(
                 Code::UnknownJob,
                 format!("no such (or already finished) job {job}"),
-            )),
+            ))
+        };
+        let (running, owner) = match self.jobs.get(&job) {
+            Some(j) => (matches!(j.state, JobState::Running { .. }), j.session),
+            None => return unknown(),
+        };
+        if owner != session {
+            return unknown();
         }
+        if running {
+            self.jobs[&job].cancel.cancel();
+            return Ok(true);
+        }
+        let pos = self
+            .queue
+            .iter()
+            .position(|&q| q == job)
+            .expect("queued job is in the queue");
+        self.queue.remove(pos);
+        self.metrics.queue_depth = self.queue.len();
+        self.jobs.remove(&job);
+        let sess = self.sessions.get_mut(&session).expect("job has session");
+        sess.counters.cancelled += 1;
+        self.metrics.counters.cancelled += 1;
+        self.record(TraceEvent::Cancelled { job });
+        Ok(false)
     }
 
     /// Close a session: cancel its queued jobs (returned, so the server
@@ -508,15 +541,15 @@ impl Scheduler {
             .filter(|q| self.jobs[q].session == session)
             .collect();
         for &job in &queued {
-            // Queued cancellation always succeeds.
-            let _ = self.cancel(job);
+            // Queued cancellation of the session's own jobs always succeeds.
+            let _ = self.cancel(session, job);
         }
         for j in self.jobs.values() {
             if j.session == session && matches!(j.state, JobState::Running { .. }) {
                 j.cancel.cancel();
             }
         }
-        self.trace.push(TraceEvent::SessionClosed { session });
+        self.record(TraceEvent::SessionClosed { session });
         queued
     }
 
@@ -524,7 +557,7 @@ impl Scheduler {
     pub fn begin_shutdown(&mut self) {
         if !self.shutting_down {
             self.shutting_down = true;
-            self.trace.push(TraceEvent::ShutdownBegan);
+            self.record(TraceEvent::ShutdownBegan);
         }
     }
 
@@ -545,9 +578,16 @@ impl Scheduler {
         self.busy
     }
 
-    /// The decision log; identical across runs given identical inputs.
+    /// The decision log (most recent [`TRACE_CAP`]+ events); identical
+    /// across runs given identical inputs, including any truncation.
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Queued + running jobs currently held (finished jobs are evicted,
+    /// so this is the scheduler's live footprint, not a lifetime count).
+    pub fn live_jobs(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Snapshot of the global metrics.

@@ -19,7 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex, Once, OnceLock};
 use std::thread::JoinHandle;
 
@@ -157,6 +157,10 @@ struct Inner {
     cfg: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
+    /// Failure notices that could not be delivered without blocking go
+    /// here; one shared notifier thread drains them (see
+    /// [`notify_failed`]).
+    notify: Sender<(SyncSender<JobEvent>, String)>,
     /// Estimator inputs, computed once per server, not per submit.
     query_stats: OnceLock<(DataStats, Schema)>,
     datalog_stats: OnceLock<DataStats>,
@@ -177,6 +181,15 @@ impl Server {
 
     /// As [`Server::start`] with an injected clock (deterministic tests).
     pub fn start_with_clock(db: Arc<Database>, cfg: ServeConfig, clock: Arc<dyn Clock>) -> Server {
+        let (notify, notices) = mpsc::channel::<(SyncSender<JobEvent>, String)>();
+        // One notifier for the whole server: delivers the failure
+        // notices that could not be sent without blocking. It exits when
+        // the last `Inner` clone (and thus the sender) is dropped.
+        std::thread::spawn(move || {
+            for (tx, headline) in notices {
+                let _ = tx.send(JobEvent::Failed(headline));
+            }
+        });
         let inner = Arc::new(Inner {
             db,
             cfg: cfg.clone(),
@@ -187,6 +200,7 @@ impl Server {
                 stop: false,
             }),
             work: Condvar::new(),
+            notify,
             query_stats: OnceLock::new(),
             datalog_stats: OnceLock::new(),
         });
@@ -337,15 +351,16 @@ impl SessionHandle {
         }
     }
 
-    /// Cancel a job: `Ok(false)` if it was still queued (already gone),
-    /// `Ok(true)` if running (its token fired; the stream will end with
-    /// an SSD105 failure).
+    /// Cancel one of *this session's* jobs: `Ok(false)` if it was still
+    /// queued (already gone), `Ok(true)` if running (its token fired;
+    /// the stream will end with an SSD105 failure). A job id belonging
+    /// to another session is SSD204, exactly like an unknown id.
     pub fn cancel(&self, job: JobId) -> Result<bool, Diagnostic> {
         let mut st = self.inner.state.lock().expect("state lock");
-        let was_running = st.sched.cancel(job)?;
+        let was_running = st.sched.cancel(self.id, job)?;
         if !was_running {
             if let Some(tx) = st.senders.remove(&job) {
-                notify_failed(tx, Exhausted::Cancelled.headline());
+                notify_failed(&self.inner, tx, Exhausted::Cancelled.headline());
             }
         }
         Ok(was_running)
@@ -370,7 +385,7 @@ impl SessionHandle {
         let dropped = st.sched.close_session(self.id);
         for job in dropped {
             if let Some(tx) = st.senders.remove(&job) {
-                notify_failed(tx, Exhausted::Cancelled.headline());
+                notify_failed(&self.inner, tx, Exhausted::Cancelled.headline());
             }
         }
         maybe_stop(&mut st);
@@ -422,11 +437,21 @@ fn estimate(inner: &Inner, kind: JobKind, text: &str) -> Result<CostEnvelope, St
 /// Deliver a failure notice without blocking the caller: these fire
 /// from under the state lock (cancel, close, late-reject), where a
 /// rendezvous `send` to a client that is not currently reading — or
-/// that *is* the calling thread — would deadlock.
-fn notify_failed(tx: SyncSender<JobEvent>, headline: String) {
-    std::thread::spawn(move || {
-        let _ = tx.send(JobEvent::Failed(headline));
-    });
+/// that *is* the calling thread — would deadlock. The fast path is a
+/// `try_send` (the stream buffer almost always has room); a full or
+/// rendezvous channel falls back to the server's single notifier
+/// thread, so an in-process caller holding unconsumed handles delays
+/// later notices at worst — it never accumulates blocked threads.
+fn notify_failed(inner: &Inner, tx: SyncSender<JobEvent>, headline: String) {
+    match tx.try_send(JobEvent::Failed(headline)) {
+        Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Full(ev)) => {
+            let JobEvent::Failed(headline) = ev else {
+                unreachable!("notify_failed sends Failed events only");
+            };
+            let _ = inner.notify.send((tx, headline));
+        }
+    }
 }
 
 /// When shutdown has been requested and nothing is queued, running, or
@@ -491,19 +516,28 @@ fn worker_loop(inner: Arc<Inner>) {
             }
         };
         let mut st = inner.state.lock().expect("state lock");
-        let unblocked = st
+        let mut pending: VecDeque<Dequeued> = st
             .sched
-            .complete(job, guard.steps_used(), guard.memory_used(), finish);
-        for d in unblocked {
+            .complete(job, guard.steps_used(), guard.memory_used(), finish)
+            .into();
+        while let Some(d) = pending.pop_front() {
             match d {
                 Dequeued::Dispatch(t) => {
                     if let Some(tx) = st.senders.remove(&t.job) {
                         st.ready.push_back((t, tx));
+                    } else {
+                        // Every queued job has a sender until dispatch
+                        // or rejection claims it, so this is a bug —
+                        // but dropping the ticket would leak the worker
+                        // slot and session-active count it was
+                        // dispatched with, so give them back.
+                        debug_assert!(false, "dispatched job {} has no sender", t.job);
+                        pending.extend(st.sched.complete(t.job, 0, 0, FinishKind::Cancelled));
                     }
                 }
                 Dequeued::LateReject { job, diag } => {
                     if let Some(tx) = st.senders.remove(&job) {
-                        notify_failed(tx, diag.headline());
+                        notify_failed(&inner, tx, diag.headline());
                     }
                 }
             }

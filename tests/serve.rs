@@ -201,16 +201,68 @@ fn cancel_queued_and_unknown_jobs() {
         panic!("b queues");
     };
     // Queued: removed synchronously.
-    assert_eq!(s.cancel(j2), Ok(false));
+    assert_eq!(s.cancel(sid, j2), Ok(false));
     assert_eq!(s.queue_len(), 0);
     // Unknown / already-finished: SSD204.
-    assert_eq!(s.cancel(JobId(999)).unwrap_err().code.as_str(), "SSD204");
-    assert_eq!(s.cancel(j2).unwrap_err().code.as_str(), "SSD204");
+    assert_eq!(
+        s.cancel(sid, JobId(999)).unwrap_err().code.as_str(),
+        "SSD204"
+    );
+    assert_eq!(s.cancel(sid, j2).unwrap_err().code.as_str(), "SSD204");
     // Running: token fires, completion arrives later as Cancelled.
-    assert_eq!(s.cancel(t1.job), Ok(true));
+    assert_eq!(s.cancel(sid, t1.job), Ok(true));
     assert!(t1.budget.cancel.as_ref().unwrap().is_cancelled());
     s.complete(t1.job, 3, 0, FinishKind::Cancelled);
     assert_eq!(s.metrics().counters.cancelled, 2);
+}
+
+#[test]
+fn cancel_is_scoped_to_the_owning_session() {
+    let mut s = Scheduler::new(1, 8, Arc::new(ManualClock::new()));
+    let owner = s.open_session(SessionQuota::default());
+    let intruder = s.open_session(SessionQuota::default());
+    let Decision::Dispatch(t1) = s.submit(owner, JobKind::Query, "a".into(), env(1)) else {
+        panic!("a dispatches");
+    };
+    let Decision::Queued { job: j2, .. } = s.submit(owner, JobKind::Query, "b".into(), env(1))
+    else {
+        panic!("b queues");
+    };
+    // Another session's CANCEL gets the same SSD204 as an unknown id —
+    // no cross-session teardown, no probe for live ids.
+    assert_eq!(
+        s.cancel(intruder, t1.job).unwrap_err().code.as_str(),
+        "SSD204"
+    );
+    assert_eq!(s.cancel(intruder, j2).unwrap_err().code.as_str(), "SSD204");
+    assert!(!t1.budget.cancel.as_ref().unwrap().is_cancelled());
+    assert_eq!(s.queue_len(), 1);
+    assert_eq!(s.session_counters(owner).unwrap().cancelled, 0);
+    // The owner still can.
+    assert_eq!(s.cancel(owner, j2), Ok(false));
+    assert_eq!(s.cancel(owner, t1.job), Ok(true));
+}
+
+#[test]
+fn scheduler_state_stays_bounded() {
+    use ssd_serve::sched::{LATENCY_SAMPLE_CAP, TRACE_CAP};
+    let clock = Arc::new(ManualClock::new());
+    let mut s = Scheduler::new(1, 8, clock.clone());
+    let sid = s.open_session(SessionQuota::default());
+    // Far more jobs than any cap; each completes before the next.
+    for i in 0..(TRACE_CAP as u64 * 3) {
+        let Decision::Dispatch(t) = s.submit(sid, JobKind::Query, format!("q{i}"), env(1)) else {
+            panic!("lone job always dispatches");
+        };
+        clock.advance(i % 7);
+        s.complete(t.job, 1, 0, FinishKind::Completed);
+    }
+    // Finished jobs are evicted; only live work is held.
+    assert_eq!(s.live_jobs(), 0);
+    assert!(s.trace().len() < TRACE_CAP * 2, "trace is bounded");
+    let m = s.metrics();
+    assert_eq!(m.latencies_us.len(), LATENCY_SAMPLE_CAP);
+    assert_eq!(m.counters.completed, TRACE_CAP as u64 * 3);
 }
 
 #[test]
@@ -463,6 +515,26 @@ fn closing_a_session_tears_down_its_jobs_only() {
     assert_eq!(outs.error, None);
     assert_eq!(outs.chunks.len(), 3);
     server.shutdown();
+}
+
+#[test]
+fn another_session_cannot_cancel_your_job() {
+    let server = Server::start(movies(), ServeConfig::default());
+    let victim = server.open_session(SessionQuota::default());
+    let attacker = server.open_session(SessionQuota::default());
+    let handle = victim
+        .submit(JobKind::Query, "select T from db.Entry.%.Title T")
+        .unwrap();
+    // Whether the job is still running or already finished when this
+    // lands, the attacker only ever sees SSD204 — never a teardown.
+    let err = attacker.cancel(handle.job).unwrap_err();
+    assert_eq!(err.code.as_str(), "SSD204");
+    let out = handle.wait();
+    assert_eq!(out.error, None);
+    assert!(out.summary.unwrap().contains("results=3"));
+    let m = server.shutdown();
+    assert_eq!(m.counters.cancelled, 0);
+    assert_eq!(victim.counters().unwrap().cancelled, 0);
 }
 
 #[test]
