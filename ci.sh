@@ -111,6 +111,34 @@ printf 'SHUTDOWN\n' | timeout 60 ./target/release/ssd client "$port" >/dev/null
 wait "$serve_pid"                      # clean exit after graceful drain
 grep -q "^admitted " "$serve_log"      # non-empty metrics dump
 grep -q "^rejected 1$" "$serve_log"    # session B's rejection is in the books
+grep -q "^ssd_serve_jobs_total" "$serve_log"  # Prometheus text in the dump
 rm -f "$serve_log" "$a_out" "$b_out" "$c_out"
+
+echo "== trace smoke run" >&2
+# A governed, traced query must stream well-formed JSONL (the schema
+# itself is pinned by the jsonl unit tests in crates/trace and the
+# validate() proptests in tests/trace.rs) and render the inline trace.
+trace_out=$(mktemp)
+traced=$(timeout 60 ./target/release/ssd query examples/movies.ssd \
+    'select T from db.Entry.Movie.Title T' \
+    --max-steps 1000000 --trace --trace-out "$trace_out")
+echo "$traced" | grep -q Casablanca
+echo "$traced" | grep -q -- "-- trace ("
+grep -q '"kind":"open"' "$trace_out"
+grep -q '"kind":"close"' "$trace_out"
+grep -q '"phase":"eval"' "$trace_out"
+# Every line is a JSON object with the mandatory keys, no partial writes.
+if grep -vE '^\{"seq":[0-9]+,"id":[0-9]+,"parent":[0-9]+,"kind":"(open|close|instant)","phase":"[a-z]+","name":"[^"]+","fuel":[0-9]+,"mem":[0-9]+,"fields":\{.*\}\}$' "$trace_out"; then
+    echo "ci: malformed JSONL trace line(s) above" >&2
+    exit 1
+fi
+rm -f "$trace_out"
+# explain --analyze: estimate and actuals side by side on the example db.
+expl=$(timeout 60 ./target/release/ssd explain examples/movies.ssd \
+    'select T from db.Entry.Movie.Title T' --analyze)
+echo "$expl" | grep -q "estimated cost"
+echo "$expl" | grep -q "actual cost"
+# The E17 overhead benchmark must compile and run (quick mode).
+cargo bench -q -p ssd-bench --bench e17_trace --offline -- --quick >/dev/null
 
 echo "ci: all gates passed" >&2

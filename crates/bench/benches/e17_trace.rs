@@ -1,0 +1,135 @@
+//! E17 — tracing overhead: with tracing disabled (`tracer = None`) the
+//! traced entry points must cost ≤2% over the untraced baselines on the
+//! E3 select and E6 datalog workloads; with tracing enabled into a
+//! `RingSink` (the `--trace` path) or a `JsonlSink` writing to a sink
+//! that discards bytes (the `--trace-out` path, minus the filesystem),
+//! the overhead must stay ≤10%.
+//!
+//! Four variants per workload: baseline (untraced API), disabled
+//! (traced API, `None` tracer), ring (SharedRing sink), jsonl
+//! (JsonlSink into `io::sink()`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semistructured::query::{evaluate_select, parse_query};
+use semistructured::trace::{JsonlSink, SharedRing, Tracer};
+use semistructured::triples::datalog::{evaluate_traced, evaluate_with, parse_program};
+use semistructured::triples::TripleStore;
+use semistructured::{Budget, EvalOptions};
+use ssd_bench::{movies, web};
+
+const JOIN: &str = r#"select {p: {t: T, d: D}} from db.Entry.Movie M, M.Title T, M.Director D
+                      where exists M.Cast"#;
+const TC: &str = "path(X, Y) :- edge(X, _L, Y).\n\
+                  path(X, Y) :- edge(X, _L, Z), path(Z, Y).";
+
+/// An active budget that never trips on these workloads. Tracing reads
+/// fuel/memory deltas off the guard, so every variant uses the same
+/// active guard — the comparison isolates the tracer, not the guard.
+fn roomy() -> Budget {
+    Budget::unlimited()
+        .max_steps(u64::MAX / 2)
+        .max_memory_mb(1 << 20)
+        .max_depth(1 << 20)
+        .timeout(std::time::Duration::from_secs(3600))
+}
+
+fn ring_tracer() -> (Tracer, SharedRing) {
+    let ring = SharedRing::new(semistructured::trace::DEFAULT_RING_CAP);
+    let tracer = Tracer::with_sink(Box::new(ring.clone()));
+    (tracer, ring)
+}
+
+fn jsonl_tracer() -> Tracer {
+    Tracer::with_sink(Box::new(JsonlSink::new(std::io::sink())))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_trace");
+
+    // E3 select workload.
+    let g = movies(1000);
+    let q = parse_query(JOIN).unwrap();
+    group.bench_with_input(BenchmarkId::new("select_baseline", 1000), &g, |b, g| {
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_select(g, &q, &EvalOptions::default().with_guard(&guard)).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("select_disabled", 1000), &g, |b, g| {
+        b.iter(|| {
+            let guard = roomy().guard();
+            // Same code path the tracer hooks run through, `None` tracer:
+            // every hook must collapse to one branch.
+            evaluate_select(g, &q, &EvalOptions::default().with_guard(&guard)).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("select_ring", 1000), &g, |b, g| {
+        let (tracer, ring) = ring_tracer();
+        b.iter(|| {
+            let guard = roomy().guard();
+            let out = evaluate_select(
+                g,
+                &q,
+                &EvalOptions::default()
+                    .with_guard(&guard)
+                    .with_tracer(&tracer),
+            )
+            .unwrap();
+            ring.take();
+            out
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("select_jsonl", 1000), &g, |b, g| {
+        let tracer = jsonl_tracer();
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_select(
+                g,
+                &q,
+                &EvalOptions::default()
+                    .with_guard(&guard)
+                    .with_tracer(&tracer),
+            )
+            .unwrap()
+        })
+    });
+
+    // E6 datalog workload.
+    group.sample_size(10);
+    let g = web(40);
+    let store = TripleStore::from_graph(&g);
+    let program = parse_program(TC, g.symbols()).unwrap();
+    group.bench_with_input(BenchmarkId::new("tc_baseline", 40), &store, |b, s| {
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_with(&program, s, &guard).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tc_disabled", 40), &store, |b, s| {
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_traced(&program, s, &guard, None).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tc_ring", 40), &store, |b, s| {
+        let (tracer, ring) = ring_tracer();
+        b.iter(|| {
+            let guard = roomy().guard();
+            let out = evaluate_traced(&program, s, &guard, Some(&tracer)).unwrap();
+            ring.take();
+            out
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tc_jsonl", 40), &store, |b, s| {
+        let tracer = jsonl_tracer();
+        b.iter(|| {
+            let guard = roomy().guard();
+            evaluate_traced(&program, s, &guard, Some(&tracer)).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

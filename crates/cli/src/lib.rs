@@ -32,6 +32,9 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
   ssd stats     DATA                       database statistics
   ssd query     DATA QUERY [--optimized]   run a select-from-where query
   ssd datalog   DATA PROGRAM [PRED]        run a datalog program
+  ssd explain   DATA QUERY [--analyze]     query plan with the static cost
+                [--optimized]              envelope; --analyze also runs it
+                                           and prints per-operator actuals
   ssd check     DATA (query|datalog) TEXT  static analysis; flags:
                 [--deny-warnings]          warnings also fail (exit 1)
                 [--explain]                print inferred binding types
@@ -74,6 +77,13 @@ Admission control (query, datalog):
 Note: under --admission=strict, rejection takes precedence over
 --partial (SSD034) — a rejected query never starts, so there is no
 partial result to keep.
+Tracing (query, datalog, explain — see docs/OBSERVABILITY.md):
+  --trace             append the structured event trace to the output
+  --trace-out FILE    stream trace events to FILE as JSON Lines
+  --profile[=folded]  append per-phase fuel totals, or folded stacks
+                      (flamegraph input) with =folded. Tracing upgrades
+                      an unlimited budget to a metered one so fuel and
+                      memory readings are real.
 
 Serving (see docs/SERVING.md for the protocol):
   ssd serve DATA [--port N]        loopback TCP server (0 = ephemeral;
@@ -161,31 +171,67 @@ fn dispatch(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> 
         }
         "query" => {
             let (data, mut tail) = split_first(&rest, "query DATA QUERY")?;
-            let budget = pop_budget(&mut tail)?;
+            let mut budget = pop_budget(&mut tail)?;
             let admission = pop_admission(&mut tail)?;
-            let optimized = tail.last() == Some(&"--optimized");
-            if optimized {
-                tail.pop();
-            }
+            let trace = pop_trace(&mut tail)?;
+            let optimized = take_flag(&mut tail, "--optimized");
             let text = arg_or_file(one(&tail, "query DATA QUERY")?)?;
             let db = load_db(data, stdin)?;
             let pre = admission_gate(&db, "query", &text, admission, &budget)?;
-            with_preamble(pre, cmd_query(&db, &text, optimized, &budget.guard()))
+            if trace.active() {
+                budget = ensure_metered(budget);
+            }
+            let setup = trace.build()?;
+            let tracer = setup.as_ref().map(|(t, _)| t);
+            let mut result = with_preamble(
+                pre,
+                cmd_query(&db, &text, optimized, &budget.guard(), tracer),
+            );
+            if let Some((t, ring)) = &setup {
+                t.flush();
+                if let Ok(out) = &mut result {
+                    trace.append(ring, out);
+                }
+            }
+            result
         }
         "datalog" => {
             let mut tail: Vec<&str> = rest.to_vec();
-            let budget = pop_budget(&mut tail)?;
+            let mut budget = pop_budget(&mut tail)?;
             let admission = pop_admission(&mut tail)?;
+            let trace = pop_trace(&mut tail)?;
             if tail.len() < 2 || tail.len() > 3 {
                 return Err(CliError::Usage("datalog DATA PROGRAM [PRED]".into()));
             }
             let db = load_db(tail[0], stdin)?;
             let program = arg_or_file(tail[1])?;
             let pre = admission_gate(&db, "datalog", &program, admission, &budget)?;
-            with_preamble(
+            if trace.active() {
+                budget = ensure_metered(budget);
+            }
+            let setup = trace.build()?;
+            let tracer = setup.as_ref().map(|(t, _)| t);
+            let mut result = with_preamble(
                 pre,
-                cmd_datalog(&db, &program, tail.get(2).copied(), &budget.guard()),
-            )
+                cmd_datalog(&db, &program, tail.get(2).copied(), &budget.guard(), tracer),
+            );
+            if let Some((t, ring)) = &setup {
+                t.flush();
+                if let Ok(out) = &mut result {
+                    trace.append(ring, out);
+                }
+            }
+            result
+        }
+        "explain" => {
+            let (data, mut tail) = split_first(&rest, EXPLAIN_USAGE)?;
+            let budget = pop_budget(&mut tail)?;
+            let trace = pop_trace(&mut tail)?;
+            let analyze = take_flag(&mut tail, "--analyze");
+            let optimized = take_flag(&mut tail, "--optimized");
+            let text = arg_or_file(one(&tail, EXPLAIN_USAGE)?)?;
+            let db = load_db(data, stdin)?;
+            cmd_explain(&db, &text, analyze, optimized, budget, &trace)
         }
         "check" => {
             let mut tail: Vec<&str> = rest.to_vec();
@@ -386,6 +432,147 @@ fn pop_budget(tail: &mut Vec<&str>) -> Result<Budget, CliError> {
             .map_err(|e| CliError::Usage(format!("SSD_FAILPOINTS: {e}")))?;
     }
     Ok(budget)
+}
+
+/// Which profile rendering `--profile` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProfileKind {
+    /// Per-phase span counts and fuel totals.
+    Phases,
+    /// `name;name;... fuel` folded stacks for flamegraph tooling.
+    Folded,
+}
+
+/// Parsed `--trace` / `--trace-out FILE` / `--profile[=folded]` flags.
+#[derive(Debug, Default)]
+struct TraceOpts {
+    trace: bool,
+    out: Option<String>,
+    profile: Option<ProfileKind>,
+}
+
+/// Remove the tracing flags from `tail`.
+fn pop_trace(tail: &mut Vec<&str>) -> Result<TraceOpts, CliError> {
+    let mut opts = TraceOpts::default();
+    let mut i = 0;
+    while i < tail.len() {
+        let arg = tail[i];
+        if arg == "--trace" {
+            opts.trace = true;
+            tail.remove(i);
+        } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+            opts.out = Some(v.to_owned());
+            tail.remove(i);
+        } else if arg == "--trace-out" {
+            if i + 1 >= tail.len() {
+                return Err(CliError::Usage("--trace-out needs a file path".into()));
+            }
+            opts.out = Some(tail.remove(i + 1).to_owned());
+            tail.remove(i);
+        } else if arg == "--profile" {
+            opts.profile = Some(ProfileKind::Phases);
+            tail.remove(i);
+        } else if let Some(v) = arg.strip_prefix("--profile=") {
+            match v {
+                "folded" => opts.profile = Some(ProfileKind::Folded),
+                "phases" => opts.profile = Some(ProfileKind::Phases),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--profile must be 'folded' or 'phases', got '{other}'"
+                    )))
+                }
+            }
+            tail.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(opts)
+}
+
+impl TraceOpts {
+    fn active(&self) -> bool {
+        self.trace || self.out.is_some() || self.profile.is_some()
+    }
+
+    /// A tracer with a ring for in-process rendering, plus a JSONL file
+    /// sink when `--trace-out` was given. `None` when tracing is off.
+    fn build(
+        &self,
+    ) -> Result<
+        Option<(
+            semistructured::trace::Tracer,
+            semistructured::trace::SharedRing,
+        )>,
+        CliError,
+    > {
+        if !self.active() {
+            return Ok(None);
+        }
+        self.build_always().map(Some)
+    }
+
+    /// As [`TraceOpts::build`], unconditionally — `explain --analyze`
+    /// always collects events (it renders phase totals itself).
+    fn build_always(
+        &self,
+    ) -> Result<
+        (
+            semistructured::trace::Tracer,
+            semistructured::trace::SharedRing,
+        ),
+        CliError,
+    > {
+        let tracer = semistructured::trace::Tracer::new();
+        let ring = semistructured::trace::SharedRing::new(semistructured::trace::DEFAULT_RING_CAP);
+        tracer.add_sink(Box::new(ring.clone()));
+        if let Some(path) = &self.out {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Failed(format!("creating {path}: {e}")))?;
+            tracer.add_sink(Box::new(semistructured::trace::JsonlSink::new(file)));
+        }
+        Ok((tracer, ring))
+    }
+
+    /// Append the requested renderings of the collected events to `out`.
+    fn append(&self, ring: &semistructured::trace::SharedRing, out: &mut String) {
+        let events = ring.snapshot();
+        if self.trace {
+            out.push_str(&format!("\n-- trace ({} event(s)):\n", events.len()));
+            out.push_str(semistructured::trace::render_events(&events).trim_end());
+        }
+        match self.profile {
+            Some(ProfileKind::Phases) => {
+                out.push_str("\n-- profile (phase spans fuel):\n");
+                out.push_str(semistructured::trace::phase_totals(&events).trim_end());
+            }
+            Some(ProfileKind::Folded) => {
+                out.push_str("\n-- profile (folded stacks):\n");
+                out.push_str(semistructured::trace::folded_stacks(&events).trim_end());
+            }
+            None => {}
+        }
+    }
+}
+
+/// Traced runs need an *active* guard or every fuel/memory reading would
+/// be zero; when the user set no explicit ceilings, upgrade to the
+/// practically-unlimited [`Budget::metered`] limits (never trip, full
+/// accounting), preserving every other budget setting.
+fn ensure_metered(mut budget: Budget) -> Budget {
+    if budget.max_steps.is_none() && budget.max_memory_bytes.is_none() {
+        let m = Budget::metered();
+        budget.max_steps = m.max_steps;
+        budget.max_memory_bytes = m.max_memory_bytes;
+    }
+    budget
+}
+
+/// Remove a boolean flag from `tail`, reporting whether it was present.
+fn take_flag(tail: &mut Vec<&str>, flag: &str) -> bool {
+    let before = tail.len();
+    tail.retain(|a| *a != flag);
+    tail.len() != before
 }
 
 /// How `--admission` treats a query whose static cost envelope cannot
@@ -623,7 +810,11 @@ pub fn serve_on(
     .map_err(|e| CliError::Failed(format!("serve: {e}")))?;
     let metrics = server.shutdown();
     if metrics_dump {
-        Ok(metrics.render())
+        Ok(format!(
+            "{}{}",
+            metrics.render(),
+            metrics.render_prometheus()
+        ))
     } else {
         Ok("server stopped".to_owned())
     }
@@ -794,8 +985,8 @@ pub fn run_repl(db: &Database, script: &str) -> String {
         let result: Result<String, CliError> = match cmd {
             "quit" | "exit" => break,
             "stats" => Ok(cmd_stats(db)),
-            "query" => cmd_query(db, arg, false, &Guard::unlimited()),
-            "datalog" => cmd_datalog(db, arg, None, &Guard::unlimited()),
+            "query" => cmd_query(db, arg, false, &Guard::unlimited(), None),
+            "datalog" => cmd_datalog(db, arg, None, &Guard::unlimited(), None),
             "browse" => match arg.split_once(' ') {
                 Some((mode, rest)) => cmd_browse(db, mode, rest.trim()),
                 None => Err(CliError::Usage("browse (string|ints|attrs) ARG".into())),
@@ -843,8 +1034,11 @@ fn cmd_query(
     text: &str,
     optimized: bool,
     guard: &Guard,
+    tracer: Option<&semistructured::trace::Tracer>,
 ) -> Result<String, CliError> {
-    let result = if optimized {
+    let result = if tracer.is_some() {
+        db.query_traced(text, Some(guard), optimized, tracer)
+    } else if optimized {
         db.query_optimized_with(text, guard)
     } else {
         db.query_with(text, guard)
@@ -930,13 +1124,91 @@ fn cmd_check(
     Ok(out)
 }
 
+const EXPLAIN_USAGE: &str =
+    "explain DATA QUERY [--analyze] [--optimized] (resource-limit and tracing flags accepted)";
+
+/// `ssd explain`: print the query plan with its static cost envelope;
+/// with `--analyze`, also run the query and print per-operator actual
+/// counters beside the estimate (the envelope should bracket them —
+/// `tests/cost_soundness.rs` asserts exactly that property).
+fn cmd_explain(
+    db: &Database,
+    text: &str,
+    analyze: bool,
+    optimized: bool,
+    budget: Budget,
+    trace: &TraceOpts,
+) -> Result<String, CliError> {
+    let query =
+        semistructured::query::parse_query(text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let est = db.estimate_query(text).map_err(CliError::Failed)?;
+    let mut out = format!(
+        "plan ({} binding(s), {}):\n",
+        query.bindings.len(),
+        if optimized {
+            "optimized"
+        } else {
+            "unoptimized"
+        }
+    );
+    for (i, b) in query.bindings.iter().enumerate() {
+        let matches = est
+            .per_binding
+            .get(i)
+            .map(|iv| format!("  est-matches {iv}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  binding {i}: {} <- {}{matches}\n",
+            b.var, b.path
+        ));
+    }
+    out.push_str(&format!("-- estimated cost: {}", est.envelope));
+    if !analyze {
+        return Ok(out);
+    }
+    let budget = ensure_metered(budget);
+    let (tracer, ring) = trace.build_always()?;
+    let guard = budget.guard();
+    let result = db
+        .query_traced(text, Some(&guard), optimized, Some(&tracer))
+        .map_err(CliError::Failed)?;
+    tracer.flush();
+    let stats = result.stats();
+    out.push_str(&format!(
+        "\n-- actual cost: fuel={} memory={} results={}\n",
+        guard.steps_used(),
+        guard.memory_used(),
+        stats.results_constructed
+    ));
+    out.push_str("per-operator (actuals):\n");
+    for bp in &stats.per_binding {
+        out.push_str(&format!(
+            "  {} <- {}: tried={} matched={} fuel={}\n",
+            bp.var, bp.path, bp.tried, bp.matched, bp.fuel
+        ));
+    }
+    out.push_str("phase totals (spans fuel):\n");
+    for line in semistructured::trace::phase_totals(&ring.snapshot()).lines() {
+        out.push_str(&format!("  {line}\n"));
+    }
+    let mut out = out.trim_end().to_owned();
+    trace.append(&ring, &mut out);
+    Ok(out)
+}
+
 fn cmd_datalog(
     db: &Database,
     program: &str,
     pred: Option<&str>,
     guard: &Guard,
+    tracer: Option<&semistructured::trace::Tracer>,
 ) -> Result<String, CliError> {
-    let eval = db.datalog_with(program, guard).map_err(CliError::Failed)?;
+    let eval = if tracer.is_some() {
+        db.datalog_traced(program, Some(guard), tracer)
+    } else {
+        db.datalog_with(program, guard)
+    }
+    .map_err(CliError::Failed)?;
     let mut out = String::new();
     if eval.truncated.is_some() {
         out = prepend_truncation(guard, out);

@@ -30,6 +30,7 @@ pub use ssd_graph as graph;
 pub use ssd_guard as guard;
 pub use ssd_query as query;
 pub use ssd_schema as schema;
+pub use ssd_trace as trace;
 pub use ssd_triples as triples;
 
 pub use ssd_graph::{Graph, Label, LabelKind, NodeId, SymbolId, Value};
@@ -204,6 +205,64 @@ impl Database {
         Ok(QueryResult { graph, stats })
     }
 
+    /// Parse and evaluate with full structured tracing: spans for parse,
+    /// estimate, optimize (when `optimize` is on), and evaluation (with
+    /// per-binding actuals), plus a final `cost.actual` instant comparing
+    /// the static [`CostEnvelope`] against the fuel/memory/cardinality the
+    /// run actually consumed — the data behind `ssd explain --analyze`.
+    ///
+    /// When `guard` is `None` a *metered* guard
+    /// ([`ssd_guard::Budget::metered`]) is used instead of an unlimited
+    /// one, so fuel and memory counters are live and the trace carries
+    /// real actuals. Estimation runs only when `tracer` is present; with
+    /// `tracer = None` this degrades to [`Database::query_with`] /
+    /// [`Database::query_optimized_with`] behaviour.
+    pub fn query_traced(
+        &self,
+        text: &str,
+        guard: Option<&Guard>,
+        optimize: bool,
+        tracer: Option<&trace::Tracer>,
+    ) -> Result<QueryResult, String> {
+        let metered = Budget::metered().guard();
+        let guard = guard.unwrap_or(&metered);
+        let q = {
+            let _sp = trace::span(tracer, trace::Phase::Parse, "parse", Some(guard));
+            ssd_query::parse_query(text).map_err(|e| e.to_string())?
+        };
+        let estimate = if tracer.is_some() {
+            let _sp = trace::span(tracer, trace::Phase::Estimate, "estimate", Some(guard));
+            self.estimate_query(text).ok()
+        } else {
+            None
+        };
+        let (q, mut opts) = if optimize {
+            let (stats, schema) = self.data_stats();
+            let (q2, _report) = ssd_query::optimizer::optimize_with_stats_traced(
+                &q,
+                Some(&schema),
+                Some(&stats),
+                tracer,
+            );
+            (q2, EvalOptions::optimized(Some(self.dataguide())))
+        } else {
+            (q, EvalOptions::default())
+        };
+        opts = opts.with_guard(guard);
+        if let Some(t) = tracer {
+            opts = opts.with_tracer(t);
+        }
+        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &opts)?;
+        if let Some(t) = tracer {
+            t.instant(
+                trace::Phase::Estimate,
+                "cost.actual",
+                cost_actual_fields(estimate.as_ref(), guard, stats.results_constructed as u64),
+            );
+        }
+        Ok(QueryResult { graph, stats })
+    }
+
     /// Evaluate a regular path expression from the root.
     pub fn eval_path(&self, rpe: &Rpe) -> Vec<NodeId> {
         ssd_query::eval_rpe(&self.graph, self.graph.root(), rpe)
@@ -238,6 +297,45 @@ impl Database {
     ) -> Result<ssd_triples::datalog::Evaluation, String> {
         let p = ssd_triples::datalog::parse_program(program, self.graph.symbols())?;
         ssd_triples::datalog::evaluate_with(&p, &self.triples(), guard).map_err(|e| e.to_string())
+    }
+
+    /// As [`Database::datalog_with`], with structured tracing: parse and
+    /// estimate spans, per-fixpoint-round spans, and the final
+    /// `cost.actual` instant. A `None` guard gets a metered fallback, as
+    /// in [`Database::query_traced`].
+    pub fn datalog_traced(
+        &self,
+        program: &str,
+        guard: Option<&Guard>,
+        tracer: Option<&trace::Tracer>,
+    ) -> Result<ssd_triples::datalog::Evaluation, String> {
+        let metered = Budget::metered().guard();
+        let guard = guard.unwrap_or(&metered);
+        let p = {
+            let _sp = trace::span(tracer, trace::Phase::Parse, "parse", Some(guard));
+            ssd_triples::datalog::parse_program(program, self.graph.symbols())?
+        };
+        let estimate = if tracer.is_some() {
+            let _sp = trace::span(tracer, trace::Phase::Estimate, "estimate", Some(guard));
+            self.estimate_datalog(program).ok()
+        } else {
+            None
+        };
+        let eval = ssd_triples::datalog::evaluate_traced(&p, &self.triples(), guard, tracer)
+            .map_err(|e| e.to_string())?;
+        if let Some(t) = tracer {
+            let derived: usize = eval
+                .facts
+                .values()
+                .map(std::collections::BTreeSet::len)
+                .sum();
+            t.instant(
+                trace::Phase::Estimate,
+                "cost.actual",
+                cost_actual_fields(estimate.as_ref(), guard, derived as u64),
+            );
+        }
+        Ok(eval)
     }
 
     /// Statically analyze a query against this database's extracted
@@ -417,6 +515,34 @@ impl Database {
             cyclic: self.graph.has_cycle(),
         }
     }
+}
+
+/// Fields of the `cost.actual` instant: the run's actual fuel, memory,
+/// and result cardinality, with the static estimate's interval bounds
+/// alongside when an estimate is available — so one event shows whether
+/// the envelope bracketed reality.
+fn cost_actual_fields(
+    estimate: Option<&CostAnalysis>,
+    guard: &Guard,
+    cardinality: u64,
+) -> Vec<(&'static str, trace::FieldValue)> {
+    let mut fields: Vec<(&'static str, trace::FieldValue)> = vec![
+        ("fuel_actual", guard.steps_used().into()),
+        ("mem_actual", guard.memory_used().into()),
+        ("cardinality_actual", cardinality.into()),
+    ];
+    if let Some(est) = estimate {
+        fields.push(("fuel_lo", est.envelope.fuel.lo.into()));
+        fields.push(("fuel_hi", est.envelope.fuel.hi.to_string().into()));
+        fields.push(("mem_lo", est.envelope.memory.lo.into()));
+        fields.push(("mem_hi", est.envelope.memory.hi.to_string().into()));
+        fields.push(("cardinality_lo", est.envelope.cardinality.lo.into()));
+        fields.push((
+            "cardinality_hi",
+            est.envelope.cardinality.hi.to_string().into(),
+        ));
+    }
+    fields
 }
 
 /// Summary statistics of a database.

@@ -155,6 +155,9 @@ pub enum Code {
     UnknownJob,
     /// A malformed wire-protocol frame or command.
     ProtocolError,
+    /// A budget refund exceeded its outstanding split grant and was
+    /// clamped — a scheduler bookkeeping bug worth surfacing.
+    RefundExceedsGrant,
 }
 
 impl Code {
@@ -193,6 +196,7 @@ impl Code {
             Code::ServerShuttingDown => "SSD203",
             Code::UnknownJob => "SSD204",
             Code::ProtocolError => "SSD210",
+            Code::RefundExceedsGrant => "SSD211",
         }
     }
 
@@ -229,6 +233,7 @@ impl Code {
             | Code::DatalogSingletonVariable
             | Code::UnboundedCost
             | Code::CrossProductJoin
+            | Code::RefundExceedsGrant
             | Code::TruncatedResult => Severity::Warning,
             Code::ImpreciseEstimate | Code::AdmissionOverridesPartial | Code::JobQueued => {
                 Severity::Note
@@ -278,6 +283,7 @@ impl Code {
             Code::ServerShuttingDown,
             Code::UnknownJob,
             Code::ProtocolError,
+            Code::RefundExceedsGrant,
         ]
     }
 }

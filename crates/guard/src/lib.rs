@@ -336,12 +336,28 @@ pub struct Budget {
     pub cancel: Option<CancelToken>,
     /// Deterministic fault injection: (site, fail on Nth hit).
     pub fail_points: Vec<(String, u64)>,
+    /// Fuel handed out by [`Budget::split`] and not yet refunded — lets
+    /// [`Budget::refund`] detect a refund exceeding its grant.
+    granted_steps: u64,
+    /// Memory handed out by [`Budget::split`] and not yet refunded.
+    granted_memory: u64,
 }
 
 impl Budget {
     /// No limits at all (same as `Budget::default()`).
     pub fn unlimited() -> Budget {
         Budget::default()
+    }
+
+    /// A practically-unlimited but *active* budget: limits so large they
+    /// never trip, but the resulting [`Guard`] takes the full accounting
+    /// path, so `steps_used`/`memory_used` report real consumption.
+    /// Traced runs (`--trace`, `explain --analyze`) use this when the
+    /// caller set no budget, so actual fuel/memory are still observable.
+    pub fn metered() -> Budget {
+        Budget::unlimited()
+            .max_steps(u64::MAX >> 1)
+            .max_memory_bytes(u64::MAX >> 1)
     }
 
     /// Cap the deterministic step counter.
@@ -497,22 +513,50 @@ impl Budget {
         if let Some(have) = &mut self.max_memory_bytes {
             *have -= memory;
         }
+        self.granted_steps = self.granted_steps.saturating_add(fuel);
+        self.granted_memory = self.granted_memory.saturating_add(memory);
         Ok(Budget::unlimited().max_steps(fuel).max_memory_bytes(memory))
     }
 
     /// Return unspent capacity from a [`Budget::split`] grant.
     ///
     /// Callers refund `granted − spent` (never more than was split off,
-    /// never less than zero); addition saturates so a buggy over-refund
-    /// cannot wrap. Unlimited dimensions ignore the refund, mirroring
-    /// `split`'s no-deduction rule.
-    pub fn refund(&mut self, fuel: u64, memory: u64) {
+    /// never less than zero). A refund exceeding the outstanding grants is
+    /// a caller bookkeeping bug: it trips a debug assertion, and in
+    /// release builds the excess is clamped off and reported in the
+    /// returned [`RefundOutcome`] so callers can surface a warning
+    /// (SSD211) instead of silently inflating the budget. Unlimited
+    /// dimensions ignore the refund, mirroring `split`'s no-deduction
+    /// rule.
+    pub fn refund(&mut self, fuel: u64, memory: u64) -> RefundOutcome {
+        let fuel_excess = fuel.saturating_sub(self.granted_steps);
+        let memory_excess = memory.saturating_sub(self.granted_memory);
+        debug_assert!(
+            fuel_excess == 0 && memory_excess == 0,
+            "refund exceeds outstanding grant: \
+             fuel {fuel} > {}, memory {memory} > {}",
+            self.granted_steps,
+            self.granted_memory,
+        );
+        let fuel = fuel - fuel_excess;
+        let memory = memory - memory_excess;
+        self.granted_steps -= fuel;
+        self.granted_memory -= memory;
         if let Some(have) = &mut self.max_steps {
             *have = have.saturating_add(fuel);
         }
         if let Some(have) = &mut self.max_memory_bytes {
             *have = have.saturating_add(memory);
         }
+        RefundOutcome {
+            fuel_excess,
+            memory_excess,
+        }
+    }
+
+    /// Fuel and memory currently split off and not yet refunded.
+    pub fn outstanding_grants(&self) -> (u64, u64) {
+        (self.granted_steps, self.granted_memory)
     }
 
     /// Start enforcing this budget: the deadline clock starts now.
@@ -531,6 +575,25 @@ impl Budget {
             fail_points: RefCell::new(self.fail_points.clone()),
             truncation: RefCell::new(None),
         }
+    }
+}
+
+/// What [`Budget::refund`] did with an over-refund: the portions of the
+/// requested refund that exceeded the outstanding grants and were clamped
+/// off. All-zero (the normal case) means the refund was applied in full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefundOutcome {
+    /// Fuel refund in excess of the outstanding grant (not applied).
+    pub fuel_excess: u64,
+    /// Memory refund in excess of the outstanding grant (not applied).
+    pub memory_excess: u64,
+}
+
+impl RefundOutcome {
+    /// True when any part of the refund was clamped off — a caller
+    /// bookkeeping bug worth a warning.
+    pub fn clamped(&self) -> bool {
+        self.fuel_excess > 0 || self.memory_excess > 0
     }
 }
 
@@ -994,10 +1057,13 @@ mod tests {
         assert_eq!(job.max_memory_bytes, Some(400));
         assert_eq!(session.max_steps, Some(70));
         assert_eq!(session.max_memory_bytes, Some(600));
+        assert_eq!(session.outstanding_grants(), (30, 400));
         // The job spent 10 steps and 100 bytes; reclaim the rest.
-        session.refund(20, 300);
+        let outcome = session.refund(20, 300);
+        assert!(!outcome.clamped());
         assert_eq!(session.max_steps, Some(90));
         assert_eq!(session.max_memory_bytes, Some(900));
+        assert_eq!(session.outstanding_grants(), (10, 100));
     }
 
     #[test]
@@ -1032,10 +1098,36 @@ mod tests {
     }
 
     #[test]
-    fn refund_saturates() {
-        let mut b = Budget::unlimited().max_steps(u64::MAX - 1);
-        b.refund(10, 0);
-        assert_eq!(b.max_steps, Some(u64::MAX));
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "refund exceeds outstanding grant")
+    )]
+    fn over_refund_is_a_debug_assertion() {
+        // Refunding more than was split off is a caller bookkeeping bug:
+        // debug builds assert (this test), release builds clamp and report
+        // the excess via RefundOutcome (checked below when assertions are
+        // off).
+        let mut b = Budget::unlimited().max_steps(50);
+        let _job = b.split(10, 0).unwrap();
+        let outcome = b.refund(25, 3);
+        // Only reached without debug assertions.
+        assert_eq!(outcome.fuel_excess, 15);
+        assert_eq!(outcome.memory_excess, 3);
+        assert!(outcome.clamped());
+        assert_eq!(b.max_steps, Some(50), "excess must not inflate the budget");
+        panic!("refund exceeds outstanding grant (release-mode check done)");
+    }
+
+    #[test]
+    fn metered_budget_counts_without_limiting() {
+        let b = Budget::metered();
+        assert!(b.is_active());
+        let g = b.guard();
+        assert!(g.tick(1_000).unwrap());
+        assert!(g.alloc(1 << 30).unwrap());
+        assert_eq!(g.steps_used(), 1_000);
+        assert_eq!(g.memory_used(), 1 << 30);
+        assert!(g.truncation().is_none());
     }
 
     #[test]

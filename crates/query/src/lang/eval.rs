@@ -21,6 +21,7 @@ use ssd_graph::ops::copy_subgraph;
 use ssd_graph::{Graph, Label, LabelKind, NodeId, Value};
 use ssd_guard::{Exhausted, Guard};
 use ssd_schema::DataGuide;
+use ssd_trace::{Phase, Tracer};
 use std::collections::HashMap;
 
 /// Fault-injection seam: hit once per binding evaluated by the
@@ -62,6 +63,9 @@ pub struct EvalOptions<'a> {
     pub guide: Option<&'a DataGuide>,
     /// Resource guard enforced during evaluation (`None` = unlimited).
     pub guard: Option<&'a Guard>,
+    /// Structured-event destination (`None` = tracing disabled; the only
+    /// cost left is the `Option` branch at each instrumentation point).
+    pub tracer: Option<&'a Tracer>,
 }
 
 impl<'a> EvalOptions<'a> {
@@ -72,6 +76,7 @@ impl<'a> EvalOptions<'a> {
             simplify_rpe: true,
             guide,
             guard: None,
+            tracer: None,
         }
     }
 
@@ -79,6 +84,13 @@ impl<'a> EvalOptions<'a> {
     #[must_use]
     pub fn with_guard(mut self, guard: &'a Guard) -> EvalOptions<'a> {
         self.guard = Some(guard);
+        self
+    }
+
+    /// The same options with a tracer attached.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &'a Tracer) -> EvalOptions<'a> {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -101,6 +113,28 @@ pub struct EvalStats {
     /// headline of the exhaustion that caused the truncation. The result
     /// graph is still well-formed, just incomplete.
     pub truncated: Option<String>,
+    /// Per-binding actuals (one entry per query binding, in binding
+    /// order) — the dynamic counterpart of the static per-binding cost
+    /// intervals, and what `explain --analyze` prints next to them.
+    pub per_binding: Vec<BindingProfile>,
+}
+
+/// Actuals accumulated for one binding while the nested-loop enumerator
+/// runs.
+#[derive(Debug, Default, Clone)]
+pub struct BindingProfile {
+    /// Variable the binding introduces.
+    pub var: String,
+    /// The binding's path expression, display form.
+    pub path: String,
+    /// Times the binding's RPE was (re-)evaluated, once per enclosing
+    /// assignment prefix.
+    pub tried: u64,
+    /// Matches produced across all evaluations.
+    pub matched: u64,
+    /// Guard fuel consumed computing this binding's matches (0 when the
+    /// guard is inactive).
+    pub fuel: u64,
 }
 
 /// Evaluate `query` against `g`, returning the result graph (rooted at the
@@ -116,7 +150,13 @@ pub fn evaluate_select(
     query: &SelectQuery,
     opts: &EvalOptions<'_>,
 ) -> Result<(Graph, EvalStats), String> {
-    let analysis = crate::analyze::analyze_query(query, None, None);
+    let unlimited = Guard::unlimited();
+    let guard = opts.guard.unwrap_or(&unlimited);
+    let mut sp = ssd_trace::span(opts.tracer, Phase::Eval, "select", Some(guard));
+    let analysis = {
+        let _a = ssd_trace::span(opts.tracer, Phase::Analyze, "analyze", Some(guard));
+        crate::analyze::analyze_query(query, None, None)
+    };
     if analysis.has_errors() {
         let errors: Vec<String> = analysis
             .diagnostics
@@ -126,8 +166,6 @@ pub fn evaluate_select(
             .collect();
         return Err(errors.join("; "));
     }
-    let unlimited = Guard::unlimited();
-    let guard = opts.guard.unwrap_or(&unlimited);
     let mut result = Graph::with_symbols(g.symbols_handle());
     let mut stats = EvalStats {
         warnings: analysis
@@ -136,6 +174,7 @@ pub fn evaluate_select(
             .filter(|d| !d.is_error())
             .map(|d| d.headline())
             .collect(),
+        per_binding: binding_profiles(query),
         ..EvalStats::default()
     };
 
@@ -227,7 +266,7 @@ pub fn evaluate_select(
     // matching the model's set semantics.
     let atom_leaf = result.add_node();
     let mut copy_memo: HashMap<NodeId, NodeId> = HashMap::new();
-    enumerate(
+    let outcome = enumerate(
         g,
         query,
         &compiled,
@@ -241,10 +280,78 @@ pub fn evaluate_select(
         atom_leaf,
         &mut copy_memo,
         &mut stats,
-    )?;
+    );
+    if let Err(why) = &outcome {
+        ssd_trace::instant(
+            opts.tracer,
+            Phase::Guard,
+            "exhausted",
+            vec![("cause", why.clone().into())],
+        );
+    }
+    outcome?;
     result.gc();
     note_truncation(guard, &mut stats);
+    finish_select_trace(opts.tracer, &mut sp, &stats);
     Ok((result, stats))
+}
+
+/// Shared per-binding initialisation: one zeroed profile per binding, in
+/// binding order, so `explain --analyze` lines up with the static
+/// per-binding intervals.
+fn binding_profiles(query: &SelectQuery) -> Vec<BindingProfile> {
+    query
+        .bindings
+        .iter()
+        .map(|b| BindingProfile {
+            var: b.var.clone(),
+            path: b.path.to_string(),
+            ..BindingProfile::default()
+        })
+        .collect()
+}
+
+/// Trace epilogue shared by [`evaluate_select`] and
+/// [`evaluate_select_seeded`]: one child span per binding carrying its
+/// accumulated actuals (fuel attributed so folded stacks weigh the
+/// bindings correctly), a truncation instant when partial mode stopped
+/// early, and summary fields on the enclosing select span.
+fn finish_select_trace(tracer: Option<&Tracer>, sp: &mut ssd_trace::Span<'_>, stats: &EvalStats) {
+    let Some(t) = tracer else { return };
+    if let Some(why) = &stats.truncated {
+        t.instant(
+            Phase::Guard,
+            "truncated",
+            vec![("cause", why.as_str().into())],
+        );
+    }
+    for bp in &stats.per_binding {
+        let id = t.open_detached(
+            Phase::Eval,
+            "binding",
+            sp.id(),
+            vec![
+                ("var", bp.var.as_str().into()),
+                ("path", bp.path.as_str().into()),
+            ],
+        );
+        t.close_detached(
+            id,
+            Phase::Eval,
+            "binding",
+            bp.fuel,
+            0,
+            vec![
+                ("var", bp.var.as_str().into()),
+                ("tried", bp.tried.into()),
+                ("matched", bp.matched.into()),
+            ],
+        );
+    }
+    sp.field("results", stats.results_constructed);
+    sp.field("assignments", stats.assignments_tried);
+    sp.field("rpe_evals", stats.rpe_evals);
+    sp.field("guide_pruned", stats.guide_pruned);
 }
 
 /// In partial mode, surface the guard's recorded truncation as an SSD107
@@ -281,8 +388,12 @@ pub fn evaluate_select_seeded(
     }
     let unlimited = Guard::unlimited();
     let guard = opts.guard.unwrap_or(&unlimited);
+    let mut sp = ssd_trace::span(opts.tracer, Phase::Eval, "select.seeded", Some(guard));
     let mut result = Graph::with_symbols(g.symbols_handle());
-    let mut stats = EvalStats::default();
+    let mut stats = EvalStats {
+        per_binding: binding_profiles(query),
+        ..EvalStats::default()
+    };
     let compiled: Vec<(Option<(Rpe, crate::rpe::ast::Step)>, Nfa)> = query
         .bindings
         .iter()
@@ -336,7 +447,7 @@ pub fn evaluate_select_seeded(
     }
     let atom_leaf = result.add_node();
     let mut copy_memo: HashMap<NodeId, NodeId> = HashMap::new();
-    enumerate(
+    let outcome = enumerate(
         g,
         query,
         &compiled,
@@ -350,9 +461,19 @@ pub fn evaluate_select_seeded(
         atom_leaf,
         &mut copy_memo,
         &mut stats,
-    )?;
+    );
+    if let Err(why) = &outcome {
+        ssd_trace::instant(
+            opts.tracer,
+            Phase::Guard,
+            "exhausted",
+            vec![("cause", why.clone().into())],
+        );
+    }
+    outcome?;
     result.gc();
     note_truncation(guard, &mut stats);
+    finish_select_trace(opts.tracer, &mut sp, &stats);
     Ok((result, stats))
 }
 
@@ -413,6 +534,7 @@ fn enumerate(
     };
     let (split, nfa) = &compiled[depth];
     stats.rpe_evals += 1;
+    let fuel_before = guard.steps_used();
     // Guide-exact evaluation: a db-rooted RPE can be answered entirely
     // from the DataGuide (see `EvalOptions::guide`).
     let guide_mids: Option<Vec<NodeId>> = match (&binding.source, opts.guide) {
@@ -459,6 +581,11 @@ fn enumerate(
                 .collect(),
         },
     };
+    if let Some(bp) = stats.per_binding.get_mut(depth) {
+        bp.tried += 1;
+        bp.matched += matches.len() as u64;
+        bp.fuel += guard.steps_used().saturating_sub(fuel_before);
+    }
     let label_var = binding.path.label_vars().first().map(|s| s.to_string());
     for (label, node) in matches {
         env.insert(binding.var.clone(), BindVal::Tree(node));
@@ -936,6 +1063,7 @@ mod tests {
                 simplify_rpe: true,
                 guide: None,
                 guard: None,
+                tracer: None,
             },
         )
         .unwrap();
@@ -957,6 +1085,7 @@ mod tests {
                 simplify_rpe: false,
                 guide: Some(&guide),
                 guard: None,
+                tracer: None,
             },
         )
         .unwrap();

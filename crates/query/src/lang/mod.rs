@@ -31,7 +31,7 @@ pub mod rewrite;
 pub mod spans;
 
 pub use ast::{Binding, CmpOp, Cond, Construct, Expr, LabelExpr, SelectQuery, Source};
-pub use eval::{evaluate_select, EvalOptions, EvalStats};
+pub use eval::{evaluate_select, BindingProfile, EvalOptions, EvalStats};
 pub use parser::{parse_query, parse_query_spanned, QueryParseError};
 pub use rewrite::parse_rewrite;
 pub use spans::{BindingSpans, OccSite, QuerySpans, VarOcc};

@@ -38,6 +38,7 @@ pub mod views;
 
 pub use analyze::{analyze_query, analyze_query_src, PathTypes, QueryAnalysis};
 pub use lang::{
-    evaluate_select, parse_query, parse_query_spanned, EvalOptions, EvalStats, SelectQuery,
+    evaluate_select, parse_query, parse_query_spanned, BindingProfile, EvalOptions, EvalStats,
+    SelectQuery,
 };
 pub use rpe::{eval_rpe, Nfa, Rpe, Step};

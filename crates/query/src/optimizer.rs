@@ -29,6 +29,7 @@ use crate::lang::{EvalOptions, SelectQuery, Source};
 use crate::rpe::Rpe;
 use ssd_guard::CostEnvelope;
 use ssd_schema::{DataGuide, DataStats, Schema};
+use ssd_trace::{FieldValue, Phase, Tracer};
 use ssd_triples::datalog::{is_builtin, Program};
 use std::collections::BTreeSet;
 
@@ -227,6 +228,62 @@ pub fn optimize_datalog(program: &Program, stats: Option<&DataStats>) -> (Progra
 /// Recommended evaluation options after optimization.
 pub fn options_for<'a>(guide: Option<&'a DataGuide>) -> EvalOptions<'a> {
     EvalOptions::optimized(guide)
+}
+
+/// Emit the decisions recorded in `report` as [`Phase::Optimize`] instant
+/// events: one per simplified and per schema-pruned binding, and one
+/// reorder event carrying the estimated fuel upper bound before/after when
+/// a cost-based reorder was kept.
+pub fn trace_report(tracer: Option<&Tracer>, report: &OptReport) {
+    let Some(t) = tracer else { return };
+    for &i in &report.simplified {
+        t.instant(Phase::Optimize, "opt.simplify", vec![("binding", i.into())]);
+    }
+    for &i in &report.schema_pruned {
+        t.instant(
+            Phase::Optimize,
+            "opt.schema_prune",
+            vec![("binding", i.into())],
+        );
+    }
+    if !report.reordered.is_empty() {
+        let mut fields: Vec<(&'static str, FieldValue)> =
+            vec![("moved", report.reordered.len().into())];
+        if let Some(b) = &report.before {
+            fields.push(("fuel_hi_before", b.fuel.hi.to_string().into()));
+        }
+        if let Some(a) = &report.after {
+            fields.push(("fuel_hi_after", a.fuel.hi.to_string().into()));
+        }
+        t.instant(Phase::Optimize, "opt.reorder", fields);
+    }
+}
+
+/// [`optimize_with_stats`] wrapped in a [`Phase::Optimize`] span, with the
+/// report's decisions emitted as instant events ([`trace_report`]).
+pub fn optimize_with_stats_traced(
+    query: &SelectQuery,
+    schema: Option<&Schema>,
+    stats: Option<&DataStats>,
+    tracer: Option<&Tracer>,
+) -> (SelectQuery, OptReport) {
+    let _sp = ssd_trace::span(tracer, Phase::Optimize, "optimize", None);
+    let (out, report) = optimize_with_stats(query, schema, stats);
+    trace_report(tracer, &report);
+    (out, report)
+}
+
+/// [`optimize_datalog`] wrapped in a [`Phase::Optimize`] span, with the
+/// report's decisions emitted as instant events ([`trace_report`]).
+pub fn optimize_datalog_traced(
+    program: &Program,
+    stats: Option<&DataStats>,
+    tracer: Option<&Tracer>,
+) -> (Program, OptReport) {
+    let _sp = ssd_trace::span(tracer, Phase::Optimize, "optimize.datalog", None);
+    let (out, report) = optimize_datalog(program, stats);
+    trace_report(tracer, &report);
+    (out, report)
 }
 
 /// Could any path from the schema root satisfy `path`? Conservative:

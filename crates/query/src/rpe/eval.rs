@@ -9,6 +9,7 @@ use super::ast::Rpe;
 use super::nfa::Nfa;
 use ssd_graph::{Graph, Label, NodeId};
 use ssd_guard::{Exhausted, Guard};
+use ssd_trace::{Phase, Tracer};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// Fault-injection seam: hit once per product state popped by the BFS.
@@ -116,6 +117,39 @@ pub fn eval_rpe_with_labels_guarded(
 /// used by the optimizer experiments (E4/E10).
 pub fn eval_nfa_with_stats(g: &Graph, start: NodeId, nfa: &Nfa) -> (Vec<NodeId>, usize) {
     product_bfs(g, start, nfa, &Guard::unlimited()).unwrap_or_default()
+}
+
+/// As [`eval_rpe_guarded`], with one [`Phase::Rpe`] span recorded per
+/// evaluation: nodes matched, product states visited, and the guard's
+/// fuel/memory deltas. Exhaustion additionally records a [`Phase::Guard`]
+/// instant with the cause before propagating.
+pub fn eval_rpe_traced(
+    g: &Graph,
+    start: NodeId,
+    rpe: &Rpe,
+    guard: &Guard,
+    tracer: Option<&Tracer>,
+) -> Result<Vec<NodeId>, Exhausted> {
+    let mut sp = ssd_trace::span(tracer, Phase::Rpe, "rpe", Some(guard));
+    let nfa = Nfa::compile(rpe);
+    match product_bfs(g, start, &nfa, guard) {
+        Ok((nodes, visited)) => {
+            if sp.enabled() {
+                sp.field("nodes", nodes.len());
+                sp.field("visited", visited);
+            }
+            Ok(nodes)
+        }
+        Err(e) => {
+            ssd_trace::instant(
+                tracer,
+                Phase::Guard,
+                "exhausted",
+                vec![("cause", e.headline().into())],
+            );
+            Err(e)
+        }
+    }
 }
 
 /// As [`eval_nfa_with_stats`], under a resource [`Guard`].

@@ -18,5 +18,5 @@ pub mod eval;
 pub mod nfa;
 
 pub use ast::{Rpe, Step};
-pub use eval::{eval_rpe, eval_rpe_with_labels, PathMatch};
+pub use eval::{eval_rpe, eval_rpe_traced, eval_rpe_with_labels, PathMatch};
 pub use nfa::{Dfa, Nfa};

@@ -26,6 +26,12 @@ pub struct Counters {
     /// Static lower-bound fuel estimates of admitted jobs, summed —
     /// compare with `fuel_spent` to judge the estimator.
     pub fuel_estimated: u64,
+    /// Unspent grant fuel returned to session balances by finished jobs.
+    pub fuel_refunded: u64,
+    /// Refunds that exceeded their outstanding grant and were clamped
+    /// (SSD211) — a scheduler bookkeeping bug counter; 0 in a healthy
+    /// server.
+    pub refund_clamped: u64,
 }
 
 /// Global metrics: counters plus latency samples and gauges.
@@ -69,6 +75,8 @@ impl Metrics {
             ("panicked", c.panicked),
             ("fuel_spent", c.fuel_spent),
             ("fuel_estimated", c.fuel_estimated),
+            ("fuel_refunded", c.fuel_refunded),
+            ("refund_clamped", c.refund_clamped),
             ("queue_depth", self.queue_depth as u64),
             ("queue_peak", self.queue_peak as u64),
             ("jobs_finished", c.completed + c.cancelled + c.panicked),
@@ -80,6 +88,57 @@ impl Metrics {
             out.push_str(&v.to_string());
             out.push('\n');
         }
+        out
+    }
+
+    /// Render the same numbers in Prometheus text exposition format
+    /// (`# TYPE` headers, `_total` counters, labeled series) — appended
+    /// to `STATS` / `--metrics-dump` so a scrape target needs no extra
+    /// endpoint. Key order is stable.
+    pub fn render_prometheus(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        out.push_str("# TYPE ssd_serve_jobs_total counter\n");
+        for (outcome, v) in [
+            ("admitted", c.admitted),
+            ("rejected", c.rejected),
+            ("queued", c.queued),
+            ("cancelled", c.cancelled),
+            ("completed", c.completed),
+            ("panicked", c.panicked),
+        ] {
+            out.push_str(&format!(
+                "ssd_serve_jobs_total{{outcome=\"{outcome}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# TYPE ssd_serve_fuel_total counter\n");
+        for (kind, v) in [
+            ("spent", c.fuel_spent),
+            ("estimated", c.fuel_estimated),
+            ("refunded", c.fuel_refunded),
+        ] {
+            out.push_str(&format!("ssd_serve_fuel_total{{kind=\"{kind}\"}} {v}\n"));
+        }
+        out.push_str("# TYPE ssd_serve_refund_clamped_total counter\n");
+        out.push_str(&format!(
+            "ssd_serve_refund_clamped_total {}\n",
+            c.refund_clamped
+        ));
+        out.push_str("# TYPE ssd_serve_queue_depth gauge\n");
+        out.push_str(&format!("ssd_serve_queue_depth {}\n", self.queue_depth));
+        out.push_str("# TYPE ssd_serve_queue_peak gauge\n");
+        out.push_str(&format!("ssd_serve_queue_peak {}\n", self.queue_peak));
+        out.push_str("# TYPE ssd_serve_latency_us summary\n");
+        for (q, p) in [("0.5", 50), ("0.9", 90), ("0.99", 99)] {
+            out.push_str(&format!(
+                "ssd_serve_latency_us{{quantile=\"{q}\"}} {}\n",
+                percentile(&self.latencies_us, p)
+            ));
+        }
+        out.push_str(&format!(
+            "ssd_serve_latency_us_count {}\n",
+            self.latencies_us.len()
+        ));
         out
     }
 }
@@ -113,7 +172,39 @@ mod tests {
         };
         let text = m.render();
         assert!(text.contains("admitted 3\n"));
+        assert!(text.contains("fuel_refunded 0\n"));
+        assert!(text.contains("refund_clamped 0\n"));
         assert!(text.contains("latency_p50_us 10\n"));
         assert!(text.contains("latency_p99_us 20\n"));
+    }
+
+    #[test]
+    fn prometheus_format_is_stable() {
+        let m = Metrics {
+            counters: Counters {
+                admitted: 3,
+                fuel_spent: 70,
+                fuel_refunded: 30,
+                ..Counters::default()
+            },
+            latencies_us: vec![10, 20],
+            queue_depth: 1,
+            queue_peak: 2,
+        };
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE ssd_serve_jobs_total counter\n"));
+        assert!(text.contains("ssd_serve_jobs_total{outcome=\"admitted\"} 3\n"));
+        assert!(text.contains("ssd_serve_fuel_total{kind=\"spent\"} 70\n"));
+        assert!(text.contains("ssd_serve_fuel_total{kind=\"refunded\"} 30\n"));
+        assert!(text.contains("ssd_serve_refund_clamped_total 0\n"));
+        assert!(text.contains("ssd_serve_queue_depth 1\n"));
+        assert!(text.contains("ssd_serve_latency_us{quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("ssd_serve_latency_us_count 2\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<u64>().is_ok(), "bad value in {line}");
+        }
     }
 }

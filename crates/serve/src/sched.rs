@@ -37,6 +37,16 @@ pub const TRACE_CAP: usize = 4096;
 /// percentiles are computed over the last this-many finished jobs).
 pub const LATENCY_SAMPLE_CAP: usize = 4096;
 
+/// Per-session latency ring (smaller than the global one: sessions are
+/// many, and per-session percentiles are a drill-down, not the primary
+/// signal).
+pub const SESSION_LATENCY_CAP: usize = 512;
+
+/// Most recent trace events retained *per session* (the `STATS`
+/// per-session breakdown shows these); same deterministic batch
+/// truncation as the global trace.
+pub const SESSION_TRACE_CAP: usize = 64;
+
 /// Identifies a session for the lifetime of a scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
@@ -120,15 +130,46 @@ pub enum Dequeued {
 /// determinism contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
-    SessionOpened { session: SessionId },
-    Submitted { job: JobId, session: SessionId },
-    Dispatched { job: JobId, grant_fuel: u64 },
-    Queued { job: JobId, depth: usize },
-    Rejected { job: JobId, code: Code },
-    Completed { job: JobId, fuel_spent: u64 },
-    Cancelled { job: JobId },
-    Panicked { job: JobId },
-    SessionClosed { session: SessionId },
+    SessionOpened {
+        session: SessionId,
+    },
+    Submitted {
+        job: JobId,
+        session: SessionId,
+    },
+    Dispatched {
+        job: JobId,
+        grant_fuel: u64,
+    },
+    Queued {
+        job: JobId,
+        depth: usize,
+    },
+    Rejected {
+        job: JobId,
+        code: Code,
+    },
+    Completed {
+        job: JobId,
+        fuel_spent: u64,
+    },
+    Cancelled {
+        job: JobId,
+    },
+    Panicked {
+        job: JobId,
+    },
+    /// A finish tried to refund more than its session's outstanding
+    /// grant (SSD211): the refund was clamped and the books kept
+    /// consistent, but this is a scheduler bug worth surfacing.
+    RefundClamped {
+        job: JobId,
+        fuel_excess: u64,
+        memory_excess: u64,
+    },
+    SessionClosed {
+        session: SessionId,
+    },
     ShutdownBegan,
 }
 
@@ -138,6 +179,13 @@ struct Session {
     active: usize,
     closed: bool,
     counters: Counters,
+    /// Per-session submit→finish latency samples
+    /// ([`SESSION_LATENCY_CAP`]-slot ring).
+    latencies_us: Vec<u64>,
+    latency_pos: usize,
+    /// This session's slice of the decision trace (most recent
+    /// [`SESSION_TRACE_CAP`] events, deterministic batch truncation).
+    recent: Vec<TraceEvent>,
 }
 
 enum JobState {
@@ -210,6 +258,19 @@ impl Scheduler {
         }
     }
 
+    /// [`Scheduler::record`], additionally mirroring the event into the
+    /// session's own bounded trace (the `STATS` per-session breakdown).
+    fn record_for(&mut self, session: SessionId, ev: TraceEvent) {
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.recent.push(ev.clone());
+            if s.recent.len() >= SESSION_TRACE_CAP * 2 {
+                let excess = s.recent.len() - SESSION_TRACE_CAP;
+                s.recent.drain(..excess);
+            }
+        }
+        self.record(ev);
+    }
+
     /// Open a session under `quota`.
     pub fn open_session(&mut self, quota: SessionQuota) -> SessionId {
         self.next_session += 1;
@@ -222,9 +283,12 @@ impl Scheduler {
                 active: 0,
                 closed: false,
                 counters: Counters::default(),
+                latencies_us: Vec::new(),
+                latency_pos: 0,
+                recent: Vec::new(),
             },
         );
-        self.record(TraceEvent::SessionOpened { session: id });
+        self.record_for(id, TraceEvent::SessionOpened { session: id });
         id
     }
 
@@ -239,17 +303,20 @@ impl Scheduler {
     ) -> Decision {
         self.next_job += 1;
         let job = JobId(self.next_job);
-        self.record(TraceEvent::Submitted { job, session });
+        self.record_for(session, TraceEvent::Submitted { job, session });
 
         let reject = |sched: &mut Scheduler, job, diag: Diagnostic| {
             if let Some(s) = sched.sessions.get_mut(&session) {
                 s.counters.rejected += 1;
             }
             sched.metrics.counters.rejected += 1;
-            sched.record(TraceEvent::Rejected {
-                job,
-                code: diag.code,
-            });
+            sched.record_for(
+                session,
+                TraceEvent::Rejected {
+                    job,
+                    code: diag.code,
+                },
+            );
             Decision::Rejected(diag)
         };
 
@@ -330,10 +397,13 @@ impl Scheduler {
 
         if can_dispatch {
             let ticket = self.dispatch(job);
-            self.record(TraceEvent::Dispatched {
-                job,
-                grant_fuel: ticket.grant_fuel,
-            });
+            self.record_for(
+                session,
+                TraceEvent::Dispatched {
+                    job,
+                    grant_fuel: ticket.grant_fuel,
+                },
+            );
             return Decision::Dispatch(ticket);
         }
 
@@ -344,7 +414,7 @@ impl Scheduler {
         let sess = self.sessions.get_mut(&session).expect("checked above");
         sess.counters.queued += 1;
         self.metrics.counters.queued += 1;
-        self.record(TraceEvent::Queued { job, depth });
+        self.record_for(session, TraceEvent::Queued { job, depth });
         Decision::Queued { job, depth }
     }
 
@@ -403,34 +473,59 @@ impl Scheduler {
         let sess = self.sessions.get_mut(&session).expect("job has session");
         sess.active -= 1;
         // The guard can overshoot the limit by one check interval, so
-        // clamp: refund exactly the unspent part of the grant.
-        sess.balance.refund(
-            grant_fuel.saturating_sub(fuel_spent),
-            grant_memory.saturating_sub(memory_spent),
-        );
+        // clamp: refund exactly the unspent part of the grant. The
+        // outcome is checked: a refund beyond the session's outstanding
+        // grants means the books are wrong (SSD211), and is surfaced
+        // rather than silently absorbed.
+        let refund_fuel = grant_fuel.saturating_sub(fuel_spent);
+        let refund_memory = grant_memory.saturating_sub(memory_spent);
+        let outcome = sess.balance.refund(refund_fuel, refund_memory);
+        let credited = refund_fuel - outcome.fuel_excess;
+        sess.counters.fuel_refunded += credited;
+        self.metrics.counters.fuel_refunded += credited;
         sess.counters.fuel_spent += fuel_spent;
         self.metrics.counters.fuel_spent += fuel_spent;
+        if sess.latencies_us.len() < SESSION_LATENCY_CAP {
+            sess.latencies_us.push(latency);
+        } else {
+            sess.latencies_us[sess.latency_pos] = latency;
+        }
+        sess.latency_pos = (sess.latency_pos + 1) % SESSION_LATENCY_CAP;
         if self.metrics.latencies_us.len() < LATENCY_SAMPLE_CAP {
             self.metrics.latencies_us.push(latency);
         } else {
             self.metrics.latencies_us[self.latency_pos] = latency;
         }
         self.latency_pos = (self.latency_pos + 1) % LATENCY_SAMPLE_CAP;
+        if outcome.clamped() {
+            let sess = self.sessions.get_mut(&session).expect("job has session");
+            sess.counters.refund_clamped += 1;
+            self.metrics.counters.refund_clamped += 1;
+            self.record_for(
+                session,
+                TraceEvent::RefundClamped {
+                    job,
+                    fuel_excess: outcome.fuel_excess,
+                    memory_excess: outcome.memory_excess,
+                },
+            );
+        }
+        let sess = self.sessions.get_mut(&session).expect("job has session");
         match finish {
             FinishKind::Completed => {
                 sess.counters.completed += 1;
                 self.metrics.counters.completed += 1;
-                self.record(TraceEvent::Completed { job, fuel_spent });
+                self.record_for(session, TraceEvent::Completed { job, fuel_spent });
             }
             FinishKind::Cancelled => {
                 sess.counters.cancelled += 1;
                 self.metrics.counters.cancelled += 1;
-                self.record(TraceEvent::Cancelled { job });
+                self.record_for(session, TraceEvent::Cancelled { job });
             }
             FinishKind::Panicked => {
                 sess.counters.panicked += 1;
                 self.metrics.counters.panicked += 1;
-                self.record(TraceEvent::Panicked { job });
+                self.record_for(session, TraceEvent::Panicked { job });
             }
         }
         self.drain_queue()
@@ -464,7 +559,7 @@ impl Scheduler {
                 let sess = self.sessions.get_mut(&session).expect("job has session");
                 sess.counters.rejected += 1;
                 self.metrics.counters.rejected += 1;
-                self.record(TraceEvent::Rejected { job, code: d.code });
+                self.record_for(session, TraceEvent::Rejected { job, code: d.code });
                 out.push(Dequeued::LateReject { job, diag: d });
                 continue;
             }
@@ -474,10 +569,13 @@ impl Scheduler {
             }
             self.queue.remove(i);
             let ticket = self.dispatch(job);
-            self.record(TraceEvent::Dispatched {
-                job,
-                grant_fuel: ticket.grant_fuel,
-            });
+            self.record_for(
+                ticket.session,
+                TraceEvent::Dispatched {
+                    job,
+                    grant_fuel: ticket.grant_fuel,
+                },
+            );
             out.push(Dequeued::Dispatch(ticket));
         }
         self.metrics.queue_depth = self.queue.len();
@@ -522,7 +620,7 @@ impl Scheduler {
         let sess = self.sessions.get_mut(&session).expect("job has session");
         sess.counters.cancelled += 1;
         self.metrics.counters.cancelled += 1;
-        self.record(TraceEvent::Cancelled { job });
+        self.record_for(session, TraceEvent::Cancelled { job });
         Ok(false)
     }
 
@@ -549,7 +647,7 @@ impl Scheduler {
                 j.cancel.cancel();
             }
         }
-        self.record(TraceEvent::SessionClosed { session });
+        self.record_for(session, TraceEvent::SessionClosed { session });
         queued
     }
 
@@ -607,5 +705,18 @@ impl Scheduler {
         self.sessions
             .get(&session)
             .and_then(|s| s.balance.max_steps)
+    }
+
+    /// Snapshot of one session's submit→finish latency samples
+    /// (microseconds; most recent [`SESSION_LATENCY_CAP`] finishes,
+    /// slot order unspecified once the ring wraps). `None` if unknown.
+    pub fn session_latencies(&self, session: SessionId) -> Option<Vec<u64>> {
+        self.sessions.get(&session).map(|s| s.latencies_us.clone())
+    }
+
+    /// Snapshot of one session's slice of the decision trace (most
+    /// recent [`SESSION_TRACE_CAP`]+ events). `None` if unknown.
+    pub fn session_trace(&self, session: SessionId) -> Option<Vec<TraceEvent>> {
+        self.sessions.get(&session).map(|s| s.recent.clone())
     }
 }

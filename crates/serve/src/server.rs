@@ -27,8 +27,10 @@ use semistructured::{CostContext, DataStats, Database, Schema};
 use ssd_diag::{Code, Diagnostic};
 use ssd_guard::{CostEnvelope, Exhausted, Guard, Interval};
 
+use ssd_trace::{Phase, Tracer};
+
 use crate::clock::{Clock, MonotonicClock};
-use crate::metrics::{Counters, Metrics};
+use crate::metrics::{percentile, Counters, Metrics};
 use crate::quota::SessionQuota;
 use crate::sched::{
     Decision, Dequeued, FinishKind, JobId, JobKind, Scheduler, SessionId, Ticket, TraceEvent,
@@ -164,6 +166,24 @@ struct Inner {
     /// Estimator inputs, computed once per server, not per submit.
     query_stats: OnceLock<(DataStats, Schema)>,
     datalog_stats: OnceLock<DataStats>,
+    /// Structured-event tracer for the *scheduler lifecycle* (admission
+    /// decisions, queue waits, per-job spans). Per-job engine evaluation
+    /// is deliberately not routed through this tracer: workers run in
+    /// parallel and a shared tracer behind one mutex would serialize
+    /// them. `None` when the server was started untraced (zero cost).
+    tracer: Option<Mutex<Tracer>>,
+}
+
+impl Inner {
+    /// Run `f` under the tracer lock, if tracing is enabled. Never call
+    /// while holding the state lock (lock order: state, then tracer,
+    /// never interleaved).
+    fn with_tracer(&self, f: impl FnOnce(&Tracer)) {
+        if let Some(m) = &self.tracer {
+            let t = m.lock().unwrap_or_else(|e| e.into_inner());
+            f(&t);
+        }
+    }
 }
 
 /// The serving subsystem. See the module docs.
@@ -179,8 +199,25 @@ impl Server {
         Server::start_with_clock(db, cfg, Arc::new(MonotonicClock::new()))
     }
 
+    /// As [`Server::start`], additionally routing scheduler-lifecycle
+    /// events (admissions, queue waits, per-job spans) into `tracer` —
+    /// configure its sinks (ring / JSONL) before passing it in. The
+    /// tracer is flushed on [`Server::shutdown`].
+    pub fn start_traced(db: Arc<Database>, cfg: ServeConfig, tracer: Tracer) -> Server {
+        Server::start_with_clock_and_tracer(db, cfg, Arc::new(MonotonicClock::new()), Some(tracer))
+    }
+
     /// As [`Server::start`] with an injected clock (deterministic tests).
     pub fn start_with_clock(db: Arc<Database>, cfg: ServeConfig, clock: Arc<dyn Clock>) -> Server {
+        Server::start_with_clock_and_tracer(db, cfg, clock, None)
+    }
+
+    fn start_with_clock_and_tracer(
+        db: Arc<Database>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        tracer: Option<Tracer>,
+    ) -> Server {
         let (notify, notices) = mpsc::channel::<(SyncSender<JobEvent>, String)>();
         // One notifier for the whole server: delivers the failure
         // notices that could not be sent without blocking. It exits when
@@ -203,6 +240,7 @@ impl Server {
             notify,
             query_stats: OnceLock::new(),
             datalog_stats: OnceLock::new(),
+            tracer: tracer.map(Mutex::new),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -253,6 +291,7 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        self.inner.with_tracer(|t| t.flush());
         self.metrics()
     }
 
@@ -272,11 +311,14 @@ impl Server {
             .to_vec()
     }
 
-    /// The `STATS` block: global metrics, plus one session's counters
-    /// when `session` is given.
+    /// The `STATS` block: global metrics (greppable `key value` lines
+    /// followed by the same numbers in Prometheus text format), plus one
+    /// session's counters, latency percentiles, and recent decision
+    /// trace when `session` is given.
     pub fn stats_text(&self, session: Option<SessionId>) -> String {
         let st = self.inner.state.lock().expect("state lock");
-        let mut out = st.sched.metrics().render();
+        let metrics = st.sched.metrics();
+        let mut out = metrics.render();
         if let Some(id) = session {
             if let Some(c) = st.sched.session_counters(id) {
                 for (k, v) in [
@@ -288,11 +330,29 @@ impl Server {
                     ("session.panicked", c.panicked),
                     ("session.fuel_spent", c.fuel_spent),
                     ("session.fuel_estimated", c.fuel_estimated),
+                    ("session.fuel_refunded", c.fuel_refunded),
+                    ("session.refund_clamped", c.refund_clamped),
                 ] {
                     out.push_str(&format!("{k} {v}\n"));
                 }
             }
+            if let Some(lat) = st.sched.session_latencies(id) {
+                out.push_str(&format!(
+                    "session.latency_p50_us {}\n",
+                    percentile(&lat, 50)
+                ));
+                out.push_str(&format!(
+                    "session.latency_p99_us {}\n",
+                    percentile(&lat, 99)
+                ));
+            }
+            if let Some(trace) = st.sched.session_trace(id) {
+                for ev in &trace {
+                    out.push_str(&format!("session.trace {ev:?}\n"));
+                }
+            }
         }
+        out.push_str(&metrics.render_prometheus());
         out
     }
 }
@@ -329,8 +389,20 @@ impl SessionHandle {
             Decision::Dispatch(ticket) => {
                 let (tx, rx) = mpsc::sync_channel(self.inner.cfg.stream_buffer);
                 let job = ticket.job;
+                let grant_fuel = ticket.grant_fuel;
                 st.ready.push_back((ticket, tx));
                 drop(st);
+                self.inner.with_tracer(|t| {
+                    t.instant(
+                        Phase::Serve,
+                        "admit",
+                        vec![
+                            ("job", job.0.into()),
+                            ("session", self.id.0.into()),
+                            ("grant_fuel", grant_fuel.into()),
+                        ],
+                    );
+                });
                 self.inner.work.notify_all();
                 Ok(JobHandle {
                     job,
@@ -338,16 +410,41 @@ impl SessionHandle {
                     rx,
                 })
             }
-            Decision::Queued { job, .. } => {
+            Decision::Queued { job, depth } => {
                 let (tx, rx) = mpsc::sync_channel(self.inner.cfg.stream_buffer);
                 st.senders.insert(job, tx);
+                drop(st);
+                self.inner.with_tracer(|t| {
+                    t.instant(
+                        Phase::Serve,
+                        "queue",
+                        vec![
+                            ("job", job.0.into()),
+                            ("session", self.id.0.into()),
+                            ("depth", depth.into()),
+                        ],
+                    );
+                });
                 Ok(JobHandle {
                     job,
                     queued: true,
                     rx,
                 })
             }
-            Decision::Rejected(d) => Err(SubmitError::Rejected(d)),
+            Decision::Rejected(d) => {
+                drop(st);
+                self.inner.with_tracer(|t| {
+                    t.instant(
+                        Phase::Serve,
+                        "reject",
+                        vec![
+                            ("session", self.id.0.into()),
+                            ("code", d.code.to_string().into()),
+                        ],
+                    );
+                });
+                Err(SubmitError::Rejected(d))
+            }
         }
     }
 
@@ -496,6 +593,22 @@ fn worker_loop(inner: Arc<Inner>) {
             }
         };
         let job = ticket.job;
+        // A detached span covers the whole run: opened here (this worker
+        // iteration), closed after the finish kind is known, stitched to
+        // the session by its fields.
+        let mut job_span = 0;
+        inner.with_tracer(|t| {
+            job_span = t.open_detached(
+                Phase::Serve,
+                "job",
+                0,
+                vec![
+                    ("job", ticket.job.0.into()),
+                    ("session", ticket.session.0.into()),
+                    ("kind", format!("{:?}", ticket.kind).into()),
+                ],
+            );
+        });
         // The guard outlives the catch_unwind below, so fuel spent up to
         // a panic is still read back and charged to the session.
         let guard = ticket.budget.guard();
@@ -515,6 +628,20 @@ fn worker_loop(inner: Arc<Inner>) {
                 FinishKind::Panicked
             }
         };
+        inner.with_tracer(|t| {
+            t.close_detached(
+                job_span,
+                Phase::Serve,
+                "job",
+                guard.steps_used(),
+                guard.memory_used(),
+                vec![
+                    ("job", ticket.job.0.into()),
+                    ("session", ticket.session.0.into()),
+                    ("finish", format!("{finish:?}").into()),
+                ],
+            );
+        });
         let mut st = inner.state.lock().expect("state lock");
         let mut pending: VecDeque<Dequeued> = st
             .sched

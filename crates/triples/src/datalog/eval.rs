@@ -12,6 +12,7 @@ use super::ast::{is_builtin, Atom, Program, Rule, Term};
 use crate::algebra::Datum;
 use crate::store::TripleStore;
 use ssd_guard::{Exhausted, Guard};
+use ssd_trace::{Phase, Tracer};
 use std::collections::{BTreeSet, HashMap};
 
 /// Fault-injection seam: hit once per fixpoint round.
@@ -121,6 +122,7 @@ pub fn evaluate(program: &Program, store: &TripleStore) -> Result<Evaluation, Da
         edb_from_store(store),
         Mode::SemiNaive,
         &Guard::unlimited(),
+        None,
     )
 }
 
@@ -131,6 +133,7 @@ pub fn evaluate_naive(program: &Program, store: &TripleStore) -> Result<Evaluati
         edb_from_store(store),
         Mode::Naive,
         &Guard::unlimited(),
+        None,
     )
 }
 
@@ -144,7 +147,35 @@ pub fn evaluate_with(
     store: &TripleStore,
     guard: &Guard,
 ) -> Result<Evaluation, DatalogError> {
-    run(program, edb_from_store(store), Mode::SemiNaive, guard)
+    run(program, edb_from_store(store), Mode::SemiNaive, guard, None)
+}
+
+/// As [`evaluate_with`], with structured tracing: one [`Phase::Datalog`]
+/// span for the whole fixpoint, a child span per round (stratum, round
+/// number, delta size, rule evaluations, guard fuel/memory deltas), and a
+/// [`Phase::Guard`] instant when the guard stops evaluation.
+pub fn evaluate_traced(
+    program: &Program,
+    store: &TripleStore,
+    guard: &Guard,
+    tracer: Option<&Tracer>,
+) -> Result<Evaluation, DatalogError> {
+    let res = run(
+        program,
+        edb_from_store(store),
+        Mode::SemiNaive,
+        guard,
+        tracer,
+    );
+    if let Err(e) = &res {
+        ssd_trace::instant(
+            tracer,
+            Phase::Guard,
+            "exhausted",
+            vec![("cause", e.to_string().into())],
+        );
+    }
+    res
 }
 
 /// Evaluate over explicit base facts (no store).
@@ -172,6 +203,7 @@ pub fn evaluate_with_facts_guarded(
             Mode::Naive
         },
         guard,
+        None,
     )
 }
 
@@ -236,14 +268,16 @@ fn run(
     mut facts: Facts,
     mode: Mode,
     guard: &Guard,
+    tracer: Option<&Tracer>,
 ) -> Result<Evaluation, DatalogError> {
+    let mut dsp = ssd_trace::span(tracer, Phase::Datalog, "datalog", Some(guard));
     let exh = DatalogError::Exhausted;
     program.check_safety().map_err(DatalogError::Unsafe)?;
     check_arities(program, &facts)?;
     let strata = stratify(program)?;
     let mut iterations = 0usize;
     let mut rule_evaluations = 0usize;
-    'strata: for stratum_rules in &strata {
+    'strata: for (si, stratum_rules) in strata.iter().enumerate() {
         if stratum_rules.is_empty() {
             continue;
         }
@@ -260,6 +294,8 @@ fn run(
         let mut round = 0usize;
         loop {
             iterations += 1;
+            let mut round_sp = ssd_trace::span(tracer, Phase::Datalog, "round", Some(guard));
+            let rule_evals_before = rule_evaluations;
             // Round boundary: observe deadline/cancellation promptly even
             // when single rounds burn few ticks.
             guard.poll().map_err(exh)?;
@@ -339,6 +375,14 @@ fn run(
                     }
                 }
             }
+            if round_sp.enabled() {
+                let delta_tuples: usize = new_delta.values().map(BTreeSet::len).sum();
+                round_sp.field("stratum", si);
+                round_sp.field("round", round);
+                round_sp.field("delta", delta_tuples);
+                round_sp.field("rule_evals", rule_evaluations - rule_evals_before);
+            }
+            round_sp.close();
             if mode == Mode::SemiNaive {
                 delta = new_delta;
             }
@@ -355,11 +399,25 @@ fn run(
             facts.entry(rule.head.pred.clone()).or_default();
         }
     }
+    let truncated = guard.truncation().map(|e| e.headline());
+    if let (Some(t), Some(why)) = (tracer, &truncated) {
+        t.instant(
+            Phase::Guard,
+            "truncated",
+            vec![("cause", why.as_str().into())],
+        );
+    }
+    if dsp.enabled() {
+        dsp.field("iterations", iterations);
+        dsp.field("rule_evals", rule_evaluations);
+        dsp.field("facts", facts.values().map(BTreeSet::len).sum::<usize>());
+    }
+    dsp.close();
     Ok(Evaluation {
         facts,
         iterations,
         rule_evaluations,
-        truncated: guard.truncation().map(|e| e.headline()),
+        truncated,
     })
 }
 

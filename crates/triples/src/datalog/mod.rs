@@ -19,6 +19,6 @@ pub use ast::{
     RuleSpans, Term,
 };
 pub use eval::{
-    edb_from_store, evaluate, evaluate_naive, evaluate_with, evaluate_with_facts,
+    edb_from_store, evaluate, evaluate_naive, evaluate_traced, evaluate_with, evaluate_with_facts,
     evaluate_with_facts_guarded, stratify, DatalogError, Evaluation, Facts, FP_DATALOG_ROUND,
 };

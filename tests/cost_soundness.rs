@@ -160,6 +160,65 @@ proptest! {
         }
     }
 
+    /// Tracing is an observer, not a participant: running the same
+    /// query with a `Tracer` attached must leave the guard-measured
+    /// cost unchanged, so the static envelope brackets *traced*
+    /// actuals exactly as it brackets untraced ones. This is the
+    /// property `ssd explain --analyze` (tests/explain.rs) relies on
+    /// when it prints estimated and measured cost side by side.
+    #[test]
+    fn traced_evaluation_costs_the_same_and_stays_bracketed(
+        g in arb_graph(),
+        p1 in arb_rpe(),
+        p2 in prop_oneof![Just(None), arb_rpe().prop_map(Some)],
+    ) {
+        let q = query_of(p1, p2);
+        let stats = DataStats::collect(&g);
+        let a = analyze_query_cost(&q, None, &CostContext::with_stats(&stats));
+
+        let plain_guard = huge_active_guard();
+        let plain_opts = EvalOptions::default().with_guard(&plain_guard);
+        let plain = evaluate_select(&g, &q, &plain_opts).map_err(|e| {
+            TestCaseError::Fail(format!("plain evaluation failed: {e}"))
+        })?;
+        prop_assert!(plain.1.truncated.is_none());
+
+        let ring = semistructured::trace::SharedRing::new(65_536);
+        let tracer =
+            semistructured::trace::Tracer::with_sink(Box::new(ring.clone()));
+        let traced_guard = huge_active_guard();
+        let traced_opts = EvalOptions::default()
+            .with_guard(&traced_guard)
+            .with_tracer(&tracer);
+        let traced = evaluate_select(&g, &q, &traced_opts).map_err(|e| {
+            TestCaseError::Fail(format!("traced evaluation failed: {e}"))
+        })?;
+        prop_assert!(traced.1.truncated.is_none());
+        tracer.flush();
+
+        prop_assert_eq!(
+            plain_guard.steps_used(),
+            traced_guard.steps_used(),
+            "attaching a tracer changed the measured fuel"
+        );
+        prop_assert_eq!(
+            plain_guard.memory_used(),
+            traced_guard.memory_used(),
+            "attaching a tracer changed the measured memory"
+        );
+        assert_brackets(
+            "traced query",
+            &a.envelope,
+            traced_guard.steps_used(),
+            traced_guard.memory_used(),
+        )?;
+        let events = ring.snapshot();
+        prop_assert!(!events.is_empty());
+        if let Err(why) = semistructured::trace::validate(&events) {
+            return Err(TestCaseError::Fail(format!("malformed trace: {why}")));
+        }
+    }
+
     #[test]
     fn datalog_envelope_brackets_measured_guard_cost(
         g in arb_graph(),

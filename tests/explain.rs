@@ -1,0 +1,126 @@
+//! Golden-file test for `ssd explain --analyze` plus the programmatic
+//! counterpart: on `examples/movies.ssd` the statically estimated
+//! `CostEnvelope` must bracket the actuals the tracer measures — the
+//! same soundness contract `tests/cost_soundness.rs` checks with
+//! random graphs, pinned here to the shipped example so the rendered
+//! output stays reviewable.
+//!
+//! Numbers in the golden file are masked (`N`) so cosmetic cost-model
+//! retuning does not churn the fixture; the *bracketing* is asserted
+//! exactly, not masked.
+
+use std::io::Cursor;
+use std::path::Path;
+
+use semistructured::trace::{SharedRing, Tracer};
+use semistructured::{Bound, Budget, Database};
+
+const QUERY: &str = "select T from db.Entry.Movie.Title T";
+
+fn repo_path(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+    ssd_cli::run(&owned, &mut Cursor::new(&b""[..])).expect("cli run failed")
+}
+
+/// Replace every maximal digit run with `N` so the golden file pins
+/// *structure* (lines, labels, ordering) rather than exact counters.
+fn mask_digits(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_digits = false;
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('N');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn explain_analyze_matches_golden() {
+    let movies = repo_path("examples/movies.ssd");
+    let out = run_cli(&["explain", &movies, QUERY, "--analyze"]);
+    let masked = mask_digits(out.trim_end());
+    let golden_path = repo_path("tests/golden/explain_movies.txt");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+    assert_eq!(
+        masked,
+        golden.trim_end(),
+        "ssd explain --analyze drifted from tests/golden/explain_movies.txt \
+         (regenerate by re-running the command and masking digit runs as N)"
+    );
+}
+
+#[test]
+fn explain_plain_shows_estimate_only() {
+    let movies = repo_path("examples/movies.ssd");
+    let out = run_cli(&["explain", &movies, QUERY]);
+    assert!(out.contains("estimated cost"), "missing estimate: {out}");
+    assert!(
+        !out.contains("actual cost"),
+        "plain explain must not evaluate: {out}"
+    );
+}
+
+/// The estimate printed by `explain` brackets the actuals measured by
+/// `explain --analyze` — checked here on real counters, not rendered
+/// text, against the shipped example database.
+#[test]
+fn estimated_envelope_brackets_traced_actuals_on_movies() {
+    let text = std::fs::read_to_string(repo_path("examples/movies.ssd")).unwrap();
+    let db = Database::from_literal(&text).unwrap();
+    let analysis = db.estimate_query(QUERY).expect("estimate failed");
+    let env = &analysis.envelope;
+
+    let ring = SharedRing::new(semistructured::trace::DEFAULT_RING_CAP);
+    let tracer = Tracer::with_sink(Box::new(ring.clone()));
+    let guard = Budget::metered().guard();
+    let result = db
+        .query_traced(QUERY, Some(&guard), false, Some(&tracer))
+        .expect("traced evaluation failed");
+    tracer.flush();
+
+    let fuel = guard.steps_used();
+    let memory = guard.memory_used();
+    assert!(
+        fuel >= env.fuel.lo,
+        "actual fuel {fuel} below estimated lower bound {}",
+        env.fuel.lo
+    );
+    if let Bound::Finite(hi) = env.fuel.hi {
+        assert!(fuel <= hi, "actual fuel {fuel} above estimated bound {hi}");
+    }
+    if let Bound::Finite(hi) = env.memory.hi {
+        assert!(
+            memory <= hi,
+            "actual memory {memory} above estimated bound {hi}"
+        );
+    }
+    if let Bound::Finite(hi) = env.cardinality.hi {
+        let n = result.stats().results_constructed as u64;
+        assert!(n <= hi, "result count {n} above estimated cardinality {hi}");
+    }
+
+    // And the trace itself is well-formed and attributes the work.
+    let events = ring.snapshot();
+    semistructured::trace::validate(&events).expect("trace must validate");
+    let totals = semistructured::trace::phase_totals(&events);
+    assert!(
+        totals.contains("eval"),
+        "missing eval phase totals: {totals}"
+    );
+}
