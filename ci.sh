@@ -18,25 +18,13 @@ cargo build --release --offline
 echo "== cargo test" >&2
 cargo test -q --offline
 
-echo "== panic-site gate (crates/query, crates/triples)" >&2
-# Non-test unwrap/expect/panic/unreachable sites on the query and triples
-# crates must not regress past the audited baseline (2: the thread-join
-# expects in decompose.rs, unreachable from user input and covered by the
-# CLI panic-isolation boundary). Parser token helpers named `self.expect(`
-# return Result and are not panic sites.
-PANIC_BUDGET=2
-panic_count=0
-for f in $(find crates/query/src crates/triples/src -name '*.rs' | sort); do
-    n=$(awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
-        | grep -vE 'self\.expect\(' \
-        | grep -cE '\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(' || true)
-    panic_count=$((panic_count + n))
-done
-if [ "$panic_count" -gt "$PANIC_BUDGET" ]; then
-    echo "ci: $panic_count non-test panic sites in crates/{query,triples} (budget $PANIC_BUDGET)." >&2
-    echo "ci: convert new unwrap/expect/panic sites to Result + SSD diagnostics." >&2
-    exit 1
-fi
+echo "== ssd lint (workspace invariants, docs/LINTS.md)" >&2
+# Replaces the old awk/grep panic-site gate: SSD903 enforces the
+# token-accurate per-crate panic budgets in crates/lint/panic-budgets.txt
+# (a two-way ratchet), and SSD901/902/904/905 gate registry sync, guard
+# threading, lock order, and span discipline. --deny-warnings makes
+# budget drift fail, matching the old hard gate.
+./target/release/ssd lint --deny-warnings
 
 echo "== fault injection" >&2
 cargo test -q --offline -p semistructured --test guard

@@ -1,4 +1,4 @@
-//! Experiment report: regenerates the E1–E12, E15, and E16 measured
+//! Experiment report: regenerates the E1–E12 and E15–E17 measured
 //! series recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -8,7 +8,10 @@
 //! Criterion (`cargo bench`) provides rigorous timings; this binary
 //! produces the *shape* tables — counts, work measures, and coarse
 //! wall-clock ratios — that stand in for the tutorial's (non-existent)
-//! evaluation tables.
+//! evaluation tables. The serving (E16) and tracing (E17) sections also
+//! drop machine-readable `BENCH_serve.json` / `BENCH_trace.json` in the
+//! current directory, the per-PR data points for the perf trajectory
+//! (ROADMAP item 5).
 
 use semistructured::graph::bisim::graphs_bisimilar;
 use semistructured::graph::index::GraphIndex;
@@ -42,7 +45,7 @@ fn header(title: &str) {
 }
 
 fn main() {
-    println!("semistructured — experiment report (E1–E12, E15, E16)");
+    println!("semistructured — experiment report (E1–E12, E15–E17)");
     println!("paper: Buneman, \"Semistructured Data\", PODS 1997 (tutorial; no tables — series defined in EXPERIMENTS.md)");
 
     e01();
@@ -59,7 +62,16 @@ fn main() {
     e12();
     e15();
     e16();
+    e17();
     println!("\nreport complete.");
+}
+
+/// Write a `BENCH_*.json` perf-trajectory data point next to the report.
+fn write_json(path: &str, text: &str) {
+    match std::fs::write(path, text) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn e01() {
@@ -584,6 +596,7 @@ fn e16() {
     );
     let mut fuels: Vec<u64> = Vec::new();
     let (mut wall1, mut mk1) = (0.0f64, 0u64);
+    let mut scaling_rows: Vec<String> = Vec::new();
     for &w in &[1usize, 2, 4, 8] {
         let server = Server::start(Arc::clone(&db), cfg(w));
         let sess = server.open_session(roomy.clone());
@@ -612,6 +625,12 @@ fn e16() {
             wall1 / wall.max(0.01),
             mk1 as f64 / mk.max(1) as f64
         );
+        scaling_rows.push(format!(
+            "{{\"workers\": {w}, \"wall_us\": {wall:.1}, \"wall_speedup\": {:.3}, \
+             \"sim_makespan\": {mk}, \"sim_speedup\": {:.3}}}",
+            wall1 / wall.max(0.01),
+            mk1 as f64 / mk.max(1) as f64
+        ));
     }
 
     // (b) Admission rejection never reaches the engine.
@@ -628,6 +647,7 @@ fn e16() {
     sess.close();
     let m = server.shutdown();
     assert_eq!(m.counters.fuel_spent, 0, "rejection must cost no fuel");
+    let rej_fuel = m.counters.fuel_spent;
     println!(
         "admission: {rejected}/64 over-ceiling jobs rejected, {per:.1} µs each; \
          engine fuel spent = {} (rejection is free)",
@@ -652,13 +672,113 @@ fn e16() {
     }
     sess.close();
     let m = server.shutdown();
-    println!(
-        "mixed load ({JOBS} jobs, 2 workers): p50={} µs p99={} µs queue peak={} \
-         fuel est/spent={}/{}",
+    let (p50, p99) = (
         ssd_serve::metrics::percentile(&m.latencies_us, 50),
         ssd_serve::metrics::percentile(&m.latencies_us, 99),
-        m.queue_peak,
-        m.counters.fuel_estimated,
-        m.counters.fuel_spent
+    );
+    println!(
+        "mixed load ({JOBS} jobs, 2 workers): p50={p50} µs p99={p99} µs queue peak={} \
+         fuel est/spent={}/{}",
+        m.queue_peak, m.counters.fuel_estimated, m.counters.fuel_spent
+    );
+
+    write_json(
+        "BENCH_serve.json",
+        &format!(
+            "{{\n  \"experiment\": \"E16\",\n  \"host_cores\": {cores},\n  \
+             \"jobs\": {JOBS},\n  \"scaling\": [\n    {}\n  ],\n  \
+             \"admission\": {{\"rejected\": {rejected}, \"per_us\": {per:.1}, \
+             \"engine_fuel_spent\": {rej_fuel}}},\n  \
+             \"mixed_load\": {{\"workers\": 2, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+             \"queue_peak\": {}, \"fuel_estimated\": {}, \"fuel_spent\": {}}}\n}}\n",
+            scaling_rows.join(",\n    "),
+            m.queue_peak,
+            m.counters.fuel_estimated,
+            m.counters.fuel_spent,
+        ),
+    );
+}
+
+fn e17() {
+    use semistructured::query::evaluate_select;
+    use semistructured::trace::{JsonlSink, SharedRing, Tracer, DEFAULT_RING_CAP};
+    use semistructured::{Budget, EvalOptions};
+    header("E17 — tracing overhead on the E3 select workload");
+
+    const JOIN: &str = r#"select {p: {t: T, d: D}} from db.Entry.Movie M, M.Title T, M.Director D
+                          where exists M.Cast"#;
+    // An active budget that never trips: tracing reads fuel/memory off
+    // the guard, so every variant pays the same guard cost and the
+    // comparison isolates the tracer (same setup as benches/e17_trace.rs).
+    let roomy = || {
+        Budget::unlimited()
+            .max_steps(u64::MAX / 2)
+            .max_memory_mb(1 << 20)
+            .max_depth(1 << 20)
+            .timeout(std::time::Duration::from_secs(3600))
+    };
+    let g = movies(1000);
+    let q = semistructured::query::parse_query(JOIN).unwrap();
+
+    let baseline = time_us(15, || {
+        let guard = roomy().guard();
+        evaluate_select(&g, &q, &EvalOptions::default().with_guard(&guard)).unwrap()
+    });
+    let mut events = 0usize;
+    let ring = SharedRing::new(DEFAULT_RING_CAP);
+    let ring_tracer = Tracer::with_sink(Box::new(ring.clone()));
+    let ring_t = time_us(15, || {
+        let guard = roomy().guard();
+        let r = evaluate_select(
+            &g,
+            &q,
+            &EvalOptions::default()
+                .with_guard(&guard)
+                .with_tracer(&ring_tracer),
+        )
+        .unwrap();
+        ring_tracer.flush();
+        events = ring.take().len();
+        r
+    });
+    let jsonl_tracer = Tracer::with_sink(Box::new(JsonlSink::new(std::io::sink())));
+    let jsonl = time_us(15, || {
+        let guard = roomy().guard();
+        let r = evaluate_select(
+            &g,
+            &q,
+            &EvalOptions::default()
+                .with_guard(&guard)
+                .with_tracer(&jsonl_tracer),
+        )
+        .unwrap();
+        jsonl_tracer.flush();
+        r
+    });
+
+    let pct = |v: f64| (v / baseline.max(0.01) - 1.0) * 100.0;
+    println!("select join over movies(1000), median of 15 runs:");
+    println!("{:>10} {:>12} {:>10}", "variant", "median µs", "overhead");
+    println!("{:>10} {baseline:>12.1} {:>10}", "baseline", "—");
+    println!(
+        "{:>10} {ring_t:>12.1} {:>9.1}%  ({events} event(s))",
+        "ring",
+        pct(ring_t)
+    );
+    println!("{:>10} {jsonl:>12.1} {:>9.1}%", "jsonl", pct(jsonl));
+
+    write_json(
+        "BENCH_trace.json",
+        &format!(
+            "{{\n  \"experiment\": \"E17\",\n  \
+             \"workload\": \"select join, movies(1000), median of 15 runs\",\n  \
+             \"variants\": [\n    \
+             {{\"name\": \"baseline\", \"median_us\": {baseline:.1}}},\n    \
+             {{\"name\": \"ring\", \"median_us\": {ring_t:.1}, \"overhead_pct\": {:.2}, \
+             \"events\": {events}}},\n    \
+             {{\"name\": \"jsonl\", \"median_us\": {jsonl:.1}, \"overhead_pct\": {:.2}}}\n  ]\n}}\n",
+            pct(ring_t),
+            pct(jsonl),
+        ),
     );
 }

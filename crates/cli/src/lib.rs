@@ -40,6 +40,9 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
                 [--explain]                print inferred binding types
                 [--estimate]               print the static cost envelope
                                            and SSD03x cost diagnostics
+  ssd lint      [ROOT] [--deny-warnings]   workspace source lints (SSD9xx);
+                [--explain SSD9xx]         ROOT defaults to the current
+                                           directory; see docs/LINTS.md
   ssd browse    DATA string TEXT           where is this string?
   ssd browse    DATA ints THRESHOLD        integers greater than N?
   ssd browse    DATA attrs PREFIX          attribute names with prefix?
@@ -249,6 +252,7 @@ fn dispatch(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> 
             let text = arg_or_file(tail[2])?;
             cmd_check(&db, tail[1], &text, deny_warnings, explain, estimate)
         }
+        "lint" => cmd_lint(&rest),
         "browse" => {
             if rest.len() != 3 {
                 return Err(CliError::Usage(
@@ -700,6 +704,56 @@ fn prepend_truncation(guard: &Guard, out: String) -> String {
             .headline()
         ),
         None => out,
+    }
+}
+
+/// `ssd lint`: run the SSD9xx workspace source lints (see docs/LINTS.md).
+/// Errors always fail; `--deny-warnings` makes warnings (panic-budget
+/// drift) fail too, which is how ci.sh runs it.
+fn cmd_lint(rest: &[&str]) -> Result<String, CliError> {
+    const USAGE: &str = "lint [ROOT] [--deny-warnings] [--explain SSD9xx]";
+    let mut tail: Vec<&str> = rest.to_vec();
+    let deny_warnings = take_flag(&mut tail, "--deny-warnings");
+    let mut explain_code: Option<String> = None;
+    let mut i = 0;
+    while i < tail.len() {
+        if let Some(v) = tail[i].strip_prefix("--explain=") {
+            explain_code = Some(v.to_owned());
+            tail.remove(i);
+        } else if tail[i] == "--explain" {
+            if i + 1 >= tail.len() {
+                return Err(CliError::Usage("--explain needs a code (SSD9xx)".into()));
+            }
+            explain_code = Some(tail.remove(i + 1).to_owned());
+            tail.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(code) = explain_code {
+        return match ssd_lint::explain(&code) {
+            Some(text) => Ok(text.to_owned()),
+            None => Err(CliError::Usage(format!(
+                "'{code}' is not a lint code; known: {}",
+                ssd_lint::lint_codes()
+                    .iter()
+                    .map(|c| c.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))),
+        };
+    }
+    let root = match tail.as_slice() {
+        [] => std::path::PathBuf::from("."),
+        [r] => std::path::PathBuf::from(r),
+        _ => return Err(CliError::Usage(USAGE.into())),
+    };
+    let report = ssd_lint::lint_workspace(&root).map_err(CliError::Failed)?;
+    let out = report.render();
+    if ssd_lint::should_fail(&report, deny_warnings) {
+        Err(CliError::Failed(out))
+    } else {
+        Ok(out)
     }
 }
 
@@ -1523,6 +1577,33 @@ mod tests {
             run_str(&["check", "-", "sparql", "x"], DATA),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn lint_explain_knows_lint_codes_only() {
+        let out = run_str(&["lint", "--explain", "SSD903"], "").unwrap();
+        assert!(out.starts_with("SSD903"), "{out}");
+        assert!(matches!(
+            run_str(&["lint", "--explain", "SSD001"], ""),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["lint", "--explain"], ""),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn lint_passes_on_the_workspace_and_fails_on_the_fixture() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let out = run_str(&["lint", root, "--deny-warnings"], "").unwrap();
+        assert!(out.contains("clean"), "{out}");
+        let bad = format!("{root}/tests/fixtures/lint-bad");
+        let err = run_str(&["lint", &bad], "").unwrap_err();
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD901") && m.contains("SSD905")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -79,7 +79,9 @@ impl fmt::Display for Severity {
 /// *runtime* governance (budget exhaustion, cancellation, panic isolation
 /// — see `ssd-guard`); the `SSD2xx` band is the query-serving scheduler
 /// (session quotas, admission, queueing, wire protocol — see
-/// `ssd-serve`). Codes are append-only; never renumber.
+/// `ssd-serve`); the `SSD9xx` band is the workspace invariant checker
+/// over our *own* Rust sources (`ssd lint` — see `ssd-lint` and
+/// docs/LINTS.md). Codes are append-only; never renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Variable referenced but bound by no from-clause binding.
@@ -158,6 +160,26 @@ pub enum Code {
     /// A budget refund exceeded its outstanding split grant and was
     /// clamped — a scheduler bookkeeping bug worth surfacing.
     RefundExceedsGrant,
+    /// `ssd lint` L1: the SSD code registry, the docs tables, and the
+    /// test suite disagree (undefined, undocumented, duplicated,
+    /// untested, or non-contiguous codes).
+    RegistryDrift,
+    /// `ssd lint` L2: an evaluator entry point has no governed
+    /// `*_with`/`*_guarded` variant, or guarded code calls an
+    /// ungoverned sibling, bypassing the `Guard`.
+    GuardBypass,
+    /// `ssd lint` L3: a non-test `unwrap`/`expect`/`panic!`/
+    /// `unreachable!` site beyond the crate's audited budget and
+    /// without an `// lint: allow(panic)` annotation.
+    PanicSite,
+    /// `ssd lint` L4: a `.lock()` acquisition out of declared hierarchy
+    /// order, an undeclared lock, or a blocking call (`join`/`recv`/
+    /// `send`) made while a lock is held.
+    LockOrderViolation,
+    /// `ssd lint` L5: a tracer span that can leak or close early — an
+    /// `open_detached` with no `close_detached` in the same function,
+    /// or a span value discarded at the open site.
+    SpanLeak,
 }
 
 impl Code {
@@ -197,6 +219,11 @@ impl Code {
             Code::UnknownJob => "SSD204",
             Code::ProtocolError => "SSD210",
             Code::RefundExceedsGrant => "SSD211",
+            Code::RegistryDrift => "SSD901",
+            Code::GuardBypass => "SSD902",
+            Code::PanicSite => "SSD903",
+            Code::LockOrderViolation => "SSD904",
+            Code::SpanLeak => "SSD905",
         }
     }
 
@@ -225,6 +252,10 @@ impl Code {
             | Code::ServerShuttingDown
             | Code::UnknownJob
             | Code::ProtocolError
+            | Code::RegistryDrift
+            | Code::GuardBypass
+            | Code::LockOrderViolation
+            | Code::SpanLeak
             | Code::CostExceedsBudget => Severity::Error,
             Code::UnusedBinding
             | Code::EmptyPath
@@ -234,6 +265,7 @@ impl Code {
             | Code::UnboundedCost
             | Code::CrossProductJoin
             | Code::RefundExceedsGrant
+            | Code::PanicSite
             | Code::TruncatedResult => Severity::Warning,
             Code::ImpreciseEstimate | Code::AdmissionOverridesPartial | Code::JobQueued => {
                 Severity::Note
@@ -241,10 +273,17 @@ impl Code {
         }
     }
 
-    /// True for the `SSD1xx` band: runtime-governance codes produced
-    /// during evaluation, as opposed to static-analysis codes (`SSD0xx`).
+    /// True for the `SSD1xx`/`SSD2xx` bands: runtime codes produced
+    /// during evaluation or serving, as opposed to static-analysis
+    /// codes (`SSD0xx`) and source lints (`SSD9xx`).
     pub fn is_runtime(self) -> bool {
-        self.as_str() >= "SSD100"
+        self.as_str() >= "SSD100" && !self.is_lint()
+    }
+
+    /// True for the `SSD9xx` band: findings of the workspace invariant
+    /// checker (`ssd lint`) over our own Rust sources.
+    pub fn is_lint(self) -> bool {
+        self.as_str() >= "SSD900"
     }
 
     /// Every code, in rendering order (used by docs and tests).
@@ -284,6 +323,11 @@ impl Code {
             Code::UnknownJob,
             Code::ProtocolError,
             Code::RefundExceedsGrant,
+            Code::RegistryDrift,
+            Code::GuardBypass,
+            Code::PanicSite,
+            Code::LockOrderViolation,
+            Code::SpanLeak,
         ]
     }
 }
@@ -476,6 +520,29 @@ mod tests {
         assert_eq!(Code::AdmissionOverridesPartial.as_str(), "SSD034");
         assert_eq!(Code::AdmissionOverridesPartial.severity(), Severity::Note);
         assert!(!Code::AdmissionOverridesPartial.is_runtime());
+    }
+
+    #[test]
+    fn lint_band_codes_and_severities() {
+        assert_eq!(Code::RegistryDrift.as_str(), "SSD901");
+        assert_eq!(Code::GuardBypass.as_str(), "SSD902");
+        assert_eq!(Code::PanicSite.as_str(), "SSD903");
+        assert_eq!(Code::LockOrderViolation.as_str(), "SSD904");
+        assert_eq!(Code::SpanLeak.as_str(), "SSD905");
+        assert_eq!(Code::PanicSite.severity(), Severity::Warning);
+        assert_eq!(Code::RegistryDrift.severity(), Severity::Error);
+        for c in [
+            Code::RegistryDrift,
+            Code::GuardBypass,
+            Code::PanicSite,
+            Code::LockOrderViolation,
+            Code::SpanLeak,
+        ] {
+            assert!(c.is_lint());
+            assert!(!c.is_runtime(), "{c}: lints are static, not runtime");
+        }
+        assert!(!Code::StepLimitExceeded.is_lint());
+        assert!(Code::StepLimitExceeded.is_runtime());
     }
 
     #[test]

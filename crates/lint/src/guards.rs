@@ -1,0 +1,143 @@
+//! L2 guard-threading (SSD902): every public evaluator entry point in
+//! `crates/query`/`crates/triples` must have a governed variant
+//! (`*_guarded`/`*_with`/`*_traced`, or take `Guard`/`EvalOptions`
+//! itself), and code already running under a `Guard` must never call
+//! back into an ungoverned wrapper — that would evaluate outside the
+//! fuel/memory/deadline envelope the caller was given.
+
+use std::collections::BTreeSet;
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::lexer::{line_of, TokKind};
+use crate::scan::{functions, range_mentions, Workspace};
+use crate::Finding;
+
+const SCOPE: &[&str] = &["query", "triples"];
+/// Entry-point name prefixes (whole word or `prefix_...`).
+const PREFIXES: &[&str] = &["evaluate", "eval", "gext", "ext"];
+/// Suffixes marking a fn as itself the governed variant.
+const GOVERNED_SUFFIX: &[&str] = &["_guarded", "_with", "_traced"];
+/// Parameter types that carry governance.
+const GOVERNING_TYPES: &[&str] = &["Guard", "EvalOptions"];
+
+fn is_entry_name(name: &str) -> bool {
+    PREFIXES.iter().any(|p| {
+        name == *p
+            || name
+                .strip_prefix(p)
+                .is_some_and(|rest| rest.starts_with('_'))
+    })
+}
+
+fn has_governed_suffix(name: &str) -> bool {
+    GOVERNED_SUFFIX.iter().any(|s| name.ends_with(s))
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Pass 1: collect every fn in scope, globally (siblings may live in
+    // another file of the same crate pair).
+    let mut all_names: BTreeSet<String> = BTreeSet::new();
+    for f in ws
+        .files
+        .iter()
+        .filter(|f| SCOPE.contains(&f.krate.as_str()))
+    {
+        for info in functions(&f.src, &f.toks) {
+            all_names.insert(info.name);
+        }
+    }
+
+    // Pass 2: entry-point coverage, and remember the bare wrappers —
+    // ungoverned entry points whose governed sibling exists.
+    let mut bare: BTreeSet<String> = BTreeSet::new();
+    for f in ws
+        .files
+        .iter()
+        .filter(|f| SCOPE.contains(&f.krate.as_str()))
+    {
+        for info in functions(&f.src, &f.toks) {
+            if !info.is_pub || !is_entry_name(&info.name) || has_governed_suffix(&info.name) {
+                continue;
+            }
+            if range_mentions(&f.src, &f.toks, info.params, GOVERNING_TYPES) {
+                continue; // governed by its own signature
+            }
+            let sibling = GOVERNED_SUFFIX
+                .iter()
+                .find(|s| all_names.contains(&format!("{}{}", info.name, s)));
+            if let Some(s) = sibling {
+                let _ = s;
+                bare.insert(info.name.clone());
+                continue;
+            }
+            let t = &f.toks[info.name_idx];
+            if f.allowed(line_of(&f.src, t.start), "guard") {
+                continue;
+            }
+            out.push(Finding::new(
+                &f.rel,
+                Diagnostic::new(
+                    Code::GuardBypass,
+                    format!(
+                        "public evaluator entry point `{}` has no governed variant",
+                        info.name
+                    ),
+                )
+                .with_span(Span::new(t.start, t.end))
+                .with_suggestion(format!(
+                    "add `{}_guarded(.., &Guard)` (or take Guard/EvalOptions here), or annotate \
+                     `// lint: allow(guard) — <reason>`",
+                    info.name
+                )),
+            ));
+        }
+    }
+
+    // Pass 3: no governed fn calls back into a bare wrapper.
+    for f in ws
+        .files
+        .iter()
+        .filter(|f| SCOPE.contains(&f.krate.as_str()))
+    {
+        for info in functions(&f.src, &f.toks) {
+            let Some(body) = info.body else { continue };
+            if !range_mentions(&f.src, &f.toks, info.params, GOVERNING_TYPES) {
+                continue; // not running under a guard; wrappers may call wrappers
+            }
+            for j in body.0..=body.1 {
+                let t = &f.toks[j];
+                if t.kind != TokKind::Ident || !bare.contains(t.text(&f.src)) {
+                    continue;
+                }
+                let calls = j < body.1 && f.toks[j + 1].is_punct(b'(');
+                if !calls {
+                    continue;
+                }
+                let prev = &f.toks[j - 1];
+                if prev.is(&f.src, "fn") || prev.is_punct(b'.') {
+                    continue; // a definition, or a method on some other type
+                }
+                let line = line_of(&f.src, t.start);
+                if f.allowed(line, "guard") {
+                    continue;
+                }
+                let name = t.text(&f.src);
+                out.push(Finding::new(
+                    &f.rel,
+                    Diagnostic::new(
+                        Code::GuardBypass,
+                        format!(
+                            "`{}` runs under a Guard but calls ungoverned `{}`",
+                            info.name, name
+                        ),
+                    )
+                    .with_span(Span::new(t.start, t.end))
+                    .with_suggestion(format!(
+                        "call the governed sibling (e.g. `{name}_guarded`) and thread the Guard through"
+                    )),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! L4 lock-order (SSD904): `crates/serve` declares its lock hierarchy
+//! as `LOCK_ORDER` in `src/lib.rs`; this pass extracts every `.lock()`
+//! acquisition per function, tracks how long each guard is held
+//! (let-binding → scope end or `drop(x)`; temporary → end of
+//! statement), and flags (a) locks not in the declared hierarchy,
+//! (b) nested acquisition out of hierarchy order (including
+//! re-acquiring the same rank), and (c) blocking operations —
+//! `JoinHandle::join()`, channel `.send(..)`/`.recv(..)` — while any
+//! lock is held. The analysis is intraprocedural by design: cross-
+//! function discipline is what the hierarchy itself documents.
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::lexer::{line_of, TokKind};
+use crate::scan::{functions, SourceFile, Workspace};
+use crate::Finding;
+
+const SERVE_LIB: &str = "crates/serve/src/lib.rs";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let serve: Vec<&SourceFile> = ws.files_of("serve").collect();
+    if serve.is_empty() {
+        return;
+    }
+    let Some(order) = lock_order(&serve) else {
+        out.push(Finding::new(
+            SERVE_LIB,
+            Diagnostic::new(
+                Code::LockOrderViolation,
+                "crates/serve declares no LOCK_ORDER hierarchy in src/lib.rs",
+            )
+            .with_suggestion(
+                "declare `pub const LOCK_ORDER: &[&str] = &[\"outermost\", ..];` naming every \
+                 Mutex field in acquisition order",
+            ),
+        ));
+        return;
+    };
+    for f in &serve {
+        for info in functions(&f.src, &f.toks) {
+            let Some(body) = info.body else { continue };
+            check_body(f, &info.name, body, &order, out);
+        }
+    }
+}
+
+/// Parse `LOCK_ORDER: &[&str] = &["a", "b", ...]` from serve's lib.rs.
+fn lock_order(serve: &[&SourceFile]) -> Option<Vec<String>> {
+    let lib = serve.iter().find(|f| f.rel == SERVE_LIB)?;
+    let toks = &lib.toks;
+    let at = toks.iter().position(|t| t.is(&lib.src, "LOCK_ORDER"))?;
+    let mut names = Vec::new();
+    for t in &toks[at..] {
+        if t.kind == TokKind::Str {
+            let text = t.text(&lib.src);
+            names.push(text.trim_matches('"').to_owned());
+        } else if t.is_punct(b';') {
+            break;
+        } else if t.is(&lib.src, "str") {
+            continue; // the `&[&str]` type annotation
+        }
+    }
+    (!names.is_empty()).then_some(names)
+}
+
+/// One lock currently held while walking a function body.
+struct Held {
+    rank: usize,
+    name: String,
+    /// `Some(var)` for `let var = ..lock()..`, `None` for a temporary.
+    var: Option<String>,
+    /// Brace depth at acquisition; lets release when depth drops below,
+    /// temporaries at the `;` ending their statement (or a `}` closing
+    /// a block they were the tail expression of).
+    depth: i32,
+}
+
+fn check_body(
+    f: &SourceFile,
+    fn_name: &str,
+    body: (usize, usize),
+    order: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let src = &f.src;
+    let toks = &f.toks;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut j = body.0;
+    while j <= body.1 {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                // Let-bound guards and block-tail temporaries alike die
+                // when their block does.
+                held.retain(|h| depth >= h.depth);
+            }
+            TokKind::Punct(b';') => {
+                held.retain(|h| h.var.is_some() || depth != h.depth);
+            }
+            TokKind::Ident => {
+                let text = t.text(src);
+                let prev_dot = j > body.0 && toks[j - 1].is_punct(b'.');
+                let next_paren = j < body.1 && toks[j + 1].is_punct(b'(');
+                if text == "lock" && prev_dot && next_paren {
+                    acquire(f, fn_name, body, j, depth, order, &mut held, out);
+                } else if text == "drop"
+                    && next_paren
+                    && j + 3 <= body.1
+                    && toks[j + 2].kind == TokKind::Ident
+                    && toks[j + 3].is_punct(b')')
+                {
+                    let var = toks[j + 2].text(src);
+                    held.retain(|h| h.var.as_deref() != Some(var));
+                } else if prev_dot && next_paren && !held.is_empty() {
+                    let blocking = match text {
+                        // JoinHandle::join takes no arguments; slice
+                        // join (`parts.join(", ")`) always takes one.
+                        "join" => j + 2 <= body.1 && toks[j + 2].is_punct(b')'),
+                        "send" | "recv" | "recv_timeout" | "recv_deadline" => true,
+                        _ => false,
+                    };
+                    if blocking && !f.allowed(line_of(src, t.start), "lock") {
+                        let holding: Vec<&str> = held.iter().map(|h| h.name.as_str()).collect();
+                        out.push(Finding::new(
+                            &f.rel,
+                            Diagnostic::new(
+                                Code::LockOrderViolation,
+                                format!(
+                                    "`{fn_name}` calls blocking `.{text}(..)` while holding \
+                                     lock(s) {}",
+                                    holding.join(", ")
+                                ),
+                            )
+                            .with_span(Span::new(t.start, t.end))
+                            .with_suggestion(
+                                "release the guard first (`drop(guard)`) or move the blocking \
+                                 call out of the critical section",
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    f: &SourceFile,
+    fn_name: &str,
+    body: (usize, usize),
+    j: usize,
+    depth: i32,
+    order: &[String],
+    held: &mut Vec<Held>,
+    out: &mut Vec<Finding>,
+) {
+    let src = &f.src;
+    let toks = &f.toks;
+    let t = &toks[j];
+    let line = line_of(src, t.start);
+    // Receiver: the identifier before `.lock()` — for a field chain
+    // like `self.inner.state.lock()` that is the field name `state`.
+    let recv = (j >= 2 && toks[j - 2].kind == TokKind::Ident).then(|| toks[j - 2].text(src));
+    let Some(recv) = recv else {
+        if !f.allowed(line, "lock") {
+            out.push(Finding::new(
+                &f.rel,
+                Diagnostic::new(
+                    Code::LockOrderViolation,
+                    format!(
+                        "`{fn_name}` calls .lock() on an expression; name the mutex so the \
+                             hierarchy applies"
+                    ),
+                )
+                .with_span(Span::new(t.start, t.end)),
+            ));
+        }
+        return;
+    };
+    let Some(rank) = order.iter().position(|n| n == recv) else {
+        if !f.allowed(line, "lock") {
+            out.push(Finding::new(
+                &f.rel,
+                Diagnostic::new(
+                    Code::LockOrderViolation,
+                    format!("mutex `{recv}` is not in the LOCK_ORDER hierarchy"),
+                )
+                .with_span(Span::new(t.start, t.end))
+                .with_suggestion(format!(
+                    "add \"{recv}\" to LOCK_ORDER in {SERVE_LIB} at its acquisition position"
+                )),
+            ));
+        }
+        return;
+    };
+    for h in held.iter() {
+        if rank <= h.rank && !f.allowed(line, "lock") {
+            out.push(Finding::new(
+                &f.rel,
+                Diagnostic::new(
+                    Code::LockOrderViolation,
+                    format!(
+                        "`{fn_name}` acquires `{recv}` (rank {rank}) while holding `{}` \
+                         (rank {}); LOCK_ORDER is {}",
+                        h.name,
+                        h.rank,
+                        order.join(" → ")
+                    ),
+                )
+                .with_span(Span::new(t.start, t.end))
+                .with_suggestion("acquire locks in hierarchy order, or drop the outer guard first"),
+            ));
+        }
+    }
+    // Binding: the guard is let-bound only when the lock chain is the
+    // *direct* right-hand side of a `let` (`let g = self.state.lock()…`).
+    // A chain nested inside a call (`mem::take(&mut *self.m.lock())`)
+    // yields a temporary guard that dies at the statement's `;`, even
+    // though the statement is a let.
+    let mut var = None;
+    let mut root = j - 1; // the `.` before `lock`
+    while root > body.0 {
+        let p = &toks[root - 1];
+        if p.kind == TokKind::Ident || p.is_punct(b'.') || p.is_punct(b':') {
+            root -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut r = root;
+    while r > body.0
+        && (toks[r - 1].is_punct(b'&') || toks[r - 1].is_punct(b'*') || toks[r - 1].is(src, "mut"))
+    {
+        r -= 1;
+    }
+    if r > body.0 && toks[r - 1].is_punct(b'=') {
+        let mut k = r - 1;
+        while k > body.0 {
+            k -= 1;
+            match toks[k].kind {
+                TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}') => break,
+                TokKind::Ident if toks[k].is(src, "let") => {
+                    let mut v = k + 1;
+                    if v < toks.len() && toks[v].is(src, "mut") {
+                        v += 1;
+                    }
+                    if v < toks.len() && toks[v].kind == TokKind::Ident {
+                        var = Some(toks[v].text(src).to_owned());
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    held.push(Held {
+        rank,
+        name: recv.to_owned(),
+        var,
+        depth,
+    });
+}

@@ -1,0 +1,176 @@
+//! L3 panic-sites (SSD903): token-accurate count of `unwrap`/`expect`/
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!` outside test code,
+//! checked against the per-crate budget file
+//! `crates/lint/panic-budgets.txt`. The budget is a ratchet in both
+//! directions: going over means a new panic site needs justifying;
+//! going under means the budget should be lowered so the slack can't be
+//! silently spent later. `// lint: allow(panic) — <reason>` exempts a
+//! deliberate site without charging the budget.
+
+use std::collections::BTreeMap;
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::lexer::{line_of, TokKind};
+use crate::scan::Workspace;
+use crate::Finding;
+
+const METHODS: &[&str] = &["unwrap", "expect"];
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+struct Site {
+    rel: String,
+    line: usize,
+    span: Span,
+    what: String,
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Budget file: `crate N` lines, `#` comments.
+    let mut budgets: BTreeMap<String, usize> = BTreeMap::new();
+    match &ws.budgets {
+        None => {
+            out.push(Finding::new(
+                &ws.budgets_rel,
+                Diagnostic::new(
+                    Code::PanicSite,
+                    format!("panic budget file {} is missing", ws.budgets_rel),
+                )
+                .with_suggestion("list every crate as `<name> <count>`, one per line"),
+            ));
+        }
+        Some(content) => {
+            let mut offset = 0usize;
+            for line in content.split_inclusive('\n') {
+                let body = line.split('#').next().unwrap_or_default();
+                let fields: Vec<&str> = body.split_whitespace().collect();
+                match fields.as_slice() {
+                    [] => {}
+                    [name, n] if n.parse::<usize>().is_ok() => {
+                        budgets.insert((*name).to_owned(), n.parse().unwrap_or(0));
+                    }
+                    _ => {
+                        out.push(Finding::new(
+                            &ws.budgets_rel,
+                            Diagnostic::new(
+                                Code::PanicSite,
+                                format!("malformed budget line `{}`", body.trim()),
+                            )
+                            .with_span(Span::new(offset, offset + line.trim_end().len()))
+                            .with_suggestion("expected `<crate> <count>`"),
+                        ));
+                    }
+                }
+                offset += line.len();
+            }
+        }
+    }
+
+    // Count panic sites per crate over test-elided tokens.
+    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    let mut crates_seen: Vec<String> = Vec::new();
+    for f in &ws.files {
+        if !crates_seen.contains(&f.krate) {
+            crates_seen.push(f.krate.clone());
+        }
+        let src = &f.src;
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let text = t.text(src);
+            let next_is = |b: u8| f.toks.get(i + 1).is_some_and(|n| n.is_punct(b));
+            let hit = if METHODS.contains(&text) {
+                let method_call = i > 0 && f.toks[i - 1].is_punct(b'.') && next_is(b'(');
+                // `self.expect(..)` is the parser's own fallible helper,
+                // not Option/Result::expect — the old awk gate skipped
+                // it too.
+                let parser_expect = text == "expect" && i >= 2 && f.toks[i - 2].is(src, "self");
+                method_call && !parser_expect
+            } else {
+                MACROS.contains(&text) && next_is(b'!')
+            };
+            if !hit {
+                continue;
+            }
+            let line = line_of(src, t.start);
+            if f.allowed(line, "panic") {
+                continue;
+            }
+            sites.entry(f.krate.clone()).or_default().push(Site {
+                rel: f.rel.clone(),
+                line,
+                span: Span::new(t.start, t.end),
+                what: text.to_owned(),
+            });
+        }
+    }
+
+    // Reconcile counts against budgets.
+    for krate in &crates_seen {
+        let found = sites.get(krate).map_or(0, Vec::len);
+        let Some(&budget) = budgets.get(krate) else {
+            if ws.budgets.is_some() {
+                out.push(Finding::new(
+                    &ws.budgets_rel,
+                    Diagnostic::new(
+                        Code::PanicSite,
+                        format!(
+                            "crate `{krate}` has {found} panic site(s) but no entry in {}",
+                            ws.budgets_rel
+                        ),
+                    )
+                    .with_suggestion(format!("add `{krate} {found}`")),
+                ));
+            }
+            continue;
+        };
+        if found > budget {
+            let list = sites.get(krate).map(Vec::as_slice).unwrap_or_default();
+            let newest = &list[list.len() - 1];
+            let examples: Vec<String> = list
+                .iter()
+                .rev()
+                .take(4)
+                .map(|s| format!("{}:{} ({})", s.rel, s.line, s.what))
+                .collect();
+            out.push(Finding::new(
+                &newest.rel,
+                Diagnostic::new(
+                    Code::PanicSite,
+                    format!("crate `{krate}` has {found} panic sites, over its budget of {budget}"),
+                )
+                .with_span(newest.span)
+                .with_suggestion(format!(
+                    "remove one, annotate `// lint: allow(panic) — <reason>`, or raise the \
+                     budget in {}; latest sites: {}",
+                    ws.budgets_rel,
+                    examples.join(", ")
+                )),
+            ));
+        } else if found < budget {
+            out.push(Finding::new(
+                &ws.budgets_rel,
+                Diagnostic::new(
+                    Code::PanicSite,
+                    format!(
+                        "crate `{krate}` has only {found} panic site(s); ratchet its budget down \
+                         from {budget}"
+                    ),
+                )
+                .with_suggestion(format!("set `{krate} {found}` in {}", ws.budgets_rel)),
+            ));
+        }
+    }
+    for name in budgets.keys() {
+        if !crates_seen.contains(name) {
+            out.push(Finding::new(
+                &ws.budgets_rel,
+                Diagnostic::new(
+                    Code::PanicSite,
+                    format!("budget entry for `{name}` matches no crate in crates/"),
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! L1 registry-sync (SSD901): the SSD diagnostic registry in
+//! `crates/diag` must agree with the documentation tables in
+//! `docs/LANGUAGE.md`/`docs/SERVING.md` and be exercised by the test
+//! suite — every defined code documented exactly once, tested at least
+//! once, no duplicate or phantom codes, no gaps inside a band.
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::lexer::TokKind;
+use crate::scan::Workspace;
+use crate::Finding;
+
+const DIAG_REL: &str = "crates/diag/src/lib.rs";
+
+/// One `Code::Variant => "SSDxxx"` arm from the registry.
+struct Defined {
+    code: String,
+    variant: String,
+    span: Span,
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(diag) = ws.files.iter().find(|f| f.rel == DIAG_REL) else {
+        out.push(Finding::new(
+            DIAG_REL,
+            Diagnostic::new(
+                Code::RegistryDrift,
+                "diagnostic registry crates/diag/src/lib.rs not found",
+            ),
+        ));
+        return;
+    };
+    let src = &diag.src;
+    let toks = &diag.toks;
+    let mut defined: Vec<Defined> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Str {
+            continue;
+        }
+        let text = t.text(src);
+        // `"SSDxxx"` as the right-hand side of a `Code::Variant =>` arm.
+        let is_code = text.len() == 8
+            && text.starts_with("\"SSD")
+            && text.ends_with('"')
+            && text[4..7].bytes().all(|b| b.is_ascii_digit());
+        if !is_code || i < 6 {
+            continue;
+        }
+        let arm = toks[i - 1].is_punct(b'>')
+            && toks[i - 2].is_punct(b'=')
+            && toks[i - 3].kind == TokKind::Ident
+            && toks[i - 4].is_punct(b':')
+            && toks[i - 5].is_punct(b':')
+            && toks[i - 6].is(src, "Code");
+        if arm {
+            defined.push(Defined {
+                code: text[1..7].to_owned(),
+                variant: toks[i - 3].text(src).to_owned(),
+                span: Span::new(t.start + 1, t.end - 1),
+            });
+        }
+    }
+    if defined.is_empty() {
+        out.push(Finding::new(
+            DIAG_REL,
+            Diagnostic::new(
+                Code::RegistryDrift,
+                "no `Code::Variant => \"SSDxxx\"` arms found in the diagnostic registry",
+            ),
+        ));
+        return;
+    }
+
+    // Duplicate definitions.
+    for (i, d) in defined.iter().enumerate() {
+        if defined[..i].iter().any(|p| p.code == d.code) {
+            out.push(Finding::new(
+                DIAG_REL,
+                Diagnostic::new(
+                    Code::RegistryDrift,
+                    format!("{} is defined more than once in the registry", d.code),
+                )
+                .with_span(d.span),
+            ));
+        }
+    }
+
+    // Documentation rows: `| SSDxxx ...` table lines in the docs.
+    // (rel, byte offset of the code text, code)
+    let mut rows: Vec<(String, usize, String)> = Vec::new();
+    for (rel, content) in &ws.docs {
+        let mut offset = 0usize;
+        for line in content.split_inclusive('\n') {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix('|') {
+                let cell = rest.trim_start();
+                if cell.len() >= 6
+                    && cell.starts_with("SSD")
+                    && cell[3..6].bytes().all(|b| b.is_ascii_digit())
+                    && !cell[6..].starts_with(|c: char| c.is_ascii_alphanumeric())
+                {
+                    let at = offset + (line.len() - trimmed.len()) + (rest.len() - cell.len()) + 1;
+                    rows.push((rel.clone(), at, cell[..6].to_owned()));
+                }
+            }
+            offset += line.len();
+        }
+    }
+    if ws.docs.is_empty() {
+        out.push(Finding::new(
+            DIAG_REL,
+            Diagnostic::new(
+                Code::RegistryDrift,
+                "neither docs/LANGUAGE.md nor docs/SERVING.md was found; the registry has no documented bands",
+            ),
+        ));
+    }
+    for d in &defined {
+        let count = rows.iter().filter(|(_, _, c)| c == &d.code).count();
+        if count == 0 {
+            out.push(Finding::new(
+                DIAG_REL,
+                Diagnostic::new(
+                    Code::RegistryDrift,
+                    format!(
+                        "{} ({}) has no row in the docs/LANGUAGE.md / docs/SERVING.md code tables",
+                        d.code, d.variant
+                    ),
+                )
+                .with_span(d.span)
+                .with_suggestion(format!(
+                    "add a `| {} | ... |` row to the band table documenting this code",
+                    d.code
+                )),
+            ));
+        } else if count > 1 {
+            let places: Vec<&str> = rows
+                .iter()
+                .filter(|(_, _, c)| c == &d.code)
+                .map(|(rel, _, _)| rel.as_str())
+                .collect();
+            out.push(Finding::new(
+                DIAG_REL,
+                Diagnostic::new(
+                    Code::RegistryDrift,
+                    format!(
+                        "{} is documented {count} times ({}); each code gets exactly one row",
+                        d.code,
+                        places.join(", ")
+                    ),
+                )
+                .with_span(d.span),
+            ));
+        }
+    }
+    // Phantom rows: documented codes with no defining variant.
+    for (rel, at, code) in &rows {
+        if !defined.iter().any(|d| &d.code == code) {
+            out.push(Finding::new(
+                rel,
+                Diagnostic::new(
+                    Code::RegistryDrift,
+                    format!("{code} is documented here but no Code variant defines it"),
+                )
+                .with_span(Span::new(*at, *at + 6)),
+            ));
+        }
+    }
+
+    // Test coverage: the literal code or its variant name in tests/.
+    for d in &defined {
+        let covered = ws
+            .tests
+            .iter()
+            .any(|(_, t)| t.contains(&d.code) || t.contains(&d.variant));
+        if !covered {
+            out.push(Finding::new(
+                DIAG_REL,
+                Diagnostic::new(
+                    Code::RegistryDrift,
+                    format!(
+                        "no test under tests/ references {} (literal or Code::{})",
+                        d.code, d.variant
+                    ),
+                )
+                .with_span(d.span)
+                .with_suggestion(
+                    "every diagnostic code needs at least one integration test exercising it",
+                ),
+            ));
+        }
+    }
+
+    // Band contiguity: within each decade, defined numbers are contiguous.
+    let mut nums: Vec<u32> = defined
+        .iter()
+        .filter_map(|d| d.code[3..6].parse().ok())
+        .collect();
+    nums.sort_unstable();
+    nums.dedup();
+    for decade in nums
+        .iter()
+        .map(|n| n / 10)
+        .collect::<std::collections::BTreeSet<u32>>()
+    {
+        let band: Vec<u32> = nums.iter().copied().filter(|n| n / 10 == decade).collect();
+        let (lo, hi) = (band[0], band[band.len() - 1]);
+        let missing: Vec<String> = (lo..=hi)
+            .filter(|n| !band.contains(n))
+            .map(|n| format!("SSD{n:03}"))
+            .collect();
+        if !missing.is_empty() {
+            out.push(Finding::new(
+                DIAG_REL,
+                Diagnostic::new(
+                    Code::RegistryDrift,
+                    format!(
+                        "band SSD{lo:03}–SSD{hi:03} has gaps: {} missing; renumber or fill the band",
+                        missing.join(", ")
+                    ),
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Workspace loading and shared token-level analyses: file discovery,
+//! function extraction, and the `// lint: allow(...)` escape hatch.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Tok, TokKind};
+
+/// One lexed `.rs` file under `crates/*/src`.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Crate directory name (`query`, `serve`, ...).
+    pub krate: String,
+    pub src: String,
+    /// Tokens with `#[cfg(test)]` / `#[test]` items elided; lints see
+    /// only shipping code. Spans still index the original source.
+    pub toks: Vec<Tok>,
+    /// `lint: allow(...)` annotations, keyed by 1-based line.
+    pub allows: BTreeMap<usize, Allow>,
+}
+
+impl SourceFile {
+    /// Is `kind` allowed for a site on `line`? An annotation counts on
+    /// the same line (trailing comment) or the line above.
+    pub fn allowed(&self, line: usize, kind: &str) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|a| a.has_reason && a.kinds.iter().any(|k| k == kind))
+        })
+    }
+}
+
+/// A parsed `// lint: allow(kind, ...) — reason` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub kinds: Vec<String>,
+    /// Annotations without a reason are inert and reported.
+    pub has_reason: bool,
+    /// Byte span of the comment, for reporting malformed annotations.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Everything a lint pass may look at.
+pub struct Workspace {
+    pub root: PathBuf,
+    /// `crates/*/src/**/*.rs`, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// `(rel, content)` for the documentation registry files.
+    pub docs: Vec<(String, String)>,
+    /// `(rel, content)` for `tests/*.rs` at the workspace root.
+    pub tests: Vec<(String, String)>,
+    /// Relative path of the panic-budget file (whether or not present).
+    pub budgets_rel: String,
+    pub budgets: Option<String>,
+}
+
+impl Workspace {
+    pub fn files_of<'a>(&'a self, krate: &'a str) -> impl Iterator<Item = &'a SourceFile> + 'a {
+        self.files.iter().filter(move |f| f.krate == krate)
+    }
+
+    /// Every source loaded, for rendering findings against any file.
+    pub fn sources(&self) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        for f in &self.files {
+            map.insert(f.rel.clone(), f.src.clone());
+        }
+        for (rel, src) in self.docs.iter().chain(&self.tests) {
+            map.insert(rel.clone(), src.clone());
+        }
+        if let Some(b) = &self.budgets {
+            map.insert(self.budgets_rel.clone(), b.clone());
+        }
+        map
+    }
+}
+
+/// Load and lex the workspace rooted at `root`. Missing pieces (no
+/// docs, no tests, no budget file) load as empty/None — the lints
+/// report them; loading never fails on them.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory; is it a workspace root?",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let krate = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut rs = Vec::new();
+        collect_rs(&dir.join("src"), &mut rs);
+        rs.sort();
+        for path in rs {
+            let src =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            files.push(lex_file(rel_of(root, &path), krate.clone(), src));
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    let mut docs = Vec::new();
+    for name in ["docs/LANGUAGE.md", "docs/SERVING.md"] {
+        if let Ok(content) = fs::read_to_string(root.join(name)) {
+            docs.push((name.to_owned(), content));
+        }
+    }
+    let mut tests = Vec::new();
+    if let Ok(rd) = fs::read_dir(root.join("tests")) {
+        let mut paths: Vec<PathBuf> = rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            if let Ok(content) = fs::read_to_string(&p) {
+                tests.push((rel_of(root, &p), content));
+            }
+        }
+    }
+    let budgets_rel = "crates/lint/panic-budgets.txt".to_owned();
+    let budgets = fs::read_to_string(root.join(&budgets_rel)).ok();
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        docs,
+        tests,
+        budgets_rel,
+        budgets,
+    })
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for entry in rd.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn lex_file(rel: String, krate: String, src: String) -> SourceFile {
+    let lexed = lexer::lex(&src);
+    let toks = lexer::elide_tests(&src, &lexed.toks);
+    let mut allows = BTreeMap::new();
+    for c in &lexed.comments {
+        let text = &src[c.start..c.end];
+        if let Some(a) = parse_allow(text, c.start, c.end) {
+            allows.insert(lexer::line_of(&src, c.start), a);
+        }
+    }
+    SourceFile {
+        rel,
+        krate,
+        src,
+        toks,
+        allows,
+    }
+}
+
+/// Parse `lint: allow(kind, ...) — reason` out of one comment. The
+/// annotation must start the comment (after the `//` / `/*` marker), so
+/// prose *mentioning* the syntax — docs, this file — is never an
+/// annotation.
+fn parse_allow(comment: &str, start: usize, end: usize) -> Option<Allow> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches(['*', '!'])
+        .trim_start();
+    let after = body.strip_prefix("lint:")?.trim_start();
+    let rest = after.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let kinds: Vec<String> = rest[..close]
+        .split(',')
+        .map(|k| k.trim().to_owned())
+        .filter(|k| !k.is_empty())
+        .collect();
+    let reason = rest[close + 1..]
+        .trim_start_matches(['*', '/'])
+        .trim_start_matches(|c: char| c.is_whitespace() || "—–-:".contains(c));
+    Some(Allow {
+        kinds,
+        has_reason: reason.trim().len() >= 3,
+        start,
+        end,
+    })
+}
+
+/// One `fn` item (or nested fn) found in a token stream.
+pub struct FnInfo {
+    pub name: String,
+    pub is_pub: bool,
+    /// Token index of the name identifier.
+    pub name_idx: usize,
+    /// Token range of the parameter list, `(` to `)` inclusive.
+    pub params: (usize, usize),
+    /// Token range of the body, `{` to `}` inclusive; `None` for
+    /// trait-method declarations ending in `;`.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Extract every `fn` item from a (test-elided) token stream. Token
+/// pattern matching only: enough to attribute lint findings to the
+/// right function and walk its body.
+pub fn functions(src: &str, toks: &[Tok]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is(src, "fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name_idx = i + 1;
+        let name = toks[name_idx].text(src).to_owned();
+        // Parameter list: first `(` outside the generic parameter
+        // brackets. `->` inside generics (Fn bounds) must not close `<`.
+        let mut j = name_idx + 1;
+        let mut angle = 0i32;
+        let mut popen = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'<') => angle += 1,
+                TokKind::Punct(b'>') if angle > 0 => angle -= 1,
+                TokKind::Punct(b'-') if j + 1 < toks.len() && toks[j + 1].is_punct(b'>') => j += 1,
+                TokKind::Punct(b'(') if angle == 0 => {
+                    popen = Some(j);
+                    break;
+                }
+                TokKind::Punct(b'{') | TokKind::Punct(b';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(popen) = popen else {
+            i = name_idx + 1;
+            continue;
+        };
+        let pclose = lexer::matching(toks, popen);
+        // Body: first `{` at bracket depth 0 past the return type /
+        // where clause; a `;` first means a bodyless declaration.
+        let mut k = pclose + 1;
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        let mut body = None;
+        while k < toks.len() {
+            match toks[k].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                TokKind::Punct(b'<') if depth == 0 => angle += 1,
+                TokKind::Punct(b'>') if depth == 0 && angle > 0 => angle -= 1,
+                TokKind::Punct(b'-') if k + 1 < toks.len() && toks[k + 1].is_punct(b'>') => k += 1,
+                TokKind::Punct(b'{') if depth == 0 && angle == 0 => {
+                    body = Some((k, lexer::matching(toks, k)));
+                    break;
+                }
+                TokKind::Punct(b';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        // Visibility: `pub` (optionally `pub(crate)` etc.) before the
+        // `fn`, looking back over `const`/`async`/`unsafe`/`extern "C"`.
+        let mut v = i;
+        while v > 0 {
+            let p = &toks[v - 1];
+            if p.is(src, "const")
+                || p.is(src, "async")
+                || p.is(src, "unsafe")
+                || p.is(src, "extern")
+                || p.kind == TokKind::Str
+            {
+                v -= 1;
+            } else {
+                break;
+            }
+        }
+        let is_pub = if v > 0 && toks[v - 1].is_punct(b')') {
+            let mut d = 0i32;
+            let mut w = v - 1;
+            loop {
+                if toks[w].is_punct(b')') {
+                    d += 1;
+                } else if toks[w].is_punct(b'(') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if w == 0 {
+                    break;
+                }
+                w -= 1;
+            }
+            w > 0 && toks[w - 1].is(src, "pub")
+        } else {
+            v > 0 && toks[v - 1].is(src, "pub")
+        };
+        out.push(FnInfo {
+            name,
+            is_pub,
+            name_idx,
+            params: (popen, pclose),
+            body,
+        });
+        i = name_idx + 1;
+    }
+    out
+}
+
+/// Does a token range mention any of `idents` (as whole identifiers)?
+pub fn range_mentions(src: &str, toks: &[Tok], range: (usize, usize), idents: &[&str]) -> bool {
+    toks[range.0..=range.1.min(toks.len().saturating_sub(1))]
+        .iter()
+        .any(|t| idents.iter().any(|w| t.is(src, w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        lex_file("x.rs".into(), "x".into(), src.to_owned())
+    }
+
+    #[test]
+    fn extracts_functions_with_generics_and_bounds() {
+        let f = file(
+            "pub fn plain(a: u8) -> u8 { a }\n\
+             fn generic<F: Fn(&u8) -> bool>(f: F) -> Vec<u8> where F: Clone { vec![] }\n\
+             pub(crate) fn scoped() {}\n\
+             trait T { fn decl(&self); }",
+        );
+        let fns = functions(&f.src, &f.toks);
+        let names: Vec<(&str, bool, bool)> = fns
+            .iter()
+            .map(|i| (i.name.as_str(), i.is_pub, i.body.is_some()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("plain", true, true),
+                ("generic", false, true),
+                ("scoped", true, true),
+                ("decl", false, false),
+            ]
+        );
+        // The generic fn's params are the `(f: F)` group, not `(&u8)`.
+        let g = &fns[1];
+        assert_eq!(f.toks[g.params.0 + 1].text(&f.src), "f");
+    }
+
+    #[test]
+    fn allow_annotations_need_reasons() {
+        let f = file(
+            "fn a() {} // lint: allow(panic) — checked above\n\
+             fn b() {} // lint: allow(lock)\n\
+             fn c() {} // lint: allow(guard, span): shared reason\n",
+        );
+        assert!(f.allowed(1, "panic"));
+        assert!(!f.allowed(1, "lock"));
+        assert!(!f.allowed(2, "lock"), "reasonless allow must be inert");
+        assert!(f.allowed(3, "guard"));
+        assert!(f.allowed(3, "span"));
+        // Line-above application.
+        let g = file("// lint: allow(panic) — next line\nfn d() {}\n");
+        assert!(g.allowed(2, "panic"));
+    }
+}

@@ -1,0 +1,143 @@
+//! L5 span-discipline (SSD905): tracing spans are RAII — a span value
+//! must be *bound* so its `Drop` (or explicit `.close()`) records the
+//! closing event. This pass flags spans discarded at the open site
+//! (statement-position `span(..);` or `let _ = span(..)`), detached
+//! spans (`open_detached`) with no matching `close_detached` in the
+//! same function, and `mem::forget` in library code (which would defeat
+//! RAII closing wholesale). It is the static face of the well-
+//! formedness property `tests/trace.rs` checks dynamically.
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::lexer::{line_of, TokKind};
+use crate::scan::{functions, Workspace};
+use crate::Finding;
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        let src = &f.src;
+        let toks = &f.toks;
+        for info in functions(src, toks) {
+            let Some(body) = info.body else { continue };
+            let mut first_open: Option<usize> = None;
+            let mut opens = 0usize;
+            let mut closes = 0usize;
+            for j in body.0..=body.1 {
+                let t = &toks[j];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let next_paren = j < body.1 && toks[j + 1].is_punct(b'(');
+                let is_decl = j > 0 && toks[j - 1].is(src, "fn");
+                match t.text(src) {
+                    "open_detached" if next_paren && !is_decl => {
+                        opens += 1;
+                        first_open.get_or_insert(j);
+                    }
+                    "close_detached" if next_paren && !is_decl => closes += 1,
+                    "span" if next_paren && !is_decl => {
+                        check_discard(f, j, body, out);
+                    }
+                    "forget"
+                        if next_paren
+                            && j >= 3
+                            && toks[j - 1].is_punct(b':')
+                            && toks[j - 2].is_punct(b':')
+                            && toks[j - 3].is(src, "mem")
+                            && !f.allowed(line_of(src, t.start), "span") =>
+                    {
+                        out.push(Finding::new(
+                            &f.rel,
+                            Diagnostic::new(
+                                Code::SpanLeak,
+                                format!(
+                                    "`{}` calls mem::forget, defeating RAII span closing",
+                                    info.name
+                                ),
+                            )
+                            .with_span(Span::new(t.start, t.end)),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            if opens > 0 && closes == 0 {
+                let t = &toks[first_open.unwrap_or(body.0)];
+                if !f.allowed(line_of(src, t.start), "span") {
+                    out.push(Finding::new(
+                        &f.rel,
+                        Diagnostic::new(
+                            Code::SpanLeak,
+                            format!(
+                                "`{}` opens a detached span but never calls close_detached",
+                                info.name
+                            ),
+                        )
+                        .with_span(Span::new(t.start, t.end))
+                        .with_suggestion(
+                            "close the span on every path, or annotate \
+                             `// lint: allow(span) — <reason>` if another function owns closing",
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Is the `span(..)` call at token `j` discarded where it is opened?
+fn check_discard(
+    f: &crate::scan::SourceFile,
+    j: usize,
+    body: (usize, usize),
+    out: &mut Vec<Finding>,
+) {
+    let src = &f.src;
+    let toks = &f.toks;
+    // Walk back over the callee chain (`ssd_trace::span`, `t.span`).
+    let mut k = j;
+    loop {
+        if k >= 2 && toks[k - 1].is_punct(b':') && toks[k - 2].is_punct(b':') {
+            k -= 2;
+            if k > 0 && toks[k - 1].kind == TokKind::Ident {
+                k -= 1;
+            }
+        } else if k >= 1 && toks[k - 1].is_punct(b'.') {
+            k -= 1;
+            if k > 0 && toks[k - 1].kind == TokKind::Ident {
+                k -= 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    if k == 0 || k <= body.0 {
+        return;
+    }
+    let t = &toks[j];
+    let line = line_of(src, t.start);
+    let prev = &toks[k - 1];
+    // `let _ = span(..)`: dropped before the traced work even starts.
+    let underscore_bind =
+        prev.is_punct(b'=') && k >= 3 && toks[k - 2].is(src, "_") && toks[k - 3].is(src, "let");
+    // Statement position with the call's `)` followed directly by `;`:
+    // the span closes on the same line it opened.
+    let stmt_position = prev.is_punct(b';') || prev.is_punct(b'{') || prev.is_punct(b'}');
+    let close = crate::lexer::matching(toks, j + 1);
+    let dropped_at_stmt = stmt_position && close < body.1 && toks[close + 1].is_punct(b';');
+    if (underscore_bind || dropped_at_stmt) && !f.allowed(line, "span") {
+        out.push(Finding::new(
+            &f.rel,
+            Diagnostic::new(
+                Code::SpanLeak,
+                "span is dropped at its open site, so it measures nothing",
+            )
+            .with_span(Span::new(t.start, t.end))
+            .with_suggestion(
+                "bind it for the traced region (`let _span = span(..);`) instead of discarding it",
+            ),
+        ));
+    }
+}

@@ -97,12 +97,14 @@ struct WaveResult {
 /// Evaluate `rpe` from the root using `k`-way decomposition with one
 /// worker thread per active site per wave. Returns the same node set as
 /// [`crate::rpe::eval_rpe`].
+// lint: allow(guard) — decomposition experiment evaluator (E13); the governed production path is eval_rpe_guarded
 pub fn eval_decomposed(g: &Graph, rpe: &Rpe, partition: &Partition) -> Vec<NodeId> {
     let nfa = Nfa::compile(rpe);
     eval_decomposed_nfa(g, &nfa, partition)
 }
 
 /// As [`eval_decomposed`] with a precompiled automaton.
+// lint: allow(guard) — decomposition experiment evaluator (E13); the governed production path is eval_nfa_guarded
 pub fn eval_decomposed_nfa(g: &Graph, nfa: &Nfa, partition: &Partition) -> Vec<NodeId> {
     let mut result: BTreeSet<NodeId> = BTreeSet::new();
     // Each site owns a persistent visited set; exactly one worker per
@@ -471,6 +473,7 @@ use ssd_graph::ops;
 /// `workers` threads. The result is bisimilar to [`evaluate_select`]'s
 /// (tests verify it); worthwhile when the residual per-match work
 /// dominates.
+// lint: allow(guard) — parallelism experiment (E14); per-worker governance lands with ROADMAP item 4
 pub fn evaluate_select_parallel(
     g: &Graph,
     query: &SelectQuery,

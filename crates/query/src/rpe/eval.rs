@@ -153,7 +153,7 @@ pub fn eval_rpe_traced(
 }
 
 /// As [`eval_nfa_with_stats`], under a resource [`Guard`].
-pub fn eval_nfa_guarded_stats(
+pub fn eval_nfa_with_stats_guarded(
     g: &Graph,
     start: NodeId,
     nfa: &Nfa,

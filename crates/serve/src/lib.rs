@@ -33,6 +33,20 @@
 //! injectable [`Clock`](clock::Clock), and every decision lands in a
 //! [`TraceEvent`](sched::TraceEvent) log the tests replay and compare.
 
+/// The crate-wide mutex hierarchy, outermost first. Any function that
+/// holds two locks at once must acquire them in this order, and no
+/// blocking operation (worker `join()`, channel send/recv) may run
+/// while one is held; `ssd lint` (SSD904) checks both statically,
+/// resolving each `x.lock()` receiver against these names:
+///
+/// - `state` — [`server`]'s scheduler state + ready queue (the one hot
+///   mutex; its `Condvar` partner `work` wakes idle workers).
+/// - `workers` — the worker `JoinHandle`s, touched only at shutdown.
+/// - `tracer` — the optional [`ssd_trace::Tracer`], written after
+///   `state` is released.
+/// - `writer` — the per-connection TCP write half in [`net`].
+pub const LOCK_ORDER: &[&str] = &["state", "workers", "tracer", "writer"];
+
 pub mod clock;
 pub mod metrics;
 pub mod net;

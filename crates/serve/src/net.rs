@@ -27,9 +27,9 @@ use crate::quota::SessionQuota;
 use crate::sched::{JobId, JobKind};
 use crate::server::{JobEvent, Server, SessionHandle, SubmitError};
 
-fn send_frame(stream: &Mutex<TcpStream>, payload: &str) -> std::io::Result<()> {
+fn send_frame(writer: &Mutex<TcpStream>, payload: &str) -> std::io::Result<()> {
     let bytes = encode_frame(payload);
-    stream.lock().expect("writer lock").write_all(&bytes)
+    writer.lock().expect("writer lock").write_all(&bytes)
 }
 
 /// Accept connections until [`Server::request_shutdown`] fires, then

@@ -179,8 +179,8 @@ impl Inner {
     /// while holding the state lock (lock order: state, then tracer,
     /// never interleaved).
     fn with_tracer(&self, f: impl FnOnce(&Tracer)) {
-        if let Some(m) = &self.tracer {
-            let t = m.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tracer) = &self.tracer {
+            let t = tracer.lock().unwrap_or_else(|e| e.into_inner());
             f(&t);
         }
     }

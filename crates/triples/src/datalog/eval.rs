@@ -127,6 +127,7 @@ pub fn evaluate(program: &Program, store: &TripleStore) -> Result<Evaluation, Da
 }
 
 /// Evaluate naively (for the E6 comparison).
+// lint: allow(guard) — naive reference evaluator, kept only as the semi-naive oracle; production paths go through `evaluate_with`
 pub fn evaluate_naive(program: &Program, store: &TripleStore) -> Result<Evaluation, DatalogError> {
     run(
         program,

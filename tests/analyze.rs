@@ -167,7 +167,12 @@ fn all_static_codes_are_covered_by_the_cases() {
         .map(|(c, _)| *c)
         .chain(cost_band)
         .collect();
-    for &code in Code::all().iter().filter(|c| !c.is_runtime()) {
+    // SSD9xx source lints are exercised by tests/lint.rs, not by the
+    // query/datalog analyzers.
+    for &code in Code::all()
+        .iter()
+        .filter(|c| !c.is_runtime() && !c.is_lint())
+    {
         assert!(covered.contains(&code), "no test case triggers {code}");
     }
 }

@@ -1,0 +1,18 @@
+//! Fixture registry with seeded L1 drift: SSD001 defined twice, a band
+//! gap between SSD001 and SSD004, SSD004 undocumented and untested.
+
+pub enum Code {
+    AlphaBad,
+    BetaDup,
+    GammaGap,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::AlphaBad => "SSD001",
+            Code::BetaDup => "SSD001",
+            Code::GammaGap => "SSD004",
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture evaluators with seeded L2 and L3 violations.
+
+pub struct Graph;
+pub struct Guard;
+
+/// L2: public entry point with no governed variant.
+pub fn eval_orphan(_g: &Graph) -> usize {
+    0
+}
+
+/// Governed pair: fine.
+pub fn eval_thing(_g: &Graph) -> usize {
+    0
+}
+
+pub fn eval_thing_guarded(_g: &Graph, _guard: &Guard) -> usize {
+    1
+}
+
+/// L2: runs under a Guard but calls the bare wrapper.
+pub fn eval_outer_guarded(g: &Graph, _guard: &Guard) -> usize {
+    eval_thing(g)
+}
+
+/// L3: panic sites over the budget of 1.
+pub fn boom(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn kaboom() {
+    panic!("seeded violation");
+}
+
+// lint: allow(panic)
+pub fn reasonless() -> u32 {
+    None::<u32>.unwrap()
+}

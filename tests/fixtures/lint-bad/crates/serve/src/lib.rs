@@ -1,0 +1,5 @@
+//! Fixture serving crate: the hierarchy `server.rs` violates.
+
+pub const LOCK_ORDER: &[&str] = &["state", "workers"];
+
+pub mod server;

@@ -1,0 +1,26 @@
+//! Seeded L4 violations against the LOCK_ORDER in lib.rs.
+
+pub struct Inner;
+
+impl Inner {
+    /// L4: acquires `state` (rank 0) while holding `workers` (rank 1).
+    pub fn inverted(&self) {
+        let w = self.workers.lock();
+        let s = self.state.lock();
+        drop(s);
+        drop(w);
+    }
+
+    /// L4: blocking channel send while a lock is held.
+    pub fn blocking_send(&self) {
+        let s = self.state.lock();
+        self.tx.send(1);
+        drop(s);
+    }
+
+    /// L4: `rogue` is not a declared lock.
+    pub fn unknown_mutex(&self) {
+        let r = self.rogue.lock();
+        drop(r);
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded L5 violations: a detached span with no close, and spans
+//! discarded at their open site.
+
+pub struct Tracer;
+
+/// L5: detached span opened, never closed in this function.
+pub fn leaky(t: &Tracer) -> u64 {
+    let id = t.open_detached(1, "job");
+    id
+}
+
+/// L5: both discard shapes.
+pub fn discarded(t: &Tracer) {
+    span(t, "phase", "name");
+    let _ = span(t, "phase", "name2");
+}
+
+fn span(_t: &Tracer, _phase: &str, _name: &str) -> u32 {
+    0
+}

@@ -1,0 +1,7 @@
+//! Fixture tests: reference the first code by literal and the first
+//! variant by name, leaving the last registry entry uncovered.
+
+#[test]
+fn alpha_fires() {
+    assert_eq!(Code::AlphaBad.as_str(), "SSD001");
+}

@@ -1,0 +1,91 @@
+//! Integration tests for ssd-lint (SSD9xx source lints).
+//!
+//! Two halves: the real workspace must lint *clean* (this is the same
+//! gate ci.sh runs via `ssd lint --deny-warnings`), and the seeded
+//! fixture workspace under `tests/fixtures/lint-bad/` must reproduce
+//! the golden findings — one or more per lint: SSD901 RegistryDrift,
+//! SSD902 GuardBypass, SSD903 PanicSite, SSD904 LockOrderViolation,
+//! SSD905 SpanLeak (`Code::RegistryDrift`, `Code::GuardBypass`,
+//! `Code::PanicSite`, `Code::LockOrderViolation`, `Code::SpanLeak`).
+
+use std::path::{Path, PathBuf};
+
+use ssd_diag::Code;
+
+fn workspace_root() -> PathBuf {
+    // The manifest dir is crates/lint; the workspace root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = ssd_lint::lint_workspace(&workspace_root()).expect("lint runs");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report.render()
+    );
+    assert!(!ssd_lint::should_fail(&report, true));
+}
+
+#[test]
+fn seeded_fixture_violations_match_the_golden_findings() {
+    let root = workspace_root();
+    let report =
+        ssd_lint::lint_workspace(&root.join("tests/fixtures/lint-bad")).expect("fixture lints");
+    // Every lint fires at least once on its seeded violation.
+    for code in [
+        Code::RegistryDrift,
+        Code::GuardBypass,
+        Code::PanicSite,
+        Code::LockOrderViolation,
+        Code::SpanLeak,
+    ] {
+        assert!(
+            report.findings.iter().any(|f| f.diag.code == code),
+            "{code} did not fire on the seeded fixture:\n{}",
+            report.render()
+        );
+    }
+    // Errors present, so the gate fails with or without --deny-warnings.
+    assert!(ssd_lint::should_fail(&report, false));
+    assert!(ssd_lint::should_fail(&report, true));
+
+    let golden_path = root.join("tests/golden/lint_findings.txt");
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_default();
+    let got = report.render();
+    if golden != got {
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &got).expect("write golden");
+            return;
+        }
+        panic!(
+            "fixture findings diverge from tests/golden/lint_findings.txt \
+             (run with UPDATE_GOLDEN=1 to regenerate):\n--- golden ---\n{golden}\n--- got ---\n{got}"
+        );
+    }
+}
+
+#[test]
+fn every_lint_code_has_an_explanation_and_no_runtime_code_does() {
+    for code in ssd_lint::lint_codes() {
+        let text = ssd_lint::explain(code.as_str()).expect("explanation");
+        assert!(
+            text.starts_with(code.as_str()),
+            "{code} explanation should lead with the code"
+        );
+    }
+    assert!(ssd_lint::explain("SSD101").is_none());
+    assert!(ssd_lint::explain("SSD030").is_none());
+}
+
+#[test]
+fn a_clean_report_renders_a_clean_summary() {
+    let report = ssd_lint::lint_workspace(&workspace_root()).expect("lint runs");
+    assert!(report.summary().contains("clean"), "{}", report.summary());
+    assert!(report.files_scanned > 30, "{}", report.files_scanned);
+}
