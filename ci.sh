@@ -129,4 +129,81 @@ echo "$expl" | grep -q "actual cost"
 # The E17 overhead benchmark must compile and run (quick mode).
 cargo bench -q -p ssd-bench --bench e17_trace --offline -- --quick >/dev/null
 
+echo "== durable store recovery smoke run" >&2
+# Crash-safety, end to end through the real binary. Phase 1: commit one
+# transaction, then kill -9 the server — no graceful drain, the WAL is
+# all that survives.
+store_dir=$(mktemp -d)
+serve2_log=$(mktemp)
+timeout 120 ./target/release/ssd serve examples/movies.ssd --port 0 \
+    --data-dir "$store_dir" --allow-remote-shutdown > "$serve2_log" 2>&1 &
+serve2_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$serve2_log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "ci: store serve did not start" >&2; cat "$serve2_log" >&2; exit 1; }
+w_out=$(mktemp)
+printf 'HELLO\nINSERT {Entry: {Movie: {Title: "Durable"}}}\nCOMMIT\n' \
+    | timeout 60 ./target/release/ssd client "$port" > "$w_out"
+grep -q "OK staged ops=1" "$w_out"
+grep -q "committed generation=1" "$w_out"   # client waits for DONE: fsynced
+kill -9 "$serve2_pid" 2>/dev/null || true
+wait "$serve2_pid" 2>/dev/null || true
+# Phase 2: restart with a torn write injected into the next commit —
+# the deterministic stand-in for a crash mid-commit: a partial frame
+# reaches the disk, the COMMIT never does.
+serve3_log=$(mktemp)
+SSD_FAILPOINTS="wal.torn=1" timeout 120 ./target/release/ssd serve \
+    examples/movies.ssd --port 0 --data-dir "$store_dir" \
+    --allow-remote-shutdown > "$serve3_log" 2>&1 &
+serve3_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$serve3_log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "ci: store serve restart failed" >&2; cat "$serve3_log" >&2; exit 1; }
+grep -q "SSD402" "$serve3_log"              # recovery replayed phase 1's txn
+t_out=$(mktemp)
+printf 'HELLO\nINSERT {Entry: {Movie: {Title: "Lost"}}}\nCOMMIT\nSHUTDOWN\n' \
+    | timeout 60 ./target/release/ssd client "$port" > "$t_out"
+grep -q "SSD106" "$t_out"                   # the commit hit the injected fault
+wait "$serve3_pid" 2>/dev/null || true
+# Phase 3: recovery truncates the torn tail and keeps the committed prefix.
+rec=$(timeout 60 ./target/release/ssd recover "$store_dir")
+echo "$rec" | grep -q "SSD400"              # torn tail discarded
+echo "$rec" | grep -q "SSD402"              # replay note
+echo "$rec" | grep -q "generation=1 txns=1" # exactly the committed prefix
+q_out=$(timeout 60 ./target/release/ssd serve examples/movies.ssd --port 0 \
+    --data-dir "$store_dir" --allow-remote-shutdown > "$serve2_log" 2>&1 &
+    serve4_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$serve2_log")
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    printf 'HELLO\nQUERY select T from db.Entry.Movie.Title T\nSHUTDOWN\n' \
+        | timeout 60 ./target/release/ssd client "$port"
+    wait "$serve4_pid" 2>/dev/null || true)
+echo "$q_out" | grep -q "Durable"           # the committed txn survived
+if echo "$q_out" | grep -q "Lost"; then
+    echo "ci: uncommitted mutation visible after recovery" >&2
+    exit 1
+fi
+rm -rf "$store_dir"; rm -f "$serve2_log" "$serve3_log" "$w_out" "$t_out"
+
+echo "== perf trajectory artifacts (BENCH_*.json)" >&2
+# The experiment report must emit all three machine-readable data
+# points; EXPERIMENTS.md explains the series they extend.
+timeout 600 cargo run -q --release -p ssd-bench --bin report --offline >/dev/null
+for f in BENCH_serve.json BENCH_trace.json BENCH_store.json; do
+    [ -s "$f" ] || { echo "ci: $f was not emitted" >&2; exit 1; }
+    grep -q '"experiment"' "$f"
+done
+
 echo "ci: all gates passed" >&2

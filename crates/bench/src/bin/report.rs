@@ -1,4 +1,4 @@
-//! Experiment report: regenerates the E1–E12 and E15–E17 measured
+//! Experiment report: regenerates the E1–E12 and E15–E18 measured
 //! series recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -8,10 +8,10 @@
 //! Criterion (`cargo bench`) provides rigorous timings; this binary
 //! produces the *shape* tables — counts, work measures, and coarse
 //! wall-clock ratios — that stand in for the tutorial's (non-existent)
-//! evaluation tables. The serving (E16) and tracing (E17) sections also
-//! drop machine-readable `BENCH_serve.json` / `BENCH_trace.json` in the
-//! current directory, the per-PR data points for the perf trajectory
-//! (ROADMAP item 5).
+//! evaluation tables. The serving (E16), tracing (E17), and storage
+//! (E18) sections also drop machine-readable `BENCH_serve.json` /
+//! `BENCH_trace.json` / `BENCH_store.json` in the current directory,
+//! the per-PR data points for the perf trajectory (ROADMAP item 5).
 
 use semistructured::graph::bisim::graphs_bisimilar;
 use semistructured::graph::index::GraphIndex;
@@ -45,7 +45,7 @@ fn header(title: &str) {
 }
 
 fn main() {
-    println!("semistructured — experiment report (E1–E12, E15–E17)");
+    println!("semistructured — experiment report (E1–E12, E15–E18)");
     println!("paper: Buneman, \"Semistructured Data\", PODS 1997 (tutorial; no tables — series defined in EXPERIMENTS.md)");
 
     e01();
@@ -63,6 +63,7 @@ fn main() {
     e15();
     e16();
     e17();
+    e18();
     println!("\nreport complete.");
 }
 
@@ -781,4 +782,63 @@ fn e17() {
             pct(jsonl),
         ),
     );
+}
+
+fn e18() {
+    use semistructured::Budget;
+    use ssd_store::{Op, Store, Txn};
+    header("E18 — durable commit and recovery-replay throughput");
+
+    let dir = std::env::temp_dir().join(format!("ssd-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let seed = Database::from_literal("{Seed: {Tag: \"bench\"}}").expect("seed");
+    Store::init(&dir, &seed).expect("init store");
+    let (store, _) = Store::open(&dir, &Budget::unlimited()).expect("open store");
+
+    // Each commit is one op frame + one COMMIT frame + one fsync — the
+    // dominant cost is the fsync, which is the honest number for a
+    // durability layer.
+    const TXNS: u64 = 200;
+    let t = Instant::now();
+    for i in 0..TXNS {
+        let mut txn = Txn::new();
+        txn.push(Op::Insert(format!("{{T{i}: {{N: {i}}}}}")));
+        store.commit(&txn).expect("commit");
+    }
+    let commit_total_us = t.elapsed().as_secs_f64() * 1e6;
+    let wal_bytes = store.wal_len();
+    let generation = store.generation();
+    drop(store);
+
+    // Recovery replays the whole log (scan + checksum + apply) on every
+    // open; the reopened store must land on the same generation.
+    let recover_us = time_us(9, || {
+        let (s, r) = Store::open(&dir, &Budget::unlimited()).expect("reopen");
+        assert_eq!(r.txns_replayed, TXNS);
+        s
+    });
+
+    let per_commit = commit_total_us / TXNS as f64;
+    let replay_per_txn = recover_us / TXNS as f64;
+    println!(
+        "{TXNS} single-op txns: {per_commit:.1} µs/commit ({:.0} commits/s), wal={wal_bytes} B",
+        1e6 / per_commit.max(0.01)
+    );
+    println!(
+        "recovery replay: {recover_us:.1} µs total, {replay_per_txn:.2} µs/txn, \
+         generation={generation}"
+    );
+
+    write_json(
+        "BENCH_store.json",
+        &format!(
+            "{{\n  \"experiment\": \"E18\",\n  \
+             \"workload\": \"{TXNS} single-op commits, then recovery replay (median of 9)\",\n  \
+             \"commit\": {{\"txns\": {TXNS}, \"per_commit_us\": {per_commit:.1}, \
+             \"wal_bytes\": {wal_bytes}}},\n  \
+             \"recovery\": {{\"total_us\": {recover_us:.1}, \
+             \"per_txn_us\": {replay_per_txn:.2}, \"generation\": {generation}}}\n}}\n",
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -56,6 +56,8 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
   ssd repl      DATA                       run commands from stdin (see 'help')
   ssd serve     DATA [--port N]            serve DATA over TCP (see below)
   ssd client    PORT                       speak the wire protocol from stdin
+  ssd recover   DIR                        replay DIR's write-ahead log and
+                                           report what recovery found
   ssd json      DATA                       export as JSON (acyclic only)
   ssd xml       DATA                       export as XML (acyclic only)
   ssd import-json JSONFILE                 convert JSON to the literal form
@@ -91,6 +93,11 @@ Tracing (query, datalog, explain — see docs/OBSERVABILITY.md):
 Serving (see docs/SERVING.md for the protocol):
   ssd serve DATA [--port N]        loopback TCP server (0 = ephemeral;
                                    prints `listening on 127.0.0.1:PORT`)
+            [--data-dir DIR]       durable store: DATA seeds DIR on first
+                                   run, then DIR's WAL is recovered and
+                                   INSERT/DELETE/COMMIT are accepted;
+                                   without it the server is read-only
+                                   and mutation verbs fail with SSD403
             [--workers N]          worker threads (default 2)
             [--queue N]            run-queue capacity (default 16)
             [--session-fuel N]     default per-session fuel quota
@@ -101,9 +108,13 @@ Serving (see docs/SERVING.md for the protocol):
             [--metrics-dump]       print the metrics block on shutdown
             [--allow-remote-shutdown]  honor the client SHUTDOWN verb
   ssd client PORT                  each stdin line is one command frame
-                                   (HELLO, QUERY, DATALOG, RPE, CANCEL,
-                                   STATS, BYE, SHUTDOWN); waits for
-                                   submitted jobs to finish, then BYE.
+                                   (HELLO, QUERY, DATALOG, RPE, INSERT,
+                                   DELETE, COMMIT, CANCEL, STATS, BYE,
+                                   SHUTDOWN); waits for submitted jobs
+                                   to finish, then BYE.
+  ssd recover DIR                  open DIR's store without serving:
+                                   replays the WAL, prints SSD400/SSD401
+                                   findings and the SSD402 replay note.
 
 Exhaustion renders an SSD1xx diagnostic and exits nonzero. The
 SSD_FAILPOINTS environment variable (site=N, comma-separated) injects
@@ -380,6 +391,7 @@ fn dispatch(args: &[String], stdin: &mut impl Read) -> Result<String, CliError> 
         }
         "serve" => cmd_serve(&rest, stdin),
         "client" => cmd_client(&rest, stdin),
+        "recover" => cmd_recover(&rest),
         // Hidden trigger for exercising the panic-isolation boundary.
         #[cfg(test)]
         "__panic" => panic!("deliberate test panic"),
@@ -761,9 +773,9 @@ fn cmd_lint(rest: &[&str]) -> Result<String, CliError> {
 // Serving: `ssd serve` / `ssd client` over the ssd-serve wire protocol
 // ---------------------------------------------------------------------------
 
-const SERVE_USAGE: &str = "serve DATA [--port N] [--workers N] [--queue N] \
-[--session-fuel N] [--session-memory-mb N] [--job-fuel N] [--job-memory-mb N] \
-[--max-jobs N] [--metrics-dump] [--allow-remote-shutdown]";
+const SERVE_USAGE: &str = "serve DATA [--port N] [--data-dir DIR] [--workers N] \
+[--queue N] [--session-fuel N] [--session-memory-mb N] [--job-fuel N] \
+[--job-memory-mb N] [--max-jobs N] [--metrics-dump] [--allow-remote-shutdown]";
 
 fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
     fn take_value(tail: &mut Vec<&str>, i: usize, flag: &str) -> Result<u64, CliError> {
@@ -774,8 +786,15 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
         v.parse()
             .map_err(|_| CliError::Usage(format!("{flag}: '{v}' is not a non-negative integer")))
     }
+    fn take_str<'a>(tail: &mut Vec<&'a str>, i: usize, flag: &str) -> Result<&'a str, CliError> {
+        if i + 1 >= tail.len() {
+            return Err(CliError::Usage(format!("{flag} needs a value")));
+        }
+        Ok(tail.remove(i + 1))
+    }
     let mut tail: Vec<&str> = rest.to_vec();
     let mut port: u16 = 0;
+    let mut data_dir: Option<&str> = None;
     let mut cfg = ssd_serve::ServeConfig::default();
     let mut quota = ssd_serve::SessionQuota::default();
     let mut metrics_dump = false;
@@ -783,6 +802,10 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
     let mut i = 0;
     while i < tail.len() {
         match tail[i] {
+            "--data-dir" => {
+                data_dir = Some(take_str(&mut tail, i, "--data-dir")?);
+                tail.remove(i);
+            }
             "--port" => {
                 let n = take_value(&mut tail, i, "--port")?;
                 port = u16::try_from(n)
@@ -829,6 +852,13 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
         }
     }
     let db = load_db(one(&tail, SERVE_USAGE)?, stdin)?;
+    let store = match data_dir {
+        Some(dir) => Some(std::sync::Arc::new(open_store(
+            std::path::Path::new(dir),
+            &db,
+        )?)),
+        None => None,
+    };
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| CliError::Failed(format!("bind 127.0.0.1:{port}: {e}")))?;
     let addr = listener
@@ -839,7 +869,70 @@ fn cmd_serve(rest: &[&str], stdin: &mut impl Read) -> Result<String, CliError> {
     println!("listening on {addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    serve_on(db, cfg, quota, listener, metrics_dump, allow_shutdown)
+    serve_on_store(
+        db,
+        store,
+        cfg,
+        quota,
+        listener,
+        metrics_dump,
+        allow_shutdown,
+    )
+}
+
+/// Open (initialising on first run) the durable store behind
+/// `serve --data-dir`, printing recovery findings eagerly so a
+/// supervising script sees SSD400/SSD401/SSD402 before `listening on`.
+/// Fault injection reaches the store's I/O sites through the same
+/// `SSD_FAILPOINTS` variable the engine seams use.
+fn open_store(dir: &std::path::Path, seed: &Database) -> Result<ssd_store::Store, CliError> {
+    if !ssd_store::Store::is_initialized(dir) {
+        ssd_store::Store::init(dir, seed)
+            .map_err(|e| CliError::Failed(format!("init {}: {}", dir.display(), e)))?;
+    }
+    let mut budget = Budget::unlimited();
+    if let Ok(spec) = std::env::var("SSD_FAILPOINTS") {
+        budget = budget
+            .fail_points_from_spec(&spec)
+            .map_err(|e| CliError::Usage(format!("SSD_FAILPOINTS: {e}")))?;
+    }
+    let (store, report) = ssd_store::Store::open(dir, &budget)
+        .map_err(|e| CliError::Failed(format!("open {}: {}", dir.display(), e)))?;
+    for d in &report.diagnostics {
+        println!("{}", d.headline());
+    }
+    Ok(store)
+}
+
+const RECOVER_USAGE: &str = "recover DIR";
+
+/// `ssd recover DIR`: open the store (replaying and truncating the WAL
+/// exactly as `serve --data-dir` would) and report what recovery found,
+/// without serving anything.
+fn cmd_recover(rest: &[&str]) -> Result<String, CliError> {
+    let dir = std::path::Path::new(one(rest, RECOVER_USAGE)?);
+    let mut budget = Budget::unlimited();
+    if let Ok(spec) = std::env::var("SSD_FAILPOINTS") {
+        budget = budget
+            .fail_points_from_spec(&spec)
+            .map_err(|e| CliError::Usage(format!("SSD_FAILPOINTS: {e}")))?;
+    }
+    let (store, report) = ssd_store::Store::open(dir, &budget)
+        .map_err(|e| CliError::Failed(format!("open {}: {}", dir.display(), e)))?;
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.headline());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "recovered: generation={} txns={} frames={} truncated_bytes={} wal_bytes={}\n",
+        report.generation,
+        report.txns_replayed,
+        report.frames,
+        report.truncated_bytes,
+        store.wal_len(),
+    ));
+    Ok(out)
 }
 
 /// Run the accept loop on an already-bound listener until a client sends
@@ -854,7 +947,34 @@ pub fn serve_on(
     metrics_dump: bool,
     allow_shutdown: bool,
 ) -> Result<String, CliError> {
-    let server = std::sync::Arc::new(ssd_serve::Server::start(std::sync::Arc::new(db), cfg));
+    serve_on_store(
+        db,
+        None,
+        cfg,
+        default_quota,
+        listener,
+        metrics_dump,
+        allow_shutdown,
+    )
+}
+
+/// [`serve_on`], with an optional durable store: when present, the
+/// server starts from the store's recovered snapshot (the `db` argument
+/// only seeds `Store::init` on first run) and accepts mutation verbs.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_on_store(
+    db: Database,
+    store: Option<std::sync::Arc<ssd_store::Store>>,
+    cfg: ssd_serve::ServeConfig,
+    default_quota: ssd_serve::SessionQuota,
+    listener: std::net::TcpListener,
+    metrics_dump: bool,
+    allow_shutdown: bool,
+) -> Result<String, CliError> {
+    let server = match store {
+        Some(store) => std::sync::Arc::new(ssd_serve::Server::start_with_store(store, cfg)),
+        None => std::sync::Arc::new(ssd_serve::Server::start(std::sync::Arc::new(db), cfg)),
+    };
     ssd_serve::net::serve_tcp(
         std::sync::Arc::clone(&server),
         listener,

@@ -49,6 +49,12 @@ pub struct Database {
     graph: Graph,
     index: OnceLock<GraphIndex>,
     guide: OnceLock<DataGuide>,
+    /// Storage generation this snapshot belongs to: 0 for a freestanding
+    /// database, and the committed-transaction count when the database
+    /// is a snapshot handed out by `ssd-store` (each commit swaps in a
+    /// new generation; readers that pinned an older `Arc<Database>` keep
+    /// seeing their generation unchanged).
+    generation: u64,
 }
 
 /// The result of a query: a fresh rooted graph.
@@ -129,7 +135,21 @@ impl Database {
             graph,
             index: OnceLock::new(),
             guide: OnceLock::new(),
+            generation: 0,
         }
+    }
+
+    /// Stamp the storage generation this snapshot represents (used by
+    /// `ssd-store` when swapping in the post-commit database).
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Database {
+        self.generation = generation;
+        self
+    }
+
+    /// The storage generation of this snapshot; see [`Database::with_generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Parse the literal data syntax (`{Movie: {Title: "C"}}`, with

@@ -79,7 +79,9 @@ impl fmt::Display for Severity {
 /// *runtime* governance (budget exhaustion, cancellation, panic isolation
 /// — see `ssd-guard`); the `SSD2xx` band is the query-serving scheduler
 /// (session quotas, admission, queueing, wire protocol — see
-/// `ssd-serve`); the `SSD9xx` band is the workspace invariant checker
+/// `ssd-serve`); the `SSD4xx` band is the durable storage layer (WAL
+/// recovery, torn-tail truncation, read-only rejection — see
+/// `ssd-store`); the `SSD9xx` band is the workspace invariant checker
 /// over our *own* Rust sources (`ssd lint` — see `ssd-lint` and
 /// docs/LINTS.md). Codes are append-only; never renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -160,6 +162,21 @@ pub enum Code {
     /// A budget refund exceeded its outstanding split grant and was
     /// clamped — a scheduler bookkeeping bug worth surfacing.
     RefundExceedsGrant,
+    /// WAL recovery found an unterminated or unverifiable tail (a torn
+    /// or short write from a crash) and truncated it back to the last
+    /// committed transaction boundary.
+    WalTornTail,
+    /// A WAL frame's CRC32 did not match its payload: on-disk
+    /// corruption. Recovery keeps the intact committed prefix and
+    /// discards everything from the corrupt frame on.
+    WalChecksumMismatch,
+    /// Recovery replayed the committed transactions of the WAL; carries
+    /// how many were reapplied on top of the base snapshot.
+    RecoveryReplayed,
+    /// A mutation was rejected because the store is read-only: the
+    /// server was started without a data directory, or a prior I/O
+    /// failure poisoned the write path.
+    ReadOnlyStore,
     /// `ssd lint` L1: the SSD code registry, the docs tables, and the
     /// test suite disagree (undefined, undocumented, duplicated,
     /// untested, or non-contiguous codes).
@@ -219,6 +236,10 @@ impl Code {
             Code::UnknownJob => "SSD204",
             Code::ProtocolError => "SSD210",
             Code::RefundExceedsGrant => "SSD211",
+            Code::WalTornTail => "SSD400",
+            Code::WalChecksumMismatch => "SSD401",
+            Code::RecoveryReplayed => "SSD402",
+            Code::ReadOnlyStore => "SSD403",
             Code::RegistryDrift => "SSD901",
             Code::GuardBypass => "SSD902",
             Code::PanicSite => "SSD903",
@@ -252,6 +273,8 @@ impl Code {
             | Code::ServerShuttingDown
             | Code::UnknownJob
             | Code::ProtocolError
+            | Code::WalChecksumMismatch
+            | Code::ReadOnlyStore
             | Code::RegistryDrift
             | Code::GuardBypass
             | Code::LockOrderViolation
@@ -266,10 +289,12 @@ impl Code {
             | Code::CrossProductJoin
             | Code::RefundExceedsGrant
             | Code::PanicSite
+            | Code::WalTornTail
             | Code::TruncatedResult => Severity::Warning,
-            Code::ImpreciseEstimate | Code::AdmissionOverridesPartial | Code::JobQueued => {
-                Severity::Note
-            }
+            Code::ImpreciseEstimate
+            | Code::AdmissionOverridesPartial
+            | Code::JobQueued
+            | Code::RecoveryReplayed => Severity::Note,
         }
     }
 
@@ -323,6 +348,10 @@ impl Code {
             Code::UnknownJob,
             Code::ProtocolError,
             Code::RefundExceedsGrant,
+            Code::WalTornTail,
+            Code::WalChecksumMismatch,
+            Code::RecoveryReplayed,
+            Code::ReadOnlyStore,
             Code::RegistryDrift,
             Code::GuardBypass,
             Code::PanicSite,
@@ -520,6 +549,27 @@ mod tests {
         assert_eq!(Code::AdmissionOverridesPartial.as_str(), "SSD034");
         assert_eq!(Code::AdmissionOverridesPartial.severity(), Severity::Note);
         assert!(!Code::AdmissionOverridesPartial.is_runtime());
+    }
+
+    #[test]
+    fn store_band_codes_and_severities() {
+        assert_eq!(Code::WalTornTail.as_str(), "SSD400");
+        assert_eq!(Code::WalChecksumMismatch.as_str(), "SSD401");
+        assert_eq!(Code::RecoveryReplayed.as_str(), "SSD402");
+        assert_eq!(Code::ReadOnlyStore.as_str(), "SSD403");
+        assert_eq!(Code::WalTornTail.severity(), Severity::Warning);
+        assert_eq!(Code::WalChecksumMismatch.severity(), Severity::Error);
+        assert_eq!(Code::RecoveryReplayed.severity(), Severity::Note);
+        assert_eq!(Code::ReadOnlyStore.severity(), Severity::Error);
+        for c in [
+            Code::WalTornTail,
+            Code::WalChecksumMismatch,
+            Code::RecoveryReplayed,
+            Code::ReadOnlyStore,
+        ] {
+            assert!(c.is_runtime(), "{c}: store codes are runtime codes");
+            assert!(!c.is_lint());
+        }
     }
 
     #[test]

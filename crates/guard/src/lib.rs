@@ -317,6 +317,50 @@ impl std::fmt::Display for CostEnvelope {
     }
 }
 
+/// One configured fault-injection site: the fault fires on hits
+/// `nth..nth+times` (1-based) of the site, i.e. `times` consecutive
+/// failures starting at the `nth` hit. The spec syntax is `site=N`
+/// (one-shot, `times == 1`) or `site=N:M` (`times == M`) — repeated
+/// failures are what recovery tests need to prove that, e.g., an fsync
+/// that keeps failing never acknowledges a commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailPoint {
+    pub site: String,
+    /// 1-based hit index at which the fault first fires.
+    pub nth: u64,
+    /// How many consecutive hits fire, starting at `nth`.
+    pub times: u64,
+}
+
+impl FailPoint {
+    pub fn new(site: &str, nth: u64, times: u64) -> FailPoint {
+        FailPoint {
+            site: site.to_string(),
+            nth: nth.max(1),
+            times: times.max(1),
+        }
+    }
+}
+
+/// Advance the countdown for `site` in `points` by one hit; true when
+/// the configured fault fires at this hit. Shared by [`Guard::fail_point`]
+/// and the thread-safe I/O fault seams in `ssd-store`, so both layers
+/// count hits identically.
+pub fn fail_point_fires(points: &mut Vec<FailPoint>, site: &str) -> bool {
+    let Some(i) = points.iter().position(|p| p.site == site) else {
+        return false;
+    };
+    if points[i].nth > 1 {
+        points[i].nth -= 1;
+        return false;
+    }
+    points[i].times -= 1;
+    if points[i].times == 0 {
+        points.remove(i);
+    }
+    true
+}
+
 /// Declarative resource limits for one evaluation. `Default` is
 /// unlimited; builder methods narrow it. Create a [`Guard`] with
 /// [`Budget::guard`] at the start of each evaluation.
@@ -334,8 +378,8 @@ pub struct Budget {
     pub partial: bool,
     /// Cooperative cancellation flag.
     pub cancel: Option<CancelToken>,
-    /// Deterministic fault injection: (site, fail on Nth hit).
-    pub fail_points: Vec<(String, u64)>,
+    /// Deterministic fault injection sites; see [`FailPoint`].
+    pub fail_points: Vec<FailPoint>,
     /// Fuel handed out by [`Budget::split`] and not yet refunded — lets
     /// [`Budget::refund`] detect a refund exceeding its grant.
     granted_steps: u64,
@@ -401,26 +445,50 @@ impl Budget {
         self
     }
 
-    /// Inject a fault at the `nth` (1-based) hit of `site`.
+    /// Inject a one-shot fault at the `nth` (1-based) hit of `site`.
     pub fn fail_at(mut self, site: &str, nth: u64) -> Budget {
-        self.fail_points.push((site.to_string(), nth.max(1)));
+        self.fail_points.push(FailPoint::new(site, nth, 1));
         self
     }
 
-    /// Parse a `site=N,site=N` fault-point spec (the `SSD_FAILPOINTS`
-    /// environment format used by the CLI). Unparseable entries are
-    /// reported as `Err`.
+    /// Inject `times` consecutive faults starting at the `nth` hit of
+    /// `site` — the `site=N:M` spec form.
+    pub fn fail_times(mut self, site: &str, nth: u64, times: u64) -> Budget {
+        self.fail_points.push(FailPoint::new(site, nth, times));
+        self
+    }
+
+    /// Parse a `site=N[:M],site=N[:M]` fault-point spec (the
+    /// `SSD_FAILPOINTS` environment format used by the CLI): fire at the
+    /// `N`th hit of `site`, and — with the `:M` suffix — keep firing for
+    /// `M` consecutive hits. Unparseable entries are reported as `Err`.
     pub fn fail_points_from_spec(mut self, spec: &str) -> Result<Budget, String> {
         for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
             match entry.split_once('=') {
                 Some((site, n)) => {
-                    let nth: u64 = n
+                    let (nth_text, times_text) = match n.split_once(':') {
+                        Some((a, b)) => (a, Some(b)),
+                        None => (n, None),
+                    };
+                    let nth: u64 = nth_text
                         .trim()
                         .parse()
                         .map_err(|_| format!("bad fail point count in '{entry}'"))?;
-                    self.fail_points.push((site.trim().to_string(), nth.max(1)));
+                    let times: u64 = match times_text {
+                        Some(t) => t
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad fail point repeat in '{entry}'"))?,
+                        None => 1,
+                    };
+                    self.fail_points
+                        .push(FailPoint::new(site.trim(), nth, times));
                 }
-                None => return Err(format!("bad fail point '{entry}' (want site=N)")),
+                None => {
+                    return Err(format!(
+                        "bad fail point '{entry}' (want site=N or site=N:M)"
+                    ))
+                }
             }
         }
         Ok(self)
@@ -636,9 +704,9 @@ pub struct Guard {
     cancel: Option<CancelToken>,
     steps: Cell<u64>,
     memory: Cell<u64>,
-    /// Remaining-hit countdowns per fault site; a site is removed once it
-    /// fires so injection is one-shot and deterministic.
-    fail_points: RefCell<Vec<(String, u64)>>,
+    /// Remaining-hit countdowns per fault site; a site is removed once
+    /// its configured fires are exhausted, so injection is deterministic.
+    fail_points: RefCell<Vec<FailPoint>>,
     /// Set when partial mode swallowed an exhaustion.
     truncation: RefCell<Option<Exhausted>>,
 }
@@ -792,8 +860,9 @@ impl Guard {
     }
 
     /// A named fault-injection seam. Counts hits of `site`; when a
-    /// configured countdown reaches zero the injected fault fires (once).
-    /// Free when no fault is configured for any site.
+    /// configured countdown reaches zero the injected fault fires (for
+    /// as many consecutive hits as the fail point asked — see
+    /// [`FailPoint`]). Free when no fault is configured for any site.
     pub fn fail_point(&self, site: &str) -> Result<bool, Exhausted> {
         if !self.active {
             return Ok(true);
@@ -804,17 +873,7 @@ impl Guard {
         if self.fail_points.borrow().is_empty() {
             return Ok(true);
         }
-        let mut fire = false;
-        {
-            let mut points = self.fail_points.borrow_mut();
-            if let Some(i) = points.iter().position(|(s, _)| s == site) {
-                points[i].1 -= 1;
-                if points[i].1 == 0 {
-                    points.remove(i);
-                    fire = true;
-                }
-            }
-        }
+        let fire = fail_point_fires(&mut self.fail_points.borrow_mut(), site);
         if fire {
             return self.resolve(Exhausted::Fault {
                 site: site.to_string(),
@@ -963,14 +1022,55 @@ mod tests {
     }
 
     #[test]
+    fn fail_point_fires_m_times_starting_at_nth() {
+        // `seam=2:3`: hits 2, 3, and 4 fire; hits 1 and 5 pass.
+        let g = Budget::unlimited().fail_times("seam", 2, 3).guard();
+        assert_eq!(g.fail_point("seam"), Ok(true));
+        for _ in 0..3 {
+            assert!(g.fail_point("seam").is_err());
+        }
+        assert_eq!(g.fail_point("seam"), Ok(true));
+    }
+
+    #[test]
     fn fail_point_spec_parses() {
         let b = Budget::unlimited()
             .fail_points_from_spec("a=1, b=20")
             .unwrap();
-        assert_eq!(b.fail_points, vec![("a".into(), 1), ("b".into(), 20)]);
+        assert_eq!(
+            b.fail_points,
+            vec![FailPoint::new("a", 1, 1), FailPoint::new("b", 20, 1)]
+        );
         assert!(Budget::unlimited().fail_points_from_spec("nope").is_err());
         assert!(Budget::unlimited().fail_points_from_spec("a=x").is_err());
         assert!(Budget::unlimited().fail_points_from_spec("").is_ok());
+    }
+
+    #[test]
+    fn fail_point_spec_parses_repeat_form() {
+        let b = Budget::unlimited()
+            .fail_points_from_spec("a=1:5, b=3")
+            .unwrap();
+        assert_eq!(
+            b.fail_points,
+            vec![FailPoint::new("a", 1, 5), FailPoint::new("b", 3, 1)]
+        );
+        assert!(Budget::unlimited().fail_points_from_spec("a=1:").is_err());
+        assert!(Budget::unlimited().fail_points_from_spec("a=1:x").is_err());
+        // `times` is clamped to at least one fire.
+        let b = Budget::unlimited().fail_points_from_spec("a=1:0").unwrap();
+        assert_eq!(b.fail_points, vec![FailPoint::new("a", 1, 1)]);
+    }
+
+    #[test]
+    fn fail_point_fires_helper_counts_like_the_guard() {
+        let mut points = vec![FailPoint::new("io", 2, 2)];
+        assert!(!fail_point_fires(&mut points, "io"));
+        assert!(!fail_point_fires(&mut points, "other"));
+        assert!(fail_point_fires(&mut points, "io"));
+        assert!(fail_point_fires(&mut points, "io"));
+        assert!(points.is_empty());
+        assert!(!fail_point_fires(&mut points, "io"));
     }
 
     #[test]

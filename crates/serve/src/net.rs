@@ -22,6 +22,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use ssd_diag::{Code, Diagnostic};
+use ssd_store::Txn;
+
 use crate::protocol::{decode_frame, encode_frame, parse_command_with, Command, MAX_FRAME};
 use crate::quota::SessionQuota;
 use crate::sched::{JobId, JobKind};
@@ -77,6 +80,10 @@ fn handle_connection(
     let mut reader = stream.try_clone()?;
     let writer = Arc::new(Mutex::new(stream));
     let mut session: Option<Arc<SessionHandle>> = None;
+    // Mutations staged by INSERT/DELETE, owned by the connection until
+    // COMMIT submits them as one transaction (or the connection dies,
+    // discarding them — staging is not durable by design).
+    let mut staged = Txn::new();
     let mut buf: Vec<u8> = Vec::new();
     let mut read_chunk = [0u8; 4096];
     loop {
@@ -90,6 +97,7 @@ fn handle_connection(
                         &server,
                         &writer,
                         &mut session,
+                        &mut staged,
                         &default_quota,
                         allow_shutdown,
                         &payload,
@@ -124,10 +132,15 @@ enum Flow {
     Close,
 }
 
+/// Total staged body bytes a connection may hold; one frame's worth, so
+/// a client cannot park unbounded memory on the server between commits.
+const MAX_STAGED_BYTES: u64 = MAX_FRAME as u64;
+
 fn dispatch_command(
     server: &Arc<Server>,
     writer: &Arc<Mutex<TcpStream>>,
     session: &mut Option<Arc<SessionHandle>>,
+    staged: &mut Txn,
     default_quota: &SessionQuota,
     allow_shutdown: bool,
     payload: &str,
@@ -157,8 +170,33 @@ fn dispatch_command(
             };
             submit(writer, session, kind, &text)?;
         }
-        Command::Datalog(text) => submit(writer, session, JobKind::Datalog, &text)?,
-        Command::Rpe(text) => submit(writer, session, JobKind::Rpe, &text)?,
+        Command::Datalog(text) => {
+            submit(writer, session, JobKind::Datalog, &text)?;
+        }
+        Command::Rpe(text) => {
+            submit(writer, session, JobKind::Rpe, &text)?;
+        }
+        Command::Insert(literal) => {
+            stage(server, writer, staged, ssd_store::Op::Insert(literal))?;
+        }
+        Command::Delete(label) => {
+            stage(server, writer, staged, ssd_store::Op::Delete(label))?;
+        }
+        Command::Commit => {
+            if !server.writable() {
+                send_frame(writer, &format!("ERR {}", read_only_diag().headline()))?;
+            } else if staged.is_empty() {
+                send_frame(
+                    writer,
+                    "ERR error[SSD210]: COMMIT with no staged operations",
+                )?;
+            } else {
+                let script = staged.to_script();
+                if submit(writer, session, JobKind::Commit, &script)? {
+                    *staged = Txn::new();
+                }
+            }
+        }
         Command::Cancel(id) => {
             let Some(sess) = session else {
                 send_frame(writer, "ERR error[SSD210]: HELLO first")?;
@@ -203,14 +241,56 @@ fn dispatch_command(
     Ok(Flow::Continue)
 }
 
+/// Reject a mutation verb on a store-less server before admission.
+fn read_only_diag() -> Diagnostic {
+    Diagnostic::new(
+        Code::ReadOnlyStore,
+        "server is read-only: started without --data-dir",
+    )
+}
+
+/// Stage one INSERT/DELETE on the connection, validating it eagerly so
+/// the client learns about a bad literal at the verb, not at COMMIT.
+fn stage(
+    server: &Arc<Server>,
+    writer: &Arc<Mutex<TcpStream>>,
+    staged: &mut Txn,
+    op: ssd_store::Op,
+) -> std::io::Result<()> {
+    if !server.writable() {
+        return send_frame(writer, &format!("ERR {}", read_only_diag().headline()));
+    }
+    let check = match &op {
+        ssd_store::Op::Insert(lit) => ssd_store::validate_insert(lit)
+            .map_err(|e| format!("INSERT literal does not parse: {e}")),
+        ssd_store::Op::Delete(label) => ssd_store::validate_delete(label),
+    };
+    if let Err(e) = check {
+        return send_frame(writer, &format!("ERR error[SSD210]: {e}"));
+    }
+    if staged.body_bytes() + op.body().len() as u64 > MAX_STAGED_BYTES {
+        return send_frame(
+            writer,
+            &format!(
+                "ERR error[SSD210]: staged mutations exceed {MAX_STAGED_BYTES} byte(s); \
+                 COMMIT first"
+            ),
+        );
+    }
+    staged.push(op);
+    send_frame(writer, &format!("OK staged ops={}", staged.len()))
+}
+
+/// Submit a job; `Ok(true)` means it was accepted (dispatched or queued).
 fn submit(
     writer: &Arc<Mutex<TcpStream>>,
     session: &mut Option<Arc<SessionHandle>>,
     kind: JobKind,
     text: &str,
-) -> std::io::Result<()> {
+) -> std::io::Result<bool> {
     let Some(sess) = session else {
-        return send_frame(writer, "ERR error[SSD210]: HELLO first");
+        send_frame(writer, "ERR error[SSD210]: HELLO first")?;
+        return Ok(false);
     };
     match sess.submit(kind, text) {
         Ok(handle) => {
@@ -241,9 +321,15 @@ fn submit(
                     }
                 }
             });
-            Ok(())
+            Ok(true)
         }
-        Err(SubmitError::Rejected(d)) => send_frame(writer, &format!("ERR {}", d.headline())),
-        Err(SubmitError::Invalid(m)) => send_frame(writer, &format!("ERR {m}")),
+        Err(SubmitError::Rejected(d)) => {
+            send_frame(writer, &format!("ERR {}", d.headline()))?;
+            Ok(false)
+        }
+        Err(SubmitError::Invalid(m)) => {
+            send_frame(writer, &format!("ERR {m}"))?;
+            Ok(false)
+        }
     }
 }

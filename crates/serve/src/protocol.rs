@@ -16,11 +16,21 @@
 //! QUERYOPT select ...      (optimizer-ordered bindings)
 //! DATALOG reach(X) :- ...
 //! RPE Entry.%.Title        (desugars to `select X from db.<rpe> X`)
+//! INSERT {Movie: {Title: "Z"}}   (stage: union this literal at the root)
+//! DELETE Movie                   (stage: drop edges labeled `Movie`)
+//! COMMIT                         (submit the staged batch as one txn)
 //! CANCEL 3
 //! STATS
 //! BYE
 //! SHUTDOWN
 //! ```
+//!
+//! `INSERT`/`DELETE` stage operations on the *connection*; nothing is
+//! scheduled or written until `COMMIT` submits the batch as one job,
+//! which goes through the same admission control as queries and — when
+//! the server has a data directory — commits atomically through the
+//! write-ahead log. On a server without a store every mutation verb is
+//! rejected with SSD403.
 //!
 //! All parse failures are SSD210 diagnostics, never panics — the fuzz
 //! suite in `tests/fuzz_parsers.rs` holds the parser to that.
@@ -116,6 +126,12 @@ pub enum Command {
     Datalog(String),
     /// Submit a bare regular path expression.
     Rpe(String),
+    /// Stage an INSERT of a graph literal on this connection.
+    Insert(String),
+    /// Stage a DELETE of a symbol label on this connection.
+    Delete(String),
+    /// Commit the connection's staged mutations as one transaction.
+    Commit,
     /// Cancel a job by id.
     Cancel(u64),
     /// Ask for the metrics block.
@@ -163,6 +179,24 @@ pub fn parse_command_with(payload: &str, base: &SessionQuota) -> Result<Command,
                 return err("RPE needs a path expression".to_string());
             }
             Ok(Command::Rpe(rest.to_string()))
+        }
+        "INSERT" => {
+            if rest.is_empty() {
+                return err("INSERT needs a graph literal".to_string());
+            }
+            Ok(Command::Insert(rest.to_string()))
+        }
+        "DELETE" => {
+            if rest.is_empty() {
+                return err("DELETE needs a label name".to_string());
+            }
+            Ok(Command::Delete(rest.to_string()))
+        }
+        "COMMIT" => {
+            if !rest.is_empty() {
+                return err(format!("COMMIT takes no arguments, got `{rest}`"));
+            }
+            Ok(Command::Commit)
         }
         "CANCEL" => match rest.parse::<u64>() {
             Ok(id) => Ok(Command::Cancel(id)),
@@ -260,6 +294,15 @@ mod tests {
         );
         assert!(matches!(parse_command("STATS"), Ok(Command::Stats)));
         assert!(matches!(parse_command("CANCEL 7"), Ok(Command::Cancel(7))));
+        assert_eq!(
+            parse_command("INSERT {Movie: {Title: \"Z\"}}"),
+            Ok(Command::Insert("{Movie: {Title: \"Z\"}}".to_string()))
+        );
+        assert_eq!(
+            parse_command("DELETE Movie"),
+            Ok(Command::Delete("Movie".to_string()))
+        );
+        assert!(matches!(parse_command("COMMIT"), Ok(Command::Commit)));
         let Ok(Command::Hello(q)) = parse_command("HELLO fuel=100 jobs=3") else {
             panic!("HELLO should parse");
         };
@@ -276,6 +319,9 @@ mod tests {
             "HELLO fuel",
             "HELLO fuel=abc",
             "QUERY",
+            "INSERT",
+            "DELETE",
+            "COMMIT now",
         ] {
             let d = parse_command(bad).unwrap_err();
             assert_eq!(d.code, Code::ProtocolError, "{bad}");

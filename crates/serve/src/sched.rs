@@ -75,6 +75,10 @@ pub enum JobKind {
     Datalog,
     /// A bare regular path expression; desugared to a `select` over it.
     Rpe,
+    /// A durable write: a staged INSERT/DELETE batch committed through
+    /// the store. Write budgets flow through the same admission pipeline
+    /// as reads — the envelope is sized from the transaction script.
+    Commit,
 }
 
 /// A dispatch order: everything a worker needs to run one job.

@@ -26,6 +26,7 @@ use std::thread::JoinHandle;
 use semistructured::{CostContext, DataStats, Database, Schema};
 use ssd_diag::{Code, Diagnostic};
 use ssd_guard::{CostEnvelope, Exhausted, Guard, Interval};
+use ssd_store::{Store, Txn};
 
 use ssd_trace::{Phase, Tracer};
 
@@ -156,6 +157,10 @@ struct State {
 
 struct Inner {
     db: Arc<Database>,
+    /// The durable store, when the server was started over one. Jobs
+    /// pin a snapshot generation at run time; COMMIT jobs write through
+    /// it. `None` means the server is read-only (mutations are SSD403).
+    store: Option<Arc<Store>>,
     cfg: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
@@ -194,7 +199,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Start `cfg.workers` workers over `db` with a wall clock.
+    /// Start `cfg.workers` workers over `db` with a wall clock. The
+    /// server is read-only: mutation verbs are rejected with SSD403.
     pub fn start(db: Arc<Database>, cfg: ServeConfig) -> Server {
         Server::start_with_clock(db, cfg, Arc::new(MonotonicClock::new()))
     }
@@ -204,16 +210,38 @@ impl Server {
     /// configure its sinks (ring / JSONL) before passing it in. The
     /// tracer is flushed on [`Server::shutdown`].
     pub fn start_traced(db: Arc<Database>, cfg: ServeConfig, tracer: Tracer) -> Server {
-        Server::start_with_clock_and_tracer(db, cfg, Arc::new(MonotonicClock::new()), Some(tracer))
+        Server::start_full(db, None, cfg, Arc::new(MonotonicClock::new()), Some(tracer))
+    }
+
+    /// Start over a durable [`Store`]: reads pin snapshot generations,
+    /// and `COMMIT` jobs write through the WAL. The base `db` handed to
+    /// the estimator is the store's current snapshot at start time.
+    pub fn start_with_store(store: Arc<Store>, cfg: ServeConfig) -> Server {
+        let db = store.snapshot();
+        Server::start_full(db, Some(store), cfg, Arc::new(MonotonicClock::new()), None)
+    }
+
+    /// [`Server::start_with_store`] plus a lifecycle tracer; commit and
+    /// recovery spans from the store land in it too.
+    pub fn start_with_store_traced(store: Arc<Store>, cfg: ServeConfig, tracer: Tracer) -> Server {
+        let db = store.snapshot();
+        Server::start_full(
+            db,
+            Some(store),
+            cfg,
+            Arc::new(MonotonicClock::new()),
+            Some(tracer),
+        )
     }
 
     /// As [`Server::start`] with an injected clock (deterministic tests).
     pub fn start_with_clock(db: Arc<Database>, cfg: ServeConfig, clock: Arc<dyn Clock>) -> Server {
-        Server::start_with_clock_and_tracer(db, cfg, clock, None)
+        Server::start_full(db, None, cfg, clock, None)
     }
 
-    fn start_with_clock_and_tracer(
+    fn start_full(
         db: Arc<Database>,
+        store: Option<Arc<Store>>,
         cfg: ServeConfig,
         clock: Arc<dyn Clock>,
         tracer: Option<Tracer>,
@@ -229,6 +257,7 @@ impl Server {
         });
         let inner = Arc::new(Inner {
             db,
+            store,
             cfg: cfg.clone(),
             state: Mutex::new(State {
                 sched: Scheduler::new(cfg.workers, cfg.queue_cap, clock),
@@ -253,6 +282,17 @@ impl Server {
             workers: Mutex::new(workers),
             shutdown_requested: AtomicBool::new(false),
         }
+    }
+
+    /// Does this server write through a durable store? When false,
+    /// mutation verbs are rejected with SSD403 before admission.
+    pub fn writable(&self) -> bool {
+        self.inner.store.is_some()
+    }
+
+    /// The current store generation, when there is a store.
+    pub fn generation(&self) -> Option<u64> {
+        self.inner.store.as_ref().map(|s| s.generation())
     }
 
     /// Open a session under `quota`.
@@ -503,6 +543,30 @@ impl Drop for SessionHandle {
 fn estimate(inner: &Inner, kind: JobKind, text: &str) -> Result<CostEnvelope, String> {
     use semistructured::query::analyze;
     let analysis = match kind {
+        JobKind::Commit => {
+            // Writes are costed from the transaction script itself: the
+            // byte volume is known exactly up front, so the envelope is
+            // exact and admission (quota, per-job ceiling, queue) treats
+            // write budgets like any other job. Every op is validated
+            // here — a bad literal is rejected before scheduling.
+            let txn = Txn::parse_script(text)?;
+            if txn.is_empty() {
+                return Err("COMMIT with no staged operations".to_string());
+            }
+            for op in txn.ops() {
+                match op {
+                    ssd_store::Op::Insert(lit) => ssd_store::validate_insert(lit)
+                        .map_err(|e| format!("INSERT literal does not parse: {e}"))?,
+                    ssd_store::Op::Delete(label) => ssd_store::validate_delete(label)?,
+                }
+            }
+            let (fuel, memory) = commit_cost(&txn);
+            return Ok(CostEnvelope {
+                cardinality: Interval::exact(txn.len() as u64),
+                fuel: Interval::exact(fuel),
+                memory: Interval::exact(memory),
+            });
+        }
         JobKind::Datalog => {
             let (p, spans) = semistructured::triples::datalog::parse_program_spanned(
                 text,
@@ -529,6 +593,14 @@ fn estimate(inner: &Inner, kind: JobKind, text: &str) -> Result<CostEnvelope, St
         }
     };
     Ok(analysis.envelope)
+}
+
+/// The write cost model, shared by the estimator and the worker so the
+/// charge always equals the (exact) envelope: one step per op plus one
+/// per body byte of fuel; the body bytes again as memory.
+fn commit_cost(txn: &Txn) -> (u64, u64) {
+    let bytes = txn.body_bytes();
+    (1 + txn.len() as u64 + bytes, bytes)
 }
 
 /// Deliver a failure notice without blocking the caller: these fire
@@ -682,6 +754,13 @@ fn run_job(inner: &Inner, ticket: &Ticket, guard: &Guard, tx: &SyncSender<JobEve
     if ticket.text.contains(PANIC_PROBE) {
         panic!("panic probe");
     }
+    // Pin a snapshot generation for the whole job: commits that land
+    // while this job streams cannot change what it reads, and the pin is
+    // a single Arc clone — readers never block writers or vice versa.
+    let db: Arc<Database> = match &inner.store {
+        Some(store) => store.snapshot(),
+        None => Arc::clone(&inner.db),
+    };
     let cancelled = || {
         ticket
             .budget
@@ -693,9 +772,9 @@ fn run_job(inner: &Inner, ticket: &Ticket, guard: &Guard, tx: &SyncSender<JobEve
     match ticket.kind {
         JobKind::Query | JobKind::QueryOptimized | JobKind::Rpe => {
             let res = if ticket.kind == JobKind::QueryOptimized {
-                inner.db.query_optimized_with(&ticket.text, guard)
+                db.query_optimized_with(&ticket.text, guard)
             } else {
-                inner.db.query_with(&ticket.text, guard)
+                db.query_with(&ticket.text, guard)
             };
             match res {
                 Err(e) => {
@@ -737,7 +816,64 @@ fn run_job(inner: &Inner, ticket: &Ticket, guard: &Guard, tx: &SyncSender<JobEve
                 }
             }
         }
-        JobKind::Datalog => match inner.db.datalog_with(&ticket.text, guard) {
+        JobKind::Commit => {
+            let txn = match Txn::parse_script(&ticket.text) {
+                Ok(t) => t,
+                Err(e) => {
+                    let d = Diagnostic::new(
+                        Code::ProtocolError,
+                        format!("COMMIT script does not parse: {e}"),
+                    );
+                    let _ = tx.send(JobEvent::Failed(d.headline()));
+                    return FinishKind::Completed;
+                }
+            };
+            // Charge exactly what admission granted (the envelope is
+            // exact), so session fuel accounting covers writes too.
+            let (fuel, memory) = commit_cost(&txn);
+            if let Err(e) = guard
+                .tick_hard(fuel)
+                .and_then(|()| guard.alloc(memory).map(|_| ()))
+            {
+                let _ = tx.send(JobEvent::Failed(e.headline()));
+                return if matches!(e, Exhausted::Cancelled) {
+                    FinishKind::Cancelled
+                } else {
+                    FinishKind::Completed
+                };
+            }
+            let Some(store) = &inner.store else {
+                let d = Diagnostic::new(
+                    Code::ReadOnlyStore,
+                    "server is read-only: started without --data-dir",
+                );
+                let _ = tx.send(JobEvent::Failed(d.headline()));
+                return FinishKind::Completed;
+            };
+            let committed = if let Some(tracer) = &inner.tracer {
+                let t = tracer.lock().unwrap_or_else(|e| e.into_inner());
+                store.commit_traced(&txn, Some(&t))
+            } else {
+                store.commit(&txn)
+            };
+            match committed {
+                Err(e) => {
+                    let _ = tx.send(JobEvent::Failed(e.headline()));
+                    return FinishKind::Completed;
+                }
+                Ok(info) => {
+                    summary = format!(
+                        "committed generation={} seq={} ops={} wal_bytes={} fuel={}",
+                        info.generation,
+                        info.seq,
+                        info.ops,
+                        info.bytes,
+                        guard.steps_used(),
+                    );
+                }
+            }
+        }
+        JobKind::Datalog => match db.datalog_with(&ticket.text, guard) {
             Err(e) => {
                 let _ = tx.send(JobEvent::Failed(e));
                 return if cancelled() {

@@ -1,0 +1,59 @@
+//! Table-driven CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Hand-rolled because the workspace builds hermetically with no registry
+//! access; the table is computed at compile time so the runtime cost is
+//! one lookup and one shift per byte.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` — the zip/png/ethernet checksum. The standard check
+/// value holds: `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn matches_the_standard_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let clean = crc32(b"hello, wal");
+        let mut buf = b"hello, wal".to_vec();
+        for i in 0..buf.len() * 8 {
+            buf[i / 8] ^= 1 << (i % 8);
+            assert_ne!(clean, crc32(&buf), "flip of bit {i} went undetected");
+            buf[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Write-ahead-log frame codec and recovery scan.
+//!
+//! The log is a flat sequence of frames:
+//!
+//! ```text
+//! ┌───────────┬──────────────────────────────┬────────────┐
+//! │ len: u32le │ payload (len bytes)          │ crc32: u32le│
+//! └───────────┴──────────────────────────────┴────────────┘
+//!               payload = seq: u64le | kind: u8 | body
+//! ```
+//!
+//! `crc32` covers the payload only (the length field is validated
+//! structurally: a frame whose `len` is out of range is corrupt, and a
+//! buffer shorter than `len + 8` is torn). `seq` is strictly monotonic
+//! starting at 1 across the whole log — a gap or repeat means the log was
+//! spliced or corrupted and recovery stops there. `kind` is one of
+//! [`KIND_INSERT`] (body = a graph literal), [`KIND_DELETE`] (body = a
+//! symbol label name), or [`KIND_COMMIT`] (empty body, marks the txn
+//! boundary). Only operations covered by a later COMMIT frame are ever
+//! replayed; everything after the last valid COMMIT is a discardable
+//! tail.
+
+use crate::crc32::crc32;
+
+/// Frame kind: INSERT — body is a graph literal unioned at the root.
+pub const KIND_INSERT: u8 = 1;
+/// Frame kind: DELETE — body is a symbol label; edges matching it are removed.
+pub const KIND_DELETE: u8 = 2;
+/// Frame kind: COMMIT — empty body; everything since the last COMMIT becomes durable.
+pub const KIND_COMMIT: u8 = 3;
+
+/// Smallest legal payload: 8-byte seq + 1-byte kind.
+pub const MIN_PAYLOAD: usize = 9;
+/// Largest legal payload (16 MiB) — an out-of-range length is corruption,
+/// not a request for a 4 GiB allocation.
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+/// Bytes of framing around the payload: 4-byte length + 4-byte CRC.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub seq: u64,
+    pub kind: u8,
+    pub body: String,
+}
+
+/// Why a frame failed structural validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The length prefix is outside `[MIN_PAYLOAD, MAX_PAYLOAD]`.
+    Length(usize),
+    /// The stored CRC-32 does not match the payload.
+    Checksum,
+    /// The kind byte is not INSERT/DELETE/COMMIT.
+    Kind(u8),
+    /// The body is not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptKind::Length(n) => write!(f, "frame length {n} out of range"),
+            CorruptKind::Checksum => f.write_str("frame checksum mismatch"),
+            CorruptKind::Kind(k) => write!(f, "unknown frame kind {k}"),
+            CorruptKind::Utf8 => f.write_str("frame body is not valid UTF-8"),
+        }
+    }
+}
+
+/// Outcome of decoding one frame from the front of a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A complete, checksum-valid frame occupying `consumed` bytes.
+    Frame { frame: Frame, consumed: usize },
+    /// The buffer ends mid-frame — a torn or short write.
+    Torn,
+    /// The bytes at the front are structurally invalid.
+    Corrupt(CorruptKind),
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Encode one frame.
+pub fn encode_frame(seq: u64, kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(MIN_PAYLOAD + body.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.push(kind);
+    payload.extend_from_slice(body);
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Decode the frame at the front of `buf`. Never panics, for any input:
+/// arbitrary bytes decode to `Torn` or `Corrupt`, never out-of-bounds.
+pub fn decode_frame(buf: &[u8]) -> Decoded {
+    if buf.len() < 4 {
+        return Decoded::Torn;
+    }
+    let len = le_u32(&buf[0..4]) as usize;
+    if !(MIN_PAYLOAD..=MAX_PAYLOAD).contains(&len) {
+        return Decoded::Corrupt(CorruptKind::Length(len));
+    }
+    let need = 4 + len + 4;
+    if buf.len() < need {
+        return Decoded::Torn;
+    }
+    let payload = &buf[4..4 + len];
+    let stored = le_u32(&buf[4 + len..need]);
+    if crc32(payload) != stored {
+        return Decoded::Corrupt(CorruptKind::Checksum);
+    }
+    let seq = le_u64(&payload[0..8]);
+    let kind = payload[8];
+    if !(KIND_INSERT..=KIND_COMMIT).contains(&kind) {
+        return Decoded::Corrupt(CorruptKind::Kind(kind));
+    }
+    let Ok(body) = std::str::from_utf8(&payload[MIN_PAYLOAD..]) else {
+        return Decoded::Corrupt(CorruptKind::Utf8);
+    };
+    Decoded::Frame {
+        frame: Frame {
+            seq,
+            kind,
+            body: body.to_string(),
+        },
+        consumed: need,
+    }
+}
+
+/// One operation inside a committed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalOp {
+    pub kind: u8,
+    pub body: String,
+}
+
+/// One committed transaction recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalTxn {
+    pub ops: Vec<WalOp>,
+    /// Sequence number of the COMMIT frame.
+    pub commit_seq: u64,
+}
+
+/// Why the scan stopped before (or at) the end of the log with
+/// non-committed bytes remaining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailIssue {
+    /// The log ends mid-frame at byte offset `at` — a torn or short write.
+    Torn { at: u64 },
+    /// The frame at byte offset `at` is structurally invalid.
+    Corrupt { at: u64, kind: CorruptKind },
+    /// The frame at byte offset `at` broke sequence monotonicity.
+    SeqBreak { at: u64, expected: u64, got: u64 },
+    /// Valid operation frames follow the last COMMIT but were never
+    /// committed (a crash between op writes and the COMMIT fsync).
+    Uncommitted { ops: usize },
+}
+
+/// Result of scanning a log image.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOutcome {
+    /// Fully committed transactions, in log order.
+    pub txns: Vec<WalTxn>,
+    /// Byte offset one past the last COMMIT frame — the committed prefix.
+    /// Recovery truncates the file to this length.
+    pub committed_len: u64,
+    /// Frames inside the committed prefix (ops + commits).
+    pub frames: u64,
+    /// Sequence number of the last committed frame (0 when none).
+    pub last_seq: u64,
+    /// Why bytes past `committed_len` exist, when they do.
+    pub tail: Option<TailIssue>,
+}
+
+/// Scan a complete log image: collect committed transactions, find the
+/// committed prefix length, and classify whatever follows it.
+pub fn scan(bytes: &[u8]) -> ScanOutcome {
+    let mut out = ScanOutcome::default();
+    let mut offset = 0usize;
+    let mut pending: Vec<WalOp> = Vec::new();
+    let mut pending_frames = 0u64;
+    let mut next_seq = 1u64;
+    while offset < bytes.len() {
+        match decode_frame(&bytes[offset..]) {
+            Decoded::Torn => {
+                out.tail = Some(TailIssue::Torn { at: offset as u64 });
+                return out;
+            }
+            Decoded::Corrupt(kind) => {
+                out.tail = Some(TailIssue::Corrupt {
+                    at: offset as u64,
+                    kind,
+                });
+                return out;
+            }
+            Decoded::Frame { frame, consumed } => {
+                if frame.seq != next_seq {
+                    out.tail = Some(TailIssue::SeqBreak {
+                        at: offset as u64,
+                        expected: next_seq,
+                        got: frame.seq,
+                    });
+                    return out;
+                }
+                next_seq += 1;
+                offset += consumed;
+                pending_frames += 1;
+                if frame.kind == KIND_COMMIT {
+                    out.last_seq = frame.seq;
+                    out.txns.push(WalTxn {
+                        ops: std::mem::take(&mut pending),
+                        commit_seq: frame.seq,
+                    });
+                    out.frames += pending_frames;
+                    pending_frames = 0;
+                    out.committed_len = offset as u64;
+                } else {
+                    pending.push(WalOp {
+                        kind: frame.kind,
+                        body: frame.body,
+                    });
+                }
+            }
+        }
+    }
+    if !pending.is_empty() {
+        out.tail = Some(TailIssue::Uncommitted { ops: pending.len() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(frames: &[(u64, u8, &str)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (seq, kind, body) in frames {
+            out.extend_from_slice(&encode_frame(*seq, *kind, body.as_bytes()));
+        }
+        out
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode_frame(7, KIND_INSERT, "{A: {}}".as_bytes());
+        match decode_frame(&bytes) {
+            Decoded::Frame { frame, consumed } => {
+                assert_eq!(consumed, bytes.len());
+                assert_eq!(frame.seq, 7);
+                assert_eq!(frame.kind, KIND_INSERT);
+                assert_eq!(frame.body, "{A: {}}");
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut bytes = encode_frame(1, KIND_DELETE, b"Actor");
+        bytes[6] ^= 0x40; // inside the payload
+        assert_eq!(
+            decode_frame(&bytes),
+            Decoded::Corrupt(CorruptKind::Checksum)
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_torn_not_corrupt() {
+        let bytes = encode_frame(1, KIND_COMMIT, b"");
+        for cut in 0..bytes.len() {
+            let d = decode_frame(&bytes[..cut]);
+            assert_eq!(d, Decoded::Torn, "cut at {cut} should read as torn");
+        }
+    }
+
+    #[test]
+    fn scan_collects_only_committed_transactions() {
+        let bytes = log(&[
+            (1, KIND_INSERT, "{A: {}}"),
+            (2, KIND_COMMIT, ""),
+            (3, KIND_DELETE, "A"),
+            (4, KIND_COMMIT, ""),
+            (5, KIND_INSERT, "{B: {}}"), // no commit: dangling
+        ]);
+        let out = scan(&bytes);
+        assert_eq!(out.txns.len(), 2);
+        assert_eq!(out.txns[0].ops.len(), 1);
+        assert_eq!(out.txns[1].commit_seq, 4);
+        assert_eq!(out.frames, 4);
+        assert_eq!(out.last_seq, 4);
+        assert_eq!(out.tail, Some(TailIssue::Uncommitted { ops: 1 }));
+        let committed = log(&[
+            (1, KIND_INSERT, "{A: {}}"),
+            (2, KIND_COMMIT, ""),
+            (3, KIND_DELETE, "A"),
+            (4, KIND_COMMIT, ""),
+        ]);
+        assert_eq!(out.committed_len, committed.len() as u64);
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let mut bytes = log(&[(1, KIND_INSERT, "{A: {}}"), (2, KIND_COMMIT, "")]);
+        let boundary = bytes.len() as u64;
+        let extra = encode_frame(3, KIND_INSERT, b"{B: {}}");
+        bytes.extend_from_slice(&extra[..extra.len() / 2]);
+        let out = scan(&bytes);
+        assert_eq!(out.txns.len(), 1);
+        assert_eq!(out.committed_len, boundary);
+        assert_eq!(out.tail, Some(TailIssue::Torn { at: boundary }));
+    }
+
+    #[test]
+    fn scan_stops_at_sequence_break() {
+        let bytes = log(&[(1, KIND_COMMIT, ""), (5, KIND_COMMIT, "")]);
+        let out = scan(&bytes);
+        assert_eq!(out.txns.len(), 1);
+        assert!(matches!(
+            out.tail,
+            Some(TailIssue::SeqBreak {
+                expected: 2,
+                got: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scan_of_empty_log_is_clean() {
+        let out = scan(&[]);
+        assert!(out.txns.is_empty());
+        assert_eq!(out.committed_len, 0);
+        assert_eq!(out.tail, None);
+    }
+}

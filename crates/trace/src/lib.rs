@@ -57,6 +57,8 @@ pub enum Phase {
     Guard,
     /// Query-serving: admission, queueing, dispatch, job lifecycle.
     Serve,
+    /// Durable storage: WAL commits, recovery replay, generation swaps.
+    Store,
 }
 
 impl Phase {
@@ -71,6 +73,7 @@ impl Phase {
             Phase::Datalog => "datalog",
             Phase::Guard => "guard",
             Phase::Serve => "serve",
+            Phase::Store => "store",
         }
     }
 }

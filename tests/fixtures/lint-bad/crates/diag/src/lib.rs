@@ -1,10 +1,16 @@
 //! Fixture registry with seeded L1 drift: SSD001 defined twice, a band
 //! gap between SSD001 and SSD004, SSD004 undocumented and untested.
+//! The storage band repeats every mode on SSD4xx: SSD400 duplicated,
+//! SSD401 a band gap, SSD402 undocumented and untested, SSD403 a
+//! phantom doc row.
 
 pub enum Code {
     AlphaBad,
     BetaDup,
     GammaGap,
+    WalTorn,
+    WalTornDup,
+    WalReplay,
 }
 
 impl Code {
@@ -13,6 +19,9 @@ impl Code {
             Code::AlphaBad => "SSD001",
             Code::BetaDup => "SSD001",
             Code::GammaGap => "SSD004",
+            Code::WalTorn => "SSD400",
+            Code::WalTornDup => "SSD400",
+            Code::WalReplay => "SSD402",
         }
     }
 }

@@ -5,3 +5,8 @@
 fn alpha_fires() {
     assert_eq!(Code::AlphaBad.as_str(), "SSD001");
 }
+
+#[test]
+fn wal_torn_fires() {
+    assert_eq!(Code::WalTorn.as_str(), "SSD400");
+}

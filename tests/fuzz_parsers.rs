@@ -198,3 +198,87 @@ proptest! {
         let _ = parse_command(&s);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Parser 7: the ssd-store write-ahead-log frame codec
+// ---------------------------------------------------------------------------
+
+use ssd_store::wal::{self, Decoded, KIND_COMMIT, KIND_INSERT};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Neither the frame decoder nor the full log scanner panics on
+    /// arbitrary bytes — a corrupt WAL is diagnosed, never a crash.
+    #[test]
+    fn wal_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = wal::decode_frame(&bytes);
+        let _ = wal::scan(&bytes);
+    }
+
+    /// Well-formed WAL frames round-trip exactly, and every strict
+    /// prefix decodes as `Torn` — truncation is always recognized as
+    /// incompleteness, never misread as a different frame.
+    #[test]
+    fn wal_frame_round_trip_and_truncation(
+        seq in 1u64..1_000_000,
+        body in "[ -~\n]{0,200}",
+    ) {
+        let enc = wal::encode_frame(seq, KIND_INSERT, body.as_bytes());
+        match wal::decode_frame(&enc) {
+            Decoded::Frame { frame, consumed } => {
+                prop_assert_eq!(frame.seq, seq);
+                prop_assert_eq!(frame.kind, KIND_INSERT);
+                prop_assert_eq!(frame.body, body);
+                prop_assert_eq!(consumed, enc.len());
+            }
+            other => prop_assert!(false, "round trip failed: {other:?}"),
+        }
+        for cut in 0..enc.len() {
+            prop_assert!(
+                matches!(wal::decode_frame(&enc[..cut]), Decoded::Torn),
+                "prefix of {cut} byte(s) did not read as torn"
+            );
+        }
+    }
+
+    /// Any single bit flip in the payload or checksum region is caught
+    /// (CRC32 detects all single-bit errors); the frame never decodes
+    /// to a valid frame again.
+    #[test]
+    fn wal_bit_flips_never_decode(
+        seq in 1u64..1000,
+        body in "[ -~]{0,64}",
+        bit in 0usize..8,
+        pos_pick in any::<u64>(),
+    ) {
+        let mut enc = wal::encode_frame(seq, KIND_COMMIT, body.as_bytes());
+        // Flip a bit at or after the payload start (byte 4): the length
+        // prefix is not CRC-covered, so flips there are exercised by
+        // `wal_decoder_never_panics` instead.
+        let pos = 4 + (pos_pick as usize % (enc.len() - 4));
+        enc[pos] ^= 1 << bit;
+        prop_assert!(
+            !matches!(wal::decode_frame(&enc), Decoded::Frame { .. }),
+            "flipped bit {bit} of byte {pos} went undetected"
+        );
+    }
+
+    /// A committed transaction survives any garbage appended after it:
+    /// the scanner keeps the committed prefix and classifies the tail.
+    #[test]
+    fn wal_torn_tail_never_loses_committed_txn(
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        body in "[ -~]{1,64}",
+    ) {
+        let mut log = wal::encode_frame(1, KIND_INSERT, body.as_bytes());
+        log.extend_from_slice(&wal::encode_frame(2, KIND_COMMIT, b""));
+        let clean_len = log.len() as u64;
+        log.extend_from_slice(&garbage);
+        let out = wal::scan(&log);
+        prop_assert!(!out.txns.is_empty(), "committed txn lost");
+        prop_assert_eq!(out.txns[0].ops.len(), 1);
+        prop_assert_eq!(out.txns[0].ops[0].body.as_str(), body.as_str());
+        prop_assert!(out.committed_len >= clean_len);
+    }
+}

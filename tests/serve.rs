@@ -15,7 +15,7 @@ use ssd_guard::{Bound, CostEnvelope, Interval};
 use ssd_serve::sched::{JobId, SessionId};
 use ssd_serve::{
     Decision, Dequeued, FinishKind, JobEvent, JobKind, ManualClock, Scheduler, ServeConfig, Server,
-    SessionQuota, TraceEvent, PANIC_PROBE,
+    SessionQuota, SubmitError, TraceEvent, PANIC_PROBE,
 };
 
 fn env(fuel_lo: u64) -> CostEnvelope {
@@ -841,5 +841,136 @@ fn stats_text_has_global_and_session_sections() {
         assert!(text.contains(key), "missing `{key}` in:\n{text}");
     }
     assert!(server.metrics().counters.fuel_spent > 0);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Durable mutations: JobKind::Commit through the store
+// ---------------------------------------------------------------------------
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ssd-serve-store-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn script(ops: &[ssd_store::Op]) -> String {
+    let mut txn = ssd_store::Txn::new();
+    for op in ops {
+        txn.push(op.clone());
+    }
+    txn.to_script()
+}
+
+#[test]
+fn commit_jobs_write_through_the_store_and_refresh_snapshots() {
+    let dir = store_dir("commit");
+    ssd_store::Store::init(&dir, &movies()).unwrap();
+    let (store, _) = ssd_store::Store::open(&dir, &semistructured::Budget::unlimited()).unwrap();
+    let server = Server::start_with_store(Arc::new(store), ServeConfig::default());
+    assert!(server.writable());
+    assert_eq!(server.generation(), Some(0));
+
+    let session = server.open_session(SessionQuota::default());
+    let out = session
+        .submit(
+            JobKind::Commit,
+            &script(&[ssd_store::Op::Insert(
+                "{Entry: {Movie: {Title: \"Z\"}}}".to_string(),
+            )]),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(out.error, None);
+    assert!(
+        out.summary
+            .as_deref()
+            .unwrap_or("")
+            .contains("committed generation=1"),
+        "{:?}",
+        out.summary
+    );
+    assert_eq!(server.generation(), Some(1));
+
+    // A job submitted after the commit pins the new generation.
+    let out = session
+        .submit(JobKind::Query, "select T from db.Entry.%.Title T")
+        .unwrap()
+        .wait();
+    assert_eq!(out.error, None);
+    assert!(out.summary.unwrap().contains("results=4"));
+    server.shutdown();
+}
+
+#[test]
+fn commit_on_a_storeless_server_is_ssd403() {
+    let server = Server::start(movies(), ServeConfig::default());
+    assert!(!server.writable());
+    assert_eq!(server.generation(), None);
+    let session = server.open_session(SessionQuota::default());
+    let out = session
+        .submit(
+            JobKind::Commit,
+            &script(&[ssd_store::Op::Delete("Entry".to_string())]),
+        )
+        .unwrap()
+        .wait();
+    let err = out.error.expect("mutation on a read-only server must fail");
+    assert!(err.contains("SSD403"), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_commit_scripts_are_rejected_at_admission() {
+    let dir = store_dir("bad");
+    ssd_store::Store::init(&dir, &movies()).unwrap();
+    let (store, _) = ssd_store::Store::open(&dir, &semistructured::Budget::unlimited()).unwrap();
+    let server = Server::start_with_store(Arc::new(store), ServeConfig::default());
+    let session = server.open_session(SessionQuota::default());
+    for bad in [
+        "not a txn script",
+        "INSERT 5\n{a:}\n", // literal does not parse
+        &script(&[]),       // empty transaction
+    ] {
+        let Err(err) = session.submit(JobKind::Commit, bad) else {
+            panic!("`{bad}` should be rejected before admission");
+        };
+        assert!(
+            matches!(err, SubmitError::Invalid(_)),
+            "`{bad}`: wrong rejection: {err}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn commit_admission_charges_the_exact_envelope() {
+    let dir = store_dir("cost");
+    ssd_store::Store::init(&dir, &movies()).unwrap();
+    let (store, _) = ssd_store::Store::open(&dir, &semistructured::Budget::unlimited()).unwrap();
+    let server = Server::start_with_store(Arc::new(store), ServeConfig::default());
+    // A job-fuel ceiling far below the txn's exact cost: rejected up
+    // front with SSD030 — the write never reaches the WAL.
+    let session = server.open_session(quota(None, 2, 1));
+    let Err(err) = session.submit(
+        JobKind::Commit,
+        &script(&[ssd_store::Op::Insert(
+            "{Entry: {Movie: {Title: \"Huge\"}}}".to_string(),
+        )]),
+    ) else {
+        panic!("expected admission rejection");
+    };
+    let SubmitError::Rejected(d) = err else {
+        panic!("expected admission rejection, got {err}");
+    };
+    assert!(d.headline().contains("SSD030"), "{}", d.headline());
+    assert_eq!(server.generation(), Some(0));
     server.shutdown();
 }
