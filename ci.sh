@@ -22,9 +22,26 @@ echo "== ssd lint (workspace invariants, docs/LINTS.md)" >&2
 # Replaces the old awk/grep panic-site gate: SSD903 enforces the
 # token-accurate per-crate panic budgets in crates/lint/panic-budgets.txt
 # (a two-way ratchet), and SSD901/902/904/905 gate registry sync, guard
-# threading, lock order, and span discipline. --deny-warnings makes
-# budget drift fail, matching the old hard gate.
+# threading, lock order, and span discipline. The SSD91x band gates the
+# interprocedural concurrency/durability invariants (lock inversion and
+# blocking across call chains, atomic orderings, WAL publish protocol,
+# fault-point coverage). --deny-warnings makes budget drift fail,
+# matching the old hard gate.
 ./target/release/ssd lint --deny-warnings
+
+echo "== ssd lint --json (machine-readable rendering)" >&2
+# The seeded fixture must render as exactly one JSON object per line:
+# findings with code/severity/file/line/message and nothing else. The
+# fixture fails the lint (that is its job), so findings arrive on
+# stderr behind the CLI's `error: ` prefix; strip it before checking.
+lint_json=$(mktemp)
+./target/release/ssd lint tests/fixtures/lint-bad --json 2>&1 | sed 's/^error: //' >"$lint_json"
+[ -s "$lint_json" ] || { echo "ci: --json emitted nothing for the fixture" >&2; exit 1; }
+if grep -vE '^\{"code":"SSD9[0-9]{2}","severity":"(error|warning)","file":"[^"]+","line":[0-9]+,"message":".*"\}$' "$lint_json"; then
+    echo "ci: ssd lint --json emitted a malformed line (above)" >&2
+    exit 1
+fi
+rm -f "$lint_json"
 
 echo "== fault injection" >&2
 cargo test -q --offline -p semistructured --test guard
@@ -198,10 +215,10 @@ fi
 rm -rf "$store_dir"; rm -f "$serve2_log" "$serve3_log" "$w_out" "$t_out"
 
 echo "== perf trajectory artifacts (BENCH_*.json)" >&2
-# The experiment report must emit all three machine-readable data
+# The experiment report must emit all four machine-readable data
 # points; EXPERIMENTS.md explains the series they extend.
 timeout 600 cargo run -q --release -p ssd-bench --bin report --offline >/dev/null
-for f in BENCH_serve.json BENCH_trace.json BENCH_store.json; do
+for f in BENCH_serve.json BENCH_trace.json BENCH_store.json BENCH_lint.json; do
     [ -s "$f" ] || { echo "ci: $f was not emitted" >&2; exit 1; }
     grep -q '"experiment"' "$f"
 done

@@ -45,7 +45,7 @@ fn header(title: &str) {
 }
 
 fn main() {
-    println!("semistructured — experiment report (E1–E12, E15–E18)");
+    println!("semistructured — experiment report (E1–E12, E15–E19)");
     println!("paper: Buneman, \"Semistructured Data\", PODS 1997 (tutorial; no tables — series defined in EXPERIMENTS.md)");
 
     e01();
@@ -64,6 +64,7 @@ fn main() {
     e16();
     e17();
     e18();
+    e19();
     println!("\nreport complete.");
 }
 
@@ -841,4 +842,45 @@ fn e18() {
         ),
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn e19() {
+    header("E19 — static analysis: full-workspace lint pass");
+
+    // The lint pass runs in CI on every change, so its wall-clock is a
+    // budget worth tracking: ten passes (five intraprocedural, five on
+    // the interprocedural call graph with fixpoint effect summaries)
+    // over every source file in the workspace.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = match ssd_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint pass skipped: {e}");
+            return;
+        }
+    };
+    let wall_us = time_us(5, || ssd_lint::lint_workspace(&root).expect("lint"));
+    let files = report.files_scanned;
+    let functions = report.functions_scanned;
+    let findings = report.findings.len();
+    let per_file = wall_us / files.max(1) as f64;
+    println!(
+        "full workspace lint (median of 5): {:.1} ms total, {per_file:.0} µs/file \
+         ({files} files, {functions} functions, {findings} findings)",
+        wall_us / 1e3
+    );
+
+    write_json(
+        "BENCH_lint.json",
+        &format!(
+            "{{\n  \"experiment\": \"E19\",\n  \
+             \"workload\": \"ssd lint over the whole workspace (median of 5)\",\n  \
+             \"wall_us\": {wall_us:.1},\n  \"per_file_us\": {per_file:.1},\n  \
+             \"files_scanned\": {files},\n  \"functions_scanned\": {functions},\n  \
+             \"findings\": {findings}\n}}\n",
+        ),
+    );
 }

@@ -41,6 +41,7 @@ ssd — semistructured data toolkit (Buneman, PODS 1997)
                 [--estimate]               print the static cost envelope
                                            and SSD03x cost diagnostics
   ssd lint      [ROOT] [--deny-warnings]   workspace source lints (SSD9xx);
+                [--json]                   one JSON object per finding line
                 [--explain SSD9xx]         ROOT defaults to the current
                                            directory; see docs/LINTS.md
   ssd browse    DATA string TEXT           where is this string?
@@ -723,9 +724,10 @@ fn prepend_truncation(guard: &Guard, out: String) -> String {
 /// Errors always fail; `--deny-warnings` makes warnings (panic-budget
 /// drift) fail too, which is how ci.sh runs it.
 fn cmd_lint(rest: &[&str]) -> Result<String, CliError> {
-    const USAGE: &str = "lint [ROOT] [--deny-warnings] [--explain SSD9xx]";
+    const USAGE: &str = "lint [ROOT] [--deny-warnings] [--json] [--explain SSD9xx]";
     let mut tail: Vec<&str> = rest.to_vec();
     let deny_warnings = take_flag(&mut tail, "--deny-warnings");
+    let json = take_flag(&mut tail, "--json");
     let mut explain_code: Option<String> = None;
     let mut i = 0;
     while i < tail.len() {
@@ -761,7 +763,12 @@ fn cmd_lint(rest: &[&str]) -> Result<String, CliError> {
         _ => return Err(CliError::Usage(USAGE.into())),
     };
     let report = ssd_lint::lint_workspace(&root).map_err(CliError::Failed)?;
-    let out = report.render();
+    let out = if json {
+        // println!/eprintln! append the final newline.
+        report.render_json().trim_end().to_owned()
+    } else {
+        report.render()
+    };
     if ssd_lint::should_fail(&report, deny_warnings) {
         Err(CliError::Failed(out))
     } else {
@@ -1724,6 +1731,33 @@ mod tests {
             matches!(&err, CliError::Failed(m) if m.contains("SSD901") && m.contains("SSD905")),
             "{err}"
         );
+        // The interprocedural band fires through the CLI too.
+        assert!(
+            matches!(&err, CliError::Failed(m) if m.contains("SSD910") && m.contains("SSD914")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lint_json_renders_one_object_per_line() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let bad = format!("{root}/tests/fixtures/lint-bad");
+        let CliError::Failed(json) = run_str(&["lint", &bad, "--json"], "").unwrap_err() else {
+            panic!("fixture lint should fail");
+        };
+        assert!(!json.is_empty());
+        for line in json.lines() {
+            assert!(
+                line.starts_with("{\"code\":\"SSD9") && line.ends_with('}'),
+                "malformed JSON line: {line}"
+            );
+            for key in ["\"severity\":", "\"file\":", "\"line\":", "\"message\":"] {
+                assert!(line.contains(key), "missing {key}: {line}");
+            }
+        }
+        // A clean workspace renders an empty JSON stream.
+        let out = run_str(&["lint", root, "--json"], "").unwrap();
+        assert_eq!(out, "");
     }
 
     #[test]

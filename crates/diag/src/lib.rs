@@ -197,6 +197,26 @@ pub enum Code {
     /// `open_detached` with no `close_detached` in the same function,
     /// or a span value discarded at the open site.
     SpanLeak,
+    /// `ssd lint` L6: an interprocedural lock-order inversion — a
+    /// function holds a lock across a call whose transitive callees
+    /// acquire an equal or outer rank of `LOCK_ORDER`.
+    InterprocLockInversion,
+    /// `ssd lint` L7: a blocking operation (channel send/recv, thread
+    /// join, fsync, WAL append) is reachable through a call made while
+    /// a lock is held.
+    BlockingUnderLock,
+    /// `ssd lint` L8: a cross-thread atomic is accessed with
+    /// `Ordering::Relaxed` without a declared reason (or mixes Relaxed
+    /// with stronger orderings on the same flag).
+    AtomicOrderingUndeclared,
+    /// `ssd lint` L9: a path publishes a new store generation without
+    /// being dominated by a WAL append + fsync — apply-before-log
+    /// breaks the commit protocol.
+    PublishBeforeLog,
+    /// `ssd lint` L10: a raw I/O call in the store that no registered
+    /// `wal.*` fault point reaches, so the crash matrix cannot
+    /// exercise its failure path.
+    FaultCoverageGap,
 }
 
 impl Code {
@@ -245,6 +265,11 @@ impl Code {
             Code::PanicSite => "SSD903",
             Code::LockOrderViolation => "SSD904",
             Code::SpanLeak => "SSD905",
+            Code::InterprocLockInversion => "SSD910",
+            Code::BlockingUnderLock => "SSD911",
+            Code::AtomicOrderingUndeclared => "SSD912",
+            Code::PublishBeforeLog => "SSD913",
+            Code::FaultCoverageGap => "SSD914",
         }
     }
 
@@ -279,6 +304,11 @@ impl Code {
             | Code::GuardBypass
             | Code::LockOrderViolation
             | Code::SpanLeak
+            | Code::InterprocLockInversion
+            | Code::BlockingUnderLock
+            | Code::AtomicOrderingUndeclared
+            | Code::PublishBeforeLog
+            | Code::FaultCoverageGap
             | Code::CostExceedsBudget => Severity::Error,
             Code::UnusedBinding
             | Code::EmptyPath
@@ -357,6 +387,11 @@ impl Code {
             Code::PanicSite,
             Code::LockOrderViolation,
             Code::SpanLeak,
+            Code::InterprocLockInversion,
+            Code::BlockingUnderLock,
+            Code::AtomicOrderingUndeclared,
+            Code::PublishBeforeLog,
+            Code::FaultCoverageGap,
         ]
     }
 }
@@ -579,6 +614,11 @@ mod tests {
         assert_eq!(Code::PanicSite.as_str(), "SSD903");
         assert_eq!(Code::LockOrderViolation.as_str(), "SSD904");
         assert_eq!(Code::SpanLeak.as_str(), "SSD905");
+        assert_eq!(Code::InterprocLockInversion.as_str(), "SSD910");
+        assert_eq!(Code::BlockingUnderLock.as_str(), "SSD911");
+        assert_eq!(Code::AtomicOrderingUndeclared.as_str(), "SSD912");
+        assert_eq!(Code::PublishBeforeLog.as_str(), "SSD913");
+        assert_eq!(Code::FaultCoverageGap.as_str(), "SSD914");
         assert_eq!(Code::PanicSite.severity(), Severity::Warning);
         assert_eq!(Code::RegistryDrift.severity(), Severity::Error);
         for c in [
@@ -587,6 +627,11 @@ mod tests {
             Code::PanicSite,
             Code::LockOrderViolation,
             Code::SpanLeak,
+            Code::InterprocLockInversion,
+            Code::BlockingUnderLock,
+            Code::AtomicOrderingUndeclared,
+            Code::PublishBeforeLog,
+            Code::FaultCoverageGap,
         ] {
             assert!(c.is_lint());
             assert!(!c.is_runtime(), "{c}: lints are static, not runtime");

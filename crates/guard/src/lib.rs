@@ -59,11 +59,13 @@ impl CancelToken {
 
     /// Request cancellation. Idempotent; safe from any thread.
     pub fn cancel(&self) {
+        // lint: allow(atomic) — monotonic advisory flag; observers only poll it and no data is published under it, so no ordering is needed
         self.0.store(true, Ordering::Relaxed);
     }
 
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
+        // lint: allow(atomic) — see `cancel`: polling an advisory flag guards no data, so Relaxed is sufficient
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -1,0 +1,332 @@
+//! Workspace call graph with per-function effect summaries, the
+//! foundation of the interprocedural SSD91x band.
+//!
+//! Nodes are the `fn` items of every workspace source file (test code
+//! already elided). Call sites resolve by name: a call resolves to the
+//! unique function of that name in the caller's crate, or — failing
+//! that — to the unique function of that name anywhere in the
+//! workspace. Ambiguous names (two `submit`s, three `cancel`s) stay
+//! unresolved on purpose: a wrong edge would manufacture findings,
+//! a missing edge only loses one.
+//!
+//! Each node carries a [`Summary`] of its concurrency-relevant
+//! effects — hierarchy ranks acquired, blocking primitives called, WAL
+//! append/fsync behavior, `wal.*` fault points registered — seeded
+//! from its own tokens and propagated caller-ward to a fixpoint. All
+//! effects are monotone booleans or sets over a finite domain, so the
+//! propagation terminates on any call graph, cycles included.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{line_of, TokKind};
+use crate::locks;
+use crate::scan::{functions, Workspace};
+
+/// Keywords that may precede `(` without naming a call.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "in", "as", "move", "else", "let",
+];
+
+/// What a blocking primitive does, for messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Blocking {
+    Send,
+    Recv,
+    Join,
+    Fsync,
+    WriteAll,
+}
+
+impl Blocking {
+    pub fn describe(self) -> &'static str {
+        match self {
+            Blocking::Send => ".send(..)",
+            Blocking::Recv => ".recv(..)",
+            Blocking::Join => ".join()",
+            Blocking::Fsync => "fsync (.sync_data())",
+            Blocking::WriteAll => ".write_all(..)",
+        }
+    }
+}
+
+/// Concurrency/durability effects of one function, direct and
+/// propagated.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Summary {
+    /// LOCK_ORDER ranks this body acquires itself.
+    pub direct_acquires: BTreeSet<usize>,
+    /// Ranks acquired here or in any transitive callee.
+    pub acquires: BTreeSet<usize>,
+    /// The blocking primitive this body calls itself, if any.
+    pub direct_blocks: Option<Blocking>,
+    /// A blocking primitive is reachable from this function.
+    pub blocks: bool,
+    /// Appends bytes to the WAL (a store-crate `write_all`), directly
+    /// or transitively.
+    pub appends: bool,
+    /// Calls fsync (`sync_data`/`sync_all`), directly or transitively.
+    pub fsyncs: bool,
+    /// The body checks a `wal.*` fault point (a `"wal.…"` literal).
+    pub fault_checked: bool,
+}
+
+/// One resolved intra-workspace call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct CallSite {
+    /// Token index of the callee name in the caller's file.
+    pub tok: usize,
+    /// Node index of the callee.
+    pub callee: usize,
+}
+
+pub(crate) struct FnNode {
+    /// Index into `ws.files`.
+    pub file: usize,
+    pub krate: String,
+    pub name: String,
+    /// Token index of the name ident, for anchoring findings.
+    pub name_idx: usize,
+    pub body: Option<(usize, usize)>,
+    pub calls: Vec<CallSite>,
+    pub summary: Summary,
+}
+
+pub(crate) struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    /// (file index, token index of callee name) → callee node index.
+    sites: BTreeMap<(usize, usize), usize>,
+}
+
+impl CallGraph {
+    /// The node a resolved call site points at, if the name resolved.
+    pub fn callee_at(&self, file: usize, tok: usize) -> Option<usize> {
+        self.sites.get(&(file, tok)).copied()
+    }
+
+    /// Shortest call path (BFS, deterministic) from `from` to a node
+    /// matching `pred`, as node indices; `None` if unreachable.
+    pub fn path_to(&self, from: usize, pred: impl Fn(&FnNode) -> bool) -> Option<Vec<usize>> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if pred(&self.nodes[n]) {
+                let mut path = vec![n];
+                let mut cur = n;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for cs in &self.nodes[n].calls {
+                if seen.insert(cs.callee) {
+                    parent.insert(cs.callee, n);
+                    queue.push_back(cs.callee);
+                }
+            }
+        }
+        None
+    }
+
+    /// Render a `path_to` result as "a → b → c".
+    pub fn path_names(&self, path: &[usize]) -> String {
+        path.iter()
+            .map(|&i| self.nodes[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
+    /// Deterministic text rendering of every node, its call edges, and
+    /// its fixpoint summary — the oracle the determinism proptest
+    /// compares across independent builds.
+    pub fn render(&self, ws: &Workspace) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            let s = &n.summary;
+            let callees: Vec<&str> = n
+                .calls
+                .iter()
+                .map(|c| self.nodes[c.callee].name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "{}::{} [{}] calls=[{}] acquires={:?} blocks={} appends={} fsyncs={} fault={}\n",
+                n.krate,
+                n.name,
+                ws.files[n.file].rel,
+                callees.join(","),
+                s.acquires,
+                s.blocks,
+                s.appends,
+                s.fsyncs,
+                s.fault_checked,
+            ));
+        }
+        out
+    }
+}
+
+/// The blocking primitive a `.name(` method call names, if any.
+fn blocking_primitive(name: &str, no_args: bool) -> Option<Blocking> {
+    match name {
+        // JoinHandle::join takes no arguments; slice join takes one.
+        "join" if no_args => Some(Blocking::Join),
+        "send" => Some(Blocking::Send),
+        "recv" | "recv_timeout" | "recv_deadline" => Some(Blocking::Recv),
+        "sync_data" | "sync_all" => Some(Blocking::Fsync),
+        "write_all" => Some(Blocking::WriteAll),
+        _ => None,
+    }
+}
+
+/// Build the graph: collect nodes, seed direct effects, resolve calls,
+/// and propagate summaries to a fixpoint.
+pub(crate) fn build(ws: &Workspace, order: Option<&[String]>) -> CallGraph {
+    let mut nodes: Vec<FnNode> = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for info in functions(&f.src, &f.toks) {
+            nodes.push(FnNode {
+                file: fi,
+                krate: f.krate.clone(),
+                name: info.name,
+                name_idx: info.name_idx,
+                body: info.body,
+                calls: Vec::new(),
+                summary: Summary::default(),
+            });
+        }
+    }
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(n.name.clone()).or_default().push(i);
+    }
+
+    // Seed direct effects and resolve call sites.
+    let mut sites: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut seeded: Vec<(Vec<CallSite>, Summary)> = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        let Some(body) = n.body else {
+            seeded.push((Vec::new(), Summary::default()));
+            continue;
+        };
+        let f = &ws.files[n.file];
+        let (src, toks) = (&f.src, &f.toks);
+        let mut s = Summary::default();
+        let mut calls = Vec::new();
+        let mut j = body.0;
+        while j <= body.1 {
+            let t = &toks[j];
+            match t.kind {
+                TokKind::Str if t.text(src).starts_with("\"wal.") => {
+                    s.fault_checked = true;
+                }
+                TokKind::Ident => {
+                    let next_paren = j < body.1 && toks[j + 1].is_punct(b'(');
+                    if !next_paren {
+                        j += 1;
+                        continue;
+                    }
+                    let text = t.text(src);
+                    let prev_dot = j > body.0 && toks[j - 1].is_punct(b'.');
+                    let defines = j > 0 && toks[j - 1].is(src, "fn");
+                    let no_args = j + 2 <= body.1 && toks[j + 2].is_punct(b')');
+                    if prev_dot && text == "lock" {
+                        // An acquisition, not a call; charge the rank.
+                        if let Some(order) = order {
+                            let (resolved, _) = locks::lock_receiver(src, toks, body, j, order);
+                            let rank = resolved.and_then(|r| order.iter().position(|o| o == &r));
+                            if let Some(rank) = rank {
+                                if !f.allowed(line_of(src, t.start), "lock") {
+                                    s.direct_acquires.insert(rank);
+                                }
+                            }
+                        }
+                    } else if let Some(prim) = prev_dot
+                        .then(|| blocking_primitive(text, no_args))
+                        .flatten()
+                    {
+                        // Durability effects count even when a site is
+                        // allow()ed — SSD913 needs them to *pass*; only
+                        // the blocking attribution is suppressible.
+                        if prim == Blocking::Fsync {
+                            s.fsyncs = true;
+                        }
+                        if prim == Blocking::WriteAll && f.krate == "store" {
+                            s.appends = true;
+                        }
+                        if !f.allowed(line_of(src, t.start), "lock") {
+                            s.direct_blocks.get_or_insert(prim);
+                        }
+                    } else if !defines && !NOT_CALLS.contains(&text) {
+                        if let Some(callee) = resolve(&by_name, &nodes, text, &n.krate) {
+                            calls.push(CallSite { tok: j, callee });
+                            sites.insert((n.file, j), callee);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        s.acquires = s.direct_acquires.clone();
+        s.blocks = s.direct_blocks.is_some();
+        seeded.push((calls, s));
+    }
+    for (n, (calls, summary)) in nodes.iter_mut().zip(seeded) {
+        n.calls = calls;
+        n.summary = summary;
+    }
+
+    // Propagate effects caller-ward to a fixpoint. Monotone over a
+    // finite lattice, so this terminates even on recursive graphs.
+    loop {
+        let mut changed = false;
+        for i in 0..nodes.len() {
+            let callees: Vec<usize> = nodes[i].calls.iter().map(|c| c.callee).collect();
+            for callee in callees {
+                if callee == i {
+                    continue;
+                }
+                let cs = nodes[callee].summary.clone();
+                let s = &mut nodes[i].summary;
+                let before = s.acquires.len();
+                s.acquires.extend(cs.acquires.iter().copied());
+                changed |= s.acquires.len() != before;
+                for (mine, theirs) in [
+                    (&mut s.blocks, cs.blocks),
+                    (&mut s.appends, cs.appends),
+                    (&mut s.fsyncs, cs.fsyncs),
+                ] {
+                    if theirs && !*mine {
+                        *mine = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    CallGraph { nodes, sites }
+}
+
+fn resolve(
+    by_name: &BTreeMap<String, Vec<usize>>,
+    nodes: &[FnNode],
+    name: &str,
+    krate: &str,
+) -> Option<usize> {
+    let cands = by_name.get(name)?;
+    let same: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].krate == krate)
+        .collect();
+    match (same.len(), cands.len()) {
+        (1, _) => Some(same[0]),
+        (0, 1) => Some(cands[0]),
+        _ => None,
+    }
+}

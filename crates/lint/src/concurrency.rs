@@ -1,0 +1,242 @@
+//! L6–L8 concurrency soundness (SSD910–SSD912), on top of the
+//! workspace call graph.
+//!
+//! * **SSD910** — interprocedural lock-order inversion: a serve-crate
+//!   function holds a `LOCK_ORDER` lock across a call whose transitive
+//!   callees acquire an equal or outer rank. SSD904 sees only one body
+//!   at a time; this pass flows the held set into resolved callees.
+//! * **SSD911** — blocking under a lock, one or more calls deep: a
+//!   callee reachable from the call site sends/recvs on a channel,
+//!   joins a thread, fsyncs, or appends to the WAL.
+//! * **SSD912** — atomic-ordering discipline: cross-thread flags must
+//!   not use `Ordering::Relaxed` without a declared reason, and mixing
+//!   Relaxed with stronger orderings on the same flag is called out.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{line_of, matching, TokKind};
+use crate::locks;
+use crate::scan::{functions, SourceFile, Workspace};
+use crate::Finding;
+
+pub fn run(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
+    interprocedural(ws, graph, out);
+    atomics(ws, out);
+}
+
+/// SSD910/SSD911: walk serve-crate bodies with the SSD904 held-set
+/// tracker and judge every resolved call made while a lock is held
+/// against the callee's transitive summary.
+fn interprocedural(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
+    let serve: Vec<&SourceFile> = ws.files_of("serve").collect();
+    let Some(order) = locks::lock_order(&serve) else {
+        return; // SSD904 already reports the missing hierarchy
+    };
+    let file_index: BTreeMap<&str, usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel.as_str(), i))
+        .collect();
+    for f in &serve {
+        let fi = file_index[f.rel.as_str()];
+        for info in functions(&f.src, &f.toks) {
+            let Some(body) = info.body else { continue };
+            // Collect (call token, held locks) events first; the walker
+            // re-runs the SSD904 analysis into a scratch vec we drop.
+            let mut events: Vec<(usize, Vec<(usize, String)>)> = Vec::new();
+            let mut scratch = Vec::new();
+            locks::check_body(f, &info.name, body, &order, &mut scratch, |j, _, held| {
+                if !held.is_empty() {
+                    let held: Vec<(usize, String)> =
+                        held.iter().map(|h| (h.rank, h.name.clone())).collect();
+                    events.push((j, held));
+                }
+            });
+            for (j, held) in events {
+                let Some(callee) = graph.callee_at(fi, j) else {
+                    continue;
+                };
+                let t = &f.toks[j];
+                if f.allowed(line_of(&f.src, t.start), "lock") {
+                    continue;
+                }
+                let callee_node = &graph.nodes[callee];
+                let summary = &callee_node.summary;
+                let holding: Vec<&str> = held.iter().map(|(_, n)| n.as_str()).collect();
+                // SSD910: the callee (transitively) acquires a rank at
+                // or outside one we hold. One finding per site.
+                if let Some((rank, name)) = held.iter().find_map(|(hr, hn)| {
+                    summary
+                        .acquires
+                        .iter()
+                        .find(|&&r| r <= *hr)
+                        .map(|&r| (r, hn.clone()))
+                }) {
+                    let path = graph
+                        .path_to(callee, |n| n.summary.direct_acquires.contains(&rank))
+                        .map(|p| graph.path_names(&p))
+                        .unwrap_or_else(|| callee_node.name.clone());
+                    out.push(Finding::new(
+                        &f.rel,
+                        Diagnostic::new(
+                            Code::InterprocLockInversion,
+                            format!(
+                                "`{}` holds `{name}` and calls `{}`, which acquires `{}` \
+                                 (rank {rank}) via {path}; LOCK_ORDER is {}",
+                                info.name,
+                                callee_node.name,
+                                order[rank],
+                                order.join(" → ")
+                            ),
+                        )
+                        .with_span(Span::new(t.start, t.end))
+                        .with_suggestion(
+                            "drop the guard before the call, hoist the inner acquisition to the \
+                             caller, or annotate `// lint: allow(lock) — <reason>`",
+                        ),
+                    ));
+                } else if summary.blocks {
+                    // SSD911 (else: an inversion already covers the site).
+                    let blocked = graph.path_to(callee, |n| n.summary.direct_blocks.is_some());
+                    let path = blocked
+                        .as_deref()
+                        .map(|p| graph.path_names(p))
+                        .unwrap_or_else(|| callee_node.name.clone());
+                    let prim = blocked
+                        .as_deref()
+                        .and_then(|p| p.last())
+                        .and_then(|&i| graph.nodes[i].summary.direct_blocks)
+                        .map(|b| b.describe())
+                        .unwrap_or("a blocking call");
+                    out.push(Finding::new(
+                        &f.rel,
+                        Diagnostic::new(
+                            Code::BlockingUnderLock,
+                            format!(
+                                "`{}` calls `{}` while holding lock(s) {}; {prim} is reachable \
+                                 via {path}",
+                                info.name,
+                                callee_node.name,
+                                holding.join(", "),
+                            ),
+                        )
+                        .with_span(Span::new(t.start, t.end))
+                        .with_suggestion(
+                            "release the guard before the call, or annotate \
+                             `// lint: allow(lock) — <reason>` if the callee cannot block here",
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Per-flag record: the `Ordering`s seen, and every Relaxed site as a
+/// (file index, op token index) pair.
+type FlagUses = (BTreeSet<String>, Vec<(usize, usize)>);
+
+/// SSD912: collect every atomic access keyed by `(crate, receiver)`
+/// and flag `Ordering::Relaxed` uses that carry no declared reason.
+fn atomics(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut flags: BTreeMap<(String, String), FlagUses> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let (src, toks) = (&f.src, &f.toks);
+        for (j, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || !ATOMIC_OPS.contains(&t.text(src))
+                || j == 0
+                || !toks[j - 1].is_punct(b'.')
+                || j + 1 >= toks.len()
+                || !toks[j + 1].is_punct(b'(')
+            {
+                continue;
+            }
+            // Receiver field: the ident (or tuple index) before the dot.
+            let recv = (j >= 2
+                && (toks[j - 2].kind == TokKind::Ident || toks[j - 2].kind == TokKind::Num))
+                .then(|| toks[j - 2].text(src).to_owned());
+            let Some(recv) = recv else { continue };
+            // Orderings inside the argument list; none means this is
+            // not an atomic op (`Vec::store`, `Read::load`, ...).
+            let close = matching(toks, j + 1);
+            let mut orderings = Vec::new();
+            for k in j + 2..close {
+                if toks[k].kind == TokKind::Ident
+                    && ORDERINGS.contains(&toks[k].text(src))
+                    && k >= 3
+                    && toks[k - 1].is_punct(b':')
+                    && toks[k - 2].is_punct(b':')
+                    && toks[k - 3].is(src, "Ordering")
+                {
+                    orderings.push((k, toks[k].text(src).to_owned()));
+                }
+            }
+            if orderings.is_empty() {
+                continue;
+            }
+            let entry = flags.entry((f.krate.clone(), recv)).or_default();
+            for (_, o) in &orderings {
+                entry.0.insert(o.clone());
+            }
+            if orderings.iter().any(|(_, o)| o == "Relaxed") {
+                entry.1.push((fi, j));
+            }
+        }
+    }
+    for ((krate, recv), (orders, relaxed_sites)) in &flags {
+        for &(fi, j) in relaxed_sites {
+            let f = &ws.files[fi];
+            let t = &f.toks[j];
+            if f.allowed(line_of(&f.src, t.start), "atomic") {
+                continue;
+            }
+            let stronger: Vec<&str> = orders
+                .iter()
+                .map(String::as_str)
+                .filter(|o| *o != "Relaxed")
+                .collect();
+            let mixing = if stronger.is_empty() {
+                String::new()
+            } else {
+                format!(", mixing with {} elsewhere", stronger.join("/"))
+            };
+            out.push(Finding::new(
+                &f.rel,
+                Diagnostic::new(
+                    Code::AtomicOrderingUndeclared,
+                    format!(
+                        "atomic `{recv}` (crate `{krate}`) uses Ordering::Relaxed{mixing} \
+                         with no declared reason"
+                    ),
+                )
+                .with_span(Span::new(t.start, t.end))
+                .with_suggestion(
+                    "use the ordering the flag's cross-thread contract needs, or annotate \
+                     `// lint: allow(atomic) — <why relaxed is sound here>`",
+                ),
+            ));
+        }
+    }
+}

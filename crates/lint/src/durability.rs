@@ -1,0 +1,208 @@
+//! L9–L10 durability discipline (SSD913/SSD914) over the store crate.
+//!
+//! * **SSD913** — publish-before-log: the store's commit protocol is
+//!   *log → fsync → apply → swap*. Any assignment to the generation
+//!   pointer (`…current… = …`) must be preceded, on the same path,
+//!   by a WAL append and an fsync — directly or via callees whose
+//!   summaries carry those effects.
+//! * **SSD914** — fault-site coverage: every function in the store
+//!   crate that performs raw I/O must be reachable from a registered
+//!   `wal.*` fault point (contain one, or be called — transitively —
+//!   by a function that does), so the crash matrix keeps exercising
+//!   every failure path as the store grows.
+
+use ssd_diag::{Code, Diagnostic, Span};
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{line_of, TokKind};
+use crate::scan::Workspace;
+use crate::Finding;
+
+const STORE: &str = "store";
+
+/// Raw I/O primitives whose failure paths the fault matrix must reach.
+const RAW_IO: &[&str] = &[
+    "write_all",
+    "sync_data",
+    "sync_all",
+    "set_len",
+    "seek",
+    "read",
+    "read_exact",
+    "read_to_string",
+    "metadata",
+    "create_dir_all",
+    "rename",
+    "remove_file",
+];
+
+/// Method-chain tokens allowed between the `current` field and its
+/// assignment (`*lock(&self.current) = db`, `*self.current.lock() = db`).
+const CHAIN_IDENTS: &[&str] = &["lock", "unwrap", "expect", "write", "borrow_mut", "get_mut"];
+
+pub fn run(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
+    publishes(ws, graph, out);
+    coverage(ws, graph, out);
+}
+
+/// SSD913: find generation publishes and check the append+fsync
+/// evidence earlier on the same body.
+fn publishes(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
+    for n in graph.nodes.iter().filter(|n| n.krate == STORE) {
+        let Some(body) = n.body else { continue };
+        let f = &ws.files[n.file];
+        let (src, toks) = (&f.src, &f.toks);
+        for j in body.0..=body.1 {
+            let t = &toks[j];
+            // A publish: `.current`, then an optional method chain,
+            // then `=` (assignment, not `==`; struct-literal `current:`
+            // and plain reads never match).
+            if !(t.is(src, "current") && j > body.0 && toks[j - 1].is_punct(b'.')) {
+                continue;
+            }
+            let mut k = j + 1;
+            while k <= body.1 {
+                let c = &toks[k];
+                let chain = c.is_punct(b'(')
+                    || c.is_punct(b')')
+                    || c.is_punct(b'.')
+                    || (c.kind == TokKind::Ident && CHAIN_IDENTS.contains(&c.text(src)));
+                if chain {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            let assigns = k <= body.1
+                && toks[k].is_punct(b'=')
+                && !(k < body.1 && toks[k + 1].is_punct(b'='));
+            if !assigns {
+                continue;
+            }
+            // Evidence before the publish: WAL append + fsync, direct
+            // or through a resolved callee's summary.
+            let (mut append, mut fsync) = (false, false);
+            for e in body.0..j {
+                let et = &toks[e];
+                if et.kind != TokKind::Ident || e >= body.1 || !toks[e + 1].is_punct(b'(') {
+                    continue;
+                }
+                match et.text(src) {
+                    "write_all" => append = true,
+                    "sync_data" | "sync_all" => fsync = true,
+                    _ => {
+                        if let Some(c) = graph.callee_at(n.file, e) {
+                            let cs = &graph.nodes[c].summary;
+                            append |= cs.appends;
+                            fsync |= cs.fsyncs;
+                        }
+                    }
+                }
+            }
+            if append && fsync {
+                continue;
+            }
+            if f.allowed(line_of(src, t.start), "durability") {
+                continue;
+            }
+            let missing = if !append && !fsync {
+                "a WAL append or an fsync"
+            } else if !append {
+                "a WAL append"
+            } else {
+                "an fsync"
+            };
+            out.push(Finding::new(
+                &f.rel,
+                Diagnostic::new(
+                    Code::PublishBeforeLog,
+                    format!(
+                        "`{}` publishes a new store generation without {missing} earlier on \
+                         the same path; the commit protocol is log → fsync → apply → swap",
+                        n.name
+                    ),
+                )
+                .with_span(Span::new(t.start, t.end))
+                .with_suggestion(
+                    "append the op + COMMIT frames and fsync the WAL before swapping the \
+                     generation, or annotate `// lint: allow(durability) — <reason>`",
+                ),
+            ));
+        }
+    }
+}
+
+/// SSD914: propagate fault-point coverage from functions that register
+/// a `wal.*` point down their call edges, then flag store functions
+/// doing raw I/O that no fault point reaches.
+fn coverage(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Finding>) {
+    if !graph.nodes.iter().any(|n| n.krate == STORE) {
+        return;
+    }
+    let mut covered: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|n| n.summary.fault_checked)
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, n) in graph.nodes.iter().enumerate() {
+            if !covered[i] {
+                continue;
+            }
+            for cs in &n.calls {
+                if !covered[cs.callee] {
+                    covered[cs.callee] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if n.krate != STORE || covered[i] {
+            continue;
+        }
+        let Some(body) = n.body else { continue };
+        let f = &ws.files[n.file];
+        let (src, toks) = (&f.src, &f.toks);
+        let mut prims: Vec<&str> = Vec::new();
+        for j in body.0..body.1 {
+            let t = &toks[j];
+            let io = t.kind == TokKind::Ident
+                && RAW_IO.contains(&t.text(src))
+                && toks[j + 1].is_punct(b'(')
+                && j > body.0
+                && (toks[j - 1].is_punct(b'.') || toks[j - 1].is_punct(b':'));
+            if io && !prims.contains(&t.text(src)) {
+                prims.push(t.text(src));
+            }
+        }
+        if prims.is_empty() {
+            continue;
+        }
+        let name_tok = &toks[n.name_idx];
+        if f.allowed(line_of(src, name_tok.start), "durability") {
+            continue;
+        }
+        out.push(Finding::new(
+            &f.rel,
+            Diagnostic::new(
+                Code::FaultCoverageGap,
+                format!(
+                    "`{}` performs raw I/O ({}) that no registered `wal.*` fault point \
+                     reaches; the crash matrix cannot exercise this path",
+                    n.name,
+                    prims.join(", ")
+                ),
+            )
+            .with_span(Span::new(name_tok.start, name_tok.end))
+            .with_suggestion(
+                "check a faults.hit(\"wal.…\") point on this path, or annotate \
+                 `// lint: allow(durability) — <reason>` if a crash here is benign",
+            ),
+        ));
+    }
+}

@@ -7,7 +7,7 @@
 //! lexer rather than `syn` — consistent with the hermetic offline
 //! build.
 //!
-//! Five lints, one SSD9xx code each:
+//! Ten lints across two bands. The SSD90x band is intraprocedural:
 //!
 //! | code   | lint            | invariant |
 //! |--------|-----------------|-----------|
@@ -17,11 +17,27 @@
 //! | SSD904 | lock-order      | `.lock()` nesting follows serve's LOCK_ORDER; no blocking while held |
 //! | SSD905 | span-discipline | tracer spans are bound and closed |
 //!
+//! The SSD91x band is interprocedural, built on a workspace call graph
+//! ([`callgraph`]) whose per-function effect summaries (locks acquired,
+//! blocking primitives, WAL appends/fsyncs, fault points) are
+//! propagated to a fixpoint:
+//!
+//! | code   | lint               | invariant |
+//! |--------|--------------------|-----------|
+//! | SSD910 | interproc-locks    | no call chain re-enters the hierarchy at an outer rank |
+//! | SSD911 | blocking-under-lock| no blocking primitive reachable while a lock is held |
+//! | SSD912 | atomic-ordering    | `Ordering::Relaxed` only with a declared reason |
+//! | SSD913 | publish-before-log | store generation swap dominated by WAL append + fsync |
+//! | SSD914 | fault-coverage     | raw store I/O reachable from a `wal.*` fault point |
+//!
 //! Deliberate exceptions are annotated in the source as
-//! `// lint: allow(panic|guard|lock|span) — <reason>`; the reason is
-//! mandatory (a reasonless annotation is inert and itself reported).
-//! See `docs/LINTS.md`.
+//! `// lint: allow(panic|guard|lock|span|atomic|durability) — <reason>`;
+//! the reason is mandatory (a reasonless annotation is inert and itself
+//! reported). See `docs/LINTS.md`.
 
+mod callgraph;
+mod concurrency;
+mod durability;
 mod guards;
 pub mod lexer;
 mod locks;
@@ -58,6 +74,7 @@ impl Finding {
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    pub functions_scanned: usize,
     sources: BTreeMap<String, String>,
 }
 
@@ -85,6 +102,33 @@ impl Report {
         out
     }
 
+    /// Machine-readable rendering: one JSON object per finding, one
+    /// per line, no summary — for `ssd lint --json`. Hand-formatted to
+    /// keep the crate dependency-free.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let line = f
+                .diag
+                .span
+                .and_then(|s| {
+                    self.sources
+                        .get(&f.file)
+                        .map(|src| lexer::line_of(src, s.start))
+                })
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}\n",
+                f.diag.code.as_str(),
+                if f.diag.is_error() { "error" } else { "warning" },
+                json_escape(&f.file),
+                line,
+                json_escape(&f.diag.message),
+            ));
+        }
+        out
+    }
+
     pub fn summary(&self) -> String {
         if self.findings.is_empty() {
             format!("ssd lint: clean ({} files scanned)", self.files_scanned)
@@ -99,7 +143,24 @@ impl Report {
     }
 }
 
-/// Run all five lints over the workspace rooted at `root`.
+/// Minimal JSON string escaping for the `--json` rendering.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Run all ten lints over the workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let ws = scan::load(root)?;
     let mut findings = Vec::new();
@@ -120,7 +181,8 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
                 ));
             }
             for k in &a.kinds {
-                if !["panic", "guard", "lock", "span"].contains(&k.as_str()) {
+                if !["panic", "guard", "lock", "span", "atomic", "durability"].contains(&k.as_str())
+                {
                     findings.push(Finding::new(
                         &f.rel,
                         Diagnostic::new(
@@ -138,6 +200,10 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     panics::run(&ws, &mut findings);
     locks::run(&ws, &mut findings);
     spans::run(&ws, &mut findings);
+    let order = locks::lock_order_of(&ws);
+    let graph = callgraph::build(&ws, order.as_deref());
+    concurrency::run(&ws, &graph, &mut findings);
+    durability::run(&ws, &graph, &mut findings);
     findings.sort_by(|a, b| {
         let ka = (
             a.file.as_str(),
@@ -155,9 +221,20 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     });
     Ok(Report {
         files_scanned: ws.files.len(),
+        functions_scanned: graph.nodes.len(),
         sources: ws.sources(),
         findings,
     })
+}
+
+/// Deterministic text rendering of the workspace call graph — nodes,
+/// resolved edges, fixpoint effect summaries. Exposed for the
+/// determinism/termination property tests and for debugging.
+pub fn callgraph_debug(root: &Path) -> Result<String, String> {
+    let ws = scan::load(root)?;
+    let order = locks::lock_order_of(&ws);
+    let graph = callgraph::build(&ws, order.as_deref());
+    Ok(graph.render(&ws))
 }
 
 fn code_for_kind(kind: &str) -> Code {
@@ -165,6 +242,8 @@ fn code_for_kind(kind: &str) -> Code {
         "guard" => Code::GuardBypass,
         "lock" => Code::LockOrderViolation,
         "span" => Code::SpanLeak,
+        "atomic" => Code::AtomicOrderingUndeclared,
+        "durability" => Code::PublishBeforeLog,
         _ => Code::PanicSite,
     }
 }
@@ -218,6 +297,55 @@ pub fn explain(code: &str) -> Option<&'static str> {
              spans are for cross-thread regions; if another function owns the close, annotate \
              `// lint: allow(span) — <reason>`), and mem::forget in library code. The dynamic \
              counterpart is Tracer::validate, exercised by tests/trace.rs."
+        }
+        "SSD910" => {
+            "SSD910 interproc-locks: lock-order inversion across function boundaries. The \
+             workspace call graph resolves every unambiguous call and propagates the set of \
+             LOCK_ORDER ranks each function (transitively) acquires to a fixpoint. A call made \
+             while holding rank R whose callee summary contains a rank ≤ R is a deadlock shape \
+             SSD904 cannot see — the two acquisitions live in different bodies, potentially \
+             several hops apart. The finding names the shortest call path to the offending \
+             acquisition. Fix by dropping the guard before the call or hoisting the inner \
+             acquisition to the caller; annotate `// lint: allow(lock) — <reason>` at the call \
+             site only when the path is provably not concurrent."
+        }
+        "SSD911" => {
+            "SSD911 blocking-under-lock: a blocking primitive — channel .send()/.recv(), \
+             JoinHandle::join(), fsync (.sync_data()/.sync_all()), or a WAL .write_all() — is \
+             reachable through the call graph from a call made while a LOCK_ORDER lock is held. \
+             Holding a mutex across I/O or a rendezvous stalls every other thread that needs \
+             that rank, which is precisely the contention the serve crate's hierarchy exists to \
+             bound. Release the guard first, or annotate the blocking site itself with \
+             `// lint: allow(lock) — <reason>` when it cannot actually block (e.g. an unbounded \
+             mpsc send, which only enqueues)."
+        }
+        "SSD912" => {
+            "SSD912 atomic-ordering: every atomic access is keyed by (crate, field) and its \
+             `Ordering` arguments collected. `Ordering::Relaxed` provides no happens-before \
+             edge, so any Relaxed use on a cross-thread flag must carry a declared reason: \
+             `// lint: allow(atomic) — <why relaxed is sound here>`. Mixing Relaxed with \
+             stronger orderings on the same flag is called out in the message, since the \
+             stronger sites usually mark a synchronization contract the Relaxed site is \
+             silently opting out of."
+        }
+        "SSD913" => {
+            "SSD913 publish-before-log: the store's crash-safety argument is the WAL protocol \
+             log → fsync → apply → swap. Publishing a new store generation (an assignment \
+             through the `current` mutex) without a WAL append AND an fsync earlier in the same \
+             body — directly or via callees whose effect summaries carry them — would let a \
+             crash lose an acknowledged mutation or expose an unlogged state. Durability \
+             effects ignore allow() annotations, so an allowed fsync still counts as evidence; \
+             a genuinely volatile publish (e.g. first boot before any WAL exists) is annotated \
+             `// lint: allow(durability) — <reason>`."
+        }
+        "SSD914" => {
+            "SSD914 fault-coverage: the crash matrix in tests/crash.rs drives recovery through \
+             registered `wal.*` fault points. Every store-crate function performing raw file \
+             I/O (write_all, sync_data, set_len, seek, rename, ...) must be reachable from one: \
+             either its body checks a `\"wal.…\"` point or a (transitive) caller does, \
+             propagated along resolved call edges. An unreachable I/O site is a failure path \
+             the matrix can never exercise. Register a fault point on the path, or annotate \
+             `// lint: allow(durability) — <reason>` when a crash at the site is benign."
         }
         _ => return None,
     })

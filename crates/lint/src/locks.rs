@@ -6,12 +6,13 @@
 //! (b) nested acquisition out of hierarchy order (including
 //! re-acquiring the same rank), and (c) blocking operations —
 //! `JoinHandle::join()`, channel `.send(..)`/`.recv(..)` — while any
-//! lock is held. The analysis is intraprocedural by design: cross-
-//! function discipline is what the hierarchy itself documents.
+//! lock is held. The analysis here is intraprocedural; the same
+//! held-set walker feeds the interprocedural SSD910/SSD911 checks in
+//! `concurrency.rs` via the `at_call` hook of [`check_body`].
 
 use ssd_diag::{Code, Diagnostic, Span};
 
-use crate::lexer::{line_of, TokKind};
+use crate::lexer::{line_of, Tok, TokKind};
 use crate::scan::{functions, SourceFile, Workspace};
 use crate::Finding;
 
@@ -39,13 +40,13 @@ pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
     for f in &serve {
         for info in functions(&f.src, &f.toks) {
             let Some(body) = info.body else { continue };
-            check_body(f, &info.name, body, &order, out);
+            check_body(f, &info.name, body, &order, out, |_, _, _| {});
         }
     }
 }
 
 /// Parse `LOCK_ORDER: &[&str] = &["a", "b", ...]` from serve's lib.rs.
-fn lock_order(serve: &[&SourceFile]) -> Option<Vec<String>> {
+pub(crate) fn lock_order(serve: &[&SourceFile]) -> Option<Vec<String>> {
     let lib = serve.iter().find(|f| f.rel == SERVE_LIB)?;
     let toks = &lib.toks;
     let at = toks.iter().position(|t| t.is(&lib.src, "LOCK_ORDER"))?;
@@ -63,24 +64,36 @@ fn lock_order(serve: &[&SourceFile]) -> Option<Vec<String>> {
     (!names.is_empty()).then_some(names)
 }
 
+/// The hierarchy for a whole workspace, if its serve crate declares one.
+pub(crate) fn lock_order_of(ws: &Workspace) -> Option<Vec<String>> {
+    let serve: Vec<&SourceFile> = ws.files_of("serve").collect();
+    lock_order(&serve)
+}
+
 /// One lock currently held while walking a function body.
-struct Held {
-    rank: usize,
-    name: String,
+pub(crate) struct Held {
+    pub rank: usize,
+    pub name: String,
     /// `Some(var)` for `let var = ..lock()..`, `None` for a temporary.
-    var: Option<String>,
+    pub var: Option<String>,
     /// Brace depth at acquisition; lets release when depth drops below,
     /// temporaries at the `;` ending their statement (or a `}` closing
     /// a block they were the tail expression of).
-    depth: i32,
+    pub depth: i32,
 }
 
-fn check_body(
+/// Walk one function body tracking held locks, emitting the SSD904
+/// findings into `out`. `at_call` fires for every call site
+/// (`name(..)` or `.name(..)`, excluding `.lock()` acquisitions and
+/// `drop(x)`) with the token index of the callee name and the locks
+/// held at that point — the hook the interprocedural checks build on.
+pub(crate) fn check_body(
     f: &SourceFile,
     fn_name: &str,
     body: (usize, usize),
     order: &[String],
     out: &mut Vec<Finding>,
+    mut at_call: impl FnMut(usize, bool, &[Held]),
 ) {
     let src = &f.src;
     let toks = &f.toks;
@@ -114,39 +127,109 @@ fn check_body(
                 {
                     let var = toks[j + 2].text(src);
                     held.retain(|h| h.var.as_deref() != Some(var));
-                } else if prev_dot && next_paren && !held.is_empty() {
-                    let blocking = match text {
-                        // JoinHandle::join takes no arguments; slice
-                        // join (`parts.join(", ")`) always takes one.
-                        "join" => j + 2 <= body.1 && toks[j + 2].is_punct(b')'),
-                        "send" | "recv" | "recv_timeout" | "recv_deadline" => true,
-                        _ => false,
-                    };
-                    if blocking && !f.allowed(line_of(src, t.start), "lock") {
-                        let holding: Vec<&str> = held.iter().map(|h| h.name.as_str()).collect();
-                        out.push(Finding::new(
-                            &f.rel,
-                            Diagnostic::new(
-                                Code::LockOrderViolation,
-                                format!(
-                                    "`{fn_name}` calls blocking `.{text}(..)` while holding \
-                                     lock(s) {}",
-                                    holding.join(", ")
+                } else if next_paren {
+                    if prev_dot && !held.is_empty() {
+                        let blocking = match text {
+                            // JoinHandle::join takes no arguments; slice
+                            // join (`parts.join(", ")`) always takes one.
+                            "join" => j + 2 <= body.1 && toks[j + 2].is_punct(b')'),
+                            "send" | "recv" | "recv_timeout" | "recv_deadline" => true,
+                            _ => false,
+                        };
+                        if blocking && !f.allowed(line_of(src, t.start), "lock") {
+                            let holding: Vec<&str> = held.iter().map(|h| h.name.as_str()).collect();
+                            out.push(Finding::new(
+                                &f.rel,
+                                Diagnostic::new(
+                                    Code::LockOrderViolation,
+                                    format!(
+                                        "`{fn_name}` calls blocking `.{text}(..)` while holding \
+                                         lock(s) {}",
+                                        holding.join(", ")
+                                    ),
+                                )
+                                .with_span(Span::new(t.start, t.end))
+                                .with_suggestion(
+                                    "release the guard first (`drop(guard)`) or move the blocking \
+                                     call out of the critical section",
                                 ),
-                            )
-                            .with_span(Span::new(t.start, t.end))
-                            .with_suggestion(
-                                "release the guard first (`drop(guard)`) or move the blocking \
-                                 call out of the critical section",
-                            ),
-                        ));
+                            ));
+                        }
                     }
+                    at_call(j, prev_dot, &held);
                 }
             }
             _ => {}
         }
         j += 1;
     }
+}
+
+/// Resolve the receiver of the `.lock()` whose `lock` ident is `toks[j]`.
+///
+/// Returns `(resolved, display)`: a plain field chain
+/// (`self.inner.state.lock()`) resolves to its trailing field name; a
+/// chain through calls (`self.state_cell().lock()`) renders the whole
+/// chain as `display` and resolves to the innermost chain identifier
+/// that names a hierarchy lock, when one exists.
+pub(crate) fn lock_receiver(
+    src: &str,
+    toks: &[Tok],
+    body: (usize, usize),
+    j: usize,
+    order: &[String],
+) -> (Option<String>, String) {
+    if j >= 2 && toks[j - 2].kind == TokKind::Ident {
+        let recv = toks[j - 2].text(src);
+        return (Some(recv.to_owned()), recv.to_owned());
+    }
+    if j < 2 || !toks[j - 2].is_punct(b')') {
+        return (None, String::new());
+    }
+    // Walk the receiver chain backwards from the `.` before `lock`,
+    // skipping over `(..)` groups so `self.cell().lock()` resolves as
+    // one chain rather than stopping at the `)`.
+    let mut k = j - 1;
+    while k > body.0 {
+        let p = &toks[k - 1];
+        match p.kind {
+            TokKind::Ident | TokKind::Num | TokKind::Punct(b'.') | TokKind::Punct(b':') => k -= 1,
+            TokKind::Punct(b')') => {
+                let mut d = 0i32;
+                let mut m = k - 1;
+                loop {
+                    if toks[m].is_punct(b')') {
+                        d += 1;
+                    } else if toks[m].is_punct(b'(') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    if m == body.0 {
+                        break;
+                    }
+                    m -= 1;
+                }
+                if d != 0 {
+                    break;
+                }
+                k = m;
+            }
+            _ => break,
+        }
+    }
+    if k >= j - 1 {
+        return (None, String::new());
+    }
+    let display = src[toks[k].start..toks[j - 1].start].trim().to_owned();
+    let resolved = toks[k..j - 1]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text(src))
+        .rfind(|name| order.iter().any(|o| o == name))
+        .map(str::to_owned);
+    (resolved, display)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -165,16 +248,23 @@ fn acquire(
     let t = &toks[j];
     let line = line_of(src, t.start);
     // Receiver: the identifier before `.lock()` — for a field chain
-    // like `self.inner.state.lock()` that is the field name `state`.
-    let recv = (j >= 2 && toks[j - 2].kind == TokKind::Ident).then(|| toks[j - 2].text(src));
-    let Some(recv) = recv else {
+    // like `self.inner.state.lock()` that is the field name `state` —
+    // or, for a chain through calls, the hierarchy name the chain
+    // resolves to (`self.state_cell().lock()` → `state` if named).
+    let (resolved, display) = lock_receiver(src, toks, body, j, order);
+    let Some(recv) = resolved else {
         if !f.allowed(line, "lock") {
+            let what = if display.is_empty() {
+                "an expression".to_owned()
+            } else {
+                format!("`{display}`")
+            };
             out.push(Finding::new(
                 &f.rel,
                 Diagnostic::new(
                     Code::LockOrderViolation,
                     format!(
-                        "`{fn_name}` calls .lock() on an expression; name the mutex so the \
+                        "`{fn_name}` calls .lock() on {what}; name the mutex so the \
                              hierarchy applies"
                     ),
                 )
@@ -183,7 +273,7 @@ fn acquire(
         }
         return;
     };
-    let Some(rank) = order.iter().position(|n| n == recv) else {
+    let Some(rank) = order.iter().position(|n| n == &recv) else {
         if !f.allowed(line, "lock") {
             out.push(Finding::new(
                 &f.rel,
@@ -201,12 +291,17 @@ fn acquire(
     };
     for h in held.iter() {
         if rank <= h.rank && !f.allowed(line, "lock") {
+            let via = if display == recv {
+                String::new()
+            } else {
+                format!(" via `{display}.lock()`")
+            };
             out.push(Finding::new(
                 &f.rel,
                 Diagnostic::new(
                     Code::LockOrderViolation,
                     format!(
-                        "`{fn_name}` acquires `{recv}` (rank {rank}) while holding `{}` \
+                        "`{fn_name}` acquires `{recv}` (rank {rank}){via} while holding `{}` \
                          (rank {}); LOCK_ORDER is {}",
                         h.name,
                         h.rank,
@@ -261,7 +356,7 @@ fn acquire(
     }
     held.push(Held {
         rank,
-        name: recv.to_owned(),
+        name: recv,
         var,
         depth,
     });

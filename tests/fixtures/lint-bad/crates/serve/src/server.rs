@@ -23,4 +23,55 @@ impl Inner {
         let r = self.rogue.lock();
         drop(r);
     }
+
+    /// L6 (two hops): holds `workers` while a transitive callee takes
+    /// `state`. No single body shows the inversion, so L4 cannot see it.
+    pub fn outer_hop(&self) {
+        let w = self.workers.lock();
+        self.middle_hop();
+        drop(w);
+    }
+
+    /// The hop: acquires nothing itself.
+    pub fn middle_hop(&self) {
+        self.inner_acquire();
+    }
+
+    /// The far end of the chain.
+    pub fn inner_acquire(&self) {
+        let s = self.state.lock();
+        drop(s);
+    }
+
+    /// L7: a blocking send one call away while `state` is held.
+    pub fn outer_block(&self) {
+        let s = self.state.lock();
+        self.deep_send();
+        drop(s);
+    }
+
+    /// Blocks, but holds nothing — clean on its own.
+    pub fn deep_send(&self) {
+        self.tx.send(2);
+    }
+
+    /// L4 via a call chain: the receiver resolves through `.state()`.
+    pub fn chain_resolved(&self) {
+        let w = self.workers.lock();
+        let s = self.inner.state().lock();
+        drop(s);
+        drop(w);
+    }
+
+    /// L4: a lock on an unnamed expression reports the chain itself.
+    pub fn chain_unresolved(&self) {
+        let g = self.cell().lock();
+        drop(g);
+    }
+
+    /// L8: Relaxed poll on a flag that uses SeqCst elsewhere.
+    pub fn mixed_flag(&self) -> bool {
+        self.closed.store(true, Ordering::SeqCst);
+        self.closed.load(Ordering::Relaxed)
+    }
 }

@@ -1,0 +1,26 @@
+//! Seeded L9/L10 violations: the WAL publish protocol and fault
+//! coverage.
+
+pub struct Store;
+
+impl Store {
+    /// L9: publishes a new generation with no WAL append or fsync
+    /// anywhere before the swap.
+    pub fn commit_unlogged(&self, db: u32) {
+        self.faults.hit("wal.apply");
+        *self.current.lock() = db;
+    }
+
+    /// Clean: log → fsync → apply → swap.
+    pub fn commit_ok(&self, db: u32) {
+        self.faults.hit("wal.write");
+        self.wal.write_all(b"frame");
+        self.wal.sync_data();
+        *self.current.lock() = db;
+    }
+
+    /// L10: raw I/O on a path no `wal.*` fault point reaches.
+    pub fn sideload(&self, bytes: &[u8]) {
+        self.file.write_all(bytes);
+    }
+}

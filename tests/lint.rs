@@ -6,7 +6,13 @@
 //! the golden findings — one or more per lint: SSD901 RegistryDrift,
 //! SSD902 GuardBypass, SSD903 PanicSite, SSD904 LockOrderViolation,
 //! SSD905 SpanLeak (`Code::RegistryDrift`, `Code::GuardBypass`,
-//! `Code::PanicSite`, `Code::LockOrderViolation`, `Code::SpanLeak`).
+//! `Code::PanicSite`, `Code::LockOrderViolation`, `Code::SpanLeak`),
+//! and the interprocedural band: SSD910 InterprocLockInversion, SSD911
+//! BlockingUnderLock, SSD912 AtomicOrderingUndeclared, SSD913
+//! PublishBeforeLog, SSD914 FaultCoverageGap
+//! (`Code::InterprocLockInversion`, `Code::BlockingUnderLock`,
+//! `Code::AtomicOrderingUndeclared`, `Code::PublishBeforeLog`,
+//! `Code::FaultCoverageGap`).
 
 use std::path::{Path, PathBuf};
 
@@ -44,6 +50,11 @@ fn seeded_fixture_violations_match_the_golden_findings() {
         Code::PanicSite,
         Code::LockOrderViolation,
         Code::SpanLeak,
+        Code::InterprocLockInversion,
+        Code::BlockingUnderLock,
+        Code::AtomicOrderingUndeclared,
+        Code::PublishBeforeLog,
+        Code::FaultCoverageGap,
     ] {
         assert!(
             report.findings.iter().any(|f| f.diag.code == code),
@@ -51,6 +62,24 @@ fn seeded_fixture_violations_match_the_golden_findings() {
             report.render()
         );
     }
+    // The tentpole case: a two-hop lock inversion the intraprocedural
+    // SSD904 pass provably cannot see (`outer_hop` never names `state`).
+    let two_hop = report
+        .findings
+        .iter()
+        .find(|f| f.diag.code == Code::InterprocLockInversion)
+        .expect("SSD910 fired");
+    assert!(
+        two_hop.diag.message.contains("middle_hop → inner_acquire"),
+        "SSD910 should name the call path: {}",
+        two_hop.diag.message
+    );
+    assert!(
+        !report.findings.iter().any(|f| {
+            f.diag.code == Code::LockOrderViolation && f.diag.message.contains("outer_hop")
+        }),
+        "SSD904 must NOT see the two-hop inversion (it spans bodies)"
+    );
     // Errors present, so the gate fails with or without --deny-warnings.
     assert!(ssd_lint::should_fail(&report, false));
     assert!(ssd_lint::should_fail(&report, true));
@@ -88,4 +117,125 @@ fn a_clean_report_renders_a_clean_summary() {
     let report = ssd_lint::lint_workspace(&workspace_root()).expect("lint runs");
     assert!(report.summary().contains("clean"), "{}", report.summary());
     assert!(report.files_scanned > 30, "{}", report.files_scanned);
+    assert!(
+        report.functions_scanned > 100,
+        "{}",
+        report.functions_scanned
+    );
+}
+
+#[test]
+fn json_rendering_is_one_object_per_finding_per_line() {
+    let root = workspace_root();
+    let report =
+        ssd_lint::lint_workspace(&root.join("tests/fixtures/lint-bad")).expect("fixture lints");
+    let json = report.render_json();
+    let lines: Vec<&str> = json.lines().collect();
+    assert_eq!(lines.len(), report.findings.len());
+    for (line, f) in lines.iter().zip(&report.findings) {
+        assert!(
+            line.starts_with("{\"code\":\"SSD9") && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains(&format!("\"code\":\"{}\"", f.diag.code.as_str())));
+        assert!(line.contains("\"severity\":\""));
+        assert!(line.contains("\"file\":\""));
+        assert!(line.contains("\"line\":"));
+        assert!(line.contains("\"message\":\""));
+        // No raw control characters or unescaped interior quotes: the
+        // object must keep exactly four quoted fields.
+        assert!(
+            !line.chars().any(|c| (c as u32) < 0x20),
+            "raw control: {line}"
+        );
+    }
+    // The clean workspace renders to an empty JSON stream.
+    let clean = ssd_lint::lint_workspace(&root).expect("lint runs");
+    assert_eq!(clean.render_json(), "");
+}
+
+/// Property tests for the call-graph layer: building the same randomly
+/// generated workspace — including self- and mutually-recursive call
+/// cycles — from two separate directory trees yields byte-identical
+/// renders (determinism), and construction always completes (the
+/// effect-summary fixpoint terminates on cyclic graphs).
+mod callgraph_properties {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use proptest::prelude::*;
+
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+
+    /// One generated function: which hierarchy lock it takes (if any),
+    /// which functions it calls (indices taken mod the function count,
+    /// so recursion and cycles arise naturally), and whether it blocks.
+    #[derive(Debug, Clone)]
+    struct GenFn {
+        lock: Option<usize>,
+        calls: Vec<usize>,
+        sends: bool,
+    }
+
+    fn gen_fn() -> impl Strategy<Value = GenFn> {
+        (
+            (any::<bool>(), 0usize..2),
+            proptest::collection::vec(0usize..16, 0..4),
+            any::<bool>(),
+        )
+            .prop_map(|((locks, l), calls, sends)| GenFn {
+                lock: locks.then_some(l),
+                calls,
+                sends,
+            })
+    }
+
+    fn write_workspace(fns: &[GenFn]) -> PathBuf {
+        let id = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ssd-lint-prop-{}-{id}", std::process::id()));
+        let src_dir = dir.join("crates/serve/src");
+        std::fs::create_dir_all(&src_dir).expect("mkdir");
+        let mut src =
+            String::from("pub const LOCK_ORDER: &[&str] = &[\"state\", \"workers\"];\n\n");
+        let order = ["state", "workers"];
+        for (i, f) in fns.iter().enumerate() {
+            src.push_str(&format!("pub fn f{i}() {{\n"));
+            if let Some(l) = f.lock {
+                src.push_str(&format!("    let g = {}.lock();\n", order[l]));
+            }
+            for &c in &f.calls {
+                src.push_str(&format!("    f{}();\n", c % fns.len()));
+            }
+            if f.sends {
+                src.push_str("    tx.send(1);\n");
+            }
+            if f.lock.is_some() {
+                src.push_str("    drop(g);\n");
+            }
+            src.push_str("}\n\n");
+        }
+        std::fs::write(src_dir.join("lib.rs"), src).expect("write fixture");
+        dir
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn callgraph_is_deterministic_and_propagation_terminates(
+            fns in proptest::collection::vec(gen_fn(), 1..16)
+        ) {
+            let a = write_workspace(&fns);
+            let b = write_workspace(&fns);
+            // Completing at all is the termination property: the
+            // generated graphs are full of self-loops and cycles.
+            let ra = ssd_lint::callgraph_debug(&a).expect("build a");
+            let rb = ssd_lint::callgraph_debug(&b).expect("build b");
+            // And linting the whole thing must terminate too.
+            let report = ssd_lint::lint_workspace(&a).expect("lint");
+            let _ = report.render();
+            std::fs::remove_dir_all(&a).ok();
+            std::fs::remove_dir_all(&b).ok();
+            prop_assert_eq!(ra, rb);
+        }
+    }
 }
