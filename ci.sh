@@ -215,12 +215,15 @@ fi
 rm -rf "$store_dir"; rm -f "$serve2_log" "$serve3_log" "$w_out" "$t_out"
 
 echo "== perf trajectory artifacts (BENCH_*.json)" >&2
-# The experiment report must emit all four machine-readable data
+# The experiment report must emit all five machine-readable data
 # points; EXPERIMENTS.md explains the series they extend.
 timeout 600 cargo run -q --release -p ssd-bench --bin report --offline >/dev/null
-for f in BENCH_serve.json BENCH_trace.json BENCH_store.json BENCH_lint.json; do
+for f in BENCH_serve.json BENCH_trace.json BENCH_store.json BENCH_lint.json BENCH_index.json; do
     [ -s "$f" ] || { echo "ci: $f was not emitted" >&2; exit 1; }
     grep -q '"experiment"' "$f"
 done
+# E20 shape: the batched pipeline must be present at every size and
+# carry a speedup column (the measured values live in EXPERIMENTS.md).
+grep -q '"speedup"' BENCH_index.json
 
 echo "ci: all gates passed" >&2

@@ -45,7 +45,7 @@ fn header(title: &str) {
 }
 
 fn main() {
-    println!("semistructured — experiment report (E1–E12, E15–E19)");
+    println!("semistructured — experiment report (E1–E12, E15–E20)");
     println!("paper: Buneman, \"Semistructured Data\", PODS 1997 (tutorial; no tables — series defined in EXPERIMENTS.md)");
 
     e01();
@@ -65,6 +65,7 @@ fn main() {
     e17();
     e18();
     e19();
+    e20();
     println!("\nreport complete.");
 }
 
@@ -881,6 +882,76 @@ fn e19() {
              \"wall_us\": {wall_us:.1},\n  \"per_file_us\": {per_file:.1},\n  \
              \"files_scanned\": {files},\n  \"functions_scanned\": {functions},\n  \
              \"findings\": {findings}\n}}\n",
+        ),
+    );
+}
+
+fn e20() {
+    header("E20 — batched columnar execution vs interpreter (µs, median of 9)");
+    use semistructured::query::{evaluate_batched, plan_access};
+    use semistructured::{DataStats, TripleIndex};
+
+    // Batchable stand-ins for the E3/E5/E10 workloads: the E3 join; the
+    // E5 three-step path and its σ-label analog (a selective lookup the
+    // POS permutation answers directly, E5's "σ-label index" column as a
+    // full select query); and the E10 selective filter without its
+    // (unbatchable) `%*` tail.
+    let cases: [(&str, &str); 4] = [
+        (
+            "E3-join",
+            r#"select {p: {t: T, d: D}} from db.Entry.Movie M, M.Title T, M.Director D
+               where exists M.Cast"#,
+        ),
+        ("E5-path3", "select T from db.Entry.Movie.Title T"),
+        (
+            "E5-sigma",
+            r#"select X from db.Entry.Movie.Title."Movie 7" X"#,
+        ),
+        (
+            "E10-filter",
+            r#"select {t: T} from db.Entry.Movie M, M.Year Y, M.Title T where Y < 1935"#,
+        ),
+    ];
+    println!(
+        "{:>8} {:>12} {:>14} {:>12} {:>10} {:>9}",
+        "entries", "query", "interpreter", "batched", "speedup", "results"
+    );
+    let mut rows = Vec::new();
+    for &size in &[30usize, 100, 300] {
+        let g = movies(size);
+        let index = TripleIndex::build(&g).expect("index build");
+        let stats = DataStats::collect(&g);
+        for (name, text) in &cases {
+            let q = parse_query(text).unwrap();
+            let plan = plan_access(&g, &index, &stats, &q).expect("plannable");
+            let t_interp = time_us(9, || {
+                evaluate_select(&g, &q, &EvalOptions::default()).unwrap()
+            });
+            let t_batch = time_us(9, || {
+                evaluate_batched(&g, &index, &q, &plan, &EvalOptions::default()).unwrap()
+            });
+            let (_, bstats) =
+                evaluate_batched(&g, &index, &q, &plan, &EvalOptions::default()).unwrap();
+            let speedup = t_interp / t_batch.max(0.001);
+            println!(
+                "{size:>8} {name:>12} {t_interp:>14.1} {t_batch:>12.1} {speedup:>9.1}x {:>9}",
+                bstats.results_constructed
+            );
+            rows.push(format!(
+                "    {{\"entries\": {size}, \"query\": \"{name}\", \
+                 \"interp_us\": {t_interp:.1}, \"batched_us\": {t_batch:.1}, \
+                 \"speedup\": {speedup:.2}, \"results\": {}}}",
+                bstats.results_constructed
+            ));
+        }
+    }
+    write_json(
+        "BENCH_index.json",
+        &format!(
+            "{{\n  \"experiment\": \"E20\",\n  \
+             \"workload\": \"interpreter vs batched merge-join pipeline on the movie DB (median of 9)\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
         ),
     );
 }

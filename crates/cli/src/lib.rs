@@ -1332,16 +1332,25 @@ fn cmd_explain(
             "unoptimized"
         }
     );
+    let access = db.select_access(&query);
+    let paths = access.binding_access(query.bindings.len());
     for (i, b) in query.bindings.iter().enumerate() {
         let matches = est
             .per_binding
             .get(i)
             .map(|iv| format!("  est-matches {iv}"))
             .unwrap_or_default();
+        let path = paths
+            .get(i)
+            .map(|a| format!("  access={a}"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "  binding {i}: {} <- {}{matches}\n",
+            "  binding {i}: {} <- {}{matches}{path}\n",
             b.var, b.path
         ));
+    }
+    if let Some(reason) = access.fallback_reason() {
+        out.push_str(&format!("-- SSD050: interpreter retained: {reason}\n"));
     }
     out.push_str(&format!("-- estimated cost: {}", est.envelope));
     if !analyze {

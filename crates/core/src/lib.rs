@@ -35,8 +35,9 @@ pub use ssd_triples as triples;
 
 pub use ssd_graph::{Graph, Label, LabelKind, NodeId, SymbolId, Value};
 pub use ssd_guard::{Bound, Budget, CancelToken, CostEnvelope, Exhausted, Guard, Interval};
+pub use ssd_index::TripleIndex;
 pub use ssd_query::analyze::{CostAnalysis, CostContext};
-pub use ssd_query::{EvalOptions, Rpe, SelectQuery};
+pub use ssd_query::{AccessPlan, EvalOptions, Rpe, SelectQuery};
 pub use ssd_schema::{DataGuide, DataStats, Pred, Schema};
 pub use ssd_triples::TripleStore;
 
@@ -49,6 +50,13 @@ pub struct Database {
     graph: Graph,
     index: OnceLock<GraphIndex>,
     guide: OnceLock<DataGuide>,
+    /// The columnar triple index (SPO/POS/OSP). `None` inside the cell
+    /// means building it failed (SSD051 dictionary overflow) and every
+    /// query on this snapshot uses the interpreter.
+    triple_index: OnceLock<Option<TripleIndex>>,
+    /// Plain (schema-free) data statistics, cached for the access-path
+    /// planner so repeated queries don't re-collect them.
+    plan_stats: OnceLock<DataStats>,
     /// Storage generation this snapshot belongs to: 0 for a freestanding
     /// database, and the committed-transaction count when the database
     /// is a snapshot handed out by `ssd-store` (each commit swaps in a
@@ -135,6 +143,8 @@ impl Database {
             graph,
             index: OnceLock::new(),
             guide: OnceLock::new(),
+            triple_index: OnceLock::new(),
+            plan_stats: OnceLock::new(),
             generation: 0,
         }
     }
@@ -169,6 +179,86 @@ impl Database {
         self.index.get_or_init(|| GraphIndex::build(&self.graph))
     }
 
+    /// The columnar triple index (built on first use). `None` when the
+    /// dictionary overflowed (SSD051) — queries then always interpret.
+    pub fn triple_index(&self) -> Option<&TripleIndex> {
+        self.triple_index
+            .get_or_init(|| TripleIndex::build(&self.graph).ok())
+            .as_ref()
+    }
+
+    /// The triple index only if it has already been built (or seeded) —
+    /// never forces a build. `ssd-store` commits use this so snapshots
+    /// that were never index-queried pay nothing at commit time.
+    pub fn existing_index(&self) -> Option<&TripleIndex> {
+        self.triple_index.get().and_then(|o| o.as_ref())
+    }
+
+    /// Pre-seed the triple index (used by `ssd-store` commits, which
+    /// maintain the index incrementally with
+    /// [`TripleIndex::merge_delta`] instead of rebuilding per snapshot).
+    #[must_use]
+    pub fn with_seeded_index(self, index: TripleIndex) -> Database {
+        let _ = self.triple_index.set(Some(index));
+        self
+    }
+
+    /// Plain data statistics, cached (the access-path planner's feed).
+    pub fn plan_stats(&self) -> &DataStats {
+        self.plan_stats
+            .get_or_init(|| DataStats::collect(&self.graph))
+    }
+
+    /// Decide how a select query will be executed on this snapshot: the
+    /// batched columnar pipeline when the shape is batchable *and* the
+    /// cost model says the index wins, the interpreter otherwise (with
+    /// the SSD050 reason).
+    pub fn select_access(&self, query: &SelectQuery) -> AccessDecision {
+        let Some(index) = self.triple_index() else {
+            return AccessDecision::Interpreter {
+                reason: "triple index unavailable (dictionary overflow)".to_owned(),
+            };
+        };
+        match ssd_query::plan_access(&self.graph, index, self.plan_stats(), query) {
+            Ok(plan) if plan.wins() => AccessDecision::Batched(plan),
+            Ok(plan) => AccessDecision::Interpreter {
+                reason: plan.keep_interpreter_reason(),
+            },
+            Err(reason) => AccessDecision::Interpreter { reason },
+        }
+    }
+
+    /// Evaluate a parsed query through whichever access path
+    /// [`Database::select_access`] picked. Fallbacks emit the SSD050 note
+    /// as a `Phase::Index` trace instant when a tracer is attached.
+    fn evaluate(
+        &self,
+        query: &SelectQuery,
+        opts: &EvalOptions<'_>,
+    ) -> Result<(Graph, ssd_query::EvalStats), String> {
+        match self.select_access(query) {
+            AccessDecision::Batched(plan) => {
+                if let Some(index) = self.triple_index() {
+                    return ssd_query::evaluate_batched(&self.graph, index, query, &plan, opts);
+                }
+                ssd_query::evaluate_select(&self.graph, query, opts)
+            }
+            AccessDecision::Interpreter { reason } => {
+                let note = ssd_query::batch::fallback_note(&reason);
+                trace::instant(
+                    opts.tracer,
+                    trace::Phase::Index,
+                    "fallback",
+                    vec![
+                        ("code", note.code.as_str().into()),
+                        ("reason", reason.as_str().into()),
+                    ],
+                );
+                ssd_query::evaluate_select(&self.graph, query, opts)
+            }
+        }
+    }
+
     /// The strong DataGuide (built on first use).
     pub fn dataguide(&self) -> &DataGuide {
         self.guide.get_or_init(|| DataGuide::build(&self.graph))
@@ -182,7 +272,7 @@ impl Database {
     /// Parse and evaluate a select-from-where query with default options.
     pub fn query(&self, text: &str) -> Result<QueryResult, String> {
         let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
-        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &EvalOptions::default())?;
+        let (graph, stats) = self.evaluate(&q, &EvalOptions::default())?;
         Ok(QueryResult { graph, stats })
     }
 
@@ -193,7 +283,7 @@ impl Database {
     pub fn query_with(&self, text: &str, guard: &Guard) -> Result<QueryResult, String> {
         let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
         let opts = EvalOptions::default().with_guard(guard);
-        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &opts)?;
+        let (graph, stats) = self.evaluate(&q, &opts)?;
         Ok(QueryResult { graph, stats })
     }
 
@@ -201,11 +291,7 @@ impl Database {
     /// simplification, DataGuide pruning).
     pub fn query_optimized(&self, text: &str) -> Result<QueryResult, String> {
         let q = ssd_query::parse_query(text).map_err(|e| e.to_string())?;
-        let (graph, stats) = ssd_query::evaluate_select(
-            &self.graph,
-            &q,
-            &EvalOptions::optimized(Some(self.dataguide())),
-        )?;
+        let (graph, stats) = self.evaluate(&q, &EvalOptions::optimized(Some(self.dataguide())))?;
         Ok(QueryResult { graph, stats })
     }
 
@@ -221,7 +307,7 @@ impl Database {
             }
         };
         let opts = EvalOptions::optimized(Some(guide)).with_guard(guard);
-        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &opts)?;
+        let (graph, stats) = self.evaluate(&q, &opts)?;
         Ok(QueryResult { graph, stats })
     }
 
@@ -272,7 +358,7 @@ impl Database {
         if let Some(t) = tracer {
             opts = opts.with_tracer(t);
         }
-        let (graph, stats) = ssd_query::evaluate_select(&self.graph, &q, &opts)?;
+        let (graph, stats) = self.evaluate(&q, &opts)?;
         if let Some(t) = tracer {
             t.instant(
                 trace::Phase::Estimate,
@@ -526,6 +612,40 @@ impl Database {
         Database::new(ssd_graph::ops::graph_union(&self.graph, &other.graph))
     }
 
+    /// Union with another database, *preserving this database's node
+    /// ids*: surviving nodes keep their ids, `other`'s fragment and the
+    /// fresh union root are appended after them, and no gc runs. The
+    /// result is bisimilar to [`Database::union`]'s; the id stability is
+    /// what lets `ssd-store` maintain the triple index incrementally
+    /// ([`TripleIndex::merge_delta`]) across commits.
+    pub fn union_id_stable(&self, other: &Database) -> Database {
+        let mut g = self.graph.clone();
+        let img = ssd_graph::ops::copy_subgraph(&other.graph, other.graph.root(), &mut g);
+        let root = g.root();
+        let u = ssd_graph::ops::union(&mut g, root, img);
+        g.set_root(u);
+        Database::new(g)
+    }
+
+    /// Delete matching edges *in place on a clone*, preserving node ids
+    /// (no gc, no rebuild) — the id-stable counterpart of
+    /// [`Database::delete_edges`], bisimilar on the reachable fragment.
+    pub fn delete_edges_id_stable(&self, pred: &Pred) -> Database {
+        let mut g = self.graph.clone();
+        for n in g.reachable() {
+            let edges = g.edges(n).to_vec();
+            let kept: Vec<ssd_graph::Edge> = edges
+                .iter()
+                .filter(|e| !pred.matches(&e.label, g.symbols()))
+                .cloned()
+                .collect();
+            if kept.len() != edges.len() {
+                g.set_edges(n, kept);
+            }
+        }
+        Database::new(g)
+    }
+
     /// Basic statistics.
     pub fn stats(&self) -> DbStats {
         DbStats {
@@ -533,6 +653,40 @@ impl Database {
             edges: self.graph.edge_count(),
             symbols: self.graph.symbols().len(),
             cyclic: self.graph.has_cycle(),
+        }
+    }
+}
+
+/// How a select query will execute on a [`Database`] snapshot; see
+/// [`Database::select_access`].
+#[derive(Debug, Clone)]
+pub enum AccessDecision {
+    /// The batched columnar pipeline over the triple index, with the
+    /// chosen per-binding access plan.
+    Batched(AccessPlan),
+    /// The one-binding-at-a-time interpreter, with the reason batched
+    /// execution was declined (the body of the SSD050 note).
+    Interpreter { reason: String },
+}
+
+impl AccessDecision {
+    /// Per-binding access-path names for `ssd explain`: one entry per
+    /// query binding, `index(spo)`/`index(pos)`/`index(spo+pos)` for the
+    /// batched path, `interpreter(nfa-scan)` otherwise.
+    pub fn binding_access(&self, bindings: usize) -> Vec<String> {
+        match self {
+            AccessDecision::Batched(plan) => plan.bindings.iter().map(|b| b.access()).collect(),
+            AccessDecision::Interpreter { .. } => {
+                vec!["interpreter(nfa-scan)".to_owned(); bindings]
+            }
+        }
+    }
+
+    /// The SSD050 fallback reason, when the interpreter was kept.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        match self {
+            AccessDecision::Batched(_) => None,
+            AccessDecision::Interpreter { reason } => Some(reason),
         }
     }
 }

@@ -75,7 +75,9 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric bands group by front end:
 /// `SSD00x` variable analysis, `SSD01x` schema-aware path typing,
-/// `SSD02x` datalog, `SSD03x` static cost analysis; the `SSD1xx` band is
+/// `SSD02x` datalog, `SSD03x` static cost analysis, `SSD05x` the
+/// columnar triple index and its batched access-path planner (see
+/// `ssd-index`); the `SSD1xx` band is
 /// *runtime* governance (budget exhaustion, cancellation, panic isolation
 /// — see `ssd-guard`); the `SSD2xx` band is the query-serving scheduler
 /// (session quotas, admission, queueing, wire protocol — see
@@ -129,6 +131,14 @@ pub enum Code {
     /// Strict admission rejected the query before evaluation started, so
     /// `--partial` (a run-time degradation mode) was never consulted.
     AdmissionOverridesPartial,
+    /// The batched index executor declined the query (unsupported path
+    /// shape, or statistics say the interpreter wins) and evaluation
+    /// fell back to the one-binding-at-a-time interpreter.
+    IndexFallback,
+    /// The dictionary encoder ran out of dense u32 ids while interning
+    /// labels — the graph has more distinct labels than the index can
+    /// address.
+    DictionaryOverflow,
     /// Evaluation ran out of its deterministic step (fuel) budget.
     StepLimitExceeded,
     /// Evaluation exceeded its byte-accounted memory budget.
@@ -240,6 +250,8 @@ impl Code {
             Code::CrossProductJoin => "SSD032",
             Code::ImpreciseEstimate => "SSD033",
             Code::AdmissionOverridesPartial => "SSD034",
+            Code::IndexFallback => "SSD050",
+            Code::DictionaryOverflow => "SSD051",
             Code::StepLimitExceeded => "SSD101",
             Code::MemoryLimitExceeded => "SSD102",
             Code::DeadlineExceeded => "SSD103",
@@ -309,6 +321,7 @@ impl Code {
             | Code::AtomicOrderingUndeclared
             | Code::PublishBeforeLog
             | Code::FaultCoverageGap
+            | Code::DictionaryOverflow
             | Code::CostExceedsBudget => Severity::Error,
             Code::UnusedBinding
             | Code::EmptyPath
@@ -323,6 +336,7 @@ impl Code {
             | Code::TruncatedResult => Severity::Warning,
             Code::ImpreciseEstimate
             | Code::AdmissionOverridesPartial
+            | Code::IndexFallback
             | Code::JobQueued
             | Code::RecoveryReplayed => Severity::Note,
         }
@@ -362,6 +376,8 @@ impl Code {
             Code::CrossProductJoin,
             Code::ImpreciseEstimate,
             Code::AdmissionOverridesPartial,
+            Code::IndexFallback,
+            Code::DictionaryOverflow,
             Code::StepLimitExceeded,
             Code::MemoryLimitExceeded,
             Code::DeadlineExceeded,
@@ -584,6 +600,18 @@ mod tests {
         assert_eq!(Code::AdmissionOverridesPartial.as_str(), "SSD034");
         assert_eq!(Code::AdmissionOverridesPartial.severity(), Severity::Note);
         assert!(!Code::AdmissionOverridesPartial.is_runtime());
+    }
+
+    #[test]
+    fn index_band_codes_and_severities() {
+        assert_eq!(Code::IndexFallback.as_str(), "SSD050");
+        assert_eq!(Code::IndexFallback.severity(), Severity::Note);
+        assert_eq!(Code::DictionaryOverflow.as_str(), "SSD051");
+        assert_eq!(Code::DictionaryOverflow.severity(), Severity::Error);
+        for c in [Code::IndexFallback, Code::DictionaryOverflow] {
+            assert!(!c.is_runtime(), "{c}: index codes are static-band codes");
+            assert!(!c.is_lint());
+        }
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! `ssd-index` — columnar triple permutations for batched query execution.
+//!
+//! An ssd-graph is, shredded, a set of triples `(src, label, dst)` (see
+//! `ssd-triples`). This crate stores that set *three times*, dictionary
+//! encoded and sorted in different key orders — SPO, POS, OSP — so that
+//! every access pattern a select-query binding needs is one contiguous
+//! range of a sorted `Vec<[u32; 3]>`:
+//!
+//! - **dictionary encoding** ([`Dictionary`]): labels interned to dense
+//!   `u32` ids, append-only so ids survive incremental merges; overflow
+//!   is diagnosed as `SSD051`;
+//! - **sorted runs** ([`SortedRun`]): strictly-sorted duplicate-free key
+//!   vectors with galloping range lookups, resumable from a cursor so a
+//!   sorted probe column turns lookups into a merge join;
+//! - **the index proper** ([`TripleIndex`]): the three permutations plus
+//!   the dictionary, built once per `Database` generation and maintained
+//!   across id-stable store commits by merging a small delta run instead
+//!   of re-sorting ([`TripleIndex::merge_delta`]).
+//!
+//! The batched executor in `ssd-query` plans against this structure and
+//! falls back to the one-binding-at-a-time interpreter (note `SSD050`)
+//! whenever a query's shape or statistics make the index a bad bet.
+
+pub mod dict;
+mod index;
+pub mod run;
+
+pub use dict::Dictionary;
+pub use index::TripleIndex;
+pub use run::{Key, SortedRun, KEY_BYTES};

@@ -35,7 +35,7 @@ pub const CONSTRUCT_COST: u64 = 128;
 /// Exhaustion flows through the evaluator's existing `Result<_, String>`
 /// error channel as a rendered headline, exactly like the analyzer gate's
 /// SSD0xx refusals.
-fn exh(e: Exhausted) -> String {
+pub(crate) fn exh(e: Exhausted) -> String {
     e.headline()
 }
 
@@ -299,7 +299,7 @@ pub fn evaluate_select(
 /// Shared per-binding initialisation: one zeroed profile per binding, in
 /// binding order, so `explain --analyze` lines up with the static
 /// per-binding intervals.
-fn binding_profiles(query: &SelectQuery) -> Vec<BindingProfile> {
+pub(crate) fn binding_profiles(query: &SelectQuery) -> Vec<BindingProfile> {
     query
         .bindings
         .iter()
@@ -316,7 +316,11 @@ fn binding_profiles(query: &SelectQuery) -> Vec<BindingProfile> {
 /// accumulated actuals (fuel attributed so folded stacks weigh the
 /// bindings correctly), a truncation instant when partial mode stopped
 /// early, and summary fields on the enclosing select span.
-fn finish_select_trace(tracer: Option<&Tracer>, sp: &mut ssd_trace::Span<'_>, stats: &EvalStats) {
+pub(crate) fn finish_select_trace(
+    tracer: Option<&Tracer>,
+    sp: &mut ssd_trace::Span<'_>,
+    stats: &EvalStats,
+) {
     let Some(t) = tracer else { return };
     if let Some(why) = &stats.truncated {
         t.instant(
@@ -356,7 +360,7 @@ fn finish_select_trace(tracer: Option<&Tracer>, sp: &mut ssd_trace::Span<'_>, st
 
 /// In partial mode, surface the guard's recorded truncation as an SSD107
 /// warning plus [`EvalStats::truncated`].
-fn note_truncation(guard: &Guard, stats: &mut EvalStats) {
+pub(crate) fn note_truncation(guard: &Guard, stats: &mut EvalStats) {
     if let Some(why) = guard.truncation() {
         stats.truncated = Some(why.headline());
         stats.warnings.push(
@@ -628,7 +632,7 @@ fn enumerate(
 }
 
 /// Evaluate a constructor to the edge set it contributes at the top level.
-fn construct_edges(
+pub(crate) fn construct_edges(
     g: &Graph,
     c: &Construct,
     env: &HashMap<String, BindVal>,
@@ -750,7 +754,7 @@ fn label_as_value(l: &Label, g: &Graph) -> Label {
 }
 
 /// Evaluate a condition under the current environment.
-fn eval_cond(
+pub(crate) fn eval_cond(
     g: &Graph,
     c: &Cond,
     env: &HashMap<String, BindVal>,

@@ -26,6 +26,7 @@
 //!   graph-datalog programs; backs `ssd check` and gates evaluation.
 
 pub mod analyze;
+pub mod batch;
 pub mod browse;
 pub mod decompose;
 pub mod lang;
@@ -37,6 +38,7 @@ pub mod rpe;
 pub mod views;
 
 pub use analyze::{analyze_query, analyze_query_src, PathTypes, QueryAnalysis};
+pub use batch::{evaluate_batched, plan_access, AccessPlan, BindingPlan, StepStrategy};
 pub use lang::{
     evaluate_select, parse_query, parse_query_spanned, BindingProfile, EvalOptions, EvalStats,
     SelectQuery,

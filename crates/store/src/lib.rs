@@ -345,13 +345,16 @@ fn io_err(context: &str, e: &std::io::Error) -> StoreError {
     StoreError::Io(format!("{context}: {e}"))
 }
 
-/// Apply one WAL op to a database, returning the next copy-on-write image.
+/// Apply one WAL op to a database, returning the next copy-on-write
+/// image. Both verbs use the *id-stable* mutation forms: surviving nodes
+/// keep their ids across the op, which is what lets a commit maintain the
+/// columnar triple index by merging one delta run instead of rebuilding.
 fn apply_op(db: &Database, kind: u8, body: &str) -> Result<Database, StoreError> {
     match kind {
         wal::KIND_INSERT => Database::from_literal(body)
-            .map(|d| db.union(&d))
+            .map(|d| db.union_id_stable(&d))
             .map_err(|e| StoreError::Invalid(format!("INSERT literal does not parse: {e}"))),
-        wal::KIND_DELETE => Ok(db.delete_edges(Pred::Symbol(body.to_string()))),
+        wal::KIND_DELETE => Ok(db.delete_edges_id_stable(&Pred::Symbol(body.to_string()))),
         other => Err(StoreError::Invalid(format!("unknown op kind {other}"))),
     }
 }
@@ -636,9 +639,29 @@ impl Store {
         w.durable_len = w.len;
         w.next_seq = commit_seq + 1;
 
-        // Durable: publish the new generation.
+        // Durable: publish the new generation. Because the ops were
+        // applied id-stably, the previous generation's triple index (if
+        // one was ever built) absorbs this commit as a single sorted
+        // delta run; the merged index is pre-seeded into the new
+        // snapshot so readers never pay a full rebuild after a commit.
         let generation = snap.generation() + 1;
-        let db = Arc::new(db.with_generation(generation));
+        let mut db = db.with_generation(generation);
+        if let Some(base_index) = snap.existing_index() {
+            if let Ok(merged) = base_index.merge_delta(db.graph()) {
+                let triples = merged.len() as u64;
+                db = db.with_seeded_index(merged);
+                ssd_trace::instant(
+                    tracer,
+                    Phase::Index,
+                    "merge-delta",
+                    vec![
+                        ("generation", FieldValue::U64(generation)),
+                        ("triples", FieldValue::U64(triples)),
+                    ],
+                );
+            }
+        }
+        let db = Arc::new(db);
         *lock(&self.current) = db;
         ssd_trace::instant(
             tracer,
@@ -825,6 +848,32 @@ mod tests {
             .iter()
             .any(|d| d.code == Code::WalTornTail));
         assert_eq!(again.generation(), 1);
+    }
+
+    #[test]
+    fn commit_maintains_triple_index_by_delta_merge() {
+        let dir = tmpdir("index");
+        Store::init(&dir, &db("{Seed: {Movie: {Title: \"Z\"}}}")).unwrap();
+        let (store, _) = Store::open(&dir, &Budget::unlimited()).unwrap();
+        // Force the base index so commits merge deltas into it.
+        assert!(store.snapshot().triple_index().is_some());
+        store
+            .commit(&Txn::new().insert("{Entry: {Movie: {Title: \"A\"}}}"))
+            .unwrap();
+        store.commit(&Txn::new().delete("Seed")).unwrap();
+
+        let snap = store.snapshot();
+        let merged = snap.triple_index().expect("merged index seeded");
+        let rebuilt = semistructured::TripleIndex::build(snap.graph()).unwrap();
+        // Dictionaries may order labels differently (the merged one keeps
+        // the base generation's ids), so compare decoded triple sets.
+        let key = |(s, l, o): &(u32, semistructured::Label, u32)| (*s, format!("{l:?}"), *o);
+        let mut a = merged.decoded();
+        let mut b = rebuilt.decoded();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        assert_eq!(merged.root(), rebuilt.root());
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub enum Phase {
     Serve,
     /// Durable storage: WAL commits, recovery replay, generation swaps.
     Store,
+    /// Columnar triple index: batched operators, delta merges.
+    Index,
 }
 
 impl Phase {
@@ -74,6 +76,7 @@ impl Phase {
             Phase::Guard => "guard",
             Phase::Serve => "serve",
             Phase::Store => "store",
+            Phase::Index => "index",
         }
     }
 }

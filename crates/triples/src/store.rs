@@ -148,6 +148,22 @@ impl TripleStore {
     pub fn src_count(&self) -> usize {
         self.by_src.len()
     }
+
+    /// The triples in SPO order — `(src, label, dst)`, sorted by source
+    /// then destination, deduplicated. This is the columnar index's
+    /// canonical build order (`ssd-index` sorts the same relation into
+    /// its SPO permutation), exposed here so the two substrates can be
+    /// cross-checked triple for triple.
+    pub fn spo_sorted(&self) -> Vec<(NodeId, &Label, NodeId)> {
+        let mut out: Vec<(NodeId, &Label, NodeId)> = self
+            .triples
+            .iter()
+            .map(|t| (t.src, &t.label, t.dst))
+            .collect();
+        out.sort_by_cached_key(|(s, l, o)| (s.index(), format!("{l:?}"), o.index()));
+        out.dedup();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -124,3 +124,40 @@ fn estimated_envelope_brackets_traced_actuals_on_movies() {
         "missing eval phase totals: {totals}"
     );
 }
+
+/// On a graph large enough for the cost model to pick the columnar
+/// pipeline, `explain` names the index permutations per binding; on the
+/// tiny shipped example it names the interpreter and cites SSD050.
+#[test]
+fn explain_names_the_chosen_access_path_per_binding() {
+    let entries: Vec<String> = (0..300)
+        .map(|i| format!("Entry: {{Movie: {{Title: \"M{i}\", Year: {}}}}}", 1900 + i))
+        .collect();
+    let literal = format!("{{{}}}", entries.join(", "));
+    let dir = std::env::temp_dir().join(format!("ssd-explain-access-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("big.ssd");
+    std::fs::write(&data, &literal).unwrap();
+
+    let out = run_cli(&[
+        "explain",
+        data.to_str().unwrap(),
+        "select T from db.Entry E, E.Movie M, M.Title T",
+    ]);
+    assert!(
+        out.contains("access=index("),
+        "large graph should pick an index permutation: {out}"
+    );
+    assert!(
+        !out.contains("SSD050"),
+        "no fallback note when the index wins: {out}"
+    );
+
+    let out = run_cli(&["explain", &repo_path("examples/movies.ssd"), QUERY]);
+    assert!(
+        out.contains("access=interpreter(nfa-scan)"),
+        "tiny graph should keep the interpreter: {out}"
+    );
+    assert!(out.contains("SSD050"), "fallback note missing: {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

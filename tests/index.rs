@@ -1,0 +1,215 @@
+//! Property tests for the `ssd-index` subsystem (SSD05x band):
+//!
+//! * the dictionary round-trips labels through dense ids and reports
+//!   SSD051 (`DictionaryOverflow`) when the id space is exhausted;
+//! * sorted runs are strictly sorted and duplicate-free however they are
+//!   built, and `merge(base, inserts, deletes)` agrees with rebuilding
+//!   from scratch;
+//! * `TripleIndex::merge_delta` over an id-stable graph evolution equals
+//!   a full rebuild;
+//! * the batched columnar pipeline and the interpreter return bisimilar
+//!   results on every plannable query — the equivalence that lets the
+//!   SSD050 (`IndexFallback`) cost decision stay invisible to callers.
+
+use proptest::prelude::*;
+use semistructured::{Budget, Database, EvalOptions, Label, TripleIndex, Value};
+use ssd_graph::bisim::graphs_bisimilar;
+use ssd_index::run::SortedRun;
+use ssd_index::{Dictionary, Key};
+
+fn movies(n: usize) -> Database {
+    let entries: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "Entry: {{Movie: {{Title: \"M{i}\", Cast: {{Actors: \"A{}\"}}, Year: {}}}}}",
+                i % 7,
+                1900 + (i % 90)
+            )
+        })
+        .collect();
+    Database::from_literal(&format!("{{{}}}", entries.join(", "))).unwrap()
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        (0i64..50).prop_map(|n| Label::Value(Value::Int(n))),
+        "[a-z]{1,6}".prop_map(|s| Label::Value(Value::Str(s))),
+    ]
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    (0u32..64, 0u32..8, 0u32..64).prop_map(|(s, p, o)| [s, p, o])
+}
+
+proptest! {
+    /// Interning is idempotent, ids are dense, and resolve inverts
+    /// lookup for every label ever interned.
+    #[test]
+    fn dictionary_round_trips(labels in proptest::collection::vec(arb_label(), 0..40)) {
+        let mut dict = Dictionary::new();
+        let mut ids = Vec::new();
+        for l in &labels {
+            ids.push(dict.intern(l).unwrap());
+        }
+        for (l, &id) in labels.iter().zip(&ids) {
+            prop_assert_eq!(dict.lookup(l), Some(id));
+            prop_assert_eq!(dict.intern(l).unwrap(), id);
+            prop_assert_eq!(dict.resolve(id), Some(l));
+        }
+        prop_assert!(dict.len() <= labels.len());
+        for id in 0..dict.len() as u32 {
+            prop_assert!(dict.resolve(id).is_some(), "ids must be dense");
+        }
+    }
+
+    /// Runs are strictly sorted and duplicate-free from any input, and
+    /// every input key (and no other) is present.
+    #[test]
+    fn sorted_run_invariants(keys in proptest::collection::vec(arb_key(), 0..120)) {
+        let run = SortedRun::from_unsorted(keys.clone());
+        prop_assert!(run.is_strictly_sorted());
+        for k in &keys {
+            prop_assert!(run.contains(k));
+        }
+        let mut expect = keys;
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(run.len(), expect.len());
+    }
+
+    /// Merging a base with insert/delete runs equals rebuilding from the
+    /// edited key set.
+    #[test]
+    fn merge_agrees_with_rebuild(
+        base in proptest::collection::vec(arb_key(), 0..80),
+        ins in proptest::collection::vec(arb_key(), 0..40),
+        del in proptest::collection::vec(arb_key(), 0..40),
+    ) {
+        let b = SortedRun::from_unsorted(base.clone());
+        let i = SortedRun::from_unsorted(ins.clone());
+        let d = SortedRun::from_unsorted(del.clone());
+        let merged = SortedRun::merge(&b, &i, &d);
+        prop_assert!(merged.is_strictly_sorted());
+        let mut expect: Vec<Key> = base;
+        expect.retain(|k| !d.contains(k));
+        expect.extend(ins.iter().filter(|k| !d.contains(k)));
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(merged.iter().copied().collect::<Vec<_>>(), expect);
+    }
+
+    /// An id-stable edit sequence merged as a delta equals a full
+    /// rebuild, triple for triple.
+    #[test]
+    fn merge_delta_equals_rebuild(
+        n in 1usize..20,
+        inserts in proptest::collection::vec(0usize..5, 0..3),
+        delete_year in any::<bool>(),
+    ) {
+        let base = movies(n);
+        let index = TripleIndex::build(base.graph()).unwrap();
+        let mut db = base;
+        for (j, extra) in inserts.iter().enumerate() {
+            let other = Database::from_literal(
+                &format!("{{Extra: {{Tag: \"t{j}\", N: {extra}}}}}")).unwrap();
+            db = db.union_id_stable(&other);
+        }
+        if delete_year {
+            db = db.delete_edges_id_stable(&semistructured::Pred::Symbol("Year".into()));
+        }
+        let merged = index.merge_delta(db.graph()).unwrap();
+        let rebuilt = TripleIndex::build(db.graph()).unwrap();
+        let key = |(s, l, o): &(u32, Label, u32)| (*s, format!("{l:?}"), *o);
+        let mut a = merged.decoded();
+        let mut b = rebuilt.decoded();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(merged.root(), rebuilt.root());
+        prop_assert!(merged.spo().is_strictly_sorted());
+    }
+
+    /// Batched and interpreted execution agree (bisimilar result graphs)
+    /// on conjunctive path queries at every size the planner sees.
+    #[test]
+    fn batched_equals_interpreted(n in 1usize..60, pick in 0usize..4) {
+        let queries = [
+            "select T from db.Entry.Movie.Title T",
+            "select {t: T, a: A} from db.Entry.Movie M, M.Title T, M.Cast.Actors A",
+            "select M from db.Entry.Movie M where exists M.Year",
+            "select A from db.Entry.Movie.Cast.Actors A",
+        ];
+        let db = movies(n);
+        let q = queries[pick];
+        let batched = db.query(q).unwrap();
+        let interp = semistructured::query::evaluate_select(
+            db.graph(),
+            &semistructured::query::parse_query(q).unwrap(),
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        prop_assert!(
+            graphs_bisimilar(batched.graph(), &interp.0),
+            "access paths diverged on {} at n={}", q, n
+        );
+    }
+}
+
+/// The index and the relational shredder describe the same edge
+/// relation: decoding the SPO run reproduces `TripleStore::spo_sorted`.
+#[test]
+fn index_agrees_with_the_triple_shredder() {
+    let db = movies(25);
+    let index = TripleIndex::build(db.graph()).unwrap();
+    let store = semistructured::TripleStore::from_graph(db.graph());
+    let from_index: Vec<(usize, String, usize)> = {
+        let mut v: Vec<_> = index
+            .decoded()
+            .into_iter()
+            .map(|(s, l, o)| (s as usize, format!("{l:?}"), o as usize))
+            .collect();
+        v.sort();
+        v
+    };
+    let from_store: Vec<(usize, String, usize)> = store
+        .spo_sorted()
+        .into_iter()
+        .map(|(s, l, o)| (s.index(), format!("{l:?}"), o.index()))
+        .collect();
+    assert_eq!(from_index, from_store);
+}
+
+/// SSD051: a dictionary with an artificially small id space reports the
+/// overflow as a diagnostic instead of wrapping ids.
+#[test]
+fn dictionary_overflow_is_ssd051() {
+    let mut dict = Dictionary::with_limit(2);
+    dict.intern(&Label::Value(Value::Int(0))).unwrap();
+    dict.intern(&Label::Value(Value::Int(1))).unwrap();
+    let err = dict.intern(&Label::Value(Value::Int(2))).unwrap_err();
+    assert_eq!(err.code, semistructured::diag::Code::DictionaryOverflow);
+    assert!(err.headline().contains("SSD051"), "{}", err.headline());
+}
+
+/// SSD050: unbatchable query shapes fall back to the interpreter with a
+/// reasoned note, and the result is still correct.
+#[test]
+fn unbatchable_shapes_fall_back_with_ssd050() {
+    let db = movies(40);
+    let q = semistructured::query::parse_query("select T from db.Entry*.Movie.Title T").unwrap();
+    let access = db.select_access(&q);
+    let reason = access
+        .fallback_reason()
+        .expect("Kleene star is unbatchable");
+    assert!(reason.contains("star"), "{reason}");
+    let note = semistructured::query::batch::fallback_note(reason);
+    assert_eq!(note.code, semistructured::diag::Code::IndexFallback);
+    assert!(note.headline().contains("SSD050"), "{}", note.headline());
+    // The query still runs (via the interpreter).
+    let _ = db
+        .query_with(
+            "select T from db.Entry*.Movie.Title T",
+            &Budget::unlimited().guard(),
+        )
+        .unwrap();
+}
