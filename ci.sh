@@ -214,13 +214,33 @@ if echo "$q_out" | grep -q "Lost"; then
 fi
 rm -rf "$store_dir"; rm -f "$serve2_log" "$serve3_log" "$w_out" "$t_out"
 
+echo "== workload bench regression gate (E21)" >&2
+# The committed BENCH_workload.json is the baseline; a fresh small-scale
+# run regenerates it and the built-in checker fails the gate on scenario
+# errors (SSD060) or >3x p99/throughput regressions (SSD061). Baseline
+# shape mismatches are SSD062 warnings, not failures.
+bench_base=$(mktemp)
+cp BENCH_workload.json "$bench_base"
+timeout 600 ./target/release/ssd bench --scale 10000 --seed 42 --rate 300 \
+    --json BENCH_workload.json --baseline "$bench_base"
+rm -f "$bench_base"
+# Determinism witnesses: the regenerated artifact must carry the same
+# graph and replay-trace fingerprints the baseline pinned.
+git diff --stat -- BENCH_workload.json >&2 || true
+grep -q '"experiment": "E21"' BENCH_workload.json
+grep -q '"trace_fingerprint"' BENCH_workload.json
+
 echo "== perf trajectory artifacts (BENCH_*.json)" >&2
 # The experiment report must emit all five machine-readable data
-# points; EXPERIMENTS.md explains the series they extend.
+# points; EXPERIMENTS.md explains the series they extend. Together with
+# E21 above, every artifact opens with the same schema envelope.
 timeout 600 cargo run -q --release -p ssd-bench --bin report --offline >/dev/null
-for f in BENCH_serve.json BENCH_trace.json BENCH_store.json BENCH_lint.json BENCH_index.json; do
+for f in BENCH_serve.json BENCH_trace.json BENCH_store.json BENCH_lint.json \
+         BENCH_index.json BENCH_workload.json; do
     [ -s "$f" ] || { echo "ci: $f was not emitted" >&2; exit 1; }
     grep -q '"experiment"' "$f"
+    grep -q '"schema_version"' "$f"
+    grep -q '"host_cores"' "$f"
 done
 # E20 shape: the batched pipeline must be present at every size and
 # carry a speedup column (the measured values live in EXPERIMENTS.md).

@@ -1,4 +1,4 @@
-//! Experiment report: regenerates the E1–E12 and E15–E18 measured
+//! Experiment report: regenerates the E1–E12 and E15–E20 measured
 //! series recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -75,6 +75,17 @@ fn write_json(path: &str, text: &str) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+}
+
+/// Shared artifact envelope — every `BENCH_*.json` opens with the same
+/// three keys so downstream tooling can dispatch without per-experiment
+/// parsers: `{"experiment", "schema_version", "host_cores", ...payload}`.
+fn envelope(experiment: &str) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "\"experiment\": \"{experiment}\",\n  \"schema_version\": 1,\n  \
+         \"host_cores\": {cores},"
+    )
 }
 
 fn e01() {
@@ -675,10 +686,7 @@ fn e16() {
     }
     sess.close();
     let m = server.shutdown();
-    let (p50, p99) = (
-        ssd_serve::metrics::percentile(&m.latencies_us, 50),
-        ssd_serve::metrics::percentile(&m.latencies_us, 99),
-    );
+    let (p50, p99) = (m.latency.percentile(50), m.latency.percentile(99));
     println!(
         "mixed load ({JOBS} jobs, 2 workers): p50={p50} µs p99={p99} µs queue peak={} \
          fuel est/spent={}/{}",
@@ -688,12 +696,13 @@ fn e16() {
     write_json(
         "BENCH_serve.json",
         &format!(
-            "{{\n  \"experiment\": \"E16\",\n  \"host_cores\": {cores},\n  \
+            "{{\n  {}\n  \
              \"jobs\": {JOBS},\n  \"scaling\": [\n    {}\n  ],\n  \
              \"admission\": {{\"rejected\": {rejected}, \"per_us\": {per:.1}, \
              \"engine_fuel_spent\": {rej_fuel}}},\n  \
              \"mixed_load\": {{\"workers\": 2, \"p50_us\": {p50}, \"p99_us\": {p99}, \
              \"queue_peak\": {}, \"fuel_estimated\": {}, \"fuel_spent\": {}}}\n}}\n",
+            envelope("E16"),
             scaling_rows.join(",\n    "),
             m.queue_peak,
             m.counters.fuel_estimated,
@@ -773,13 +782,14 @@ fn e17() {
     write_json(
         "BENCH_trace.json",
         &format!(
-            "{{\n  \"experiment\": \"E17\",\n  \
+            "{{\n  {}\n  \
              \"workload\": \"select join, movies(1000), median of 15 runs\",\n  \
              \"variants\": [\n    \
              {{\"name\": \"baseline\", \"median_us\": {baseline:.1}}},\n    \
              {{\"name\": \"ring\", \"median_us\": {ring_t:.1}, \"overhead_pct\": {:.2}, \
              \"events\": {events}}},\n    \
              {{\"name\": \"jsonl\", \"median_us\": {jsonl:.1}, \"overhead_pct\": {:.2}}}\n  ]\n}}\n",
+            envelope("E17"),
             pct(ring_t),
             pct(jsonl),
         ),
@@ -834,12 +844,13 @@ fn e18() {
     write_json(
         "BENCH_store.json",
         &format!(
-            "{{\n  \"experiment\": \"E18\",\n  \
+            "{{\n  {}\n  \
              \"workload\": \"{TXNS} single-op commits, then recovery replay (median of 9)\",\n  \
              \"commit\": {{\"txns\": {TXNS}, \"per_commit_us\": {per_commit:.1}, \
              \"wal_bytes\": {wal_bytes}}},\n  \
              \"recovery\": {{\"total_us\": {recover_us:.1}, \
              \"per_txn_us\": {replay_per_txn:.2}, \"generation\": {generation}}}\n}}\n",
+            envelope("E18"),
         ),
     );
     let _ = std::fs::remove_dir_all(&dir);
@@ -877,11 +888,12 @@ fn e19() {
     write_json(
         "BENCH_lint.json",
         &format!(
-            "{{\n  \"experiment\": \"E19\",\n  \
+            "{{\n  {}\n  \
              \"workload\": \"ssd lint over the whole workspace (median of 5)\",\n  \
              \"wall_us\": {wall_us:.1},\n  \"per_file_us\": {per_file:.1},\n  \
              \"files_scanned\": {files},\n  \"functions_scanned\": {functions},\n  \
              \"findings\": {findings}\n}}\n",
+            envelope("E19"),
         ),
     );
 }
@@ -948,9 +960,10 @@ fn e20() {
     write_json(
         "BENCH_index.json",
         &format!(
-            "{{\n  \"experiment\": \"E20\",\n  \
+            "{{\n  {}\n  \
              \"workload\": \"interpreter vs batched merge-join pipeline on the movie DB (median of 9)\",\n  \
              \"rows\": [\n{}\n  ]\n}}\n",
+            envelope("E20"),
             rows.join(",\n")
         ),
     );

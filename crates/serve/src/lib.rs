@@ -56,7 +56,7 @@ pub mod sched;
 pub mod server;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use metrics::{Counters, Metrics};
+pub use metrics::{Counters, Histogram, Metrics};
 pub use protocol::{
     decode_frame, encode_frame, parse_command, parse_command_with, Command, FrameError, MAX_FRAME,
 };

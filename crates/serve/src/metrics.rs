@@ -2,8 +2,165 @@
 //! spent-vs-estimated, queue depth, and latency percentiles.
 //!
 //! Counters are updated by the scheduler under its lock, so a snapshot
-//! is always internally consistent. Latency percentiles are computed at
-//! render time from the recorded samples (microseconds, submit→finish).
+//! is always internally consistent. Latencies are recorded into a
+//! log-bucketed [`Histogram`] (constant memory, exact count/sum/min/max,
+//! percentiles with a bounded relative error), so p99 stays meaningful
+//! after millions of finished jobs — the old fixed-size sample ring
+//! silently forgot everything but the most recent 4096 finishes.
+
+/// Number of histogram buckets: two sub-buckets per power of two from
+/// 1 µs up to ~2^32 µs (≈ 71 minutes), values beyond clamp into the
+/// last bucket. Bucket widths grow geometrically (×1.5 / ×1.33
+/// alternating), so a reported percentile overestimates the true value
+/// by at most 50%.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of microsecond latencies.
+///
+/// Recording is O(1) and allocation-free; the struct is plain data so
+/// the scheduler can keep one globally and one per session and clone
+/// them out under its lock. `count`, `sum`, `min` and `max` are exact;
+/// percentiles come from the bucket boundaries (upper bound of the
+/// bucket holding the rank, exact `max` for the top rank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 holds 0, 1 holds 1, then two sub-buckets
+/// per power of two (`2e + high-bit-after-the-leading-one`).
+fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (e - 1)) & 1) as usize;
+    (2 * e + sub).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (the `le` label rendered for
+/// Prometheus, and the value percentiles report).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 2 {
+        return idx as u64;
+    }
+    if idx >= HIST_BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let e = idx / 2;
+    let sub = (idx % 2) as u64;
+    (3 + sub) * (1u64 << (e - 1)) - 1
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample (O(1), no allocation).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile, `p` in [0,100]; 0 when empty. Reports
+    /// the upper bound of the bucket holding the rank (≤50% above the
+    /// true value), clamped to the exact `max`.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p * self.count).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs, in
+    /// ascending order — the shape of Prometheus `_bucket{le=...}`
+    /// series (without the implicit `+Inf`, which equals [`count`]).
+    ///
+    /// [`count`]: Histogram::count
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                cum += c;
+                out.push((bucket_upper(idx), cum));
+            }
+        }
+        out
+    }
+}
 
 /// Monotonic counters kept both globally and per session.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -34,30 +191,17 @@ pub struct Counters {
     pub refund_clamped: u64,
 }
 
-/// Global metrics: counters plus latency samples and gauges.
+/// Global metrics: counters plus the latency histogram and gauges.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     pub counters: Counters,
-    /// submit→finish latency samples in microseconds: the most recent
-    /// [`LATENCY_SAMPLE_CAP`](crate::sched::LATENCY_SAMPLE_CAP) finishes
-    /// (a ring, so a long-running server stays bounded; the slot order
-    /// is not the finish order once the ring wraps).
-    pub latencies_us: Vec<u64>,
+    /// submit→finish latency in microseconds, every finish since the
+    /// server started (log-bucketed: constant memory at any volume).
+    pub latency: Histogram,
     /// Current run-queue depth (gauge).
     pub queue_depth: usize,
     /// High-water mark of the run queue.
     pub queue_peak: usize,
-}
-
-/// `p` in [0,100]; nearest-rank percentile of `samples` (0 if empty).
-pub fn percentile(samples: &[u64], p: u64) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = (p as usize * sorted.len()).div_ceil(100).max(1);
-    sorted[rank - 1]
 }
 
 impl Metrics {
@@ -80,8 +224,9 @@ impl Metrics {
             ("queue_depth", self.queue_depth as u64),
             ("queue_peak", self.queue_peak as u64),
             ("jobs_finished", c.completed + c.cancelled + c.panicked),
-            ("latency_p50_us", percentile(&self.latencies_us, 50)),
-            ("latency_p99_us", percentile(&self.latencies_us, 99)),
+            ("latency_p50_us", self.latency.percentile(50)),
+            ("latency_p99_us", self.latency.percentile(99)),
+            ("latency_max_us", self.latency.max()),
         ] {
             out.push_str(k);
             out.push(' ');
@@ -94,7 +239,9 @@ impl Metrics {
     /// Render the same numbers in Prometheus text exposition format
     /// (`# TYPE` headers, `_total` counters, labeled series) — appended
     /// to `STATS` / `--metrics-dump` so a scrape target needs no extra
-    /// endpoint. Key order is stable.
+    /// endpoint. Key order is stable; the latency histogram renders both
+    /// the summary quantiles and the cumulative `_bucket{le=...}` series
+    /// (non-empty buckets plus the `+Inf` total).
     pub fn render_prometheus(&self) -> String {
         let c = &self.counters;
         let mut out = String::new();
@@ -132,12 +279,26 @@ impl Metrics {
         for (q, p) in [("0.5", 50), ("0.9", 90), ("0.99", 99)] {
             out.push_str(&format!(
                 "ssd_serve_latency_us{{quantile=\"{q}\"}} {}\n",
-                percentile(&self.latencies_us, p)
+                self.latency.percentile(p)
             ));
         }
         out.push_str(&format!(
             "ssd_serve_latency_us_count {}\n",
-            self.latencies_us.len()
+            self.latency.count()
+        ));
+        out.push_str(&format!(
+            "ssd_serve_latency_us_sum {}\n",
+            self.latency.sum()
+        ));
+        out.push_str("# TYPE ssd_serve_latency_us_bucket counter\n");
+        for (le, cum) in self.latency.cumulative_buckets() {
+            out.push_str(&format!(
+                "ssd_serve_latency_us_bucket{{le=\"{le}\"}} {cum}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "ssd_serve_latency_us_bucket{{le=\"+Inf\"}} {}\n",
+            self.latency.count()
         ));
         out
     }
@@ -148,25 +309,91 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_nearest_rank() {
-        assert_eq!(percentile(&[], 99), 0);
-        assert_eq!(percentile(&[7], 50), 7);
-        let s: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&s, 50), 50);
-        assert_eq!(percentile(&s, 99), 99);
-        assert_eq!(percentile(&s, 100), 100);
-        // Unsorted input is fine.
-        assert_eq!(percentile(&[30, 10, 20], 50), 20);
+    fn bucket_mapping_is_monotonic_and_covers_u64() {
+        let mut prev = 0;
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            6,
+            7,
+            10,
+            100,
+            1_000,
+            1_000_000,
+            60_000_000,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotonic at {v}");
+            assert!(idx < HIST_BUCKETS);
+            // The value must not exceed its bucket's upper bound.
+            assert!(v <= bucket_upper(idx), "{v} above upper of bucket {idx}");
+            prev = idx;
+        }
+        // Upper bounds are strictly increasing below the clamp bucket.
+        for i in 1..HIST_BUCKETS - 1 {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentile_bounds_error_to_the_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        for p in [50, 90, 99, 100] {
+            let true_rank = (p * 1000u64).div_ceil(100);
+            let got = h.percentile(p);
+            assert!(got >= true_rank, "p{p}: {got} < {true_rank}");
+            assert!(got <= true_rank * 3 / 2 + 1, "p{p}: {got} too loose");
+        }
+        assert_eq!(h.percentile(100), 1000); // exact max at the top
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(2000);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 2000);
+        assert_eq!(a.sum(), 2017);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.percentile(99), 0);
+        assert!(h.cumulative_buckets().is_empty());
     }
 
     #[test]
     fn render_is_greppable() {
+        let mut latency = Histogram::new();
+        latency.record(10);
+        latency.record(20);
         let m = Metrics {
             counters: Counters {
                 admitted: 3,
                 ..Counters::default()
             },
-            latencies_us: vec![10, 20],
+            latency,
             queue_depth: 1,
             queue_peak: 2,
         };
@@ -174,12 +401,18 @@ mod tests {
         assert!(text.contains("admitted 3\n"));
         assert!(text.contains("fuel_refunded 0\n"));
         assert!(text.contains("refund_clamped 0\n"));
-        assert!(text.contains("latency_p50_us 10\n"));
+        // 10 lands in bucket [8,11], 20 in [16,23]: the histogram
+        // reports bucket upper bounds, max is exact.
+        assert!(text.contains("latency_p50_us 11\n"));
         assert!(text.contains("latency_p99_us 20\n"));
+        assert!(text.contains("latency_max_us 20\n"));
     }
 
     #[test]
     fn prometheus_format_is_stable() {
+        let mut latency = Histogram::new();
+        latency.record(10);
+        latency.record(20);
         let m = Metrics {
             counters: Counters {
                 admitted: 3,
@@ -187,7 +420,7 @@ mod tests {
                 fuel_refunded: 30,
                 ..Counters::default()
             },
-            latencies_us: vec![10, 20],
+            latency,
             queue_depth: 1,
             queue_peak: 2,
         };
@@ -198,8 +431,13 @@ mod tests {
         assert!(text.contains("ssd_serve_fuel_total{kind=\"refunded\"} 30\n"));
         assert!(text.contains("ssd_serve_refund_clamped_total 0\n"));
         assert!(text.contains("ssd_serve_queue_depth 1\n"));
-        assert!(text.contains("ssd_serve_latency_us{quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("ssd_serve_latency_us{quantile=\"0.5\"} 11\n"));
         assert!(text.contains("ssd_serve_latency_us_count 2\n"));
+        assert!(text.contains("ssd_serve_latency_us_sum 30\n"));
+        // Cumulative bucket series: 10 ≤ 11, 20 ≤ 23, then +Inf.
+        assert!(text.contains("ssd_serve_latency_us_bucket{le=\"11\"} 1\n"));
+        assert!(text.contains("ssd_serve_latency_us_bucket{le=\"23\"} 2\n"));
+        assert!(text.contains("ssd_serve_latency_us_bucket{le=\"+Inf\"} 2\n"));
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name, value) = line.rsplit_once(' ').expect("name value");

@@ -25,22 +25,13 @@ use ssd_diag::{Code, Diagnostic};
 use ssd_guard::{Budget, CancelToken, CostEnvelope};
 
 use crate::clock::Clock;
-use crate::metrics::{Counters, Metrics};
+use crate::metrics::{Counters, Histogram, Metrics};
 use crate::quota::SessionQuota;
 
 /// Most recent trace events retained. Truncation is deterministic
 /// (purely a function of the decision sequence), so trace equality
 /// across identical runs still holds after it kicks in.
 pub const TRACE_CAP: usize = 4096;
-
-/// Most recent submit→finish latency samples retained (a ring:
-/// percentiles are computed over the last this-many finished jobs).
-pub const LATENCY_SAMPLE_CAP: usize = 4096;
-
-/// Per-session latency ring (smaller than the global one: sessions are
-/// many, and per-session percentiles are a drill-down, not the primary
-/// signal).
-pub const SESSION_LATENCY_CAP: usize = 512;
 
 /// Most recent trace events retained *per session* (the `STATS`
 /// per-session breakdown shows these); same deterministic batch
@@ -183,10 +174,9 @@ struct Session {
     active: usize,
     closed: bool,
     counters: Counters,
-    /// Per-session submit→finish latency samples
-    /// ([`SESSION_LATENCY_CAP`]-slot ring).
-    latencies_us: Vec<u64>,
-    latency_pos: usize,
+    /// Per-session submit→finish latency histogram (constant memory,
+    /// covers every finish over the session's lifetime).
+    latency: Histogram,
     /// This session's slice of the decision trace (most recent
     /// [`SESSION_TRACE_CAP`] events, deterministic batch truncation).
     recent: Vec<TraceEvent>,
@@ -212,8 +202,8 @@ struct Job {
 ///
 /// Memory stays bounded over a long-running server: finished jobs are
 /// evicted from the job map (only queued and running jobs are live),
-/// the trace keeps the last [`TRACE_CAP`] events, and latency samples
-/// live in a [`LATENCY_SAMPLE_CAP`]-slot ring.
+/// the trace keeps the last [`TRACE_CAP`] events, and latencies live in
+/// constant-size log-bucketed [`Histogram`]s.
 pub struct Scheduler {
     clock: Arc<dyn Clock>,
     workers: usize,
@@ -226,7 +216,6 @@ pub struct Scheduler {
     next_session: u64,
     next_job: u64,
     trace: Vec<TraceEvent>,
-    latency_pos: usize,
     metrics: Metrics,
     shutting_down: bool,
 }
@@ -245,7 +234,6 @@ impl Scheduler {
             next_session: 0,
             next_job: 0,
             trace: Vec::new(),
-            latency_pos: 0,
             metrics: Metrics::default(),
             shutting_down: false,
         }
@@ -287,8 +275,7 @@ impl Scheduler {
                 active: 0,
                 closed: false,
                 counters: Counters::default(),
-                latencies_us: Vec::new(),
-                latency_pos: 0,
+                latency: Histogram::new(),
                 recent: Vec::new(),
             },
         );
@@ -489,18 +476,8 @@ impl Scheduler {
         self.metrics.counters.fuel_refunded += credited;
         sess.counters.fuel_spent += fuel_spent;
         self.metrics.counters.fuel_spent += fuel_spent;
-        if sess.latencies_us.len() < SESSION_LATENCY_CAP {
-            sess.latencies_us.push(latency);
-        } else {
-            sess.latencies_us[sess.latency_pos] = latency;
-        }
-        sess.latency_pos = (sess.latency_pos + 1) % SESSION_LATENCY_CAP;
-        if self.metrics.latencies_us.len() < LATENCY_SAMPLE_CAP {
-            self.metrics.latencies_us.push(latency);
-        } else {
-            self.metrics.latencies_us[self.latency_pos] = latency;
-        }
-        self.latency_pos = (self.latency_pos + 1) % LATENCY_SAMPLE_CAP;
+        sess.latency.record(latency);
+        self.metrics.latency.record(latency);
         if outcome.clamped() {
             let sess = self.sessions.get_mut(&session).expect("job has session");
             sess.counters.refund_clamped += 1;
@@ -711,11 +688,11 @@ impl Scheduler {
             .and_then(|s| s.balance.max_steps)
     }
 
-    /// Snapshot of one session's submit→finish latency samples
-    /// (microseconds; most recent [`SESSION_LATENCY_CAP`] finishes,
-    /// slot order unspecified once the ring wraps). `None` if unknown.
-    pub fn session_latencies(&self, session: SessionId) -> Option<Vec<u64>> {
-        self.sessions.get(&session).map(|s| s.latencies_us.clone())
+    /// Snapshot of one session's submit→finish latency histogram
+    /// (microseconds, every finish over the session's lifetime).
+    /// `None` if unknown.
+    pub fn session_latency(&self, session: SessionId) -> Option<Histogram> {
+        self.sessions.get(&session).map(|s| s.latency.clone())
     }
 
     /// Snapshot of one session's slice of the decision trace (most

@@ -31,7 +31,7 @@ use ssd_store::{Store, Txn};
 use ssd_trace::{Phase, Tracer};
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::metrics::{percentile, Counters, Metrics};
+use crate::metrics::{Counters, Metrics};
 use crate::quota::SessionQuota;
 use crate::sched::{
     Decision, Dequeued, FinishKind, JobId, JobKind, Scheduler, SessionId, Ticket, TraceEvent,
@@ -376,15 +376,9 @@ impl Server {
                     out.push_str(&format!("{k} {v}\n"));
                 }
             }
-            if let Some(lat) = st.sched.session_latencies(id) {
-                out.push_str(&format!(
-                    "session.latency_p50_us {}\n",
-                    percentile(&lat, 50)
-                ));
-                out.push_str(&format!(
-                    "session.latency_p99_us {}\n",
-                    percentile(&lat, 99)
-                ));
+            if let Some(lat) = st.sched.session_latency(id) {
+                out.push_str(&format!("session.latency_p50_us {}\n", lat.percentile(50)));
+                out.push_str(&format!("session.latency_p99_us {}\n", lat.percentile(99)));
             }
             if let Some(trace) = st.sched.session_trace(id) {
                 for ev in &trace {

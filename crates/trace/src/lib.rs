@@ -61,6 +61,8 @@ pub enum Phase {
     Store,
     /// Columnar triple index: batched operators, delta merges.
     Index,
+    /// Workload harness: generation, scenario replay, bench phases.
+    Workload,
 }
 
 impl Phase {
@@ -77,6 +79,7 @@ impl Phase {
             Phase::Serve => "serve",
             Phase::Store => "store",
             Phase::Index => "index",
+            Phase::Workload => "workload",
         }
     }
 }

@@ -489,7 +489,7 @@ fn eval_rule(
         if lit.positive {
             let mut next = Vec::new();
             for b in &bindings {
-                for tuple in source.iter() {
+                for tuple in candidates(source, &lit.atom, b) {
                     if !guard.tick(1)? {
                         bindings = next;
                         break 'body;
@@ -509,8 +509,7 @@ fn eval_rule(
                     bindings = kept;
                     break 'body;
                 }
-                if !source
-                    .iter()
+                if !candidates(source, &lit.atom, &b)
                     .any(|tuple| try_match(&lit.atom, tuple, &b).is_some())
                 {
                     kept.push(b);
@@ -581,6 +580,41 @@ fn eval_builtin(atom: &Atom, binding: &HashMap<String, Datum>) -> bool {
             },
             _ => false,
         },
+    }
+}
+
+/// The tuples of `source` worth offering to [`try_match`] for `atom`
+/// under `binding`: the relation is a lexicographically sorted set, so
+/// any leading run of terms already resolved (constants or bound
+/// variables) narrows the scan to the matching range instead of the
+/// whole relation. For `edge(Y, 'References', Z)` with `Y` bound this
+/// is the out-adjacency of one node — the difference between linear
+/// and quadratic fixpoints on large graphs. Tuples outside the range
+/// can never match, so candidates (and the fuel ticked per candidate)
+/// shrink without changing any result.
+fn candidates<'s>(
+    source: &'s BTreeSet<Vec<Datum>>,
+    atom: &Atom,
+    binding: &HashMap<String, Datum>,
+) -> Box<dyn Iterator<Item = &'s Vec<Datum>> + 's> {
+    let mut prefix: Vec<Datum> = Vec::new();
+    for term in &atom.terms {
+        match term {
+            Term::Const(d) => prefix.push(d.clone()),
+            Term::Var(v) => match binding.get(v) {
+                Some(d) => prefix.push(d.clone()),
+                None => break,
+            },
+        }
+    }
+    if prefix.is_empty() {
+        Box::new(source.iter())
+    } else {
+        Box::new(
+            source
+                .range(prefix.clone()..)
+                .take_while(move |t| t.starts_with(&prefix)),
+        )
     }
 }
 

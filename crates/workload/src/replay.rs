@@ -1,0 +1,183 @@
+//! Deterministic replay: the same mixed op sequence the live driver
+//! submits, driven against the *pure* [`Scheduler`] state machine under
+//! a [`ManualClock`] and synthetic per-scenario cost/duration models.
+//!
+//! Nothing here touches wall time, threads, or the engine: arrivals,
+//! dispatches, completions, and cancellations are simulated as a
+//! discrete-event loop, so the scheduler's full decision trace
+//! (`Vec<TraceEvent>`) is a pure function of the config. Two replays
+//! with the same seed produce *identical* traces — that equality is the
+//! determinism witness `ssd bench` fingerprints into its artifact, and
+//! the contract the proptests pin.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use ssd_guard::{CostEnvelope, Interval};
+use ssd_serve::sched::{Decision, Dequeued, FinishKind, JobId, Scheduler, Ticket};
+use ssd_serve::{ManualClock, SessionQuota};
+
+use crate::driver::{bench_quota, op_sequence, DriveConfig};
+use crate::gen::{fnv1a, GenConfig};
+use crate::scenario::Scenario;
+
+/// Synthetic cost model: `(estimated fuel, simulated duration µs)` per
+/// scenario. Values only need to be fixed, plausible, and diverse
+/// enough to exercise dispatch, queueing, and rejection paths.
+fn model(s: Scenario) -> (u64, u64) {
+    match s {
+        Scenario::SelectJoin => (2_000_000, 20_000),
+        Scenario::SigmaLookup => (50_000, 1_000),
+        Scenario::Rpe3 => (100_000, 2_000),
+        Scenario::DatalogClosure => (5_000_000, 50_000),
+        Scenario::WriteTxn => (20_000, 500),
+        Scenario::Cancel => (10_000_000, 100_000),
+    }
+}
+
+/// Simulated arrival spacing: one op per millisecond of manual time —
+/// faster than the 2-worker service rate, so queues form and overflow
+/// deterministically.
+const ARRIVAL_SPACING_US: u64 = 1_000;
+
+/// Replay outcome: decision counts plus the trace fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    pub dispatched: u64,
+    pub queued: u64,
+    pub rejected: u64,
+    pub cancelled: u64,
+    pub trace_len: usize,
+    /// FNV-1a over the debug rendering of every trace event, in order —
+    /// equal fingerprints ⇔ equal decision traces (modulo hashing).
+    pub trace_fingerprint: u64,
+}
+
+/// Run the deterministic replay for `cfg`'s op sequence.
+pub fn replay(cfg: &GenConfig, dcfg: &DriveConfig, only: Option<Scenario>) -> ReplayReport {
+    let ops = op_sequence(cfg, only);
+    let clock = Arc::new(ManualClock::new());
+    let mut sched = Scheduler::new(dcfg.workers, dcfg.queue_cap, clock.clone());
+    let quota: SessionQuota = bench_quota(dcfg);
+    let sessions: Vec<_> = (0..dcfg.sessions.max(1))
+        .map(|_| sched.open_session(quota.clone()))
+        .collect();
+
+    // Discrete-event state: running jobs finish at a simulated instant.
+    let mut finishes: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut running: HashMap<JobId, (u64, FinishKind)> = HashMap::new(); // fuel, kind
+    let mut report = ReplayReport {
+        dispatched: 0,
+        queued: 0,
+        rejected: 0,
+        cancelled: 0,
+        trace_len: 0,
+        trace_fingerprint: 0,
+    };
+
+    let mut now = 0u64;
+    let start_running = |ticket: &Ticket,
+                         now: u64,
+                         finishes: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                         running: &mut HashMap<JobId, (u64, FinishKind)>| {
+        // The replay encodes the scenario in the job text (`name#n`) so
+        // dequeued tickets get their own class's cost model back.
+        let name = ticket.text.split('#').next().unwrap_or("");
+        let scenario = Scenario::from_name(name).expect("replay text names its scenario");
+        let (fuel, dur) = model(scenario);
+        finishes.push(Reverse((now + dur, ticket.job.0)));
+        running.insert(
+            ticket.job,
+            (fuel.min(ticket.grant_fuel), FinishKind::Completed),
+        );
+    };
+
+    for (n, (scenario, _i)) in ops.iter().enumerate() {
+        let arrival = n as u64 * ARRIVAL_SPACING_US;
+        // Retire every finish due before this arrival, in time order.
+        while let Some(&Reverse((t, jid))) = finishes.peek() {
+            if t > arrival {
+                break;
+            }
+            finishes.pop();
+            let job = JobId(jid);
+            if t > now {
+                clock.advance(t - now);
+                now = t;
+            }
+            let (fuel, kind) = running.remove(&job).expect("running job");
+            for d in sched.complete(job, fuel, 0, kind) {
+                if let Dequeued::Dispatch(ticket) = d {
+                    report.dispatched += 1;
+                    start_running(&ticket, now, &mut finishes, &mut running);
+                }
+            }
+        }
+        if arrival > now {
+            clock.advance(arrival - now);
+            now = arrival;
+        }
+        let session = sessions[n % sessions.len()];
+        let (est_fuel, _) = model(*scenario);
+        let envelope = CostEnvelope {
+            cardinality: Interval::exact(1),
+            fuel: Interval::exact(est_fuel),
+            memory: Interval::exact(4096),
+        };
+        let text = format!("{}#{n}", scenario.name());
+        match sched.submit(session, scenario.kind(), text, envelope) {
+            Decision::Dispatch(ticket) => {
+                report.dispatched += 1;
+                start_running(&ticket, now, &mut finishes, &mut running);
+                if *scenario == Scenario::Cancel {
+                    // Mid-flight cancel: the token fires, the simulated
+                    // worker reports a cancelled finish shortly after.
+                    if sched.cancel(session, ticket.job).unwrap_or(false) {
+                        report.cancelled += 1;
+                        if let Some(r) = running.get_mut(&ticket.job) {
+                            r.1 = FinishKind::Cancelled;
+                        }
+                    }
+                }
+            }
+            Decision::Queued { job, .. } => {
+                report.queued += 1;
+                if *scenario == Scenario::Cancel {
+                    // Queued cancel: the scheduler evicts it; there is
+                    // no finish to simulate.
+                    if sched.cancel(session, job).is_ok() {
+                        report.cancelled += 1;
+                    }
+                }
+            }
+            Decision::Rejected(_) => report.rejected += 1,
+        }
+    }
+
+    // Drain everything still in flight.
+    while let Some(Reverse((t, jid))) = finishes.pop() {
+        if t > now {
+            clock.advance(t - now);
+            now = t;
+        }
+        let job = JobId(jid);
+        let (fuel, kind) = running.remove(&job).expect("running job");
+        for d in sched.complete(job, fuel, 0, kind) {
+            if let Dequeued::Dispatch(ticket) = d {
+                report.dispatched += 1;
+                start_running(&ticket, now, &mut finishes, &mut running);
+            }
+        }
+    }
+    for s in sessions {
+        sched.close_session(s);
+    }
+
+    let trace = sched.trace();
+    report.trace_len = trace.len();
+    report.trace_fingerprint = trace.iter().fold(0xcbf2_9ce4_8422_2325, |h, ev| {
+        fnv1a(h, format!("{ev:?}").as_bytes())
+    });
+    report
+}

@@ -1,0 +1,154 @@
+//! The scenario catalog: the mixed op classes `ssd bench` replays.
+//!
+//! Shaped by the pattern-mode taxonomy of GQL-style query workloads:
+//! joins (conjunctive select), point σ-label lookups, fixed-length
+//! regular path expressions, recursive closure (datalog), durable
+//! write transactions, and mid-flight cancellation. Every op text is a
+//! pure function of `(config, op index)`, so two runs with the same
+//! seed submit byte-identical work.
+
+use crate::gen::GenConfig;
+use ssd_serve::sched::JobKind;
+
+/// One scenario class. `All` fans out across every class in a fixed
+/// interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Conjunctive select joining Title × Director over every movie.
+    SelectJoin,
+    /// Point lookup of one generated title (σ on a value label).
+    SigmaLookup,
+    /// 3-step regular path expression (`Entry.Movie.Title`).
+    Rpe3,
+    /// Datalog transitive closure over the `References` chains.
+    DatalogClosure,
+    /// Durable INSERT/DELETE batches committed through the store.
+    WriteTxn,
+    /// An expensive full-reachability job cancelled mid-flight.
+    Cancel,
+}
+
+/// All classes, in the interleaving order of the mixed run.
+pub const ALL: [Scenario; 6] = [
+    Scenario::SelectJoin,
+    Scenario::SigmaLookup,
+    Scenario::Rpe3,
+    Scenario::DatalogClosure,
+    Scenario::WriteTxn,
+    Scenario::Cancel,
+];
+
+impl Scenario {
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::SelectJoin => "select_join",
+            Scenario::SigmaLookup => "sigma_lookup",
+            Scenario::Rpe3 => "rpe3",
+            Scenario::DatalogClosure => "datalog_closure",
+            Scenario::WriteTxn => "write_txn",
+            Scenario::Cancel => "cancel",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    pub fn kind(self) -> JobKind {
+        match self {
+            Scenario::SelectJoin | Scenario::SigmaLookup => JobKind::Query,
+            Scenario::Rpe3 => JobKind::Rpe,
+            Scenario::DatalogClosure | Scenario::Cancel => JobKind::Datalog,
+            Scenario::WriteTxn => JobKind::Commit,
+        }
+    }
+
+    /// Ops of this class in one mixed run at `scale`. Whole-graph scans
+    /// (joins, closure) are dear and get few reps; point ops are cheap
+    /// and get many. Tuned so the 10^6 mixed run finishes in minutes on
+    /// one core.
+    pub fn ops_at(self, scale: u64) -> u64 {
+        let big = scale >= 200_000;
+        match self {
+            Scenario::SelectJoin => {
+                if big {
+                    4
+                } else {
+                    8
+                }
+            }
+            Scenario::SigmaLookup => 64,
+            Scenario::Rpe3 => {
+                if big {
+                    16
+                } else {
+                    32
+                }
+            }
+            Scenario::DatalogClosure => 4,
+            Scenario::WriteTxn => 32,
+            Scenario::Cancel => 8,
+        }
+    }
+
+    /// The job text for op `i` of this class. For [`Scenario::Cancel`]
+    /// the submitted job is the text; the cancellation itself is issued
+    /// by the driver right after.
+    pub fn text(self, cfg: &GenConfig, i: u64) -> String {
+        match self {
+            Scenario::SelectJoin => "select {t: T, d: D} \
+                 from db.Entry.Movie M, M.Title T, M.Director D \
+                 where exists M.Cast"
+                .to_string(),
+            Scenario::SigmaLookup => {
+                // Hit a different generated movie each op; titles come
+                // from the same pure function the generator used.
+                let movie = (i * 977) % cfg.movies();
+                format!(
+                    "select X from db.Entry.Movie.Title.\"{}\" X",
+                    cfg.title_of(movie)
+                )
+            }
+            Scenario::Rpe3 => "Entry.Movie.Title".to_string(),
+            Scenario::DatalogClosure => "reach(X, Y) :- edge(X, 'References', Y).\n\
+                 reach(X, Z) :- reach(X, Y), edge(Y, 'References', Z)."
+                .to_string(),
+            Scenario::WriteTxn => {
+                let mut txn = ssd_store::Txn::new().insert(&format!(
+                    "{{BenchW: {{Run: {{Seq: {i}, Tag: \"w{}\"}}}}}}",
+                    cfg.seed
+                ));
+                if i % 8 == 7 {
+                    // Periodically clear the accumulated bench edges so
+                    // the graph does not drift across ops.
+                    txn = txn.delete("BenchW");
+                }
+                txn.to_script()
+            }
+            Scenario::Cancel => "reach(X) :- root(X).\n\
+                 reach(Y) :- reach(X), edge(X, _L, Y)."
+                .to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn texts_are_deterministic() {
+        let cfg = GenConfig::new(5_000, 7);
+        for s in ALL {
+            assert_eq!(s.text(&cfg, 3), s.text(&cfg, 3));
+        }
+    }
+}
